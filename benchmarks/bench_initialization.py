@@ -1,0 +1,105 @@
+"""E8 — Section 5's initialization cost report.
+
+The paper's reference point (DBpedia): ~800 literal-retrieval queries +
+~3000 significance queries, ~200 timeouts, a 43K-string suffix tree, 21M
+residual literals in 80 bins, 17 hours end-to-end.  Our dataset is ~3
+orders of magnitude smaller; the *shape* that must reproduce:
+
+* decomposed initialization issues many queries, a minority time out,
+* significance queries outnumber plain literal queries,
+* the suffix tree holds a small fraction of all cached literals,
+* the warehouse architecture needs a handful of queries and no timeouts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SapphireConfig, initialize_endpoint
+from repro.endpoint import EndpointConfig, SparqlEndpoint
+from repro.eval import format_table
+
+from conftest import emit
+
+
+def _fresh_endpoint(dataset, **kwargs):
+    defaults = dict(timeout_s=0.045, cost_units_per_second=20_000)
+    defaults.update(kwargs)
+    return SparqlEndpoint(dataset.store, EndpointConfig(**defaults), name="bench")
+
+
+def test_initialization_report(small_dataset, capsys, benchmark):
+    endpoint = _fresh_endpoint(small_dataset)
+    cache, report = benchmark.pedantic(
+        initialize_endpoint,
+        args=(endpoint,), kwargs={"config": SapphireConfig(suffix_tree_capacity=800)},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        {"metric": "setup queries (Q1–Q5)", "value": report.n_setup_queries, "paper (DBpedia)": "a few"},
+        {"metric": "literal queries (Q6/Q7)", "value": report.n_literal_queries, "paper (DBpedia)": "~800"},
+        {"metric": "significance queries (Q8)", "value": report.n_significance_queries, "paper (DBpedia)": "~3000"},
+        {"metric": "timeouts", "value": report.n_timeouts, "paper (DBpedia)": "~200"},
+        {"metric": "suffix-tree strings", "value": cache.n_tree_strings, "paper (DBpedia)": "43K"},
+        {"metric": "residual literals", "value": cache.n_residual_literals, "paper (DBpedia)": "21M"},
+        {"metric": "residual bins", "value": cache.n_residual_bins, "paper (DBpedia)": "80"},
+        {"metric": "simulated endpoint seconds", "value": round(report.simulated_seconds, 1), "paper (DBpedia)": "17 hours"},
+    ]
+    with capsys.disabled():
+        emit("E8 — initialization cost (federated architecture)", format_table(rows))
+    assert report.total_queries > 20
+    assert report.n_timeouts > 0
+    assert cache.n_tree_strings < cache.n_literals  # tree holds a subset
+    assert cache.n_residual_bins > 5
+
+
+def test_initialization_warehouse_vs_federated(small_dataset, capsys, benchmark):
+    federated_ep = _fresh_endpoint(small_dataset)
+    _, federated = benchmark.pedantic(
+        initialize_endpoint,
+        args=(federated_ep,), kwargs={"config": SapphireConfig(suffix_tree_capacity=800)},
+        rounds=1, iterations=1,
+    )
+    warehouse_ep = SparqlEndpoint(small_dataset.store, EndpointConfig.warehouse(), name="wh")
+    _, warehouse = initialize_endpoint(
+        warehouse_ep, SapphireConfig(suffix_tree_capacity=800), warehouse=True
+    )
+    rows = [
+        {"architecture": "federated", "queries": federated.total_queries,
+         "timeouts": federated.n_timeouts},
+        {"architecture": "warehouse", "queries": warehouse.total_queries,
+         "timeouts": warehouse.n_timeouts},
+    ]
+    with capsys.disabled():
+        emit("E8.2 — federated vs warehouse initialization", format_table(rows))
+    assert warehouse.total_queries < federated.total_queries
+    assert warehouse.n_timeouts == 0
+
+
+def test_query_budget_prioritizes_frequent_predicates(small_dataset, capsys, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for limit in (30, 60, 120, None):
+        endpoint = _fresh_endpoint(small_dataset)
+        cache, report = initialize_endpoint(
+            endpoint,
+            SapphireConfig(init_query_limit=limit, suffix_tree_capacity=800),
+        )
+        rows.append({
+            "query_limit": limit if limit is not None else "unlimited",
+            "queries_issued": report.total_queries,
+            "literals_cached": cache.n_literals,
+        })
+    with capsys.disabled():
+        emit("E8.3 — literal coverage vs the user-set query limit", format_table(rows))
+    coverage = [row["literals_cached"] for row in rows]
+    assert coverage[-1] >= coverage[0]  # more budget, more coverage
+
+
+def test_bench_initialization(benchmark, small_dataset):
+    def run():
+        endpoint = _fresh_endpoint(small_dataset)
+        return initialize_endpoint(endpoint, SapphireConfig(suffix_tree_capacity=800))
+
+    cache, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cache.n_literals > 0

@@ -1,0 +1,128 @@
+"""E6 — Section 7.3.1: QCM response time.
+
+Reproduces the four QCM measurements:
+
+1. suffix-tree lookup latency (paper: ~0.25 ms, independent of tree size),
+2. residual-bin scan latency for P ∈ {1, 2, 4, 8} workers
+   (paper: 0.6 s at 1 core -> 0.16 s at 8 cores; with CPython threads the
+   wall-clock speedup is bounded by the GIL, so we report both wall time
+   and the per-worker load balance that drives the real system's scaling),
+3. suffix-tree hit ratio as a function of how many literals are indexed
+   (paper: 50% hit ratio with only 40K of millions of literals),
+4. the fraction of residual literals eliminated by the length filter
+   (paper: 46% on average).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import QueryCompletionModule, SapphireConfig
+from repro.eval import format_table
+
+from conftest import emit
+
+#: Lookup terms modelled on what study participants typed.
+LOOKUP_TERMS = [
+    "Kenn", "spou", "alma", "New", "Vik", "pop", "birth", "Sydn",
+    "label", "press", "gold", "j", "to", "univ",
+]
+
+
+@pytest.fixture(scope="module")
+def qcm(small_server):
+    return QueryCompletionModule(small_server.cache, small_server.config)
+
+
+def test_tree_lookup_latency(qcm, capsys, benchmark):
+    tree = qcm.cache.tree
+
+    def lookups():
+        for term in LOOKUP_TERMS:
+            tree.find_containing(term.lower(), limit=10)
+
+    benchmark(lookups)
+    per_lookup_ms = benchmark.stats["mean"] / len(LOOKUP_TERMS) * 1000
+    with capsys.disabled():
+        emit("E6.1 — suffix-tree lookup latency",
+             f"mean per lookup: {per_lookup_ms:.4f} ms over "
+             f"{qcm.cache.n_tree_strings} indexed strings\n"
+             f"(paper: ~0.25 ms, independent of tree size)")
+    assert per_lookup_ms < 50  # interactive by a wide margin
+
+
+def test_bin_scan_parallel_scaling(small_server, capsys, benchmark):
+    cache = small_server.cache
+    rows = []
+    for processes in (1, 2, 4, 8):
+        qcm = QueryCompletionModule(cache, small_server.config.with_processes(processes))
+        t0 = time.perf_counter()
+        for term in LOOKUP_TERMS:
+            qcm.complete(term)
+        elapsed = time.perf_counter() - t0
+        rows.append({"workers": processes,
+                     "total_s": round(elapsed, 4),
+                     "per_lookup_ms": round(elapsed / len(LOOKUP_TERMS) * 1000, 3)})
+    eight_worker_qcm = QueryCompletionModule(cache, small_server.config.with_processes(8))
+    benchmark.pedantic(lambda: [eight_worker_qcm.complete(t) for t in LOOKUP_TERMS],
+                       rounds=1, iterations=1)
+    with capsys.disabled():
+        emit("E6.2 — residual-bin scan vs worker count",
+             format_table(rows) +
+             "\n(paper: 0.6 s @ 1 core -> 0.16 s @ 8 cores; CPython threads"
+             "\n bound the wall-clock gain, the load split is what scales)")
+    # Results must be identical regardless of parallelism.
+    serial = QueryCompletionModule(cache, small_server.config.with_processes(1))
+    parallel = QueryCompletionModule(cache, small_server.config.with_processes(8))
+    for term in LOOKUP_TERMS:
+        assert serial.complete(term).surfaces() == parallel.complete(term).surfaces()
+
+
+def test_hit_ratio_vs_tree_size(small_server, capsys, benchmark):
+    """Bigger suffix tree -> higher hit ratio (Section 7.3.1's takeaway
+    that 'even a small fraction of the literals in the suffix tree
+    benefits performance')."""
+    cache = small_server.cache
+    base_config = small_server.config
+    benchmark.pedantic(cache.build_indexes, rounds=1, iterations=1)
+    rows = []
+    ratios = []
+    for capacity in (0, 50, 200, 1000, 4000):
+        sized = cache.copy_with_capacity(capacity)
+        qcm = QueryCompletionModule(sized, sized.config)
+        hits = sum(1 for term in LOOKUP_TERMS if qcm.complete(term).tree_hit)
+        ratio = hits / len(LOOKUP_TERMS)
+        ratios.append(ratio)
+        rows.append({
+            "tree_capacity": capacity,
+            "indexed_strings": sized.n_tree_strings,
+            "hit_ratio": f"{100 * ratio:.0f}%",
+        })
+    with capsys.disabled():
+        emit("E6.3 — suffix-tree hit ratio vs indexed literals",
+             format_table(rows) + "\n(paper: 50% hit ratio at 40K of ~21M literals)")
+    assert ratios == sorted(ratios) or ratios[-1] >= ratios[0]
+    assert ratios[-1] > ratios[0]
+
+
+def test_length_filter_elimination(qcm, capsys, benchmark):
+    """The γ-window removes a large share of the residual literals from
+    each scan (paper: 46% on average)."""
+    results = benchmark.pedantic(
+        lambda: [qcm.complete(term) for term in LOOKUP_TERMS],
+        rounds=1, iterations=1,
+    )
+    fractions = [1.0 - result.bins_searched_fraction for result in results]
+    mean_eliminated = sum(fractions) / len(fractions)
+    with capsys.disabled():
+        emit("E6.4 — residual literals eliminated by the length filter",
+             f"mean eliminated: {100 * mean_eliminated:.1f}% "
+             f"(paper: ~46%)")
+    assert mean_eliminated > 0.2
+
+
+def test_bench_complete(benchmark, qcm):
+    result = benchmark(lambda: qcm.complete("Kenn"))
+    assert result.surfaces()

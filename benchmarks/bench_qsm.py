@@ -1,0 +1,97 @@
+"""E7 — Section 7.3.2: QSM response time and usage.
+
+Measures the QSM latency over representative broken queries (the QCM is
+sub-second interactive; the QSM "can have a latency of a few seconds" —
+the paper reports ~10 s on live DBpedia) and reproduces the usage
+breakdown: in the user study, participants leaned on relaxation most,
+then alternative predicates, then alternative literals.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines import QAKiS
+from repro.core import QueryBuilder
+from repro.data.corpus import RELATIONAL_PATTERNS
+from repro.eval import UserStudy, format_table
+from repro.rdf import DBO, FOAF, Literal, Variable
+
+from conftest import emit
+
+
+def _broken_queries():
+    """Queries that exercise each QSM facility."""
+    return {
+        "alt-literal (Kennedys)": QueryBuilder().triple(
+            Variable("p"), FOAF.surname, Literal("Kennedys", lang="en")
+        ),
+        "alt-predicate (wife)": (QueryBuilder()
+            .triple(Variable("t"), FOAF.name, Literal("Tom Hanks", lang="en"))
+            .triple(Variable("t"), DBO.term("wife"), Variable("w"))),
+        "relaxation (Kerouac/Viking)": (QueryBuilder()
+            .triple(Variable("b"), DBO.term("writer"), Literal("Jack Kerouac", lang="en"))
+            .triple(Variable("b"), DBO.publisher, Literal("Viking Press", lang="en"))),
+        "grounding (Princeton)": QueryBuilder().triple(
+            Variable("s"), DBO.almaMater, Literal("Princeton University", lang="en")
+        ),
+    }
+
+
+def test_qsm_latency(small_server, capsys, benchmark):
+    benchmark.pedantic(
+        lambda: small_server.run_query(_broken_queries()["alt-literal (Kennedys)"]),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for name, builder in _broken_queries().items():
+        t0 = time.perf_counter()
+        outcome = small_server.run_query(builder)
+        wall = time.perf_counter() - t0
+        rows.append({
+            "query": name,
+            "qsm_s": round(outcome.qsm_seconds, 3),
+            "total_s": round(wall, 3),
+            "term_suggestions": len(outcome.term_suggestions),
+            "relaxations": len(outcome.relaxations),
+        })
+    with capsys.disabled():
+        emit("E7.1 — QSM latency per broken query",
+             format_table(rows) +
+             "\n(paper: ~10 s average against live DBpedia; the shape that"
+             "\n must hold is QSM seconds-class vs QCM milliseconds-class)")
+    # Every broken query must receive at least one suggestion.
+    for row in rows:
+        assert row["term_suggestions"] + row["relaxations"] > 0, row["query"]
+
+
+def test_qsm_usage_breakdown(tiny_server, tiny_dataset, capsys, benchmark):
+    qakis = QAKiS(tiny_dataset.store, RELATIONAL_PATTERNS)
+    results = benchmark.pedantic(
+        UserStudy(tiny_server, qakis, n_participants=16, seed=7).run,
+        rounds=1, iterations=1,
+    )
+    usage = results.qsm_usage()
+    rows = [{"facility": k, "% of questions": round(v, 1)} for k, v in usage.items()]
+    with capsys.disabled():
+        emit("E7.2 — QSM usage across user-study sessions",
+             format_table(rows) +
+             "\n(paper: relaxed structure 67%, alt predicates 28%, alt"
+             "\n literals 17%; our simulated users resolve more terms via"
+             "\n the QCM, so absolute usage is lower — ordering holds)")
+    assert usage["relaxation"] >= usage["alt_literal"]
+    assert usage["any"] > 0
+
+
+def test_bench_qsm_kerouac(benchmark, small_server):
+    builder = (QueryBuilder()
+               .triple(Variable("b"), DBO.term("writer"), Literal("Jack Kerouac", lang="en"))
+               .triple(Variable("b"), DBO.publisher, Literal("Viking Press", lang="en")))
+
+    def run():
+        return small_server.run_query(builder)
+
+    outcome = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert outcome.relaxations

@@ -1,0 +1,75 @@
+"""A4 — ablation: dataset-size scaling.
+
+The paper argues its design scales to LOD-cloud-sized data (DBpedia's 70M
+literals) because every interactive path is sublinear: suffix-tree lookup
+is O(|t| + z), the bin scan is windowed by γ, and initialization cost is
+bounded by the query budget rather than dataset size.  This ablation
+builds three dataset scales and measures how initialization and QCM
+latency actually grow.
+
+Expected shape: triples grow ~10× tiny -> medium while QCM latency stays
+flat (tree lookups) or grows far sublinearly (bin windows), and the
+initialization query count grows with the predicate/class structure, not
+with raw triple count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import QueryCompletionModule, SapphireConfig, initialize_endpoint
+from repro.data import DatasetConfig, build_dataset
+from repro.endpoint import EndpointConfig, SparqlEndpoint
+from repro.eval import format_table
+
+from conftest import emit
+
+TERMS = ["Kenn", "spou", "New", "press", "birth", "univ"]
+
+
+def test_dataset_scaling(capsys, benchmark):
+    def sweep():
+        rows = []
+        for name, config in (("tiny", DatasetConfig.tiny()),
+                             ("small", DatasetConfig.small()),
+                             ("medium", DatasetConfig.medium())):
+            t0 = time.perf_counter()
+            dataset = build_dataset(config)
+            build_s = time.perf_counter() - t0
+            endpoint = SparqlEndpoint(dataset.store, EndpointConfig(timeout_s=1.0))
+            t0 = time.perf_counter()
+            cache, report = initialize_endpoint(
+                endpoint, SapphireConfig(suffix_tree_capacity=2000)
+            )
+            init_s = time.perf_counter() - t0
+            qcm = QueryCompletionModule(cache)
+            t0 = time.perf_counter()
+            for term in TERMS:
+                qcm.complete(term)
+            qcm_ms = (time.perf_counter() - t0) / len(TERMS) * 1000
+            rows.append({
+                "scale": name,
+                "triples": len(dataset.store),
+                "init_queries": report.total_queries,
+                "literals_cached": cache.n_literals,
+                "build_s": round(build_s, 2),
+                "init_wall_s": round(init_s, 2),
+                "qcm_ms": round(qcm_ms, 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        emit("A4 — dataset-size scaling", format_table(rows))
+
+    triples = [row["triples"] for row in rows]
+    assert triples == sorted(triples)
+    growth = triples[-1] / triples[0]
+    qcm_growth = rows[-1]["qcm_ms"] / max(rows[0]["qcm_ms"], 1e-6)
+    # QCM latency grows far sublinearly in dataset size.
+    assert qcm_growth < growth / 2
+    # Initialization queries track structure, not raw triples.
+    query_growth = rows[-1]["init_queries"] / rows[0]["init_queries"]
+    assert query_growth < growth

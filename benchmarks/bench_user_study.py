@@ -1,0 +1,104 @@
+"""E2–E5 — Figures 8, 9, 10, 11: the simulated user study.
+
+Sixteen simulated participants answer the Appendix B questions with both
+Sapphire and QAKiS.  Expected shapes (paper):
+
+* Fig 8 — comparable success on easy; Sapphire ≫ QAKiS on medium and
+  difficult (paper: ~80% vs ~50% medium, ~80% vs ~35% difficult).
+* Fig 9 — every question answered by ≥1 participant with Sapphire;
+  QAKiS misses many medium/difficult questions.
+* Fig 10 — attempts comparable (Sapphire slightly higher).
+* Fig 11 — Sapphire costs more minutes per answered question.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import QAKiS
+from repro.data.corpus import RELATIONAL_PATTERNS
+from repro.eval import UserStudy, format_grouped_bars
+
+from conftest import emit
+
+_DIFFICULTIES = ("easy", "medium", "difficult")
+
+
+@pytest.fixture(scope="module")
+def study_results(tiny_server, tiny_dataset):
+    qakis = QAKiS(tiny_dataset.store, RELATIONAL_PATTERNS)
+    return UserStudy(tiny_server, qakis, n_participants=16, seed=7).run()
+
+
+def _grouped(results, fn):
+    return {
+        d: {"QAKiS": fn("qakis", d), "Sapphire": fn("sapphire", d)}
+        for d in _DIFFICULTIES
+    }
+
+
+def test_figure8_success_rate(study_results, capsys, benchmark):
+    benchmark.pedantic(lambda: _grouped(study_results, study_results.success_rate),
+                       rounds=1, iterations=1)
+    with capsys.disabled():
+        emit("Figure 8 — success rate of answering questions (% ± 95% CI)",
+             format_grouped_bars(_grouped(study_results, study_results.success_rate),
+                                 unit="%"))
+    for difficulty in ("medium", "difficult"):
+        sapphire, _ = study_results.success_rate("sapphire", difficulty)
+        qakis, _ = study_results.success_rate("qakis", difficulty)
+        assert sapphire > qakis + 20, difficulty  # the paper's wide gap
+    easy_sapphire, _ = study_results.success_rate("sapphire", "easy")
+    easy_qakis, _ = study_results.success_rate("qakis", "easy")
+    assert abs(easy_sapphire - easy_qakis) < 30  # close on easy
+
+
+def test_figure9_answered_by_any(study_results, capsys, benchmark):
+    benchmark.pedantic(lambda: study_results.answered_by_any("sapphire", "easy"),
+                       rounds=1, iterations=1)
+    rows = {
+        d: {"QAKiS": (study_results.answered_by_any("qakis", d), 0.0),
+            "Sapphire": (study_results.answered_by_any("sapphire", d), 0.0)}
+        for d in _DIFFICULTIES
+    }
+    with capsys.disabled():
+        emit("Figure 9 — % of questions answered by at least one participant",
+             format_grouped_bars(rows, unit="%"))
+    for difficulty in _DIFFICULTIES:
+        assert study_results.answered_by_any("sapphire", difficulty) == 100.0
+    assert study_results.answered_by_any("qakis", "difficult") < 50.0
+
+
+def test_figure10_attempts(study_results, capsys, benchmark):
+    benchmark.pedantic(lambda: _grouped(study_results, study_results.mean_attempts),
+                       rounds=1, iterations=1)
+    with capsys.disabled():
+        emit("Figure 10 — average number of attempts before finding an answer",
+             format_grouped_bars(_grouped(study_results, study_results.mean_attempts)))
+    for difficulty in _DIFFICULTIES:
+        sapphire, _ = study_results.mean_attempts("sapphire", difficulty)
+        assert 1.0 <= sapphire <= 5.0  # comparable, not exploding
+
+
+def test_figure11_time_spent(study_results, capsys, benchmark):
+    benchmark.pedantic(lambda: _grouped(study_results, study_results.mean_minutes),
+                       rounds=1, iterations=1)
+    with capsys.disabled():
+        emit("Figure 11 — average minutes spent on answered questions",
+             format_grouped_bars(_grouped(study_results, study_results.mean_minutes),
+                                 unit="min"))
+    for difficulty in _DIFFICULTIES:
+        sapphire, _ = study_results.mean_minutes("sapphire", difficulty)
+        qakis, _ = study_results.mean_minutes("qakis", difficulty)
+        if qakis > 0:  # only when QAKiS answered anything in this bucket
+            assert sapphire > qakis  # Sapphire costs more time
+
+
+def test_bench_user_study(benchmark, tiny_server, tiny_dataset):
+    qakis = QAKiS(tiny_dataset.store, RELATIONAL_PATTERNS)
+
+    def run_study():
+        return UserStudy(tiny_server, qakis, n_participants=4, seed=1).run()
+
+    results = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    assert results.records

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A full Section 4 session, driven through `SapphireSession`.
+
+The user wants "books by Jack Kerouac published by Viking Press" and gets
+there through the same interaction sequence the paper describes: compose
+with QCM help, Run, read the QSM's suggestions, accept the structural
+relaxation (answers already prefetched), and work with the answer table.
+
+Run:  python examples/interactive_session.py
+"""
+
+from repro import quickstart_server
+from repro.core import AnswerTable, SapphireSession
+from repro.rdf import DBO, Literal, Variable
+
+
+def main() -> None:
+    server, dataset = quickstart_server()
+    session = SapphireSession(server)
+
+    print("== The user types 'publ' in a predicate box ==")
+    print(f"QCM suggests: {session.complete('publ').surfaces()}")
+
+    print("\n== Compose the (structurally wrong) query and Run ==")
+    session.triple(Variable("book"), DBO.term("writer"),
+                   Literal("Jack Kerouac", lang="en"))
+    session.triple(Variable("book"), DBO.publisher,
+                   Literal("Viking Press", lang="en"))
+    outcome = session.run()
+    print(outcome.query_text)
+    print(f"-> {len(outcome.answers)} answers")
+
+    print("\n== The QSM's suggestions ==")
+    for i, message in enumerate(session.suggestion_messages()):
+        print(f"  [{i}] {message}")
+
+    print("\n== Accept the relaxation (prefetched — no re-execution) ==")
+    relax_index = next(
+        i for i, s in enumerate(session.suggestions())
+        if hasattr(s, "tree_edges")
+    )
+    fixed = session.accept(relax_index)
+    print(f"-> {len(fixed.answers)} answers now")
+
+    print("\n== Browse them in the answer table ==")
+    table = session.table()
+    book_column = next(
+        name for name in table.all_columns
+        if any("Road" in str(v) for v in table.column_values(name))
+    )
+    for name in table.all_columns:
+        if name != book_column:
+            table.hide_column(name)
+    table.order_by(book_column)
+    print(table.to_text())
+
+    print(f"\nsession history ({session.attempts} Run clicks):")
+    for entry in session.history:
+        accepted = " (accepted suggestion)" if entry.accepted_suggestion else ""
+        print(f"  {entry.n_answers} answers, "
+              f"{entry.n_suggestions} suggestions{accepted}")
+
+
+if __name__ == "__main__":
+    main()

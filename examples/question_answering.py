@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Answer the QALD-style workload with every system (Table 1 in miniature).
+
+Runs Sapphire (driven by the deterministic expert policy), QAKiS, KBQA,
+S4 and SPARQLByE over the 50+ question workload and prints the Table 1
+comparison, including the published QALD-5 rows for systems that are not
+publicly runnable.
+
+Run:  python examples/question_answering.py
+"""
+
+from repro import quickstart_server
+from repro.data import QUESTIONS
+from repro.eval import format_table, run_comparison
+
+
+def main() -> None:
+    server, dataset = quickstart_server()
+    print(f"workload: {len(QUESTIONS)} questions "
+          f"({sum(q.difficulty == 'easy' for q in QUESTIONS)} easy / "
+          f"{sum(q.difficulty == 'medium' for q in QUESTIONS)} medium / "
+          f"{sum(q.difficulty == 'difficult' for q in QUESTIONS)} difficult)\n")
+
+    comparison = run_comparison(server, dataset.store)
+    print(format_table(comparison.table_rows(include_published=True),
+                       "Table 1 — systems over the QALD-style workload"))
+
+    print("\nPer-question detail for Sapphire vs QAKiS:")
+    qakis_by_qid = {o.qid: o for o in comparison.outcomes["QAKiS"]}
+    rows = []
+    for outcome in comparison.outcomes["Sapphire"]:
+        qakis = qakis_by_qid[outcome.qid]
+        rows.append({
+            "question": outcome.qid,
+            "Sapphire": outcome.grade,
+            "QAKiS": qakis.grade,
+        })
+    disagreements = [r for r in rows if r["Sapphire"] != r["QAKiS"]]
+    print(format_table(disagreements[:15], f"(first 15 of {len(disagreements)} disagreements)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up Sapphire over a synthetic DBpedia and query it.
+
+Walks the full workflow of the paper's Section 3/4:
+
+1. build a dataset and wrap it in a (simulated) SPARQL endpoint,
+2. register the endpoint — Sapphire runs its Section 5 initialization,
+3. type a query term and watch the QCM auto-complete it,
+4. run a query with a misspelled literal and accept the QSM's fix
+   (the Figure 2 "Kennedys" -> "Kennedy" scenario).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import QueryBuilder, quickstart_server
+from repro.rdf import FOAF, Literal, Variable
+
+
+def main() -> None:
+    print("== Registering endpoint (Section 5 initialization) ==")
+    server, dataset = quickstart_server()
+    report = server.reports["dbpedia-mini"]
+    print(f"dataset triples:        {len(dataset.store):,}")
+    print(f"initialization queries: {report.total_queries} "
+          f"({report.n_timeouts} timed out)")
+    for key, value in server.cache_stats().items():
+        print(f"  cache {key}: {value}")
+
+    print("\n== QCM: auto-complete while typing (Section 6.1) ==")
+    for typed in ("spo", "alma", "Kenn"):
+        completions = server.complete(typed)
+        source = "suffix tree" if completions.tree_hit else "residual bins"
+        print(f"  '{typed}' -> {completions.surfaces()[:5]}  (first hit: {source})")
+
+    print("\n== Figure 2: the user types the wrong literal ==")
+    query = QueryBuilder().triple(
+        Variable("person"), FOAF.surname, Literal("Kennedys", lang="en")
+    )
+    outcome = server.run_query(query)
+    print(f"  answers for 'Kennedys': {len(outcome.answers)}")
+    suggestion = outcome.term_suggestions[0]
+    print(f"  QSM says: {suggestion.message()}")
+
+    print("\n== Accepting the suggestion (answers were prefetched) ==")
+    fixed = suggestion.prefetched
+    print(f"  {len(fixed.rows)} people with surname Kennedy; first five:")
+    for row in fixed.rows[:5]:
+        person = row.get("person")
+        print(f"    {person.local_name() if person is not None else row}")
+
+    print("\n== Plain SPARQL works too ==")
+    outcome = server.run_query(
+        'SELECT ?wife WHERE { ?tom foaf:name "Tom Hanks"@en . '
+        "?tom dbo:spouse ?wife }",
+        suggest=False,
+    )
+    print(f"  Tom Hanks's wife: {outcome.answers.first_value().local_name()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Re-run the Section 7.1 user study with simulated participants.
+
+Sixteen stochastic participants answer the 27 Appendix B questions with
+both Sapphire and QAKiS; the script prints Figures 8–11 as ASCII charts
+plus the Section 7.3.2 QSM-usage breakdown.
+
+Run:  python examples/user_study.py
+"""
+
+from repro import quickstart_server
+from repro.baselines import QAKiS
+from repro.data.corpus import RELATIONAL_PATTERNS
+from repro.eval import UserStudy, format_grouped_bars
+
+
+def main() -> None:
+    server, dataset = quickstart_server()
+    qakis = QAKiS(dataset.store, RELATIONAL_PATTERNS)
+
+    study = UserStudy(server, qakis, n_participants=16, seed=7)
+    results = study.run()
+    print(f"{results.n_participants} participants, "
+          f"{len(results.records)} interaction records\n")
+
+    difficulties = ("easy", "medium", "difficult")
+
+    def grouped(fn):
+        return {
+            d: {"QAKiS": fn("qakis", d), "Sapphire": fn("sapphire", d)}
+            for d in difficulties
+        }
+
+    print(format_grouped_bars(grouped(results.success_rate),
+                              "Figure 8 — success rate (%, mean ± 95% CI)", unit="%"))
+    print()
+    fig9 = {
+        d: {"QAKiS": (results.answered_by_any("qakis", d), 0.0),
+            "Sapphire": (results.answered_by_any("sapphire", d), 0.0)}
+        for d in difficulties
+    }
+    print(format_grouped_bars(fig9, "Figure 9 — questions answered by ≥1 participant (%)",
+                              unit="%"))
+    print()
+    print(format_grouped_bars(grouped(results.mean_attempts),
+                              "Figure 10 — attempts before finding an answer"))
+    print()
+    print(format_grouped_bars(grouped(results.mean_minutes),
+                              "Figure 11 — minutes spent on answered questions",
+                              unit="min"))
+
+    print("\nSection 7.3.2 — QSM usage across Sapphire sessions:")
+    for facility, percent in results.qsm_usage().items():
+        print(f"  {facility:<14} {percent:5.1f}%")
+    print(f"\nQCM mean response: {results.qcm_mean_seconds() * 1000:.2f} ms "
+          f"across {sum(r.qcm_calls for r in results.records)} completions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Baseline systems the paper compares against, implemented from scratch."""
+
+from .kbqa import KBQA, KbqaAnswer
+from .qakis import QAKiS, QakisAnswer
+from .s4 import S4, S4Summary
+from .sparqlbye import ByExampleResult, SPARQLByE
+
+__all__ = [
+    "QAKiS",
+    "QakisAnswer",
+    "KBQA",
+    "KbqaAnswer",
+    "S4",
+    "S4Summary",
+    "SPARQLByE",
+    "ByExampleResult",
+]

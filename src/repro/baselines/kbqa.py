@@ -1,0 +1,148 @@
+"""KBQA-style template question answering (Cui et al., PVLDB'17).
+
+KBQA learns *question templates* from a large QA corpus and maps each
+template to an RDF predicate; at question time the template whose shape
+matches the question is instantiated.  It is deliberately factoid-only —
+that is the source of its Table 1 profile (precision 1.0, recall 0.16).
+
+Our reproduction learns from the synthetic corpus in
+:func:`repro.data.corpus.qa_corpus`:
+
+* **Learning** — every (question, predicate) example is generalized into
+  a template by replacing the entity span with ``$E`` (the corpus comes
+  pre-slotted); template -> predicate mappings are kept with counts and
+  the majority mapping wins, mirroring the probabilistic scoring of the
+  original.
+* **Answering** — the question is matched against the learned templates
+  (longest-template-first); a match binds the entity span, the entity is
+  resolved by label, and the predicate is applied.  No match -> the
+  question is not processed (KBQA never guesses).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.namespaces import DBO, FOAF, RDFS_LABEL
+from ..rdf.terms import IRI, Literal, Term, Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.evaluator import QueryEvaluator
+from ..sparql.results import SelectResult
+from ..sparql.serializer import select_query
+from ..store.triplestore import TripleStore
+
+__all__ = ["KBQA", "KbqaAnswer"]
+
+
+@dataclass
+class KbqaAnswer:
+    """Outcome of a KBQA invocation."""
+
+    processed: bool
+    answers: Set[Term] = field(default_factory=set)
+    template: Optional[str] = None
+    predicate: Optional[IRI] = None
+    entity_span: Optional[str] = None
+
+
+def _normalize(text: str) -> str:
+    text = text.lower().strip().rstrip("?").rstrip(".")
+    return re.sub(r"\s+", " ", text)
+
+
+class KBQA:
+    """Template-learning factoid QA over one triple store."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        corpus: Sequence[Tuple[str, str]],
+    ) -> None:
+        self.store = store
+        self._evaluator = QueryEvaluator(store)
+        self._templates = self._learn(corpus)
+        self._label_index = self._build_label_index()
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _learn(corpus: Sequence[Tuple[str, str]]) -> List[Tuple[str, str]]:
+        """Distil (template, predicate) with majority voting per template."""
+        votes: Dict[str, Counter] = defaultdict(Counter)
+        for question, predicate in corpus:
+            template = _normalize(question).replace("$e", "$E")
+            votes[template][predicate] += 1
+        learned = [
+            (template, counter.most_common(1)[0][0])
+            for template, counter in votes.items()
+        ]
+        # Longest template first: more specific shapes win the match.
+        learned.sort(key=lambda pair: -len(pair[0]))
+        return learned
+
+    def _build_label_index(self) -> Dict[str, List[Term]]:
+        index: Dict[str, List[Term]] = {}
+        for predicate in (RDFS_LABEL, FOAF.name):
+            for triple in self.store.match(
+                TriplePattern(Variable("s"), predicate, Variable("o"))
+            ):
+                obj = triple.object
+                if isinstance(obj, Literal) and (obj.lang in (None, "en")):
+                    index.setdefault(obj.lexical.lower(), []).append(triple.subject)
+        return index
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+
+    def answer(self, question: str) -> KbqaAnswer:
+        text = _normalize(question)
+        for template, predicate_local in self._templates:
+            pattern = re.escape(template).replace(r"\$E", "(.+)")
+            match = re.fullmatch(pattern, text)
+            if match is None:
+                continue
+            span = match.group(1).strip()
+            for article in ("the ", "a ", "an "):
+                if span.startswith(article):
+                    span = span[len(article):]
+                    break
+            entities = self._label_index.get(span)
+            if not entities:
+                continue
+            predicate = self._predicate_iri(predicate_local)
+            answers: Set[Term] = set()
+            for entity in entities:
+                answers.update(self._fetch(entity, predicate))
+            if answers:
+                return KbqaAnswer(
+                    processed=True,
+                    answers=answers,
+                    template=template,
+                    predicate=predicate,
+                    entity_span=span,
+                )
+        return KbqaAnswer(processed=False)
+
+    @staticmethod
+    def _predicate_iri(local: str) -> IRI:
+        if local in ("name", "surname", "givenName"):
+            return FOAF.term(local)
+        if local == "label":
+            return RDFS_LABEL
+        return DBO.term(local)
+
+    def _fetch(self, entity: Term, predicate: IRI) -> Set[Term]:
+        pattern = TriplePattern(entity, predicate, Variable("x"))  # type: ignore[arg-type]
+        result = self._evaluator.evaluate(select_query([pattern], distinct=True))
+        assert isinstance(result, SelectResult)
+        return result.value_set("x")
+
+    @property
+    def n_templates(self) -> int:
+        return len(self._templates)

@@ -1,0 +1,181 @@
+"""QAKiS-style natural-language question answering (Cabrio et al., ISWC'12).
+
+QAKiS answers questions over RDF by matching fragments of the question
+against *relational patterns* — alternative natural-language expressions
+of RDF relations automatically extracted from Wikipedia — then filling a
+simple SPARQL template with the matched entity and predicate.
+
+Our reproduction keeps the pipeline's three stages:
+
+1. **Entity linking** — the longest question substring matching a cached
+   entity label/name (case-insensitive).
+2. **Relation matching** — the longest relational-pattern phrase found in
+   the question (from :data:`repro.data.corpus.RELATIONAL_PATTERNS`);
+   ties/ambiguity resolve to the first learned mapping, which is where
+   the system's characteristic precision loss comes from (e.g. "born in
+   1945" matches the *birthPlace* pattern "born in").
+3. **Template filling** — ``SELECT ?x WHERE { <entity> <pred> ?x }`` with
+   a subject/object flip fallback, plus label resolution on both sides.
+
+Like the original, it handles factoid shapes only: multi-hop joins,
+aggregation and numeric filters are out of its language, so such
+questions fail — exactly the limitation Table 1 and the user study
+exhibit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.namespaces import DBO, FOAF, RDFS_LABEL
+from ..rdf.terms import IRI, Literal, Term, Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.results import SelectResult
+from ..sparql.serializer import select_query
+from ..store.triplestore import TripleStore
+from ..sparql.evaluator import QueryEvaluator
+
+__all__ = ["QAKiS", "QakisAnswer"]
+
+_STOPWORDS = {
+    "the", "a", "an", "of", "in", "on", "at", "is", "are", "was", "were",
+    "who", "what", "which", "where", "when", "how", "many", "much", "all",
+    "by", "to", "for", "with", "and", "or", "do", "does", "did", "u.s.",
+}
+
+
+@dataclass
+class QakisAnswer:
+    """Outcome of one QAKiS attempt."""
+
+    processed: bool
+    answers: Set[Term] = field(default_factory=set)
+    matched_entity: Optional[str] = None
+    matched_phrase: Optional[str] = None
+    predicate: Optional[IRI] = None
+
+
+class QAKiS:
+    """The baseline system; built offline from a store + pattern corpus."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        relational_patterns: Sequence[Tuple[str, str]],
+    ) -> None:
+        self.store = store
+        self._evaluator = QueryEvaluator(store)
+        # phrase -> first learned predicate local-name (ambiguity kept).
+        self._patterns: Dict[str, str] = {}
+        for phrase, predicate in relational_patterns:
+            self._patterns.setdefault(phrase.lower(), predicate)
+        self._label_index = self._build_label_index()
+
+    def _build_label_index(self) -> Dict[str, List[Term]]:
+        """Lower-cased entity labels -> entities (for entity linking)."""
+        index: Dict[str, List[Term]] = {}
+        for predicate in (RDFS_LABEL, FOAF.name):
+            for triple in self.store.match(
+                TriplePattern(Variable("s"), predicate, Variable("o"))
+            ):
+                obj = triple.object
+                if isinstance(obj, Literal) and (obj.lang in (None, "en")):
+                    index.setdefault(obj.lexical.lower(), []).append(triple.subject)
+        return index
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+
+    def link_entity(self, question: str) -> Optional[Tuple[str, List[Term]]]:
+        """Longest label substring of the question; None if nothing links."""
+        text = question.lower()
+        best: Optional[Tuple[str, List[Term]]] = None
+        for label, entities in self._label_index.items():
+            if len(label) < 3 or label in _STOPWORDS:
+                continue
+            if label in text:
+                if best is None or len(label) > len(best[0]):
+                    best = (label, entities)
+        return best
+
+    def match_relation(self, question: str, exclude: str = "") -> Optional[Tuple[str, IRI]]:
+        """Longest relational pattern present in the question."""
+        text = question.lower()
+        if exclude:
+            text = text.replace(exclude, " ")
+        best: Optional[Tuple[str, str]] = None
+        for phrase, predicate in self._patterns.items():
+            if phrase in text and (best is None or len(phrase) > len(best[0])):
+                best = (phrase, predicate)
+        if best is None:
+            return None
+        phrase, local = best
+        if local in ("name", "surname", "givenName"):
+            return phrase, FOAF.term(local)
+        if local == "label":
+            return phrase, RDFS_LABEL
+        return phrase, DBO.term(local)
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+
+    def answer(self, question: str) -> QakisAnswer:
+        """One attempt at ``question``; factoid template only."""
+        linked = self.link_entity(question)
+        relation = self.match_relation(question, exclude=linked[0] if linked else "")
+        if linked is None or relation is None:
+            return QakisAnswer(processed=False)
+        label, entities = linked
+        phrase, predicate = relation
+
+        answers: Set[Term] = set()
+        for entity in entities:
+            answers.update(self._fetch(entity, predicate, forward=True))
+        if not answers:
+            for entity in entities:
+                answers.update(self._fetch(entity, predicate, forward=False))
+        return QakisAnswer(
+            processed=bool(answers),
+            answers=answers,
+            matched_entity=label,
+            matched_phrase=phrase,
+            predicate=predicate,
+        )
+
+    def _fetch(self, entity: Term, predicate: IRI, forward: bool) -> Set[Term]:
+        if forward:
+            pattern = TriplePattern(entity, predicate, Variable("x"))  # type: ignore[arg-type]
+        else:
+            if isinstance(entity, Literal):
+                return set()
+            pattern = TriplePattern(Variable("x"), predicate, entity)
+        result = self._evaluator.evaluate(select_query([pattern], distinct=True))
+        assert isinstance(result, SelectResult)
+        return result.value_set("x")
+
+    def answer_with_attempts(self, question: str, max_attempts: int = 3) -> QakisAnswer:
+        """Paraphrase-retry loop (the evaluation allows up to 3 attempts,
+        rephrasing without changing vocabulary, per Section 7.2)."""
+        attempts = [question] + self._paraphrases(question)
+        last = QakisAnswer(processed=False)
+        for text in attempts[:max_attempts]:
+            outcome = self.answer(text)
+            if outcome.processed:
+                return outcome
+            last = outcome
+        return last
+
+    @staticmethod
+    def _paraphrases(question: str) -> List[str]:
+        """Simple reorderings that keep the vocabulary unchanged."""
+        text = question.strip().rstrip("?")
+        words = text.split()
+        variants: List[str] = []
+        if len(words) > 2:
+            variants.append(" ".join(words[1:]))          # drop leading word
+            variants.append(" ".join(words[::-1]))        # crude inversion
+        return variants

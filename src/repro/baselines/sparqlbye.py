@@ -1,0 +1,223 @@
+"""SPARQLByE-style query-by-example (Diaz, Arenas, Benedikt, PVLDB'16).
+
+SPARQLByE reverse-engineers a SPARQL query from example answers the user
+supplies, then refines it from accept/reject feedback on the candidate
+answers it proposes.  Its key practical limitation — the user must
+already *know* correct answers — is why Table 1 shows it processing very
+few questions.
+
+Reproduced algorithm:
+
+* **Generalization** — given positive examples, collect every
+  ``(predicate, value)`` pair (outgoing), ``(value, predicate)`` pair
+  (incoming) and class membership shared by *all* examples; these become
+  the query's triple patterns (the maximally specific common query).
+* **Feedback loop** — evaluate the query, present candidates; the caller
+  marks them correct/incorrect.  Incorrect candidates trigger a
+  refinement pass that looks for any additional constraint separating
+  positives from the marked negatives; when no such constraint exists the
+  system "cannot learn any more" and stops (Section 7.2's protocol).
+* Literal-valued answer sets (counts, dates) rarely share a separating
+  structure, so they end partially correct or unprocessed — as observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import IRI, Literal, Term, Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.evaluator import QueryEvaluator
+from ..sparql.results import SelectResult
+from ..sparql.serializer import select_query
+from ..store.triplestore import TripleStore
+
+__all__ = ["SPARQLByE", "ByExampleResult"]
+
+#: Oracle feedback: candidate answer -> is it correct?
+FeedbackOracle = Callable[[Term], bool]
+
+
+@dataclass
+class ByExampleResult:
+    """Outcome of a reverse-engineering session."""
+
+    processed: bool
+    answers: Set[Term] = field(default_factory=set)
+    query_patterns: Tuple[TriplePattern, ...] = ()
+    iterations: int = 0
+    converged: bool = False
+
+
+class SPARQLByE:
+    """Reverse-engineer SELECT queries from example answers."""
+
+    def __init__(self, store: TripleStore, min_examples: int = 2) -> None:
+        self.store = store
+        self.min_examples = min_examples
+        self._evaluator = QueryEvaluator(store)
+
+    # ------------------------------------------------------------------
+    # Structure extraction
+    # ------------------------------------------------------------------
+
+    def _features_of(self, example: Term) -> Set[Tuple[str, IRI, Term]]:
+        """Structural features of one example node.
+
+        ``("out", p, v)`` — example --p--> v;  ``("in", p, v)`` — v --p-->
+        example.  Features keep concrete endpoints only (no variables), so
+        intersection over examples yields a conjunctive query.
+        """
+        features: Set[Tuple[str, IRI, Term]] = set()
+        if not isinstance(example, Literal):
+            for triple in self.store.match(TriplePattern(example, Variable("p"), Variable("o"))):  # type: ignore[arg-type]
+                features.add(("out", triple.predicate, triple.object))  # type: ignore[arg-type]
+        for triple in self.store.match(TriplePattern(Variable("s"), Variable("p"), example)):
+            features.add(("in", triple.predicate, triple.subject))  # type: ignore[arg-type]
+        return features
+
+    def _shared_features(self, examples: Sequence[Term]) -> Set[Tuple[str, IRI, Term]]:
+        shared: Optional[Set[Tuple[str, IRI, Term]]] = None
+        for example in examples:
+            features = self._features_of(example)
+            shared = features if shared is None else (shared & features)
+            if not shared:
+                return set()
+        return shared or set()
+
+    def _shared_predicates(self, examples: Sequence[Term]) -> Set[Tuple[str, IRI]]:
+        """Weaker generalization: shared predicate regardless of endpoint
+        (used when no concrete feature is shared, e.g. literal answers)."""
+        shared: Optional[Set[Tuple[str, IRI]]] = None
+        for example in examples:
+            features = {(direction, predicate)
+                        for direction, predicate, _ in self._features_of(example)}
+            shared = features if shared is None else (shared & features)
+            if not shared:
+                return set()
+        return shared or set()
+
+    # ------------------------------------------------------------------
+    # Query construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _patterns_from(
+        features: Set[Tuple[str, IRI, Term]],
+        weak: Set[Tuple[str, IRI]],
+    ) -> List[TriplePattern]:
+        x = Variable("x")
+        patterns: List[TriplePattern] = []
+        for direction, predicate, value in sorted(features, key=str):
+            if direction == "out":
+                patterns.append(TriplePattern(x, predicate, value))
+            else:
+                patterns.append(TriplePattern(value, predicate, x))  # type: ignore[arg-type]
+        if not patterns:
+            for i, (direction, predicate) in enumerate(sorted(weak, key=str)):
+                other = Variable(f"w{i}")
+                if direction == "out":
+                    patterns.append(TriplePattern(x, predicate, other))
+                else:
+                    patterns.append(TriplePattern(other, predicate, x))
+        return patterns
+
+    def _evaluate(self, patterns: Sequence[TriplePattern]) -> Set[Term]:
+        if not patterns:
+            return set()
+        result = self._evaluator.evaluate(select_query(list(patterns), distinct=True))
+        assert isinstance(result, SelectResult)
+        return result.value_set("x")
+
+    # ------------------------------------------------------------------
+    # The interactive session
+    # ------------------------------------------------------------------
+
+    def learn(
+        self,
+        examples: Sequence[Term],
+        oracle: FeedbackOracle,
+        max_iterations: int = 5,
+    ) -> ByExampleResult:
+        """Run the reverse-engineering loop.
+
+        ``examples`` are the user's positive answers (≥ ``min_examples``);
+        ``oracle`` stands in for the user's accept/reject clicks on
+        candidate answers.
+        """
+        if len(examples) < self.min_examples:
+            return ByExampleResult(processed=False)
+        positives: List[Term] = list(examples)
+        negatives: Set[Term] = set()
+
+        features = self._shared_features(positives)
+        weak = self._shared_predicates(positives)
+        patterns = self._patterns_from(features, weak)
+        if not patterns:
+            return ByExampleResult(processed=False)
+
+        iterations = 0
+        while iterations < max_iterations:
+            iterations += 1
+            candidates = self._evaluate(patterns)
+            if not candidates:
+                return ByExampleResult(
+                    processed=False, query_patterns=tuple(patterns), iterations=iterations
+                )
+            wrong = {c for c in candidates if not oracle(c)}
+            if not wrong:
+                return ByExampleResult(
+                    processed=True,
+                    answers=candidates,
+                    query_patterns=tuple(patterns),
+                    iterations=iterations,
+                    converged=True,
+                )
+            negatives.update(wrong)
+            refined = self._refine(patterns, positives, negatives)
+            if refined is None:
+                # Cannot learn any more: return what we have (partial).
+                return ByExampleResult(
+                    processed=True,
+                    answers=candidates,
+                    query_patterns=tuple(patterns),
+                    iterations=iterations,
+                    converged=False,
+                )
+            patterns = refined
+        return ByExampleResult(
+            processed=True,
+            answers=self._evaluate(patterns),
+            query_patterns=tuple(patterns),
+            iterations=iterations,
+            converged=False,
+        )
+
+    def _refine(
+        self,
+        patterns: List[TriplePattern],
+        positives: Sequence[Term],
+        negatives: Set[Term],
+    ) -> Optional[List[TriplePattern]]:
+        """Find one more constraint satisfied by all positives and by no
+        known negative; None when no separating feature exists."""
+        shared = self._shared_features(positives)
+        existing = set()
+        x = Variable("x")
+        for pattern in patterns:
+            if pattern.subject == x:
+                existing.add(("out", pattern.predicate, pattern.object))
+            else:
+                existing.add(("in", pattern.predicate, pattern.subject))
+        for feature in sorted(shared - existing, key=str):
+            direction, predicate, value = feature
+            if all(feature not in self._features_of(neg) for neg in negatives):
+                candidate = list(patterns)
+                if direction == "out":
+                    candidate.append(TriplePattern(x, predicate, value))
+                else:
+                    candidate.append(TriplePattern(value, predicate, x))  # type: ignore[arg-type]
+                return candidate
+        return None

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro.cli stats                 # dataset + cache summary
+    python -m repro.cli complete Kenn         # QCM suggestions
+    python -m repro.cli query 'SELECT ?w WHERE { ... }'
+    python -m repro.cli table1                # the Table 1 comparison
+    python -m repro.cli study --participants 8
+    python -m repro.cli init --save cache.json
+
+All commands stand up the synthetic dataset behind a simulated endpoint
+(``--scale tiny|small|medium``, ``--seed N``) and run Section 5
+initialization, exactly like :func:`repro.quickstart_server`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import EndpointConfig, SapphireConfig, SapphireServer, SparqlEndpoint
+from .data import DatasetConfig, build_dataset
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "tiny": DatasetConfig.tiny,
+    "small": DatasetConfig.small,
+    "medium": DatasetConfig.medium,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sapphire reproduction: SPARQL query assistance over RDF",
+    )
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny",
+                        help="synthetic dataset size (default: tiny)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="dataset seed (default: 42)")
+    parser.add_argument("--tree-capacity", type=int, default=500,
+                        help="suffix-tree capacity (default: 500)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("stats", help="print dataset and cache statistics")
+
+    complete = commands.add_parser("complete", help="QCM auto-completion")
+    complete.add_argument("term", help="the partially typed term")
+    complete.add_argument("-k", type=int, default=10, help="max suggestions")
+
+    query = commands.add_parser("query", help="run a SPARQL query + QSM")
+    query.add_argument("sparql", help="the query text")
+    query.add_argument("--no-suggest", action="store_true",
+                       help="skip QSM suggestions")
+    query.add_argument("--max-rows", type=int, default=20)
+
+    commands.add_parser("table1", help="run the Table 1 system comparison")
+
+    study = commands.add_parser("study", help="run the simulated user study")
+    study.add_argument("--participants", type=int, default=16)
+    study.add_argument("--study-seed", type=int, default=7)
+
+    init = commands.add_parser("init", help="initialize and optionally save the cache")
+    init.add_argument("--save", metavar="PATH", default=None,
+                      help="write the cache to PATH as JSON")
+    return parser
+
+
+def _make_server(args) -> tuple:
+    dataset = build_dataset(_SCALES[args.scale](seed=args.seed))
+    endpoint = SparqlEndpoint(dataset.store, EndpointConfig(timeout_s=1.0),
+                              name="dbpedia-mini")
+    server = SapphireServer(SapphireConfig(suffix_tree_capacity=args.tree_capacity))
+    server.register_endpoint(endpoint)
+    return server, dataset
+
+
+def _cmd_stats(args) -> int:
+    server, dataset = _make_server(args)
+    from .store import compute_stats
+
+    stats = compute_stats(dataset.store)
+    print(f"dataset: {stats.n_triples:,} triples, {stats.n_predicates} predicates, "
+          f"{stats.n_literals:,} distinct literals, {stats.n_entities:,} entities")
+    print(f"literal languages: {dict(sorted(stats.literal_language_counts.items()))}")
+    report = server.reports["dbpedia-mini"]
+    print(f"initialization: {report.total_queries} queries, "
+          f"{report.n_timeouts} timeouts, "
+          f"{report.simulated_seconds:.1f} simulated endpoint-seconds")
+    for key, value in server.cache_stats().items():
+        print(f"cache {key}: {value}")
+    return 0
+
+
+def _cmd_complete(args) -> int:
+    server, _ = _make_server(args)
+    result = server.complete(args.term, k=args.k)
+    if not result.completions:
+        print(f"no completions for {args.term!r}")
+        return 1
+    source = "suffix tree" if result.tree_hit else "residual bins"
+    print(f"{len(result.completions)} completions for {args.term!r} "
+          f"(first hit from the {source}):")
+    for completion in result.completions:
+        kinds = "/".join(completion.kinds)
+        print(f"  {completion.surface}   [{kinds}]")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    server, _ = _make_server(args)
+    outcome = server.run_query(args.sparql, suggest=not args.no_suggest)
+    print(f"{len(outcome.answers)} answers")
+    from .core.answer_table import AnswerTable
+
+    if outcome.answers.rows:
+        print(AnswerTable(outcome.answers).to_text(max_rows=args.max_rows))
+    if outcome.all_suggestions:
+        print("\nQSM suggestions:")
+        for i, suggestion in enumerate(outcome.all_suggestions):
+            print(f"  [{i}] {suggestion.message()}")
+    return 0 if outcome.answers.rows else 1
+
+
+def _cmd_table1(args) -> int:
+    server, dataset = _make_server(args)
+    from .eval import format_table, run_comparison
+
+    comparison = run_comparison(server, dataset.store)
+    print(format_table(comparison.table_rows(include_published=True),
+                       "Table 1 — QALD-style comparison"))
+    return 0
+
+
+def _cmd_study(args) -> int:
+    server, dataset = _make_server(args)
+    from .baselines import QAKiS
+    from .data.corpus import RELATIONAL_PATTERNS
+    from .eval import UserStudy, format_grouped_bars
+
+    qakis = QAKiS(dataset.store, RELATIONAL_PATTERNS)
+    results = UserStudy(server, qakis, n_participants=args.participants,
+                        seed=args.study_seed).run()
+    groups = {
+        d: {"QAKiS": results.success_rate("qakis", d),
+            "Sapphire": results.success_rate("sapphire", d)}
+        for d in ("easy", "medium", "difficult")
+    }
+    print(format_grouped_bars(groups, "Figure 8 — success rate (%)", unit="%"))
+    usage = results.qsm_usage()
+    print("\nQSM usage: " + ", ".join(f"{k} {v:.0f}%" for k, v in usage.items()))
+    return 0
+
+
+def _cmd_init(args) -> int:
+    server, _ = _make_server(args)
+    report = server.reports["dbpedia-mini"]
+    print(f"initialized: {report.total_queries} queries, "
+          f"{report.n_timeouts} timeouts")
+    print(f"cache: {server.cache_stats()}")
+    if args.save:
+        from .core.persistence import save_cache
+
+        save_cache(server.cache, args.save)
+        print(f"cache written to {args.save}")
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "complete": _cmd_complete,
+    "query": _cmd_query,
+    "table1": _cmd_table1,
+    "study": _cmd_study,
+    "init": _cmd_init,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Sapphire core: initialization, cache, QCM, QSM, server façade."""
+
+from .answer_table import AnswerTable
+from .cache import CachedTerm, SapphireCache
+from .config import SapphireConfig
+from .initialization import EndpointInitializer, InitializationReport, initialize_endpoint
+from .persistence import dumps_cache, load_cache, loads_cache, save_cache
+from .qcm import Completion, CompletionResult, QueryCompletionModule
+from .qsm_relax import Edge, GraphExpander, RelaxationSuggestion, StructureRelaxer
+from .qsm_terms import AlternativeTermsFinder, TermSuggestion
+from .sapphire import QueryBuilder, QueryOutcome, SapphireServer
+from .session import HistoryEntry, SapphireSession
+
+__all__ = [
+    "AnswerTable",
+    "save_cache",
+    "load_cache",
+    "dumps_cache",
+    "loads_cache",
+    "SapphireConfig",
+    "SapphireCache",
+    "CachedTerm",
+    "EndpointInitializer",
+    "InitializationReport",
+    "initialize_endpoint",
+    "QueryCompletionModule",
+    "Completion",
+    "CompletionResult",
+    "AlternativeTermsFinder",
+    "TermSuggestion",
+    "StructureRelaxer",
+    "RelaxationSuggestion",
+    "GraphExpander",
+    "Edge",
+    "QueryBuilder",
+    "QueryOutcome",
+    "SapphireServer",
+    "SapphireSession",
+    "HistoryEntry",
+]

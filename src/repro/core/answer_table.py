@@ -1,0 +1,165 @@
+"""The answer table (Section 4, Figure 4).
+
+After a query executes, Sapphire displays its answers in a manipulable
+table.  The paper's Figure 4 demonstrates the supported operations — all
+reproduced here:
+
+* **keyword search** — "the 1,051 answers to the query are filtered via a
+  keyword search on 'john'",
+* **sort by any column** — "... and the filtered answers are ordered by
+  the 'person' column",
+* **show and hide columns** — "a user can hide unnecessary columns",
+* **drag and drop** — answers can be pulled out of the table for use in
+  further queries (:meth:`AnswerTable.term_at`),
+* a **printable version** (:meth:`AnswerTable.to_text`).
+
+Operations are non-destructive: filters and column visibility apply to a
+view over the underlying result, and :meth:`reset` restores everything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..rdf.terms import IRI, Literal, Term
+from ..sparql.results import SelectResult
+
+__all__ = ["AnswerTable"]
+
+
+def _cell_text(term: Optional[Term]) -> str:
+    """The display string of one cell (what keyword search matches)."""
+    if term is None:
+        return ""
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.local_name().replace("_", " ")
+    return str(term)
+
+
+def _sort_key(term: Optional[Term]):
+    """Cells sort numerically when possible, else by display text;
+    unbound cells sort first (as in the engine's ORDER BY)."""
+    if term is None:
+        return (0, 0.0, "")
+    text = _cell_text(term)
+    try:
+        return (1, float(text), "")
+    except ValueError:
+        return (2, 0.0, text.lower())
+
+
+class AnswerTable:
+    """A manipulable view over one query's answers."""
+
+    def __init__(self, result: SelectResult) -> None:
+        self._result = result
+        self._hidden: set = set()
+        self._keyword: Optional[str] = None
+        self._order: Optional[tuple] = None  # (column, descending)
+
+    # ------------------------------------------------------------------
+    # View configuration
+    # ------------------------------------------------------------------
+
+    def search(self, keyword: str) -> "AnswerTable":
+        """Keep only rows with ``keyword`` in some *visible* cell
+        (case-insensitive).  Chainable."""
+        self._keyword = keyword.strip().lower() or None
+        return self
+
+    def clear_search(self) -> "AnswerTable":
+        self._keyword = None
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "AnswerTable":
+        """Sort rows by ``column`` (unknown columns raise KeyError)."""
+        if column not in self._result.variables:
+            raise KeyError(f"no such column: {column!r}")
+        self._order = (column, descending)
+        return self
+
+    def hide_column(self, column: str) -> "AnswerTable":
+        if column not in self._result.variables:
+            raise KeyError(f"no such column: {column!r}")
+        self._hidden.add(column)
+        return self
+
+    def show_column(self, column: str) -> "AnswerTable":
+        self._hidden.discard(column)
+        return self
+
+    def reset(self) -> "AnswerTable":
+        """Drop the filter, ordering and hidden columns."""
+        self._hidden.clear()
+        self._keyword = None
+        self._order = None
+        return self
+
+    # ------------------------------------------------------------------
+    # The view
+    # ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> List[str]:
+        """Visible columns, in projection order."""
+        return [name for name in self._result.variables if name not in self._hidden]
+
+    @property
+    def all_columns(self) -> List[str]:
+        return list(self._result.variables)
+
+    def rows(self) -> List[dict]:
+        """The visible rows after filter + sort, as name -> term dicts."""
+        visible = self.columns
+        rows = list(self._result.rows)
+        if self._keyword is not None:
+            rows = [
+                row for row in rows
+                if any(self._keyword in _cell_text(row.get(name)).lower()
+                       for name in visible)
+            ]
+        if self._order is not None:
+            column, descending = self._order
+            rows = sorted(rows, key=lambda row: _sort_key(row.get(column)),
+                          reverse=descending)
+        return [{name: row.get(name) for name in visible} for row in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows())
+
+    def term_at(self, row_index: int, column: str) -> Optional[Term]:
+        """The RDF term in one cell — what drag-and-drop hands to the
+        query composer (Section 4)."""
+        rows = self.rows()
+        if not 0 <= row_index < len(rows):
+            raise IndexError(f"row {row_index} out of range")
+        return rows[row_index].get(column)
+
+    def column_values(self, column: str) -> List[Optional[Term]]:
+        return [row.get(column) for row in self.rows()]
+
+    # ------------------------------------------------------------------
+    # Printable version
+    # ------------------------------------------------------------------
+
+    def to_text(self, max_rows: Optional[int] = 50) -> str:
+        """Render the current view as an aligned text table."""
+        visible = self.columns
+        rows = self.rows()
+        shown = rows if max_rows is None else rows[:max_rows]
+        cells = [[_cell_text(row.get(name)) for name in visible] for row in shown]
+        widths = [
+            max([len(name)] + [len(row[i]) for row in cells])
+            for i, name in enumerate(visible)
+        ]
+        lines = [
+            " | ".join(name.ljust(widths[i]) for i, name in enumerate(visible)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if max_rows is not None and len(rows) > max_rows:
+            lines.append(f"... ({len(rows) - max_rows} more rows)")
+        return "\n".join(lines)

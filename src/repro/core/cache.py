@@ -1,0 +1,252 @@
+"""The Sapphire cache: what initialization stores and how it is indexed.
+
+Per Section 5, the cache holds for every registered endpoint:
+
+* **all predicates** (there are few of them),
+* **all classes** from the RDFS hierarchy (needed for ``rdf:type``
+  objects, and retrieved by Q2 anyway),
+* the **filtered literals** (length < 80, target language), each with the
+  predicate it was found under,
+* a **significance score** per literal (Definition 1) for the ones the
+  significance queries covered.
+
+Per Section 5.2, the cache is indexed two ways:
+
+* a generalized **suffix tree** over all predicate/class surfaces plus the
+  top-``capacity`` most significant literal surfaces,
+* **residual bins** (length-keyed) over the remaining literal surfaces.
+
+One deviation worth noting: the QSM's alternative-literal search scans
+both the residual bins *and* the (small) tree-resident literal set, since
+a significant literal like "Kennedy" must be findable as an alternative
+for "Kennedys"; the paper's presentation only mentions the bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import IRI, Literal, Term
+from ..text.bins import LiteralBins
+from ..text.suffix_tree import GeneralizedSuffixTree
+from .config import SapphireConfig
+
+__all__ = ["CachedTerm", "SapphireCache"]
+
+
+@dataclass(frozen=True)
+class CachedTerm:
+    """One cached surface form and the RDF term(s) behind it."""
+
+    surface: str
+    term: Term
+    kind: str  # "predicate" | "class" | "literal"
+    significance: int = 0
+    source_predicate: Optional[IRI] = None
+
+    @property
+    def display(self) -> str:
+        return self.surface
+
+
+class SapphireCache:
+    """Cached predicates, classes and literals with the two-level index."""
+
+    def __init__(self, config: Optional[SapphireConfig] = None) -> None:
+        self.config = config or SapphireConfig()
+        self._predicates: Dict[str, List[CachedTerm]] = {}
+        self._classes: Dict[str, List[CachedTerm]] = {}
+        self._literals: Dict[str, List[CachedTerm]] = {}
+        self._significance: Dict[str, int] = {}
+        self.tree: Optional[GeneralizedSuffixTree] = None
+        self.bins = LiteralBins()
+        self._tree_surfaces: List[str] = []
+        self._tree_surface_set: Set[str] = set()
+        self._indexed = False
+
+    # ------------------------------------------------------------------
+    # Population (called by initialization)
+    # ------------------------------------------------------------------
+
+    def add_predicate(self, predicate: IRI) -> None:
+        surface = predicate.local_name()
+        entry = CachedTerm(surface, predicate, "predicate")
+        bucket = self._predicates.setdefault(surface.lower(), [])
+        if all(e.term != predicate for e in bucket):
+            bucket.append(entry)
+        self._indexed = False
+
+    def add_class(self, cls: IRI) -> None:
+        surface = cls.local_name()
+        entry = CachedTerm(surface, cls, "class")
+        bucket = self._classes.setdefault(surface.lower(), [])
+        if all(e.term != cls for e in bucket):
+            bucket.append(entry)
+        self._indexed = False
+
+    def add_literal(
+        self,
+        literal: Literal,
+        source_predicate: Optional[IRI] = None,
+        significance: int = 0,
+    ) -> None:
+        surface = literal.lexical
+        key = surface.lower()
+        entry = CachedTerm(surface, literal, "literal",
+                           significance=significance, source_predicate=source_predicate)
+        bucket = self._literals.setdefault(key, [])
+        if all(e.term != literal for e in bucket):
+            bucket.append(entry)
+        if significance:
+            self._significance[key] = max(self._significance.get(key, 0), significance)
+        self._indexed = False
+
+    def set_significance(self, surface: str, significance: int) -> None:
+        key = surface.lower()
+        current = self._significance.get(key, 0)
+        if significance > current:
+            self._significance[key] = significance
+
+    # ------------------------------------------------------------------
+    # Index construction (Section 5.2)
+    # ------------------------------------------------------------------
+
+    def build_indexes(self) -> None:
+        """Build the suffix tree and residual bins.
+
+        All predicates and classes go into the tree.  Literal surfaces are
+        ranked by significance; the top ``suffix_tree_capacity`` (minus the
+        predicate/class count) join them.  Everything else goes to the
+        residual bins.  Surfaces are indexed lower-cased so completion is
+        case-insensitive; display forms are preserved in the entries.
+        """
+        tree_surfaces: List[str] = []
+        seen: Set[str] = set()
+        for key in list(self._predicates) + list(self._classes):
+            if key not in seen:
+                seen.add(key)
+                tree_surfaces.append(key)
+
+        literal_budget = max(0, self.config.suffix_tree_capacity - len(tree_surfaces))
+        ranked = sorted(
+            self._literals.keys(),
+            key=lambda key: (-self._significance.get(key, 0), len(key), key),
+        )
+        tree_literals = [key for key in ranked[:literal_budget] if key not in seen]
+        residual_literals = ranked[literal_budget:]
+
+        tree_surfaces.extend(tree_literals)
+        self._tree_surfaces = tree_surfaces
+        self._tree_surface_set = set(tree_surfaces)
+        self.tree = GeneralizedSuffixTree(tree_surfaces)
+
+        self.bins = LiteralBins()
+        self.bins.add_all(residual_literals)
+        self._indexed = True
+
+    @property
+    def is_indexed(self) -> bool:
+        return self._indexed
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def entries_for_surface(self, surface: str) -> List[CachedTerm]:
+        """All cached terms whose surface equals ``surface`` (case-insensitive)."""
+        key = surface.lower()
+        entries: List[CachedTerm] = []
+        entries.extend(self._predicates.get(key, ()))
+        entries.extend(self._classes.get(key, ()))
+        entries.extend(self._literals.get(key, ()))
+        return entries
+
+    def predicates(self) -> List[CachedTerm]:
+        return [entry for bucket in self._predicates.values() for entry in bucket]
+
+    def classes(self) -> List[CachedTerm]:
+        return [entry for bucket in self._classes.values() for entry in bucket]
+
+    def literal_surfaces(self) -> List[str]:
+        return list(self._literals.keys())
+
+    def tree_literal_surfaces(self) -> List[str]:
+        """Lower-cased literal surfaces indexed in the suffix tree."""
+        pred_class = set(self._predicates) | set(self._classes)
+        return [s for s in self._tree_surfaces if s not in pred_class]
+
+    def in_tree(self, surface: str) -> bool:
+        return surface.lower() in self._tree_surface_set
+
+    def significance_of(self, surface: str) -> int:
+        return self._significance.get(surface.lower(), 0)
+
+    # ------------------------------------------------------------------
+    # Statistics (the Section 5 cost discussion)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_predicates(self) -> int:
+        return sum(len(bucket) for bucket in self._predicates.values())
+
+    @property
+    def n_classes(self) -> int:
+        return sum(len(bucket) for bucket in self._classes.values())
+
+    @property
+    def n_literals(self) -> int:
+        return sum(len(bucket) for bucket in self._literals.values())
+
+    @property
+    def n_tree_strings(self) -> int:
+        return len(self._tree_surfaces)
+
+    @property
+    def n_residual_literals(self) -> int:
+        return len(self.bins)
+
+    @property
+    def n_residual_bins(self) -> int:
+        return self.bins.bin_count
+
+    def stats(self) -> Dict[str, int]:
+        """Counters mirroring the paper's DBpedia initialization report."""
+        return {
+            "predicates": self.n_predicates,
+            "classes": self.n_classes,
+            "literals": self.n_literals,
+            "tree_strings": self.n_tree_strings,
+            "residual_literals": self.n_residual_literals,
+            "residual_bins": self.n_residual_bins,
+        }
+
+    def copy_with_capacity(self, capacity: int) -> "SapphireCache":
+        """A new cache with the same contents but a different suffix-tree
+        budget, freshly indexed.  Used by the index-split ablations (the
+        tree's linked nodes make deepcopy unsuitable)."""
+        import dataclasses
+
+        clone = SapphireCache(dataclasses.replace(self.config, suffix_tree_capacity=capacity))
+        clone._predicates = {key: list(bucket) for key, bucket in self._predicates.items()}
+        clone._classes = {key: list(bucket) for key, bucket in self._classes.items()}
+        clone._literals = {key: list(bucket) for key, bucket in self._literals.items()}
+        clone._significance = dict(self._significance)
+        clone.build_indexes()
+        return clone
+
+    def merge(self, other: "SapphireCache") -> None:
+        """Fold another endpoint's cache into this one (multi-endpoint
+        federations share one PUM cache)."""
+        for bucket in other._predicates.values():
+            for entry in bucket:
+                self.add_predicate(entry.term)  # type: ignore[arg-type]
+        for bucket in other._classes.values():
+            for entry in bucket:
+                self.add_class(entry.term)  # type: ignore[arg-type]
+        for bucket in other._literals.values():
+            for entry in bucket:
+                self.add_literal(entry.term, entry.source_predicate, entry.significance)  # type: ignore[arg-type]
+        for key, significance in other._significance.items():
+            self.set_significance(key, significance)
+        self._indexed = False

@@ -1,0 +1,90 @@
+"""Cache persistence.
+
+Initialization "happens only once for each endpoint" (Section 5.1) and
+took 17 hours for DBpedia — so the cached predicates, classes, literals
+and significance scores must survive server restarts.  This module
+serializes a :class:`~repro.core.cache.SapphireCache` to a JSON document
+and restores it; indexes (suffix tree, bins) are rebuilt on load, since
+they derive from the cached data and the configured tree capacity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..rdf.terms import IRI, Literal
+from .cache import SapphireCache
+from .config import SapphireConfig
+
+__all__ = ["save_cache", "load_cache", "dumps_cache", "loads_cache"]
+
+_FORMAT_VERSION = 1
+
+
+def dumps_cache(cache: SapphireCache) -> str:
+    """Serialize ``cache`` to a JSON string."""
+    literals = []
+    for surface in cache.literal_surfaces():
+        for entry in cache.entries_for_surface(surface):
+            if entry.kind != "literal":
+                continue
+            literal = entry.term
+            assert isinstance(literal, Literal)
+            literals.append({
+                "lexical": literal.lexical,
+                "lang": literal.lang,
+                "datatype": literal.datatype.value if literal.datatype else None,
+                "source_predicate": (
+                    entry.source_predicate.value if entry.source_predicate else None
+                ),
+                "significance": cache.significance_of(literal.lexical),
+            })
+    document = {
+        "version": _FORMAT_VERSION,
+        "predicates": sorted(e.term.value for e in cache.predicates()),  # type: ignore[union-attr]
+        "classes": sorted(e.term.value for e in cache.classes()),  # type: ignore[union-attr]
+        "literals": literals,
+    }
+    return json.dumps(document, ensure_ascii=False, indent=1)
+
+
+def loads_cache(text: str, config: Optional[SapphireConfig] = None) -> SapphireCache:
+    """Restore a cache from :func:`dumps_cache` output and rebuild indexes."""
+    document = json.loads(text)
+    version = document.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported cache format version: {version!r}")
+    cache = SapphireCache(config)
+    for value in document.get("predicates", ()):  # noqa: B007
+        cache.add_predicate(IRI(value))
+    for value in document.get("classes", ()):
+        cache.add_class(IRI(value))
+    for item in document.get("literals", ()):
+        datatype = item.get("datatype")
+        literal = Literal(
+            item["lexical"],
+            lang=item.get("lang"),
+            datatype=IRI(datatype) if datatype else None,
+        )
+        source = item.get("source_predicate")
+        cache.add_literal(
+            literal,
+            source_predicate=IRI(source) if source else None,
+            significance=int(item.get("significance", 0)),
+        )
+    cache.build_indexes()
+    return cache
+
+
+def save_cache(cache: SapphireCache, path: Union[str, Path]) -> None:
+    """Write ``cache`` to ``path`` as JSON."""
+    Path(path).write_text(dumps_cache(cache), encoding="utf-8")
+
+
+def load_cache(
+    path: Union[str, Path], config: Optional[SapphireConfig] = None
+) -> SapphireCache:
+    """Read a cache previously written by :func:`save_cache`."""
+    return loads_cache(Path(path).read_text(encoding="utf-8"), config)

@@ -1,0 +1,124 @@
+"""Query Completion Module (Section 6.1, Figure 5).
+
+Given the string ``t`` the user has typed so far, find k strings in the
+cached data that contain ``t``:
+
+1. Look ``t`` up in the suffix tree; matches return immediately (the
+   paper stresses that these arrive first and make the tool feel
+   responsive).
+2. If fewer than k matches, search the residual bins — only the bins of
+   literals with length in ``[|t|, |t| + γ]`` (suggestions much longer
+   than the typed string are not useful), scanned by P parallel workers
+   with Algorithm 1's task assignment.
+3. The shortest bin results fill the remaining slots.
+
+Variables (strings starting with ``?``) get no suggestions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .cache import CachedTerm, SapphireCache
+from .config import SapphireConfig
+
+__all__ = ["Completion", "CompletionResult", "QueryCompletionModule"]
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One auto-complete suggestion."""
+
+    surface: str
+    entries: tuple  # the CachedTerm objects behind this surface
+    source: str  # "tree" | "bins"
+
+    @property
+    def kinds(self) -> tuple:
+        return tuple(sorted({entry.kind for entry in self.entries}))
+
+
+@dataclass
+class CompletionResult:
+    """The k suggestions plus the timing split the paper reports."""
+
+    term: str
+    completions: List[Completion] = field(default_factory=list)
+    tree_hit: bool = False
+    tree_seconds: float = 0.0
+    bins_seconds: float = 0.0
+    bins_searched_fraction: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.tree_seconds + self.bins_seconds
+
+    def surfaces(self) -> List[str]:
+        return [completion.surface for completion in self.completions]
+
+    def __len__(self) -> int:
+        return len(self.completions)
+
+
+class QueryCompletionModule:
+    """Interactive completion over one (indexed) Sapphire cache."""
+
+    def __init__(self, cache: SapphireCache, config: Optional[SapphireConfig] = None) -> None:
+        if not cache.is_indexed:
+            cache.build_indexes()
+        self.cache = cache
+        self.config = config or cache.config
+
+    def complete(self, term: str, k: Optional[int] = None) -> CompletionResult:
+        """Suggest up to ``k`` cached strings containing ``term``."""
+        k = k if k is not None else self.config.k_suggestions
+        result = CompletionResult(term=term)
+        text = term.strip()
+        if not text or text.startswith("?"):
+            return result
+        needle = text.lower()
+
+        # Step 1: the suffix tree (predicates, classes, significant literals).
+        t0 = time.perf_counter()
+        tree_surfaces: List[str] = []
+        if self.cache.tree is not None:
+            tree_surfaces = self.cache.tree.find_containing(needle, limit=k)
+        result.tree_seconds = time.perf_counter() - t0
+        result.tree_hit = bool(tree_surfaces)
+        for surface in tree_surfaces:
+            entries = tuple(self.cache.entries_for_surface(surface))
+            if entries:
+                result.completions.append(Completion(entries[0].surface, entries, "tree"))
+
+        remaining = k - len(result.completions)
+        if remaining <= 0:
+            return result
+
+        # Step 2: residual bins of length |t| .. |t|+gamma.
+        min_len, max_len = len(needle), len(needle) + self.config.gamma
+        t0 = time.perf_counter()
+        matches = self.cache.bins.scan(
+            min_len, max_len, lambda lit: needle in lit, processes=self.config.processes
+        )
+        result.bins_seconds = time.perf_counter() - t0
+        result.bins_searched_fraction = 1.0 - self.cache.bins.selectivity(min_len, max_len)
+
+        seen = {completion.surface.lower() for completion in result.completions}
+        # The shortest results are returned (closest to the typed prefix).
+        for surface in sorted(matches, key=lambda s: (len(s), s)):
+            if surface in seen:
+                continue
+            seen.add(surface)
+            entries = tuple(self.cache.entries_for_surface(surface))
+            if not entries:
+                continue
+            result.completions.append(Completion(entries[0].surface, entries, "bins"))
+            if len(result.completions) >= k:
+                break
+        return result
+
+    def complete_surfaces(self, term: str, k: Optional[int] = None) -> List[str]:
+        """Convenience: just the suggested display strings."""
+        return self.complete(term, k).surfaces()

@@ -1,0 +1,237 @@
+"""QSM part 1: alternative query terms (Section 6.2.1, Algorithm 2).
+
+For every non-variable element of every triple pattern in the user's
+query, the QSM hunts for semantically close replacements:
+
+* **Predicates** (and class IRIs) — first expanded through the Lemon-style
+  lexicon (``wife``/``husband`` -> ``spouse``), then matched against the
+  cached predicate/class surfaces by Jaro–Winkler similarity ≥ θ = 0.7.
+* **Literals** — matched against cached literal surfaces of length within
+  ``[|l| − α, |l| + β]`` (α = 2, β = 3) by the same JW threshold, scanned
+  in parallel over the residual bins (plus the small tree-resident
+  literal set, see the cache module's docstring).
+
+One alternative query is constructed per replacement (one change at a
+time — the UI's "did you mean X instead of Y?" phrasing), the candidates
+are executed in similarity order, and the top k/2 predicate-change and
+k/2 literal-change queries *that return answers* are suggested, with
+their answers prefetched.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import IRI, Literal, Term, Variable
+from ..sparql.ast_nodes import Query
+from ..sparql.results import SelectResult
+from ..sparql.serializer import serialize_query
+from ..text.lexicon import Lexicon, default_lexicon, split_camel_case
+from ..text.similarity import jaro_winkler
+from .cache import CachedTerm, SapphireCache
+from .config import SapphireConfig
+
+__all__ = ["TermSuggestion", "AlternativeTermsFinder"]
+
+#: Executes a query AST somewhere (local store, endpoint, federation).
+QueryRunner = Callable[[Query], SelectResult]
+
+
+@dataclass
+class TermSuggestion:
+    """One 'did you mean ...?' suggestion with its prefetched answers."""
+
+    kind: str  # "predicate" | "literal"
+    triple_index: int
+    position: str  # "subject" | "predicate" | "object"
+    original: Term
+    replacement: Term
+    similarity: float
+    query: Query
+    query_text: str
+    n_answers: int
+    prefetched: Optional[SelectResult] = None
+
+    def message(self) -> str:
+        """The user-facing phrasing from Section 4."""
+        return (
+            f"In triple {self.triple_index + 1}, did you mean "
+            f"{self.replacement.n3()} instead of {self.original.n3()}? "
+            f"There are {self.n_answers} answers available."
+        )
+
+
+def _surface_of(term: Term) -> str:
+    if isinstance(term, IRI):
+        return split_camel_case(term.local_name())
+    if isinstance(term, Literal):
+        return term.lexical
+    return str(term)
+
+
+class AlternativeTermsFinder:
+    """Implements Algorithm 2 over one cache + query runner."""
+
+    def __init__(
+        self,
+        cache: SapphireCache,
+        runner: QueryRunner,
+        config: Optional[SapphireConfig] = None,
+        lexicon: Optional[Lexicon] = None,
+    ) -> None:
+        if not cache.is_indexed:
+            cache.build_indexes()
+        self.cache = cache
+        self.runner = runner
+        self.config = config or cache.config
+        self.lexicon = lexicon if lexicon is not None else default_lexicon()
+
+    # ------------------------------------------------------------------
+    # Candidate discovery
+    # ------------------------------------------------------------------
+
+    def predicate_alternatives(self, predicate: IRI) -> List[Tuple[CachedTerm, float]]:
+        """Cached predicates/classes similar to ``predicate`` or its lexica."""
+        forms = self.lexicon.get_lexica(predicate)
+        candidates = self.cache.predicates() + self.cache.classes()
+        scored: List[Tuple[CachedTerm, float]] = []
+        for entry in candidates:
+            if entry.term == predicate:
+                continue
+            entry_surface = split_camel_case(entry.surface)
+            best = max(jaro_winkler(form, entry_surface) for form in forms)
+            if best >= self.config.theta:
+                scored.append((entry, best))
+        scored.sort(key=lambda pair: (-pair[1], pair[0].surface))
+        return scored[: self.config.max_alternatives_per_term]
+
+    def literal_alternatives(self, literal: Literal) -> List[Tuple[CachedTerm, float]]:
+        """Cached literals JW-similar to ``literal`` within the α/β window."""
+        surface = literal.lexical
+        needle = surface.lower()
+        min_len = max(1, len(surface) - self.config.alpha)
+        max_len = len(surface) + self.config.beta
+
+        matches = self.cache.bins.scan_scored(
+            min_len, max_len,
+            lambda lit: jaro_winkler(needle, lit),
+            self.config.theta,
+            processes=self.config.processes,
+        )
+        # Also consider the tree-resident (significant) literal surfaces.
+        for tree_surface in self.cache.tree_literal_surfaces():
+            if min_len <= len(tree_surface) <= max_len:
+                score = jaro_winkler(needle, tree_surface)
+                if score >= self.config.theta:
+                    matches.append((tree_surface, score))
+
+        scored: List[Tuple[CachedTerm, float]] = []
+        seen = set()
+        for match_surface, score in sorted(matches, key=lambda p: -p[1]):
+            if match_surface == needle or match_surface in seen:
+                continue
+            seen.add(match_surface)
+            for entry in self.cache.entries_for_surface(match_surface):
+                if entry.kind == "literal" and entry.term != literal:
+                    scored.append((entry, score))
+        scored.sort(key=lambda pair: (-pair[1], pair[0].surface))
+        return scored[: self.config.max_alternatives_per_term]
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: build, execute, rank alternative queries
+    # ------------------------------------------------------------------
+
+    def suggest(self, query: Query, k: Optional[int] = None) -> List[TermSuggestion]:
+        """Top-k one-term-change queries that return answers."""
+        k = k if k is not None else self.config.k_suggestions
+        predicate_candidates: List[TermSuggestion] = []
+        literal_candidates: List[TermSuggestion] = []
+
+        for index, pattern in enumerate(query.where.patterns):
+            positions = (
+                ("subject", pattern.subject),
+                ("predicate", pattern.predicate),
+                ("object", pattern.object),
+            )
+            for position, element in positions:
+                if isinstance(element, Variable):
+                    continue
+                if isinstance(element, IRI):
+                    for entry, score in self.predicate_alternatives(element):
+                        predicate_candidates.append(self._make_candidate(
+                            query, "predicate", index, position, element, entry, score
+                        ))
+                elif isinstance(element, Literal):
+                    for entry, score in self.literal_alternatives(element):
+                        literal_candidates.append(self._make_candidate(
+                            query, "literal", index, position, element, entry, score
+                        ))
+
+        predicate_candidates.sort(key=lambda s: -s.similarity)
+        literal_candidates.sort(key=lambda s: -s.similarity)
+
+        suggestions: List[TermSuggestion] = []
+        suggestions.extend(self._top_with_answers(predicate_candidates, k // 2))
+        suggestions.extend(self._top_with_answers(literal_candidates, k // 2))
+        return suggestions
+
+    def _make_candidate(
+        self,
+        query: Query,
+        kind: str,
+        triple_index: int,
+        position: str,
+        original: Term,
+        entry: CachedTerm,
+        score: float,
+    ) -> TermSuggestion:
+        new_query = _replace_term(query, triple_index, position, entry.term)
+        return TermSuggestion(
+            kind=kind,
+            triple_index=triple_index,
+            position=position,
+            original=original,
+            replacement=entry.term,
+            similarity=score,
+            query=new_query,
+            query_text=serialize_query(new_query),
+            n_answers=-1,  # filled on execution
+        )
+
+    def _top_with_answers(
+        self, candidates: List[TermSuggestion], quota: int
+    ) -> List[TermSuggestion]:
+        """Execute candidates in similarity order; keep those with answers."""
+        kept: List[TermSuggestion] = []
+        for candidate in candidates:
+            if len(kept) >= quota:
+                break
+            try:
+                result = self.runner(candidate.query)
+            except Exception:
+                continue
+            if result.rows:
+                candidate.n_answers = len(result.rows)
+                candidate.prefetched = result  # prefetching (Section 4)
+                kept.append(candidate)
+        return kept
+
+
+def _replace_term(query: Query, triple_index: int, position: str, new_term: Term) -> Query:
+    """A deep-copied query with one term of one pattern swapped."""
+    from ..rdf.triples import TriplePattern
+
+    new_query = copy.deepcopy(query)
+    pattern = new_query.where.patterns[triple_index]
+    parts = {
+        "subject": pattern.subject,
+        "predicate": pattern.predicate,
+        "object": pattern.object,
+    }
+    parts[position] = new_term
+    new_query.where.patterns[triple_index] = TriplePattern(
+        parts["subject"], parts["predicate"], parts["object"]
+    )
+    return new_query

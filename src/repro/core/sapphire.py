@@ -1,0 +1,281 @@
+"""The Sapphire server (Section 3's architecture, Figure 1).
+
+``SapphireServer`` sits between the user and one or more SPARQL
+endpoints:
+
+* endpoints are **registered** and then **initialized** (Section 5),
+  populating one merged :class:`~repro.core.cache.SapphireCache`;
+* queries execute through the **federated query processor**;
+* the **Predictive User Model** is exposed as two calls:
+  :meth:`complete` (QCM, invoked per keystroke) and the suggestions
+  attached to every :meth:`run_query` result (QSM: alternative terms +
+  structure relaxation, answers prefetched).
+
+``QueryBuilder`` models the UI of Section 4: one text box per triple
+position; terms are either variables, picked completions (which carry
+their RDF term), or raw strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..endpoint.endpoint import SparqlEndpoint
+from ..federation.fedx import FederatedQueryProcessor
+from ..rdf.terms import IRI, Literal, Term, Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.ast_nodes import (
+    Aggregate,
+    BinaryExpr,
+    Expression,
+    GraphPattern,
+    OrderCondition,
+    Query,
+    SelectItem,
+    TermExpr,
+)
+from ..sparql.parser import parse_query
+from ..sparql.results import SelectResult
+from ..sparql.serializer import serialize_query
+from ..text.lexicon import Lexicon
+from .cache import SapphireCache
+from .config import SapphireConfig
+from .initialization import EndpointInitializer, InitializationReport
+from .qcm import CompletionResult, QueryCompletionModule
+from .qsm_relax import RelaxationSuggestion, StructureRelaxer
+from .qsm_terms import AlternativeTermsFinder, TermSuggestion
+
+__all__ = ["QueryBuilder", "QueryOutcome", "SapphireServer"]
+
+
+@dataclass
+class QueryOutcome:
+    """What the user sees after clicking Run: answers + suggestions."""
+
+    query: Query
+    query_text: str
+    answers: SelectResult
+    term_suggestions: List[TermSuggestion] = field(default_factory=list)
+    relaxations: List[RelaxationSuggestion] = field(default_factory=list)
+    qsm_seconds: float = 0.0
+
+    @property
+    def has_answers(self) -> bool:
+        return bool(self.answers.rows)
+
+    @property
+    def all_suggestions(self) -> List[Union[TermSuggestion, RelaxationSuggestion]]:
+        ordered: List[Union[TermSuggestion, RelaxationSuggestion]] = []
+        ordered.extend(self.term_suggestions)
+        ordered.extend(self.relaxations)
+        return ordered
+
+
+class QueryBuilder:
+    """Programmatic stand-in for the triple-pattern text boxes of Figure 2."""
+
+    def __init__(self) -> None:
+        self._patterns: List[TriplePattern] = []
+        self._filters: List[Expression] = []
+        self._select: Optional[List[SelectItem]] = None
+        self._order_by: List[OrderCondition] = []
+        self._limit: Optional[int] = None
+        self._count_var: Optional[Tuple[str, str]] = None
+        self._aggregate: Optional[Tuple[str, str, str]] = None
+
+    def triple(self, subject: Term, predicate: Term, obj: Term) -> "QueryBuilder":
+        self._patterns.append(TriplePattern(subject, predicate, obj))
+        return self
+
+    def filter(self, expression: Expression) -> "QueryBuilder":
+        self._filters.append(expression)
+        return self
+
+    def compare(self, variable: str, op: str, value: Union[int, float, str]) -> "QueryBuilder":
+        """Add ``FILTER (?variable op value)`` (numbers become literals)."""
+        from ..rdf.terms import XSD_INTEGER
+
+        if isinstance(value, (int, float)):
+            literal = Literal(str(value), datatype=XSD_INTEGER)
+        else:
+            literal = Literal(str(value))
+        if op == "starts":
+            from ..sparql.ast_nodes import FunctionCall
+
+            self._filters.append(FunctionCall(
+                "STRSTARTS",
+                (FunctionCall("STR", (TermExpr(Variable(variable)),)), TermExpr(literal)),
+            ))
+            return self
+        self._filters.append(BinaryExpr(op, TermExpr(Variable(variable)), TermExpr(literal)))
+        return self
+
+    def count(self, variable: str, alias: str = "count") -> "QueryBuilder":
+        self._count_var = (variable, alias)
+        return self
+
+    def aggregate(self, name: str, variable: str, alias: str = "agg") -> "QueryBuilder":
+        self._aggregate = (name.upper(), variable, alias)
+        return self
+
+    def order_by(self, variable: str, descending: bool = False) -> "QueryBuilder":
+        self._order_by.append(
+            OrderCondition(TermExpr(Variable(variable)), ascending=not descending)
+        )
+        return self
+
+    def limit(self, n: int) -> "QueryBuilder":
+        self._limit = n
+        return self
+
+    def build(self) -> Query:
+        """Assemble the Query AST (all variables projected by default,
+        as the Section 4 UI does)."""
+        query = Query(form="SELECT", distinct=True)
+        query.where = GraphPattern(patterns=list(self._patterns), filters=list(self._filters))
+        if self._count_var is not None:
+            variable, alias = self._count_var
+            query.select_items = [SelectItem(
+                Aggregate("COUNT", TermExpr(Variable(variable)), distinct=True), alias=alias
+            )]
+        elif self._aggregate is not None:
+            name, variable, alias = self._aggregate
+            query.select_items = [SelectItem(
+                Aggregate(name, TermExpr(Variable(variable))), alias=alias
+            )]
+        else:
+            query.select_star = True
+        query.order_by = list(self._order_by)
+        query.limit = self._limit
+        return query
+
+
+class SapphireServer:
+    """One running Sapphire instance (Figure 1's middle box)."""
+
+    def __init__(
+        self,
+        config: Optional[SapphireConfig] = None,
+        lexicon: Optional[Lexicon] = None,
+    ) -> None:
+        self.config = config or SapphireConfig()
+        self.lexicon = lexicon
+        self.endpoints: List[SparqlEndpoint] = []
+        self.cache = SapphireCache(self.config)
+        self.reports: Dict[str, InitializationReport] = {}
+        self._federation: Optional[FederatedQueryProcessor] = None
+        self._qcm: Optional[QueryCompletionModule] = None
+        self._terms_finder: Optional[AlternativeTermsFinder] = None
+        self._relaxer: Optional[StructureRelaxer] = None
+
+    # ------------------------------------------------------------------
+    # Endpoint lifecycle
+    # ------------------------------------------------------------------
+
+    def register_endpoint(
+        self,
+        endpoint: SparqlEndpoint,
+        warehouse: bool = False,
+    ) -> InitializationReport:
+        """Register ``endpoint`` and run Section 5 initialization on it."""
+        self.endpoints.append(endpoint)
+        initializer = EndpointInitializer(endpoint, self.config, warehouse=warehouse)
+        cache = initializer.run()
+        self.cache.merge(cache)
+        self.cache.build_indexes()
+        self.reports[endpoint.name] = initializer.report
+        self._federation = FederatedQueryProcessor(self.endpoints)
+        self._qcm = None
+        self._terms_finder = None
+        self._relaxer = None
+        return initializer.report
+
+    @property
+    def federation(self) -> FederatedQueryProcessor:
+        if self._federation is None:
+            raise RuntimeError("register at least one endpoint first")
+        return self._federation
+
+    def _run_ast(self, query: Query) -> SelectResult:
+        return self.federation.run(query)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # PUM: completion (QCM)
+    # ------------------------------------------------------------------
+
+    @property
+    def qcm(self) -> QueryCompletionModule:
+        if self._qcm is None:
+            self._qcm = QueryCompletionModule(self.cache, self.config)
+        return self._qcm
+
+    def complete(self, text: str, k: Optional[int] = None) -> CompletionResult:
+        """Auto-complete suggestions for the partially typed ``text``."""
+        return self.qcm.complete(text, k)
+
+    # ------------------------------------------------------------------
+    # PUM: suggestion (QSM)
+    # ------------------------------------------------------------------
+
+    @property
+    def terms_finder(self) -> AlternativeTermsFinder:
+        if self._terms_finder is None:
+            self._terms_finder = AlternativeTermsFinder(
+                self.cache, self._run_ast, self.config, self.lexicon
+            )
+        return self._terms_finder
+
+    @property
+    def relaxer(self) -> StructureRelaxer:
+        if self._relaxer is None:
+            self._relaxer = StructureRelaxer(self.cache, self._run_ast, self.config)
+        return self._relaxer
+
+    def run_query(
+        self,
+        query: Union[str, Query, QueryBuilder],
+        suggest: bool = True,
+    ) -> QueryOutcome:
+        """Execute a query and (simultaneously, in the UI) gather QSM
+        suggestions.  Suggestions are produced for every query, answers
+        or not (Section 3)."""
+        import time as _time
+
+        if isinstance(query, QueryBuilder):
+            query = query.build()
+        if isinstance(query, str):
+            query = parse_query(query)
+        answers = self._run_ast(query)
+        outcome = QueryOutcome(
+            query=query, query_text=serialize_query(query), answers=answers
+        )
+        if not suggest:
+            return outcome
+        t0 = _time.perf_counter()
+        outcome.term_suggestions = self.terms_finder.suggest(query)
+        outcome.relaxations = list(self.relaxer.ground_literals(query))
+        literal_alternatives = self._literal_alternatives_map(query)
+        outcome.relaxations.extend(self.relaxer.relax(query, literal_alternatives))
+        outcome.qsm_seconds = _time.perf_counter() - t0
+        return outcome
+
+    def _literal_alternatives_map(self, query: Query) -> Dict[Literal, List[Literal]]:
+        """Seed-group inputs: each query literal's top JW alternatives."""
+        alternatives: Dict[Literal, List[Literal]] = {}
+        for pattern in query.where.patterns:
+            for term in pattern.as_tuple():
+                if isinstance(term, Literal) and term not in alternatives:
+                    found = self.terms_finder.literal_alternatives(term)
+                    alternatives[term] = [
+                        entry.term for entry, _ in found  # type: ignore[misc]
+                        if isinstance(entry.term, Literal)
+                    ]
+        return alternatives
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, int]:
+        return self.cache.stats()

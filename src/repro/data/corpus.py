@@ -1,0 +1,150 @@
+"""Training corpora for the natural-language baselines.
+
+QAKiS learns *relational patterns* — different natural-language ways of
+expressing the same RDF relation — from Wikipedia; KBQA learns *question
+templates* from a large Q&A corpus (Yahoo! Answers) plus template ->
+predicate mappings.  Neither corpus is available offline, so we provide
+synthetic equivalents with the same information content:
+
+* :data:`RELATIONAL_PATTERNS` — phrase -> predicate local-name pairs, the
+  output QAKiS's pattern extraction would produce for our ontology.
+* :func:`qa_corpus` — (question template, predicate) pairs standing in
+  for what KBQA's template learning distils from its QA corpus.  KBQA is
+  factoid-only, and so is this corpus.
+
+Both include distractor phrasing and many-way synonyms so that matching is
+non-trivial (several phrases are ambiguous between predicates, which is
+what gives the NL baselines their characteristic precision loss).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["RELATIONAL_PATTERNS", "qa_corpus", "TEMPLATE_CORPUS"]
+
+#: (surface phrase, predicate local name) — the relation-pattern table a
+#: QAKiS-style extraction pipeline would learn.  Multiple phrases map to
+#: the same predicate; a few phrases are deliberately ambiguous.
+RELATIONAL_PATTERNS: Sequence[Tuple[str, str]] = (
+    ("wife", "spouse"),
+    ("husband", "spouse"),
+    ("married to", "spouse"),
+    ("is married", "spouse"),
+    ("spouse", "spouse"),
+    ("children", "child"),
+    ("child", "child"),
+    ("son", "child"),
+    ("daughter", "child"),
+    ("parents", "parent"),
+    ("father", "parent"),
+    ("mother", "parent"),
+    ("vice president", "vicePresident"),
+    ("deputy", "vicePresident"),
+    ("time zone", "timeZone"),
+    ("currency", "currency"),
+    ("designer", "designer"),
+    ("designed by", "designer"),
+    ("creator", "creator"),
+    ("created by", "creator"),
+    ("founded by", "creator"),
+    ("depth", "depth"),
+    ("how deep", "depth"),
+    ("population", "populationTotal"),
+    ("people living", "populationTotal"),
+    ("inhabitants", "populationTotal"),
+    ("capital", "capital"),
+    ("instruments", "instrument"),
+    ("plays", "instrument"),
+    ("located in", "location"),
+    ("location", "location"),
+    ("starts in", "sourceCountry"),
+    ("source", "sourceCountry"),
+    ("country", "country"),
+    ("nickname", "nickName"),
+    ("is called", "nickName"),
+    ("known as", "nickName"),
+    ("birth date", "birthDate"),
+    ("birthday", "birthDate"),
+    ("born on", "birthDate"),
+    ("birthdays", "birthDate"),
+    ("born in", "birthPlace"),       # ambiguous with birthDate ("born in 1945")
+    ("died in", "deathPlace"),
+    ("revenue", "revenue"),
+    ("income", "revenue"),
+    ("budget", "budget"),
+    ("pages", "numberOfPages"),
+    ("director", "director"),
+    ("directed by", "director"),
+    ("films directed by", "director"),
+    ("starring", "starring"),
+    ("actors", "starring"),
+    ("stars", "starring"),
+    ("publisher", "publisher"),
+    ("published by", "publisher"),
+    ("author", "author"),
+    ("written by", "author"),
+    ("books by", "author"),
+    ("alma mater", "almaMater"),
+    ("graduated from", "almaMater"),
+    ("studied at", "almaMater"),
+    ("affiliated with", "affiliation"),
+    ("industry", "industry"),
+)
+
+
+#: (question template, predicate local name).  ``$E`` marks the entity
+#: slot.  These are the distilled templates a KBQA-style learner derives
+#: from its QA corpus; they cover only factoid forms.
+TEMPLATE_CORPUS: Sequence[Tuple[str, str]] = (
+    ("what is the capital of $E", "capital"),
+    ("capital of $E", "capital"),
+    ("what is the population of $E", "populationTotal"),
+    ("population of $E", "populationTotal"),
+    ("how many people live in $E", "populationTotal"),
+    ("what is the currency of $E", "currency"),
+    ("currency of $E", "currency"),
+    ("who is the wife of $E", "spouse"),
+    ("wife of $E", "spouse"),
+    ("$E's wife", "spouse"),
+    ("who is $E married to", "spouse"),
+    ("who are the children of $E", "child"),
+    ("children of $E", "child"),
+    ("who created $E", "creator"),
+    ("creator of $E", "creator"),
+    ("who designed $E", "designer"),
+    ("designer of $E", "designer"),
+    ("what is the time zone of $E", "timeZone"),
+    ("time zone of $E", "timeZone"),
+    ("how deep is $E", "depth"),
+    ("depth of $E", "depth"),
+    ("what is the revenue of $E", "revenue"),
+    ("revenue of $E", "revenue"),
+    ("when was $E born", "birthDate"),
+    ("birth date of $E", "birthDate"),
+    ("what instruments does $E play", "instrument"),
+    ("instruments played by $E", "instrument"),
+    ("where is $E located", "location"),
+    ("what country is $E in", "country"),
+    ("country of $E", "country"),
+    ("nickname of $E", "nickName"),
+    ("who is called $E", "nickName"),
+    ("vice president of $E", "vicePresident"),
+    ("$E's vice president", "vicePresident"),
+)
+
+
+def qa_corpus(expansion_factor: int = 3) -> List[Tuple[str, str]]:
+    """An expanded (question, predicate) corpus for KBQA's learner.
+
+    Real QA corpora contain many noisy paraphrases per template; we expand
+    each template with deterministic surface variations so the learner has
+    something to generalize over.
+    """
+    corpus: List[Tuple[str, str]] = []
+    decorations = ("", "please tell me ", "i want to know ")
+    for template, predicate in TEMPLATE_CORPUS:
+        for i in range(expansion_factor):
+            decoration = decorations[i % len(decorations)]
+            corpus.append((decoration + template, predicate))
+    return corpus

@@ -1,0 +1,243 @@
+"""Hand-planted entities that make the question workload answerable.
+
+The QALD-5-derived questions of Appendix B reference real-world facts
+(Jack Kerouac's Viking Press books, JFK's vice president, ...).  The
+synthetic dataset plants exactly those facts — with the same *structural*
+quirks the paper exploits, e.g. the Kerouac/Viking-Press example of
+Figure 6 where the user's intended one-hop query does not match the
+data's two-hop structure, and the ~1,000 people with surname "Kennedy"
+behind the query-suggestion example of Figure 2.
+
+Each spec is ``(local_name, class_name, literals, links)`` where
+``literals`` maps predicate local-names to literal specs and ``links``
+maps predicate local-names to lists of entity local-names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+LiteralSpec = Union[str, int, float, Tuple[str, str]]  # value or (value, kind)
+EntitySpec = Tuple[str, str, Dict[str, Union[LiteralSpec, List[LiteralSpec]]], Dict[str, List[str]]]
+
+__all__ = ["PLANTED_ENTITIES"]
+
+
+def _person(local: str, name: str, cls: str = "Person", **extra) -> EntitySpec:
+    literals: Dict = {"label": name, "name": name}
+    parts = name.rsplit(" ", 1)
+    if len(parts) == 2:
+        literals["givenName"] = parts[0]
+        literals["surname"] = parts[1]
+    links: Dict[str, List[str]] = {}
+    for key, value in extra.items():
+        if key in ("birthDate", "deathDate", "nickName"):
+            literals[key] = value
+        else:
+            links[key] = value if isinstance(value, list) else [value]
+    return (local, cls, literals, links)
+
+
+PLANTED_ENTITIES: Sequence[EntitySpec] = (
+    # ------------------------------------------------------------------
+    # Countries, cities, currencies, time zones  (easy Q1, Q3, Q6, E8 medium)
+    # ------------------------------------------------------------------
+    ("India", "Country", {"label": "India"}, {}),
+    ("United_States", "Country", {"label": "United States"}, {"currency": ["United_States_dollar"]}),
+    ("Australia", "Country", {"label": "Australia"}, {"capital": ["Canberra"], "currency": ["Australian_dollar"]}),
+    ("Canada", "Country", {"label": "Canada"}, {"capital": ["Ottawa"]}),
+    ("Czech_Republic", "Country", {"label": "Czech Republic"}, {"currency": ["Czech_koruna"], "capital": ["Prague"]}),
+    ("United_Kingdom", "Country", {"label": "United Kingdom"}, {"capital": ["London"]}),
+    ("Spain", "Country", {"label": "Spain"}, {"capital": ["Madrid"]}),
+    ("Greece", "Country", {"label": "Greece"}, {"capital": ["Athens"]}),
+    ("Czech_koruna", "Currency", {"label": "Czech koruna"}, {}),
+    ("United_States_dollar", "Currency", {"label": "United States dollar"}, {}),
+    ("Australian_dollar", "Currency", {"label": "Australian dollar"}, {}),
+    ("Salt_Lake_City", "City", {"label": "Salt Lake City", "timeZone": "Mountain Time Zone", "populationTotal": 200133}, {"country": ["United_States"]}),
+    ("Canberra", "City", {"label": "Canberra", "populationTotal": 395790}, {"country": ["Australia"]}),
+    ("Sydney", "City", {"label": "Sydney", "populationTotal": 4840628}, {"country": ["Australia"]}),
+    ("Melbourne", "City", {"label": "Melbourne", "populationTotal": 4440328}, {"country": ["Australia"]}),
+    ("Brisbane", "City", {"label": "Brisbane", "populationTotal": 2274560}, {"country": ["Australia"]}),
+    ("Toronto", "City", {"label": "Toronto", "populationTotal": 2731571}, {"country": ["Canada"]}),
+    ("Montreal", "City", {"label": "Montreal", "populationTotal": 1704694}, {"country": ["Canada"]}),
+    ("Ottawa", "City", {"label": "Ottawa", "populationTotal": 934243}, {"country": ["Canada"]}),
+    ("Vancouver", "City", {"label": "Vancouver", "populationTotal": 631486}, {"country": ["Canada"]}),
+    ("New_York_City", "City", {"label": "New York", "populationTotal": 8175133}, {"country": ["United_States"]}),
+    ("Prague", "City", {"label": "Prague", "populationTotal": 1280508}, {"country": ["Czech_Republic"]}),
+    ("London", "City", {"label": "London", "populationTotal": 8673713}, {"country": ["United_Kingdom"]}),
+    ("Madrid", "City", {"label": "Madrid", "populationTotal": 3165235}, {"country": ["Spain"]}),
+    ("Athens", "City", {"label": "Athens", "populationTotal": 664046}, {"country": ["Greece"]}),
+    ("Riga", "City", {"label": "Riga", "populationTotal": 641007}, {}),
+    ("Ganges", "River", {"label": "Ganges"}, {"sourceCountry": ["India"]}),
+    ("Limerick_Lake", "Lake", {"label": "Limerick Lake"}, {"country": ["Canada"]}),
+    ("Lake_Placid", "Lake", {"label": "Lake Placid", "depth": 15}, {"country": ["United_States"]}),
+    ("Fort_Knox", "MilitaryStructure", {"label": "Fort Knox"}, {"location": ["Kentucky"]}),
+    ("Kentucky", "PopulatedPlace", {"label": "Kentucky"}, {"country": ["United_States"]}),
+    ("Brooklyn_Bridge", "Bridge", {"label": "Brooklyn Bridge"}, {"designer": ["John_A_Roebling"], "location": ["New_York_City"]}),
+
+    # ------------------------------------------------------------------
+    # People (easy Q2, Q4, Q5, Q7, Q8, Q9; medium; difficult)
+    # ------------------------------------------------------------------
+    _person("John_F_Kennedy", "John F. Kennedy", "President",
+            birthDate="1917-05-29", deathDate="1963-11-22",
+            vicePresident="Lyndon_B_Johnson", spouse="Jacqueline_Kennedy",
+            child=["Caroline_Kennedy", "John_F_Kennedy_Jr"], birthPlace="United_States"),
+    _person("Lyndon_B_Johnson", "Lyndon B. Johnson", "President",
+            birthDate="1908-08-27", birthPlace="United_States"),
+    _person("Jacqueline_Kennedy", "Jacqueline Kennedy", birthDate="1929-07-28"),
+    _person("Caroline_Kennedy", "Caroline Kennedy", birthDate="1957-11-27"),
+    _person("John_F_Kennedy_Jr", "John Kennedy Jr.", birthDate="1960-11-25"),
+    _person("Robert_F_Kennedy", "Robert F. Kennedy", "Politician",
+            birthDate="1925-11-20", child=["Kathleen_Kennedy_Townsend", "Joseph_P_Kennedy_II"]),
+    _person("Kathleen_Kennedy_Townsend", "Kathleen Kennedy Townsend", "Politician",
+            birthDate="1951-07-04", spouse="David_Lee_Townsend"),
+    _person("Joseph_P_Kennedy_II", "Joseph P. Kennedy II", "Politician", birthDate="1952-09-24"),
+    _person("David_Lee_Townsend", "David Lee Townsend", birthDate="1948-01-01"),
+    _person("Tom_Hanks", "Tom Hanks", "Actor", birthDate="1956-07-09",
+            spouse="Rita_Wilson", birthPlace="United_States"),
+    _person("Rita_Wilson", "Rita Wilson", "Actor", birthDate="1956-10-26"),
+    _person("Margaret_Thatcher", "Margaret Thatcher", "Politician",
+            birthDate="1925-10-13", child=["Mark_Thatcher", "Carol_Thatcher"]),
+    _person("Mark_Thatcher", "Mark Thatcher", birthDate="1953-08-15"),
+    _person("Carol_Thatcher", "Carol Thatcher", birthDate="1953-08-15"),
+    _person("Abraham_Lincoln", "Abraham Lincoln", "President",
+            birthDate="1809-02-12", spouse="Mary_Todd_Lincoln"),
+    _person("Mary_Todd_Lincoln", "Mary Todd Lincoln", birthDate="1818-12-13"),
+    _person("Jimmy_Wales", "Jimmy Wales", birthDate="1966-08-07"),
+    _person("Larry_Sanger", "Larry Sanger", birthDate="1968-07-16"),
+    ("Wikipedia", "Website", {"label": "Wikipedia"}, {"creator": ["Jimmy_Wales", "Larry_Sanger"]}),
+    _person("Cat_Stevens", "Cat Stevens", "MusicalArtist", birthDate="1948-07-21",
+            instrument=["Guitar", "Piano"]),
+    ("Guitar", "Instrument", {"label": "Guitar"}, {}),
+    ("Piano", "Instrument", {"label": "Piano"}, {}),
+    _person("Juan_Carlos_I", "Juan Carlos I", "Royalty", birthDate="1938-01-05",
+            spouse="Queen_Sofia"),
+    _person("Queen_Sofia", "Queen Sofia of Spain", "Royalty", birthDate="1938-11-02",
+            parent=["Paul_of_Greece", "Frederica_of_Hanover"]),
+    _person("Paul_of_Greece", "Paul of Greece", "Royalty", birthDate="1901-12-14"),
+    _person("Frederica_of_Hanover", "Frederica of Hanover", "Royalty", birthDate="1917-04-18"),
+    _person("Will_Ferrell", "Will Ferrell", "Actor", birthDate="1967-07-16",
+            nickName="Frank The Tank"),
+    _person("John_A_Roebling", "John A. Roebling", birthDate="1806-06-12"),
+
+    # Charmed cast (medium Q5)
+    ("Charmed", "TelevisionShow", {"label": "Charmed"},
+     {"starring": ["Alyssa_Milano", "Holly_Marie_Combs", "Shannen_Doherty", "Rose_McGowan"]}),
+    _person("Alyssa_Milano", "Alyssa Milano", "Actor", birthDate="1972-12-19"),
+    _person("Holly_Marie_Combs", "Holly Marie Combs", "Actor", birthDate="1973-12-03"),
+    _person("Shannen_Doherty", "Shannen Doherty", "Actor", birthDate="1971-04-12"),
+    _person("Rose_McGowan", "Rose McGowan", "Actor", birthDate="1973-09-05"),
+
+    # ------------------------------------------------------------------
+    # Writers / books / publishers  (difficult Q2, Q3 — Figure 6 example)
+    # ------------------------------------------------------------------
+    _person("Jack_Kerouac", "Jack Kerouac", "Writer",
+            birthDate="1922-03-12", deathDate="1969-10-21"),
+    ("Viking_Press", "Publisher", {"label": "Viking Press"}, {}),
+    ("Grove_Press", "Publisher", {"label": "Grove Press"}, {}),
+    ("Penguin_Books", "Publisher", {"label": "Penguin Books"}, {}),
+    # Figure 6's structure: books point at the *author entity* and the
+    # *publisher entity*; the naive user query joins literals directly.
+    ("On_the_Road", "Book", {"label": "On the Road", "numberOfPages": 320},
+     {"author": ["Jack_Kerouac"], "publisher": ["Viking_Press"]}),
+    ("Door_Wide_Open", "Book", {"label": "Door Wide Open", "numberOfPages": 224},
+     {"author": ["Jack_Kerouac"], "publisher": ["Viking_Press"]}),
+    ("Doctor_Sax", "Book", {"label": "Doctor Sax", "numberOfPages": 245},
+     {"author": ["Jack_Kerouac"], "publisher": ["Grove_Press"]}),
+    ("Big_Sur_Novel", "Book", {"label": "Big Sur", "numberOfPages": 241},
+     {"author": ["Jack_Kerouac"], "publisher": ["Penguin_Books"]}),
+    _person("William_Goldman", "William Goldman", "Writer", birthDate="1931-08-12"),
+    ("The_Princess_Bride", "Book", {"label": "The Princess Bride", "numberOfPages": 493},
+     {"author": ["William_Goldman"], "publisher": ["Penguin_Books"]}),
+    ("Marathon_Man", "Book", {"label": "Marathon Man", "numberOfPages": 309},
+     {"author": ["William_Goldman"], "publisher": ["Penguin_Books"]}),
+    ("Magic_Novel", "Book", {"label": "Magic", "numberOfPages": 243},
+     {"author": ["William_Goldman"], "publisher": ["Penguin_Books"]}),
+    ("Adventures_Screen_Trade", "Book", {"label": "Adventures in the Screen Trade", "numberOfPages": 418},
+     {"author": ["William_Goldman"], "publisher": ["Grove_Press"]}),
+
+    # ------------------------------------------------------------------
+    # Films (difficult Q4, Q6)
+    # ------------------------------------------------------------------
+    _person("Steven_Spielberg", "Steven Spielberg", birthDate="1946-12-18"),
+    _person("Clint_Eastwood", "Clint Eastwood", "Actor", birthDate="1930-05-31"),
+    ("Jurassic_Park_Film", "Film", {"label": "Jurassic Park", "budget": 63000000},
+     {"director": ["Steven_Spielberg"]}),
+    ("War_of_the_Worlds_Film", "Film", {"label": "War of the Worlds", "budget": 132000000},
+     {"director": ["Steven_Spielberg"]}),
+    ("Minority_Report_Film", "Film", {"label": "Minority Report", "budget": 102000000},
+     {"director": ["Steven_Spielberg"]}),
+    ("Lincoln_Film", "Film", {"label": "Lincoln", "budget": 65000000},
+     {"director": ["Steven_Spielberg"]}),
+    ("Indiana_Jones_Crystal_Skull", "Film", {"label": "Indiana Jones and the Kingdom of the Crystal Skull", "budget": 185000000},
+     {"director": ["Steven_Spielberg"]}),
+    ("Gran_Torino", "Film", {"label": "Gran Torino", "budget": 33000000},
+     {"director": ["Clint_Eastwood"], "starring": ["Clint_Eastwood"]}),
+    ("Million_Dollar_Baby", "Film", {"label": "Million Dollar Baby", "budget": 30000000},
+     {"director": ["Clint_Eastwood"], "starring": ["Clint_Eastwood"]}),
+    ("Unforgiven", "Film", {"label": "Unforgiven", "budget": 14400000},
+     {"director": ["Clint_Eastwood"], "starring": ["Clint_Eastwood"]}),
+    ("In_the_Line_of_Fire", "Film", {"label": "In the Line of Fire", "budget": 40000000},
+     {"starring": ["Clint_Eastwood"]}),
+
+    # ------------------------------------------------------------------
+    # Chess players (difficult Q1): two born & died in the same place.
+    # ------------------------------------------------------------------
+    _person("Mikhail_Tal", "Mikhail Tal", "ChessPlayer",
+            birthDate="1936-11-09", deathDate="1992-06-28",
+            birthPlace="Riga", deathPlace="Riga"),
+    _person("Jose_Raul_Capablanca", "Jose Raul Capablanca", "ChessPlayer",
+            birthDate="1888-11-19", deathDate="1942-03-08",
+            birthPlace="New_York_City", deathPlace="New_York_City"),
+    _person("Bobby_Fischer", "Bobby Fischer", "ChessPlayer",
+            birthDate="1943-03-09", deathDate="2008-01-17",
+            birthPlace="New_York_City", deathPlace="Riga"),
+    _person("Garry_Kasparov", "Garry Kasparov", "ChessPlayer",
+            birthDate="1963-04-13", birthPlace="Riga"),
+
+    # ------------------------------------------------------------------
+    # Presidents born in 1945 (difficult Q7)
+    # ------------------------------------------------------------------
+    _person("Aleksander_Kwasniewski", "Aleksander Kwasniewski", "President", birthDate="1945-11-15"),
+    _person("Thabo_Mbeki", "Thabo Mbeki", "President", birthDate="1942-06-18"),
+    _person("Luiz_Inacio_Lula", "Luiz Inacio Lula da Silva", "President", birthDate="1945-10-27"),
+
+    # ------------------------------------------------------------------
+    # Companies in aerospace and medicine (difficult Q8)
+    # ------------------------------------------------------------------
+    ("Aerospace_Industry", "Company", {"label": "Aerospace"}, {}),
+    ("Medicine_Industry", "Company", {"label": "Medicine"}, {}),
+    ("Software_Industry", "Company", {"label": "Software"}, {}),
+    ("Honeywell", "Company", {"label": "Honeywell", "revenue": 40534000000},
+     {"industry": ["Aerospace_Industry", "Medicine_Industry"]}),
+    ("General_Electric", "Company", {"label": "General Electric", "revenue": 117386000000},
+     {"industry": ["Aerospace_Industry", "Medicine_Industry", "Software_Industry"]}),
+    ("Boeing", "Company", {"label": "Boeing", "revenue": 96114000000},
+     {"industry": ["Aerospace_Industry"]}),
+    ("Pfizer", "Company", {"label": "Pfizer", "revenue": 48851000000},
+     {"industry": ["Medicine_Industry"]}),
+    ("IBM", "Company", {"label": "IBM", "revenue": 79591000000},
+     {"industry": ["Software_Industry"]}),
+
+    # ------------------------------------------------------------------
+    # Universities / Ivy League (the paper's introduction example)
+    # ------------------------------------------------------------------
+    ("Ivy_League", "Organisation", {"label": "Ivy League"}, {}),
+    ("Harvard_University", "University", {"label": "Harvard University"},
+     {"affiliation": ["Ivy_League"]}),
+    ("Yale_University", "University", {"label": "Yale University"},
+     {"affiliation": ["Ivy_League"]}),
+    ("Princeton_University", "University", {"label": "Princeton University"},
+     {"affiliation": ["Ivy_League"]}),
+    ("Stanford_University", "University", {"label": "Stanford University"}, {}),
+    _person("Albert_Einstein_Like", "Edward Witten", "Scientist",
+            birthDate="1951-08-26", almaMater="Princeton_University"),
+    _person("John_Nash_Like", "John Nash", "Scientist",
+            birthDate="1928-06-13", almaMater="Princeton_University"),
+    _person("Barbara_McClintock_Like", "Barbara McClintock", "Scientist",
+            birthDate="1902-06-16", almaMater="Harvard_University"),
+    _person("Grace_Hopper_Like", "Grace Hopper", "Scientist",
+            birthDate="1906-12-09", almaMater="Yale_University"),
+    _person("Non_Ivy_Scientist", "Donald Knuth", "Scientist",
+            birthDate="1938-01-10", almaMater="Stanford_University"),
+)

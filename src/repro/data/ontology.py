@@ -1,0 +1,170 @@
+"""The DBpedia-style ontology used by the synthetic dataset.
+
+Defines the RDFS class hierarchy (Section 5's initialization navigates it
+root-to-leaves) and the predicate vocabulary.  The shape mirrors DBpedia:
+a few broad roots (Person, Place, Work, Organisation) with domain-specific
+leaves, and a predicate set that is tiny compared to the literal count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..rdf.namespaces import DBO, FOAF, OWL_CLASS, RDF_TYPE, RDFS_LABEL, RDFS_SUBCLASSOF
+from ..rdf.terms import IRI
+from ..rdf.triples import Triple
+
+__all__ = [
+    "CLASS_HIERARCHY",
+    "ALL_CLASSES",
+    "PREDICATES",
+    "LITERAL_PREDICATES",
+    "ontology_triples",
+    "subclasses_of",
+    "ancestors_of",
+    "root_classes",
+]
+
+#: (class, superclass) pairs; superclass None marks a hierarchy root.
+CLASS_HIERARCHY: Sequence[Tuple[str, str]] = (
+    ("Agent", ""),
+    ("Person", "Agent"),
+    ("Scientist", "Person"),
+    ("Writer", "Person"),
+    ("Politician", "Person"),
+    ("President", "Politician"),
+    ("Actor", "Person"),
+    ("MusicalArtist", "Person"),
+    ("ChessPlayer", "Person"),
+    ("Athlete", "Person"),
+    ("Royalty", "Person"),
+    ("Place", ""),
+    ("PopulatedPlace", "Place"),
+    ("City", "PopulatedPlace"),
+    ("Country", "PopulatedPlace"),
+    ("Lake", "Place"),
+    ("River", "Place"),
+    ("Mountain", "Place"),
+    ("Bridge", "Place"),
+    ("MilitaryStructure", "Place"),
+    ("Work", ""),
+    ("Book", "Work"),
+    ("Film", "Work"),
+    ("TelevisionShow", "Work"),
+    ("Album", "Work"),
+    ("Website", "Work"),
+    ("Organisation", "Agent"),
+    ("Company", "Organisation"),
+    ("University", "Organisation"),
+    ("Publisher", "Organisation"),
+    ("Band", "Organisation"),
+    ("Currency", ""),
+    ("Instrument", ""),
+)
+
+ALL_CLASSES: List[IRI] = [DBO.term(name) for name, _ in CLASS_HIERARCHY]
+
+#: Predicates whose objects are entities (IRIs).
+_ENTITY_PREDICATES: Sequence[str] = (
+    "birthPlace",
+    "deathPlace",
+    "spouse",
+    "child",
+    "parent",
+    "almaMater",
+    "affiliation",
+    "author",
+    "publisher",
+    "director",
+    "starring",
+    "capital",
+    "country",
+    "location",
+    "sourceCountry",
+    "vicePresident",
+    "creator",
+    "designer",
+    "currency",
+    "instrument",
+    "industry",
+    "hometown",
+    "employer",
+)
+
+#: Predicates whose objects are literals, with a rough kind tag used by
+#: the generator ("name" literals are short English strings; "text" are
+#: long abstracts; "number"/"date" are typed).
+LITERAL_PREDICATE_KINDS: Dict[str, str] = {
+    "birthDate": "date",
+    "deathDate": "date",
+    "populationTotal": "number",
+    "numberOfPages": "number",
+    "budget": "number",
+    "revenue": "number",
+    "depth": "number",
+    "elevation": "number",
+    "runtime": "number",
+    "timeZone": "name",
+    "nickName": "name",
+    "motto": "name",
+    "abstract": "text",
+}
+
+_FOAF_LITERAL_PREDICATES: Sequence[str] = ("name", "surname", "givenName")
+
+
+def _build_predicates() -> List[IRI]:
+    predicates: List[IRI] = [RDF_TYPE, RDFS_LABEL, RDFS_SUBCLASSOF]
+    predicates.extend(DBO.term(name) for name in _ENTITY_PREDICATES)
+    predicates.extend(DBO.term(name) for name in LITERAL_PREDICATE_KINDS)
+    predicates.extend(FOAF.term(name) for name in _FOAF_LITERAL_PREDICATES)
+    return predicates
+
+
+PREDICATES: List[IRI] = _build_predicates()
+
+#: Predicates typically associated with literal objects, most frequent
+#: kinds first — what Appendix A's Q4 would surface.
+LITERAL_PREDICATES: List[IRI] = (
+    [RDFS_LABEL]
+    + [FOAF.term(name) for name in _FOAF_LITERAL_PREDICATES]
+    + [DBO.term(name) for name in LITERAL_PREDICATE_KINDS]
+)
+
+
+def ontology_triples() -> List[Triple]:
+    """The TBox triples: every class typed owl:Class, linked by subClassOf."""
+    triples: List[Triple] = []
+    for name, parent in CLASS_HIERARCHY:
+        cls = DBO.term(name)
+        triples.append(Triple(cls, RDF_TYPE, OWL_CLASS))
+        if parent:
+            triples.append(Triple(cls, RDFS_SUBCLASSOF, DBO.term(parent)))
+        else:
+            # DBpedia roots point at owl:Thing; we mirror that so the
+            # hierarchy query (Q2) sees roots with a subClassOf edge too.
+            triples.append(Triple(cls, RDFS_SUBCLASSOF, IRI("http://www.w3.org/2002/07/owl#Thing")))
+    return triples
+
+
+def subclasses_of(class_name: str) -> List[str]:
+    """Direct subclasses of ``class_name`` (by local name)."""
+    return [name for name, parent in CLASS_HIERARCHY if parent == class_name]
+
+
+_PARENT: Dict[str, str] = {name: parent for name, parent in CLASS_HIERARCHY}
+
+
+def ancestors_of(class_name: str) -> List[str]:
+    """All strict ancestors of ``class_name``, nearest first."""
+    ancestors: List[str] = []
+    current = _PARENT.get(class_name, "")
+    while current:
+        ancestors.append(current)
+        current = _PARENT.get(current, "")
+    return ancestors
+
+
+def root_classes() -> List[str]:
+    """Local names of the hierarchy roots."""
+    return [name for name, parent in CLASS_HIERARCHY if not parent]

@@ -1,0 +1,19 @@
+"""Endpoint simulator: timeouts, rejection, row caps, latency accounting."""
+
+from .endpoint import (
+    EndpointConfig,
+    EndpointError,
+    EndpointTimeout,
+    QueryLogEntry,
+    QueryRejected,
+    SparqlEndpoint,
+)
+
+__all__ = [
+    "SparqlEndpoint",
+    "EndpointConfig",
+    "EndpointError",
+    "EndpointTimeout",
+    "QueryRejected",
+    "QueryLogEntry",
+]

@@ -1,0 +1,45 @@
+"""Evaluation harness: QALD metrics, Table 1 comparison, user study."""
+
+from .metrics import (
+    QaldMetrics,
+    QuestionOutcome,
+    compute_metrics,
+    grade,
+    mean_confidence_interval,
+)
+from .qald import PUBLISHED_ROWS, QaldComparison, run_comparison
+from .reporting import format_bars, format_grouped_bars, format_table
+from .userstudy import (
+    InteractionRecord,
+    Participant,
+    QakisPolicy,
+    SapphirePolicy,
+    StudyResults,
+    UserStudy,
+    answers_satisfy,
+    best_answer_column,
+    camelize,
+)
+
+__all__ = [
+    "QaldMetrics",
+    "QuestionOutcome",
+    "compute_metrics",
+    "grade",
+    "mean_confidence_interval",
+    "PUBLISHED_ROWS",
+    "QaldComparison",
+    "run_comparison",
+    "format_table",
+    "format_bars",
+    "format_grouped_bars",
+    "Participant",
+    "InteractionRecord",
+    "SapphirePolicy",
+    "QakisPolicy",
+    "UserStudy",
+    "StudyResults",
+    "answers_satisfy",
+    "best_answer_column",
+    "camelize",
+]

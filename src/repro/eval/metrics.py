@@ -1,0 +1,162 @@
+"""QALD evaluation measures (Section 7.2).
+
+The measures follow the QALD-5 / KBQA conventions the paper quotes:
+
+* ``#pro`` — questions processed (the system produced some answer),
+* ``#ri`` — questions answered exactly right,
+* ``#par`` — questions answered partially (non-empty overlap with gold),
+* recall ``R = #ri / #total`` and partial recall ``R* = (#ri+#par)/#total``,
+* precision ``P = #ri / #pro`` and partial precision
+  ``P* = (#ri+#par)/#pro``,
+* ``F1`` / ``F1*`` — harmonic means of the corresponding pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import Literal, Term
+
+__all__ = ["QuestionOutcome", "QaldMetrics", "grade", "compute_metrics", "mean_confidence_interval"]
+
+
+@dataclass(frozen=True)
+class QuestionOutcome:
+    """One system's outcome on one question."""
+
+    qid: str
+    processed: bool
+    answers: FrozenSet[Term]
+    gold: FrozenSet[Term]
+
+    @property
+    def grade(self) -> str:
+        return grade(self.processed, self.answers, self.gold)
+
+
+def _numeric(term: Term) -> Optional[float]:
+    if isinstance(term, Literal):
+        try:
+            return float(term.lexical)
+        except ValueError:
+            return None
+    return None
+
+
+def _sets_equal(answers: FrozenSet[Term], gold: FrozenSet[Term]) -> bool:
+    if answers == gold:
+        return True
+    # Numeric tolerance: "64" == "64.0" (counts/averages serialize variously).
+    if len(answers) == len(gold):
+        a_nums = sorted((_numeric(t) for t in answers), key=lambda x: (x is None, x))
+        g_nums = sorted((_numeric(t) for t in gold), key=lambda x: (x is None, x))
+        if None not in a_nums and None not in g_nums:
+            return all(
+                math.isclose(a, g, rel_tol=1e-9, abs_tol=1e-9)
+                for a, g in zip(a_nums, g_nums)  # type: ignore[arg-type]
+            )
+    return False
+
+
+def grade(processed: bool, answers: FrozenSet[Term], gold: FrozenSet[Term]) -> str:
+    """Classify an outcome: "right" | "partial" | "wrong" | "unprocessed"."""
+    if not processed or not answers:
+        return "unprocessed"
+    if _sets_equal(answers, gold):
+        return "right"
+    if answers & gold:
+        return "partial"
+    # Numeric overlap check for single-valued numeric answers.
+    if len(gold) == 1 and len(answers) == 1:
+        a, g = next(iter(answers)), next(iter(gold))
+        an, gn = _numeric(a), _numeric(g)
+        if an is not None and gn is not None and math.isclose(an, gn):
+            return "right"
+    return "wrong"
+
+
+@dataclass
+class QaldMetrics:
+    """The Table 1 row for one system."""
+
+    system: str
+    n_total: int
+    n_processed: int
+    n_right: int
+    n_partial: int
+
+    @property
+    def processed_fraction(self) -> float:
+        return self.n_processed / self.n_total if self.n_total else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.n_right / self.n_total if self.n_total else 0.0
+
+    @property
+    def partial_recall(self) -> float:
+        return (self.n_right + self.n_partial) / self.n_total if self.n_total else 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.n_right / self.n_processed if self.n_processed else 0.0
+
+    @property
+    def partial_precision(self) -> float:
+        return (self.n_right + self.n_partial) / self.n_processed if self.n_processed else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def f1_star(self) -> float:
+        p, r = self.partial_precision, self.partial_recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        """Column name -> value, matching Table 1's header."""
+        return {
+            "system": self.system,
+            "#pro": self.n_processed,
+            "%": f"{100 * self.processed_fraction:.0f}%",
+            "#ri": self.n_right,
+            "#par": self.n_partial,
+            "R": round(self.recall, 2),
+            "R*": round(self.partial_recall, 2),
+            "P": round(self.precision, 2),
+            "P*": round(self.partial_precision, 2),
+            "F1": round(self.f1, 2),
+            "F1*": round(self.f1_star, 2),
+        }
+
+
+def compute_metrics(system: str, outcomes: Sequence[QuestionOutcome]) -> QaldMetrics:
+    """Aggregate per-question outcomes into one Table 1 row."""
+    n_right = sum(1 for o in outcomes if o.grade == "right")
+    n_partial = sum(1 for o in outcomes if o.grade == "partial")
+    n_processed = sum(1 for o in outcomes if o.grade != "unprocessed")
+    return QaldMetrics(
+        system=system,
+        n_total=len(outcomes),
+        n_processed=n_processed,
+        n_right=n_right,
+        n_partial=n_partial,
+    )
+
+
+def mean_confidence_interval(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, 95% half-width) using the normal approximation the paper's
+    error bars imply."""
+    if not values:
+        return (0.0, 0.0)
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return (mean, 0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = 1.96 * math.sqrt(variance / n)
+    return (mean, half_width)

@@ -1,0 +1,84 @@
+"""Plain-text rendering of tables and bar charts for the benchmarks.
+
+The benchmark harnesses print the same rows/series the paper reports;
+these helpers keep that output aligned and readable in a terminal (and in
+the committed ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_bars", "format_grouped_bars"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render dict-rows as an aligned ASCII table (insertion-order columns)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(" | ".join(
+            str(row.get(column, "")).ljust(widths[column]) for column in columns
+        ))
+    return "\n".join(lines)
+
+
+def format_bars(
+    series: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """One horizontal ASCII bar per (label, value)."""
+    if not series:
+        return title
+    peak = max(series.values()) or 1.0
+    label_width = max(len(label) for label in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in series.items():
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    groups: Mapping[str, Mapping[str, Tuple[float, float]]],
+    title: str = "",
+    width: int = 30,
+    unit: str = "",
+) -> str:
+    """Figure 8/10/11 style: per difficulty group, one bar per system,
+    each value a (mean, 95%-CI half-width) pair."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = 1.0
+    for systems in groups.values():
+        for mean, _ in systems.values():
+            peak = max(peak, mean)
+    for group, systems in groups.items():
+        lines.append(f"  {group}:")
+        label_width = max(len(name) for name in systems)
+        for name, (mean, ci) in systems.items():
+            bar = "#" * max(0, round(width * mean / peak))
+            lines.append(
+                f"    {name.ljust(label_width)} | {bar} {mean:.1f} ± {ci:.1f}{unit}"
+            )
+    return "\n".join(lines)

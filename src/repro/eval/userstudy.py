@@ -1,0 +1,542 @@
+"""Simulated user study (Section 7.1, Figures 8–11).
+
+The paper's study put 16 human participants in front of Sapphire and
+QAKiS.  We replace the humans with *stochastic interaction policies* that
+drive the real systems through the same workflow:
+
+Sapphire policy
+    For each sketch triple of the question (the user's conception of the
+    query, including the vocabulary/structure mistakes a non-expert makes)
+    the participant types the keyword, reads the QCM completions, and
+    picks a term; then clicks Run; if unsatisfied with the answers, walks
+    the QSM suggestions (alternative terms, then relaxations), accepting
+    one per attempt, up to a patience limit of 3–5 attempts.
+
+QAKiS policy
+    Types the natural-language question; retries with vocabulary-
+    preserving paraphrases, up to 3–4 attempts.
+
+Participants differ in *skill* (how reliably they pick the useful
+completion/suggestion), *typo rate* (mistyped literals, which is what
+exercises the QSM's alternative-literal path), *patience*, and speed.
+Action times are drawn from calibrated ranges so "minutes spent" is a
+meaningful simulated quantity; success/attempts come from the actual
+system behaviour, not from the time model.
+
+The assignment mirrors the paper: each participant receives 4 easy + 3
+medium + 3 difficult questions from the 27-question pool; the first easy
+question is a warm-up whose data is dropped.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..baselines.qakis import QAKiS
+from ..core.sapphire import QueryBuilder, QueryOutcome, SapphireServer
+from ..data.questions import Question, user_study_questions
+from ..rdf.namespaces import DBO, RDF_TYPE
+from ..rdf.terms import IRI, Literal, Term, Variable
+from ..sparql.results import SelectResult
+from ..text.lexicon import default_lexicon
+from ..text.similarity import jaro_winkler
+from .metrics import mean_confidence_interval
+
+__all__ = [
+    "Participant",
+    "InteractionRecord",
+    "SapphirePolicy",
+    "QakisPolicy",
+    "UserStudy",
+    "StudyResults",
+    "answers_satisfy",
+    "best_answer_column",
+    "camelize",
+]
+
+_DIFFICULTIES = ("easy", "medium", "difficult")
+
+
+def camelize(phrase: str) -> str:
+    """"time zone" -> "timeZone" (how a user would guess a predicate IRI)."""
+    words = phrase.strip().split()
+    if not words:
+        return phrase
+    return words[0].lower() + "".join(w.capitalize() for w in words[1:])
+
+
+def _numeric_equal(a: Term, b: Term) -> bool:
+    try:
+        return abs(float(str(a)) - float(str(b))) < 1e-9
+    except (TypeError, ValueError):
+        return False
+
+
+def best_answer_column(result: SelectResult, gold: frozenset) -> Tuple[Optional[str], Set[Term]]:
+    """The result column overlapping gold the most (the answer table
+    column the user would read).  Falls back to the first column."""
+    best_name: Optional[str] = None
+    best_set: Set[Term] = set()
+    best_overlap = -1
+    for name in result.variables:
+        values = result.value_set(name)
+        overlap = len(values & gold)
+        if overlap > best_overlap:
+            best_overlap = overlap
+            best_name, best_set = name, values
+    return best_name, best_set
+
+
+def answers_satisfy(result: SelectResult, question: Question, gold: frozenset) -> bool:
+    """Would the user's information need be met by this answer table?
+
+    Counts/aggregates compare numerically on the first cell; otherwise
+    some column's value set must equal the gold set.
+    """
+    if not result.rows:
+        return False
+    if "count_var" in question.modifiers or "aggregate" in question.modifiers:
+        first = result.first_value()
+        if first is None or len(gold) != 1:
+            return False
+        return _numeric_equal(first, next(iter(gold)))
+    for name in result.variables:
+        if result.value_set(name) == gold:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One simulated study participant."""
+
+    pid: int
+    skill: float           # 0..1: reliability of picking the useful option
+    typo_rate: float       # probability of mistyping a literal keyword
+    patience: int          # max Run clicks with Sapphire
+    qakis_patience: int    # max attempts with QAKiS
+    speed: float           # multiplies all action times
+
+    @staticmethod
+    def sample(pid: int, rng: random.Random) -> "Participant":
+        return Participant(
+            pid=pid,
+            skill=rng.uniform(0.65, 0.95),
+            typo_rate=rng.uniform(0.02, 0.15),
+            patience=rng.randint(3, 5),
+            qakis_patience=rng.randint(3, 4),
+            speed=rng.uniform(0.8, 1.3),
+        )
+
+    @staticmethod
+    def expert(pid: int = 0) -> "Participant":
+        """The deterministic author-grade user driving Table 1's row."""
+        return Participant(pid=pid, skill=1.0, typo_rate=0.0,
+                           patience=5, qakis_patience=3, speed=1.0)
+
+
+@dataclass
+class InteractionRecord:
+    """What one (participant, question, system) session produced."""
+
+    qid: str
+    difficulty: str
+    system: str
+    success: bool
+    attempts: int
+    seconds: float
+    pid: int = -1
+    processed: bool = True
+    answers: frozenset = frozenset()
+    used_alt_predicate: bool = False
+    used_alt_literal: bool = False
+    used_relaxation: bool = False
+    qcm_calls: int = 0
+    qcm_seconds_total: float = 0.0
+    qsm_seconds_total: float = 0.0
+
+
+class SapphirePolicy:
+    """Drives a SapphireServer through one question like a participant."""
+
+    def __init__(self, server: SapphireServer) -> None:
+        self.server = server
+        self.lexicon = server.lexicon or default_lexicon()
+
+    # ------------------------------------------------------------------
+    # Term resolution through the QCM
+    # ------------------------------------------------------------------
+
+    def _complete(self, text: str, record: InteractionRecord):
+        result = self.server.complete(text)
+        record.qcm_calls += 1
+        record.qcm_seconds_total += result.total_seconds
+        return result
+
+    def _resolve_predicate(self, keyword: str, record: InteractionRecord,
+                           user: Participant, rng: random.Random) -> Term:
+        if keyword in ("type", "a"):
+            return RDF_TYPE
+        candidates = []
+        for attempt_text in (keyword, camelize(keyword)):
+            completion = self._complete(attempt_text, record)
+            for item in completion.completions:
+                for entry in item.entries:
+                    if entry.kind == "predicate":
+                        candidates.append(entry)
+            if candidates:
+                break
+        if not candidates:
+            # Try the keyword's synonyms (the user rephrases).
+            for synonym in self.lexicon.get_lexica(keyword)[1:4]:
+                completion = self._complete(camelize(synonym), record)
+                for item in completion.completions:
+                    for entry in item.entries:
+                        if entry.kind == "predicate":
+                            candidates.append(entry)
+                if candidates:
+                    break
+        if candidates:
+            ranked = sorted(
+                candidates,
+                key=lambda e: -jaro_winkler(camelize(keyword), e.surface),
+            )
+            pick = ranked[0]
+            if rng.random() > user.skill and len(ranked) > 1:
+                pick = rng.choice(ranked[1: min(4, len(ranked))])
+            return pick.term
+        # No completion matched: the user guesses an IRI (often wrong —
+        # which is what hands control to the QSM).
+        return DBO.term(camelize(keyword))
+
+    def _resolve_class(self, keyword: str, record: InteractionRecord) -> Term:
+        completion = self._complete(keyword, record)
+        for item in completion.completions:
+            for entry in item.entries:
+                if entry.kind == "class" and entry.surface.lower() == keyword.lower():
+                    return entry.term
+        for item in completion.completions:
+            for entry in item.entries:
+                if entry.kind == "class":
+                    return entry.term
+        return DBO.term(keyword)
+
+    def _resolve_literal(self, keyword: str, record: InteractionRecord,
+                         user: Participant, rng: random.Random) -> Term:
+        typed = keyword
+        if rng.random() < user.typo_rate and len(typed) > 4 and not typed[-1].isdigit():
+            typed = typed + "s" if not typed.endswith("s") else typed[:-1]
+        completion = self._complete(typed, record)
+        exact = None
+        for item in completion.completions:
+            for entry in item.entries:
+                if entry.kind == "literal" and entry.surface.lower() == typed.lower():
+                    exact = entry
+                    break
+        if exact is not None:
+            return exact.term
+        # A close suggestion the user recognizes as what they meant:
+        for item in completion.completions:
+            for entry in item.entries:
+                if entry.kind == "literal" and jaro_winkler(typed.lower(), entry.surface.lower()) > 0.9:
+                    return entry.term
+        return Literal(typed, lang="en")
+
+    # ------------------------------------------------------------------
+    # Query construction from the sketch
+    # ------------------------------------------------------------------
+
+    def build_query(self, question: Question, record: InteractionRecord,
+                    user: Participant, rng: random.Random) -> QueryBuilder:
+        builder = QueryBuilder()
+        for s_tok, p_tok, o_tok in question.sketch:
+            subject = self._token_term(s_tok, record, user, rng, position="subject")
+            predicate = self._token_term(p_tok, record, user, rng, position="predicate")
+            obj = self._token_term(o_tok, record, user, rng, position="object")
+            builder.triple(subject, predicate, obj)
+        modifiers = question.modifiers
+        if "count_var" in modifiers:
+            builder.count(modifiers["count_var"])
+        if "aggregate" in modifiers:
+            name, variable = modifiers["aggregate"]
+            builder.aggregate(name, variable)
+        for variable, op, value in modifiers.get("filters", ()):
+            builder.compare(variable, op, value)
+        if "order_by" in modifiers:
+            variable, direction = modifiers["order_by"]
+            builder.order_by(variable, descending=(direction == "desc"))
+        if "limit" in modifiers:
+            builder.limit(modifiers["limit"])
+        return builder
+
+    def _token_term(self, token: str, record: InteractionRecord,
+                    user: Participant, rng: random.Random, position: str) -> Term:
+        if token.startswith("?"):
+            return Variable(token[1:])
+        kind, _, keyword = token.partition(":")
+        if "!typo=" in keyword:  # planted misspelling (e.g. "Kennedys")
+            keyword = keyword.split("!typo=")[0]
+        if kind == "p":
+            return self._resolve_predicate(keyword, record, user, rng)
+        if kind == "c":
+            return self._resolve_class(keyword, record)
+        if kind == "l":
+            return self._resolve_literal(keyword, record, user, rng)
+        raise ValueError(f"bad sketch token {token!r}")
+
+    # ------------------------------------------------------------------
+    # The interaction loop
+    # ------------------------------------------------------------------
+
+    def run(self, question: Question, gold: frozenset,
+            user: Participant, rng: random.Random) -> InteractionRecord:
+        record = InteractionRecord(
+            qid=question.qid, difficulty=question.difficulty,
+            system="sapphire", success=False, attempts=0, seconds=0.0,
+        )
+        # Composing: typing + reading completions, per sketch box.
+        n_boxes = sum(1 for triple in question.sketch for tok in triple
+                      if not tok.startswith("?"))
+        record.seconds += user.speed * sum(
+            rng.uniform(12, 30) + rng.uniform(5, 12) for _ in range(n_boxes)
+        )
+        builder = self.build_query(question, record, user, rng)
+        query = builder.build()
+
+        while record.attempts < user.patience:
+            record.attempts += 1
+            outcome = self.server.run_query(query)
+            record.qsm_seconds_total += outcome.qsm_seconds
+            record.seconds += user.speed * rng.uniform(20, 45)  # read answers
+            _, column = best_answer_column(outcome.answers, gold)
+            record.answers = frozenset(column)
+            if answers_satisfy(outcome.answers, question, gold):
+                record.success = True
+                return record
+            accepted = self._accept_suggestion(outcome, question, gold, user, rng, record)
+            if accepted is not None:
+                query = accepted
+                record.seconds += user.speed * rng.uniform(10, 25)  # consider + accept
+                continue
+            if record.attempts < user.patience:
+                # No usable suggestion: the participant re-types the query
+                # from scratch (fresh term choices — a second chance to
+                # avoid a typo or a wrong completion pick).
+                record.seconds += user.speed * sum(
+                    rng.uniform(8, 20) for _ in range(max(1, n_boxes // 2))
+                )
+                query = self.build_query(question, record, user, rng).build()
+                continue
+            break
+        record.processed = bool(record.answers)
+        return record
+
+    def _accept_suggestion(self, outcome: QueryOutcome, question: Question,
+                           gold: frozenset, user: Participant,
+                           rng: random.Random, record: InteractionRecord):
+        """Pick one QSM suggestion to apply; None when the user gives up."""
+        ranked: List[Tuple[float, object]] = []
+        for suggestion in outcome.term_suggestions:
+            usefulness = 1.0 if (
+                suggestion.prefetched is not None
+                and answers_satisfy(suggestion.prefetched, question, gold)
+            ) else suggestion.similarity * 0.5
+            ranked.append((usefulness, suggestion))
+        for relaxation in outcome.relaxations:
+            usefulness = 1.0 if (
+                relaxation.prefetched is not None
+                and answers_satisfy(relaxation.prefetched, question, gold)
+            ) else 0.4
+            ranked.append((usefulness, relaxation))
+        if not ranked:
+            return None
+        ranked.sort(key=lambda pair: -pair[0])
+        index = 0
+        if rng.random() > user.skill and len(ranked) > 1:
+            index = rng.randrange(len(ranked))
+        chosen = ranked[index][1]
+        from ..core.qsm_relax import RelaxationSuggestion
+        from ..core.qsm_terms import TermSuggestion
+
+        if isinstance(chosen, TermSuggestion):
+            if chosen.kind == "predicate":
+                record.used_alt_predicate = True
+            else:
+                record.used_alt_literal = True
+            return chosen.query
+        assert isinstance(chosen, RelaxationSuggestion)
+        record.used_relaxation = True
+        query = chosen.query
+        if chosen.tree_edges:
+            # Steiner relaxations rename variables; keep the user's
+            # modifiers only when their variables survive.
+            base = outcome.query
+            available = set(query.where.variables())
+            select_vars = {
+                name
+                for item in base.select_items
+                for name in item.expression.variables()
+            }
+            if select_vars and select_vars <= available:
+                query.select_items = base.select_items
+                query.select_star = False
+            else:
+                query.select_items = []
+                query.select_star = True
+            query.where.filters = (
+                list(base.where.filters) if self._filters_apply(base, query) else []
+            )
+        return query
+
+    @staticmethod
+    def _filters_apply(base, relaxed) -> bool:
+        """Keep user filters only when their variables survive relaxation."""
+        available = set(relaxed.where.variables())
+        for expr in base.where.filters:
+            if not set(expr.variables()) <= available:
+                return False
+        return True
+
+
+class QakisPolicy:
+    """Drives the QAKiS baseline like a participant."""
+
+    def __init__(self, qakis: QAKiS) -> None:
+        self.qakis = qakis
+
+    def run(self, question: Question, gold: frozenset,
+            user: Participant, rng: random.Random) -> InteractionRecord:
+        record = InteractionRecord(
+            qid=question.qid, difficulty=question.difficulty,
+            system="qakis", success=False, attempts=0, seconds=0.0,
+        )
+        attempts_texts = [question.text] + self.qakis._paraphrases(question.text)
+        for text in attempts_texts[: user.qakis_patience]:
+            record.attempts += 1
+            record.seconds += user.speed * (rng.uniform(25, 50) + rng.uniform(10, 25))
+            outcome = self.qakis.answer(text)
+            if outcome.answers:
+                record.answers = frozenset(outcome.answers)
+                record.processed = True
+                if record.answers == gold or (
+                    len(gold) == 1 and len(record.answers) == 1
+                    and _numeric_equal(next(iter(record.answers)), next(iter(gold)))
+                ):
+                    record.success = True
+                    return record
+        record.processed = bool(record.answers)
+        return record
+
+
+# ----------------------------------------------------------------------
+# The study
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StudyResults:
+    """All interaction records + the figure-level aggregations."""
+
+    records: List[InteractionRecord] = field(default_factory=list)
+    n_participants: int = 0
+
+    def _by(self, system: str, difficulty: str) -> List[InteractionRecord]:
+        return [r for r in self.records
+                if r.system == system and r.difficulty == difficulty]
+
+    def success_rate(self, system: str, difficulty: str) -> Tuple[float, float]:
+        """Figure 8: mean per-participant success % with 95% CI."""
+        per_participant: Dict[int, List[bool]] = {}
+        for record in self._by(system, difficulty):
+            per_participant.setdefault(record.pid, []).append(record.success)
+        rates = [
+            100.0 * sum(successes) / len(successes)
+            for successes in per_participant.values()
+            if successes
+        ]
+        return mean_confidence_interval(rates)
+
+    def answered_by_any(self, system: str, difficulty: str) -> float:
+        """Figure 9: % of distinct questions answered by ≥1 participant."""
+        records = self._by(system, difficulty)
+        asked = {r.qid for r in records}
+        answered = {r.qid for r in records if r.success}
+        return 100.0 * len(answered) / len(asked) if asked else 0.0
+
+    def mean_attempts(self, system: str, difficulty: str) -> Tuple[float, float]:
+        """Figure 10: attempts before success (answered questions only)."""
+        values = [float(r.attempts) for r in self._by(system, difficulty) if r.success]
+        return mean_confidence_interval(values)
+
+    def mean_minutes(self, system: str, difficulty: str) -> Tuple[float, float]:
+        """Figure 11: minutes spent (answered questions only)."""
+        values = [r.seconds / 60.0 for r in self._by(system, difficulty) if r.success]
+        return mean_confidence_interval(values)
+
+    def qsm_usage(self) -> Dict[str, float]:
+        """Section 7.3.2: % of Sapphire questions using each QSM facility."""
+        sapphire = [r for r in self.records if r.system == "sapphire"]
+        n = len(sapphire) or 1
+        return {
+            "alt_predicate": 100.0 * sum(r.used_alt_predicate for r in sapphire) / n,
+            "alt_literal": 100.0 * sum(r.used_alt_literal for r in sapphire) / n,
+            "relaxation": 100.0 * sum(r.used_relaxation for r in sapphire) / n,
+            "any": 100.0 * sum(
+                r.used_alt_predicate or r.used_alt_literal or r.used_relaxation
+                for r in sapphire
+            ) / n,
+        }
+
+    def qcm_mean_seconds(self) -> float:
+        calls = sum(r.qcm_calls for r in self.records)
+        total = sum(r.qcm_seconds_total for r in self.records)
+        return total / calls if calls else 0.0
+
+
+class UserStudy:
+    """Runs the full 16-participant study against live systems."""
+
+    def __init__(
+        self,
+        server: SapphireServer,
+        qakis: QAKiS,
+        questions: Optional[Sequence[Question]] = None,
+        n_participants: int = 16,
+        seed: int = 7,
+    ) -> None:
+        self.server = server
+        self.qakis = qakis
+        self.questions = list(questions) if questions is not None else user_study_questions()
+        self.n_participants = n_participants
+        self.seed = seed
+
+    def run(self) -> StudyResults:
+        rng = random.Random(self.seed)
+        gold_cache = {
+            q.qid: q.gold_answers(self.server.endpoints[0].store) for q in self.questions
+        }
+        pools = {
+            d: [q for q in self.questions if q.difficulty == d] for d in _DIFFICULTIES
+        }
+        sapphire_policy = SapphirePolicy(self.server)
+        qakis_policy = QakisPolicy(self.qakis)
+        results = StudyResults(n_participants=self.n_participants)
+
+        for pid in range(self.n_participants):
+            participant = Participant.sample(pid, rng)
+            assigned: List[Question] = []
+            easy = rng.sample(pools["easy"], min(4, len(pools["easy"])))
+            assigned.extend(easy[1:])  # first easy question is the warm-up
+            assigned.extend(rng.sample(pools["medium"], min(3, len(pools["medium"]))))
+            assigned.extend(rng.sample(pools["difficult"], min(3, len(pools["difficult"]))))
+            for question in assigned:
+                gold = gold_cache[question.qid]
+                sapphire_record = sapphire_policy.run(question, gold, participant, rng)
+                sapphire_record.pid = participant.pid
+                results.records.append(sapphire_record)
+                qakis_record = qakis_policy.run(question, gold, participant, rng)
+                qakis_record.pid = participant.pid
+                results.records.append(qakis_record)
+        return results

@@ -1,0 +1,5 @@
+"""FedX-style federated query processing over simulated endpoints."""
+
+from .fedx import FederatedQueryProcessor
+
+__all__ = ["FederatedQueryProcessor"]

@@ -1,0 +1,151 @@
+"""Namespace and prefix management.
+
+A :class:`Namespace` is a convenience factory for IRIs that share a common
+base (``DBO = Namespace("http://dbpedia.org/ontology/"); DBO.almaMater``).
+A :class:`PrefixRegistry` maps prefixes to namespaces for the SPARQL parser
+and for compact serialization, and ships with the prefixes every module in
+this library relies on (rdf:, rdfs:, owl:, xsd:, plus the DBpedia-style
+prefixes used by the synthetic dataset).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .terms import IRI
+
+__all__ = [
+    "Namespace",
+    "PrefixRegistry",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "DBO",
+    "DBR",
+    "DBP",
+    "FOAF",
+    "RDF_TYPE",
+    "RDFS_LABEL",
+    "RDFS_SUBCLASSOF",
+    "OWL_CLASS",
+    "default_registry",
+]
+
+
+class Namespace:
+    """An IRI prefix that manufactures full IRIs via attribute access."""
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local: str) -> IRI:
+        """Build the IRI for ``local`` under this namespace."""
+        return IRI(self._base + local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+DBO = Namespace("http://dbpedia.org/ontology/")
+DBR = Namespace("http://dbpedia.org/resource/")
+DBP = Namespace("http://dbpedia.org/property/")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+
+#: Frequently used individual IRIs.
+RDF_TYPE = RDF.term("type")
+RDFS_LABEL = RDFS.term("label")
+RDFS_SUBCLASSOF = RDFS.term("subClassOf")
+OWL_CLASS = OWL.term("Class")
+
+
+class PrefixRegistry:
+    """Bidirectional prefix <-> namespace mapping.
+
+    Used by the SPARQL parser to expand ``dbo:almaMater`` and by
+    serializers to compact IRIs for display.
+    """
+
+    def __init__(self) -> None:
+        self._by_prefix: Dict[str, str] = {}
+
+    def bind(self, prefix: str, base: str) -> None:
+        """Register (or re-register) ``prefix`` for namespace ``base``."""
+        self._by_prefix[prefix] = base
+
+    def expand(self, qname: str) -> IRI:
+        """Expand a prefixed name such as ``dbo:almaMater`` to a full IRI."""
+        if ":" not in qname:
+            raise KeyError(f"not a prefixed name: {qname!r}")
+        prefix, local = qname.split(":", 1)
+        try:
+            base = self._by_prefix[prefix]
+        except KeyError:
+            raise KeyError(f"unknown prefix {prefix!r} in {qname!r}") from None
+        return IRI(base + local)
+
+    def compact(self, iri: IRI) -> Optional[str]:
+        """Compact ``iri`` to ``prefix:local`` if a prefix covers it.
+
+        Prefers the longest matching namespace so that overlapping bases
+        (e.g. ``xsd:`` inside a broader base) compact correctly.
+        """
+        best: Optional[Tuple[str, str]] = None
+        for prefix, base in self._by_prefix.items():
+            if iri.value.startswith(base):
+                if best is None or len(base) > len(best[1]):
+                    best = (prefix, base)
+        if best is None:
+            return None
+        prefix, base = best
+        local = iri.value[len(base):]
+        if "/" in local or "#" in local:
+            return None
+        return f"{prefix}:{local}"
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._by_prefix
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._by_prefix.items())
+
+    def copy(self) -> "PrefixRegistry":
+        clone = PrefixRegistry()
+        clone._by_prefix.update(self._by_prefix)
+        return clone
+
+
+def default_registry() -> PrefixRegistry:
+    """A registry pre-populated with the prefixes used across the library."""
+    registry = PrefixRegistry()
+    registry.bind("rdf", RDF.base)
+    registry.bind("rdfs", RDFS.base)
+    registry.bind("owl", OWL.base)
+    registry.bind("xsd", XSD.base)
+    registry.bind("dbo", DBO.base)
+    registry.bind("res", DBR.base)
+    registry.bind("dbr", DBR.base)
+    registry.bind("dbp", DBP.base)
+    registry.bind("foaf", FOAF.base)
+    return registry

@@ -1,0 +1,191 @@
+"""RDF term model: IRIs, literals, blank nodes, and variables.
+
+This module provides the vocabulary-level building blocks used everywhere
+else in the library.  Terms are immutable, hashable value objects so that
+they can serve as keys in the triple-store indexes and as members of
+solution bindings.
+
+The design follows the RDF 1.1 abstract syntax:
+
+* :class:`IRI` — an absolute or prefixed resource identifier.
+* :class:`Literal` — a lexical form, optionally tagged with a language
+  (``"Boston"@en``) or a datatype IRI (``"42"^^xsd:integer``).
+* :class:`BlankNode` — a scoped anonymous node.
+* :class:`Variable` — a SPARQL query variable (``?x``).  Variables are not
+  RDF terms proper, but modelling them alongside the terms keeps triple
+  *patterns* and concrete triples structurally identical, which simplifies
+  the query engine considerably.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "Term",
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Variable",
+    "XSD_STRING",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_BOOLEAN",
+    "is_concrete",
+    "fresh_blank_node",
+]
+
+
+class Term:
+    """Common base class for all RDF terms and query variables.
+
+    The base class is intentionally behaviour-free; it exists so that
+    signatures can say ``Term`` and isinstance checks can distinguish
+    "anything RDF-shaped" from plain Python values.
+    """
+
+
+    def n3(self) -> str:
+        """Render the term in N-Triples/SPARQL surface syntax."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class IRI(Term):
+    """An RDF IRI (resource identifier).
+
+    The ``value`` holds the full IRI string, e.g.
+    ``http://dbpedia.org/ontology/almaMater``.
+    """
+
+    value: str
+
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def local_name(self) -> str:
+        """Return the part after the last ``#`` or ``/`` separator.
+
+        This is the human-meaningful fragment Sapphire matches keywords
+        against (e.g. ``almaMater`` for the IRI above).
+        """
+        for sep in ("#", "/"):
+            if sep in self.value:
+                tail = self.value.rsplit(sep, 1)[1]
+                if tail:
+                    return tail
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.value
+
+
+#: Well-known XSD datatype IRIs used by the literal model and the
+#: SPARQL expression evaluator.
+XSD_STRING = IRI("http://www.w3.org/2001/XMLSchema#string")
+XSD_INTEGER = IRI("http://www.w3.org/2001/XMLSchema#integer")
+XSD_DECIMAL = IRI("http://www.w3.org/2001/XMLSchema#decimal")
+XSD_DOUBLE = IRI("http://www.w3.org/2001/XMLSchema#double")
+XSD_BOOLEAN = IRI("http://www.w3.org/2001/XMLSchema#boolean")
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Term):
+    """An RDF literal: a lexical form plus optional language or datatype.
+
+    Per RDF 1.1 a literal has *either* a language tag (in which case its
+    datatype is ``rdf:langString``) *or* a datatype IRI, never both.  We
+    enforce that in ``__post_init__``.
+
+    Examples::
+
+        Literal("New York", lang="en")
+        Literal("8175133", datatype=XSD_INTEGER)
+        Literal("plain string")          # simple literal (xsd:string)
+    """
+
+    lexical: str
+    lang: Optional[str] = None
+    datatype: Optional[IRI] = None
+
+
+    def __post_init__(self) -> None:
+        if self.lang is not None and self.datatype is not None:
+            raise ValueError("a literal cannot carry both a language tag and a datatype")
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+        if self.lang:
+            return f'"{escaped}"@{self.lang}'
+        if self.datatype and self.datatype != XSD_STRING:
+            return f'"{escaped}"^^{self.datatype.n3()}'
+        return f'"{escaped}"'
+
+    def is_numeric(self) -> bool:
+        """True when the datatype is one of the XSD numeric types."""
+        return self.datatype in (XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE)
+
+    def to_python(self) -> Union[str, int, float, bool]:
+        """Convert to the closest native Python value.
+
+        Falls back to the raw lexical form when the datatype is unknown or
+        the lexical form does not parse, mirroring SPARQL's tolerant
+        treatment of ill-formed literals in non-arithmetic positions.
+        """
+        try:
+            if self.datatype == XSD_INTEGER:
+                return int(self.lexical)
+            if self.datatype in (XSD_DECIMAL, XSD_DOUBLE):
+                return float(self.lexical)
+            if self.datatype == XSD_BOOLEAN:
+                return self.lexical.strip().lower() in ("true", "1")
+        except ValueError:
+            return self.lexical
+        return self.lexical
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.lexical
+
+
+_blank_counter = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode(Term):
+    """An anonymous RDF node, identified by a label scoped to one graph."""
+
+    label: str
+
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+
+def fresh_blank_node(prefix: str = "b") -> BlankNode:
+    """Mint a blank node with a process-unique label."""
+    return BlankNode(f"{prefix}{next(_blank_counter)}")
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A SPARQL variable such as ``?uri``.  ``name`` excludes the ``?``."""
+
+    name: str
+
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"?{self.name}"
+
+
+def is_concrete(term: Term) -> bool:
+    """True when ``term`` is a ground RDF term (not a variable)."""
+    return not isinstance(term, Variable)

@@ -1,0 +1,106 @@
+"""Triples and triple patterns.
+
+A :class:`Triple` is a ground (subject, predicate, object) statement; a
+:class:`TriplePattern` allows variables in any position.  Both share the
+same field layout so that a pattern can be matched against a triple by
+simple positional comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from .terms import IRI, BlankNode, Literal, Term, Variable, is_concrete
+
+__all__ = ["Triple", "TriplePattern", "Binding"]
+
+#: A solution mapping from variable names to ground terms.
+Binding = Dict[str, Term]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A ground RDF triple.
+
+    Subjects are IRIs or blank nodes, predicates are IRIs, and objects may
+    be any ground term.  Construction validates these constraints because a
+    malformed triple silently poisons every index built above it.
+    """
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, (IRI, BlankNode)):
+            raise TypeError(f"triple subject must be an IRI or blank node, got {self.subject!r}")
+        if not isinstance(self.predicate, IRI):
+            raise TypeError(f"triple predicate must be an IRI, got {self.predicate!r}")
+        if not isinstance(self.object, (IRI, BlankNode, Literal)):
+            raise TypeError(f"triple object must be a ground term, got {self.object!r}")
+
+    def as_tuple(self) -> Tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.as_tuple())
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple pattern: any position may be a :class:`Variable`."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+
+    def as_tuple(self) -> Tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    def variables(self) -> Tuple[str, ...]:
+        """Names of the variables appearing in this pattern, in order."""
+        return tuple(t.name for t in self.as_tuple() if isinstance(t, Variable))
+
+    def is_ground(self) -> bool:
+        return all(is_concrete(t) for t in self.as_tuple())
+
+    def bind(self, binding: Binding) -> "TriplePattern":
+        """Substitute bound variables with their values from ``binding``."""
+
+        def subst(term: Term) -> Term:
+            if isinstance(term, Variable) and term.name in binding:
+                return binding[term.name]
+            return term
+
+        return TriplePattern(subst(self.subject), subst(self.predicate), subst(self.object))
+
+    def match(self, triple: Triple) -> Optional[Binding]:
+        """Match this pattern against a ground triple.
+
+        Returns the binding extension required for the match, or ``None``
+        if the triple does not match.  Repeated variables within the
+        pattern must bind consistently (e.g. ``?x :p ?x``).
+        """
+        binding: Binding = {}
+        for pattern_term, ground_term in zip(self.as_tuple(), triple.as_tuple()):
+            if isinstance(pattern_term, Variable):
+                bound = binding.get(pattern_term.name)
+                if bound is None:
+                    binding[pattern_term.name] = ground_term
+                elif bound != ground_term:
+                    return None
+            elif pattern_term != ground_term:
+                return None
+        return binding
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.as_tuple())

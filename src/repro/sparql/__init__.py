@@ -1,0 +1,46 @@
+"""SPARQL engine substrate: parser, expression library, evaluator."""
+
+from .ast_nodes import (
+    Aggregate,
+    BinaryExpr,
+    Expression,
+    FunctionCall,
+    GraphPattern,
+    OrderCondition,
+    Query,
+    SelectItem,
+    TermExpr,
+    UnaryExpr,
+)
+from .errors import EvaluationError, ExpressionError, ParseError, SparqlError
+from .evaluator import QueryEvaluator, evaluate
+from .functions import effective_boolean_value, evaluate_expression
+from .parser import parse_query
+from .results import AskResult, SelectResult
+from .tokens import Token, tokenize
+
+__all__ = [
+    "parse_query",
+    "tokenize",
+    "Token",
+    "Query",
+    "GraphPattern",
+    "SelectItem",
+    "OrderCondition",
+    "Expression",
+    "TermExpr",
+    "UnaryExpr",
+    "BinaryExpr",
+    "FunctionCall",
+    "Aggregate",
+    "QueryEvaluator",
+    "evaluate",
+    "evaluate_expression",
+    "effective_boolean_value",
+    "SelectResult",
+    "AskResult",
+    "SparqlError",
+    "ParseError",
+    "EvaluationError",
+    "ExpressionError",
+]

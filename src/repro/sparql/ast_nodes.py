@@ -1,0 +1,186 @@
+"""Abstract syntax tree for the supported SPARQL subset.
+
+The AST is deliberately small: SELECT/ASK queries over a basic graph
+pattern with FILTERs, plus the solution modifiers the paper's queries
+need (DISTINCT, GROUP BY, ORDER BY, LIMIT, OFFSET) and COUNT aggregation.
+Expression nodes form their own small hierarchy evaluated by
+``functions.evaluate_expression``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import TriplePattern
+
+__all__ = [
+    "Expression",
+    "TermExpr",
+    "UnaryExpr",
+    "BinaryExpr",
+    "FunctionCall",
+    "Aggregate",
+    "SelectItem",
+    "OrderCondition",
+    "GraphPattern",
+    "Query",
+]
+
+
+class Expression:
+    """Base class for expression AST nodes."""
+
+
+    def variables(self) -> Tuple[str, ...]:
+        """Names of variables mentioned anywhere in this expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class TermExpr(Expression):
+    """A constant term or a variable reference."""
+
+    term: Term
+
+
+    def variables(self) -> Tuple[str, ...]:
+        if isinstance(self.term, Variable):
+            return (self.term.name,)
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryExpr(Expression):
+    """``!expr`` or unary minus."""
+
+    op: str
+    operand: Expression
+
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryExpr(Expression):
+    """Logical, comparison, or arithmetic binary operation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self.left.variables() + self.right.variables()))
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall(Expression):
+    """A built-in function call (name is upper-cased at parse time)."""
+
+    name: str
+    args: Tuple[Expression, ...]
+
+
+    def variables(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for arg in self.args:
+            for name in arg.variables():
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate(Expression):
+    """An aggregate expression.  Only COUNT is needed by the paper.
+
+    ``argument`` is None for ``COUNT(*)``; ``distinct`` mirrors
+    ``COUNT(DISTINCT ?x)``.
+    """
+
+    name: str
+    argument: Optional[Expression]
+    distinct: bool = False
+
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.argument.variables() if self.argument is not None else ()
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One projection item: a plain variable or ``(expr AS ?alias)``."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias is not None:
+            return self.alias
+        if isinstance(self.expression, TermExpr) and isinstance(self.expression.term, Variable):
+            return self.expression.term.name
+        raise ValueError("non-variable projection requires an AS alias")
+
+    def is_aggregate(self) -> bool:
+        return isinstance(self.expression, Aggregate)
+
+
+@dataclass(frozen=True, slots=True)
+class OrderCondition:
+    """One ORDER BY condition."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass
+class GraphPattern:
+    """A basic graph pattern: triple patterns plus FILTER constraints.
+
+    ``optionals`` holds OPTIONAL sub-patterns (each itself a
+    :class:`GraphPattern`); the engine supports one level of OPTIONAL,
+    which is all the reproduced workloads require.
+    """
+
+    patterns: List[TriplePattern] = field(default_factory=list)
+    filters: List[Expression] = field(default_factory=list)
+    optionals: List["GraphPattern"] = field(default_factory=list)
+
+    def variables(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for pattern in self.patterns:
+            for name in pattern.variables():
+                if name not in names:
+                    names.append(name)
+        for opt in self.optionals:
+            for name in opt.variables():
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+
+@dataclass
+class Query:
+    """A parsed SPARQL query."""
+
+    form: str  # "SELECT" or "ASK"
+    select_items: List[SelectItem] = field(default_factory=list)
+    select_star: bool = False
+    distinct: bool = False
+    where: GraphPattern = field(default_factory=GraphPattern)
+    group_by: List[str] = field(default_factory=list)
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    def has_aggregates(self) -> bool:
+        return any(item.is_aggregate() for item in self.select_items)
+
+    def projected_names(self) -> List[str]:
+        if self.select_star:
+            return list(self.where.variables())
+        return [item.output_name for item in self.select_items]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the SPARQL engine."""
+
+from __future__ import annotations
+
+__all__ = ["SparqlError", "ParseError", "EvaluationError", "ExpressionError"]
+
+
+class SparqlError(Exception):
+    """Base class for all SPARQL engine errors."""
+
+
+class ParseError(SparqlError):
+    """The query text does not conform to the supported grammar."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message if position < 0 else f"{message} (at offset {position})")
+        self.position = position
+
+
+class EvaluationError(SparqlError):
+    """The query failed during evaluation (not a timeout)."""
+
+
+class ExpressionError(SparqlError):
+    """An expression raised a SPARQL evaluation error.
+
+    In FILTER position these are swallowed (the row is dropped), matching
+    the SPARQL specification's error semantics.
+    """

@@ -1,0 +1,385 @@
+"""SPARQL query evaluation over a :class:`~repro.store.TripleStore`.
+
+The evaluator implements:
+
+* BGP matching as a backtracking index-nested-loop join.  Patterns are
+  reordered greedily by estimated cardinality given the variables already
+  bound — the classic selectivity heuristic — so that e.g. Appendix A's
+  Q6 touches the small ``?s a <Type>`` candidate set before the broad
+  ``?s ?p ?o`` one.
+* FILTERs pushed to the earliest join position at which all their
+  variables are bound (errors drop the row, per the SPARQL spec).
+* One level of OPTIONAL (left outer join).
+* DISTINCT, GROUP BY + COUNT/SUM/MIN/MAX/AVG, ORDER BY, LIMIT/OFFSET.
+* Cost metering: every index probe charges the meter, so a budgeted
+  endpoint aborts long evaluations exactly like a remote timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import IRI, Literal, Term, Variable, XSD_INTEGER
+from ..rdf.triples import Binding, TriplePattern
+from ..store.triplestore import CostMeter, TripleStore
+from .ast_nodes import (
+    Aggregate,
+    Expression,
+    GraphPattern,
+    OrderCondition,
+    Query,
+    SelectItem,
+    TermExpr,
+)
+from .errors import EvaluationError, ExpressionError
+from .functions import effective_boolean_value, evaluate_expression
+from .parser import parse_query
+from .results import AskResult, SelectResult
+
+__all__ = ["QueryEvaluator", "evaluate"]
+
+
+class QueryEvaluator:
+    """Evaluates parsed queries against one triple store."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: Query, meter: Optional[CostMeter] = None):
+        """Evaluate ``query``; returns :class:`SelectResult` or :class:`AskResult`."""
+        meter = meter or CostMeter()
+        if query.form == "ASK":
+            for _ in self._solve_group(query.where, {}, meter):
+                return AskResult(True, cost=meter.cost)
+            return AskResult(False, cost=meter.cost)
+        return self._evaluate_select(query, meter)
+
+    # ------------------------------------------------------------------
+    # SELECT pipeline
+    # ------------------------------------------------------------------
+
+    def _evaluate_select(self, query: Query, meter: CostMeter) -> SelectResult:
+        solutions = list(self._solve_group(query.where, {}, meter))
+
+        if query.has_aggregates() or query.group_by:
+            rows = self._aggregate(query, solutions)
+        else:
+            rows = solutions
+
+        # ORDER BY runs on the full solutions, *before* projection: SPARQL
+        # allows ordering by variables that are not projected (e.g.
+        # ``SELECT ?city ... ORDER BY DESC(?pop) LIMIT 1``).
+        if query.order_by:
+            rows = self._order(rows, query.order_by)
+
+        names = query.projected_names()
+
+        if not query.has_aggregates():
+            rows = [self._project(row, query, names) for row in rows]
+
+        if query.distinct:
+            rows = _distinct(rows, names)
+
+        offset = query.offset or 0
+        if offset:
+            rows = rows[offset:]
+        if query.limit is not None:
+            rows = rows[:query.limit]
+
+        return SelectResult(variables=names, rows=rows, cost=meter.cost)
+
+    def _project(self, row: Binding, query: Query, names: Sequence[str]) -> Binding:
+        if query.select_star:
+            return {name: row[name] for name in names if name in row}
+        projected: Binding = {}
+        for item in query.select_items:
+            try:
+                projected[item.output_name] = evaluate_expression(item.expression, row)
+            except ExpressionError:
+                # Unbound projection variable: leave the cell empty.
+                continue
+        return projected
+
+    # ------------------------------------------------------------------
+    # Group pattern solving
+    # ------------------------------------------------------------------
+
+    def _solve_group(
+        self,
+        group: GraphPattern,
+        initial: Binding,
+        meter: CostMeter,
+    ) -> Iterator[Binding]:
+        filters = list(group.filters)
+        order = _order_patterns(self.store, group.patterns, set(initial.keys()))
+        filter_positions = _assign_filters(order, filters, set(initial.keys()))
+
+        def backtrack(index: int, binding: Binding) -> Iterator[Binding]:
+            for expr in filter_positions.get(index, ()):  # filters ready at this depth
+                if not _filter_passes(expr, binding):
+                    return
+            if index == len(order):
+                yield binding
+                return
+            pattern = order[index].bind(binding)
+            for triple in self.store.match(pattern, meter):
+                extension = pattern.match(triple)
+                if extension is None:
+                    continue
+                merged = dict(binding)
+                merged.update(extension)
+                yield from backtrack(index + 1, merged)
+
+        base = backtrack(0, dict(initial))
+        if not group.optionals:
+            yield from base
+            return
+        for solution in base:
+            yield from self._apply_optionals(group.optionals, solution, meter)
+
+    def _apply_optionals(
+        self,
+        optionals: Sequence[GraphPattern],
+        solution: Binding,
+        meter: CostMeter,
+    ) -> Iterator[Binding]:
+        current = [solution]
+        for optional in optionals:
+            extended: List[Binding] = []
+            for row in current:
+                matches = list(self._solve_group(optional, row, meter))
+                extended.extend(matches if matches else [row])
+            current = extended
+        yield from current
+
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _aggregate(self, query: Query, solutions: List[Binding]) -> List[Binding]:
+        groups: Dict[Tuple, List[Binding]] = {}
+        if query.group_by:
+            for solution in solutions:
+                key = tuple(solution.get(name) for name in query.group_by)
+                groups.setdefault(key, []).append(solution)
+        else:
+            # Implicit single group (COUNT over the whole solution set);
+            # SPARQL still yields one row when there are no solutions.
+            groups[()] = solutions
+
+        rows: List[Binding] = []
+        for key, members in groups.items():
+            row: Binding = {}
+            for name, value in zip(query.group_by, key):
+                if value is not None:
+                    row[name] = value
+            for item in query.select_items:
+                if item.is_aggregate():
+                    try:
+                        row[item.output_name] = _compute_aggregate(item.expression, members)  # type: ignore[arg-type]
+                    except EvaluationError:
+                        # SPARQL: an erroring aggregate (e.g. AVG over an
+                        # empty group) leaves the variable unbound.
+                        continue
+                else:
+                    # A grouped plain variable: constant within the group.
+                    try:
+                        row[item.output_name] = evaluate_expression(
+                            item.expression, members[0] if members else {}
+                        )
+                    except ExpressionError:
+                        continue
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+
+    def _order(self, rows: List[Binding], conditions: Sequence[OrderCondition]) -> List[Binding]:
+        decorated = [(self._sort_key(row, conditions), i, row) for i, row in enumerate(rows)]
+        decorated.sort(key=lambda entry: (entry[0], entry[1]))
+        return [row for _, _, row in decorated]
+
+    def _sort_key(self, row: Binding, conditions: Sequence[OrderCondition]) -> Tuple:
+        key: List = []
+        for condition in conditions:
+            try:
+                term = evaluate_expression(condition.expression, row)
+                rank, value = _orderable(term)
+            except ExpressionError:
+                rank, value = (0, "")  # unbound sorts first, as in SPARQL
+            if not condition.ascending:
+                rank = -rank
+                value = _Reversed(value)
+            key.append((rank, value))
+        return tuple(key)
+
+
+class _Reversed:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        try:
+            return other.value < self.value
+        except TypeError:
+            return str(other.value) < str(self.value)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def _orderable(term: Term) -> Tuple[int, object]:
+    """Map a term to a (type-rank, comparable) pair for stable sorting."""
+    if isinstance(term, Literal):
+        try:
+            if term.is_numeric() or term.lexical.strip().lstrip("+-").replace(".", "", 1).isdigit():
+                return (1, float(term.lexical))
+        except ValueError:
+            pass
+        return (2, term.lexical)
+    if isinstance(term, IRI):
+        return (3, term.value)
+    return (4, str(term))
+
+
+def _distinct(rows: List[Binding], names: Sequence[str]) -> List[Binding]:
+    seen = set()
+    unique: List[Binding] = []
+    for row in rows:
+        key = tuple(row.get(name) for name in names)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(row)
+    return unique
+
+
+def _filter_passes(expr: Expression, binding: Binding) -> bool:
+    try:
+        return effective_boolean_value(evaluate_expression(expr, binding))
+    except ExpressionError:
+        return False
+
+
+def _order_patterns(
+    store: TripleStore,
+    patterns: Sequence[TriplePattern],
+    bound: set,
+) -> List[TriplePattern]:
+    """Greedy selectivity ordering.
+
+    Repeatedly picks the remaining pattern with the smallest cardinality
+    estimate, treating variables bound by already-chosen patterns as
+    constants for estimation purposes (estimated via the most selective
+    concrete position).
+    """
+    remaining = list(patterns)
+    ordered: List[TriplePattern] = []
+    bound_now = set(bound)
+
+    def estimate(pattern: TriplePattern) -> Tuple[int, int]:
+        # Positions whose variable is already bound act like constants but
+        # we cannot know the constant yet; approximate by halving.
+        concrete = pattern.bind({name: IRI("urn:bound") for name in bound_now
+                                 if name in pattern.variables()})
+        free_vars = sum(1 for v in concrete.variables())
+        raw = store.cardinality_estimate(pattern)
+        # Patterns sharing bound variables join more selectively.
+        shared = len(set(pattern.variables()) & bound_now)
+        return (raw >> shared, free_vars)
+
+    while remaining:
+        best_index = min(range(len(remaining)), key=lambda i: estimate(remaining[i]))
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        bound_now.update(chosen.variables())
+    return ordered
+
+
+def _assign_filters(
+    order: Sequence[TriplePattern],
+    filters: Sequence[Expression],
+    initially_bound: set,
+) -> Dict[int, List[Expression]]:
+    """Map join depth -> filters whose variables are all bound at that depth."""
+    positions: Dict[int, List[Expression]] = {}
+    bound = set(initially_bound)
+    depth_of_var: Dict[str, int] = {name: 0 for name in bound}
+    for depth, pattern in enumerate(order, start=1):
+        for name in pattern.variables():
+            depth_of_var.setdefault(name, depth)
+    last_depth = len(order)
+    for expr in filters:
+        needed = expr.variables()
+        depth = max((depth_of_var.get(name, last_depth) for name in needed), default=0)
+        positions.setdefault(depth, []).append(expr)
+    return positions
+
+
+def _compute_aggregate(aggregate: Aggregate, members: List[Binding]) -> Term:
+    if aggregate.name == "COUNT":
+        if aggregate.argument is None:
+            values: List[Term] = [Literal("1")] * len(members)
+        else:
+            values = _agg_values(aggregate, members)
+        if aggregate.distinct:
+            values = list(dict.fromkeys(values))
+        return Literal(str(len(values)), datatype=XSD_INTEGER)
+
+    values = _agg_values(aggregate, members)
+    if aggregate.distinct:
+        values = list(dict.fromkeys(values))
+    numbers: List[float] = []
+    for value in values:
+        if isinstance(value, Literal):
+            try:
+                numbers.append(float(value.lexical))
+            except ValueError:
+                continue
+    if aggregate.name == "SUM":
+        return _int_or_double(sum(numbers))
+    if not numbers:
+        raise EvaluationError(f"{aggregate.name} over empty/non-numeric group")
+    if aggregate.name == "MIN":
+        return _int_or_double(min(numbers))
+    if aggregate.name == "MAX":
+        return _int_or_double(max(numbers))
+    if aggregate.name == "AVG":
+        return _int_or_double(sum(numbers) / len(numbers))
+    raise EvaluationError(f"unsupported aggregate {aggregate.name}")
+
+
+def _agg_values(aggregate: Aggregate, members: List[Binding]) -> List[Term]:
+    values: List[Term] = []
+    assert aggregate.argument is not None
+    for member in members:
+        try:
+            values.append(evaluate_expression(aggregate.argument, member))
+        except ExpressionError:
+            continue
+    return values
+
+
+def _int_or_double(value: float) -> Literal:
+    if float(value).is_integer():
+        return Literal(str(int(value)), datatype=XSD_INTEGER)
+    from ..rdf.terms import XSD_DOUBLE
+
+    return Literal(repr(value), datatype=XSD_DOUBLE)
+
+
+def evaluate(store: TripleStore, query_text: str, meter: Optional[CostMeter] = None):
+    """Parse and evaluate ``query_text`` against ``store`` in one call."""
+    query = parse_query(query_text)
+    return QueryEvaluator(store).evaluate(query, meter)

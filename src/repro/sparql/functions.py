@@ -1,0 +1,376 @@
+"""SPARQL expression evaluation.
+
+Implements the function library and operator semantics needed by the
+paper's queries (Appendix A) and the PUM: type-checking predicates
+(``isLiteral``/``isIRI``), accessors (``lang``, ``str``, ``strlen``,
+``datatype``), string tests (``regex``, ``contains``, ``strStarts``,
+``strEnds``, ``langMatches``), case mapping, numeric comparison and
+arithmetic, and the SPARQL effective boolean value rules.
+
+Errors follow the SPARQL model: an evaluation error raises
+:class:`ExpressionError`; FILTER treats an error as "drop the row", and
+``||``/``&&`` recover when one side suffices to decide the result.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Optional, Union
+
+from ..rdf.terms import (
+    IRI,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    BlankNode,
+    Literal,
+    Term,
+    Variable,
+)
+from ..rdf.triples import Binding
+from .ast_nodes import (
+    Aggregate,
+    BinaryExpr,
+    Expression,
+    FunctionCall,
+    TermExpr,
+    UnaryExpr,
+)
+from .errors import ExpressionError
+
+__all__ = [
+    "evaluate_expression",
+    "effective_boolean_value",
+    "TRUE",
+    "FALSE",
+]
+
+TRUE = Literal("true", datatype=XSD_BOOLEAN)
+FALSE = Literal("false", datatype=XSD_BOOLEAN)
+
+
+def _boolean(value: bool) -> Literal:
+    return TRUE if value else FALSE
+
+
+def effective_boolean_value(term: Term) -> bool:
+    """SPARQL EBV: booleans by value, numbers by non-zero, strings by non-empty."""
+    if isinstance(term, Literal):
+        if term.datatype == XSD_BOOLEAN:
+            return term.lexical.strip().lower() in ("true", "1")
+        if term.is_numeric():
+            try:
+                return float(term.lexical) != 0.0
+            except ValueError:
+                raise ExpressionError(f"ill-formed numeric literal {term.lexical!r}")
+        return len(term.lexical) > 0
+    raise ExpressionError(f"no effective boolean value for {term!r}")
+
+
+def _numeric_value(term: Term) -> Union[int, float]:
+    if isinstance(term, Literal):
+        try:
+            if term.datatype == XSD_INTEGER:
+                return int(term.lexical)
+            if term.datatype in (XSD_DECIMAL, XSD_DOUBLE):
+                return float(term.lexical)
+            # Untyped literals that look numeric participate in arithmetic;
+            # this mirrors the forgiving behaviour of public endpoints.
+            return int(term.lexical) if term.lexical.lstrip("+-").isdigit() else float(term.lexical)
+        except ValueError:
+            raise ExpressionError(f"not a number: {term.lexical!r}") from None
+    raise ExpressionError(f"not a numeric literal: {term!r}")
+
+
+def _string_value(term: Term) -> str:
+    """The STR() coercion: IRIs to their text, literals to lexical form."""
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError(f"STR not defined for {term!r}")
+
+
+def _compare(op: str, left: Term, right: Term) -> bool:
+    """Order comparison with numeric promotion, else string comparison."""
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if (left.is_numeric() or right.is_numeric()) or (
+            _looks_numeric(left) and _looks_numeric(right)
+        ):
+            try:
+                lv, rv = _numeric_value(left), _numeric_value(right)
+                return _apply_order(op, lv, rv)
+            except ExpressionError:
+                pass
+        return _apply_order(op, left.lexical, right.lexical)
+    raise ExpressionError(f"cannot order {left!r} and {right!r}")
+
+
+def _looks_numeric(literal: Literal) -> bool:
+    text = literal.lexical.strip()
+    if not text:
+        return False
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _apply_order(op: str, lv, rv) -> bool:
+    if op == "<":
+        return lv < rv
+    if op == ">":
+        return lv > rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">=":
+        return lv >= rv
+    raise ExpressionError(f"unknown order operator {op}")
+
+
+def _equals(left: Term, right: Term) -> bool:
+    if left == right:
+        return True
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        # numeric value equality across types (1 = 1.0)
+        if _looks_numeric(left) and _looks_numeric(right) and (
+            left.is_numeric() or right.is_numeric()
+        ):
+            try:
+                return _numeric_value(left) == _numeric_value(right)
+            except ExpressionError:
+                return False
+        # simple literal vs xsd:string equivalence
+        if left.lexical == right.lexical and left.lang is None and right.lang is None:
+            ldt = left.datatype or XSD_STRING
+            rdt = right.datatype or XSD_STRING
+            return ldt == rdt
+    return False
+
+
+def evaluate_expression(expr: Expression, binding: Binding) -> Term:
+    """Evaluate ``expr`` under ``binding``; returns a ground term.
+
+    Raises :class:`ExpressionError` for unbound variables, type errors and
+    ill-formed values.  Aggregates are *not* handled here — the evaluator
+    computes them over groups and never routes them through this function.
+    """
+    if isinstance(expr, TermExpr):
+        term = expr.term
+        if isinstance(term, Variable):
+            try:
+                return binding[term.name]
+            except KeyError:
+                raise ExpressionError(f"unbound variable ?{term.name}") from None
+        return term
+    if isinstance(expr, UnaryExpr):
+        return _evaluate_unary(expr, binding)
+    if isinstance(expr, BinaryExpr):
+        return _evaluate_binary(expr, binding)
+    if isinstance(expr, FunctionCall):
+        return _evaluate_function(expr, binding)
+    if isinstance(expr, Aggregate):
+        raise ExpressionError("aggregate used outside of aggregation context")
+    raise ExpressionError(f"unknown expression node {expr!r}")
+
+
+def _evaluate_unary(expr: UnaryExpr, binding: Binding) -> Term:
+    if expr.op == "!":
+        value = effective_boolean_value(evaluate_expression(expr.operand, binding))
+        return _boolean(not value)
+    if expr.op == "-":
+        value = _numeric_value(evaluate_expression(expr.operand, binding))
+        return _make_numeric(-value)
+    raise ExpressionError(f"unknown unary operator {expr.op}")
+
+
+def _evaluate_binary(expr: BinaryExpr, binding: Binding) -> Term:
+    op = expr.op
+    if op == "||":
+        # SPARQL logical-or: true if either side is true, error only if
+        # neither side can establish the result.
+        left_err: Optional[ExpressionError] = None
+        try:
+            if effective_boolean_value(evaluate_expression(expr.left, binding)):
+                return TRUE
+            left_ok = True
+        except ExpressionError as exc:
+            left_err, left_ok = exc, False
+        try:
+            if effective_boolean_value(evaluate_expression(expr.right, binding)):
+                return TRUE
+            if left_ok:
+                return FALSE
+        except ExpressionError:
+            raise
+        raise left_err  # left errored, right was false
+    if op == "&&":
+        left_err = None
+        try:
+            if not effective_boolean_value(evaluate_expression(expr.left, binding)):
+                return FALSE
+            left_ok = True
+        except ExpressionError as exc:
+            left_err, left_ok = exc, False
+        try:
+            if not effective_boolean_value(evaluate_expression(expr.right, binding)):
+                return FALSE
+            if left_ok:
+                return TRUE
+        except ExpressionError:
+            raise
+        raise left_err
+    left = evaluate_expression(expr.left, binding)
+    right = evaluate_expression(expr.right, binding)
+    if op == "=":
+        return _boolean(_equals(left, right))
+    if op == "!=":
+        return _boolean(not _equals(left, right))
+    if op in ("<", ">", "<=", ">="):
+        return _boolean(_compare(op, left, right))
+    if op in ("+", "-", "*", "/"):
+        lv, rv = _numeric_value(left), _numeric_value(right)
+        if op == "+":
+            return _make_numeric(lv + rv)
+        if op == "-":
+            return _make_numeric(lv - rv)
+        if op == "*":
+            return _make_numeric(lv * rv)
+        if rv == 0:
+            raise ExpressionError("division by zero")
+        return _make_numeric(lv / rv)
+    raise ExpressionError(f"unknown binary operator {op}")
+
+
+def _make_numeric(value: Union[int, float]) -> Literal:
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    return Literal(repr(value), datatype=XSD_DOUBLE)
+
+
+def _fn_isliteral(args, binding):
+    return _boolean(isinstance(args[0], Literal))
+
+
+def _fn_isiri(args, binding):
+    return _boolean(isinstance(args[0], IRI))
+
+
+def _fn_isblank(args, binding):
+    return _boolean(isinstance(args[0], BlankNode))
+
+
+def _fn_lang(args, binding):
+    term = args[0]
+    if not isinstance(term, Literal):
+        raise ExpressionError("LANG requires a literal")
+    return Literal(term.lang or "")
+
+
+def _fn_str(args, binding):
+    return Literal(_string_value(args[0]))
+
+
+def _fn_strlen(args, binding):
+    term = args[0]
+    if not isinstance(term, Literal):
+        raise ExpressionError("STRLEN requires a literal")
+    return Literal(str(len(term.lexical)), datatype=XSD_INTEGER)
+
+
+def _fn_regex(args, binding):
+    if len(args) < 2:
+        raise ExpressionError("REGEX requires (text, pattern[, flags])")
+    text = _string_value(args[0])
+    pattern = _string_value(args[1])
+    flags = 0
+    if len(args) > 2 and "i" in _string_value(args[2]):
+        flags |= re.IGNORECASE
+    try:
+        return _boolean(re.search(pattern, text, flags) is not None)
+    except re.error as exc:
+        raise ExpressionError(f"bad regex {pattern!r}: {exc}") from None
+
+
+def _fn_contains(args, binding):
+    return _boolean(_string_value(args[1]) in _string_value(args[0]))
+
+
+def _fn_strstarts(args, binding):
+    return _boolean(_string_value(args[0]).startswith(_string_value(args[1])))
+
+
+def _fn_strends(args, binding):
+    return _boolean(_string_value(args[0]).endswith(_string_value(args[1])))
+
+
+def _fn_langmatches(args, binding):
+    tag = _string_value(args[0]).lower()
+    rng = _string_value(args[1]).lower()
+    if rng == "*":
+        return _boolean(bool(tag))
+    return _boolean(tag == rng or tag.startswith(rng + "-"))
+
+
+def _fn_lcase(args, binding):
+    term = args[0]
+    if not isinstance(term, Literal):
+        raise ExpressionError("LCASE requires a literal")
+    return Literal(term.lexical.lower(), lang=term.lang, datatype=term.datatype)
+
+
+def _fn_ucase(args, binding):
+    term = args[0]
+    if not isinstance(term, Literal):
+        raise ExpressionError("UCASE requires a literal")
+    return Literal(term.lexical.upper(), lang=term.lang, datatype=term.datatype)
+
+
+def _fn_datatype(args, binding):
+    term = args[0]
+    if not isinstance(term, Literal):
+        raise ExpressionError("DATATYPE requires a literal")
+    if term.lang is not None:
+        return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+    return term.datatype or XSD_STRING
+
+
+def _fn_abs(args, binding):
+    return _make_numeric(abs(_numeric_value(args[0])))
+
+
+_FUNCTIONS: Dict[str, Callable] = {
+    "ISLITERAL": _fn_isliteral,
+    "ISIRI": _fn_isiri,
+    "ISURI": _fn_isiri,
+    "ISBLANK": _fn_isblank,
+    "LANG": _fn_lang,
+    "STR": _fn_str,
+    "STRLEN": _fn_strlen,
+    "REGEX": _fn_regex,
+    "CONTAINS": _fn_contains,
+    "STRSTARTS": _fn_strstarts,
+    "STRENDS": _fn_strends,
+    "LANGMATCHES": _fn_langmatches,
+    "LCASE": _fn_lcase,
+    "UCASE": _fn_ucase,
+    "DATATYPE": _fn_datatype,
+    "ABS": _fn_abs,
+}
+
+
+def _evaluate_function(expr: FunctionCall, binding: Binding) -> Term:
+    if expr.name == "BOUND":
+        if len(expr.args) != 1 or not isinstance(expr.args[0], TermExpr) or not isinstance(
+            expr.args[0].term, Variable
+        ):
+            raise ExpressionError("BOUND requires a single variable argument")
+        return _boolean(expr.args[0].term.name in binding)
+    handler = _FUNCTIONS.get(expr.name)
+    if handler is None:
+        raise ExpressionError(f"unknown function {expr.name}")
+    args = [evaluate_expression(arg, binding) for arg in expr.args]
+    return handler(args, binding)

@@ -1,0 +1,492 @@
+"""Recursive-descent parser for the supported SPARQL subset.
+
+Grammar (informal)::
+
+    Query        := Prologue (SelectQuery | AskQuery)
+    Prologue     := ("PREFIX" PNAME_NS IRIREF)*
+    SelectQuery  := "SELECT" "DISTINCT"? (Star | SelectItem+) WhereClause
+                    Modifiers
+    AskQuery     := "ASK" WhereClause
+    SelectItem   := Var | "(" Expression "AS" Var ")"
+                  | ("COUNT" "(" ("*" | "DISTINCT"? Expression) ")") ("AS" Var)?
+    WhereClause  := "WHERE"? "{" (TriplesBlock | Filter | Optional)* "}"
+    Optional     := "OPTIONAL" "{" (TriplesBlock | Filter)* "}"
+    Modifiers    := ("GROUP" "BY" Var+)? ("ORDER" "BY" OrderCond+)?
+                    ("LIMIT" INT)? ("OFFSET" INT)?  (in any order for
+                    LIMIT/OFFSET, GROUP before ORDER as in SPARQL)
+
+The expression grammar implements ``||``, ``&&``, comparisons, additive
+and multiplicative arithmetic, unary ``!``/``-``, function calls, and
+parenthesised sub-expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rdf.namespaces import RDF_TYPE, PrefixRegistry, default_registry
+from ..rdf.terms import (
+    IRI,
+    XSD_DECIMAL,
+    XSD_INTEGER,
+    Literal,
+    Term,
+    Variable,
+)
+from ..rdf.triples import TriplePattern
+from .ast_nodes import (
+    Aggregate,
+    BinaryExpr,
+    Expression,
+    FunctionCall,
+    GraphPattern,
+    OrderCondition,
+    Query,
+    SelectItem,
+    TermExpr,
+    UnaryExpr,
+)
+from .errors import ParseError
+from .tokens import Token, tokenize
+
+__all__ = ["parse_query", "SparqlParser"]
+
+_KNOWN_FUNCTIONS = {
+    "ISLITERAL", "ISIRI", "ISURI", "ISBLANK", "BOUND", "LANG", "STR",
+    "STRLEN", "REGEX", "CONTAINS", "STRSTARTS", "STRENDS", "LANGMATCHES",
+    "LCASE", "UCASE", "DATATYPE", "ABS",
+}
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+class SparqlParser:
+    """Parses one query string into a :class:`Query` AST."""
+
+    def __init__(self, text: str, prefixes: Optional[PrefixRegistry] = None) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self.prefixes = (prefixes or default_registry()).copy()
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.peek().position)
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise self.error(f"expected {kind}, found {token.kind} {token.value!r}")
+        return self.advance()
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value.upper() in words
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.at_keyword(word):
+            raise self.error(f"expected keyword {word}")
+        self.advance()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._parse_prologue()
+        if self.at_keyword("SELECT"):
+            query = self._parse_select()
+        elif self.at_keyword("ASK"):
+            query = self._parse_ask()
+        else:
+            raise self.error("query must start with SELECT or ASK (after prefixes)")
+        if self.peek().kind != "EOF":
+            raise self.error(f"trailing input: {self.peek().value!r}")
+        self._validate(query)
+        return query
+
+    def _parse_prologue(self) -> None:
+        while self.at_keyword("PREFIX"):
+            self.advance()
+            token = self.peek()
+            if token.kind != "PNAME" or not token.value.endswith(":"):
+                # tokenizer folds "dbo:" into PNAME "dbo:" (empty local part)
+                if token.kind == "PNAME" and ":" in token.value:
+                    pass
+                else:
+                    raise self.error("expected prefix name ending in ':'")
+            pname = self.advance().value
+            prefix = pname.split(":", 1)[0]
+            iri = self.expect("IRI").value
+            self.prefixes.bind(prefix, iri)
+
+    # ------------------------------------------------------------------
+    # Query forms
+    # ------------------------------------------------------------------
+
+    def _parse_select(self) -> Query:
+        self.expect_keyword("SELECT")
+        query = Query(form="SELECT")
+        if self.at_keyword("DISTINCT"):
+            self.advance()
+            query.distinct = True
+        if self.peek().kind == "*":
+            self.advance()
+            query.select_star = True
+        else:
+            while True:
+                item = self._try_parse_select_item()
+                if item is None:
+                    break
+                query.select_items.append(item)
+            if not query.select_items:
+                raise self.error("SELECT requires at least one projection item")
+        query.where = self._parse_where()
+        self._parse_modifiers(query)
+        return query
+
+    def _parse_ask(self) -> Query:
+        self.expect_keyword("ASK")
+        query = Query(form="ASK")
+        query.where = self._parse_where()
+        return query
+
+    def _try_parse_select_item(self) -> Optional[SelectItem]:
+        token = self.peek()
+        if token.kind == "VAR":
+            self.advance()
+            return SelectItem(TermExpr(Variable(token.value)))
+        if token.kind == "KEYWORD" and token.value.upper() in _AGGREGATES:
+            aggregate = self._parse_aggregate()
+            alias = None
+            if self.at_keyword("AS"):
+                self.advance()
+                alias = self.expect("VAR").value
+            return SelectItem(aggregate, alias=alias or self._implicit_agg_alias(aggregate))
+        if token.kind == "(":
+            self.advance()
+            expr = self._parse_expression()
+            self.expect_keyword("AS")
+            alias = self.expect("VAR").value
+            self.expect(")")
+            return SelectItem(expr, alias=alias)
+        return None
+
+    @staticmethod
+    def _implicit_agg_alias(aggregate: Aggregate) -> str:
+        """Name used when ``count(?x)`` appears without AS (paper's Q1 style)."""
+        return f"{aggregate.name.lower()}"
+
+    def _parse_aggregate(self) -> Aggregate:
+        name = self.advance().value.upper()
+        self.expect("(")
+        distinct = False
+        if self.at_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        if self.peek().kind == "*":
+            self.advance()
+            argument: Optional[Expression] = None
+        else:
+            argument = self._parse_expression()
+        self.expect(")")
+        return Aggregate(name, argument, distinct)
+
+    # ------------------------------------------------------------------
+    # WHERE clause
+    # ------------------------------------------------------------------
+
+    def _parse_where(self) -> GraphPattern:
+        if self.at_keyword("WHERE"):
+            self.advance()
+        self.expect("{")
+        pattern = self._parse_group_body()
+        self.expect("}")
+        return pattern
+
+    def _parse_group_body(self) -> GraphPattern:
+        group = GraphPattern()
+        while True:
+            token = self.peek()
+            if token.kind == "}":
+                return group
+            if token.kind == "EOF":
+                raise self.error("unterminated group pattern")
+            if self.at_keyword("FILTER"):
+                self.advance()
+                self.expect("(")
+                group.filters.append(self._parse_expression())
+                self.expect(")")
+                self._skip_dot()
+                continue
+            if self.at_keyword("OPTIONAL"):
+                self.advance()
+                self.expect("{")
+                group.optionals.append(self._parse_group_body())
+                self.expect("}")
+                self._skip_dot()
+                continue
+            self._parse_triples_same_subject(group)
+
+    def _skip_dot(self) -> None:
+        if self.peek().kind == ".":
+            self.advance()
+
+    def _parse_triples_same_subject(self, group: GraphPattern) -> None:
+        subject = self._parse_term(allow_literal=False)
+        while True:
+            predicate = self._parse_verb()
+            obj = self._parse_term(allow_literal=True)
+            group.patterns.append(TriplePattern(subject, predicate, obj))
+            token = self.peek()
+            if token.kind == ";":
+                self.advance()
+                if self.peek().kind in ("}", "."):
+                    self._skip_dot()
+                    return
+                continue
+            if token.kind == ",":
+                # object list: same subject & predicate
+                self.advance()
+                obj = self._parse_term(allow_literal=True)
+                group.patterns.append(TriplePattern(subject, predicate, obj))
+            self._skip_dot()
+            return
+
+    def _parse_verb(self) -> Term:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == "a":
+            self.advance()
+            return RDF_TYPE
+        return self._parse_term(allow_literal=False)
+
+    def _parse_term(self, allow_literal: bool) -> Term:
+        token = self.peek()
+        if token.kind == "VAR":
+            self.advance()
+            return Variable(token.value)
+        if token.kind == "IRI":
+            self.advance()
+            return IRI(token.value)
+        if token.kind == "PNAME":
+            self.advance()
+            return self.prefixes.expand(token.value)
+        if token.kind == "STRING":
+            if not allow_literal:
+                raise self.error("literal not allowed here")
+            return self._finish_literal(self.advance().value)
+        if token.kind == "NUMBER":
+            if not allow_literal:
+                raise self.error("number not allowed here")
+            self.advance()
+            return _number_literal(token.value)
+        raise self.error(f"expected term, found {token.kind} {token.value!r}")
+
+    def _finish_literal(self, lexical: str) -> Literal:
+        token = self.peek()
+        if token.kind == "LANGTAG":
+            self.advance()
+            return Literal(lexical, lang=token.value)
+        if token.kind == "^^":
+            self.advance()
+            dtype_token = self.peek()
+            if dtype_token.kind == "IRI":
+                self.advance()
+                return Literal(lexical, datatype=IRI(dtype_token.value))
+            if dtype_token.kind == "PNAME":
+                self.advance()
+                return Literal(lexical, datatype=self.prefixes.expand(dtype_token.value))
+            raise self.error("expected datatype IRI after ^^")
+        return Literal(lexical)
+
+    # ------------------------------------------------------------------
+    # Solution modifiers
+    # ------------------------------------------------------------------
+
+    def _parse_modifiers(self, query: Query) -> None:
+        if self.at_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            while self.peek().kind == "VAR":
+                query.group_by.append(self.advance().value)
+            if not query.group_by:
+                raise self.error("GROUP BY requires at least one variable")
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            while True:
+                condition = self._try_parse_order_condition()
+                if condition is None:
+                    break
+                query.order_by.append(condition)
+            if not query.order_by:
+                raise self.error("ORDER BY requires at least one condition")
+        # LIMIT and OFFSET may appear in either order.
+        for _ in range(2):
+            if self.at_keyword("LIMIT"):
+                self.advance()
+                query.limit = int(self.expect("NUMBER").value)
+            elif self.at_keyword("OFFSET"):
+                self.advance()
+                query.offset = int(self.expect("NUMBER").value)
+
+    def _try_parse_order_condition(self) -> Optional[OrderCondition]:
+        token = self.peek()
+        if token.kind == "VAR":
+            self.advance()
+            return OrderCondition(TermExpr(Variable(token.value)), ascending=True)
+        if self.at_keyword("ASC", "DESC"):
+            ascending = self.advance().value.upper() == "ASC"
+            self.expect("(")
+            expr = self._parse_expression()
+            self.expect(")")
+            return OrderCondition(expr, ascending=ascending)
+        return None
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.peek().kind == "||":
+            self.advance()
+            left = BinaryExpr("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_relational()
+        while self.peek().kind == "&&":
+            self.advance()
+            left = BinaryExpr("&&", left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        kind = self.peek().kind
+        if kind in ("=", "!=", "<", ">", "<=", ">="):
+            op = self.advance().kind
+            return BinaryExpr(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self.peek().kind in ("+", "-"):
+            op = self.advance().kind
+            left = BinaryExpr(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self.peek().kind in ("*", "/"):
+            op = self.advance().kind
+            left = BinaryExpr(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "!":
+            self.advance()
+            return UnaryExpr("!", self._parse_unary())
+        if token.kind == "-":
+            self.advance()
+            return UnaryExpr("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "(":
+            self.advance()
+            expr = self._parse_expression()
+            self.expect(")")
+            return expr
+        if token.kind == "VAR":
+            self.advance()
+            return TermExpr(Variable(token.value))
+        if token.kind == "STRING":
+            self.advance()
+            return TermExpr(self._finish_literal(token.value))
+        if token.kind == "NUMBER":
+            self.advance()
+            return TermExpr(_number_literal(token.value))
+        if token.kind == "IRI":
+            self.advance()
+            return TermExpr(IRI(token.value))
+        if token.kind == "PNAME":
+            self.advance()
+            return TermExpr(self.prefixes.expand(token.value))
+        if token.kind == "KEYWORD":
+            name = token.value.upper()
+            if name in _AGGREGATES:
+                return self._parse_aggregate()
+            if name in _KNOWN_FUNCTIONS:
+                self.advance()
+                self.expect("(")
+                args: List[Expression] = []
+                if self.peek().kind != ")":
+                    args.append(self._parse_expression())
+                    while self.peek().kind == ",":
+                        self.advance()
+                        args.append(self._parse_expression())
+                self.expect(")")
+                return FunctionCall(name, tuple(args))
+            if name in ("TRUE", "FALSE"):
+                self.advance()
+                from ..rdf.terms import XSD_BOOLEAN
+
+                return TermExpr(Literal(name.lower(), datatype=XSD_BOOLEAN))
+            raise self.error(f"unknown function or keyword {token.value!r}")
+        raise self.error(f"unexpected token in expression: {token.kind}")
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self, query: Query) -> None:
+        if query.form != "SELECT":
+            return
+        if query.group_by:
+            allowed = set(query.group_by)
+            for item in query.select_items:
+                if item.is_aggregate():
+                    continue
+                for name in item.expression.variables():
+                    if name not in allowed:
+                        raise ParseError(
+                            f"variable ?{name} must appear in GROUP BY or inside an aggregate"
+                        )
+        if query.has_aggregates() and query.select_star:
+            raise ParseError("SELECT * cannot be combined with aggregates")
+
+
+def _number_literal(text: str) -> Literal:
+    if "." in text:
+        return Literal(text, datatype=XSD_DECIMAL)
+    return Literal(text, datatype=XSD_INTEGER)
+
+
+def parse_query(text: str, prefixes: Optional[PrefixRegistry] = None) -> Query:
+    """Parse ``text`` into a :class:`Query`.
+
+    ``prefixes`` seeds the prefix table; PREFIX declarations in the query
+    extend (and may shadow) it.  The default registry already contains the
+    common rdf/rdfs/owl/xsd/dbo/dbr prefixes, matching how the paper's
+    example queries rely on ambient ``rdf:`` bindings.
+    """
+    return SparqlParser(text, prefixes).parse()

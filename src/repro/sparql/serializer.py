@@ -1,0 +1,123 @@
+"""Serialize AST nodes back to SPARQL text.
+
+The QSM constructs alternative queries by editing ASTs and must show the
+user (and send to endpoints) concrete SPARQL; the federated processor
+ships sub-queries to endpoints as text.  This module renders the subset
+AST losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..rdf.terms import Term
+from ..rdf.triples import TriplePattern
+from .ast_nodes import (
+    Aggregate,
+    BinaryExpr,
+    Expression,
+    FunctionCall,
+    GraphPattern,
+    OrderCondition,
+    Query,
+    SelectItem,
+    TermExpr,
+    UnaryExpr,
+)
+
+__all__ = ["serialize_query", "serialize_expression", "select_query", "ask_query"]
+
+
+def serialize_expression(expr: Expression) -> str:
+    """Render an expression AST as SPARQL text."""
+    if isinstance(expr, TermExpr):
+        return expr.term.n3()
+    if isinstance(expr, UnaryExpr):
+        return f"{expr.op}({serialize_expression(expr.operand)})"
+    if isinstance(expr, BinaryExpr):
+        return (
+            f"({serialize_expression(expr.left)} {expr.op} "
+            f"{serialize_expression(expr.right)})"
+        )
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(serialize_expression(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, Aggregate):
+        inner = "*" if expr.argument is None else serialize_expression(expr.argument)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{inner})"
+    raise TypeError(f"cannot serialize expression {expr!r}")
+
+
+def _serialize_group(group: GraphPattern, indent: str = "  ") -> str:
+    lines: List[str] = []
+    for pattern in group.patterns:
+        lines.append(f"{indent}{pattern.n3()}")
+    for expr in group.filters:
+        lines.append(f"{indent}FILTER ({serialize_expression(expr)})")
+    for optional in group.optionals:
+        lines.append(f"{indent}OPTIONAL {{")
+        lines.append(_serialize_group(optional, indent + "  "))
+        lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def _serialize_select_item(item: SelectItem) -> str:
+    if isinstance(item.expression, TermExpr) and item.alias is None:
+        return item.expression.term.n3()
+    return f"({serialize_expression(item.expression)} AS ?{item.output_name})"
+
+
+def serialize_query(query: Query) -> str:
+    """Render a full query AST as SPARQL text."""
+    lines: List[str] = []
+    if query.form == "ASK":
+        lines.append("ASK {")
+        lines.append(_serialize_group(query.where))
+        lines.append("}")
+        return "\n".join(lines)
+
+    head = "SELECT"
+    if query.distinct:
+        head += " DISTINCT"
+    if query.select_star:
+        head += " *"
+    else:
+        head += " " + " ".join(_serialize_select_item(item) for item in query.select_items)
+    lines.append(head + " WHERE {")
+    lines.append(_serialize_group(query.where))
+    lines.append("}")
+    if query.group_by:
+        lines.append("GROUP BY " + " ".join(f"?{name}" for name in query.group_by))
+    if query.order_by:
+        parts = []
+        for condition in query.order_by:
+            rendered = serialize_expression(condition.expression)
+            parts.append(f"ASC({rendered})" if condition.ascending else f"DESC({rendered})")
+        lines.append("ORDER BY " + " ".join(parts))
+    if query.limit is not None:
+        lines.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        lines.append(f"OFFSET {query.offset}")
+    return "\n".join(lines)
+
+
+def select_query(
+    patterns: Sequence[TriplePattern],
+    filters: Sequence[Expression] = (),
+    distinct: bool = True,
+    limit: Optional[int] = None,
+) -> Query:
+    """Convenience constructor: SELECT * over ``patterns`` with ``filters``."""
+    return Query(
+        form="SELECT",
+        select_star=True,
+        distinct=distinct,
+        where=GraphPattern(patterns=list(patterns), filters=list(filters)),
+        limit=limit,
+    )
+
+
+def ask_query(patterns: Sequence[TriplePattern]) -> Query:
+    """Convenience constructor: ASK over ``patterns``."""
+    return Query(form="ASK", where=GraphPattern(patterns=list(patterns)))

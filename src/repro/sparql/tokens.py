@@ -1,0 +1,166 @@
+"""Tokenizer for the supported SPARQL subset.
+
+Produces a flat token stream consumed by the recursive-descent parser.
+Token kinds:
+
+* ``IRI``        — ``<http://...>`` (value excludes the angle brackets)
+* ``PNAME``      — prefixed name ``dbo:almaMater`` (also bare ``rdf:type``)
+* ``VAR``        — ``?name`` (value excludes the ``?``)
+* ``STRING``     — quoted string, escapes resolved; may be followed by
+                   ``LANGTAG`` or ``^^`` + IRI which the parser assembles
+* ``LANGTAG``    — ``@en``
+* ``NUMBER``     — integer or decimal
+* ``KEYWORD``    — bare word (SELECT, WHERE, FILTER, function names, ``a``)
+* punctuation    — one of ``{ } ( ) . , ; * = != <= >= < > && || ! + - / ^^``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import ParseError
+
+__all__ = ["Token", "tokenize"]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+
+_PUNCT_TWO = ("&&", "||", "!=", "<=", ">=", "^^")
+_PUNCT_ONE = "{}().,;*=<>!+-/"
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a quoted string starting at ``start`` (which is the quote)."""
+    quote = text[start]
+    out: List[str] = []
+    i = start + 1
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= len(text):
+                raise ParseError("dangling escape in string", i)
+            nxt = text[i + 1]
+            mapping = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "'": "'", "\\": "\\"}
+            if nxt not in mapping:
+                raise ParseError(f"unsupported escape \\{nxt}", i)
+            out.append(mapping[nxt])
+            i += 2
+            continue
+        if ch == quote:
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", start)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on illegal input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "<":
+            # An IRI only if it looks like one (no spaces before '>');
+            # otherwise it is the less-than operator.
+            end = text.find(">", i + 1)
+            if end != -1:
+                candidate = text[i + 1:end]
+                if " " not in candidate and "\n" not in candidate and (
+                    ":" in candidate or candidate == ""
+                ):
+                    tokens.append(Token("IRI", candidate, i))
+                    i = end + 1
+                    continue
+            # fall through to operator handling
+        if ch in "\"'":
+            value, i2 = _read_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            i = i2
+            continue
+        if ch == "@":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "-"):
+                j += 1
+            if j == i + 1:
+                raise ParseError("empty language tag", i)
+            tokens.append(Token("LANGTAG", text[i + 1:j], i))
+            i = j
+            continue
+        if ch == "?" or ch == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise ParseError("empty variable name", i)
+            tokens.append(Token("VAR", text[i + 1:j], i))
+            i = j
+            continue
+        if text.startswith(tuple(_PUNCT_TWO), i):
+            two = text[i:i + 2]
+            tokens.append(Token(two, two, i))
+            i += 2
+            continue
+        if ch.isdigit() or (ch in "+-" and i + 1 < n and text[i + 1].isdigit()
+                            and (not tokens or tokens[-1].kind in
+                                 ("{", "(", ",", "=", "!=", "<", ">", "<=", ">=",
+                                  "&&", "||", "+", "-", "*", "/", "KEYWORD"))):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot
+                                                   and j + 1 < n and text[j + 1].isdigit())):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch in _PUNCT_ONE:
+            tokens.append(Token(ch, ch, i))
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_-"):
+                j += 1
+            word = text[i:j]
+            # Prefixed name: word ':' local  (no space allowed)
+            if j < n and text[j] == ":":
+                k = j + 1
+                while k < n and (text[k].isalnum() or text[k] in "_-."):
+                    k += 1
+                # trailing dots belong to the triple terminator
+                while k > j + 1 and text[k - 1] == ".":
+                    k -= 1
+                tokens.append(Token("PNAME", text[i:k], i))
+                i = k
+                continue
+            tokens.append(Token("KEYWORD", word, i))
+            i = j
+            continue
+        if ch == ":":
+            # default-prefix name ":local"
+            k = i + 1
+            while k < n and (text[k].isalnum() or text[k] in "_-."):
+                k += 1
+            while k > i + 1 and text[k - 1] == ".":
+                k -= 1
+            tokens.append(Token("PNAME", text[i:k], i))
+            i = k
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,6 @@
+"""Triple-store substrate: indexed storage, cost metering, statistics."""
+
+from .stats import DatasetStats, compute_stats
+from .triplestore import CostMeter, QueryAborted, TripleStore
+
+__all__ = ["TripleStore", "CostMeter", "QueryAborted", "DatasetStats", "compute_stats"]

@@ -1,0 +1,77 @@
+"""Dataset statistics helpers.
+
+These summarize a :class:`~repro.store.triplestore.TripleStore` in the
+terms the paper cares about: distinct predicates vs distinct literals
+(the ratio motivating Section 5.1's "cache all predicates" heuristic),
+literal length/language distributions (the <80-chars and English-only
+filters), and entity in-degree skew (Definition 1 significance).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..rdf.terms import IRI, Literal
+from .triplestore import TripleStore
+
+__all__ = ["DatasetStats", "compute_stats"]
+
+
+@dataclass
+class DatasetStats:
+    """Summary statistics of one RDF dataset."""
+
+    n_triples: int
+    n_subjects: int
+    n_predicates: int
+    n_literals: int
+    n_entities: int
+    literal_length_histogram: Dict[int, int] = field(default_factory=dict)
+    literal_language_counts: Dict[str, int] = field(default_factory=dict)
+    predicate_frequencies: Dict[IRI, int] = field(default_factory=dict)
+    max_in_degree: int = 0
+    mean_in_degree: float = 0.0
+
+    @property
+    def predicate_to_literal_ratio(self) -> float:
+        """#predicates / #literals — the paper observes this is ≪ 1."""
+        if self.n_literals == 0:
+            return float("inf") if self.n_predicates else 0.0
+        return self.n_predicates / self.n_literals
+
+    def literals_shorter_than(self, limit: int) -> int:
+        """How many distinct literals have length < ``limit``."""
+        return sum(count for length, count in self.literal_length_histogram.items() if length < limit)
+
+
+def compute_stats(store: TripleStore) -> DatasetStats:
+    """Compute :class:`DatasetStats` for ``store`` in a single pass."""
+    length_hist: Counter = Counter()
+    lang_counts: Counter = Counter()
+    n_literals = 0
+    for literal in store.literals():
+        n_literals += 1
+        length_hist[len(literal.lexical)] += 1
+        lang_counts[literal.lang or ""] += 1
+
+    entities = {term for term in store.subjects() if isinstance(term, IRI)}
+    entities |= {term for term in store.objects() if isinstance(term, IRI)}
+
+    in_degrees = [store.in_degree(entity) for entity in entities]
+    max_in = max(in_degrees, default=0)
+    mean_in = sum(in_degrees) / len(in_degrees) if in_degrees else 0.0
+
+    return DatasetStats(
+        n_triples=len(store),
+        n_subjects=len(store.subjects()),
+        n_predicates=len(store.predicates()),
+        n_literals=n_literals,
+        n_entities=len(entities),
+        literal_length_histogram=dict(length_hist),
+        literal_language_counts=dict(lang_counts),
+        predicate_frequencies=store.predicate_frequencies(),
+        max_in_degree=max_in,
+        mean_in_degree=mean_in,
+    )

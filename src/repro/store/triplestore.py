@@ -1,0 +1,271 @@
+"""In-memory indexed triple store.
+
+The store keeps three hash indexes (SPO, POS, OSP) so that any triple
+pattern can be answered by touching only candidate triples.  It is the
+storage substrate under the SPARQL engine and — wrapped in the endpoint
+simulator — stands in for the remote RDF datasets of the paper.
+
+Cost accounting hook
+--------------------
+Every matching operation reports the number of index probes and produced
+rows to an optional :class:`CostMeter`.  The endpoint simulator uses this
+to implement deterministic query timeouts (a remote endpoint kills
+long-running queries; we abort evaluation when the meter trips), which is
+the environmental pressure Sapphire's initialization strategy is designed
+around.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..rdf.terms import IRI, Literal, Term, Variable, is_concrete
+from ..rdf.triples import Triple, TriplePattern
+
+__all__ = ["TripleStore", "CostMeter", "QueryAborted"]
+
+
+class QueryAborted(RuntimeError):
+    """Raised when a cost meter's budget is exhausted mid-evaluation."""
+
+
+class CostMeter:
+    """Accumulates abstract evaluation cost and enforces a budget.
+
+    Cost units: one unit per candidate triple scanned plus one unit per
+    produced row.  ``budget=None`` means unlimited (warehouse mode).
+    """
+
+    def __init__(self, budget: Optional[int] = None) -> None:
+        self.budget = budget
+        self.cost = 0
+
+    def charge(self, units: int = 1) -> None:
+        self.cost += units
+        if self.budget is not None and self.cost > self.budget:
+            raise QueryAborted(f"cost budget {self.budget} exhausted")
+
+    def reset(self) -> None:
+        self.cost = 0
+
+
+class TripleStore:
+    """A set of triples with SPO / POS / OSP hash indexes.
+
+    The three indexes are nested dictionaries; e.g. ``_spo[s][p]`` is the
+    set of objects for subject ``s`` and predicate ``p``.  Together they
+    cover all eight triple-pattern shapes with at most one level of
+    iteration over a candidate set.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._size = 0
+        if triples is not None:
+            self.add_all(triples)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        by_p = self._spo.get(triple.subject)
+        if by_p is None:
+            return False
+        objects = by_p.get(triple.predicate)
+        return objects is not None and triple.object in objects
+
+    def add(self, triple: Triple) -> bool:
+        """Insert ``triple``; returns False if it was already present."""
+        objects = self._spo[triple.subject][triple.predicate]
+        if triple.object in objects:
+            return False
+        objects.add(triple.object)
+        self._pos[triple.predicate][triple.object].add(triple.subject)
+        self._osp[triple.object][triple.subject].add(triple.predicate)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number actually added."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete ``triple``; returns False if it was not present."""
+        if triple not in self:
+            return False
+        self._spo[triple.subject][triple.predicate].discard(triple.object)
+        self._pos[triple.predicate][triple.object].discard(triple.subject)
+        self._osp[triple.object][triple.subject].discard(triple.predicate)
+        self._size -= 1
+        return True
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate over every triple in the store."""
+        for s, by_p in self._spo.items():
+            for p, objects in by_p.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        pattern: TriplePattern,
+        meter: Optional[CostMeter] = None,
+    ) -> Iterator[Triple]:
+        """Yield the triples matching ``pattern``.
+
+        Dispatches on which positions are concrete so each shape touches
+        the cheapest index.  Charges ``meter`` one unit per yielded triple
+        (scan cost folds into the candidate enumeration below).
+        """
+        s = pattern.subject if is_concrete(pattern.subject) else None
+        p = pattern.predicate if is_concrete(pattern.predicate) else None
+        o = pattern.object if is_concrete(pattern.object) else None
+
+        # Repeated-variable patterns (?x :p ?x) are filtered post-hoc.
+        needs_filter = len(set(pattern.variables())) != len(pattern.variables())
+
+        for triple in self._match_concrete(s, p, o, meter):
+            if needs_filter and pattern.match(triple) is None:
+                continue
+            yield triple
+
+    def _match_concrete(
+        self,
+        s: Optional[Term],
+        p: Optional[Term],
+        o: Optional[Term],
+        meter: Optional[CostMeter],
+    ) -> Iterator[Triple]:
+        def charge() -> None:
+            if meter is not None:
+                meter.charge()
+
+        if s is not None and p is not None and o is not None:
+            charge()
+            if Triple(s, p, o) in self:
+                yield Triple(s, p, o)
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.get(s, {}).get(p, ()):  # type: ignore[call-overload]
+                charge()
+                yield Triple(s, p, obj)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):  # type: ignore[call-overload]
+                charge()
+                yield Triple(subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):  # type: ignore[call-overload]
+                charge()
+                yield Triple(s, pred, o)
+            return
+        if s is not None:
+            for pred, objects in self._spo.get(s, {}).items():
+                for obj in objects:
+                    charge()
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            for obj, subjects in self._pos.get(p, {}).items():
+                for subj in subjects:
+                    charge()
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    charge()
+                    yield Triple(subj, pred, o)
+            return
+        for triple in self.triples():
+            charge()
+            yield triple
+
+    def count(self, pattern: TriplePattern) -> int:
+        """Number of triples matching ``pattern`` (no cost charged)."""
+        return sum(1 for _ in self.match(pattern))
+
+    def cardinality_estimate(self, pattern: TriplePattern) -> int:
+        """Cheap upper-bound estimate used for join ordering.
+
+        Uses index fan-outs without enumerating matches; variables repeated
+        inside the pattern are ignored (estimate stays an upper bound).
+        """
+        s = pattern.subject if is_concrete(pattern.subject) else None
+        p = pattern.predicate if is_concrete(pattern.predicate) else None
+        o = pattern.object if is_concrete(pattern.object) else None
+        if s is not None and p is not None and o is not None:
+            return 1
+        if s is not None and p is not None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            return sum(len(subs) for subs in self._pos.get(p, {}).values())
+        if o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Dataset-level accessors used by initialization and baselines
+    # ------------------------------------------------------------------
+
+    def predicates(self) -> Set[IRI]:
+        """All distinct predicates in the store."""
+        return {p for p in self._pos.keys() if isinstance(p, IRI)}
+
+    def predicate_frequencies(self) -> Dict[IRI, int]:
+        """Map each predicate to its triple count."""
+        return {
+            p: sum(len(subs) for subs in by_o.values())
+            for p, by_o in self._pos.items()
+            if isinstance(p, IRI)
+        }
+
+    def subjects(self) -> Set[Term]:
+        return set(self._spo.keys())
+
+    def objects(self) -> Set[Term]:
+        return set(self._osp.keys())
+
+    def literals(self) -> Iterator[Literal]:
+        """All distinct literal objects."""
+        for o in self._osp.keys():
+            if isinstance(o, Literal):
+                yield o
+
+    def in_degree(self, term: Term) -> int:
+        """Number of triples with ``term`` in object position."""
+        return sum(len(preds) for preds in self._osp.get(term, {}).values())
+
+    def out_degree(self, term: Term) -> int:
+        """Number of triples with ``term`` in subject position."""
+        return sum(len(objs) for objs in self._spo.get(term, {}).values())
+
+    def neighbours(self, term: Term) -> List[Tuple[Term, IRI, Term, bool]]:
+        """Edges incident to ``term``.
+
+        Returns ``(subject, predicate, object, outgoing)`` tuples; used by
+        the Steiner-tree expansion when running in warehouse mode and by
+        tests that cross-check the expansion queries.
+        """
+        edges: List[Tuple[Term, IRI, Term, bool]] = []
+        for pred, objects in self._spo.get(term, {}).items():
+            for obj in objects:
+                edges.append((term, pred, obj, True))  # type: ignore[arg-type]
+        for subj, preds in self._osp.get(term, {}).items():
+            for pred in preds:
+                edges.append((subj, pred, term, False))  # type: ignore[arg-type]
+        return edges

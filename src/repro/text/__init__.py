@@ -1,0 +1,32 @@
+"""Text substrate: similarity, suffix tree, residual bins, lexicon."""
+
+from .bins import BinTask, LiteralBins, assign_tasks, scan_bins
+from .lexicon import Lexicon, default_lexicon, split_camel_case
+from .similarity import (
+    SIMILARITY_MEASURES,
+    containment_similarity,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+)
+from .suffix_tree import MAX_STRINGS, GeneralizedSuffixTree, sentinel_for
+
+__all__ = [
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_similarity",
+    "containment_similarity",
+    "SIMILARITY_MEASURES",
+    "GeneralizedSuffixTree",
+    "sentinel_for",
+    "MAX_STRINGS",
+    "LiteralBins",
+    "BinTask",
+    "assign_tasks",
+    "scan_bins",
+    "Lexicon",
+    "default_lexicon",
+    "split_camel_case",
+]

@@ -1,0 +1,142 @@
+"""Lemon-style verbalization lexicon.
+
+Section 6.2.1 expands each query predicate through the *DBpedia Lemon
+Lexicon* before searching for similar dataset predicates: the lexicon
+"provides knowledge about how properties, classes and individuals are
+verbalized in natural language" — e.g. "wife" and "husband" both verbalize
+``dbo:spouse``.
+
+The original lexicon is a hand-built RDF resource; we reproduce its role
+with an in-memory lexicon pre-seeded with the verbalization groups the
+DBpedia ontology subset used by our synthetic dataset needs, plus an API
+to register more.  Lookup is symmetric: given *any* surface form in a
+group (or a predicate IRI local name), all forms in the group come back.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..rdf.terms import IRI
+
+__all__ = ["Lexicon", "default_lexicon", "split_camel_case"]
+
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def split_camel_case(name: str) -> str:
+    """``almaMater`` -> ``alma mater`` — the standard IRI verbalization."""
+    return _CAMEL_RE.sub(" ", name).replace("_", " ").lower()
+
+
+class Lexicon:
+    """Symmetric groups of natural-language verbalizations.
+
+    Each group is a set of surface forms considered interchangeable when
+    looking for alternative predicates ("wife" ~ "husband" ~ "spouse").
+    """
+
+    def __init__(self) -> None:
+        self._groups: List[Set[str]] = []
+        self._index: Dict[str, List[int]] = {}
+
+    def register(self, forms: Iterable[str]) -> None:
+        """Add a verbalization group (forms are lower-cased)."""
+        group = {form.strip().lower() for form in forms if form.strip()}
+        if len(group) < 1:
+            return
+        group_id = len(self._groups)
+        self._groups.append(group)
+        for form in group:
+            self._index.setdefault(form, []).append(group_id)
+
+    def get_lexica(self, term) -> List[str]:
+        """All verbalizations for ``term`` (IRI or surface string).
+
+        Always includes the term's own surface form(s); for an IRI the
+        camel-case-split local name is used ("almaMater" -> "alma mater").
+        Mirrors ``Lemon.getLexica(e)`` in Algorithm 2.
+        """
+        if isinstance(term, IRI):
+            surface = split_camel_case(term.local_name())
+        else:
+            surface = str(term).strip().lower()
+        forms: List[str] = []
+
+        def extend(items: Iterable[str]) -> None:
+            for item in items:
+                if item not in forms:
+                    forms.append(item)
+
+        extend([surface])
+        for group_id in self._index.get(surface, ()):  # exact-form groups
+            extend(sorted(self._groups[group_id]))
+        # Single-word fallback: each word of a multi-word surface form may
+        # hit a group on its own ("alma mater" -> "alma", "mater").
+        for word in surface.split():
+            for group_id in self._index.get(word, ()):
+                extend(sorted(self._groups[group_id]))
+        return forms
+
+    def synonyms(self, form: str) -> List[str]:
+        """Verbalizations equivalent to ``form``, excluding itself."""
+        return [f for f in self.get_lexica(form) if f != form.strip().lower()]
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+#: Verbalization groups mirroring the DBpedia Lemon lexicon entries that
+#: matter for the ontology subset of the synthetic dataset.
+_DEFAULT_GROUPS: Sequence[Sequence[str]] = (
+    ("spouse", "wife", "husband", "married to", "married", "wedded", "partner"),
+    ("alma mater", "graduated from", "graduated", "studied at", "university attended", "educated at"),
+    ("author", "writer", "written by", "wrote"),
+    ("director", "directed by", "film director", "directed"),
+    ("starring", "actor", "stars", "acted in", "cast member"),
+    ("birth place", "born in", "place of birth", "birthplace"),
+    ("death place", "died in", "place of death", "deathplace"),
+    ("birth date", "born on", "date of birth", "birthday", "birthdays"),
+    ("death date", "died on", "date of death"),
+    ("population total", "population", "people living", "inhabitants", "number of people"),
+    ("publisher", "published by", "publishing house"),
+    ("number of pages", "pages", "page count", "length in pages"),
+    ("budget", "cost", "production budget"),
+    ("revenue", "income", "earnings", "turnover"),
+    ("time zone", "timezone"),
+    ("currency", "money", "legal tender"),
+    ("designer", "designed by", "architect"),
+    ("creator", "created by", "founder", "founded by"),
+    ("child", "children", "son", "daughter", "offspring"),
+    ("parent", "parents", "father", "mother"),
+    ("instrument", "instruments", "plays", "played instrument"),
+    ("located in", "location", "situated in", "is in", "state", "country of location"),
+    ("capital", "capital city"),
+    ("industry", "sector", "business", "works in"),
+    ("affiliation", "affiliated with", "member of"),
+    ("vice president", "vice-president", "deputy"),
+    ("depth", "deep", "how deep"),
+    ("surname", "family name", "last name"),
+    ("nick name", "nickname", "called", "known as", "alias"),
+    ("type", "kind", "category", "class"),
+    ("label", "name", "title"),
+    ("source country", "origin country", "starts in", "source"),
+    ("mouth country", "ends in", "mouth"),
+    ("chess player", "chess grandmaster"),
+    ("scientist", "researcher"),
+    ("film", "movie", "motion picture"),
+    ("book", "novel", "publication"),
+    ("company", "corporation", "firm", "business"),
+    ("city", "town", "municipality"),
+    ("president", "head of state"),
+)
+
+
+def default_lexicon() -> Lexicon:
+    """The lexicon pre-seeded with the default verbalization groups."""
+    lexicon = Lexicon()
+    for group in _DEFAULT_GROUPS:
+        lexicon.register(group)
+    return lexicon

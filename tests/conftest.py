@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+Session-scoped fixtures build the synthetic dataset and a fully
+initialized Sapphire server once; tests that need to mutate state build
+their own small stores instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EndpointConfig, SapphireConfig, SapphireServer, SparqlEndpoint
+from repro.data import DatasetConfig, build_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return build_dataset(DatasetConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def store(tiny_dataset):
+    return tiny_dataset.store
+
+
+@pytest.fixture(scope="session")
+def endpoint(store):
+    return SparqlEndpoint(store, EndpointConfig(timeout_s=1.0), name="dbpedia-mini")
+
+
+@pytest.fixture(scope="session")
+def server(endpoint):
+    sapphire = SapphireServer(SapphireConfig(suffix_tree_capacity=500, processes=2))
+    sapphire.register_endpoint(endpoint)
+    return sapphire
+
+
+@pytest.fixture(scope="session")
+def cache(server):
+    return server.cache

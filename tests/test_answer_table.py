@@ -1,0 +1,156 @@
+"""Unit tests for the answer table (Section 4 / Figure 4)."""
+
+import pytest
+
+from repro.core import AnswerTable
+from repro.rdf import DBR, IRI, Literal, XSD_INTEGER
+from repro.sparql.results import SelectResult
+
+
+def lit(text):
+    return Literal(text, lang="en")
+
+
+def num(n):
+    return Literal(str(n), datatype=XSD_INTEGER)
+
+
+@pytest.fixture
+def table():
+    result = SelectResult(
+        variables=["person", "name", "born"],
+        rows=[
+            {"person": DBR.term("John_Kennedy"), "name": lit("John Kennedy"), "born": num(1917)},
+            {"person": DBR.term("Carol_Kennedy"), "name": lit("Carol Kennedy"), "born": num(1953)},
+            {"person": DBR.term("John_Smith"), "name": lit("John Smith"), "born": num(1940)},
+            {"person": DBR.term("Anon"), "name": lit("Anonymous Person")},  # unbound 'born'
+        ],
+    )
+    return AnswerTable(result)
+
+
+class TestKeywordSearch:
+    def test_filters_rows(self, table):
+        """Figure 4's example: filter the answers by 'john'."""
+        table.search("john")
+        names = [str(row["name"]) for row in table.rows()]
+        assert names == ["John Kennedy", "John Smith"]
+
+    def test_case_insensitive(self, table):
+        assert len(table.search("JOHN")) == 2
+
+    def test_matches_iri_local_names(self, table):
+        table.search("Smith")
+        assert len(table) == 1
+
+    def test_searches_only_visible_columns(self, table):
+        table.hide_column("name").hide_column("person").search("john")
+        assert len(table) == 0  # 'john' only occurs in hidden columns
+
+    def test_clear_search(self, table):
+        table.search("john").clear_search()
+        assert len(table) == 4
+
+    def test_empty_keyword_is_noop(self, table):
+        table.search("   ")
+        assert len(table) == 4
+
+
+class TestOrdering:
+    def test_sort_by_numeric_column(self, table):
+        table.order_by("born")
+        born = [row["born"] for row in table.rows()]
+        # Unbound sorts first, then ascending years.
+        assert born[0] is None
+        years = [int(b.lexical) for b in born[1:]]
+        assert years == sorted(years)
+
+    def test_sort_descending(self, table):
+        table.order_by("born", descending=True)
+        first = table.rows()[0]["born"]
+        assert first is not None and first.lexical == "1953"
+
+    def test_sort_by_text_column(self, table):
+        table.order_by("name")
+        names = [str(row["name"]) for row in table.rows()]
+        assert names == sorted(names, key=str.lower)
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(KeyError):
+            table.order_by("nope")
+
+    def test_search_then_sort_compose(self, table):
+        """Figure 4: filter on 'john', then order by the person column."""
+        table.search("john").order_by("person")
+        people = [row["person"].local_name() for row in table.rows()]
+        assert people == sorted(people, key=str.lower)
+        assert len(people) == 2
+
+
+class TestColumnVisibility:
+    def test_hide_and_show(self, table):
+        table.hide_column("born")
+        assert table.columns == ["person", "name"]
+        assert all("born" not in row for row in table.rows())
+        table.show_column("born")
+        assert "born" in table.columns
+
+    def test_hide_unknown_raises(self, table):
+        with pytest.raises(KeyError):
+            table.hide_column("nope")
+
+    def test_all_columns_unaffected(self, table):
+        table.hide_column("born")
+        assert table.all_columns == ["person", "name", "born"]
+
+    def test_reset(self, table):
+        table.search("john").order_by("born").hide_column("name").reset()
+        assert len(table) == 4
+        assert table.columns == ["person", "name", "born"]
+
+
+class TestDragAndDrop:
+    def test_term_at_returns_rdf_term(self, table):
+        term = table.term_at(0, "person")
+        assert isinstance(term, IRI)
+
+    def test_term_at_respects_view(self, table):
+        table.search("smith")
+        assert table.term_at(0, "person") == DBR.term("John_Smith")
+
+    def test_out_of_range_raises(self, table):
+        with pytest.raises(IndexError):
+            table.term_at(99, "person")
+
+    def test_column_values(self, table):
+        values = table.column_values("name")
+        assert len(values) == 4
+
+    def test_dragged_term_usable_in_next_query(self, server, tiny_dataset):
+        """The Section 4 workflow: run, drag an answer into a new query."""
+        outcome = server.run_query(
+            'SELECT ?p { ?p foaf:surname "Kennedy"@en }', suggest=False
+        )
+        table = AnswerTable(outcome.answers)
+        person = table.term_at(0, "p")
+        followup = server.run_query(
+            f"SELECT ?bd {{ {person.n3()} dbo:birthDate ?bd }}", suggest=False
+        )
+        assert len(followup.answers) == 1
+
+
+class TestPrintableVersion:
+    def test_to_text_contains_headers_and_rows(self, table):
+        text = table.to_text()
+        assert "person" in text.splitlines()[0]
+        assert "John Kennedy" in text
+
+    def test_to_text_truncates(self, table):
+        text = table.to_text(max_rows=2)
+        assert "more rows" in text
+
+    def test_to_text_respects_view(self, table):
+        table.search("smith").hide_column("born")
+        text = table.to_text()
+        assert "Kennedy" not in text
+        assert "born" not in text.splitlines()[0]

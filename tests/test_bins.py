@@ -1,0 +1,145 @@
+"""Unit tests for residual bins and Algorithm 1 task assignment."""
+
+import pytest
+
+from repro.text import BinTask, LiteralBins, assign_tasks, scan_bins
+
+
+class TestAssignTasks:
+    def test_single_process_gets_everything(self):
+        tasks = assign_tasks([5, 3, 2], processes=1)
+        assert all(t.process_id == 0 for t in tasks)
+        assert sum(t.size for t in tasks) == 10
+
+    def test_every_literal_assigned_exactly_once(self):
+        bin_sizes = [7, 1, 12, 0, 5, 3]
+        tasks = assign_tasks(bin_sizes, processes=4)
+        covered = {}
+        for task in tasks:
+            for index in range(task.start, task.end):
+                key = (task.bin_index, index)
+                assert key not in covered, "literal assigned twice"
+                covered[key] = task.process_id
+        assert len(covered) == sum(bin_sizes)
+
+    def test_load_balanced_within_ceiling(self):
+        bin_sizes = [10, 10, 10, 10]
+        tasks = assign_tasks(bin_sizes, processes=4)
+        loads = {}
+        for task in tasks:
+            loads[task.process_id] = loads.get(task.process_id, 0) + task.size
+        capacity = -(-sum(bin_sizes) // 4)
+        assert all(load <= capacity for load in loads.values())
+
+    def test_bin_split_across_processes(self):
+        """One big bin must be divided among processes (the paper's 'process
+        assigned remaining capacity' branch)."""
+        tasks = assign_tasks([100], processes=4)
+        assert len({t.process_id for t in tasks}) == 4
+        assert sum(t.size for t in tasks) == 100
+
+    def test_process_spans_multiple_bins(self):
+        tasks = assign_tasks([2, 2, 2, 2], processes=2)
+        by_process = {}
+        for task in tasks:
+            by_process.setdefault(task.process_id, set()).add(task.bin_index)
+        assert any(len(bins) > 1 for bins in by_process.values())
+
+    def test_empty_bins(self):
+        assert assign_tasks([0, 0], processes=3) == []
+        assert assign_tasks([], processes=2) == []
+
+    def test_more_processes_than_literals(self):
+        tasks = assign_tasks([2], processes=8)
+        assert sum(t.size for t in tasks) == 2
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ValueError):
+            assign_tasks([1], processes=0)
+
+    def test_ranges_contiguous_in_bin_order(self):
+        tasks = assign_tasks([6, 6], processes=3)
+        per_bin = {}
+        for task in tasks:
+            per_bin.setdefault(task.bin_index, []).append((task.start, task.end))
+        for ranges in per_bin.values():
+            ranges.sort()
+            position = 0
+            for start, end in ranges:
+                assert start == position
+                position = end
+
+
+class TestLiteralBins:
+    @pytest.fixture
+    def bins(self):
+        return LiteralBins(["a", "bb", "cc", "ddd", "eee", "ffff", "kennedy", "kennedys"])
+
+    def test_bin_keyed_by_length(self, bins):
+        assert bins.literals_of_length(2) == ["bb", "cc"]
+        assert bins.literals_of_length(7) == ["kennedy"]
+
+    def test_len_and_bin_count(self, bins):
+        assert len(bins) == 8
+        assert bins.bin_count == 6
+
+    def test_bin_sizes(self, bins):
+        sizes = bins.bin_sizes()
+        assert sizes[3] == 2
+        assert sizes[8] == 1
+
+    def test_select_bins_window(self, bins):
+        selected = bins.select_bins(2, 3)
+        assert [length for length, _ in selected] == [2, 3]
+
+    def test_scan_contains(self, bins):
+        hits = bins.scan(1, 10, lambda s: "enne" in s)
+        assert set(hits) == {"kennedy", "kennedys"}
+
+    def test_scan_respects_window(self, bins):
+        hits = bins.scan(8, 8, lambda s: "enne" in s)
+        assert hits == ["kennedys"]
+
+    def test_scan_parallel_matches_serial(self, bins):
+        serial = set(bins.scan(1, 10, lambda s: "e" in s, processes=1))
+        parallel = set(bins.scan(1, 10, lambda s: "e" in s, processes=4))
+        assert serial == parallel
+
+    def test_scan_empty_window(self, bins):
+        assert bins.scan(20, 30, lambda s: True) == []
+
+    def test_selectivity_fraction_eliminated(self, bins):
+        # Window [7, 8] keeps 2 of 8 literals: 75% eliminated.
+        assert bins.selectivity(7, 8) == pytest.approx(0.75)
+
+    def test_selectivity_empty_bins(self):
+        assert LiteralBins().selectivity(0, 10) == 0.0
+
+    def test_scan_scored_threshold_and_order(self, bins):
+        from repro.text import jaro_winkler
+
+        results = bins.scan_scored(
+            5, 10, lambda s: jaro_winkler("kennedys", s), threshold=0.7
+        )
+        assert [r[0] for r in results][0] == "kennedys"
+        assert all(score >= 0.7 for _, score in results)
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_scan_scored_parallel_matches_serial(self, bins):
+        from repro.text import jaro_winkler
+
+        serial = bins.scan_scored(1, 10, lambda s: jaro_winkler("kennedy", s), 0.5, processes=1)
+        parallel = bins.scan_scored(1, 10, lambda s: jaro_winkler("kennedy", s), 0.5, processes=4)
+        assert serial == parallel
+
+
+class TestScanBins:
+    def test_scan_bins_direct(self):
+        buckets = [["aa", "ab"], ["ba", "bb"]]
+        assert set(scan_bins(buckets, lambda s: s.startswith("a"))) == {"aa", "ab"}
+
+    def test_scan_bins_parallel(self):
+        buckets = [[f"w{i}" for i in range(50)], [f"x{i}" for i in range(50)]]
+        hits = scan_bins(buckets, lambda s: s.endswith("7"), processes=4)
+        assert len(hits) == 10

@@ -1,0 +1,68 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "stats"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.scale == "tiny"
+        assert args.seed == 42
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "triples" in out
+        assert "cache predicates" in out
+
+    def test_complete_found(self, capsys):
+        assert main(["complete", "spou"]) == 0
+        out = capsys.readouterr().out
+        assert "spouse" in out
+
+    def test_complete_not_found(self, capsys):
+        assert main(["complete", "zzzzqqq"]) == 1
+
+    def test_query_with_answers(self, capsys):
+        code = main([
+            "query", "--no-suggest",
+            'SELECT ?w WHERE { ?t foaf:name "Tom Hanks"@en . ?t dbo:spouse ?w }',
+        ])
+        assert code == 0
+        assert "Rita Wilson" in capsys.readouterr().out
+
+    def test_query_with_suggestions(self, capsys):
+        code = main([
+            "query",
+            'SELECT ?p WHERE { ?p foaf:surname "Kennedys"@en }',
+        ])
+        assert code == 1  # no answers
+        out = capsys.readouterr().out
+        assert "QSM suggestions" in out
+        assert "Kennedy" in out
+
+    def test_init_saves_cache(self, tmp_path, capsys):
+        path = tmp_path / "cache.json"
+        assert main(["init", "--save", str(path)]) == 0
+        assert path.exists()
+        from repro.core import load_cache
+
+        assert load_cache(path).n_predicates > 0
+
+    def test_study_small(self, capsys):
+        assert main(["study", "--participants", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "QSM usage" in out

@@ -1,0 +1,163 @@
+"""Unit tests for the synthetic dataset generator and question workload."""
+
+import pytest
+
+from repro.data import (
+    CLASS_HIERARCHY,
+    QUESTIONS,
+    DatasetConfig,
+    build_dataset,
+    ontology_triples,
+    questions_by_difficulty,
+    root_classes,
+    subclasses_of,
+    user_study_questions,
+)
+from repro.data.ontology import ancestors_of
+from repro.rdf import DBO, FOAF, RDF_TYPE, Literal, TriplePattern, Variable
+from repro.store import compute_stats
+
+
+class TestOntology:
+    def test_hierarchy_is_acyclic(self):
+        for name, _ in CLASS_HIERARCHY:
+            assert name not in ancestors_of(name)
+
+    def test_roots_have_no_parent(self):
+        for root in root_classes():
+            assert ancestors_of(root) == []
+
+    def test_subclasses_inverse_of_ancestors(self):
+        for name, parent in CLASS_HIERARCHY:
+            if parent:
+                assert name in subclasses_of(parent)
+
+    def test_known_chain(self):
+        assert ancestors_of("President") == ["Politician", "Person", "Agent"]
+
+    def test_ontology_triples_type_every_class(self):
+        triples = ontology_triples()
+        typed = {t.subject for t in triples if t.predicate.value.endswith("#type")}
+        assert len(typed) == len(CLASS_HIERARCHY)
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = build_dataset(DatasetConfig.tiny(seed=5))
+        b = build_dataset(DatasetConfig.tiny(seed=5))
+        assert set(a.store.triples()) == set(b.store.triples())
+
+    def test_different_seeds_differ(self):
+        a = build_dataset(DatasetConfig.tiny(seed=5))
+        b = build_dataset(DatasetConfig.tiny(seed=6))
+        assert set(a.store.triples()) != set(b.store.triples())
+
+    def test_transitive_types_materialized(self, store):
+        """Every Scientist is also a Person and an Agent (DBpedia-style)."""
+        scientists = {
+            t.subject for t in store.match(TriplePattern(Variable("s"), RDF_TYPE, DBO.Scientist))
+        }
+        persons = {
+            t.subject for t in store.match(TriplePattern(Variable("s"), RDF_TYPE, DBO.Person))
+        }
+        agents = {
+            t.subject for t in store.match(TriplePattern(Variable("s"), RDF_TYPE, DBO.Agent))
+        }
+        assert scientists <= persons <= agents
+
+    def test_kennedy_cohort_present(self, tiny_dataset):
+        store = tiny_dataset.store
+        kennedys = list(store.match(
+            TriplePattern(Variable("s"), FOAF.surname, Literal("Kennedy", lang="en"))
+        ))
+        assert len(kennedys) >= tiny_dataset.config.kennedy_count
+
+    def test_predicates_far_fewer_than_literals(self, store):
+        """The Section 5.1 heuristic's premise must hold in the data."""
+        stats = compute_stats(store)
+        assert stats.n_predicates * 5 < stats.n_literals
+
+    def test_length_filter_has_work_to_do(self, store):
+        """Some literals (abstracts) must exceed the 80-character limit."""
+        stats = compute_stats(store)
+        assert stats.literals_shorter_than(80) < stats.n_literals
+
+    def test_language_filter_has_work_to_do(self, store):
+        stats = compute_stats(store)
+        assert set(stats.literal_language_counts) >= {"en", "de"} or \
+            set(stats.literal_language_counts) >= {"en", "fr"}
+
+    def test_in_degree_skew(self, store):
+        """Hub entities (significance) must stand out from the mean."""
+        stats = compute_stats(store)
+        assert stats.max_in_degree > 5 * stats.mean_in_degree
+
+    def test_entity_registry(self, tiny_dataset):
+        assert tiny_dataset.iri("Jack_Kerouac").value.endswith("Jack_Kerouac")
+        assert "Viking_Press" in tiny_dataset.planted
+
+    def test_scale_knobs(self):
+        small = build_dataset(DatasetConfig.tiny())
+        bigger = build_dataset(DatasetConfig(
+            n_people=120, n_cities=30, n_books=40, n_films=20,
+            n_companies=16, n_universities=10, kennedy_count=24,
+        ))
+        assert len(bigger.store) > len(small.store)
+
+
+class TestQuestions:
+    def test_workload_size(self):
+        assert len(QUESTIONS) >= 50
+
+    def test_unique_ids(self):
+        ids = [q.qid for q in QUESTIONS]
+        assert len(ids) == len(set(ids))
+
+    def test_user_study_pool_is_27(self):
+        assert len(user_study_questions()) == 27
+
+    def test_user_study_difficulty_split(self):
+        pool = user_study_questions()
+        by = {d: [q for q in pool if q.difficulty == d] for d in ("easy", "medium", "difficult")}
+        assert len(by["easy"]) == 10
+        assert len(by["medium"]) == 8
+        assert len(by["difficult"]) == 9
+
+    def test_difficulties_valid(self):
+        assert {q.difficulty for q in QUESTIONS} == {"easy", "medium", "difficult"}
+
+    def test_questions_by_difficulty_partition(self):
+        total = sum(len(questions_by_difficulty(d)) for d in ("easy", "medium", "difficult"))
+        assert total == len(QUESTIONS)
+
+    def test_every_gold_query_answerable(self, store):
+        for question in QUESTIONS:
+            assert question.gold_answers(store), question.qid
+
+    def test_gold_answers_deterministic(self, store):
+        for question in QUESTIONS[:5]:
+            assert question.gold_answers(store) == question.gold_answers(store)
+
+    def test_sketch_tokens_well_formed(self):
+        for question in QUESTIONS:
+            for triple in question.sketch:
+                assert len(triple) == 3
+                for token in triple:
+                    assert token.startswith(("?", "p:", "l:", "c:")), (question.qid, token)
+
+    def test_factoid_questions_carry_nl_metadata(self):
+        for question in QUESTIONS:
+            if question.factoid:
+                assert question.entity_label
+                assert question.relation_phrase
+
+    def test_kerouac_question_has_broken_sketch(self):
+        """D3's sketch must reproduce Figure 6's structure mismatch."""
+        d3 = next(q for q in QUESTIONS if q.qid == "D3")
+        objects = [o for _, _, o in d3.sketch]
+        assert "l:Jack Kerouac" in objects
+        assert "l:Viking Press" in objects
+
+    def test_kennedys_question_has_typo(self):
+        d15 = next(q for q in QUESTIONS if q.qid == "D15")
+        assert any("Kennedys" in o for _, _, o in d15.sketch)

@@ -1,0 +1,137 @@
+"""Failure-injection tests: flaky endpoints, exhausted budgets, bad input.
+
+The paper's setting is adversarial by nature — remote endpoints time out,
+reject queries and truncate results.  These tests verify that every layer
+degrades instead of breaking.
+"""
+
+import pytest
+
+from repro.core import SapphireConfig, initialize_endpoint
+from repro.data import DatasetConfig, build_dataset
+from repro.endpoint import EndpointConfig, EndpointTimeout, SparqlEndpoint
+from repro.federation import FederatedQueryProcessor
+from repro.rdf import DBO, DBR, FOAF, Literal, RDF_TYPE, Triple, TriplePattern, Variable
+from repro.store import TripleStore
+
+
+class FlakyEndpoint(SparqlEndpoint):
+    """Times out every ``period``-th query regardless of cost."""
+
+    def __init__(self, store, period=3, **kwargs):
+        super().__init__(store, EndpointConfig(timeout_s=1.0), **kwargs)
+        self._period = period
+        self._calls = 0
+
+    def _run(self, query):
+        self._calls += 1
+        if self._calls % self._period == 0:
+            self._record("<flaky>", "timeout", 0, 1.0)
+            raise EndpointTimeout(f"{self.name}: injected timeout")
+        return super()._run(query)
+
+
+@pytest.fixture
+def flaky_dataset():
+    return build_dataset(DatasetConfig.tiny())
+
+
+class TestInitializationUnderFailure:
+    def test_flaky_endpoint_still_yields_cache(self, flaky_dataset):
+        endpoint = FlakyEndpoint(flaky_dataset.store, period=4, name="flaky")
+        cache, report = initialize_endpoint(
+            endpoint, SapphireConfig(suffix_tree_capacity=300)
+        )
+        assert report.n_timeouts > 0
+        assert cache.n_predicates > 0
+        assert cache.n_literals > 0
+        assert cache.is_indexed
+
+    def test_always_failing_endpoint_gives_empty_cache(self, flaky_dataset):
+        endpoint = FlakyEndpoint(flaky_dataset.store, period=1, name="dead")
+        cache, report = initialize_endpoint(endpoint)
+        assert cache.n_predicates == 0
+        assert cache.n_literals == 0
+        # Still indexed (empty) and usable.
+        assert cache.is_indexed
+
+    def test_zero_query_budget(self, flaky_dataset):
+        endpoint = SparqlEndpoint(flaky_dataset.store, EndpointConfig(timeout_s=1.0))
+        cache, report = initialize_endpoint(
+            endpoint, SapphireConfig(init_query_limit=0)
+        )
+        assert report.total_queries == 0
+        assert report.query_limit_hit
+
+
+class TestFederationUnderFailure:
+    def test_flaky_member_does_not_lose_other_answers(self, flaky_dataset):
+        healthy = SparqlEndpoint(
+            flaky_dataset.store, EndpointConfig.warehouse(), name="healthy"
+        )
+        dead_store = TripleStore()
+        dead_store.add(Triple(DBR.term("X"), RDF_TYPE, DBO.Person))
+        flaky = FlakyEndpoint(dead_store, period=1, name="flaky")
+        federation = FederatedQueryProcessor([healthy, flaky])
+        result = federation.select(
+            'SELECT ?w { ?t foaf:name "Tom Hanks"@en . ?t dbo:spouse ?w }'
+        )
+        assert len(result) == 1
+
+    def test_all_members_failing_returns_empty(self, flaky_dataset):
+        flaky = FlakyEndpoint(flaky_dataset.store, period=1, name="flaky")
+        federation = FederatedQueryProcessor([flaky])
+        result = federation.select("SELECT ?s { ?s a dbo:Person }")
+        assert len(result) == 0
+
+
+class TestQsmUnderFailure:
+    def test_relaxation_with_impossible_budget(self, server):
+        """A one-query budget cannot even expand a literal pair."""
+        import dataclasses
+
+        from repro.core import StructureRelaxer
+        from repro.sparql.serializer import select_query
+
+        config = dataclasses.replace(server.config, relaxation_query_budget=0)
+        relaxer = StructureRelaxer(server.cache, server._run_ast, config)
+        query = select_query([
+            TriplePattern(Variable("b"), DBO.term("writer"), Literal("Jack Kerouac", lang="en")),
+            TriplePattern(Variable("b"), DBO.publisher, Literal("Viking Press", lang="en")),
+        ])
+        assert relaxer.relax(query) == []
+
+    def test_suggestions_with_unknown_terms_everywhere(self, server):
+        """A query made of terms the cache has never seen produces no
+        suggestions but must not crash."""
+        from repro.core import QueryBuilder
+
+        builder = (QueryBuilder()
+                   .triple(Variable("x"), DBO.term("zzzzz"),
+                           Literal("qqqq wwww eeee", lang="en")))
+        outcome = server.run_query(builder)
+        assert not outcome.has_answers
+        assert outcome.term_suggestions == []
+        assert outcome.relaxations == []
+
+
+class TestBadInput:
+    def test_server_rejects_malformed_sparql(self, server):
+        from repro.sparql import ParseError
+
+        with pytest.raises(ParseError):
+            server.run_query("SELEKT ?x WHERE { }")
+
+    def test_completion_of_whitespace(self, server):
+        assert server.complete("   ").surfaces() == []
+
+    def test_completion_of_very_long_string(self, server):
+        assert server.complete("x" * 500).surfaces() == []
+
+    def test_empty_query_builder(self, server):
+        """SPARQL: an empty group pattern yields one empty solution."""
+        from repro.core import QueryBuilder
+
+        outcome = server.run_query(QueryBuilder(), suggest=False)
+        assert outcome.answers.variables == []
+        assert outcome.answers.rows in ([], [{}])

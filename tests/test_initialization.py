@@ -1,0 +1,141 @@
+"""Unit tests for endpoint initialization (Section 5 / Appendix A)."""
+
+import pytest
+
+from repro.core import SapphireConfig, initialize_endpoint
+from repro.data import DatasetConfig, build_dataset
+from repro.endpoint import EndpointConfig, SparqlEndpoint
+from repro.rdf import Literal
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(DatasetConfig.tiny())
+
+
+def make_endpoint(dataset, **kwargs):
+    defaults = dict(timeout_s=1.0, cost_units_per_second=20_000)
+    defaults.update(kwargs)
+    return SparqlEndpoint(dataset.store, EndpointConfig(**defaults), name="ep")
+
+
+class TestFederatedInitialization:
+    def test_caches_all_predicates(self, dataset):
+        endpoint = make_endpoint(dataset)
+        cache, report = initialize_endpoint(endpoint, SapphireConfig(suffix_tree_capacity=300))
+        assert cache.n_predicates == len(dataset.store.predicates())
+
+    def test_caches_classes_from_hierarchy(self, dataset):
+        endpoint = make_endpoint(dataset)
+        cache, _ = initialize_endpoint(endpoint, SapphireConfig(suffix_tree_capacity=300))
+        surfaces = {e.surface for e in cache.classes()}
+        assert {"Scientist", "City", "Book"} <= surfaces
+
+    def test_literal_filters_enforced(self, dataset):
+        endpoint = make_endpoint(dataset)
+        config = SapphireConfig(suffix_tree_capacity=300)
+        cache, _ = initialize_endpoint(endpoint, config)
+        for surface in cache.literal_surfaces():
+            assert len(surface) < config.literal_max_length
+
+    def test_foreign_language_literals_excluded(self, dataset):
+        endpoint = make_endpoint(dataset)
+        cache, _ = initialize_endpoint(endpoint, SapphireConfig(suffix_tree_capacity=300))
+        for bucket_surface in cache.literal_surfaces():
+            assert "(de)" not in bucket_surface
+            assert "(fr)" not in bucket_surface
+
+    def test_significant_literals_found(self, dataset):
+        """Hub city labels (many incoming birthPlace edges) must carry
+        positive significance (Definition 1)."""
+        endpoint = make_endpoint(dataset)
+        cache, _ = initialize_endpoint(endpoint, SapphireConfig(suffix_tree_capacity=300))
+        assert cache.significance_of("New York") > 0
+
+    def test_report_counters_consistent(self, dataset):
+        endpoint = make_endpoint(dataset)
+        _, report = initialize_endpoint(endpoint)
+        assert report.total_queries == endpoint.query_count
+        assert report.n_timeouts == endpoint.timeout_count
+        assert report.architecture == "federated"
+        assert report.simulated_seconds > 0
+
+    def test_tight_timeout_forces_descent(self, dataset):
+        """With a stingy endpoint, root-class queries time out and the
+        initializer descends to subclasses — more queries, some timeouts,
+        but the cache still fills."""
+        generous = make_endpoint(dataset)
+        _, easy_report = initialize_endpoint(generous, SapphireConfig(suffix_tree_capacity=300))
+
+        stingy = make_endpoint(dataset, timeout_s=0.01, cost_units_per_second=20_000)
+        cache, hard_report = initialize_endpoint(stingy, SapphireConfig(suffix_tree_capacity=300))
+        assert hard_report.n_timeouts > 0
+        assert hard_report.total_queries > easy_report.total_queries
+        assert cache.n_literals > 0
+
+    def test_query_limit_respected(self, dataset):
+        endpoint = make_endpoint(dataset)
+        config = SapphireConfig(init_query_limit=20, suffix_tree_capacity=300)
+        _, report = initialize_endpoint(endpoint, config)
+        assert report.total_queries <= 20
+        assert report.query_limit_hit
+
+    def test_query_limit_prioritizes_frequent_predicates(self, dataset):
+        """With a tight budget the cache covers the most frequent literal
+        predicates first (labels before rare ones)."""
+        endpoint = make_endpoint(dataset)
+        config = SapphireConfig(init_query_limit=45, suffix_tree_capacity=300)
+        cache, _ = initialize_endpoint(endpoint, config)
+        sources = {
+            e.source_predicate.local_name()
+            for bucket in [cache.entries_for_surface(s) for s in cache.literal_surfaces()]
+            for e in bucket
+            if e.kind == "literal" and e.source_predicate is not None
+        }
+        assert "label" in sources or "name" in sources
+
+
+class TestWarehouseInitialization:
+    def test_warehouse_single_pass(self, dataset):
+        endpoint = SparqlEndpoint(dataset.store, EndpointConfig.warehouse(), name="wh")
+        cache, report = initialize_endpoint(endpoint, warehouse=True)
+        assert report.architecture == "warehouse"
+        assert report.n_timeouts == 0
+        assert cache.n_literals > 0
+        # Warehouse needs far fewer queries than the federated flow.
+        assert report.total_queries < 10
+
+    def test_warehouse_and_federated_agree_on_predicates(self, dataset):
+        warehouse_ep = SparqlEndpoint(dataset.store, EndpointConfig.warehouse())
+        federated_ep = make_endpoint(dataset)
+        wh_cache, _ = initialize_endpoint(warehouse_ep, warehouse=True)
+        fed_cache, _ = initialize_endpoint(federated_ep)
+        wh = {e.term for e in wh_cache.predicates()}
+        fed = {e.term for e in fed_cache.predicates()}
+        assert wh == fed
+
+    def test_warehouse_covers_at_least_federated_literals(self, dataset):
+        warehouse_ep = SparqlEndpoint(dataset.store, EndpointConfig.warehouse())
+        federated_ep = make_endpoint(dataset)
+        wh_cache, _ = initialize_endpoint(warehouse_ep, warehouse=True)
+        fed_cache, _ = initialize_endpoint(federated_ep)
+        assert set(fed_cache.literal_surfaces()) <= set(wh_cache.literal_surfaces())
+
+    def test_warehouse_significance(self, dataset):
+        endpoint = SparqlEndpoint(dataset.store, EndpointConfig.warehouse())
+        cache, _ = initialize_endpoint(endpoint, warehouse=True)
+        assert cache.significance_of("New York") > 0
+
+
+class TestIndexesBuilt:
+    def test_cache_comes_back_indexed(self, dataset):
+        endpoint = make_endpoint(dataset)
+        cache, _ = initialize_endpoint(endpoint)
+        assert cache.is_indexed
+        assert cache.tree is not None
+
+    def test_report_cache_stats_populated(self, dataset):
+        endpoint = make_endpoint(dataset)
+        _, report = initialize_endpoint(endpoint)
+        assert report.cache_stats["predicates"] > 0
+        assert report.cache_stats["tree_strings"] > 0

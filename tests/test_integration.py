@@ -1,0 +1,140 @@
+"""End-to-end integration tests: the paper's headline scenarios."""
+
+import random
+
+import pytest
+
+from repro import QueryBuilder
+from repro.baselines import QAKiS
+from repro.data import QUESTIONS, user_study_questions
+from repro.data.corpus import RELATIONAL_PATTERNS
+from repro.eval import Participant, SapphirePolicy, UserStudy
+from repro.rdf import DBO, FOAF, Literal, Variable
+
+
+class TestFigure2Scenario:
+    """User types surname 'Kennedys'; the QSM offers 'Kennedy'."""
+
+    def test_full_flow(self, server, tiny_dataset):
+        builder = QueryBuilder().triple(
+            Variable("person"), FOAF.surname, Literal("Kennedys", lang="en")
+        )
+        outcome = server.run_query(builder)
+        assert not outcome.has_answers
+        best = outcome.term_suggestions[0]
+        assert best.replacement == Literal("Kennedy", lang="en")
+        # Accepting the suggestion: answers are prefetched, no re-run.
+        assert best.prefetched is not None
+        assert best.n_answers >= tiny_dataset.config.kennedy_count
+
+
+class TestFigure6Scenario:
+    """Kerouac/Viking-Press structure relaxation."""
+
+    def test_relaxed_query_finds_gold_books(self, server, store):
+        question = next(q for q in QUESTIONS if q.qid == "D3")
+        gold = question.gold_answers(store)
+        builder = (QueryBuilder()
+                   .triple(Variable("book"), DBO.term("writer"),
+                           Literal("Jack Kerouac", lang="en"))
+                   .triple(Variable("book"), DBO.publisher,
+                           Literal("Viking Press", lang="en")))
+        outcome = server.run_query(builder)
+        steiner = [r for r in outcome.relaxations if r.tree_edges]
+        assert steiner
+        columns = {
+            name: steiner[0].prefetched.value_set(name)
+            for name in steiner[0].prefetched.variables
+        }
+        assert any(values == set(gold) for values in columns.values())
+
+
+class TestIntroductionExample:
+    """'How many scientists graduated from an Ivy League university?'"""
+
+    def test_expert_flow(self, server, store):
+        question = next(q for q in QUESTIONS if q.qid == "D10")
+        gold = question.gold_answers(store)
+        policy = SapphirePolicy(server)
+        record = policy.run(question, gold, Participant.expert(), random.Random(3))
+        assert record.success
+        assert record.attempts <= 3
+
+
+class TestExpertPolicyOverWorkload:
+    def test_expert_answers_every_user_study_question(self, server, store):
+        policy = SapphirePolicy(server)
+        expert = Participant.expert()
+        rng = random.Random(11)
+        failures = []
+        for question in user_study_questions():
+            gold = question.gold_answers(store)
+            record = policy.run(question, gold, expert, rng)
+            if not record.success:
+                failures.append(question.qid)
+        assert failures == []
+
+
+class TestMiniUserStudy:
+    @pytest.fixture(scope="class")
+    def results(self, server, store):
+        qakis = QAKiS(store, RELATIONAL_PATTERNS)
+        study = UserStudy(server, qakis, n_participants=4, seed=3)
+        return study.run()
+
+    def test_record_counts(self, results):
+        # 4 participants x 9 counted questions x 2 systems.
+        assert len(results.records) == 4 * 9 * 2
+
+    def test_sapphire_dominates_on_difficult(self, results):
+        sapphire, _ = results.success_rate("sapphire", "difficult")
+        qakis, _ = results.success_rate("qakis", "difficult")
+        assert sapphire > qakis
+
+    def test_sapphire_answers_every_category(self, results):
+        for difficulty in ("easy", "medium", "difficult"):
+            assert results.answered_by_any("sapphire", difficulty) > 0
+
+    def test_sapphire_takes_more_time(self, results):
+        sapphire, _ = results.mean_minutes("sapphire", "difficult")
+        qakis_success = [r for r in results.records
+                         if r.system == "qakis" and r.difficulty == "difficult" and r.success]
+        if qakis_success:
+            qakis, _ = results.mean_minutes("qakis", "difficult")
+            assert sapphire > qakis
+
+    def test_qsm_usage_reported(self, results):
+        usage = results.qsm_usage()
+        assert 0 <= usage["relaxation"] <= 100
+        assert usage["any"] >= usage["relaxation"]
+
+    def test_deterministic_given_seed(self, server, store):
+        qakis = QAKiS(store, RELATIONAL_PATTERNS)
+        a = UserStudy(server, qakis, n_participants=2, seed=9).run()
+        b = UserStudy(server, qakis, n_participants=2, seed=9).run()
+        assert [(r.qid, r.success, r.attempts) for r in a.records] == \
+            [(r.qid, r.success, r.attempts) for r in b.records]
+
+
+class TestMultiEndpointFederation:
+    def test_sapphire_over_two_endpoints(self):
+        """Registering two endpoints merges caches and federates queries."""
+        from repro import EndpointConfig, SapphireConfig, SapphireServer, SparqlEndpoint
+        from repro.data import DatasetConfig, build_dataset
+        from repro.rdf import Triple
+        from repro.store import TripleStore
+
+        dataset = build_dataset(DatasetConfig.tiny())
+        people = TripleStore()
+        works = TripleStore()
+        for triple in dataset.store.triples():
+            target = works if "Book" in str(triple.subject) or "Film" in str(triple.subject) else people
+            target.add(triple)
+        server = SapphireServer(SapphireConfig(suffix_tree_capacity=400))
+        server.register_endpoint(SparqlEndpoint(people, EndpointConfig(timeout_s=1.0), name="people"))
+        server.register_endpoint(SparqlEndpoint(works, EndpointConfig(timeout_s=1.0), name="works"))
+        outcome = server.run_query(
+            'SELECT ?b { ?b dbo:author ?a . ?a foaf:name "Jack Kerouac"@en }',
+            suggest=False,
+        )
+        assert len(outcome.answers) == 4

@@ -1,0 +1,107 @@
+"""Unit tests for the Lemon-style verbalization lexicon."""
+
+import pytest
+
+from repro.rdf import DBO
+from repro.text import Lexicon, default_lexicon, split_camel_case
+
+
+class TestSplitCamelCase:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("almaMater", "alma mater"),
+            ("birthPlace", "birth place"),
+            ("populationTotal", "population total"),
+            ("spouse", "spouse"),
+            ("vicePresident", "vice president"),
+            ("numberOfPages", "number of pages"),
+            ("Ivy_League", "ivy league"),
+        ],
+    )
+    def test_splitting(self, name, expected):
+        assert split_camel_case(name) == expected
+
+
+class TestLexicon:
+    def test_group_members_symmetric(self):
+        lexicon = Lexicon()
+        lexicon.register(["wife", "husband", "spouse"])
+        assert "husband" in lexicon.get_lexica("wife")
+        assert "wife" in lexicon.get_lexica("husband")
+        assert "spouse" in lexicon.get_lexica("wife")
+
+    def test_own_form_always_first(self):
+        lexicon = Lexicon()
+        lexicon.register(["a", "b"])
+        assert lexicon.get_lexica("a")[0] == "a"
+
+    def test_unknown_form_returns_itself(self):
+        lexicon = Lexicon()
+        assert lexicon.get_lexica("mystery") == ["mystery"]
+
+    def test_case_insensitive(self):
+        lexicon = Lexicon()
+        lexicon.register(["Wife", "HUSBAND"])
+        assert "husband" in lexicon.get_lexica("wife")
+
+    def test_iri_lookup_uses_local_name(self):
+        lexicon = default_lexicon()
+        forms = lexicon.get_lexica(DBO.spouse)
+        assert "wife" in forms
+        assert forms[0] == "spouse"
+
+    def test_camel_case_iri_verbalized(self):
+        lexicon = default_lexicon()
+        forms = lexicon.get_lexica(DBO.almaMater)
+        assert forms[0] == "alma mater"
+        assert "graduated from" in forms
+
+    def test_synonyms_excludes_self(self):
+        lexicon = default_lexicon()
+        synonyms = lexicon.synonyms("wife")
+        assert "wife" not in synonyms
+        assert "spouse" in synonyms
+
+    def test_multiple_group_membership(self):
+        lexicon = Lexicon()
+        lexicon.register(["bank", "shore"])
+        lexicon.register(["bank", "institution"])
+        forms = lexicon.get_lexica("bank")
+        assert {"shore", "institution"} <= set(forms)
+
+    def test_word_fallback_for_multiword_surface(self):
+        lexicon = Lexicon()
+        lexicon.register(["president", "head of state"])
+        forms = lexicon.get_lexica("vice president")
+        assert "head of state" in forms
+
+    def test_len_counts_groups(self):
+        lexicon = Lexicon()
+        lexicon.register(["a", "b"])
+        lexicon.register(["c", "d"])
+        assert len(lexicon) == 2
+
+
+class TestDefaultLexicon:
+    def test_paper_examples(self):
+        """'wife' or 'husband' can be verbalized by 'spouse' (Section 6.2.1)."""
+        lexicon = default_lexicon()
+        assert "spouse" in lexicon.get_lexica("wife")
+        assert "spouse" in lexicon.get_lexica("husband")
+
+    @pytest.mark.parametrize(
+        "keyword,expected_form",
+        [
+            ("graduated", "alma mater"),
+            ("born in", "birth place"),
+            ("married", "spouse"),
+            ("inhabitants", "population total"),
+            ("writer", "author"),
+            ("daughter", "child"),
+            ("nickname", "nick name"),
+        ],
+    )
+    def test_user_vocabulary_reaches_dataset_predicates(self, keyword, expected_form):
+        lexicon = default_lexicon()
+        assert expected_form in lexicon.get_lexica(keyword)

@@ -1,0 +1,85 @@
+"""Unit tests for cache persistence (save once, reload across restarts)."""
+
+import pytest
+
+from repro.core import (
+    QueryCompletionModule,
+    SapphireConfig,
+    dumps_cache,
+    load_cache,
+    loads_cache,
+    save_cache,
+)
+
+
+class TestRoundtrip:
+    def test_counts_preserved(self, cache):
+        restored = loads_cache(dumps_cache(cache), cache.config)
+        assert restored.n_predicates == cache.n_predicates
+        assert restored.n_classes == cache.n_classes
+        assert restored.n_literals == cache.n_literals
+
+    def test_significance_preserved(self, cache):
+        restored = loads_cache(dumps_cache(cache), cache.config)
+        assert restored.significance_of("New York") == cache.significance_of("New York")
+
+    def test_terms_preserved_exactly(self, cache):
+        restored = loads_cache(dumps_cache(cache), cache.config)
+        original_terms = {e.term for s in cache.literal_surfaces()
+                          for e in cache.entries_for_surface(s) if e.kind == "literal"}
+        restored_terms = {e.term for s in restored.literal_surfaces()
+                          for e in restored.entries_for_surface(s) if e.kind == "literal"}
+        assert restored_terms == original_terms
+
+    def test_source_predicates_preserved(self, cache):
+        restored = loads_cache(dumps_cache(cache), cache.config)
+        surface = next(iter(cache.literal_surfaces()))
+        original = {e.source_predicate for e in cache.entries_for_surface(surface)
+                    if e.kind == "literal"}
+        recovered = {e.source_predicate for e in restored.entries_for_surface(surface)
+                     if e.kind == "literal"}
+        assert recovered == original
+
+    def test_restored_cache_is_indexed(self, cache):
+        restored = loads_cache(dumps_cache(cache), cache.config)
+        assert restored.is_indexed
+        assert restored.tree is not None
+
+    def test_qcm_answers_identically_after_reload(self, cache):
+        restored = loads_cache(dumps_cache(cache), cache.config)
+        original_qcm = QueryCompletionModule(cache, cache.config.with_processes(1))
+        restored_qcm = QueryCompletionModule(restored, cache.config.with_processes(1))
+        for term in ("Kenn", "spou", "Vik", "alma"):
+            assert set(original_qcm.complete(term).surfaces()) == \
+                set(restored_qcm.complete(term).surfaces())
+
+
+class TestFiles:
+    def test_save_and_load_file(self, cache, tmp_path):
+        path = tmp_path / "cache.json"
+        save_cache(cache, path)
+        restored = load_cache(path, cache.config)
+        assert restored.n_literals == cache.n_literals
+
+    def test_load_with_different_config(self, cache, tmp_path):
+        """The tree capacity is a load-time choice, not a stored one."""
+        path = tmp_path / "cache.json"
+        save_cache(cache, path)
+        restored = load_cache(path, SapphireConfig(suffix_tree_capacity=10))
+        assert restored.n_tree_strings <= cache.n_tree_strings
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            loads_cache('{"version": 99}')
+
+    def test_unicode_literals_survive(self, tmp_path):
+        from repro.core import SapphireCache
+        from repro.rdf import Literal, RDFS_LABEL
+
+        cache = SapphireCache(SapphireConfig(suffix_tree_capacity=10))
+        cache.add_literal(Literal("Škoda Auto café", lang="en"), RDFS_LABEL, 3)
+        cache.build_indexes()
+        path = tmp_path / "cache.json"
+        save_cache(cache, path)
+        restored = load_cache(path)
+        assert restored.entries_for_surface("Škoda Auto café")

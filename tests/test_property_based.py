@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Invariants covered:
+
+* generalized suffix tree ≡ naive substring scan,
+* Algorithm 1 covers every literal exactly once with balanced loads,
+* Jaro/Jaro–Winkler bounds, symmetry and identity,
+* Levenshtein metric axioms (identity, symmetry, triangle inequality),
+* N-Triples round-trip fidelity,
+* triple-store index coherence under random insert/delete sequences,
+* parser/serializer round-trip for generated queries.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable, parse_ntriples, serialize_ntriples
+from repro.store import TripleStore
+from repro.text import (
+    GeneralizedSuffixTree,
+    LiteralBins,
+    assign_tasks,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+)
+
+# Compact alphabets keep shrunk counterexamples readable and force
+# collisions (shared substrings, shared suffixes) to actually occur.
+_WORDS = st.text(alphabet="abcd", min_size=1, max_size=8)
+_TEXT = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,-'\"\\\n",
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestSuffixTreeProperties:
+    @given(st.lists(_WORDS, max_size=12), _WORDS)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive_scan(self, strings, pattern):
+        tree = GeneralizedSuffixTree(strings)
+        expected = sorted(i for i, s in enumerate(strings) if pattern in s)
+        assert sorted(tree.find_ids(pattern)) == expected
+
+    @given(st.lists(_WORDS, min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_every_string_findable_by_itself(self, strings):
+        tree = GeneralizedSuffixTree(strings)
+        for index, s in enumerate(strings):
+            assert index in tree.find_ids(s)
+
+    @given(st.lists(_WORDS, min_size=1, max_size=10), _WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_occurrences_match_overlapping_count(self, strings, pattern):
+        tree = GeneralizedSuffixTree(strings)
+        expected = 0
+        for s in strings:
+            for i in range(len(s)):
+                if s.startswith(pattern, i):
+                    expected += 1
+        assert tree.count_occurrences(pattern) == expected
+
+    @given(st.lists(_WORDS, max_size=10), _WORDS, st.integers(1, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_limit_is_prefix_of_full_result_set(self, strings, pattern, limit):
+        tree = GeneralizedSuffixTree(strings)
+        limited = tree.find_ids(pattern, limit=limit)
+        full = set(tree.find_ids(pattern))
+        assert len(limited) == min(limit, len(full))
+        assert set(limited) <= full
+
+
+class TestAlgorithm1Properties:
+    @given(st.lists(st.integers(0, 40), max_size=10), st.integers(1, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_exact_cover(self, bin_sizes, processes):
+        tasks = assign_tasks(bin_sizes, processes)
+        seen = set()
+        for task in tasks:
+            assert 0 <= task.start <= task.end <= bin_sizes[task.bin_index]
+            for index in range(task.start, task.end):
+                key = (task.bin_index, index)
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == sum(bin_sizes)
+
+    @given(st.lists(st.integers(0, 40), max_size=10), st.integers(1, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_process_ids_in_range(self, bin_sizes, processes):
+        for task in assign_tasks(bin_sizes, processes):
+            assert 0 <= task.process_id < processes
+
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=10), st.integers(1, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_balanced_loads(self, bin_sizes, processes):
+        tasks = assign_tasks(bin_sizes, processes)
+        loads = {}
+        for task in tasks:
+            loads[task.process_id] = loads.get(task.process_id, 0) + task.size
+        capacity = -(-sum(bin_sizes) // processes)
+        # The last process may absorb rounding residue; all others are
+        # bounded by the ceiling capacity.
+        for pid, load in loads.items():
+            if pid != max(loads):
+                assert load <= capacity
+
+    @given(st.lists(_WORDS, max_size=30), st.integers(1, 4), _WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_parallel_scan_equals_serial(self, words, processes, needle):
+        bins = LiteralBins(words)
+        serial = sorted(bins.scan(0, 100, lambda s: needle in s, processes=1))
+        parallel = sorted(bins.scan(0, 100, lambda s: needle in s, processes=processes))
+        assert serial == parallel
+
+
+class TestSimilarityProperties:
+    @given(_WORDS, _WORDS)
+    @settings(max_examples=300, deadline=None)
+    def test_jaro_bounds_and_symmetry(self, a, b):
+        score = jaro(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == pytest.approx(jaro(b, a))
+
+    @given(_WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_jaro_identity(self, a):
+        assert jaro(a, a) == 1.0
+        assert jaro_winkler(a, a) == 1.0
+
+    @given(_WORDS, _WORDS)
+    @settings(max_examples=300, deadline=None)
+    def test_jaro_winkler_dominates_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+        assert jaro_winkler(a, b) <= 1.0 + 1e-12
+
+    @given(_WORDS, _WORDS)
+    @settings(max_examples=300, deadline=None)
+    def test_levenshtein_symmetry_and_identity(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+        assert levenshtein(a, a) == 0
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(_WORDS, _WORDS, _WORDS)
+    @settings(max_examples=200, deadline=None)
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestNTriplesProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+                st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+                _TEXT,
+                st.sampled_from([None, "en", "de", "fr"]),
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, rows):
+        triples = [
+            Triple(
+                IRI(f"http://x/{s}"),
+                IRI(f"http://p/{p}"),
+                Literal(text, lang=lang),
+            )
+            for s, p, text, lang in rows
+        ]
+        assert list(parse_ntriples(serialize_ntriples(triples))) == triples
+
+
+class TestStoreProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 3), st.integers(0, 5),
+                      st.booleans()),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_index_coherence_under_mutation(self, operations):
+        """After arbitrary add/remove sequences, every index answers every
+        pattern shape consistently with a reference Python set."""
+        store = TripleStore()
+        reference = set()
+        for s, p, o, is_add in operations:
+            triple = Triple(IRI(f"http://s/{s}"), IRI(f"http://p/{p}"), IRI(f"http://o/{o}"))
+            if is_add:
+                store.add(triple)
+                reference.add(triple)
+            else:
+                store.remove(triple)
+                reference.discard(triple)
+        assert len(store) == len(reference)
+        assert set(store.triples()) == reference
+        # Spot-check the indexed shapes.
+        for s in range(6):
+            subject = IRI(f"http://s/{s}")
+            expected = {t for t in reference if t.subject == subject}
+            got = set(store.match(TriplePattern(subject, Variable("p"), Variable("o"))))
+            assert got == expected
+        for p in range(4):
+            predicate = IRI(f"http://p/{p}")
+            expected = {t for t in reference if t.predicate == predicate}
+            got = set(store.match(TriplePattern(Variable("s"), predicate, Variable("o"))))
+            assert got == expected
+
+
+class TestQueryRoundtripProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["?a", "?b", "<http://x/s>"]),
+                st.sampled_from(["<http://x/p>", "<http://x/q>"]),
+                st.sampled_from(["?c", '"lit"', '"tagged"@en', "42"]),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.booleans(),
+        st.one_of(st.none(), st.integers(0, 20)),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_parse_serialize_parse_fixpoint(self, triples, distinct, limit):
+        from repro.sparql import parse_query
+        from repro.sparql.serializer import serialize_query
+
+        body = " . ".join(" ".join(t) for t in triples)
+        text = f"SELECT {'DISTINCT ' if distinct else ''}* WHERE {{ {body} }}"
+        if limit is not None:
+            text += f" LIMIT {limit}"
+        once = parse_query(text)
+        twice = parse_query(serialize_query(once))
+        assert serialize_query(once) == serialize_query(twice)

@@ -1,0 +1,65 @@
+"""Integration tests for the Table 1 harness (repro.eval.qald)."""
+
+import pytest
+
+from repro.eval import PUBLISHED_ROWS, format_table, run_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison(server, store):
+    return run_comparison(server, store)
+
+
+class TestComparison:
+    def test_all_five_systems_measured(self, comparison):
+        assert set(comparison.measured) == {
+            "Sapphire", "QAKiS", "KBQA", "S4", "SPARQLByE"
+        }
+
+    def test_every_system_covers_every_question(self, comparison):
+        sizes = {name: len(outs) for name, outs in comparison.outcomes.items()}
+        assert len(set(sizes.values())) == 1
+
+    def test_sapphire_dominates(self, comparison):
+        sapphire = comparison.measured["Sapphire"]
+        for name, metrics in comparison.measured.items():
+            assert sapphire.recall >= metrics.recall, name
+            assert sapphire.f1 >= metrics.f1, name
+
+    def test_sapphire_precision_one(self, comparison):
+        assert comparison.measured["Sapphire"].precision == 1.0
+
+    def test_kbqa_profile(self, comparison):
+        kbqa = comparison.measured["KBQA"]
+        assert kbqa.precision == 1.0
+        assert kbqa.recall < comparison.measured["Sapphire"].recall
+
+    def test_sparqlbye_processes_fewest(self, comparison):
+        fractions = {name: m.processed_fraction for name, m in comparison.measured.items()}
+        assert fractions["SPARQLByE"] == min(fractions.values())
+
+    def test_table_rows_include_published(self, comparison):
+        rows = comparison.table_rows(include_published=True)
+        assert len(rows) == len(PUBLISHED_ROWS) + 5
+        assert rows[0]["system"].startswith("Xser")
+
+    def test_table_rows_measured_only(self, comparison):
+        rows = comparison.table_rows(include_published=False)
+        assert len(rows) == 5
+        assert {row["system"] for row in rows} == set(comparison.measured)
+
+    def test_rows_render_as_table(self, comparison):
+        text = format_table(comparison.table_rows(), "Table 1")
+        assert "Sapphire" in text
+        assert "F1*" in text
+
+    def test_published_rows_are_intact_constants(self):
+        xser = PUBLISHED_ROWS[0]
+        assert xser["#ri"] == 26
+        assert xser["R"] == 0.52
+
+    def test_deterministic_given_seed(self, server, store):
+        a = run_comparison(server, store, seed=5)
+        b = run_comparison(server, store, seed=5)
+        for name in a.measured:
+            assert a.measured[name].as_row() == b.measured[name].as_row()

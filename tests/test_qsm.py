@@ -1,0 +1,242 @@
+"""Unit tests for the Query Suggestion Module (Section 6.2)."""
+
+import pytest
+
+from repro.core import (
+    AlternativeTermsFinder,
+    QueryBuilder,
+    StructureRelaxer,
+)
+from repro.core.qsm_relax import GraphExpander
+from repro.rdf import DBO, FOAF, IRI, Literal, RDFS_LABEL, Variable
+from repro.sparql.serializer import select_query
+
+
+@pytest.fixture(scope="module")
+def runner(server):
+    return server._run_ast
+
+
+@pytest.fixture(scope="module")
+def finder(server, runner):
+    return AlternativeTermsFinder(server.cache, runner, server.config)
+
+
+@pytest.fixture(scope="module")
+def relaxer(server, runner):
+    return StructureRelaxer(server.cache, runner, server.config)
+
+
+class TestPredicateAlternatives:
+    def test_lexicon_bridges_wife_to_spouse(self, finder):
+        alternatives = finder.predicate_alternatives(DBO.term("wife"))
+        terms = [entry.term for entry, _ in alternatives]
+        assert DBO.spouse in terms
+
+    def test_jw_similarity_finds_close_names(self, finder):
+        alternatives = finder.predicate_alternatives(DBO.term("spouses"))
+        terms = [entry.term for entry, _ in alternatives]
+        assert DBO.spouse in terms
+
+    def test_original_predicate_excluded(self, finder):
+        alternatives = finder.predicate_alternatives(DBO.spouse)
+        assert all(entry.term != DBO.spouse for entry, _ in alternatives)
+
+    def test_scores_above_theta(self, finder):
+        for _, score in finder.predicate_alternatives(DBO.term("wife")):
+            assert score >= finder.config.theta
+
+    def test_sorted_by_score(self, finder):
+        scores = [s for _, s in finder.predicate_alternatives(DBO.term("birthPlaces"))]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_predicate_no_alternatives(self, finder):
+        assert finder.predicate_alternatives(DBO.term("zzzzzz")) == []
+
+
+class TestLiteralAlternatives:
+    def test_kennedys_finds_kennedy(self, finder):
+        """Figure 2's example: 'Kennedys' -> 'Kennedy'."""
+        alternatives = finder.literal_alternatives(Literal("Kennedys", lang="en"))
+        surfaces = [entry.surface for entry, _ in alternatives]
+        assert "Kennedy" in surfaces
+
+    def test_alpha_beta_window(self, finder):
+        """Only literals within [|l|-α, |l|+β] are considered."""
+        alternatives = finder.literal_alternatives(Literal("Kennedys", lang="en"))
+        for entry, _ in alternatives:
+            assert len("Kennedys") - 2 <= len(entry.surface) <= len("Kennedys") + 3
+
+    def test_self_excluded(self, finder):
+        alternatives = finder.literal_alternatives(Literal("Kennedy", lang="en"))
+        assert all(entry.surface.lower() != "kennedy" for entry, _ in alternatives)
+
+    def test_scores_above_theta(self, finder):
+        for _, score in finder.literal_alternatives(Literal("Sydney", lang="en")):
+            assert score >= finder.config.theta
+
+
+class TestSuggest:
+    def test_kennedys_suggestion_end_to_end(self, server):
+        builder = QueryBuilder().triple(
+            Variable("person"), FOAF.surname, Literal("Kennedys", lang="en")
+        )
+        outcome = server.run_query(builder)
+        assert not outcome.has_answers
+        literal_suggestions = [s for s in outcome.term_suggestions if s.kind == "literal"]
+        assert literal_suggestions
+        best = literal_suggestions[0]
+        assert best.replacement == Literal("Kennedy", lang="en")
+        assert best.n_answers > 0
+        assert "did you mean" in best.message()
+
+    def test_suggestions_carry_prefetched_answers(self, server):
+        builder = QueryBuilder().triple(
+            Variable("person"), FOAF.surname, Literal("Kennedys", lang="en")
+        )
+        outcome = server.run_query(builder)
+        for suggestion in outcome.term_suggestions:
+            assert suggestion.prefetched is not None
+            assert len(suggestion.prefetched.rows) == suggestion.n_answers
+
+    def test_suggestion_changes_one_term_only(self, server):
+        builder = (QueryBuilder()
+                   .triple(Variable("p"), DBO.term("wifes"), Variable("w"))
+                   .triple(Variable("p"), FOAF.name, Literal("Tom Hanks", lang="en")))
+        outcome = server.run_query(builder)
+        for suggestion in outcome.term_suggestions:
+            original_patterns = outcome.query.where.patterns
+            new_patterns = suggestion.query.where.patterns
+            diffs = sum(
+                1 for a, b in zip(original_patterns, new_patterns) if a != b
+            )
+            assert diffs == 1
+
+    def test_suggestions_for_answering_query_too(self, server):
+        """Suggestions are provided even when the query has answers."""
+        builder = QueryBuilder().triple(
+            Variable("person"), FOAF.surname, Literal("Kennedy", lang="en")
+        )
+        outcome = server.run_query(builder)
+        assert outcome.has_answers
+        # QSM ran (it may or may not find better alternatives).
+        assert outcome.qsm_seconds > 0
+
+
+class TestGraphExpander:
+    def test_literal_expansion_one_query(self, runner):
+        expander = GraphExpander(runner, budget=10)
+        edges = expander.expand(Literal("Viking Press", lang="en"))
+        assert expander.queries_used == 1
+        assert edges
+        assert all(isinstance(p, IRI) for _, p, _ in edges)
+
+    def test_uri_expansion_two_queries(self, runner, tiny_dataset):
+        expander = GraphExpander(runner, budget=10)
+        expander.expand(tiny_dataset.iri("Viking_Press"))
+        assert expander.queries_used == 3 - 1  # 2 queries for a URI
+
+    def test_memoization(self, runner):
+        expander = GraphExpander(runner, budget=10)
+        lit = Literal("Viking Press", lang="en")
+        first = expander.expand(lit)
+        used = expander.queries_used
+        second = expander.expand(lit)
+        assert expander.queries_used == used
+        assert first == second
+
+    def test_budget_exhaustion_returns_none(self, runner, tiny_dataset):
+        expander = GraphExpander(runner, budget=1)
+        assert expander.expand(tiny_dataset.iri("Viking_Press")) is None
+
+    def test_schema_edges_excluded(self, runner, tiny_dataset):
+        from repro.rdf import RDF_TYPE
+
+        expander = GraphExpander(runner, budget=10)
+        edges = expander.expand(tiny_dataset.iri("Jack_Kerouac"))
+        assert all(p != RDF_TYPE for _, p, _ in edges)
+
+
+class TestRelaxation:
+    def test_figure6_kerouac_viking(self, server):
+        """The paper's flagship example: broken structure repaired by the
+        Steiner-tree relaxation, finding the two Viking Press books."""
+        builder = (QueryBuilder()
+                   .triple(Variable("book"), DBO.term("writer"), Literal("Jack Kerouac", lang="en"))
+                   .triple(Variable("book"), DBO.publisher, Literal("Viking Press", lang="en")))
+        outcome = server.run_query(builder)
+        assert not outcome.has_answers
+        assert outcome.relaxations
+        best = outcome.relaxations[0]
+        answers = set()
+        for row in best.prefetched.rows:
+            answers.update(str(v) for v in row.values())
+        assert any("On_the_Road" in a for a in answers)
+        assert any("Door_Wide_Open" in a for a in answers)
+
+    def test_relaxed_query_uses_author_publisher_path(self, server):
+        builder = (QueryBuilder()
+                   .triple(Variable("book"), DBO.term("writer"), Literal("Jack Kerouac", lang="en"))
+                   .triple(Variable("book"), DBO.publisher, Literal("Viking Press", lang="en")))
+        outcome = server.run_query(builder)
+        steiner = [r for r in outcome.relaxations if r.tree_edges]
+        assert steiner
+        text = steiner[0].query_text
+        assert "author" in text
+        assert "publisher" in text
+
+    def test_budget_respected(self, server):
+        builder = (QueryBuilder()
+                   .triple(Variable("b"), DBO.term("writer"), Literal("Jack Kerouac", lang="en"))
+                   .triple(Variable("b"), DBO.publisher, Literal("Viking Press", lang="en")))
+        outcome = server.run_query(builder)
+        for relaxation in outcome.relaxations:
+            assert relaxation.queries_used <= server.config.relaxation_query_budget
+
+    def test_single_literal_grounding(self, server, tiny_dataset):
+        """M10-style: one literal on an entity-valued predicate."""
+        builder = (QueryBuilder()
+                   .triple(Variable("sci"), DBO.almaMater,
+                           Literal("Princeton University", lang="en")))
+        outcome = server.run_query(builder)
+        assert not outcome.has_answers
+        grounding = [r for r in outcome.relaxations if not r.tree_edges]
+        assert grounding
+        answers = grounding[0].prefetched.value_set("sci")
+        assert tiny_dataset.iri("John_Nash_Like") in answers
+
+    def test_no_literals_no_relaxation(self, relaxer):
+        query = select_query(
+            [  # all-variable query: nothing to connect
+                __import__("repro.rdf", fromlist=["TriplePattern"]).TriplePattern(
+                    Variable("s"), Variable("p"), Variable("o")
+                )
+            ]
+        )
+        assert relaxer.relax(query) == []
+        assert relaxer.ground_literals(query) == []
+
+    def test_seed_groups_contain_alternatives(self, relaxer):
+        from repro.rdf import TriplePattern
+
+        query = select_query([
+            TriplePattern(Variable("b"), DBO.publisher, Literal("Viking Press", lang="en")),
+            TriplePattern(Variable("b"), DBO.author, Literal("Jack Kerouac", lang="en")),
+        ])
+        groups = relaxer.seed_groups(
+            query,
+            {Literal("Viking Press", lang="en"): [Literal("Viking Pres", lang="en")]},
+        )
+        assert len(groups) == 2
+        viking_group = next(g for g in groups if Literal("Viking Press", lang="en") in g)
+        assert Literal("Viking Pres", lang="en") in viking_group
+
+    def test_duplicate_literals_form_one_group(self, relaxer):
+        from repro.rdf import TriplePattern
+
+        same = Literal("Clint Eastwood", lang="en")
+        query = select_query([
+            TriplePattern(Variable("f"), DBO.starring, same),
+            TriplePattern(Variable("f"), DBO.director, same),
+        ])
+        assert len(relaxer.seed_groups(query)) == 1

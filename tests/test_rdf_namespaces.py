@@ -1,0 +1,92 @@
+"""Unit tests for namespaces and the prefix registry."""
+
+import pytest
+
+from repro.rdf import (
+    DBO,
+    IRI,
+    RDF_TYPE,
+    RDFS_LABEL,
+    Namespace,
+    PrefixRegistry,
+    default_registry,
+)
+
+
+class TestNamespace:
+    def test_attribute_access_builds_iri(self):
+        assert DBO.almaMater == IRI("http://dbpedia.org/ontology/almaMater")
+
+    def test_item_access_builds_iri(self):
+        assert DBO["almaMater"] == DBO.almaMater
+
+    def test_term_method(self):
+        ns = Namespace("http://x/")
+        assert ns.term("y") == IRI("http://x/y")
+
+    def test_contains(self):
+        assert DBO.spouse in DBO
+        assert IRI("http://elsewhere/") not in DBO
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_private_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            DBO._something  # noqa: B018
+
+    def test_well_known_terms(self):
+        assert RDF_TYPE.value.endswith("#type")
+        assert RDFS_LABEL.value.endswith("#label")
+
+
+class TestPrefixRegistry:
+    def test_expand(self):
+        registry = default_registry()
+        assert registry.expand("dbo:spouse") == DBO.spouse
+
+    def test_expand_unknown_prefix(self):
+        registry = PrefixRegistry()
+        with pytest.raises(KeyError):
+            registry.expand("nope:x")
+
+    def test_expand_requires_colon(self):
+        with pytest.raises(KeyError):
+            default_registry().expand("plainword")
+
+    def test_compact(self):
+        registry = default_registry()
+        assert registry.compact(DBO.spouse) == "dbo:spouse"
+
+    def test_compact_unknown_namespace(self):
+        assert default_registry().compact(IRI("http://unknown/term")) is None
+
+    def test_compact_prefers_longest_base(self):
+        registry = PrefixRegistry()
+        registry.bind("a", "http://x/")
+        registry.bind("b", "http://x/deep/")
+        assert registry.compact(IRI("http://x/deep/t")) == "b:t"
+
+    def test_compact_rejects_slashy_local(self):
+        registry = PrefixRegistry()
+        registry.bind("a", "http://x/")
+        assert registry.compact(IRI("http://x/a/b")) is None
+
+    def test_rebind_shadows(self):
+        registry = PrefixRegistry()
+        registry.bind("p", "http://one/")
+        registry.bind("p", "http://two/")
+        assert registry.expand("p:x") == IRI("http://two/x")
+
+    def test_copy_is_independent(self):
+        registry = default_registry()
+        clone = registry.copy()
+        clone.bind("zzz", "http://zzz/")
+        assert "zzz" in clone
+        assert "zzz" not in registry
+
+    def test_default_registry_has_core_prefixes(self):
+        registry = default_registry()
+        for prefix in ("rdf", "rdfs", "owl", "xsd", "dbo", "dbr", "res", "foaf"):
+            assert prefix in registry

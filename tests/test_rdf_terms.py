@@ -1,0 +1,111 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    BlankNode,
+    Literal,
+    Variable,
+    fresh_blank_node,
+    is_concrete,
+)
+
+
+class TestIRI:
+    def test_n3_renders_angle_brackets(self):
+        assert IRI("http://example.org/x").n3() == "<http://example.org/x>"
+
+    def test_equality_by_value(self):
+        assert IRI("http://a") == IRI("http://a")
+        assert IRI("http://a") != IRI("http://b")
+
+    def test_hashable(self):
+        assert len({IRI("http://a"), IRI("http://a"), IRI("http://b")}) == 2
+
+    def test_local_name_after_slash(self):
+        assert IRI("http://dbpedia.org/ontology/almaMater").local_name() == "almaMater"
+
+    def test_local_name_after_hash(self):
+        assert IRI("http://www.w3.org/2000/01/rdf-schema#label").local_name() == "label"
+
+    def test_local_name_prefers_hash(self):
+        assert IRI("http://x.org/path#frag").local_name() == "frag"
+
+    def test_local_name_without_separator(self):
+        assert IRI("urn-like").local_name() == "urn-like"
+
+    def test_local_name_trailing_slash(self):
+        # A trailing slash yields an empty tail; fall back to earlier parts.
+        assert IRI("http://x.org/a/").local_name() != ""
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            IRI("http://a").value = "http://b"  # type: ignore[misc]
+
+
+class TestLiteral:
+    def test_plain_literal_n3(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_language_tag_n3(self):
+        assert Literal("New York", lang="en").n3() == '"New York"@en'
+
+    def test_datatype_n3(self):
+        assert Literal("42", datatype=XSD_INTEGER).n3().endswith("XMLSchema#integer>")
+
+    def test_escaping_in_n3(self):
+        assert Literal('say "hi"').n3() == '"say \\"hi\\""'
+        assert Literal("a\nb").n3() == '"a\\nb"'
+
+    def test_lang_and_datatype_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", lang="en", datatype=XSD_INTEGER)
+
+    def test_lang_differentiates_equality(self):
+        assert Literal("x", lang="en") != Literal("x", lang="de")
+        assert Literal("x", lang="en") != Literal("x")
+
+    def test_is_numeric(self):
+        assert Literal("1", datatype=XSD_INTEGER).is_numeric()
+        assert Literal("1.5", datatype=XSD_DOUBLE).is_numeric()
+        assert not Literal("1").is_numeric()
+
+    def test_to_python_integer(self):
+        assert Literal("42", datatype=XSD_INTEGER).to_python() == 42
+
+    def test_to_python_double(self):
+        assert Literal("2.5", datatype=XSD_DOUBLE).to_python() == 2.5
+
+    def test_to_python_boolean(self):
+        assert Literal("true", datatype=XSD_BOOLEAN).to_python() is True
+        assert Literal("false", datatype=XSD_BOOLEAN).to_python() is False
+
+    def test_to_python_ill_formed_falls_back(self):
+        assert Literal("not-a-number", datatype=XSD_INTEGER).to_python() == "not-a-number"
+
+    def test_to_python_plain(self):
+        assert Literal("plain").to_python() == "plain"
+
+
+class TestBlankNodeAndVariable:
+    def test_blank_node_n3(self):
+        assert BlankNode("b1").n3() == "_:b1"
+
+    def test_fresh_blank_nodes_unique(self):
+        assert fresh_blank_node() != fresh_blank_node()
+
+    def test_fresh_blank_node_prefix(self):
+        assert fresh_blank_node("x").label.startswith("x")
+
+    def test_variable_n3(self):
+        assert Variable("uri").n3() == "?uri"
+
+    def test_is_concrete(self):
+        assert is_concrete(IRI("http://a"))
+        assert is_concrete(Literal("x"))
+        assert is_concrete(BlankNode("b"))
+        assert not is_concrete(Variable("v"))

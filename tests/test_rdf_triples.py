@@ -1,0 +1,93 @@
+"""Unit tests for triples and triple patterns."""
+
+import pytest
+
+from repro.rdf import IRI, BlankNode, Literal, Triple, TriplePattern, Variable
+
+S = IRI("http://x/s")
+P = IRI("http://x/p")
+O = IRI("http://x/o")
+
+
+class TestTriple:
+    def test_valid_triple(self):
+        triple = Triple(S, P, Literal("v"))
+        assert triple.subject == S
+
+    def test_blank_node_subject_allowed(self):
+        Triple(BlankNode("b"), P, O)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), P, O)  # type: ignore[arg-type]
+
+    def test_variable_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Variable("s"), P, O)
+
+    def test_non_iri_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(S, Literal("p"), O)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            Triple(S, Variable("p"), O)
+
+    def test_variable_object_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(S, P, Variable("o"))
+
+    def test_n3(self):
+        assert Triple(S, P, O).n3() == "<http://x/s> <http://x/p> <http://x/o> ."
+
+    def test_iteration_and_tuple(self):
+        triple = Triple(S, P, O)
+        assert list(triple) == [S, P, O]
+        assert triple.as_tuple() == (S, P, O)
+
+    def test_hashable_value_semantics(self):
+        assert len({Triple(S, P, O), Triple(S, P, O)}) == 1
+
+
+class TestTriplePattern:
+    def test_variables_in_order(self):
+        pattern = TriplePattern(Variable("a"), Variable("b"), Variable("c"))
+        assert pattern.variables() == ("a", "b", "c")
+
+    def test_is_ground(self):
+        assert TriplePattern(S, P, O).is_ground()
+        assert not TriplePattern(Variable("s"), P, O).is_ground()
+
+    def test_bind_substitutes_known_variables(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        bound = pattern.bind({"s": S})
+        assert bound.subject == S
+        assert bound.object == Variable("o")
+
+    def test_bind_leaves_unknown(self):
+        pattern = TriplePattern(Variable("s"), P, O)
+        assert pattern.bind({}).subject == Variable("s")
+
+    def test_match_success(self):
+        pattern = TriplePattern(Variable("s"), P, Variable("o"))
+        binding = pattern.match(Triple(S, P, O))
+        assert binding == {"s": S, "o": O}
+
+    def test_match_failure_on_constant(self):
+        pattern = TriplePattern(S, P, Literal("x"))
+        assert pattern.match(Triple(S, P, O)) is None
+
+    def test_match_repeated_variable_consistent(self):
+        pattern = TriplePattern(Variable("x"), P, Variable("x"))
+        same = IRI("http://x/same")
+        assert pattern.match(Triple(same, P, same)) == {"x": same}
+
+    def test_match_repeated_variable_inconsistent(self):
+        pattern = TriplePattern(Variable("x"), P, Variable("x"))
+        assert pattern.match(Triple(S, P, O)) is None
+
+    def test_ground_pattern_match_empty_binding(self):
+        pattern = TriplePattern(S, P, O)
+        assert pattern.match(Triple(S, P, O)) == {}
+
+    def test_n3_contains_variables(self):
+        pattern = TriplePattern(Variable("s"), P, O)
+        assert pattern.n3().startswith("?s ")

@@ -1,0 +1,93 @@
+"""Unit tests for the interactive session (Section 4 workflow)."""
+
+import pytest
+
+from repro.core import SapphireConfig, SapphireServer
+from repro.core.session import SapphireSession
+from repro.rdf import DBO, FOAF, Literal, Variable
+
+
+@pytest.fixture
+def session(server):
+    return SapphireSession(server)
+
+
+class TestComposition:
+    def test_completion_available_while_composing(self, session):
+        assert "spouse" in session.complete("spou").surfaces()
+
+    def test_triples_chain(self, session):
+        session.triple(Variable("t"), FOAF.name, Literal("Tom Hanks", lang="en")) \
+               .triple(Variable("t"), DBO.spouse, Variable("w"))
+        outcome = session.run(suggest=False)
+        assert len(outcome.answers) == 1
+
+    def test_outcome_before_run_raises(self, session):
+        with pytest.raises(RuntimeError):
+            session.outcome  # noqa: B018
+
+    def test_clear_resets_composer_keeps_history(self, session):
+        session.triple(Variable("s"), DBO.spouse, Variable("o"))
+        session.run(suggest=False)
+        session.clear()
+        assert len(session.history) == 1
+        with pytest.raises(RuntimeError):
+            session.outcome  # noqa: B018
+
+    def test_modifiers(self, session):
+        session.triple(Variable("p"), FOAF.surname, Literal("Kennedy", lang="en"))
+        session.count("p")
+        outcome = session.run(suggest=False)
+        assert int(outcome.answers.first_value().lexical) >= 12
+
+
+class TestSuggestionFlow:
+    def test_figure2_accept_flow(self, session):
+        """Type 'Kennedys', run, accept the fix, see prefetched answers."""
+        session.triple(Variable("person"), FOAF.surname,
+                       Literal("Kennedys", lang="en"))
+        outcome = session.run()
+        assert not outcome.has_answers
+        messages = session.suggestion_messages()
+        assert any("Kennedy" in message for message in messages)
+        fixed = session.accept(0)
+        assert fixed.has_answers
+        assert session.history[-1].accepted_suggestion is not None
+
+    def test_accept_does_not_requery_endpoint(self, session, endpoint):
+        session.triple(Variable("person"), FOAF.surname,
+                       Literal("Kennedys", lang="en"))
+        session.run()
+        queries_before = endpoint.query_count
+        session.accept(0)
+        assert endpoint.query_count == queries_before  # prefetched!
+
+    def test_accept_out_of_range(self, session):
+        session.triple(Variable("s"), DBO.spouse, Variable("o"))
+        session.run(suggest=False)
+        with pytest.raises(IndexError):
+            session.accept(99)
+
+    def test_attempts_counts_run_clicks(self, session):
+        session.triple(Variable("s"), DBO.spouse, Variable("o"))
+        session.run(suggest=False)
+        session.run(suggest=False)
+        assert session.attempts == 2
+
+
+class TestAnswerTableIntegration:
+    def test_table_over_latest_answers(self, session):
+        session.triple(Variable("person"), FOAF.surname,
+                       Literal("Kennedy", lang="en"))
+        session.run(suggest=False)
+        table = session.table()
+        assert len(table) >= 12
+        table.search("john")
+        assert 0 < len(table) < 16
+
+    def test_history_entries_record_queries(self, session):
+        session.triple(Variable("s"), DBO.spouse, Variable("o"))
+        session.run(suggest=False)
+        entry = session.history[-1]
+        assert "spouse" in entry.query_text
+        assert entry.n_answers == len(session.outcome.answers)

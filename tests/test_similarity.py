@@ -1,0 +1,104 @@
+"""Unit tests for the string similarity measures."""
+
+import pytest
+
+from repro.text import (
+    containment_similarity,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("kennedy", "kennedy") == 1.0
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "x") == 0.0
+        assert jaro("x", "") == 0.0
+        assert jaro("", "") == 1.0
+
+    def test_known_value_martha(self):
+        # Classic textbook example: JARO(MARTHA, MARHTA) = 0.944...
+        assert jaro("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_known_value_dixon(self):
+        assert jaro("DIXON", "DICKSONX") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_symmetry(self):
+        assert jaro("crate", "trace") == jaro("trace", "crate")
+
+
+class TestJaroWinkler:
+    def test_known_value_martha(self):
+        assert jaro_winkler("MARTHA", "MARHTA") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_prefix_boost(self):
+        """JW favours strings matching from the beginning (the reason the
+        paper picked it for left-to-right predicate typing)."""
+        prefix_match = jaro_winkler("spouse", "spouses")
+        suffix_match = jaro_winkler("spouse", "espouse")
+        assert prefix_match > suffix_match
+
+    def test_boost_capped_at_four_chars(self):
+        assert jaro_winkler("abcdefgh", "abcdefgx") <= 1.0
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler("xabc", "yabc") == jaro("xabc", "yabc")
+
+    def test_kennedys_kennedy_above_theta(self):
+        """The Figure 2 example must clear the paper's θ = 0.7."""
+        assert jaro_winkler("Kennedys", "Kennedy") >= 0.7
+
+    def test_wife_spouse_below_theta(self):
+        """String similarity alone cannot map wife -> spouse — that is why
+        the lexicon exists (Section 6.2.1)."""
+        assert jaro_winkler("wife", "spouse") < 0.7
+
+    def test_range(self):
+        for a, b in [("a", "b"), ("abc", "abd"), ("x", "xyz")]:
+            assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("same", "same") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_known_value(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_single_edit_kinds(self):
+        assert levenshtein("cat", "cut") == 1   # substitution
+        assert levenshtein("cat", "cats") == 1  # insertion
+        assert levenshtein("cats", "cat") == 1  # deletion
+
+    def test_symmetry(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+    def test_normalized_similarity(self):
+        assert levenshtein_similarity("same", "same") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert 0.0 < levenshtein_similarity("cat", "cut") < 1.0
+
+
+class TestContainment:
+    def test_substring_scores_by_ratio(self):
+        assert containment_similarity("York", "New York") == pytest.approx(4 / 8)
+
+    def test_case_insensitive(self):
+        assert containment_similarity("york", "New York") > 0
+
+    def test_no_containment(self):
+        assert containment_similarity("Paris", "New York") == 0.0
+
+    def test_empty(self):
+        assert containment_similarity("", "x") == 0.0

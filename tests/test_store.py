@@ -1,0 +1,162 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable
+from repro.store import CostMeter, QueryAborted, TripleStore
+
+A, B, C = IRI("http://x/a"), IRI("http://x/b"), IRI("http://x/c")
+P, Q = IRI("http://x/p"), IRI("http://x/q")
+V = Variable
+
+
+@pytest.fixture
+def small_store():
+    store = TripleStore()
+    store.add(Triple(A, P, B))
+    store.add(Triple(A, P, C))
+    store.add(Triple(A, Q, Literal("label a", lang="en")))
+    store.add(Triple(B, P, C))
+    store.add(Triple(B, Q, Literal("label b", lang="en")))
+    return store
+
+
+class TestMutation:
+    def test_add_and_len(self, small_store):
+        assert len(small_store) == 5
+
+    def test_add_duplicate_noop(self, small_store):
+        assert small_store.add(Triple(A, P, B)) is False
+        assert len(small_store) == 5
+
+    def test_contains(self, small_store):
+        assert Triple(A, P, B) in small_store
+        assert Triple(C, P, A) not in small_store
+
+    def test_remove(self, small_store):
+        assert small_store.remove(Triple(A, P, B)) is True
+        assert Triple(A, P, B) not in small_store
+        assert len(small_store) == 4
+
+    def test_remove_absent(self, small_store):
+        assert small_store.remove(Triple(C, P, A)) is False
+
+    def test_remove_updates_all_indexes(self, small_store):
+        small_store.remove(Triple(A, P, B))
+        assert not list(small_store.match(TriplePattern(A, P, B)))
+        assert not list(small_store.match(TriplePattern(V("s"), P, B)))
+        assert B not in {t.object for t in small_store.match(TriplePattern(A, V("p"), V("o")))}
+
+    def test_add_all_counts_new_only(self):
+        store = TripleStore()
+        n = store.add_all([Triple(A, P, B), Triple(A, P, B), Triple(A, P, C)])
+        assert n == 2
+
+    def test_constructor_accepts_triples(self):
+        store = TripleStore([Triple(A, P, B)])
+        assert len(store) == 1
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            (TriplePattern(A, P, B), 1),
+            (TriplePattern(A, P, V("o")), 2),
+            (TriplePattern(V("s"), P, C), 2),
+            (TriplePattern(A, V("p"), C), 1),
+            (TriplePattern(A, V("p"), V("o")), 3),
+            (TriplePattern(V("s"), P, V("o")), 3),
+            (TriplePattern(V("s"), V("p"), C), 2),
+            (TriplePattern(V("s"), V("p"), V("o")), 5),
+        ],
+    )
+    def test_all_eight_shapes(self, small_store, pattern, expected):
+        assert small_store.count(pattern) == expected
+
+    def test_match_absent_constant(self, small_store):
+        assert small_store.count(TriplePattern(C, V("p"), V("o"))) == 0
+
+    def test_repeated_variable_filtered(self):
+        store = TripleStore()
+        store.add(Triple(A, P, A))
+        store.add(Triple(A, P, B))
+        pattern = TriplePattern(V("x"), P, V("x"))
+        assert [t.object for t in store.match(pattern)] == [A]
+
+    def test_match_yields_ground_triples(self, small_store):
+        for triple in small_store.match(TriplePattern(V("s"), V("p"), V("o"))):
+            assert triple in small_store
+
+    def test_triples_iterates_everything(self, small_store):
+        assert len(list(small_store.triples())) == 5
+
+
+class TestCostMetering:
+    def test_meter_accumulates(self, small_store):
+        meter = CostMeter()
+        list(small_store.match(TriplePattern(V("s"), V("p"), V("o")), meter))
+        assert meter.cost == 5
+
+    def test_budget_aborts(self, small_store):
+        meter = CostMeter(budget=2)
+        with pytest.raises(QueryAborted):
+            list(small_store.match(TriplePattern(V("s"), V("p"), V("o")), meter))
+
+    def test_reset(self):
+        meter = CostMeter(budget=10)
+        meter.charge(5)
+        meter.reset()
+        assert meter.cost == 0
+
+    def test_unlimited_budget(self, small_store):
+        meter = CostMeter(budget=None)
+        list(small_store.match(TriplePattern(V("s"), V("p"), V("o")), meter))
+        assert meter.cost == 5
+
+
+class TestEstimates:
+    def test_estimate_full_scan(self, small_store):
+        assert small_store.cardinality_estimate(TriplePattern(V("s"), V("p"), V("o"))) == 5
+
+    def test_estimate_sp(self, small_store):
+        assert small_store.cardinality_estimate(TriplePattern(A, P, V("o"))) == 2
+
+    def test_estimate_po(self, small_store):
+        assert small_store.cardinality_estimate(TriplePattern(V("s"), P, C)) == 2
+
+    def test_estimate_exact_triple(self, small_store):
+        assert small_store.cardinality_estimate(TriplePattern(A, P, B)) == 1
+
+    def test_estimate_upper_bounds_truth(self, small_store):
+        for pattern in (
+            TriplePattern(A, V("p"), V("o")),
+            TriplePattern(V("s"), Q, V("o")),
+            TriplePattern(V("s"), V("p"), C),
+        ):
+            assert small_store.cardinality_estimate(pattern) >= small_store.count(pattern)
+
+
+class TestAccessors:
+    def test_predicates(self, small_store):
+        assert small_store.predicates() == {P, Q}
+
+    def test_predicate_frequencies(self, small_store):
+        freqs = small_store.predicate_frequencies()
+        assert freqs[P] == 3
+        assert freqs[Q] == 2
+
+    def test_literals(self, small_store):
+        assert {lit.lexical for lit in small_store.literals()} == {"label a", "label b"}
+
+    def test_in_out_degree(self, small_store):
+        assert small_store.in_degree(C) == 2
+        assert small_store.out_degree(A) == 3
+        assert small_store.in_degree(A) == 0
+
+    def test_neighbours_both_directions(self, small_store):
+        edges = small_store.neighbours(B)
+        outgoing = [e for e in edges if e[3]]
+        incoming = [e for e in edges if not e[3]]
+        assert len(outgoing) == 2  # B->C, B->label
+        assert len(incoming) == 1  # A->B

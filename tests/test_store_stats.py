@@ -1,0 +1,61 @@
+"""Unit tests for dataset statistics."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Triple
+from repro.store import TripleStore, compute_stats
+
+S = IRI("http://x/s")
+P = IRI("http://x/p")
+
+
+@pytest.fixture
+def stats():
+    store = TripleStore()
+    store.add(Triple(S, P, Literal("short", lang="en")))
+    store.add(Triple(S, P, Literal("x" * 100, lang="en")))
+    store.add(Triple(S, P, Literal("kurz", lang="de")))
+    store.add(Triple(S, P, Literal("untagged")))
+    store.add(Triple(S, IRI("http://x/q"), IRI("http://x/o")))
+    store.add(Triple(IRI("http://x/s2"), IRI("http://x/q"), IRI("http://x/o")))
+    return compute_stats(store)
+
+
+class TestStats:
+    def test_counts(self, stats):
+        assert stats.n_triples == 6
+        assert stats.n_predicates == 2
+        assert stats.n_literals == 4
+
+    def test_length_histogram(self, stats):
+        assert stats.literal_length_histogram[5] == 1
+        assert stats.literal_length_histogram[100] == 1
+
+    def test_literals_shorter_than(self, stats):
+        assert stats.literals_shorter_than(80) == 3
+        assert stats.literals_shorter_than(5) == 1  # only "kurz"
+
+    def test_language_counts(self, stats):
+        assert stats.literal_language_counts["en"] == 2
+        assert stats.literal_language_counts["de"] == 1
+        assert stats.literal_language_counts[""] == 1
+
+    def test_predicate_to_literal_ratio(self, stats):
+        assert stats.predicate_to_literal_ratio == pytest.approx(2 / 4)
+
+    def test_in_degree(self, stats):
+        assert stats.max_in_degree == 2  # http://x/o has two in-edges
+        assert stats.mean_in_degree > 0
+
+    def test_empty_store(self):
+        stats = compute_stats(TripleStore())
+        assert stats.n_triples == 0
+        assert stats.predicate_to_literal_ratio == 0.0
+        assert stats.mean_in_degree == 0.0
+        assert stats.literals_shorter_than(10) == 0
+
+    def test_predicates_without_literals(self):
+        store = TripleStore()
+        store.add(Triple(S, P, IRI("http://x/o")))
+        stats = compute_stats(store)
+        assert stats.predicate_to_literal_ratio == float("inf")

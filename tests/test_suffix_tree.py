@@ -1,0 +1,137 @@
+"""Unit tests for the generalized suffix tree (Ukkonen)."""
+
+import pytest
+
+from repro.text import GeneralizedSuffixTree, sentinel_for
+
+
+WORDS = ["spouse", "almaMater", "New York", "house", "mouse", "birthPlace"]
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return GeneralizedSuffixTree(WORDS)
+
+
+class TestLookup:
+    def test_substring_found(self, tree):
+        assert set(tree.find_containing("ouse")) == {"spouse", "house", "mouse"}
+
+    def test_full_string_found(self, tree):
+        assert tree.find_containing("almaMater") == ["almaMater"]
+
+    def test_single_char(self, tree):
+        assert set(tree.find_containing("N")) == {"New York"}
+
+    def test_absent_substring(self, tree):
+        assert tree.find_containing("zzz") == []
+
+    def test_case_sensitive(self, tree):
+        assert tree.find_containing("SPOUSE") == []
+
+    def test_contains_substring(self, tree):
+        assert tree.contains_substring("w Yo")
+        assert not tree.contains_substring("Yo w")
+        assert "Mater" in tree
+
+    def test_empty_pattern(self, tree):
+        assert tree.find_containing("") == []
+        assert not tree.contains_substring("")
+
+    def test_match_never_spans_strings(self):
+        """'ab'+'cd' must not match 'bc' — inputs are isolated."""
+        tree = GeneralizedSuffixTree(["ab", "cd"])
+        assert not tree.contains_substring("bc")
+
+    def test_limit_caps_results(self, tree):
+        results = tree.find_containing("ouse", limit=2)
+        assert len(results) == 2
+        assert set(results) <= {"spouse", "house", "mouse"}
+
+    def test_find_ids_map_to_build_order(self, tree):
+        ids = tree.find_ids("alma")
+        assert ids == [WORDS.index("almaMater")]
+
+    def test_duplicates_both_reported(self):
+        tree = GeneralizedSuffixTree(["same", "same"])
+        assert sorted(tree.find_ids("ame")) == [0, 1]
+
+
+class TestOccurrences:
+    def test_count_overlapping(self):
+        tree = GeneralizedSuffixTree(["aaa"])
+        assert tree.count_occurrences("aa") == 2
+
+    def test_count_across_strings(self):
+        tree = GeneralizedSuffixTree(["aba", "bab"])
+        assert tree.count_occurrences("ab") == 2
+        assert tree.count_occurrences("ba") == 2
+
+    def test_count_absent(self, tree):
+        assert tree.count_occurrences("zzz") == 0
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = GeneralizedSuffixTree([])
+        assert tree.find_containing("a") == []
+        assert len(tree) == 0
+
+    def test_empty_string_input(self):
+        tree = GeneralizedSuffixTree(["", "ab"])
+        assert tree.find_containing("ab") == ["ab"]
+
+    def test_rebuild_replaces_content(self):
+        tree = GeneralizedSuffixTree(["old"])
+        tree.build(["new"])
+        assert tree.find_containing("old") == []
+        assert tree.find_containing("new") == ["new"]
+
+    def test_sentinel_rejected_in_input(self):
+        with pytest.raises(ValueError):
+            GeneralizedSuffixTree([f"bad{sentinel_for(0)}"])
+
+    def test_sentinels_unique(self):
+        assert len({sentinel_for(i) for i in range(1000)}) == 1000
+
+    def test_node_count_linear_bound(self):
+        """Ukkonen guarantees at most 2n nodes for n total characters."""
+        words = [f"w{i}xyz{i % 7}" for i in range(200)]
+        tree = GeneralizedSuffixTree(words)
+        total_chars = sum(len(w) + 1 for w in words)  # +1 per terminator
+        assert tree.node_count() <= 2 * total_chars
+
+    def test_unicode_content(self):
+        tree = GeneralizedSuffixTree(["Žižek", "café", "naïve"])
+        assert tree.find_containing("afé") == ["café"]
+        assert tree.find_containing("iže") == ["Žižek"]
+
+    def test_len_reports_string_count(self, tree):
+        assert len(tree) == len(WORDS)
+
+
+class TestAgainstNaive:
+    """Cross-check against a brute-force scan on adversarial inputs."""
+
+    @pytest.mark.parametrize(
+        "strings",
+        [
+            ["aaaa", "aaa", "aa", "a"],
+            ["abab", "baba", "abba", "baab"],
+            ["x"] * 5,
+            ["abcabcabc"],
+            ["mississippi", "missouri", "miss"],
+        ],
+    )
+    def test_exhaustive_patterns(self, strings):
+        tree = GeneralizedSuffixTree(strings)
+        alphabet = sorted({c for s in strings for c in s})
+        patterns = set()
+        for s in strings:
+            for i in range(len(s)):
+                for j in range(i + 1, min(i + 5, len(s)) + 1):
+                    patterns.add(s[i:j])
+        patterns.update(a + b for a in alphabet for b in alphabet)
+        for pattern in patterns:
+            expected = sorted(i for i, s in enumerate(strings) if pattern in s)
+            assert sorted(tree.find_ids(pattern)) == expected, pattern
