@@ -4,7 +4,15 @@ from .answer_table import AnswerTable
 from .cache import CachedTerm, SapphireCache
 from .config import SapphireConfig
 from .initialization import EndpointInitializer, InitializationReport, initialize_endpoint
-from .persistence import dumps_cache, load_cache, loads_cache, save_cache
+from .persistence import (
+    dumps_cache,
+    load_cache,
+    load_store,
+    loads_cache,
+    open_store,
+    save_cache,
+    save_store,
+)
 from .qcm import Completion, CompletionResult, QueryCompletionModule
 from .qsm_relax import Edge, GraphExpander, RelaxationSuggestion, StructureRelaxer
 from .qsm_terms import AlternativeTermsFinder, TermSuggestion
@@ -17,6 +25,9 @@ __all__ = [
     "load_cache",
     "dumps_cache",
     "loads_cache",
+    "open_store",
+    "save_store",
+    "load_store",
     "SapphireConfig",
     "SapphireCache",
     "CachedTerm",

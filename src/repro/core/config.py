@@ -58,6 +58,15 @@ class SapphireConfig:
     w_default: float = 2.0
     seed_group_size: int = 3  # the literal itself + top k-1 alternatives
 
+    # --- Storage engine ------------------------------------------------
+    #: Which triple-store backend ``open_store``/``quickstart_server``
+    #: build: ``"memory"`` (SPO/POS/OSP hash indexes, ephemeral) or
+    #: ``"sqlite"`` (WAL-mode file, survives restarts — docs/storage.md).
+    storage_backend: str = "memory"
+    #: Database file for the sqlite backend; ``None`` means ``":memory:"``
+    #: (same engine, no file — useful in tests).
+    storage_path: Optional[str] = None
+
     def with_processes(self, processes: int) -> "SapphireConfig":
         """Copy with a different parallelism degree (benchmark sweeps)."""
         return replace(self, processes=processes)
@@ -65,3 +74,11 @@ class SapphireConfig:
     def with_tree_capacity(self, capacity: int) -> "SapphireConfig":
         """Copy with a different suffix-tree budget (ablation sweeps)."""
         return replace(self, suffix_tree_capacity=capacity)
+
+    def with_storage(
+        self, backend: str, path: Optional[str] = None
+    ) -> "SapphireConfig":
+        """Copy with a different storage engine selection."""
+        if backend not in ("memory", "sqlite"):
+            raise ValueError(f"unknown storage backend {backend!r}")
+        return replace(self, storage_backend=backend, storage_path=path)

@@ -18,7 +18,10 @@ their RDF term), or raw strings.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..endpoint.endpoint import SparqlEndpoint
@@ -42,11 +45,19 @@ from ..text.lexicon import Lexicon
 from .cache import SapphireCache
 from .config import SapphireConfig
 from .initialization import EndpointInitializer, InitializationReport
+from .persistence import load_cache, load_store, save_cache, save_store
 from .qcm import CompletionResult, QueryCompletionModule
 from .qsm_relax import RelaxationSuggestion, StructureRelaxer
 from .qsm_terms import AlternativeTermsFinder, TermSuggestion
 
 __all__ = ["QueryBuilder", "QueryOutcome", "SapphireServer"]
+
+
+def _is_safe_state_name(name: str) -> bool:
+    """True when ``name`` is usable as a ``<name>.sqlite`` state file —
+    non-empty and free of path separators, whether it came from a live
+    endpoint or from a (possibly tampered) state manifest."""
+    return isinstance(name, str) and bool(name) and Path(name).name == name
 
 
 @dataclass
@@ -185,11 +196,123 @@ class SapphireServer:
         self.cache.merge(cache)
         self.cache.build_indexes()
         self.reports[endpoint.name] = initializer.report
+        self._refresh_modules()
+        return initializer.report
+
+    def attach_endpoint(self, endpoint: SparqlEndpoint) -> None:
+        """Register ``endpoint`` *without* re-running initialization.
+
+        Used on restart, when the cache was restored from disk and the
+        endpoint's dataset reopened from its persistent store — the
+        17-hour DBpedia crawl must not happen twice (Section 5.1).
+        """
+        self.endpoints.append(endpoint)
+        self._refresh_modules()
+
+    def _refresh_modules(self) -> None:
+        """Rebuild the federation and drop PUM modules derived from it."""
         self._federation = FederatedQueryProcessor(self.endpoints)
         self._qcm = None
         self._terms_finder = None
         self._relaxer = None
-        return initializer.report
+
+    # ------------------------------------------------------------------
+    # Restart persistence (cache + datasets)
+    # ------------------------------------------------------------------
+
+    def save_state(self, directory) -> Dict[str, int]:
+        """Persist the cache and every endpoint's dataset under
+        ``directory`` (``cache.json`` + one ``<endpoint>.sqlite`` each).
+
+        Returns a map of endpoint name to persisted triple count.  Load
+        again with :meth:`load_state`.
+        """
+        seen = set()
+        for endpoint in self.endpoints:
+            # Names become <name>.sqlite files and must round-trip
+            # through the state manifest — reject path tricks and
+            # collisions before anything is written.
+            if not _is_safe_state_name(endpoint.name):
+                raise ValueError(
+                    f"endpoint name {endpoint.name!r} cannot be used as a "
+                    "state filename (contains a path separator or is empty)"
+                )
+            if endpoint.name in seen:
+                raise ValueError(
+                    f"two endpoints share the name {endpoint.name!r}; their "
+                    "state files would overwrite each other — give each "
+                    "endpoint a distinct name before saving"
+                )
+            seen.add(endpoint.name)
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        save_cache(self.cache, target / "cache.json")
+        # Drop state files *this class* wrote for endpoints that no
+        # longer exist (per the previous manifest) — never unrelated
+        # .sqlite files that happen to live in the directory.
+        manifest_path = target / "state.json"
+        previous: list = []
+        if manifest_path.exists():
+            try:
+                previous = json.loads(manifest_path.read_text()).get("endpoints", [])
+            except (json.JSONDecodeError, AttributeError):
+                # A truncated manifest (interrupted save) must not brick
+                # future saves; skip stale cleanup and rewrite it below.
+                previous = []
+        current = {endpoint.name for endpoint in self.endpoints}
+        counts: Dict[str, int] = {}
+        for endpoint in self.endpoints:
+            counts[endpoint.name] = save_store(
+                endpoint.store, target / f"{endpoint.name}.sqlite"
+            )
+        # Atomic replace so a crash mid-write cannot truncate the manifest.
+        scratch = manifest_path.with_suffix(".json.tmp")
+        scratch.write_text(json.dumps({"version": 1, "endpoints": sorted(current)}))
+        os.replace(scratch, manifest_path)
+        # Stale cleanup runs last: if any store write above had failed,
+        # the previous manifest would still describe files that exist.
+        for name in previous:
+            if not _is_safe_state_name(name):
+                continue  # tampered manifest entry: never follow it
+            if name not in current:
+                stale = target / f"{name}.sqlite"
+                stale.unlink(missing_ok=True)
+                for sidecar in (stale.with_name(stale.name + "-wal"),
+                                stale.with_name(stale.name + "-shm")):
+                    sidecar.unlink(missing_ok=True)
+        return counts
+
+    @classmethod
+    def load_state(
+        cls,
+        directory,
+        config: Optional[SapphireConfig] = None,
+        endpoint_config=None,
+        lexicon: Optional[Lexicon] = None,
+    ) -> "SapphireServer":
+        """Rebuild a server from :meth:`save_state` output.
+
+        The cache is reloaded (indexes rebuilt at the configured tree
+        capacity) and each dataset named by the state manifest is
+        reopened on its SQLite backend and attached without
+        re-initialization.  Endpoint resource policies are runtime
+        choices, so pass ``endpoint_config`` to override the default.
+        """
+        source = Path(directory)
+        manifest = json.loads((source / "state.json").read_text())
+        server = cls(config, lexicon)
+        server.cache = load_cache(source / "cache.json", server.config)
+        for name in manifest.get("endpoints", []):
+            if not _is_safe_state_name(name):
+                raise ValueError(
+                    f"state manifest names an unsafe endpoint {name!r} "
+                    "(path separator or empty) — refusing to open it"
+                )
+            endpoint = SparqlEndpoint(
+                load_store(source / f"{name}.sqlite"), endpoint_config, name=name
+            )
+            server.attach_endpoint(endpoint)
+        return server
 
     @property
     def federation(self) -> FederatedQueryProcessor:

@@ -212,7 +212,13 @@ class SparqlEndpoint:
         return result
 
     def _estimate(self, query: Query) -> int:
-        """Optimizer-style upper bound used for admission control."""
+        """Optimizer-style upper bound used for admission control.
+
+        Relies on the store's contract that ``cardinality_estimate`` is
+        meter-free: rejecting (or admitting) a query must cost the
+        endpoint nothing, otherwise admission control itself would eat
+        into the simulated timeout budget.
+        """
         patterns = query.where.patterns
         if not patterns:
             return 0

@@ -36,6 +36,8 @@ __all__ = [
     "XSD_BOOLEAN",
     "is_concrete",
     "fresh_blank_node",
+    "flatten_term",
+    "unflatten_term",
 ]
 
 
@@ -114,6 +116,14 @@ class Literal(Term):
 
 
     def __post_init__(self) -> None:
+        # Empty-string tags normalize to "absent" so that
+        # Literal("x", lang="") and Literal("x") are the *same* value —
+        # the flat persisted representation uses "" for absent and could
+        # not tell them apart otherwise.
+        if self.lang == "":
+            object.__setattr__(self, "lang", None)
+        if self.datatype is not None and self.datatype.value == "":
+            object.__setattr__(self, "datatype", None)
         if self.lang is not None and self.datatype is not None:
             raise ValueError("a literal cannot carry both a language tag and a datatype")
 
@@ -189,3 +199,42 @@ class Variable(Term):
 def is_concrete(term: Term) -> bool:
     """True when ``term`` is a ground RDF term (not a variable)."""
     return not isinstance(term, Variable)
+
+
+# ----------------------------------------------------------------------
+# Flat (kind, lexical, lang, datatype) tuples for term persistence
+# ----------------------------------------------------------------------
+#
+# Persistent backends store one row per dictionary entry.  Language and
+# datatype use "" (never NULL/None) so that a relational UNIQUE constraint
+# over the four columns deduplicates correctly — SQL treats NULLs as
+# pairwise distinct, which would silently allow duplicate terms.
+
+#: Kind codes used in the flat representation (and the SQLite ``terms``
+#: table).  Variables are deliberately unsupported: only ground terms are
+#: ever stored.
+KIND_IRI, KIND_LITERAL, KIND_BLANK = 0, 1, 2
+
+
+def flatten_term(term: Term) -> tuple:
+    """``term`` as a ``(kind, lexical, lang, datatype)`` row."""
+    if isinstance(term, IRI):
+        return (KIND_IRI, term.value, "", "")
+    if isinstance(term, Literal):
+        return (KIND_LITERAL, term.lexical, term.lang or "",
+                term.datatype.value if term.datatype else "")
+    if isinstance(term, BlankNode):
+        return (KIND_BLANK, term.label, "", "")
+    raise TypeError(f"cannot flatten non-ground term {term!r}")
+
+
+def unflatten_term(kind: int, lexical: str, lang: str, datatype: str) -> Term:
+    """Inverse of :func:`flatten_term`."""
+    if kind == KIND_IRI:
+        return IRI(lexical)
+    if kind == KIND_LITERAL:
+        return Literal(lexical, lang=lang or None,
+                       datatype=IRI(datatype) if datatype else None)
+    if kind == KIND_BLANK:
+        return BlankNode(lexical)
+    raise ValueError(f"unknown term kind code {kind!r}")

@@ -114,27 +114,71 @@ class QueryEvaluator:
         initial: Binding,
         meter: CostMeter,
     ) -> Iterator[Binding]:
+        """Backtracking index-nested-loop join, entirely in ID space.
+
+        Patterns are encoded once (``store.encode_pattern``) and the
+        backtracker binds variable names to dictionary IDs — every probe,
+        comparison and hash during the join is over plain ints.  Terms
+        are decoded only when a FILTER needs evaluating at its join depth
+        and when a complete solution is materialized.  Initially bound
+        terms the store has never interned pin their variable to
+        ``NO_ID``, which matches nothing, while filters keep seeing the
+        original term through the decoded view.
+        """
+        store = self.store
         filters = list(group.filters)
-        order = _order_patterns(self.store, group.patterns, set(initial.keys()))
+        order = _order_patterns(store, group.patterns, set(initial.keys()))
         filter_positions = _assign_filters(order, filters, set(initial.keys()))
 
-        def backtrack(index: int, binding: Binding) -> Iterator[Binding]:
-            for expr in filter_positions.get(index, ()):  # filters ready at this depth
-                if not _filter_passes(expr, binding):
-                    return
-            if index == len(order):
-                yield binding
-                return
-            pattern = order[index].bind(binding)
-            for triple in self.store.match(pattern, meter):
-                extension = pattern.match(triple)
-                if extension is None:
-                    continue
-                merged = dict(binding)
-                merged.update(extension)
-                yield from backtrack(index + 1, merged)
+        encoded = [store.encode_pattern(pattern) for pattern in order]
+        initial_ids = {name: store.term_id(term) for name, term in initial.items()}
 
-        base = backtrack(0, dict(initial))
+        def decode_binding(id_binding: Dict[str, int]) -> Binding:
+            decoded = dict(initial)
+            decode = store.decode_id
+            for name, term_id in id_binding.items():
+                if name not in decoded:
+                    decoded[name] = decode(term_id)
+            return decoded
+
+        def backtrack(index: int, id_binding: Dict[str, int]) -> Iterator[Binding]:
+            ready = filter_positions.get(index)
+            decoded = None
+            if ready:  # filters whose variables are all bound at this depth
+                decoded = decode_binding(id_binding)
+                for expr in ready:
+                    if not _filter_passes(expr, decoded):
+                        return
+            if index == len(encoded):
+                # Complete solution: reuse the filter decode if one just
+                # happened rather than decoding the same binding twice.
+                yield decoded if decoded is not None else decode_binding(id_binding)
+                return
+            probe: List[Optional[int]] = [None, None, None]
+            free: List[Tuple[int, str]] = []
+            for position, entry in enumerate(encoded[index]):
+                if isinstance(entry, str):
+                    bound = id_binding.get(entry)
+                    if bound is not None:
+                        probe[position] = bound
+                    else:
+                        free.append((position, entry))
+                else:
+                    probe[position] = entry
+            for row in store.match_ids(probe[0], probe[1], probe[2], meter):
+                merged = dict(id_binding)
+                consistent = True
+                for position, name in free:
+                    value = row[position]
+                    seen = merged.get(name)
+                    if seen is not None and seen != value:
+                        consistent = False  # repeated variable mismatch
+                        break
+                    merged[name] = value
+                if consistent:
+                    yield from backtrack(index + 1, merged)
+
+        base = backtrack(0, initial_ids)
         if not group.optionals:
             yield from base
             return

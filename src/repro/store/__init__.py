@@ -1,6 +1,28 @@
-"""Triple-store substrate: indexed storage, cost metering, statistics."""
+"""Triple-store substrate: dictionary encoding, pluggable backends,
+cost metering, statistics.
 
+Layering (bottom up): :class:`TermDictionary` interns terms to dense
+integer IDs; a :class:`StorageBackend` (:class:`MemoryBackend` or
+:class:`SQLiteBackend`) stores and indexes the ID triples;
+:class:`TripleStore` is the term-level façade the rest of the system
+talks to.  See ``docs/storage.md``.
+"""
+
+from .backends import MemoryBackend, StorageBackend
+from .dictionary import NO_ID, TermDictionary
+from .sqlite_backend import SQLiteBackend
 from .stats import DatasetStats, compute_stats
 from .triplestore import CostMeter, QueryAborted, TripleStore
 
-__all__ = ["TripleStore", "CostMeter", "QueryAborted", "DatasetStats", "compute_stats"]
+__all__ = [
+    "TripleStore",
+    "CostMeter",
+    "QueryAborted",
+    "DatasetStats",
+    "compute_stats",
+    "TermDictionary",
+    "NO_ID",
+    "StorageBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+]

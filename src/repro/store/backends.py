@@ -1,0 +1,268 @@
+"""Storage backends: the ID-triple seam under :class:`TripleStore`.
+
+A backend stores triples of integer IDs minted by a
+:class:`~repro.store.dictionary.TermDictionary` it owns; it knows nothing
+about RDF terms, SPARQL, or cost metering — those live one layer up in
+:class:`~repro.store.triplestore.TripleStore`.  Keeping the seam at the
+ID level means a backend only has to answer eight pattern shapes over
+integer keys, which both implementations do with covering indexes:
+
+* :class:`MemoryBackend` — three nested dict-of-dict-of-set indexes
+  (SPO / POS / OSP) over ints; the default, fastest for ephemeral data.
+* :class:`~repro.store.sqlite_backend.SQLiteBackend` — the same three
+  covering indexes as B-trees in a WAL-mode SQLite file; survives
+  restarts (see ``docs/storage.md`` for the schema).
+
+``match_ids`` positions use ``None`` as the wildcard.  Backends never see
+:data:`~repro.store.dictionary.NO_ID` in the "present" sense: it is a
+valid probe value that simply never matches anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Protocol, Set, Tuple
+
+from .dictionary import TermDictionary
+
+__all__ = ["StorageBackend", "MemoryBackend"]
+
+#: An encoded triple.
+IdTriple = Tuple[int, int, int]
+
+
+class StorageBackend(Protocol):
+    """What :class:`TripleStore` needs from a storage engine.
+
+    All IDs are dictionary IDs; ``None`` in a ``match_ids``/``count``
+    position means "any".  Estimation methods must be cheap (index
+    fan-outs, no enumeration) and must never raise on unknown IDs.
+    """
+
+    #: Human-readable backend name (``"memory"`` / ``"sqlite"``).
+    name: str
+    #: The term dictionary whose IDs this backend stores.
+    dictionary: TermDictionary
+
+    def add(self, s: int, p: int, o: int) -> bool: ...
+    def add_many(self, triples: Iterator[IdTriple]) -> int: ...
+    def remove(self, s: int, p: int, o: int) -> bool: ...
+    def contains(self, s: int, p: int, o: int) -> bool: ...
+    def size(self) -> int: ...
+    def iter_ids(self) -> Iterator[IdTriple]: ...
+    def match_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> Iterator[IdTriple]: ...
+    def count_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> int: ...
+    def estimate_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> int: ...
+    def subject_ids(self) -> Iterator[int]: ...
+    def subject_count(self) -> int: ...
+    def predicate_ids(self) -> Iterator[int]: ...
+    def object_ids(self) -> Iterator[int]: ...
+    def predicate_fanouts(self) -> Dict[int, int]: ...
+    def object_fanouts(self) -> Dict[int, int]: ...
+    def in_degree(self, o: int) -> int: ...
+    def out_degree(self, s: int) -> int: ...
+    def out_edges(self, s: int) -> Iterator[Tuple[int, int]]: ...
+    def in_edges(self, o: int) -> Iterator[Tuple[int, int]]: ...
+    def get_meta(self, key: str) -> Optional[str]: ...
+    def set_meta(self, key: str, value: str) -> None: ...
+    def meta_items(self) -> Dict[str, str]: ...
+    def close(self) -> None: ...
+
+
+class MemoryBackend:
+    """SPO / POS / OSP nested-dict indexes over integer IDs.
+
+    Structurally identical to the seed store's indexes, but every key is
+    an ``int`` — hashing is a word op and small-int hashes are the values
+    themselves, so probe order is deterministic across runs.
+    """
+
+    name = "memory"
+
+    def __init__(self, dictionary: Optional[TermDictionary] = None) -> None:
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
+        self._spo: Dict[int, Dict[int, Set[int]]] = {}
+        self._pos: Dict[int, Dict[int, Set[int]]] = {}
+        self._osp: Dict[int, Dict[int, Set[int]]] = {}
+        self._size = 0
+        self._meta: Dict[str, str] = {}
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def add_many(self, triples: Iterator[IdTriple]) -> int:
+        return sum(1 for s, p, o in triples if self.add(s, p, o))
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        if not self.contains(s, p, o):
+            return False
+        # Prune emptied levels so the aggregate views (subject_ids,
+        # predicate_fanouts, ...) stay identical to the SQLite backend's.
+        _discard_and_prune(self._spo, s, p, o)
+        _discard_and_prune(self._pos, p, o, s)
+        _discard_and_prune(self._osp, o, s, p)
+        self._size -= 1
+        return True
+
+    # -- lookup --------------------------------------------------------
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        by_p = self._spo.get(s)
+        if by_p is None:
+            return False
+        objects = by_p.get(p)
+        return objects is not None and o in objects
+
+    def size(self) -> int:
+        return self._size
+
+    def iter_ids(self) -> Iterator[IdTriple]:
+        for s, by_p in self._spo.items():
+            for p, objects in by_p.items():
+                for o in objects:
+                    yield (s, p, o)
+
+    def match_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> Iterator[IdTriple]:
+        if s is not None and p is not None and o is not None:
+            if self.contains(s, p, o):
+                yield (s, p, o)
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.get(s, {}).get(p, ()):
+                yield (s, p, obj)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):
+                yield (subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):
+                yield (s, pred, o)
+            return
+        if s is not None:
+            for pred, objects in self._spo.get(s, {}).items():
+                for obj in objects:
+                    yield (s, pred, obj)
+            return
+        if p is not None:
+            for obj, subjects in self._pos.get(p, {}).items():
+                for subj in subjects:
+                    yield (subj, p, obj)
+            return
+        if o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield (subj, pred, o)
+            return
+        yield from self.iter_ids()
+
+    def count_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> int:
+        """Exact match count (used by ``TripleStore.count``; still free —
+        it walks index fan-outs, never the triples)."""
+        if s is not None and p is not None and o is not None:
+            return 1 if self.contains(s, p, o) else 0
+        return self.estimate_ids(s, p, o)
+
+    def estimate_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> int:
+        if s is not None and p is not None and o is not None:
+            return 1
+        if s is not None and p is not None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            return sum(len(subs) for subs in self._pos.get(p, {}).values())
+        if o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return self._size
+
+    # -- aggregates ----------------------------------------------------
+
+    def subject_ids(self) -> Iterator[int]:
+        return iter(self._spo.keys())
+
+    def subject_count(self) -> int:
+        return len(self._spo)
+
+    def predicate_ids(self) -> Iterator[int]:
+        return iter(self._pos.keys())
+
+    def object_ids(self) -> Iterator[int]:
+        return iter(self._osp.keys())
+
+    def predicate_fanouts(self) -> Dict[int, int]:
+        return {
+            p: sum(len(subs) for subs in by_o.values())
+            for p, by_o in self._pos.items()
+        }
+
+    def object_fanouts(self) -> Dict[int, int]:
+        return {
+            o: sum(len(preds) for preds in by_s.values())
+            for o, by_s in self._osp.items()
+        }
+
+    def in_degree(self, o: int) -> int:
+        return sum(len(preds) for preds in self._osp.get(o, {}).values())
+
+    def out_degree(self, s: int) -> int:
+        return sum(len(objs) for objs in self._spo.get(s, {}).values())
+
+    def out_edges(self, s: int) -> Iterator[Tuple[int, int]]:
+        for pred, objects in self._spo.get(s, {}).items():
+            for obj in objects:
+                yield (pred, obj)
+
+    def in_edges(self, o: int) -> Iterator[Tuple[int, int]]:
+        for subj, preds in self._osp.get(o, {}).items():
+            for pred in preds:
+                yield (subj, pred)
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read a metadata value (ephemeral, like the triples)."""
+        return self._meta.get(key)
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._meta[key] = value
+
+    def meta_items(self) -> Dict[str, str]:
+        return dict(self._meta)
+
+    def close(self) -> None:
+        """Nothing to release for the in-memory backend."""
+
+
+def _discard_and_prune(
+    index: Dict[int, Dict[int, Set[int]]], a: int, b: int, c: int
+) -> None:
+    by_b = index[a]
+    leaf = by_b[b]
+    leaf.discard(c)
+    if not leaf:
+        del by_b[b]
+        if not by_b:
+            del index[a]

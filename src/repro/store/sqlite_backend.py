@@ -1,0 +1,338 @@
+"""Persistent SQLite storage backend.
+
+Stores the term dictionary and the ID triples of one
+:class:`~repro.store.triplestore.TripleStore` in a single SQLite file so
+datasets survive restarts (initialization "happens only once for each
+endpoint" — Section 5.1 — and took 17 hours for DBpedia, so re-ingesting
+on every boot is not an option at production scale).
+
+Schema (documented in full in ``docs/storage.md``)::
+
+    terms(id INTEGER PRIMARY KEY, kind INTEGER, lexical TEXT,
+          lang TEXT, datatype TEXT)          -- the dictionary, dense IDs
+    triples(s INTEGER, p INTEGER, o INTEGER,
+            PRIMARY KEY (s, p, o)) WITHOUT ROWID   -- the SPO index
+    idx_triples_pos(p, o, s)                 -- covering POS index
+    idx_triples_osp(o, s, p)                 -- covering OSP index
+
+The three B-trees mirror the memory backend's three hash indexes: every
+one of the eight triple-pattern shapes is answered by a prefix range scan
+of exactly one covering index, so SQLite never touches the base table
+twice.
+
+Pragmas applied at connection time:
+
+======================  ========  ==============================================
+Pragma                  Value     Purpose
+======================  ========  ==============================================
+``journal_mode``        WAL       readers never block the writer across restarts
+``synchronous``         NORMAL    fsync at WAL checkpoints only (safe with WAL)
+``foreign_keys``        ON        referential integrity for future tables
+``busy_timeout``        30000 ms  wait for a locked database instead of failing
+``temp_store``          MEMORY    sorts/temp B-trees stay off disk
+======================  ========  ==============================================
+
+Thread safety: the endpoint simulator serves QSM prefetches from
+background threads, so the single connection is shared behind a lock and
+every query materializes its rows before yielding.
+
+Single-writer assumption: one live backend instance per database file.
+WAL lets a *second* process read concurrently (and a fresh open sees all
+committed writes), but a long-lived second instance caches the triple
+count and dictionary at open time, so its ``size()`` and term IDs lag
+behind another writer's commits.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..rdf.terms import Term, flatten_term, unflatten_term
+from .dictionary import TermDictionary
+
+__all__ = ["SQLiteBackend"]
+
+IdTriple = Tuple[int, int, int]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS terms (
+    id       INTEGER PRIMARY KEY,
+    kind     INTEGER NOT NULL,
+    lexical  TEXT NOT NULL,
+    lang     TEXT NOT NULL DEFAULT '',
+    datatype TEXT NOT NULL DEFAULT '',
+    UNIQUE (kind, lexical, lang, datatype)
+);
+CREATE TABLE IF NOT EXISTS triples (
+    s INTEGER NOT NULL,
+    p INTEGER NOT NULL,
+    o INTEGER NOT NULL,
+    PRIMARY KEY (s, p, o)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_triples_pos ON triples (p, o, s);
+CREATE INDEX IF NOT EXISTS idx_triples_osp ON triples (o, s, p);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+_PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+    "PRAGMA foreign_keys=ON",
+    "PRAGMA busy_timeout=30000",
+    "PRAGMA temp_store=MEMORY",
+)
+
+
+class SQLiteBackend:
+    """ID-triple storage in one SQLite database file.
+
+    ``path`` may be ``":memory:"`` for an ephemeral database (useful in
+    tests: same code path, no file).  Opening an existing file replays
+    its ``terms`` table into the in-memory dictionary, so encode/decode
+    stay O(1) dict/list operations; only triple probes hit SQLite.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        for pragma in _PRAGMAS:
+            self._conn.execute(pragma)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self.dictionary = TermDictionary(on_intern=self._persist_term)
+        self._load_terms()
+        self._size = self._conn.execute("SELECT COUNT(*) FROM triples").fetchone()[0]
+        # Per-predicate triple counts, rebuilt lazily after mutations so
+        # planning estimates stay index-free (see estimate_ids).
+        self._pred_counts: Optional[Dict[int, int]] = None
+
+    # -- dictionary persistence ---------------------------------------
+
+    def _load_terms(self) -> None:
+        rows = self._conn.execute(
+            "SELECT id, kind, lexical, lang, datatype FROM terms ORDER BY id"
+        ).fetchall()
+        for term_id, kind, lexical, lang, datatype in rows:
+            self.dictionary.restore(term_id, unflatten_term(kind, lexical, lang, datatype))
+
+    def _persist_term(self, term_id: int, term: Term) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO terms (id, kind, lexical, lang, datatype) VALUES (?, ?, ?, ?, ?)",
+                (term_id, *flatten_term(term)),
+            )
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO triples (s, p, o) VALUES (?, ?, ?)", (s, p, o)
+            )
+            added = cursor.rowcount > 0
+            if added:
+                self._size += 1
+                self._pred_counts = None
+            self._conn.commit()
+        return added
+
+    #: Rows per executemany batch when bulk-loading; keeps memory flat
+    #: on million-triple ingests instead of materializing the iterable.
+    _INGEST_BATCH = 10_000
+
+    def add_many(self, triples: Iterable[IdTriple]) -> int:
+        from itertools import islice
+
+        total_added = 0
+        iterator = iter(triples)
+        while True:
+            # Pull the chunk outside the lock: the generator typically
+            # interns terms as a side effect, which needs the lock too.
+            chunk = list(islice(iterator, self._INGEST_BATCH))
+            if not chunk:
+                break
+            with self._lock:
+                before = self._conn.total_changes
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO triples (s, p, o) VALUES (?, ?, ?)", chunk
+                )
+                added = self._conn.total_changes - before
+                if added:
+                    self._size += added
+                    self._pred_counts = None
+                self._conn.commit()
+            total_added += added
+        return total_added
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM triples WHERE s = ? AND p = ? AND o = ?", (s, p, o)
+            )
+            removed = cursor.rowcount > 0
+            if removed:
+                self._size -= 1
+                self._pred_counts = None
+            self._conn.commit()
+        return removed
+
+    # -- lookup --------------------------------------------------------
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        row = self._query_one(
+            "SELECT 1 FROM triples WHERE s = ? AND p = ? AND o = ?", (s, p, o)
+        )
+        return row is not None
+
+    def size(self) -> int:
+        return self._size
+
+    def iter_ids(self) -> Iterator[IdTriple]:
+        yield from self._stream("SELECT s, p, o FROM triples")
+
+    def match_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> Iterator[IdTriple]:
+        where, params = _where_clause(s, p, o)
+        yield from self._stream(f"SELECT s, p, o FROM triples{where}", params)
+
+    def count_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> int:
+        where, params = _where_clause(s, p, o)
+        row = self._query_one(f"SELECT COUNT(*) FROM triples{where}", params)
+        return row[0] if row else 0
+
+    def estimate_ids(
+        self, s: Optional[int], p: Optional[int], o: Optional[int]
+    ) -> int:
+        # Planning calls this meter-free and often, so the unselective
+        # shapes must not walk index leaves: the all-wildcard shape uses
+        # the cached size and the predicate-only shape (a scan of every
+        # triple with that predicate if COUNTed) uses the cached per-
+        # predicate fan-outs.  The remaining shapes COUNT(*) a narrow
+        # covering-index prefix range, bounded by the matching rows of a
+        # selective key — the same O(fan-out) the memory backend pays.
+        if s is None and p is None and o is None:
+            return self._size
+        if s is None and p is not None and o is None:
+            return self.predicate_fanouts().get(p, 0)
+        if s is not None and p is not None and o is not None:
+            return 1
+        return self.count_ids(s, p, o)
+
+    # -- aggregates ----------------------------------------------------
+
+    def subject_ids(self) -> Iterator[int]:
+        return (row[0] for row in self._query_all("SELECT DISTINCT s FROM triples"))
+
+    def subject_count(self) -> int:
+        row = self._query_one("SELECT COUNT(DISTINCT s) FROM triples")
+        return row[0] if row else 0
+
+    def predicate_ids(self) -> Iterator[int]:
+        return (row[0] for row in self._query_all("SELECT DISTINCT p FROM triples"))
+
+    def object_ids(self) -> Iterator[int]:
+        return (row[0] for row in self._query_all("SELECT DISTINCT o FROM triples"))
+
+    def predicate_fanouts(self) -> Dict[int, int]:
+        if self._pred_counts is None:
+            self._pred_counts = dict(
+                self._query_all("SELECT p, COUNT(*) FROM triples GROUP BY p")
+            )
+        return self._pred_counts
+
+    def object_fanouts(self) -> Dict[int, int]:
+        return dict(self._query_all("SELECT o, COUNT(*) FROM triples GROUP BY o"))
+
+    def in_degree(self, o: int) -> int:
+        row = self._query_one("SELECT COUNT(*) FROM triples WHERE o = ?", (o,))
+        return row[0] if row else 0
+
+    def out_degree(self, s: int) -> int:
+        row = self._query_one("SELECT COUNT(*) FROM triples WHERE s = ?", (s,))
+        return row[0] if row else 0
+
+    def out_edges(self, s: int) -> Iterator[Tuple[int, int]]:
+        yield from self._query_all("SELECT p, o FROM triples WHERE s = ?", (s,))
+
+    def in_edges(self, o: int) -> Iterator[Tuple[int, int]]:
+        yield from self._query_all("SELECT s, p FROM triples WHERE o = ?", (o,))
+
+    # -- metadata ------------------------------------------------------
+
+    def get_meta(self, key: str) -> Optional[str]:
+        """Read a metadata value (e.g. the dataset fingerprint)."""
+        row = self._query_one("SELECT value FROM meta WHERE key = ?", (key,))
+        return row[0] if row else None
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Write a metadata value, replacing any previous one."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+            )
+            self._conn.commit()
+
+    def meta_items(self) -> Dict[str, str]:
+        return dict(self._query_all("SELECT key, value FROM meta"))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.commit()
+            self._conn.close()
+
+    # -- internals -----------------------------------------------------
+
+    def _query_all(self, sql: str, params: Tuple = ()) -> List[Tuple]:
+        # Materialize under the lock: cursors must not be iterated lazily
+        # while other threads write through the same connection.
+        with self._lock:
+            return self._conn.execute(sql, params).fetchall()
+
+    #: Rows fetched per lock acquisition when streaming scans.
+    _STREAM_BATCH = 1024
+
+    def _stream(self, sql: str, params: Tuple = ()) -> Iterator[Tuple]:
+        """Yield rows in batches, holding the lock only per batch.
+
+        Match/scan results must stream so a tripped cost budget aborts
+        the scan (and a million-row store never materializes whole),
+        while the lock still serializes cursor access against writers on
+        the shared connection.
+        """
+        with self._lock:
+            cursor = self._conn.execute(sql, params)
+        while True:
+            with self._lock:
+                batch = cursor.fetchmany(self._STREAM_BATCH)
+            if not batch:
+                return
+            yield from batch
+
+    def _query_one(self, sql: str, params: Tuple = ()) -> Optional[Tuple]:
+        with self._lock:
+            return self._conn.execute(sql, params).fetchone()
+
+
+def _where_clause(
+    s: Optional[int], p: Optional[int], o: Optional[int]
+) -> Tuple[str, Tuple]:
+    clauses = [f"{column} = ?" for column, value in
+               (("s", s), ("p", p), ("o", o)) if value is not None]
+    params = tuple(value for value in (s, p, o) if value is not None)
+    if not clauses:
+        return "", ()
+    return " WHERE " + " AND ".join(clauses), params

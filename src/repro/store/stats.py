@@ -47,7 +47,13 @@ class DatasetStats:
 
 
 def compute_stats(store: TripleStore) -> DatasetStats:
-    """Compute :class:`DatasetStats` for ``store`` in a single pass."""
+    """Compute :class:`DatasetStats` for ``store`` in a single pass.
+
+    The degree statistics come from :meth:`TripleStore.entity_in_degrees`,
+    which aggregates in ID space (one fan-out scan on the backend) and
+    decodes each entity exactly once at materialization time — no
+    per-entity index probes.
+    """
     length_hist: Counter = Counter()
     lang_counts: Counter = Counter()
     n_literals = 0
@@ -56,19 +62,17 @@ def compute_stats(store: TripleStore) -> DatasetStats:
         length_hist[len(literal.lexical)] += 1
         lang_counts[literal.lang or ""] += 1
 
-    entities = {term for term in store.subjects() if isinstance(term, IRI)}
-    entities |= {term for term in store.objects() if isinstance(term, IRI)}
-
-    in_degrees = [store.in_degree(entity) for entity in entities]
+    degrees = store.entity_in_degrees()
+    in_degrees = list(degrees.values())
     max_in = max(in_degrees, default=0)
     mean_in = sum(in_degrees) / len(in_degrees) if in_degrees else 0.0
 
     return DatasetStats(
         n_triples=len(store),
-        n_subjects=len(store.subjects()),
+        n_subjects=store.n_subjects(),
         n_predicates=len(store.predicates()),
         n_literals=n_literals,
-        n_entities=len(entities),
+        n_entities=len(degrees),
         literal_length_histogram=dict(length_hist),
         literal_language_counts=dict(lang_counts),
         predicate_frequencies=store.predicate_frequencies(),

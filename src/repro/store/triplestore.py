@@ -1,9 +1,18 @@
-"""In-memory indexed triple store.
+"""Dictionary-encoded indexed triple store.
 
-The store keeps three hash indexes (SPO, POS, OSP) so that any triple
-pattern can be answered by touching only candidate triples.  It is the
-storage substrate under the SPARQL engine and — wrapped in the endpoint
-simulator — stands in for the remote RDF datasets of the paper.
+The store interns every RDF term into a :class:`TermDictionary` (dense
+integer IDs) and delegates the actual (s, p, o) ID triples to a pluggable
+:class:`~repro.store.backends.StorageBackend` — in-memory SPO/POS/OSP
+hash indexes by default, or a WAL-mode SQLite file for persistence.  All
+pattern matching, joining and counting happens on integers; terms are
+decoded only when results are materialized (``docs/storage.md`` has the
+full design).
+
+The public API is unchanged from the term-keyed store it replaced: it
+still speaks :class:`Triple`/:class:`TriplePattern` at the edges.  The
+ID-level entry points (:meth:`TripleStore.match_ids`,
+:meth:`TripleStore.encode_pattern`, :meth:`TripleStore.decode_id`) are
+what the SPARQL evaluator joins through.
 
 Cost accounting hook
 --------------------
@@ -13,17 +22,28 @@ to implement deterministic query timeouts (a remote endpoint kills
 long-running queries; we abort evaluation when the meter trips), which is
 the environmental pressure Sapphire's initialization strategy is designed
 around.
+
+**Estimation is free by contract**: :meth:`TripleStore.count` and
+:meth:`TripleStore.cardinality_estimate` never charge a meter, even when
+one is passed.  Join planning and endpoint admission control run dozens
+of estimates per query; if those probes were billed, planning itself
+could trip the timeout it is trying to avoid.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from ..rdf.terms import IRI, Literal, Term, Variable, is_concrete
+from ..rdf.terms import IRI, Literal, Term, Variable
 from ..rdf.triples import Triple, TriplePattern
+from .backends import MemoryBackend, StorageBackend
+from .dictionary import NO_ID, TermDictionary
 
 __all__ = ["TripleStore", "CostMeter", "QueryAborted"]
+
+#: One position of an encoded pattern: a dictionary ID (possibly
+#: :data:`NO_ID` for a concrete-but-unknown term) or a variable name.
+IdOrVar = Union[int, str]
 
 
 class QueryAborted(RuntimeError):
@@ -51,63 +71,109 @@ class CostMeter:
 
 
 class TripleStore:
-    """A set of triples with SPO / POS / OSP hash indexes.
+    """A set of triples, dictionary-encoded over a storage backend.
 
-    The three indexes are nested dictionaries; e.g. ``_spo[s][p]`` is the
-    set of objects for subject ``s`` and predicate ``p``.  Together they
-    cover all eight triple-pattern shapes with at most one level of
-    iteration over a candidate set.
+    ``backend=None`` gives the in-memory engine.  Pass a
+    :class:`~repro.store.sqlite_backend.SQLiteBackend` (or anything
+    satisfying :class:`~repro.store.backends.StorageBackend`) for
+    persistent storage; the backend owns the term dictionary so IDs and
+    rows stay consistent across restarts.
     """
 
-    def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
-        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._size = 0
+    def __init__(
+        self,
+        triples: Optional[Iterable[Triple]] = None,
+        backend: Optional[StorageBackend] = None,
+    ) -> None:
+        self._backend: StorageBackend = backend if backend is not None else MemoryBackend()
+        self._dict = self._backend.dictionary
         if triples is not None:
             self.add_all(triples)
 
+    # ------------------------------------------------------------------
+    # Encoding seam
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> StorageBackend:
+        return self._backend
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        return self._dict
+
+    def term_id(self, term: Term) -> int:
+        """Dictionary ID of ``term`` (:data:`NO_ID` when never stored)."""
+        return self._dict.lookup(term)
+
+    def decode_id(self, term_id: int) -> Term:
+        """Term for a dictionary ID (list index; the materialization step)."""
+        return self._dict.decode(term_id)
+
+    def encode_pattern(self, pattern: TriplePattern) -> Tuple[IdOrVar, IdOrVar, IdOrVar]:
+        """Pattern positions as IDs (concrete) or variable names (free).
+
+        Concrete terms the store has never seen encode to :data:`NO_ID`,
+        which matches nothing — exactly the semantics of probing a hash
+        index with an absent key.
+        """
+        return tuple(
+            term.name if isinstance(term, Variable) else self._dict.lookup(term)
+            for term in pattern.as_tuple()
+        )  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for the memory engine)."""
+        self._backend.close()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
     def __len__(self) -> int:
-        return self._size
+        return self._backend.size()
 
     def __contains__(self, triple: Triple) -> bool:
-        by_p = self._spo.get(triple.subject)
-        if by_p is None:
+        lookup = self._dict.lookup
+        s, p, o = lookup(triple.subject), lookup(triple.predicate), lookup(triple.object)
+        if NO_ID in (s, p, o):
             return False
-        objects = by_p.get(triple.predicate)
-        return objects is not None and triple.object in objects
+        return self._backend.contains(s, p, o)
 
     def add(self, triple: Triple) -> bool:
         """Insert ``triple``; returns False if it was already present."""
-        objects = self._spo[triple.subject][triple.predicate]
-        if triple.object in objects:
-            return False
-        objects.add(triple.object)
-        self._pos[triple.predicate][triple.object].add(triple.subject)
-        self._osp[triple.object][triple.subject].add(triple.predicate)
-        self._size += 1
-        return True
+        encode = self._dict.encode
+        return self._backend.add(
+            encode(triple.subject), encode(triple.predicate), encode(triple.object)
+        )
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert many triples; returns the number actually added."""
-        return sum(1 for triple in triples if self.add(triple))
+        """Insert many triples; returns the number actually added.
+
+        Bulk path: terms are interned first, then the backend ingests the
+        ID rows in one batch (a single transaction on SQLite).
+        """
+        encode = self._dict.encode
+        return self._backend.add_many(
+            (encode(t.subject), encode(t.predicate), encode(t.object)) for t in triples
+        )
 
     def remove(self, triple: Triple) -> bool:
-        """Delete ``triple``; returns False if it was not present."""
-        if triple not in self:
+        """Delete ``triple``; returns False if it was not present.
+
+        The terms stay interned — dictionary IDs are never recycled.
+        """
+        lookup = self._dict.lookup
+        s, p, o = lookup(triple.subject), lookup(triple.predicate), lookup(triple.object)
+        if NO_ID in (s, p, o):
             return False
-        self._spo[triple.subject][triple.predicate].discard(triple.object)
-        self._pos[triple.predicate][triple.object].discard(triple.subject)
-        self._osp[triple.object][triple.subject].discard(triple.predicate)
-        self._size -= 1
-        return True
+        return self._backend.remove(s, p, o)
 
     def triples(self) -> Iterator[Triple]:
-        """Iterate over every triple in the store."""
-        for s, by_p in self._spo.items():
-            for p, objects in by_p.items():
-                for o in objects:
-                    yield Triple(s, p, o)
+        """Iterate over every triple in the store (decoded)."""
+        decode = self._dict.decode
+        for s, p, o in self._backend.iter_ids():
+            yield Triple(decode(s), decode(p), decode(o))
 
     # ------------------------------------------------------------------
     # Pattern matching
@@ -120,103 +186,110 @@ class TripleStore:
     ) -> Iterator[Triple]:
         """Yield the triples matching ``pattern``.
 
-        Dispatches on which positions are concrete so each shape touches
-        the cheapest index.  Charges ``meter`` one unit per yielded triple
-        (scan cost folds into the candidate enumeration below).
+        Matching runs entirely on IDs; each yielded triple is decoded at
+        the last moment.  Charges ``meter`` one unit per candidate
+        enumerated from the backend index.
         """
-        s = pattern.subject if is_concrete(pattern.subject) else None
-        p = pattern.predicate if is_concrete(pattern.predicate) else None
-        o = pattern.object if is_concrete(pattern.object) else None
-
-        # Repeated-variable patterns (?x :p ?x) are filtered post-hoc.
-        needs_filter = len(set(pattern.variables())) != len(pattern.variables())
-
-        for triple in self._match_concrete(s, p, o, meter):
-            if needs_filter and pattern.match(triple) is None:
+        encoded = self.encode_pattern(pattern)
+        names = pattern.variables()
+        repeated = _repeated_positions(encoded) if len(set(names)) != len(names) else None
+        s, p, o = (entry if isinstance(entry, int) else None for entry in encoded)
+        terms = self._dict.terms
+        if (
+            meter is None and repeated is None
+            and (s is None or p is None or o is None)
+            and NO_ID not in (s, p, o)
+        ):
+            # Fast path: un-metered, nothing to check per row — stream
+            # straight off the backend index.
+            for rs, rp, ro in self._backend.match_ids(s, p, o):
+                yield Triple(terms[rs], terms[rp], terms[ro])
+            return
+        # All cost semantics (concrete-probe charge-on-miss, NO_ID
+        # short-circuit, per-candidate charging) live in match_ids —
+        # the single source of truth.
+        for row in self.match_ids(s, p, o, meter):
+            if repeated is not None and not _repeats_consistent(row, repeated):
                 continue
-            yield triple
+            yield Triple(terms[row[0]], terms[row[1]], terms[row[2]])
 
-    def _match_concrete(
+    def match_ids(
         self,
-        s: Optional[Term],
-        p: Optional[Term],
-        o: Optional[Term],
-        meter: Optional[CostMeter],
-    ) -> Iterator[Triple]:
-        def charge() -> None:
+        s: Optional[int],
+        p: Optional[int],
+        o: Optional[int],
+        meter: Optional[CostMeter] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """ID-level pattern matching; ``None`` positions are wildcards.
+
+        Cost semantics mirror the index layout: the fully concrete shape
+        is one probe (charged even on a miss), every other shape charges
+        one unit per candidate enumerated.  :data:`NO_ID` in a partially
+        concrete position short-circuits to the empty result for free,
+        like probing a hash index with an absent key.
+        """
+        if s is not None and p is not None and o is not None:
             if meter is not None:
                 meter.charge()
+            if NO_ID not in (s, p, o) and self._backend.contains(s, p, o):
+                yield (s, p, o)
+            return
+        if NO_ID in (s, p, o):
+            return
+        if meter is None:
+            yield from self._backend.match_ids(s, p, o)
+            return
+        for row in self._backend.match_ids(s, p, o):
+            meter.charge()
+            yield row
 
-        if s is not None and p is not None and o is not None:
-            charge()
-            if Triple(s, p, o) in self:
-                yield Triple(s, p, o)
-            return
-        if s is not None and p is not None:
-            for obj in self._spo.get(s, {}).get(p, ()):  # type: ignore[call-overload]
-                charge()
-                yield Triple(s, p, obj)
-            return
-        if p is not None and o is not None:
-            for subj in self._pos.get(p, {}).get(o, ()):  # type: ignore[call-overload]
-                charge()
-                yield Triple(subj, p, o)
-            return
-        if s is not None and o is not None:
-            for pred in self._osp.get(o, {}).get(s, ()):  # type: ignore[call-overload]
-                charge()
-                yield Triple(s, pred, o)
-            return
-        if s is not None:
-            for pred, objects in self._spo.get(s, {}).items():
-                for obj in objects:
-                    charge()
-                    yield Triple(s, pred, obj)
-            return
-        if p is not None:
-            for obj, subjects in self._pos.get(p, {}).items():
-                for subj in subjects:
-                    charge()
-                    yield Triple(subj, p, obj)
-            return
-        if o is not None:
-            for subj, preds in self._osp.get(o, {}).items():
-                for pred in preds:
-                    charge()
-                    yield Triple(subj, pred, o)
-            return
-        for triple in self.triples():
-            charge()
-            yield triple
+    def count(
+        self, pattern: TriplePattern, meter: Optional[CostMeter] = None
+    ) -> int:
+        """Number of triples matching ``pattern``.
 
-    def count(self, pattern: TriplePattern) -> int:
-        """Number of triples matching ``pattern`` (no cost charged)."""
-        return sum(1 for _ in self.match(pattern))
+        **Never charges a meter** — counting walks index fan-outs (or a
+        covering-index range count on SQLite), not the triples.  The
+        ``meter`` parameter is accepted for call-site symmetry with
+        :meth:`match` and deliberately ignored: estimation must stay free
+        so that join planning cannot trip endpoint timeouts.
+        """
+        del meter  # free by contract
+        encoded = self.encode_pattern(pattern)
+        s, p, o = (entry if isinstance(entry, int) else None for entry in encoded)
+        if NO_ID in (s, p, o):
+            return 0
+        names = pattern.variables()
+        if len(set(names)) != len(names):
+            # Repeated variables need the post-filter; count in ID space
+            # without decoding a single term.
+            repeated = _repeated_positions(encoded)
+            return sum(
+                1 for row in self.match_ids(s, p, o)
+                if _repeats_consistent(row, repeated)
+            )
+        return self._backend.count_ids(s, p, o)
 
-    def cardinality_estimate(self, pattern: TriplePattern) -> int:
+    def cardinality_estimate(
+        self, pattern: TriplePattern, meter: Optional[CostMeter] = None
+    ) -> int:
         """Cheap upper-bound estimate used for join ordering.
 
-        Uses index fan-outs without enumerating matches; variables repeated
-        inside the pattern are ignored (estimate stays an upper bound).
+        Uses index fan-outs without enumerating matches; variables
+        repeated inside the pattern are ignored (the estimate stays an
+        upper bound).  Like :meth:`count`, this **never charges a meter**.
         """
-        s = pattern.subject if is_concrete(pattern.subject) else None
-        p = pattern.predicate if is_concrete(pattern.predicate) else None
-        o = pattern.object if is_concrete(pattern.object) else None
-        if s is not None and p is not None and o is not None:
+        del meter  # free by contract
+        s, p, o = self.encode_pattern(pattern)
+        if isinstance(s, int) and isinstance(p, int) and isinstance(o, int):
             return 1
-        if s is not None and p is not None:
-            return len(self._spo.get(s, {}).get(p, ()))
-        if p is not None and o is not None:
-            return len(self._pos.get(p, {}).get(o, ()))
-        if s is not None and o is not None:
-            return len(self._osp.get(o, {}).get(s, ()))
-        if s is not None:
-            return sum(len(objs) for objs in self._spo.get(s, {}).values())
-        if p is not None:
-            return sum(len(subs) for subs in self._pos.get(p, {}).values())
-        if o is not None:
-            return sum(len(preds) for preds in self._osp.get(o, {}).values())
-        return self._size
+        if NO_ID in (s, p, o):
+            return 0
+        return self._backend.estimate_ids(
+            s if isinstance(s, int) else None,
+            p if isinstance(p, int) else None,
+            o if isinstance(o, int) else None,
+        )
 
     # ------------------------------------------------------------------
     # Dataset-level accessors used by initialization and baselines
@@ -224,35 +297,71 @@ class TripleStore:
 
     def predicates(self) -> Set[IRI]:
         """All distinct predicates in the store."""
-        return {p for p in self._pos.keys() if isinstance(p, IRI)}
+        decode = self._dict.decode
+        return {
+            term for term in (decode(p) for p in self._backend.predicate_ids())
+            if isinstance(term, IRI)
+        }
 
     def predicate_frequencies(self) -> Dict[IRI, int]:
         """Map each predicate to its triple count."""
+        decode = self._dict.decode
         return {
-            p: sum(len(subs) for subs in by_o.values())
-            for p, by_o in self._pos.items()
-            if isinstance(p, IRI)
+            term: n
+            for term, n in (
+                (decode(p), n) for p, n in self._backend.predicate_fanouts().items()
+            )
+            if isinstance(term, IRI)
         }
 
     def subjects(self) -> Set[Term]:
-        return set(self._spo.keys())
+        decode = self._dict.decode
+        return {decode(s) for s in self._backend.subject_ids()}
+
+    def n_subjects(self) -> int:
+        """Distinct-subject count without decoding or materializing."""
+        return self._backend.subject_count()
 
     def objects(self) -> Set[Term]:
-        return set(self._osp.keys())
+        decode = self._dict.decode
+        return {decode(o) for o in self._backend.object_ids()}
 
     def literals(self) -> Iterator[Literal]:
         """All distinct literal objects."""
-        for o in self._osp.keys():
-            if isinstance(o, Literal):
-                yield o
+        decode = self._dict.decode
+        for o in self._backend.object_ids():
+            term = decode(o)
+            if isinstance(term, Literal):
+                yield term
 
     def in_degree(self, term: Term) -> int:
         """Number of triples with ``term`` in object position."""
-        return sum(len(preds) for preds in self._osp.get(term, {}).values())
+        term_id = self._dict.lookup(term)
+        return 0 if term_id == NO_ID else self._backend.in_degree(term_id)
 
     def out_degree(self, term: Term) -> int:
         """Number of triples with ``term`` in subject position."""
-        return sum(len(objs) for objs in self._spo.get(term, {}).values())
+        term_id = self._dict.lookup(term)
+        return 0 if term_id == NO_ID else self._backend.out_degree(term_id)
+
+    def entity_in_degrees(self) -> Dict[IRI, int]:
+        """In-degree of every IRI entity (subjects and objects), one pass.
+
+        Computed entirely in ID space from the object fan-outs; entities
+        that only ever appear as subjects get degree 0.  Feeds the
+        Definition 1 significance statistics without per-entity probes.
+        """
+        decode = self._dict.decode
+        degrees: Dict[IRI, int] = {}
+        for o, n in self._backend.object_fanouts().items():
+            term = decode(o)
+            if isinstance(term, IRI):
+                degrees[term] = n
+        for s in self._backend.subject_ids():
+            term = decode(s)
+            if isinstance(term, IRI):
+                degrees.setdefault(term, 0)
+        return degrees
 
     def neighbours(self, term: Term) -> List[Tuple[Term, IRI, Term, bool]]:
         """Edges incident to ``term``.
@@ -261,11 +370,32 @@ class TripleStore:
         the Steiner-tree expansion when running in warehouse mode and by
         tests that cross-check the expansion queries.
         """
+        term_id = self._dict.lookup(term)
+        if term_id == NO_ID:
+            return []
+        decode = self._dict.decode
         edges: List[Tuple[Term, IRI, Term, bool]] = []
-        for pred, objects in self._spo.get(term, {}).items():
-            for obj in objects:
-                edges.append((term, pred, obj, True))  # type: ignore[arg-type]
-        for subj, preds in self._osp.get(term, {}).items():
-            for pred in preds:
-                edges.append((subj, pred, term, False))  # type: ignore[arg-type]
+        for pred, obj in self._backend.out_edges(term_id):
+            edges.append((term, decode(pred), decode(obj), True))  # type: ignore[arg-type]
+        for subj, pred in self._backend.in_edges(term_id):
+            edges.append((decode(subj), decode(pred), term, False))  # type: ignore[arg-type]
         return edges
+
+
+def _repeated_positions(encoded: Sequence[IdOrVar]) -> List[Tuple[int, int]]:
+    """Position pairs that must carry equal IDs (repeated variables)."""
+    first_seen: Dict[str, int] = {}
+    pairs: List[Tuple[int, int]] = []
+    for position, entry in enumerate(encoded):
+        if isinstance(entry, str):
+            if entry in first_seen:
+                pairs.append((first_seen[entry], position))
+            else:
+                first_seen[entry] = position
+    return pairs
+
+
+def _repeats_consistent(
+    row: Tuple[int, int, int], pairs: Sequence[Tuple[int, int]]
+) -> bool:
+    return all(row[a] == row[b] for a, b in pairs)

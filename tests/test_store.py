@@ -1,18 +1,43 @@
-"""Unit tests for the indexed triple store."""
+"""Unit tests for the dictionary-encoded triple store.
+
+The whole module runs twice — once per storage backend (in-memory and
+SQLite) — since the two must be behaviourally identical behind the
+``StorageBackend`` seam.
+"""
 
 import pytest
 
 from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable
-from repro.store import CostMeter, QueryAborted, TripleStore
+from repro.store import (
+    CostMeter,
+    MemoryBackend,
+    QueryAborted,
+    SQLiteBackend,
+    TripleStore,
+)
 
 A, B, C = IRI("http://x/a"), IRI("http://x/b"), IRI("http://x/c")
 P, Q = IRI("http://x/p"), IRI("http://x/q")
 V = Variable
 
+BACKENDS = ["memory", "sqlite"]
+
+
+def _make_backend(name):
+    return MemoryBackend() if name == "memory" else SQLiteBackend(":memory:")
+
+
+@pytest.fixture(params=BACKENDS)
+def make_store(request):
+    def factory(triples=None):
+        return TripleStore(triples, backend=_make_backend(request.param))
+
+    return factory
+
 
 @pytest.fixture
-def small_store():
-    store = TripleStore()
+def small_store(make_store):
+    store = make_store()
     store.add(Triple(A, P, B))
     store.add(Triple(A, P, C))
     store.add(Triple(A, Q, Literal("label a", lang="en")))
@@ -41,19 +66,22 @@ class TestMutation:
     def test_remove_absent(self, small_store):
         assert small_store.remove(Triple(C, P, A)) is False
 
+    def test_remove_never_seen_terms(self, small_store):
+        assert small_store.remove(Triple(IRI("http://x/zz"), P, A)) is False
+
     def test_remove_updates_all_indexes(self, small_store):
         small_store.remove(Triple(A, P, B))
         assert not list(small_store.match(TriplePattern(A, P, B)))
         assert not list(small_store.match(TriplePattern(V("s"), P, B)))
         assert B not in {t.object for t in small_store.match(TriplePattern(A, V("p"), V("o")))}
 
-    def test_add_all_counts_new_only(self):
-        store = TripleStore()
+    def test_add_all_counts_new_only(self, make_store):
+        store = make_store()
         n = store.add_all([Triple(A, P, B), Triple(A, P, B), Triple(A, P, C)])
         assert n == 2
 
-    def test_constructor_accepts_triples(self):
-        store = TripleStore([Triple(A, P, B)])
+    def test_constructor_accepts_triples(self, make_store):
+        store = make_store([Triple(A, P, B)])
         assert len(store) == 1
 
 
@@ -73,16 +101,29 @@ class TestMatching:
     )
     def test_all_eight_shapes(self, small_store, pattern, expected):
         assert small_store.count(pattern) == expected
+        assert sum(1 for _ in small_store.match(pattern)) == expected
 
     def test_match_absent_constant(self, small_store):
         assert small_store.count(TriplePattern(C, V("p"), V("o"))) == 0
 
-    def test_repeated_variable_filtered(self):
-        store = TripleStore()
+    def test_match_unknown_term(self, small_store):
+        """A term the dictionary never interned matches nothing."""
+        ghost = IRI("http://x/ghost")
+        assert small_store.count(TriplePattern(ghost, V("p"), V("o"))) == 0
+        assert not list(small_store.match(TriplePattern(ghost, P, V("o"))))
+
+    def test_repeated_variable_filtered(self, make_store):
+        store = make_store()
         store.add(Triple(A, P, A))
         store.add(Triple(A, P, B))
         pattern = TriplePattern(V("x"), P, V("x"))
         assert [t.object for t in store.match(pattern)] == [A]
+
+    def test_repeated_variable_count(self, make_store):
+        store = make_store()
+        store.add(Triple(A, P, A))
+        store.add(Triple(A, P, B))
+        assert store.count(TriplePattern(V("x"), P, V("x"))) == 1
 
     def test_match_yields_ground_triples(self, small_store):
         for triple in small_store.match(TriplePattern(V("s"), V("p"), V("o"))):
@@ -114,6 +155,52 @@ class TestCostMetering:
         list(small_store.match(TriplePattern(V("s"), V("p"), V("o")), meter))
         assert meter.cost == 5
 
+    def test_concrete_probe_charges_once_even_on_miss(self, small_store):
+        meter = CostMeter()
+        list(small_store.match(TriplePattern(A, P, IRI("http://x/nope")), meter))
+        assert meter.cost == 1
+
+
+class TestEstimationIsFree:
+    """Regression: counting and estimation must never charge a meter.
+
+    Join planning runs many estimates per query and the endpoint's
+    admission control estimates before executing; if either billed the
+    meter, planning could trip the very timeout it tries to avoid.
+    """
+
+    def test_count_ignores_meter(self, small_store):
+        meter = CostMeter(budget=0)  # any charge would raise immediately
+        assert small_store.count(TriplePattern(V("s"), V("p"), V("o")), meter) == 5
+        assert meter.cost == 0
+
+    def test_count_with_repeated_variables_ignores_meter(self, make_store):
+        store = make_store()
+        store.add(Triple(A, P, A))
+        store.add(Triple(A, P, B))
+        meter = CostMeter(budget=0)
+        assert store.count(TriplePattern(V("x"), P, V("x")), meter) == 1
+        assert meter.cost == 0
+
+    def test_cardinality_estimate_ignores_meter(self, small_store):
+        meter = CostMeter(budget=0)
+        for pattern in (
+            TriplePattern(V("s"), V("p"), V("o")),
+            TriplePattern(A, P, V("o")),
+            TriplePattern(A, P, B),
+        ):
+            small_store.cardinality_estimate(pattern, meter)
+        assert meter.cost == 0
+
+    def test_evaluation_charges_only_enumeration(self, small_store):
+        """Planning (ordering + estimates) must add nothing on top of the
+        per-candidate charges of the actual index scans."""
+        from repro.sparql import evaluate
+
+        meter = CostMeter()
+        evaluate(small_store, "SELECT ?s ?o WHERE { ?s <http://x/p> ?o }", meter)
+        assert meter.cost == 3  # exactly the three ?s p ?o candidates
+
 
 class TestEstimates:
     def test_estimate_full_scan(self, small_store):
@@ -127,6 +214,21 @@ class TestEstimates:
 
     def test_estimate_exact_triple(self, small_store):
         assert small_store.cardinality_estimate(TriplePattern(A, P, B)) == 1
+
+    def test_estimate_unknown_term_is_zero(self, small_store):
+        ghost = IRI("http://x/ghost")
+        assert small_store.cardinality_estimate(TriplePattern(ghost, P, V("o"))) == 0
+
+    def test_estimate_tracks_mutations(self, make_store):
+        """Cached fan-outs (SQLite) must invalidate on add/remove."""
+        store = make_store()
+        pattern = TriplePattern(V("s"), P, V("o"))
+        assert store.cardinality_estimate(pattern) == 0
+        store.add(Triple(A, P, B))
+        store.add(Triple(A, P, C))
+        assert store.cardinality_estimate(pattern) == 2
+        store.remove(Triple(A, P, B))
+        assert store.cardinality_estimate(pattern) == 1
 
     def test_estimate_upper_bounds_truth(self, small_store):
         for pattern in (
@@ -154,9 +256,46 @@ class TestAccessors:
         assert small_store.out_degree(A) == 3
         assert small_store.in_degree(A) == 0
 
+    def test_accessors_empty_after_full_removal(self, make_store):
+        """Removal prunes index levels: aggregate views must agree
+        across backends (no stale empty-set keys)."""
+        store = make_store()
+        store.add(Triple(A, P, B))
+        store.remove(Triple(A, P, B))
+        assert store.subjects() == set()
+        assert store.objects() == set()
+        assert store.predicates() == set()
+        assert store.predicate_frequencies() == {}
+        assert store.entity_in_degrees() == {}
+
+    def test_entity_in_degrees(self, small_store):
+        degrees = small_store.entity_in_degrees()
+        assert degrees[C] == 2
+        assert degrees[B] == 1
+        assert degrees[A] == 0  # subject-only entity present with degree 0
+
     def test_neighbours_both_directions(self, small_store):
         edges = small_store.neighbours(B)
         outgoing = [e for e in edges if e[3]]
         incoming = [e for e in edges if not e[3]]
         assert len(outgoing) == 2  # B->C, B->label
         assert len(incoming) == 1  # A->B
+
+
+class TestEncodingSeam:
+    def test_ids_are_dense_and_stable(self, small_store):
+        dictionary = small_store.dictionary
+        ids = {dictionary.lookup(term) for term in (A, B, C, P, Q)}
+        assert all(i >= 0 for i in ids)
+        assert len(ids) == 5
+        assert dictionary.decode(dictionary.lookup(A)) == A
+
+    def test_terms_survive_triple_removal(self, small_store):
+        small_store.remove(Triple(A, P, B))
+        assert small_store.term_id(A) >= 0  # IDs are never recycled
+
+    def test_match_ids_round_trip(self, small_store):
+        s, p, o = small_store.encode_pattern(TriplePattern(A, P, V("o")))
+        rows = list(small_store.match_ids(s, p, None))
+        objects = {small_store.decode_id(row[2]) for row in rows}
+        assert objects == {B, C}
