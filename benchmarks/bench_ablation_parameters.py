@@ -13,7 +13,6 @@ regenerates the trade-off curves that justify them:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import AlternativeTermsFinder, QueryCompletionModule
 from repro.eval import format_table
@@ -111,3 +110,9 @@ def test_similarity_measure_comparison(small_server, capsys, benchmark):
     jw = next(row for row in rows if row["measure"] == "jaro_winkler")
     for row in rows:
         assert jw["top-1 repairs"] >= row["top-1 repairs"]
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

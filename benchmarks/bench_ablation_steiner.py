@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import pytest
 
 from repro.core import StructureRelaxer
 from repro.eval import format_table
@@ -120,3 +119,9 @@ def test_seed_group_size_sweep(small_server, capsys, benchmark):
     assert all(row["connected"] for row in rows)
     seeds = [row["seeds_total"] for row in rows]
     assert seeds == sorted(seeds)
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.core import QueryCompletionModule
 from repro.eval import format_table
@@ -62,3 +61,9 @@ def test_tree_fraction_sweep(small_server, capsys, benchmark):
     assert hit_last >= hit_first  # and hit ratio does not degrade
     # With everything indexed there are no residual literals left.
     assert rows[-1]["residual"] == 0
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

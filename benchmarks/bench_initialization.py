@@ -13,7 +13,6 @@ orders of magnitude smaller; the *shape* that must reproduce:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import SapphireConfig, initialize_endpoint
 from repro.endpoint import EndpointConfig, SparqlEndpoint
@@ -103,3 +102,9 @@ def test_bench_initialization(benchmark, small_dataset):
 
     cache, report = benchmark.pedantic(run, rounds=1, iterations=1)
     assert cache.n_literals > 0
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Join-planner benchmark: cost-based hash joins vs seed backtracking.
+
+Runs the same star, chain, and cyclic basic graph patterns through two
+evaluator configurations over both storage backends:
+
+* ``backtrack`` — ``QueryEvaluator(store, use_planner=False)``: the
+  seed's greedy-ordered backtracking index-nested-loop join, kept as
+  the baseline,
+* ``planner`` — the default evaluator: cost-based left-deep hash/bind
+  joins with filter pushdown and late materialization
+  (``src/repro/sparql/plan.py``).
+
+Protocol (same as ``bench_store_encoding.py``): **parity first** — for
+every query the two paths must produce identical row multisets on both
+backends before anything is timed; a speedup can never come from
+silently matching less.  Then each shape's query set is timed best-of-N
+and the gate requires the planner to be >= MIN_SPEEDUP faster on the
+star and chain shapes over the in-memory backend (cyclic BGPs are
+parity-checked and reported but not gated: their tiny result sets are
+dominated by fixed costs).
+
+``--json PATH`` writes the machine-readable results consumed by CI
+(uploaded as a ``BENCH_*.json`` artifact so a perf trajectory
+accumulates across commits).
+
+Run:  PYTHONPATH=src python benchmarks/bench_join_planner.py [--quick] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.data import DatasetConfig, build_dataset
+from repro.sparql.evaluator import QueryEvaluator
+from repro.sparql.parser import parse_query
+from repro.store import MemoryBackend, SQLiteBackend, TripleStore
+
+#: Gate: minimum planner speedup over the backtracking baseline on the
+#: in-memory backend, per gated shape.
+MIN_SPEEDUP = 2.0
+
+#: Shape -> queries.  Stars fan out from one subject variable, chains
+#: hop subject->object->subject, cyclic closes a variable loop.
+SHAPES: Dict[str, List[str]] = {
+    "star": [
+        "SELECT ?s ?n ?g WHERE { ?s foaf:surname ?n . ?s foaf:givenName ?g . ?s dbo:birthDate ?d }",
+        "SELECT * WHERE { ?s a dbo:Person . ?s foaf:name ?n . ?s dbo:birthDate ?d . ?s dbo:birthPlace ?c }",
+        "SELECT * WHERE { ?s foaf:name ?n . ?s foaf:givenName ?g . ?s foaf:surname ?f . "
+        "?s dbo:birthDate ?d . ?s dbo:birthPlace ?c }",
+    ],
+    "chain": [
+        "SELECT ?p ?k WHERE { ?p dbo:birthPlace ?c . ?c dbo:country ?k }",
+        "SELECT ?b ?k WHERE { ?b dbo:author ?a . ?a dbo:birthPlace ?c . ?c dbo:country ?k }",
+        "SELECT ?f ?n WHERE { ?f dbo:starring ?p . ?p foaf:name ?n }",
+    ],
+    "cyclic": [
+        "SELECT ?a ?b ?u WHERE { ?a dbo:spouse ?b . ?a dbo:almaMater ?u . ?b dbo:almaMater ?u }",
+        "SELECT ?a ?b WHERE { ?a dbo:spouse ?b . ?b dbo:spouse ?a }",
+    ],
+}
+
+#: Shapes whose speedup is enforced (cyclic is parity-only).
+GATED_SHAPES = ("star", "chain")
+
+
+def _row_key(rows) -> List[Tuple]:
+    """Order-insensitive, hashable view of a result's row multiset."""
+    return sorted(
+        tuple(sorted((name, str(term)) for name, term in row.items()))
+        for row in rows
+    )
+
+
+def _time_best(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
+    config = DatasetConfig.tiny() if scale == "tiny" else DatasetConfig.small()
+    dataset = build_dataset(config)
+    triples = list(dataset.store.triples())
+    backends = {
+        "memory": TripleStore(triples, backend=MemoryBackend()),
+        "sqlite": TripleStore(triples, backend=SQLiteBackend(":memory:")),
+    }
+    parsed = {
+        shape: [parse_query(q) for q in queries]
+        for shape, queries in SHAPES.items()
+    }
+
+    # -- parity gate: identical row multisets everywhere, before timing.
+    failures = []
+    row_counts: Dict[str, int] = {}
+    for backend_name, store in backends.items():
+        planner = QueryEvaluator(store)
+        backtrack = QueryEvaluator(store, use_planner=False)
+        for shape, queries in parsed.items():
+            for text, query in zip(SHAPES[shape], queries):
+                a = _row_key(planner.evaluate(query).rows)
+                b = _row_key(backtrack.evaluate(query).rows)
+                if a != b:
+                    failures.append((backend_name, text, len(a), len(b)))
+                row_counts[f"{shape}:{text[:40]}"] = len(a)
+    if failures:
+        print("PARITY FAILURE: planner and backtracking paths disagree")
+        for backend_name, text, n_planner, n_backtrack in failures:
+            print(f"  [{backend_name}] planner={n_planner} backtrack={n_backtrack}  {text}")
+        return 1
+
+    n_queries = sum(len(qs) for qs in SHAPES.values())
+    print(f"dataset: {scale} ({len(triples):,} triples), {n_queries} queries "
+          f"across {len(SHAPES)} BGP shapes, best of {repeat}")
+    print(f"parity: identical row multisets, planner vs backtracking, "
+          f"both backends ({sum(row_counts.values()):,} total rows)\n")
+
+    # -- timing per backend x shape.
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    header = f"{'backend':<8} {'shape':<8} {'backtrack_s':>12} {'planner_s':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for backend_name, store in backends.items():
+        planner = QueryEvaluator(store)
+        backtrack = QueryEvaluator(store, use_planner=False)
+        results[backend_name] = {}
+        for shape, queries in parsed.items():
+
+            def run_all(evaluator, queries=queries):
+                for query in queries:
+                    evaluator.evaluate(query)
+
+            backtrack_s = _time_best(lambda: run_all(backtrack), repeat)
+            planner_s = _time_best(lambda: run_all(planner), repeat)
+            speedup = backtrack_s / planner_s if planner_s else float("inf")
+            results[backend_name][shape] = {
+                "backtrack_s": backtrack_s,
+                "planner_s": planner_s,
+                "speedup": speedup,
+            }
+            print(f"{backend_name:<8} {shape:<8} {backtrack_s:>12.4f} "
+                  f"{planner_s:>10.4f} {speedup:>7.2f}x")
+
+    backends["sqlite"].close()
+
+    # -- speedup gate on the in-memory backend.
+    gate_ok = True
+    print(f"\ngate (memory backend, >= {MIN_SPEEDUP:.1f}x on {', '.join(GATED_SHAPES)}):")
+    for shape in GATED_SHAPES:
+        speedup = results["memory"][shape]["speedup"]
+        status = "ok" if speedup >= MIN_SPEEDUP else "FAIL"
+        gate_ok = gate_ok and speedup >= MIN_SPEEDUP
+        print(f"  {shape:<8} {speedup:5.2f}x  {status}")
+
+    if json_path:
+        payload = {
+            "benchmark": "join_planner",
+            "dataset": {"scale": scale, "triples": len(triples)},
+            "repeat": repeat,
+            "parity": "ok",
+            "results": results,
+            "gate": {
+                "min_speedup": MIN_SPEEDUP,
+                "shapes": list(GATED_SHAPES),
+                "pass": gate_ok,
+            },
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nresults written to {json_path}")
+
+    if not gate_ok:
+        print("REGRESSION: planner slower than the gate allows")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions (CI smoke run); keeps the small "
+                             "dataset so the speedup gate is not dominated by "
+                             "fixed per-query costs")
+    parser.add_argument("--scale", choices=("tiny", "small"), default=None,
+                        help="dataset scale (default: small)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write machine-readable results to PATH")
+    args = parser.parse_args(argv)
+    scale = args.scale or "small"
+    # Best-of-5 in both modes: the star gate has the least margin, and
+    # a larger best-of keeps scheduler jitter on shared CI runners from
+    # flipping it (the whole timed section is well under a second).
+    repeat = args.repeat or 5
+    return run(scale, repeat, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.baselines import QAKiS
 from repro.core import QueryBuilder
@@ -95,3 +94,9 @@ def test_bench_qsm_kerouac(benchmark, small_server):
 
     outcome = benchmark.pedantic(run, rounds=2, iterations=1)
     assert outcome.relaxations
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

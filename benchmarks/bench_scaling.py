@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.core import QueryCompletionModule, SapphireConfig, initialize_endpoint
 from repro.data import DatasetConfig, build_dataset
@@ -73,3 +72,9 @@ def test_dataset_scaling(capsys, benchmark):
     # Initialization queries track structure, not raw triples.
     query_growth = rows[-1]["init_queries"] / rows[0]["init_queries"]
     assert query_growth < growth
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

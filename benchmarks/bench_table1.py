@@ -50,3 +50,9 @@ def test_bench_table1(benchmark, tiny_server, tiny_dataset):
         rounds=1, iterations=1,
     )
     assert result.measured["Sapphire"].recall > 0.9
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

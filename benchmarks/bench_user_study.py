@@ -102,3 +102,9 @@ def test_bench_user_study(benchmark, tiny_server, tiny_dataset):
 
     results = benchmark.pedantic(run_study, rounds=1, iterations=1)
     assert results.records
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

@@ -12,10 +12,38 @@ harnesses like the user study).
 
 from __future__ import annotations
 
+import argparse
+from typing import List, Optional
+
 import pytest
 
 from repro import EndpointConfig, SapphireConfig, SapphireServer, SparqlEndpoint
 from repro.data import DatasetConfig, build_dataset
+
+
+def bench_main(bench_file: str, argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for the pytest-benchmark suites.
+
+    Every ``bench_*.py`` in this directory is runnable directly
+    (``python benchmarks/bench_qsm.py``); ``--quick`` disables the
+    pytest-benchmark timing rounds so CI can smoke the full suite in
+    seconds — each scenario still executes once and all its report
+    assertions still run.
+    """
+    parser = argparse.ArgumentParser(
+        description="Run this benchmark file through pytest."
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="single pass, no timing rounds (CI smoke run)")
+    parser.add_argument("-k", default=None, metavar="EXPR",
+                        help="pytest -k selection expression")
+    args = parser.parse_args(argv)
+    pytest_args = [bench_file, "-q"]
+    if args.quick:
+        pytest_args.append("--benchmark-disable")
+    if args.k:
+        pytest_args.extend(["-k", args.k])
+    return pytest.main(pytest_args)
 
 
 @pytest.fixture(scope="session")

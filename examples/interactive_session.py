@@ -10,7 +10,7 @@ Run:  python examples/interactive_session.py
 """
 
 from repro import quickstart_server
-from repro.core import AnswerTable, SapphireSession
+from repro.core import SapphireSession
 from repro.rdf import DBO, Literal, Variable
 
 

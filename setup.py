@@ -1,3 +1,24 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="sapphire-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of Sapphire (PVLDB'16): querying RDF data with a "
+        "predictive user model over simulated SPARQL endpoints"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    extras_require={
+        # Everything CI needs: pip install -e .[dev]
+        "dev": [
+            "pytest",
+            "pytest-cov",
+            "pytest-benchmark",
+            "hypothesis",
+            "ruff",
+        ],
+    },
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

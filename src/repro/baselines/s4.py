@@ -31,12 +31,12 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-from ..rdf.namespaces import FOAF, RDF_TYPE, RDFS_LABEL
+from ..rdf.namespaces import RDF_TYPE
 from ..rdf.terms import IRI, Literal, Term, Variable
 from ..rdf.triples import TriplePattern
-from ..sparql.ast_nodes import GraphPattern, Query
+from ..sparql.ast_nodes import Query
 from ..sparql.evaluator import QueryEvaluator
 from ..sparql.results import SelectResult
 from ..store.triplestore import TripleStore

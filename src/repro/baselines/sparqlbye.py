@@ -24,9 +24,8 @@ Reproduced algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
-from ..rdf.namespaces import RDF_TYPE
 from ..rdf.terms import IRI, Literal, Term, Variable
 from ..rdf.triples import TriplePattern
 from ..sparql.evaluator import QueryEvaluator

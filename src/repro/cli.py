@@ -56,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-suggest", action="store_true",
                        help="skip QSM suggestions")
     query.add_argument("--max-rows", type=int, default=20)
+    query.add_argument("--explain", action="store_true",
+                       help="print the query plan before the answers")
+
+    explain = commands.add_parser(
+        "explain", help="show the query plan without executing the query"
+    )
+    explain.add_argument("sparql", help="the query text")
 
     commands.add_parser("table1", help="run the Table 1 system comparison")
 
@@ -110,8 +117,17 @@ def _cmd_complete(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    server, _ = _make_server(args)
+    print(server.explain(args.sparql))
+    return 0
+
+
 def _cmd_query(args) -> int:
     server, _ = _make_server(args)
+    if args.explain:
+        print(server.explain(args.sparql))
+        print()
     outcome = server.run_query(args.sparql, suggest=not args.no_suggest)
     print(f"{len(outcome.answers)} answers")
     from .core.answer_table import AnswerTable
@@ -173,6 +189,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "complete": _cmd_complete,
     "query": _cmd_query,
+    "explain": _cmd_explain,
     "table1": _cmd_table1,
     "study": _cmd_study,
     "init": _cmd_init,

@@ -19,7 +19,7 @@ view over the underlying result, and :meth:`reset` restores everything.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from ..rdf.terms import IRI, Literal, Term
 from ..sparql.results import SelectResult

@@ -24,8 +24,8 @@ for "Kennedys"; the paper's presentation only mentions the bins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from ..rdf.terms import IRI, Literal, Term
 from ..text.bins import LiteralBins

@@ -28,10 +28,9 @@ predicates, exactly as Section 5.1 argues.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..endpoint.endpoint import EndpointError, EndpointTimeout, QueryRejected, SparqlEndpoint
-from ..rdf.namespaces import OWL, RDFS
 from ..rdf.terms import IRI, Literal
 from .cache import SapphireCache
 from .config import SapphireConfig

@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from .cache import CachedTerm, SapphireCache
+from .cache import SapphireCache
 from .config import SapphireConfig
 
 __all__ = ["Completion", "CompletionResult", "QueryCompletionModule"]

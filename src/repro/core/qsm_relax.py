@@ -29,12 +29,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..rdf.terms import IRI, Literal, Term, Variable
 from ..rdf.triples import TriplePattern
-from ..sparql.ast_nodes import GraphPattern, Query
+from ..sparql.ast_nodes import Query
 from ..sparql.results import SelectResult
 from ..sparql.serializer import select_query, serialize_query
 from .cache import SapphireCache

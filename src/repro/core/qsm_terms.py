@@ -21,8 +21,8 @@ their answers prefetched.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from ..rdf.terms import IRI, Literal, Term, Variable
 from ..sparql.ast_nodes import Query

@@ -22,11 +22,11 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..endpoint.endpoint import SparqlEndpoint
 from ..federation.fedx import FederatedQueryProcessor
-from ..rdf.terms import IRI, Literal, Term, Variable
+from ..rdf.terms import Literal, Term, Variable
 from ..rdf.triples import TriplePattern
 from ..sparql.ast_nodes import (
     Aggregate,
@@ -382,6 +382,25 @@ class SapphireServer:
         outcome.relaxations.extend(self.relaxer.relax(query, literal_alternatives))
         outcome.qsm_seconds = _time.perf_counter() - t0
         return outcome
+
+    def explain(self, query: Union[str, Query, QueryBuilder]) -> str:
+        """EXPLAIN: per-endpoint plan dumps for ``query``, no execution.
+
+        Debugging surface for the planner (``docs/query-planning.md``):
+        each registered endpoint reports how its evaluator would run the
+        query — operator tree, cardinality estimates, pushed filters,
+        or the backtracking fallback.
+        """
+        if isinstance(query, QueryBuilder):
+            query = query.build()
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not self.endpoints:
+            raise RuntimeError("register at least one endpoint first")
+        return "\n\n".join(
+            f"-- endpoint: {endpoint.name}\n{endpoint.explain(query)}"
+            for endpoint in self.endpoints
+        )
 
     def _literal_alternatives_map(self, query: Query) -> Dict[Literal, List[Literal]]:
         """Seed-group inputs: each query literal's top JW alternatives."""

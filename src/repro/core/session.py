@@ -15,11 +15,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
-from ..rdf.terms import Term, Variable
-from ..sparql.results import SelectResult
+from ..rdf.terms import Term
 from .answer_table import AnswerTable
 from .qsm_relax import RelaxationSuggestion
 from .qsm_terms import TermSuggestion

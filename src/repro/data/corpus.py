@@ -19,7 +19,7 @@ what gives the NL baselines their characteristic precision loss).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = ["RELATIONAL_PATTERNS", "qa_corpus", "TEMPLATE_CORPUS"]
 

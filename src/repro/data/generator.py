@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..rdf.namespaces import DBO, DBR, FOAF, RDF_TYPE, RDFS_LABEL
 from ..rdf.terms import IRI, Literal, XSD_INTEGER

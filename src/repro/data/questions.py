@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..rdf.terms import Term
 from ..sparql.evaluator import evaluate
 from ..store.triplestore import TripleStore
 

@@ -30,7 +30,7 @@ deterministically:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from ..sparql.ast_nodes import Query
@@ -151,6 +151,18 @@ class SparqlEndpoint:
             raise SparqlError("expected an ASK query")
         return result
 
+    def explain(self, query: Union[str, Query]) -> str:
+        """Plan dump for ``query`` against this endpoint's store.
+
+        Free and unlogged: planning is estimation-only by the store's
+        meter-free contract, so an EXPLAIN can never trip the timeout.
+        Plans under the same cost budget ``select``/``ask`` would run
+        with (including the single-pattern scan speedup), so the dump
+        shows the strategy execution will actually use.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return self._evaluator.explain(parsed, budget=self._budget_for(parsed))
+
     @property
     def query_count(self) -> int:
         return len(self.log)
@@ -185,10 +197,7 @@ class SparqlEndpoint:
                     f"{self.name}: estimated cost {estimate} above threshold"
                 )
 
-        budget = self.config.cost_budget
-        if budget is not None and len(parsed.where.patterns) <= 1:
-            budget = int(budget * self.config.scan_speedup)
-        meter = CostMeter(budget)
+        meter = CostMeter(self._budget_for(parsed))
         try:
             result = self._evaluator.evaluate(parsed, meter)
         except QueryAborted:
@@ -210,6 +219,14 @@ class SparqlEndpoint:
             rows = len(result.rows)
         self._record(text, "ok", meter.cost, seconds, rows=rows, truncated=truncated)
         return result
+
+    def _budget_for(self, parsed: Query) -> Optional[int]:
+        """Cost budget one evaluation of ``parsed`` gets (scan speedup
+        included) — shared by execution and EXPLAIN so they agree."""
+        budget = self.config.cost_budget
+        if budget is not None and len(parsed.where.patterns) <= 1:
+            budget = int(budget * self.config.scan_speedup)
+        return budget
 
     def _estimate(self, query: Query) -> int:
         """Optimizer-style upper bound used for admission control.

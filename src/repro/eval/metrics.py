@@ -14,8 +14,8 @@ The measures follow the QALD-5 / KBQA conventions the paper quotes:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from ..rdf.terms import Literal, Term
 

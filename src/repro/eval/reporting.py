@@ -7,7 +7,7 @@ the committed ``bench_output.txt``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 __all__ = ["format_table", "format_bars", "format_grouped_bars"]
 

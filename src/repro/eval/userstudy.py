@@ -38,7 +38,7 @@ from ..baselines.qakis import QAKiS
 from ..core.sapphire import QueryBuilder, QueryOutcome, SapphireServer
 from ..data.questions import Question, user_study_questions
 from ..rdf.namespaces import DBO, RDF_TYPE
-from ..rdf.terms import IRI, Literal, Term, Variable
+from ..rdf.terms import Literal, Term, Variable
 from ..sparql.results import SelectResult
 from ..text.lexicon import default_lexicon
 from ..text.similarity import jaro_winkler

@@ -21,7 +21,7 @@ mediator by reusing the local evaluator's pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..endpoint.endpoint import EndpointError, SparqlEndpoint
 from ..rdf.terms import Term, Variable, is_concrete
@@ -32,7 +32,7 @@ from ..sparql.evaluator import QueryEvaluator, _assign_filters, _filter_passes
 from ..sparql.parser import parse_query
 from ..sparql.results import AskResult, SelectResult
 from ..sparql.serializer import ask_query, select_query
-from ..store.triplestore import CostMeter, TripleStore
+from ..store.triplestore import TripleStore
 
 __all__ = ["FederatedQueryProcessor"]
 

@@ -20,7 +20,7 @@ The design follows the RDF 1.1 abstract syntax:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 __all__ = [

@@ -14,6 +14,14 @@ from .ast_nodes import (
 )
 from .errors import EvaluationError, ExpressionError, ParseError, SparqlError
 from .evaluator import QueryEvaluator, evaluate
+from .plan import (
+    BindJoinNode,
+    HashJoinNode,
+    PlanNode,
+    QueryPlanner,
+    ScanNode,
+    explain_plan,
+)
 from .functions import effective_boolean_value, evaluate_expression
 from .parser import parse_query
 from .results import AskResult, SelectResult
@@ -35,6 +43,12 @@ __all__ = [
     "Aggregate",
     "QueryEvaluator",
     "evaluate",
+    "QueryPlanner",
+    "PlanNode",
+    "ScanNode",
+    "HashJoinNode",
+    "BindJoinNode",
+    "explain_plan",
     "evaluate_expression",
     "effective_boolean_value",
     "SelectResult",

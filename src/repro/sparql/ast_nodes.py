@@ -10,7 +10,7 @@ Expression nodes form their own small hierarchy evaluated by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple
 
 from ..rdf.terms import Term, Variable
 from ..rdf.triples import TriplePattern

@@ -22,28 +22,61 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..rdf.terms import IRI, Literal, Term, Variable, XSD_INTEGER
 from ..rdf.triples import Binding, TriplePattern
 from ..store.triplestore import CostMeter, TripleStore
-from .ast_nodes import (
-    Aggregate,
-    Expression,
-    GraphPattern,
-    OrderCondition,
-    Query,
-    SelectItem,
-    TermExpr,
-)
+from .ast_nodes import Aggregate, Expression, GraphPattern, OrderCondition, Query, TermExpr
 from .errors import EvaluationError, ExpressionError
 from .functions import effective_boolean_value, evaluate_expression
 from .parser import parse_query
+from .plan import QueryPlanner, explain_plan
 from .results import AskResult, SelectResult
 
 __all__ = ["QueryEvaluator", "evaluate"]
 
+#: Sentinel distinguishing "no plan computed yet" from "planner said None".
+_PLAN_UNSET = object()
+
+
+def _paginate(rows, key_fn, distinct: bool, offset: int, limit: Optional[int]) -> List:
+    """Shared DISTINCT → OFFSET → LIMIT paging over a streaming input.
+
+    Used by both select pipelines (decoded bindings and ID tuples) so
+    their paging semantics can never diverge: deduplicate on
+    ``key_fn(row)`` first, then skip ``offset`` surviving rows, then
+    stop as soon as ``limit`` rows are collected.
+    """
+    seen: Optional[set] = set() if distinct else None
+    picked: List = []
+    if limit is None or limit > 0:
+        skipped = 0
+        for row in rows:
+            if seen is not None:
+                key = key_fn(row)
+                if key in seen:
+                    continue
+                seen.add(key)
+            if skipped < offset:
+                skipped += 1
+                continue
+            picked.append(row)
+            if limit is not None and len(picked) >= limit:
+                break
+    return picked
+
 
 class QueryEvaluator:
-    """Evaluates parsed queries against one triple store."""
+    """Evaluates parsed queries against one triple store.
 
-    def __init__(self, store: TripleStore) -> None:
+    ``use_planner=True`` (the default) routes top-level basic graph
+    patterns through the cost-based hash/bind-join planner in
+    :mod:`~repro.sparql.plan`; groups the planner cannot cover — and
+    OPTIONAL sub-groups, which carry initial bindings — fall back to the
+    seed backtracking join below.  ``use_planner=False`` pins the seed
+    path, which the planner benchmarks use as their parity baseline.
+    """
+
+    def __init__(self, store: TripleStore, use_planner: bool = True) -> None:
         self.store = store
+        self.use_planner = use_planner
+        self._planner = QueryPlanner(store)
 
     # ------------------------------------------------------------------
     # Public API
@@ -58,11 +91,87 @@ class QueryEvaluator:
             return AskResult(False, cost=meter.cost)
         return self._evaluate_select(query, meter)
 
+    def explain(self, query: "Query | str", budget: Optional[int] = None) -> str:
+        """Human-readable plan dump for ``query`` (no execution).
+
+        The first line summarizes the solution modifiers; the tree below
+        it is the planner's operator pipeline, or the backtracker's
+        greedy pattern order when the group falls back.  OPTIONAL
+        sub-groups are listed after the base plan (they always run
+        through the backtracker, once per base solution).
+
+        Pass the same ``budget`` the evaluation will run under (endpoints
+        do) — strategy choice is budget-aware, so an unbudgeted EXPLAIN
+        can show hash joins a guarded execution would replace with bind
+        joins.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return (
+            f"{self._explain_header(parsed)}\n"
+            f"{self._explain_group(parsed.where, budget=budget)}"
+        )
+
+    def _explain_header(self, query: Query) -> str:
+        header = query.form
+        if query.distinct:
+            header += " DISTINCT"
+        if query.form == "SELECT":
+            names = query.projected_names()
+            header += " " + (" ".join(f"?{name}" for name in names) if names else "*")
+        modifiers = []
+        if query.group_by:
+            modifiers.append("group_by=" + ",".join(f"?{n}" for n in query.group_by))
+        if query.order_by:
+            modifiers.append(f"order_by[{len(query.order_by)}]")
+        if query.limit is not None:
+            modifiers.append(f"limit={query.limit}")
+        if query.offset:
+            modifiers.append(f"offset={query.offset}")
+        if modifiers:
+            header += "  [" + " ".join(modifiers) + "]"
+        return header
+
+    def _explain_group(
+        self,
+        group: GraphPattern,
+        indent: int = 0,
+        planned: bool = True,
+        budget: Optional[int] = None,
+    ) -> str:
+        pad = "  " * indent
+        plan = (
+            self._planner.plan(group, budget=budget)
+            if (planned and self.use_planner)
+            else None
+        )
+        if plan is not None:
+            text = explain_plan(plan, indent)
+        elif group.patterns:
+            order = _order_patterns(self.store, group.patterns, set())
+            steps = " -> ".join(
+                " ".join(term.n3() for term in pattern.as_tuple())
+                for pattern in order
+            )
+            text = f"{pad}Backtrack({steps})"
+        else:
+            text = f"{pad}Empty()"
+        for optional in group.optionals:
+            # OPTIONAL sub-groups always execute through the backtracker
+            # (once per base solution, with its bindings) — showing a
+            # planner tree here would describe a plan that never runs.
+            text += (
+                f"\n{pad}Optional:\n"
+                f"{self._explain_group(optional, indent + 1, planned=False)}"
+            )
+        return text
+
     # ------------------------------------------------------------------
     # SELECT pipeline
     # ------------------------------------------------------------------
 
     def _evaluate_select(self, query: Query, meter: CostMeter) -> SelectResult:
+        if not (query.has_aggregates() or query.group_by or query.order_by):
+            return self._evaluate_select_streaming(query, meter)
         solutions = list(self._solve_group(query.where, {}, meter))
 
         if query.has_aggregates() or query.group_by:
@@ -92,6 +201,83 @@ class QueryEvaluator:
 
         return SelectResult(variables=names, rows=rows, cost=meter.cost)
 
+    def _evaluate_select_streaming(self, query: Query, meter: CostMeter) -> SelectResult:
+        """Pipeline for queries without aggregation or ordering.
+
+        Solutions stream straight out of the join (planner or
+        backtracker), are projected and deduplicated on the fly, and the
+        iteration stops as soon as OFFSET + LIMIT rows have been
+        produced — the early termination that keeps paged Appendix-A
+        retrieval (Q6/Q7-style ``LIMIT .. OFFSET ..``) cheap.
+        """
+        names = query.projected_names()
+        plan = _PLAN_UNSET
+        if self.use_planner and not query.where.optionals:
+            plan = self._planner.plan(query.where, budget=meter.budget)
+            if plan is not None:
+                items = self._plain_variable_items(query)
+                if items is not None:
+                    return self._select_from_plan(query, plan, names, items, meter)
+        projected = (
+            self._project(solution, query, names)
+            for solution in self._solve_group(query.where, {}, meter, prepared_plan=plan)
+        )
+        rows = _paginate(
+            projected,
+            key_fn=lambda row: tuple(row.get(name) for name in names),
+            distinct=query.distinct,
+            offset=query.offset or 0,
+            limit=query.limit,
+        )
+        return SelectResult(variables=names, rows=rows, cost=meter.cost)
+
+    @staticmethod
+    def _plain_variable_items(query: Query) -> Optional[List[Tuple[str, str]]]:
+        """``(output name, variable name)`` pairs when every projection
+        is a bare variable (or ``SELECT *``); None otherwise."""
+        if query.select_star:
+            return [(name, name) for name in query.projected_names()]
+        items: List[Tuple[str, str]] = []
+        for item in query.select_items:
+            expr = item.expression
+            if isinstance(expr, TermExpr) and isinstance(expr.term, Variable):
+                items.append((item.output_name, expr.term.name))
+            else:
+                return None
+        return items
+
+    def _select_from_plan(
+        self,
+        query: Query,
+        plan,
+        names: Sequence[str],
+        items: List[Tuple[str, str]],
+        meter: CostMeter,
+    ) -> SelectResult:
+        """Late materialization: project, deduplicate and page entirely
+        on dictionary-ID tuples; decode only the rows that survive.
+
+        Sound because the dictionary is a bijection — distinct IDs are
+        distinct terms — so DISTINCT over ID tuples equals DISTINCT over
+        the decoded rows.
+        """
+        slot_of = plan.slot_of
+        pairs = [(out, slot_of.get(var)) for out, var in items]
+        live = tuple(slot for _, slot in pairs if slot is not None)
+        picked = _paginate(
+            plan.rows(self.store, meter),
+            key_fn=lambda row: tuple(row[slot] for slot in live),
+            distinct=query.distinct,
+            offset=query.offset or 0,
+            limit=query.limit,
+        )
+        decode = self.store.decode_id
+        rows: List[Binding] = [
+            {out: decode(row[slot]) for out, slot in pairs if slot is not None}
+            for row in picked
+        ]
+        return SelectResult(variables=list(names), rows=rows, cost=meter.cost)
+
     def _project(self, row: Binding, query: Query, names: Sequence[str]) -> Binding:
         if query.select_star:
             return {name: row[name] for name in names if name in row}
@@ -109,6 +295,52 @@ class QueryEvaluator:
     # ------------------------------------------------------------------
 
     def _solve_group(
+        self,
+        group: GraphPattern,
+        initial: Binding,
+        meter: CostMeter,
+        prepared_plan=_PLAN_UNSET,
+    ) -> Iterator[Binding]:
+        """Solve one graph pattern: planned joins or the backtracker.
+
+        The planner covers top-level groups (no initial bindings); it
+        returns ``None`` for the shapes it cannot express (empty groups,
+        existence checks, disconnected join graphs) and those — plus
+        OPTIONAL sub-groups, which arrive with bindings — run through
+        the seed backtracking join.  OPTIONAL application is shared by
+        both paths.  ``prepared_plan`` carries a plan (or the ``None``
+        verdict) a caller already computed, so a query is never planned
+        twice.
+        """
+        base = self._solve_base(group, initial, meter, prepared_plan)
+        if not group.optionals:
+            yield from base
+            return
+        for solution in base:
+            yield from self._apply_optionals(group.optionals, solution, meter)
+
+    def _solve_base(
+        self,
+        group: GraphPattern,
+        initial: Binding,
+        meter: CostMeter,
+        prepared_plan=_PLAN_UNSET,
+    ) -> Iterator[Binding]:
+        if self.use_planner and not initial:
+            plan = (
+                self._planner.plan(group, budget=meter.budget)
+                if prepared_plan is _PLAN_UNSET
+                else prepared_plan
+            )
+            if plan is not None:
+                decode = self.store.decode_id
+                names = plan.variables
+                for row in plan.rows(self.store, meter):
+                    yield {name: decode(term_id) for name, term_id in zip(names, row)}
+                return
+        yield from self._solve_backtrack(group, initial, meter)
+
+    def _solve_backtrack(
         self,
         group: GraphPattern,
         initial: Binding,
@@ -178,12 +410,7 @@ class QueryEvaluator:
                 if consistent:
                     yield from backtrack(index + 1, merged)
 
-        base = backtrack(0, initial_ids)
-        if not group.optionals:
-            yield from base
-            return
-        for solution in base:
-            yield from self._apply_optionals(group.optionals, solution, meter)
+        yield from backtrack(0, initial_ids)
 
     def _apply_optionals(
         self,

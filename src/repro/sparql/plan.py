@@ -1,0 +1,468 @@
+"""Cost-based query planning for basic graph patterns.
+
+The seed evaluator executes every BGP as a greedy-ordered backtracking
+index-nested-loop join.  That is the right shape for highly selective
+queries (probe a handful of keys), but quadratic-ish where the paper
+needs low latency: star and chain joins over broad predicates enumerate
+the same index fan-outs once per partial binding.  This module adds the
+standard lever — a logical plan chosen by a cost model over collected
+statistics — while keeping the ID-space discipline of the storage
+engine: every intermediate row is a plain tuple of dictionary IDs and
+terms are decoded only for FILTER evaluation and final materialization.
+
+Plan nodes
+----------
+* :class:`ScanNode` — one triple pattern streamed off a backend index,
+  with same-pattern repeated-variable checks and pushed-down FILTERs.
+* :class:`HashJoinNode` — builds a hash table over the (smaller) right
+  input keyed by the shared variables, then streams the left input
+  through it.  Each pattern is scanned exactly once.
+* :class:`BindJoinNode` — the index-nested-loop strategy: probe the
+  store once per left row with the shared variables bound.  Chosen when
+  the left input is estimated to be much smaller than a full scan of
+  the right pattern, which keeps selective queries (and their cost-meter
+  profile) identical to the seed path.
+
+Cost model
+----------
+Scan cardinalities come from the backend's free estimates
+(:meth:`~repro.store.TripleStore.cardinality_estimate`); join output
+cardinalities divide by the distinct-subject/object counts collected in
+:meth:`~repro.store.TripleStore.predicate_stats_ids`.  Planning is
+greedy left-deep: start from the most selective pattern, repeatedly
+join the connected pattern with the smallest estimated output.  Groups
+a hash join cannot cover — no patterns, fully concrete patterns
+(existence checks), or a disconnected join graph (cartesian corners,
+e.g. unbound-predicate probes) — return ``None`` and the evaluator
+falls back to the seed backtracking path.
+
+``explain_plan`` renders the tree for the EXPLAIN surface wired through
+:class:`~repro.sparql.evaluator.QueryEvaluator`, the endpoint, the
+server, and the CLI (see ``docs/query-planning.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from ..store.triplestore import CostMeter, TripleStore
+from .ast_nodes import Expression, GraphPattern
+from .errors import ExpressionError
+from .functions import effective_boolean_value, evaluate_expression
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "HashJoinNode",
+    "BindJoinNode",
+    "QueryPlanner",
+    "explain_plan",
+]
+
+#: A bind join is preferred while the accumulated left side is this many
+#: times smaller than a full scan of the candidate pattern.  Probing is
+#: per-row work (generator set-up, index descent), so the break-even
+#: point sits well above 1:1.
+BIND_JOIN_FACTOR = 8
+
+#: One intermediate row: dictionary IDs aligned with ``node.variables``.
+IdRow = Tuple[int, ...]
+
+#: Compiled filter: the expression plus the (name, slot) pairs to decode.
+_CompiledFilter = Tuple[Expression, Tuple[Tuple[str, int], ...]]
+
+
+class PlanNode:
+    """Base class: a streaming operator producing ID-tuple rows.
+
+    ``variables`` fixes the slot order of every row the node yields;
+    ``est_rows`` is the cost model's output-cardinality estimate;
+    ``filters`` are evaluated (on decoded terms) against each produced
+    row, dropping rows that fail or error — SPARQL FILTER semantics.
+    """
+
+    variables: Tuple[str, ...]
+    est_rows: int
+    filters: List[Expression]
+
+    def __init__(self, variables: Tuple[str, ...], est_rows: int) -> None:
+        self.variables = variables
+        self.est_rows = est_rows
+        self.filters = []
+        self.slot_of: Dict[str, int] = {name: i for i, name in enumerate(variables)}
+
+    # -- execution -----------------------------------------------------
+
+    def rows(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        produced = self._produce(store, meter)
+        if not self.filters:
+            return produced
+        return self._filtered(produced, store)
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        raise NotImplementedError
+
+    def _filtered(self, rows: Iterator[IdRow], store: TripleStore) -> Iterator[IdRow]:
+        decode = store.decode_id
+        compiled: List[_CompiledFilter] = [
+            (
+                expr,
+                tuple(
+                    (name, self.slot_of[name])
+                    for name in expr.variables()
+                    if name in self.slot_of
+                ),
+            )
+            for expr in self.filters
+        ]
+        for row in rows:
+            for expr, slots in compiled:
+                binding = {name: decode(row[slot]) for name, slot in slots}
+                try:
+                    if not effective_boolean_value(evaluate_expression(expr, binding)):
+                        break
+                except ExpressionError:
+                    break  # erroring filters drop the row, per the spec
+            else:
+                yield row
+
+    # -- display -------------------------------------------------------
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+
+def _pattern_text(pattern: TriplePattern) -> str:
+    return " ".join(term.n3() for term in pattern.as_tuple())
+
+
+class ScanNode(PlanNode):
+    """Stream one triple pattern off the backend index."""
+
+    def __init__(self, store: TripleStore, pattern: TriplePattern, est_rows: int) -> None:
+        self.pattern = pattern
+        encoded = store.encode_pattern(pattern)
+        probe: List[Optional[int]] = [None, None, None]
+        out: List[Tuple[int, str]] = []
+        checks: List[Tuple[int, int]] = []
+        first_at: Dict[str, int] = {}
+        for position, entry in enumerate(encoded):
+            if isinstance(entry, str):
+                if entry in first_at:
+                    checks.append((first_at[entry], position))
+                else:
+                    first_at[entry] = position
+                    out.append((position, entry))
+            else:
+                probe[position] = entry
+        self.probe: Tuple[Optional[int], Optional[int], Optional[int]] = tuple(probe)  # type: ignore[assignment]
+        self.out_positions = tuple(position for position, _ in out)
+        self.checks = tuple(checks)
+        super().__init__(tuple(name for _, name in out), est_rows)
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        s, p, o = self.probe
+        positions = self.out_positions
+        rows = store.match_ids(s, p, o, meter)
+        if self.checks:
+            checks = self.checks
+            rows = (
+                row for row in rows
+                if all(row[a] == row[b] for a, b in checks)
+            )
+        # Specialized projections: this is the innermost loop of every
+        # plan, and a generator-expression tuple per row doubles its cost.
+        if len(positions) == 1:
+            a = positions[0]
+            for row in rows:
+                yield (row[a],)
+        elif len(positions) == 2:
+            a, b = positions
+            for row in rows:
+                yield (row[a], row[b])
+        else:
+            for row in rows:
+                yield row
+
+    def label(self) -> str:
+        return f"Scan({_pattern_text(self.pattern)})"
+
+
+class HashJoinNode(PlanNode):
+    """Hash the right input on the shared variables, stream the left.
+
+    Both inputs are scanned exactly once; each emitted row charges the
+    cost meter one unit so budgeted endpoints retain their abort
+    behaviour on explosive joins.
+    """
+
+    def __init__(self, left: PlanNode, right: PlanNode, keys: Tuple[str, ...], est_rows: int) -> None:
+        self.left = left
+        self.right = right
+        self.keys = keys
+        self.left_key_slots = tuple(left.slot_of[name] for name in keys)
+        self.right_key_slots = tuple(right.slot_of[name] for name in keys)
+        residual = [name for name in right.variables if name not in keys]
+        self.right_residual_slots = tuple(right.slot_of[name] for name in residual)
+        super().__init__(left.variables + tuple(residual), est_rows)
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        # Single shared variable is the overwhelmingly common join shape
+        # (subject stars, object-subject chains); key on the bare int
+        # instead of a 1-tuple to keep build and probe at one dict op.
+        single = len(self.left_key_slots) == 1
+        rkeys = self.right_key_slots
+        rres = self.right_residual_slots
+        lkey = self.left_key_slots[0] if single else None
+        lkeys = self.left_key_slots
+        charge = meter.charge if meter is not None else None
+        if not rres:
+            # Semi-join: the build side adds no variables, so a bucket is
+            # just a multiplicity and no output tuple is re-allocated.
+            counts: Dict[object, int] = {}
+            for row in self.right.rows(store, meter):
+                key = row[rkeys[0]] if single else tuple(row[i] for i in rkeys)
+                counts[key] = counts.get(key, 0) + 1
+            cget = counts.get
+            for lrow in self.left.rows(store, meter):
+                n = cget(lrow[lkey] if single else tuple(lrow[i] for i in lkeys))
+                if n is None:
+                    continue
+                if charge is not None:
+                    charge(n)
+                if n == 1:
+                    yield lrow
+                else:
+                    for _ in range(n):
+                        yield lrow
+            return
+        table: Dict[object, List[IdRow]] = {}
+        rres0 = rres[0] if len(rres) == 1 else None
+        for row in self.right.rows(store, meter):
+            key = row[rkeys[0]] if single else tuple(row[i] for i in rkeys)
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = bucket = []
+            bucket.append(
+                (row[rres0],) if rres0 is not None else tuple(row[i] for i in rres)
+            )
+        get = table.get
+        for lrow in self.left.rows(store, meter):
+            key = lrow[lkey] if single else tuple(lrow[i] for i in lkeys)
+            bucket = get(key)
+            if bucket is None:
+                continue
+            if charge is not None:
+                charge(len(bucket))
+            for residual in bucket:
+                yield lrow + residual
+
+    def label(self) -> str:
+        keys = ", ".join(f"?{name}" for name in self.keys)
+        return f"HashJoin(on {keys})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
+class BindJoinNode(PlanNode):
+    """Probe the store once per left row with shared variables bound."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        left: PlanNode,
+        pattern: TriplePattern,
+        est_rows: int,
+    ) -> None:
+        self.left = left
+        self.pattern = pattern
+        encoded = store.encode_pattern(pattern)
+        # Probe spec per position: a constant ID, a left slot, or free.
+        spec: List[Tuple[str, Optional[int]]] = []
+        out: List[Tuple[int, str]] = []
+        checks: List[Tuple[int, int]] = []
+        first_at: Dict[str, int] = {}
+        for position, entry in enumerate(encoded):
+            if isinstance(entry, str):
+                if entry in left.slot_of:
+                    spec.append(("left", left.slot_of[entry]))
+                elif entry in first_at:
+                    spec.append(("free", None))
+                    checks.append((first_at[entry], position))
+                else:
+                    first_at[entry] = position
+                    spec.append(("free", None))
+                    out.append((position, entry))
+            else:
+                spec.append(("const", entry))
+        self.spec = tuple(spec)
+        self.out_positions = tuple(position for position, _ in out)
+        self.checks = tuple(checks)
+        super().__init__(
+            left.variables + tuple(name for _, name in out), est_rows
+        )
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        (s_kind, s_val), (p_kind, p_val), (o_kind, o_val) = self.spec
+        positions = self.out_positions
+        checks = self.checks
+        match_ids = store.match_ids
+        for lrow in self.left.rows(store, meter):
+            s = s_val if s_kind == "const" else lrow[s_val] if s_kind == "left" else None
+            p = p_val if p_kind == "const" else lrow[p_val] if p_kind == "left" else None
+            o = o_val if o_kind == "const" else lrow[o_val] if o_kind == "left" else None
+            for row in match_ids(s, p, o, meter):
+                if checks and not all(row[a] == row[b] for a, b in checks):
+                    continue
+                yield lrow + tuple(row[i] for i in positions)
+
+    def label(self) -> str:
+        return f"BindJoin({_pattern_text(self.pattern)})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left,)
+
+
+class QueryPlanner:
+    """Builds a left-deep hash/bind-join plan for one graph pattern."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    def plan(self, group: GraphPattern, budget: Optional[int] = None) -> Optional[PlanNode]:
+        """Return an executable plan, or ``None`` when the group needs
+        the backtracking fallback (empty, existence checks, or a
+        disconnected join graph).
+
+        ``budget`` is the caller's cost-meter budget, if any.  Hash
+        joins pay a full scan of the build pattern up front; on a
+        budgeted (endpoint-guarded) evaluation that scan can burn the
+        budget a selective probe sequence would never have touched, so
+        a hash join is only chosen while its estimated metered cost
+        still fits the budget with a 2x margin — beyond that the
+        planner stays on bind joins, whose cost profile matches the
+        seed backtracker's.
+        """
+        patterns = list(group.patterns)
+        if not patterns:
+            return None
+        if any(not pattern.variables() for pattern in patterns):
+            return None  # fully concrete patterns are existence checks
+        store = self.store
+        stats = store.predicate_stats_ids()
+        scans = [
+            ScanNode(store, pattern, store.cardinality_estimate(pattern))
+            for pattern in patterns
+        ]
+
+        pending = list(group.filters)
+        node: PlanNode = min(scans, key=lambda scan: scan.est_rows)
+        scans.remove(node)  # type: ignore[arg-type]
+        self._attach_filters(node, pending)
+        est_cost = node.est_rows  # scan candidates charged so far
+
+        while scans:
+            connected = [
+                scan for scan in scans
+                if any(name in node.slot_of for name in scan.variables)
+            ]
+            if not connected:
+                return None  # cartesian corner: leave it to the backtracker
+            best = min(
+                connected,
+                key=lambda scan: self._join_estimate(node, scan, stats),
+            )
+            scans.remove(best)
+            est = self._join_estimate(node, best, stats)
+            hash_cost = est_cost + best.est_rows + est
+            prefer_bind = node.est_rows * BIND_JOIN_FACTOR < best.est_rows
+            over_budget = budget is not None and hash_cost * 2 > budget
+            if prefer_bind or over_budget:
+                node = BindJoinNode(store, node, best.pattern, est)
+                est_cost += est  # probes charge per produced candidate
+            else:
+                # Push single-pattern filters below the build side so the
+                # hash table only holds rows that can survive.
+                self._attach_filters(best, pending)
+                keys = tuple(
+                    name for name in best.variables if name in node.slot_of
+                )
+                node = HashJoinNode(node, best, keys, est)
+                est_cost = hash_cost
+            self._attach_filters(node, pending)
+
+        # Filters whose variables never appear in any pattern evaluate
+        # against an unbound binding at the root: error -> row dropped,
+        # exactly like the seed's last-depth assignment.
+        node.filters.extend(pending)
+        return node
+
+    # -- cost model ----------------------------------------------------
+
+    def _join_estimate(
+        self,
+        left: PlanNode,
+        scan: ScanNode,
+        stats: Dict[int, Tuple[int, int, int]],
+    ) -> int:
+        shared = [name for name in scan.variables if name in left.slot_of]
+        distinct = 1
+        for name in shared:
+            distinct = max(distinct, self._distinct_values(scan, name, stats))
+        return max(0, left.est_rows * scan.est_rows // max(distinct, 1))
+
+    def _distinct_values(
+        self,
+        scan: ScanNode,
+        name: str,
+        stats: Dict[int, Tuple[int, int, int]],
+    ) -> int:
+        """Distinct count of variable ``name`` within ``scan``'s pattern."""
+        pattern = scan.pattern
+        predicate = pattern.predicate
+        if isinstance(predicate, Variable):
+            return max(scan.est_rows, 1)
+        pid = self.store.term_id(predicate)
+        stat = stats.get(pid)
+        if stat is None:
+            return max(scan.est_rows, 1)
+        count, distinct_s, distinct_o = stat
+        if isinstance(pattern.subject, Variable) and pattern.subject.name == name:
+            return max(distinct_s, 1)
+        if isinstance(pattern.object, Variable) and pattern.object.name == name:
+            return max(distinct_o, 1)
+        return max(scan.est_rows, 1)
+
+    # -- filter placement ----------------------------------------------
+
+    @staticmethod
+    def _attach_filters(node: PlanNode, pending: List[Expression]) -> None:
+        """Attach every pending filter whose variables are now bound."""
+        ready = [
+            expr for expr in pending
+            if all(name in node.slot_of for name in expr.variables())
+        ]
+        for expr in ready:
+            node.filters.append(expr)
+            pending.remove(expr)
+
+
+def explain_plan(node: PlanNode, indent: int = 0) -> str:
+    """Render the plan tree, one operator per line."""
+    pad = "  " * indent
+    line = f"{pad}{node.label()}  [est={node.est_rows}]"
+    if node.filters:
+        from .serializer import serialize_expression
+
+        rendered = ", ".join(serialize_expression(expr) for expr in node.filters)
+        line += f" filter({rendered})"
+    lines = [line]
+    for child in node.children():
+        lines.append(explain_plan(child, indent + 1))
+    return "\n".join(lines)

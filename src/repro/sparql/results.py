@@ -9,7 +9,7 @@ can account for work done.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 from ..rdf.terms import Term
 from ..rdf.triples import Binding

@@ -8,9 +8,8 @@ AST losslessly.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from ..rdf.terms import Term
 from ..rdf.triples import TriplePattern
 from .ast_nodes import (
     Aggregate,
@@ -18,7 +17,6 @@ from .ast_nodes import (
     Expression,
     FunctionCall,
     GraphPattern,
-    OrderCondition,
     Query,
     SelectItem,
     TermExpr,

@@ -17,7 +17,7 @@ Token kinds:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from .errors import ParseError
 

@@ -11,7 +11,7 @@ talks to.  See ``docs/storage.md``.
 from .backends import MemoryBackend, StorageBackend
 from .dictionary import NO_ID, TermDictionary
 from .sqlite_backend import SQLiteBackend
-from .stats import DatasetStats, compute_stats
+from .stats import DatasetStats, PredicateStat, compute_stats
 from .triplestore import CostMeter, QueryAborted, TripleStore
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "CostMeter",
     "QueryAborted",
     "DatasetStats",
+    "PredicateStat",
     "compute_stats",
     "TermDictionary",
     "NO_ID",

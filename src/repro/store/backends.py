@@ -63,6 +63,7 @@ class StorageBackend(Protocol):
     def predicate_ids(self) -> Iterator[int]: ...
     def object_ids(self) -> Iterator[int]: ...
     def predicate_fanouts(self) -> Dict[int, int]: ...
+    def predicate_stats(self) -> Dict[int, Tuple[int, int, int]]: ...
     def object_fanouts(self) -> Dict[int, int]: ...
     def in_degree(self, o: int) -> int: ...
     def out_degree(self, s: int) -> int: ...
@@ -91,6 +92,9 @@ class MemoryBackend:
         self._osp: Dict[int, Dict[int, Set[int]]] = {}
         self._size = 0
         self._meta: Dict[str, str] = {}
+        # Per-predicate (count, distinct subjects, distinct objects),
+        # rebuilt lazily after mutations; feeds the join planner.
+        self._pstats: Optional[Dict[int, Tuple[int, int, int]]] = None
 
     # -- mutation ------------------------------------------------------
 
@@ -102,6 +106,7 @@ class MemoryBackend:
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
+        self._pstats = None
         return True
 
     def add_many(self, triples: Iterator[IdTriple]) -> int:
@@ -116,6 +121,7 @@ class MemoryBackend:
         _discard_and_prune(self._pos, p, o, s)
         _discard_and_prune(self._osp, o, s, p)
         self._size -= 1
+        self._pstats = None
         return True
 
     # -- lookup --------------------------------------------------------
@@ -219,6 +225,24 @@ class MemoryBackend:
             p: sum(len(subs) for subs in by_o.values())
             for p, by_o in self._pos.items()
         }
+
+    def predicate_stats(self) -> Dict[int, Tuple[int, int, int]]:
+        """Per-predicate ``(count, distinct subjects, distinct objects)``.
+
+        One pass over the POS index per rebuild, cached until the next
+        mutation — the planner asks for these on every query.
+        """
+        if self._pstats is None:
+            stats: Dict[int, Tuple[int, int, int]] = {}
+            for p, by_o in self._pos.items():
+                count = 0
+                subjects: Set[int] = set()
+                for subs in by_o.values():
+                    count += len(subs)
+                    subjects.update(subs)
+                stats[p] = (count, len(subjects), len(by_o))
+            self._pstats = stats
+        return self._pstats
 
     def object_fanouts(self) -> Dict[int, int]:
         return {

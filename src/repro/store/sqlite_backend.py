@@ -114,6 +114,9 @@ class SQLiteBackend:
         # Per-predicate triple counts, rebuilt lazily after mutations so
         # planning estimates stay index-free (see estimate_ids).
         self._pred_counts: Optional[Dict[int, int]] = None
+        # Per-predicate (count, distinct s, distinct o) for the planner,
+        # same lazy-rebuild policy.
+        self._pstats: Optional[Dict[int, Tuple[int, int, int]]] = None
 
     # -- dictionary persistence ---------------------------------------
 
@@ -142,6 +145,7 @@ class SQLiteBackend:
             if added:
                 self._size += 1
                 self._pred_counts = None
+                self._pstats = None
             self._conn.commit()
         return added
 
@@ -169,6 +173,7 @@ class SQLiteBackend:
                 if added:
                     self._size += added
                     self._pred_counts = None
+                    self._pstats = None
                 self._conn.commit()
             total_added += added
         return total_added
@@ -182,6 +187,7 @@ class SQLiteBackend:
             if removed:
                 self._size -= 1
                 self._pred_counts = None
+                self._pstats = None
             self._conn.commit()
         return removed
 
@@ -251,6 +257,22 @@ class SQLiteBackend:
                 self._query_all("SELECT p, COUNT(*) FROM triples GROUP BY p")
             )
         return self._pred_counts
+
+    def predicate_stats(self) -> Dict[int, Tuple[int, int, int]]:
+        """Per-predicate ``(count, distinct subjects, distinct objects)``.
+
+        One grouped aggregate over the POS covering index, cached until
+        the next mutation — the planner asks for these on every query.
+        """
+        if self._pstats is None:
+            self._pstats = {
+                p: (count, n_s, n_o)
+                for p, count, n_s, n_o in self._query_all(
+                    "SELECT p, COUNT(*), COUNT(DISTINCT s), COUNT(DISTINCT o) "
+                    "FROM triples GROUP BY p"
+                )
+            }
+        return self._pstats
 
     def object_fanouts(self) -> Dict[int, int]:
         return dict(self._query_all("SELECT o, COUNT(*) FROM triples GROUP BY o"))

@@ -11,12 +11,39 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
-from ..rdf.terms import IRI, Literal
+from ..rdf.terms import IRI
 from .triplestore import TripleStore
 
-__all__ = ["DatasetStats", "compute_stats"]
+__all__ = ["DatasetStats", "PredicateStat", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class PredicateStat:
+    """Planner-grade statistics for one predicate.
+
+    ``count`` is the number of triples carrying the predicate;
+    ``distinct_subjects``/``distinct_objects`` are the sizes of its
+    subject/object columns.  The ratios below are the classic join
+    selectivity inputs: joining two patterns on a shared subject
+    variable produces roughly ``count_a * count_b / max(distinct
+    subjects)`` rows.
+    """
+
+    count: int
+    distinct_subjects: int
+    distinct_objects: int
+
+    @property
+    def subject_fanout(self) -> float:
+        """Mean triples per distinct subject (≥ 1 when the predicate exists)."""
+        return self.count / self.distinct_subjects if self.distinct_subjects else 0.0
+
+    @property
+    def object_fanout(self) -> float:
+        """Mean triples per distinct object."""
+        return self.count / self.distinct_objects if self.distinct_objects else 0.0
 
 
 @dataclass
@@ -31,6 +58,7 @@ class DatasetStats:
     literal_length_histogram: Dict[int, int] = field(default_factory=dict)
     literal_language_counts: Dict[str, int] = field(default_factory=dict)
     predicate_frequencies: Dict[IRI, int] = field(default_factory=dict)
+    predicate_stats: Dict[IRI, PredicateStat] = field(default_factory=dict)
     max_in_degree: int = 0
     mean_in_degree: float = 0.0
 
@@ -76,6 +104,7 @@ def compute_stats(store: TripleStore) -> DatasetStats:
         literal_length_histogram=dict(length_hist),
         literal_language_counts=dict(lang_counts),
         predicate_frequencies=store.predicate_frequencies(),
+        predicate_stats=store.predicate_stats(),
         max_in_degree=max_in,
         mean_in_degree=mean_in,
     )

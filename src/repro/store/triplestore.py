@@ -314,6 +314,28 @@ class TripleStore:
             if isinstance(term, IRI)
         }
 
+    def predicate_stats_ids(self) -> Dict[int, Tuple[int, int, int]]:
+        """Per-predicate ``(count, distinct s, distinct o)`` keyed by ID.
+
+        The join planner's statistics source: cached by the backend and
+        rebuilt lazily after mutations, so reading it is free in the
+        steady state (estimation stays meter-free by contract).
+        """
+        return self._backend.predicate_stats()
+
+    def predicate_stats(self) -> Dict[IRI, "PredicateStat"]:
+        """Decoded view of :meth:`predicate_stats_ids` for reporting."""
+        from .stats import PredicateStat
+
+        decode = self._dict.decode
+        return {
+            term: PredicateStat(*stat)
+            for term, stat in (
+                (decode(p), stat) for p, stat in self._backend.predicate_stats().items()
+            )
+            if isinstance(term, IRI)
+        }
+
     def subjects(self) -> Set[Term]:
         decode = self._dict.decode
         return {decode(s) for s in self._backend.subject_ids()}

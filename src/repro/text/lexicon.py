@@ -16,7 +16,7 @@ group (or a predicate IRI local name), all forms in the group come back.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Sequence, Set
 
 from ..rdf.terms import IRI
 

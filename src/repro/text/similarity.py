@@ -9,7 +9,6 @@ that compare measures.
 
 from __future__ import annotations
 
-from typing import Callable
 
 __all__ = [
     "jaro",

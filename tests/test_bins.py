@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.text import BinTask, LiteralBins, assign_tasks, scan_bins
+from repro.text import LiteralBins, assign_tasks, scan_bins
 
 
 class TestAssignTasks:

@@ -1,6 +1,5 @@
 """Unit tests for the synthetic dataset generator and question workload."""
 
-import pytest
 
 from repro.data import (
     CLASS_HIERARCHY,

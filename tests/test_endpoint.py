@@ -8,7 +8,7 @@ from repro.endpoint import (
     QueryRejected,
     SparqlEndpoint,
 )
-from repro.rdf import DBO, DBR, IRI, Literal, RDF_TYPE, Triple
+from repro.rdf import DBO, DBR, Literal, RDF_TYPE, Triple
 from repro.store import TripleStore
 
 

@@ -11,7 +11,7 @@ from repro.core import SapphireConfig, initialize_endpoint
 from repro.data import DatasetConfig, build_dataset
 from repro.endpoint import EndpointConfig, EndpointTimeout, SparqlEndpoint
 from repro.federation import FederatedQueryProcessor
-from repro.rdf import DBO, DBR, FOAF, Literal, RDF_TYPE, Triple, TriplePattern, Variable
+from repro.rdf import DBO, DBR, Literal, RDF_TYPE, Triple, TriplePattern, Variable
 from repro.store import TripleStore
 
 

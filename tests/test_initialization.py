@@ -5,7 +5,6 @@ import pytest
 from repro.core import SapphireConfig, initialize_endpoint
 from repro.data import DatasetConfig, build_dataset
 from repro.endpoint import EndpointConfig, SparqlEndpoint
-from repro.rdf import Literal
 
 
 @pytest.fixture(scope="module")

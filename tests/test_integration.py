@@ -121,7 +121,6 @@ class TestMultiEndpointFederation:
         """Registering two endpoints merges caches and federates queries."""
         from repro import EndpointConfig, SapphireConfig, SapphireServer, SparqlEndpoint
         from repro.data import DatasetConfig, build_dataset
-        from repro.rdf import Triple
         from repro.store import TripleStore
 
         dataset = build_dataset(DatasetConfig.tiny())

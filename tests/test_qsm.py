@@ -8,7 +8,7 @@ from repro.core import (
     StructureRelaxer,
 )
 from repro.core.qsm_relax import GraphExpander
-from repro.rdf import DBO, FOAF, IRI, Literal, RDFS_LABEL, Variable
+from repro.rdf import DBO, FOAF, IRI, Literal, Variable
 from repro.sparql.serializer import select_query
 
 

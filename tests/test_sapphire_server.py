@@ -5,7 +5,7 @@ import pytest
 from repro import EndpointConfig, SapphireConfig, SapphireServer, SparqlEndpoint
 from repro.core import QueryBuilder
 from repro.data import DatasetConfig, build_dataset
-from repro.rdf import DBO, FOAF, Literal, RDFS_LABEL, Variable
+from repro.rdf import DBO, FOAF, Literal, Variable
 from repro.sparql import parse_query
 
 

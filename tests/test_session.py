@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import SapphireConfig, SapphireServer
 from repro.core.session import SapphireSession
 from repro.rdf import DBO, FOAF, Literal, Variable
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import DBO, DBR, FOAF, IRI, Literal, RDF_TYPE, RDFS_LABEL, Triple, XSD_INTEGER
+from repro.rdf import DBO, DBR, FOAF, Literal, RDF_TYPE, RDFS_LABEL, Triple, XSD_INTEGER
 from repro.sparql import AskResult, evaluate
 from repro.store import TripleStore
 

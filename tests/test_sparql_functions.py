@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.rdf import IRI, Literal, Variable, XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.rdf import IRI, Literal, XSD_DOUBLE, XSD_INTEGER
 from repro.sparql import ExpressionError, evaluate_expression, effective_boolean_value
-from repro.sparql.ast_nodes import BinaryExpr, FunctionCall, TermExpr, UnaryExpr
 from repro.sparql.functions import FALSE, TRUE
 
 

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.rdf import IRI, Literal, Variable, XSD_INTEGER
+from repro.rdf import IRI, Literal, XSD_INTEGER
 from repro.sparql import ParseError, parse_query, tokenize
-from repro.sparql.ast_nodes import Aggregate, BinaryExpr, FunctionCall, TermExpr
+from repro.sparql.ast_nodes import Aggregate, BinaryExpr
 
 
 class TestTokenizer:

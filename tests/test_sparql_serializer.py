@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import DBO, IRI, Literal, TriplePattern, Variable
+from repro.rdf import DBO, Literal, TriplePattern, Variable
 from repro.sparql import parse_query
 from repro.sparql.serializer import ask_query, select_query, serialize_query
 
