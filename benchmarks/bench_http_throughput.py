@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""HTTP serving throughput: concurrent clients over loopback.
+
+Stands up a :class:`SparqlHttpServer` over the tiny synthetic dataset
+and drives it with ``N_CLIENTS`` concurrent :class:`HttpSparqlEndpoint`
+clients, each issuing the full query mix per round.  Reports sustained
+QPS and client-observed latency percentiles.
+
+Gate (runs in ``--quick`` CI mode too):
+
+* every response must match the rows the wrapped in-process endpoint
+  returns for the same query — zero dropped or incorrect responses;
+* the server's ``/stats`` counters must reconcile exactly with the
+  client-side totals (requests, successes, rows served; no rejects or
+  timeouts at this concurrency).
+
+``--json PATH`` (via ``conftest.bench_main``) writes the machine-readable
+results CI uploads as a ``BENCH_*.json`` artifact.
+
+Run:  PYTHONPATH=src python benchmarks/bench_http_throughput.py [--quick] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Tuple
+
+import pytest
+from conftest import emit
+
+from repro import EndpointConfig, SparqlEndpoint
+from repro.net import HttpSparqlEndpoint, SparqlHttpServer
+from repro.net.wsgi import _percentile
+
+#: Concurrency gate: the server must sustain at least this many clients.
+N_CLIENTS = 8
+
+#: Per-client query mix: scans, joins, aggregation, ASK-shaped traffic.
+QUERIES = [
+    "SELECT ?s WHERE { ?s a dbo:Person } LIMIT 50",
+    "SELECT ?s ?n WHERE { ?s foaf:name ?n } LIMIT 100",
+    "SELECT ?p ?c WHERE { ?p dbo:birthPlace ?c }",
+    "SELECT ?t (COUNT(?s) AS ?n) WHERE { ?s a ?t } GROUP BY ?t ORDER BY DESC(?n) ?t",
+    "SELECT ?b ?k WHERE { ?b dbo:author ?a . ?a dbo:birthPlace ?c . ?c dbo:country ?k }",
+]
+
+
+def row_key(result) -> List[Tuple]:
+    return sorted(
+        tuple(sorted((name, term.n3()) for name, term in row.items()))
+        for row in result.rows
+    )
+
+
+@pytest.fixture(scope="module")
+def stack(tiny_dataset):
+    endpoint = SparqlEndpoint(
+        tiny_dataset.store, EndpointConfig.warehouse(), name="bench-origin"
+    )
+    expected = {query: row_key(endpoint.select(query)) for query in QUERIES}
+    server = SparqlHttpServer(
+        endpoint, max_workers=N_CLIENTS, queue_limit=4 * N_CLIENTS
+    ).start()
+    clients = [
+        HttpSparqlEndpoint(server.url, name=f"client-{i}", timeout_s=30.0)
+        for i in range(N_CLIENTS)
+    ]
+    yield server, clients, expected
+    server.stop()
+
+
+def fetch_stats(server) -> Dict:
+    url = f"http://{server.host}:{server.port}/stats"
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        return json.load(response)
+
+
+def run_round(clients, expected) -> Tuple[List[float], List[str], int]:
+    """One concurrent round: every client runs the full mix.
+
+    Returns (per-request latencies, mismatch descriptions, rows seen).
+    """
+    latencies: List[float] = []
+    mismatches: List[str] = []
+    rows_seen = 0
+
+    def drive(client) -> Tuple[List[float], List[str], int]:
+        local_lat, local_bad, local_rows = [], [], 0
+        for query in QUERIES:
+            started = time.perf_counter()
+            result = client.select(query)
+            local_lat.append(time.perf_counter() - started)
+            local_rows += len(result.rows)
+            if row_key(result) != expected[query]:
+                local_bad.append(f"{client.name}: wrong rows for {query!r}")
+        return local_lat, local_bad, local_rows
+
+    with ThreadPoolExecutor(max_workers=len(clients)) as pool:
+        for local_lat, local_bad, local_rows in pool.map(drive, clients):
+            latencies.extend(local_lat)
+            mismatches.extend(local_bad)
+            rows_seen += local_rows
+    return latencies, mismatches, rows_seen
+
+
+def percentile(sample: List[float], fraction: float) -> float:
+    """Client-side percentiles use the server's nearest-rank helper so
+    the bench and /stats can never disagree on the formula."""
+    return _percentile(sorted(sample), fraction)
+
+
+def test_http_throughput(stack, benchmark):
+    server, clients, expected = stack
+    expected_rows_per_round = sum(len(rows) for rows in expected.values()) * len(clients)
+    requests_per_round = len(clients) * len(QUERIES)
+
+    # -- correctness + reconciliation round (always runs, untimed) -----
+    before = fetch_stats(server)
+    started = time.perf_counter()
+    latencies, mismatches, rows_seen = run_round(clients, expected)
+    elapsed = time.perf_counter() - started
+    after = fetch_stats(server)
+
+    assert mismatches == [], "\n".join(mismatches)
+    assert rows_seen == expected_rows_per_round
+    assert after["requests"] - before["requests"] == requests_per_round
+    assert after["ok"] - before["ok"] == requests_per_round
+    assert after["rejected"] == before["rejected"]
+    assert after["timeouts"] == before["timeouts"]
+    assert after["rows_served"] - before["rows_served"] == expected_rows_per_round
+
+    qps = requests_per_round / elapsed
+    p50_ms = percentile(latencies, 0.50) * 1e3
+    p99_ms = percentile(latencies, 0.99) * 1e3
+
+    # -- timed rounds (pytest-benchmark; a single pass under --quick) --
+    def timed_round():
+        lat, bad, _ = run_round(clients, expected)
+        assert not bad
+        return lat
+
+    benchmark(timed_round)
+
+    emit(
+        f"HTTP throughput — {len(clients)} concurrent clients over loopback",
+        f"requests/round: {requests_per_round} "
+        f"({len(QUERIES)} queries x {len(clients)} clients)\n"
+        f"sustained QPS:  {qps:,.0f}\n"
+        f"latency p50:    {p50_ms:.2f} ms\n"
+        f"latency p99:    {p99_ms:.2f} ms\n"
+        f"rows/round:     {expected_rows_per_round:,}\n"
+        f"server stats:   {after['requests']} requests, "
+        f"{after['rejected']} rejected, {after['timeouts']} timeouts\n"
+        f"gate:           zero mismatches, stats reconciled",
+    )
+
+    json_path = os.environ.get("BENCH_JSON")
+    if json_path:
+        payload = {
+            "benchmark": "http_throughput",
+            "clients": len(clients),
+            "queries_per_client": len(QUERIES),
+            "qps": qps,
+            "latency_ms": {"p50": p50_ms, "p99": p99_ms},
+            "rows_per_round": expected_rows_per_round,
+            "server_stats": after,
+            "gate": {
+                "min_clients": N_CLIENTS,
+                "mismatches": 0,
+                "reconciled": True,
+                "pass": True,
+            },
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nresults written to {json_path}")
+
+
+def test_overload_sheds_load_cleanly(stack):
+    """Past the admission limit the server answers 503 (never hangs or
+    drops the connection), and the counters account for every request."""
+    server, clients, expected = stack
+    tight = SparqlHttpServer(
+        server.app.backend, max_workers=1, queue_limit=1, deadline_s=5.0
+    ).start()
+    try:
+        hammer = [
+            HttpSparqlEndpoint(tight.url, name=f"h{i}", max_retries=0,
+                               timeout_s=30.0)
+            for i in range(2 * N_CLIENTS)
+        ]
+
+        def drive(client) -> str:
+            from repro.endpoint.endpoint import QueryRejected
+
+            try:
+                client.select(QUERIES[2])
+                return "ok"
+            except QueryRejected:
+                return "rejected"
+
+        with ThreadPoolExecutor(max_workers=len(hammer)) as pool:
+            outcomes = list(pool.map(drive, hammer))
+        stats = fetch_stats(tight)
+        # Every request is accounted for: served or cleanly rejected.
+        assert outcomes.count("ok") + outcomes.count("rejected") == len(hammer)
+        assert outcomes.count("ok") >= 1
+        assert stats["ok"] == outcomes.count("ok")
+        assert stats["rejected"] == outcomes.count("rejected")
+        assert stats["requests"] == len(hammer)
+    finally:
+        tight.stop()
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

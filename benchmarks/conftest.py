@@ -13,6 +13,7 @@ harnesses like the user study).
 from __future__ import annotations
 
 import argparse
+import os
 from typing import List, Optional
 
 import pytest
@@ -37,7 +38,13 @@ def bench_main(bench_file: str, argv: Optional[List[str]] = None) -> int:
                         help="single pass, no timing rounds (CI smoke run)")
     parser.add_argument("-k", default=None, metavar="EXPR",
                         help="pytest -k selection expression")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write machine-readable results to PATH "
+                             "(suites that support it, e.g. bench_http_throughput)")
     args = parser.parse_args(argv)
+    if args.json:
+        # The suite runs inside pytest; the path travels via environment.
+        os.environ["BENCH_JSON"] = os.path.abspath(args.json)
     pytest_args = [bench_file, "-q"]
     if args.quick:
         pytest_args.append("--benchmark-disable")

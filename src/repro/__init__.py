@@ -49,6 +49,7 @@ from .core.sapphire import QueryBuilder, QueryOutcome, SapphireServer
 from .data.generator import DatasetConfig, SyntheticDataset, build_dataset
 from .endpoint.endpoint import EndpointConfig, SparqlEndpoint
 from .federation.fedx import FederatedQueryProcessor
+from .net import HttpSparqlEndpoint, SparqlHttpServer
 from .rdf import IRI, BlankNode, Literal, Triple, TriplePattern, Variable
 from .sparql import evaluate, parse_query
 from .store import MemoryBackend, SQLiteBackend, TermDictionary, TripleStore
@@ -76,6 +77,8 @@ __all__ = [
     "SparqlEndpoint",
     "EndpointConfig",
     "FederatedQueryProcessor",
+    "SparqlHttpServer",
+    "HttpSparqlEndpoint",
     "TripleStore",
     "TermDictionary",
     "MemoryBackend",

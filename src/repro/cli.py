@@ -8,6 +8,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro.cli table1                # the Table 1 comparison
     python -m repro.cli study --participants 8
     python -m repro.cli init --save cache.json
+    python -m repro.cli serve --port 8890    # SPARQL 1.1 Protocol endpoint
 
 All commands stand up the synthetic dataset behind a simulated endpoint
 (``--scale tiny|small|medium``, ``--seed N``) and run Section 5
@@ -73,6 +74,29 @@ def build_parser() -> argparse.ArgumentParser:
     init = commands.add_parser("init", help="initialize and optionally save the cache")
     init.add_argument("--save", metavar="PATH", default=None,
                       help="write the cache to PATH as JSON")
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the dataset over HTTP (SPARQL 1.1 Protocol)",
+        description="Expose the synthetic dataset's endpoint at "
+                    "http://HOST:PORT/sparql, with /health and /stats. "
+                    "GET ?query= and both POST forms are accepted; results "
+                    "negotiate between JSON, XML, CSV and TSV.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8890,
+                       help="bind port, 0 for ephemeral (default: 8890)")
+    serve.add_argument("--max-workers", type=int, default=8,
+                       help="concurrent query executions (default: 8)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="requests allowed to wait for a worker before "
+                            "503s start (default: 16)")
+    serve.add_argument("--timeout-s", type=float, default=2.0,
+                       help="endpoint query timeout in seconds (default: 2.0)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="bind, print the URL, and exit without serving "
+                            "(used by CI)")
     return parser
 
 
@@ -185,6 +209,39 @@ def _cmd_init(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .net import SparqlHttpServer
+
+    dataset = build_dataset(_SCALES[args.scale](seed=args.seed))
+    endpoint = SparqlEndpoint(
+        dataset.store,
+        EndpointConfig(timeout_s=args.timeout_s),
+        name=f"dbpedia-{args.scale}",
+    )
+    server = SparqlHttpServer(
+        endpoint,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        queue_limit=args.queue_limit,
+    )
+    print(f"dataset: {len(dataset.store):,} triples ({args.scale}, seed {args.seed})")
+    print(f"endpoint: {server.url}")
+    print(f"health:   http://{server.host}:{server.port}/health")
+    print(f"stats:    http://{server.host}:{server.port}/stats")
+    if args.smoke:
+        server.stop()
+        return 0
+    print("serving — Ctrl+C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "complete": _cmd_complete,
@@ -193,6 +250,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "study": _cmd_study,
     "init": _cmd_init,
+    "serve": _cmd_serve,
 }
 
 

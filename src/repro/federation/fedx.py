@@ -21,6 +21,7 @@ mediator by reusing the local evaluator's pipeline.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..endpoint.endpoint import EndpointError, SparqlEndpoint
@@ -47,13 +48,25 @@ def _pattern_signature(pattern: TriplePattern) -> Tuple:
 
 
 class FederatedQueryProcessor:
-    """Evaluates SPARQL queries across a federation of endpoints."""
+    """Evaluates SPARQL queries across a federation of endpoints.
+
+    Members need only the endpoint query surface (``select``/``ask``
+    raising :class:`EndpointError` subclasses) — in-process
+    :class:`SparqlEndpoint` instances and network-backed
+    :class:`~repro.net.client.HttpSparqlEndpoint` instances mix freely.
+
+    Thread-safe source selection: the HTTP server evaluates federated
+    queries from many handler threads at once, so the pattern-source
+    cache is guarded by a lock (probes run outside it — a duplicated
+    probe is cheaper than serializing all endpoints' probes).
+    """
 
     def __init__(self, endpoints: Sequence[SparqlEndpoint]) -> None:
         if not endpoints:
             raise ValueError("a federation needs at least one endpoint")
         self.endpoints = list(endpoints)
         self._source_cache: Dict[Tuple, List[SparqlEndpoint]] = {}
+        self._cache_lock = threading.Lock()
         # The mediator pipeline (aggregation, ordering, projection) comes
         # from the local evaluator; it never touches this empty store.
         self._mediator = QueryEvaluator(TripleStore())
@@ -87,7 +100,8 @@ class FederatedQueryProcessor:
         return self._evaluate(parsed)
 
     def invalidate_source_cache(self) -> None:
-        self._source_cache.clear()
+        with self._cache_lock:
+            self._source_cache.clear()
 
     # ------------------------------------------------------------------
     # Source selection
@@ -96,7 +110,8 @@ class FederatedQueryProcessor:
     def relevant_sources(self, pattern: TriplePattern) -> List[SparqlEndpoint]:
         """Endpoints that may hold matches for ``pattern`` (ASK probes)."""
         signature = _pattern_signature(pattern)
-        cached = self._source_cache.get(signature)
+        with self._cache_lock:
+            cached = self._source_cache.get(signature)
         if cached is not None:
             return cached
         probe = ask_query([_generalize(pattern)])
@@ -109,8 +124,10 @@ class FederatedQueryProcessor:
                 # An endpoint that cannot answer the probe stays a
                 # candidate: dropping it could lose answers.
                 relevant.append(endpoint)
-        self._source_cache[signature] = relevant
-        return relevant
+        with self._cache_lock:
+            # Two threads may have probed the same signature; the first
+            # write wins so every caller sees one stable source list.
+            return self._source_cache.setdefault(signature, relevant)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -1,0 +1,54 @@
+"""SPARQL 1.1 Protocol over the network: HTTP server, wire formats, client.
+
+The paper's Sapphire talks to *real* remote endpoints (DBpedia's
+``/sparql`` and friends).  This package is the network layer that makes
+the reproduction do the same, stdlib-only:
+
+* :mod:`repro.net.formats` — SPARQL Results JSON/XML/CSV/TSV writers and
+  a JSON parser, plus Accept-header content negotiation;
+* :mod:`repro.net.wsgi` — the protocol logic as a WSGI app with
+  admission control (bounded workers, bounded queue → 503; deadlines →
+  504) and ``/health`` + ``/stats`` observability;
+* :mod:`repro.net.server` — a ``ThreadingHTTPServer`` harness binding
+  the app to a socket (``repro serve`` uses it);
+* :mod:`repro.net.client` — :class:`HttpSparqlEndpoint`, a drop-in
+  endpoint whose queries go over the wire, so the federation engine
+  federates live HTTP endpoints unchanged.
+"""
+
+from .client import HttpSparqlEndpoint
+from .formats import (
+    MIME_CSV,
+    MIME_JSON,
+    MIME_TSV,
+    MIME_XML,
+    FormatError,
+    NotAcceptable,
+    negotiate,
+    parse_json,
+    write_csv,
+    write_json,
+    write_tsv,
+    write_xml,
+)
+from .server import SparqlHttpServer
+from .wsgi import ServerStats, SparqlWsgiApp
+
+__all__ = [
+    "HttpSparqlEndpoint",
+    "SparqlHttpServer",
+    "SparqlWsgiApp",
+    "ServerStats",
+    "FormatError",
+    "NotAcceptable",
+    "negotiate",
+    "parse_json",
+    "write_json",
+    "write_xml",
+    "write_csv",
+    "write_tsv",
+    "MIME_JSON",
+    "MIME_XML",
+    "MIME_CSV",
+    "MIME_TSV",
+]

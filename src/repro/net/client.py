@@ -1,0 +1,250 @@
+"""HTTP client endpoint speaking the SPARQL 1.1 Protocol.
+
+:class:`HttpSparqlEndpoint` presents the exact query surface of the
+in-process :class:`~repro.endpoint.endpoint.SparqlEndpoint` —
+``select``/``ask`` accepting text or a parsed AST, a ``log`` of
+:class:`~repro.endpoint.endpoint.QueryLogEntry`, ``query_count`` /
+``timeout_count`` / ``reset_log`` — but executes every query against a
+remote endpoint over HTTP.  Because the surface matches, a
+:class:`~repro.federation.fedx.FederatedQueryProcessor` built over
+``HttpSparqlEndpoint`` instances federates over live network endpoints
+with no code changes: source-selection ASK probes, exclusive groups and
+bound joins all go over the wire.
+
+Failure mapping keeps the endpoint error hierarchy intact:
+
+* HTTP **503** (overload/admission control) → retried with capped
+  exponential backoff + jitter, then :class:`QueryRejected`;
+* HTTP **504** (endpoint killed the query) → :class:`EndpointTimeout`
+  immediately — a query that exhausts the remote budget once will do it
+  again, so retrying only adds load;
+* HTTP **400** → :class:`~repro.sparql.errors.SparqlError`;
+* client-side read timeout → :class:`EndpointTimeout`, not retried (the
+  query would just burn the same budget again);
+* connection failures → retried, then :class:`EndpointError`.
+
+Results travel as SPARQL Results JSON and are parsed back into the
+library's result containers, so rows coming off the wire are
+indistinguishable from rows produced in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import List, Optional, Union
+
+from ..endpoint.endpoint import (
+    EndpointError,
+    EndpointTimeout,
+    QueryLogEntry,
+    QueryRejected,
+)
+from ..sparql.ast_nodes import Query
+from ..sparql.errors import SparqlError
+from ..sparql.results import AskResult, SelectResult
+from ..sparql.serializer import serialize_query
+from .formats import MIME_JSON, FormatError, parse_json
+from .wsgi import MIME_FORM
+
+__all__ = ["HttpSparqlEndpoint"]
+
+
+class HttpSparqlEndpoint:
+    """A remote SPARQL endpoint reached over the SPARQL 1.1 Protocol.
+
+    Drop-in replacement for :class:`SparqlEndpoint` wherever only the
+    query surface is used (the federation, initialization probes).
+
+    ``max_retries`` bounds *re*-tries after the first attempt; backoff
+    doubles from ``backoff_s`` up to ``backoff_cap_s`` with full jitter.
+    Pass a seeded ``random.Random`` as ``rng`` for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        name: Optional[str] = None,
+        *,
+        timeout_s: float = 30.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.url = url
+        self.name = name or urllib.parse.urlsplit(url).netloc or url
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = rng or random.Random()
+        self.log: List[QueryLogEntry] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Endpoint query surface (mirrors SparqlEndpoint)
+    # ------------------------------------------------------------------
+
+    def select(self, query: Union[str, Query]) -> SelectResult:
+        """Run a SELECT query remotely; raises on timeout/rejection."""
+        result = self._run(query)
+        if not isinstance(result, SelectResult):
+            raise SparqlError("expected a SELECT query")
+        return result
+
+    def ask(self, query: Union[str, Query]) -> AskResult:
+        """Run an ASK query remotely; raises on timeout/rejection."""
+        result = self._run(query)
+        if not isinstance(result, AskResult):
+            raise SparqlError("expected an ASK query")
+        return result
+
+    @property
+    def query_count(self) -> int:
+        return len(self.log)
+
+    @property
+    def timeout_count(self) -> int:
+        return sum(1 for entry in self.log if entry.outcome == "timeout")
+
+    def reset_log(self) -> None:
+        with self._lock:
+            self.log.clear()
+
+    # ------------------------------------------------------------------
+    # Wire protocol
+    # ------------------------------------------------------------------
+
+    def _run(self, query: Union[str, Query]) -> Union[SelectResult, AskResult]:
+        text = query if isinstance(query, str) else serialize_query(query)
+        started = time.perf_counter()
+        attempt = 0
+        while True:
+            try:
+                result = self._post(text)
+            except _Retryable as failure:
+                if attempt >= self.max_retries:
+                    self._record(text, failure.outcome, started)
+                    raise failure.error from None
+                self._sleep(attempt)
+                attempt += 1
+                continue
+            except EndpointTimeout:
+                self._record(text, "timeout", started)
+                raise
+            except (EndpointError, SparqlError):
+                self._record(text, "error", started)
+                raise
+            rows = len(result.rows) if isinstance(result, SelectResult) else 0
+            truncated = getattr(result, "truncated", False)
+            self._record(text, "ok", started, rows=rows, truncated=truncated)
+            return result
+
+    def _post(self, text: str) -> Union[SelectResult, AskResult]:
+        body = urllib.parse.urlencode({"query": text}).encode("utf-8")
+        request = urllib.request.Request(
+            self.url,
+            data=body,
+            headers={
+                "Content-Type": MIME_FORM,
+                "Accept": MIME_JSON,
+                "User-Agent": "sapphire-repro-client/1.0",
+            },
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                payload = response.read()
+                truncated = response.headers.get("X-Result-Truncated") == "true"
+        except urllib.error.HTTPError as exc:
+            raise self._map_http_error(exc) from None
+        except TimeoutError as exc:
+            # The query outlived our read timeout; retrying would re-run
+            # it and burn the same budget again — same policy as a 504.
+            raise EndpointTimeout(
+                f"{self.name}: no response within {self.timeout_s}s: {exc}"
+            ) from None
+        except urllib.error.URLError as exc:
+            if isinstance(exc.reason, TimeoutError):
+                raise EndpointTimeout(
+                    f"{self.name}: no response within {self.timeout_s}s: {exc.reason}"
+                ) from None
+            raise _Retryable(
+                EndpointError(f"{self.name}: connection failed: {exc}"),
+                outcome="error",
+            ) from None
+        except ConnectionError as exc:
+            raise _Retryable(
+                EndpointError(f"{self.name}: connection failed: {exc}"),
+                outcome="error",
+            ) from None
+        try:
+            result = parse_json(payload)
+        except FormatError as exc:
+            raise EndpointError(f"{self.name}: unparseable response: {exc}") from None
+        if truncated and isinstance(result, SelectResult):
+            result.truncated = True
+        return result
+
+    def _map_http_error(self, exc: urllib.error.HTTPError) -> Exception:
+        detail = _error_detail(exc)
+        if exc.code == 503:
+            return _Retryable(
+                QueryRejected(f"{self.name}: rejected (503): {detail}"),
+                outcome="rejected",
+            )
+        if exc.code == 504:
+            return EndpointTimeout(f"{self.name}: remote timeout (504): {detail}")
+        if exc.code == 400:
+            return SparqlError(f"{self.name}: bad query (400): {detail}")
+        return EndpointError(f"{self.name}: HTTP {exc.code}: {detail}")
+
+    def _sleep(self, attempt: int) -> None:
+        """Full-jitter exponential backoff, capped."""
+        ceiling = min(self.backoff_cap_s, self.backoff_s * (2 ** attempt))
+        time.sleep(self._rng.uniform(0, ceiling))
+
+    def _record(
+        self,
+        text: str,
+        outcome: str,
+        started: float,
+        rows: int = 0,
+        truncated: bool = False,
+    ) -> None:
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self.log.append(
+                QueryLogEntry(
+                    query=text,
+                    outcome=outcome,
+                    cost=0,  # remote cost is invisible to the client
+                    simulated_seconds=elapsed,
+                    rows=rows,
+                    truncated=truncated,
+                )
+            )
+
+
+class _Retryable(Exception):
+    """Internal: a failure worth retrying, wrapping the terminal error."""
+
+    def __init__(self, error: Exception, outcome: str) -> None:
+        super().__init__(str(error))
+        self.error = error
+        self.outcome = outcome
+
+
+def _error_detail(exc: urllib.error.HTTPError) -> str:
+    """Best-effort extraction of the server's JSON error message."""
+    try:
+        document = json.loads(exc.read().decode("utf-8", "replace"))
+        return str(document["error"]["message"])
+    except Exception:  # noqa: BLE001 - any malformed body falls through
+        return exc.reason if isinstance(exc.reason, str) else str(exc.reason)

@@ -1,0 +1,230 @@
+"""Threaded stdlib HTTP server for the SPARQL 1.1 Protocol.
+
+:class:`SparqlHttpServer` binds a :class:`~repro.net.wsgi.SparqlWsgiApp`
+to a real socket using ``http.server.ThreadingHTTPServer`` — one thread
+per connection, admission control inside the app bounding actual query
+concurrency.  It is the piece that turns any in-process
+:class:`~repro.endpoint.endpoint.SparqlEndpoint` (or a whole federation)
+into something DBpedia-shaped: reachable over the network, guarded by
+queue limits and deadlines, and observable through ``/health`` and
+``/stats``.
+
+Typical use::
+
+    endpoint = SparqlEndpoint(store, EndpointConfig(timeout_s=1.0))
+    with SparqlHttpServer(endpoint, port=0) as server:   # ephemeral port
+        client = HttpSparqlEndpoint(server.url)
+        rows = client.select("SELECT * WHERE { ?s ?p ?o } LIMIT 5").rows
+
+``port=0`` asks the kernel for an ephemeral port (read it back from
+``server.port``) so tests and benchmarks never collide.  For the
+blocking form used by ``repro serve``, call :meth:`serve_forever`.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .wsgi import SparqlWsgiApp
+
+__all__ = ["SparqlHttpServer"]
+
+#: Most bytes we will read-and-discard to deliver a 413 to a client that
+#: overshot ``max_query_bytes``; claims beyond this get the socket closed.
+_DRAIN_CAP = 64 * 1024 * 1024
+
+
+class _WsgiRequestHandler(BaseHTTPRequestHandler):
+    """Adapts one HTTP request into a WSGI call on the server's app."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "SapphireSparql/1.0"
+
+    # The app is attached to the server object by SparqlHttpServer.
+    def _dispatch(self) -> None:
+        app: SparqlWsgiApp = self.server.wsgi_app  # type: ignore[attr-defined]
+        path, _, query_string = self.path.partition("?")
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        # Never buffer an oversized body: pass the claimed length through
+        # unread and let the app's max_query_bytes check answer 413 —
+        # memory stays bounded no matter what Content-Length claims.
+        if length <= app.max_query_bytes:
+            body = self.rfile.read(length) if length else b""
+        else:
+            # Drain-and-discard in bounded chunks: if the client is still
+            # blocked sending when we respond, the close RSTs the socket
+            # and the 413 never arrives (the client would see a broken
+            # pipe and retry the whole upload).  Truly absurd claims are
+            # cut off at _DRAIN_CAP and the connection dropped instead.
+            remaining = min(length, _DRAIN_CAP)
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            body = b""
+            # The body may be only partially drained (_DRAIN_CAP); the
+            # connection cannot carry another request.
+            self.close_connection = True
+        environ = {
+            "REQUEST_METHOD": self.command,
+            "PATH_INFO": path,
+            "QUERY_STRING": query_string,
+            "CONTENT_TYPE": self.headers.get("Content-Type", ""),
+            "CONTENT_LENGTH": str(length),
+            "HTTP_ACCEPT": self.headers.get("Accept", ""),
+            "wsgi.input": io.BytesIO(body),
+        }
+
+        responded = False
+
+        def start_response(status_line: str, headers) -> None:
+            nonlocal responded
+            responded = True
+            code, _, _ = status_line.partition(" ")
+            self.send_response_only(int(code))
+            for name, value in headers:
+                self.send_header(name, value)
+
+        chunks = app(environ, start_response)
+        payload = b"".join(chunks)
+        if not responded:  # pragma: no cover - app always responds
+            self.send_response_only(500)
+            payload = b""
+            self.close_connection = True
+        # Every response carries Content-Length, so HTTP/1.1 keep-alive
+        # works on the normal path (the federation issues many small
+        # requests; per-query TCP setup would dominate).
+        self.end_headers()
+        if payload:
+            self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # Loopback benchmarks churn through many short-lived client sockets;
+    # without this, TIME_WAIT from a previous run can block the bind.
+    allow_reuse_address = True
+
+
+class SparqlHttpServer:
+    """A SPARQL 1.1 Protocol endpoint served over HTTP.
+
+    Parameters mirror :class:`~repro.net.wsgi.SparqlWsgiApp`:
+    ``max_workers`` bounds concurrent query execution, ``queue_limit``
+    bounds requests waiting for a worker (beyond it: 503), and
+    ``deadline_s`` (default: the wrapped endpoint's
+    ``EndpointConfig.timeout_s``) caps queue wait.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_workers: int = 8,
+        queue_limit: int = 16,
+        deadline_s: Optional[float] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.app = SparqlWsgiApp(
+            backend,
+            max_workers=max_workers,
+            queue_limit=queue_limit,
+            deadline_s=deadline_s,
+        )
+        self._httpd = _Server((host, port), _WsgiRequestHandler)
+        self._httpd.wsgi_app = self.app  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The query endpoint URL clients should talk to."""
+        return f"http://{self.host}:{self.port}/sparql"
+
+    @property
+    def stats(self):
+        """Live serving counters (same data ``/stats`` returns)."""
+        return self.app.stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "SparqlHttpServer":
+        """Serve in a background daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("server is already running")
+        if self._closed:
+            raise RuntimeError(
+                "server socket is closed (stop() was called); "
+                "build a new SparqlHttpServer to serve again")
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"sparql-http-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        if self._closed:
+            raise RuntimeError(
+                "server socket is closed (stop() was called); "
+                "build a new SparqlHttpServer to serve again")
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._closed = True
+        if self._serving:
+            # shutdown() blocks on the serve_forever loop acknowledging;
+            # calling it on a server that never served would hang.
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "SparqlHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,406 @@
+"""WSGI application implementing the SPARQL 1.1 Protocol.
+
+The protocol logic lives here, framework-free, so the same application
+object runs under the bundled :class:`~repro.net.server.SparqlHttpServer`
+(stdlib ``ThreadingHTTPServer``), under ``wsgiref``, or under any
+production WSGI container.
+
+Routes
+------
+
+``GET  /sparql?query=...``          — query via query string
+``POST /sparql`` (url-encoded)      — query via ``query=`` form field
+``POST /sparql`` (sparql-query)     — raw query text as the request body
+``GET  /health``                    — liveness probe (JSON)
+``GET  /stats``                     — serving counters (JSON)
+
+``/`` is an alias for ``/sparql`` so a bare endpoint URL works.
+
+Admission control
+-----------------
+
+A bounded worker pool (``max_workers`` concurrent queries) with a
+bounded wait queue (``queue_limit``): when all workers are busy and the
+queue is full, the request is rejected immediately with **503** — the
+same shape public endpoints like DBpedia present under load, and the
+behaviour :class:`~repro.net.client.HttpSparqlEndpoint` retries with
+jitter.  A query the backend kills for exceeding its timeout budget
+surfaces as **504** with a JSON error body.  Both outcomes are counted
+in ``/stats`` so a load test can reconcile client and server totals.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from urllib.parse import parse_qs
+
+from ..endpoint.endpoint import EndpointTimeout, QueryRejected
+from ..sparql.ast_nodes import Query
+from ..sparql.errors import SparqlError
+from ..sparql.parser import parse_query
+from ..sparql.results import SelectResult
+from .formats import NotAcceptable, negotiate
+
+__all__ = ["ServerStats", "SparqlWsgiApp"]
+
+StartResponse = Callable[..., None]
+
+#: Media type for SPARQL queries shipped as a raw POST body.
+MIME_SPARQL_QUERY = "application/sparql-query"
+MIME_FORM = "application/x-www-form-urlencoded"
+
+_STATUS_LINES = {
+    200: "200 OK",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    406: "406 Not Acceptable",
+    413: "413 Payload Too Large",
+    415: "415 Unsupported Media Type",
+    500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
+    504: "504 Gateway Timeout",
+}
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    # Nearest-rank: ceil(f*n)-1, clamped — int(f*n) would float one rank
+    # high (p50 of [1,2,3,4] must be 2, and p99 of 100 is not the max).
+    rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
+    return sorted_values[min(len(sorted_values) - 1, rank)]
+
+
+class ServerStats:
+    """Thread-safe serving counters plus a bounded latency reservoir.
+
+    The latency percentiles cover **served (200) queries only** —
+    mixing in microsecond 503 rejects would collapse p50 toward zero
+    exactly when the server is overloaded and the numbers matter.
+    """
+
+    def __init__(self, reservoir_size: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._reservoir_size = reservoir_size
+        self.requests = 0          # protocol requests (queries), any outcome
+        self.ok = 0                # 200 responses
+        self.rejected = 0          # 503 responses (overload / admission)
+        self.timeouts = 0          # 504 responses
+        self.client_errors = 0     # 4xx other than 503/504
+        self.server_errors = 0     # 5xx other than 503/504
+        self.rows_served = 0       # result rows across all 200 SELECTs
+        self._latencies: List[float] = []
+
+    def record(self, status: int, seconds: float, rows: int = 0) -> None:
+        with self._lock:
+            self.requests += 1
+            if status == 200:
+                self.ok += 1
+                self.rows_served += rows
+                self._latencies.append(seconds)
+                if len(self._latencies) > self._reservoir_size:
+                    # Drop the oldest half so recent traffic dominates.
+                    del self._latencies[: self._reservoir_size // 2]
+            elif status == 503:
+                self.rejected += 1
+            elif status == 504:
+                self.timeouts += 1
+            elif 400 <= status < 500:
+                self.client_errors += 1
+            else:
+                self.server_errors += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            sample = sorted(self._latencies)
+            return {
+                "requests": self.requests,
+                "ok": self.ok,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "client_errors": self.client_errors,
+                "server_errors": self.server_errors,
+                "rows_served": self.rows_served,
+                "latency_p50_ms": round(_percentile(sample, 0.50) * 1e3, 3),
+                "latency_p99_ms": round(_percentile(sample, 0.99) * 1e3, 3),
+            }
+
+
+class SparqlWsgiApp:
+    """WSGI callable speaking the SPARQL 1.1 Protocol for one backend.
+
+    ``backend`` is anything with the endpoint query surface: a
+    :class:`~repro.endpoint.endpoint.SparqlEndpoint`, a
+    :class:`~repro.federation.fedx.FederatedQueryProcessor`, or a
+    :class:`~repro.core.sapphire.SapphireServer` (served through its
+    federation).  Parsed queries are dispatched to ``select``/``ask`` by
+    form, or to ``run`` when the backend offers it.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        max_workers: int = 8,
+        queue_limit: int = 16,
+        deadline_s: Optional[float] = None,
+        max_query_bytes: int = 256 * 1024,
+    ) -> None:
+        # A SapphireServer fronts its endpoints with a federation; serve that.
+        federation = getattr(backend, "federation", None)
+        self.backend = federation if federation is not None else backend
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.max_workers = max_workers
+        self.queue_limit = queue_limit
+        if deadline_s is None:
+            deadline_s = _default_deadline(self.backend)
+        if deadline_s is not None and deadline_s == float("inf"):
+            deadline_s = None
+        self.deadline_s = deadline_s
+        self.max_query_bytes = max_query_bytes
+        self.stats = ServerStats()
+        self._workers = threading.BoundedSemaphore(max_workers)
+        self._queue_lock = threading.Lock()
+        self._queued = 0
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    # WSGI entry point
+    # ------------------------------------------------------------------
+
+    def __call__(self, environ, start_response: StartResponse) -> Iterable[bytes]:
+        path = environ.get("PATH_INFO", "/") or "/"
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+
+        if path == "/health":
+            return self._json_response(start_response, 200, {
+                "status": "ok",
+                "in_flight": self._in_flight,
+                "queued": self._queued,
+                "max_workers": self.max_workers,
+                "queue_limit": self.queue_limit,
+            })
+        if path == "/stats":
+            body = self.stats.snapshot()
+            body["in_flight"] = self._in_flight
+            body["queued"] = self._queued
+            body["max_workers"] = self.max_workers
+            body["queue_limit"] = self.queue_limit
+            return self._json_response(start_response, 200, body)
+        if path not in ("/", "/sparql"):
+            return self._error(start_response, 404, f"no such resource: {path}")
+        if method not in ("GET", "POST"):
+            return self._error(start_response, 405,
+                               "use GET ?query= or POST a query",
+                               extra_headers=[("Allow", "GET, POST")])
+
+        started = time.perf_counter()
+        status, headers, payload, rows = self._handle_query(environ, method)
+        elapsed = time.perf_counter() - started
+        self.stats.record(status, elapsed, rows=rows)
+        headers.setdefault("Content-Length", str(len(payload)))
+        start_response(_STATUS_LINES[status], list(headers.items()))
+        return [payload]
+
+    # ------------------------------------------------------------------
+    # Query handling
+    # ------------------------------------------------------------------
+
+    def _handle_query(
+        self, environ, method: str
+    ) -> Tuple[int, Dict[str, str], bytes, int]:
+        try:
+            text = self._extract_query(environ, method)
+        except _HttpFail as fail:
+            return _failure(fail.status, str(fail))
+        if text is None:
+            return _failure(400, "missing required 'query' parameter")
+
+        try:
+            mime, writer = negotiate(environ.get("HTTP_ACCEPT"))
+        except NotAcceptable as exc:
+            return _failure(406, str(exc))
+
+        try:
+            parsed = parse_query(text)
+        except SparqlError as exc:
+            return _failure(400, f"parse error: {exc}")
+
+        admitted, queued_s = self._admit()
+        if not admitted:
+            return _failure(
+                503, "server overloaded: worker pool and queue are full")
+        try:
+            if self.deadline_s is not None and queued_s >= self.deadline_s:
+                return _failure(
+                    503, f"queued {queued_s:.2f}s, past the "
+                         f"{self.deadline_s:.2f}s deadline")
+            with self._queue_lock:
+                self._in_flight += 1
+            try:
+                result = self._execute(parsed)
+            finally:
+                with self._queue_lock:
+                    self._in_flight -= 1
+        except QueryRejected as exc:
+            return _failure(503, str(exc))
+        except EndpointTimeout as exc:
+            return _failure(504, str(exc))
+        except SparqlError as exc:
+            return _failure(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — a handler must not crash the server
+            return _failure(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            self._workers.release()
+
+        try:
+            payload = writer(result).encode("utf-8")
+        except Exception as exc:  # noqa: BLE001 — malformed backend result
+            return _failure(500, f"result serialization failed: "
+                                 f"{type(exc).__name__}: {exc}")
+        headers = {"Content-Type": f"{mime}; charset=utf-8"}
+        rows = 0
+        if isinstance(result, SelectResult):
+            rows = len(result.rows)
+            if result.truncated:
+                # The W3C result formats carry no truncation marker, but
+                # the endpoint's row cap must stay visible to clients —
+                # HttpSparqlEndpoint restores the flag from this header.
+                headers["X-Result-Truncated"] = "true"
+        return 200, headers, payload, rows
+
+    def _extract_query(self, environ, method: str) -> Optional[str]:
+        if method == "GET":
+            params = parse_qs(environ.get("QUERY_STRING", ""))
+            values = params.get("query")
+            return values[0] if values else None
+
+        content_type = (environ.get("CONTENT_TYPE") or "").split(";")[0].strip().lower()
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > self.max_query_bytes:
+            raise _HttpFail(413, f"request body exceeds {self.max_query_bytes} bytes")
+        body = environ["wsgi.input"].read(length) if length else b""
+        try:
+            decoded = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise _HttpFail(400, f"request body is not valid UTF-8: {exc}") from exc
+        if content_type == MIME_SPARQL_QUERY:
+            return decoded or None
+        if content_type in (MIME_FORM, ""):
+            params = parse_qs(decoded)
+            values = params.get("query")
+            return values[0] if values else None
+        raise _HttpFail(
+            415, f"unsupported Content-Type {content_type!r}: "
+                 f"use {MIME_FORM} or {MIME_SPARQL_QUERY}")
+
+    def _admit(self) -> Tuple[bool, float]:
+        """Try to claim a worker slot; returns (admitted, seconds queued)."""
+        if self._workers.acquire(blocking=False):
+            return True, 0.0
+        with self._queue_lock:
+            if self._queued >= self.queue_limit:
+                return False, 0.0
+            self._queued += 1
+        started = time.perf_counter()
+        try:
+            # Cap the queue wait at the request deadline: waiting longer
+            # can only produce a response the client has given up on.
+            admitted = self._workers.acquire(timeout=self.deadline_s)
+        finally:
+            with self._queue_lock:
+                self._queued -= 1
+        return admitted, time.perf_counter() - started
+
+    def _execute(self, parsed: Query):
+        backend = self.backend
+        # FederatedQueryProcessor.select()/ask() only take query text,
+        # but its run() accepts a parsed AST; endpoints take both.
+        run = getattr(backend, "run", None)
+        if run is not None:
+            return run(parsed)
+        if parsed.form == "ASK":
+            return backend.ask(parsed)
+        return backend.select(parsed)
+
+    # ------------------------------------------------------------------
+    # Response helpers
+    # ------------------------------------------------------------------
+
+    def _json_response(self, start_response: StartResponse, status: int,
+                       body: Dict[str, object]) -> Iterable[bytes]:
+        payload = json.dumps(body).encode("utf-8")
+        start_response(_STATUS_LINES[status], list(_json_headers(len(payload)).items()))
+        return [payload]
+
+    def _error(self, start_response: StartResponse, status: int, message: str,
+               extra_headers: Optional[List[Tuple[str, str]]] = None) -> Iterable[bytes]:
+        payload = _error_body(status, message)
+        headers = list(_json_headers(len(payload)).items()) + (extra_headers or [])
+        start_response(_STATUS_LINES[status], headers)
+        return [payload]
+
+
+def _default_deadline(backend) -> Optional[float]:
+    """A request deadline inferred from the backend's endpoint config(s).
+
+    A bare endpoint contributes its own ``EndpointConfig.timeout_s``; a
+    federation contributes the largest member timeout (one federated
+    query fans out into several sub-queries, so any single member's
+    budget is a floor, not a cap).  Returns None when nothing is
+    configured — queue waits are then unbounded by deadline.
+    """
+    timeout = getattr(getattr(backend, "config", None), "timeout_s", None)
+    if isinstance(timeout, (int, float)):
+        return float(timeout)
+    member_timeouts = [
+        getattr(getattr(member, "config", None), "timeout_s", None)
+        for member in getattr(backend, "endpoints", None) or ()
+    ]
+    member_timeouts = [t for t in member_timeouts if isinstance(t, (int, float))]
+    if member_timeouts:
+        return float(max(member_timeouts))
+    return None
+
+
+class _HttpFail(Exception):
+    """Internal: abort request processing with a specific HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _json_headers(length: Optional[int] = None,
+                  retry_after: bool = False) -> Dict[str, str]:
+    headers = {"Content-Type": "application/json; charset=utf-8"}
+    if length is not None:
+        headers["Content-Length"] = str(length)
+    if retry_after:
+        headers["Retry-After"] = "1"
+    return headers
+
+
+def _failure(status: int, message: str) -> Tuple[int, Dict[str, str], bytes, int]:
+    """A finished error response as the ``_handle_query`` result tuple."""
+    return status, _json_headers(retry_after=status == 503), _error_body(
+        status, message), 0
+
+
+def _error_body(status: int, message: str) -> bytes:
+    """The JSON error document used for every non-200 response."""
+    return json.dumps(
+        {"error": {"status": status, "message": message}}
+    ).encode("utf-8")

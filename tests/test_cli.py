@@ -66,3 +66,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 8" in out
         assert "QSM usage" in out
+
+    def test_serve_smoke(self, capsys):
+        assert main(["serve", "--port", "0", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "/sparql" in out
+        assert "/stats" in out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8890
+        assert args.max_workers == 8
+        assert args.queue_limit == 16
