@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--max-rows", type=int, default=20)
     query.add_argument("--explain", action="store_true",
                        help="print the query plan before the answers")
+    query.add_argument("--format", choices=("table", "json", "csv", "tsv", "xml"),
+                       default="table",
+                       help="result format: the human table (default) or a "
+                            "W3C SPARQL results serialization (machine "
+                            "formats imply --no-suggest)")
 
     explain = commands.add_parser(
         "explain", help="show the query plan without executing the query"
@@ -147,12 +152,36 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+#: Machine formats reuse the SPARQL 1.1 Protocol writers from
+#: :mod:`repro.net.formats` — the CLI and the HTTP server can never
+#: disagree on a serialization.
+_RESULT_WRITERS = {
+    "json": "write_json",
+    "csv": "write_csv",
+    "tsv": "write_tsv",
+    "xml": "write_xml",
+}
+
+
 def _cmd_query(args) -> int:
     server, _ = _make_server(args)
+    machine_format = args.format != "table"
     if args.explain:
-        print(server.explain(args.sparql))
-        print()
-    outcome = server.run_query(args.sparql, suggest=not args.no_suggest)
+        # With a machine format on stdout the plan goes to stderr so
+        # the JSON/CSV/TSV/XML stream stays parseable.
+        stream = sys.stderr if machine_format else sys.stdout
+        print(server.explain(args.sparql), file=stream)
+        print(file=stream)
+    outcome = server.run_query(
+        args.sparql, suggest=not (args.no_suggest or machine_format)
+    )
+    if machine_format:
+        from .net import formats
+
+        writer = getattr(formats, _RESULT_WRITERS[args.format])
+        rendered = writer(outcome.answers)
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+        return 0 if outcome.answers.rows else 1
     print(f"{len(outcome.answers)} answers")
     from .core.answer_table import AnswerTable
 

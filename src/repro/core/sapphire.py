@@ -389,7 +389,10 @@ class SapphireServer:
         Debugging surface for the planner (``docs/query-planning.md``):
         each registered endpoint reports how its evaluator would run the
         query — operator tree, cardinality estimates, pushed filters,
-        or the backtracking fallback.
+        or the backtracking fallback.  With more than one endpoint the
+        federated plan follows: source-selection verdicts plus the
+        remote operator tree the mediator will actually execute
+        (``server.run_query`` always goes through the federation).
         """
         if isinstance(query, QueryBuilder):
             query = query.build()
@@ -397,10 +400,13 @@ class SapphireServer:
             query = parse_query(query)
         if not self.endpoints:
             raise RuntimeError("register at least one endpoint first")
-        return "\n\n".join(
+        sections = [
             f"-- endpoint: {endpoint.name}\n{endpoint.explain(query)}"
             for endpoint in self.endpoints
-        )
+        ]
+        if len(self.endpoints) > 1:
+            sections.append(f"-- federation\n{self.federation.explain(query)}")
+        return "\n\n".join(sections)
 
     def _literal_alternatives_map(self, query: Query) -> Dict[Literal, List[Literal]]:
         """Seed-group inputs: each query literal's top JW alternatives."""

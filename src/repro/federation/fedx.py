@@ -1,41 +1,87 @@
-"""FedX-style federated query processor.
+"""FedX-style federated query processing as a thin planner client.
 
 Sapphire fronts one or more SPARQL endpoints with a federated query
-processor (the paper uses FedX [22]).  This module implements the three
-FedX ideas that matter at our scale:
+processor (the paper uses FedX [22]).  Since the query engine grew an
+explicit pipeline — parse → logical algebra → optimize → physical
+execution — federation is no longer a separate evaluator: this module
+translates and normalizes queries through the *same*
+:mod:`~repro.sparql.algebra` stage as local execution (so duplicate
+patterns are deduplicated once, filters are pushed once), runs the same
+greedy cost-ranked join ordering, and compiles to the remote physical
+operators in :mod:`~repro.sparql.plan`:
 
-1. **Source selection** — before evaluation, each triple pattern is probed
-   with an ASK query at every member endpoint; only endpoints that answer
-   ``true`` are considered *relevant* for that pattern.  Probe results are
-   cached by pattern signature so repeated queries don't re-probe.
-2. **Exclusive groups** — maximal sets of patterns whose only relevant
-   source is the same single endpoint are shipped to that endpoint as one
-   sub-query instead of being joined pattern-by-pattern.
-3. **Bound joins** — remaining patterns are evaluated left-to-right; the
-   processor substitutes the bindings produced so far into the pattern
-   before sending it, so each remote request is selective.
+1. **Cost-based source selection** — each triple pattern is probed with
+   an ASK query at every member endpoint (cached by pattern signature);
+   surviving sources are *ranked* by per-predicate statistics: members
+   that expose a local store contribute
+   :meth:`~repro.store.TripleStore.predicate_stats` counts, network
+   members a pessimistic default.
+2. **Exclusive groups** — patterns whose only relevant source is the
+   same single endpoint ship to it as one sub-query
+   (:class:`~repro.sparql.plan.RemoteScanNode` over the whole group).
+3. **Batched bind joins** — remaining patterns join through
+   :class:`~repro.sparql.plan.RemoteBindJoinNode`, which sends one
+   ``VALUES``-constrained request per endpoint per batch of
+   ``bind_join_batch_size`` bindings instead of one request per
+   binding.
+4. UNION / MINUS / VALUES compile to the same ID-space operators local
+   execution uses; remote terms are interned into a per-query mediator
+   store so everything joins on integers.
 
-Solution modifiers (DISTINCT/GROUP BY/ORDER/LIMIT/aggregates) run at the
-mediator by reusing the local evaluator's pipeline.
+Solution modifiers (DISTINCT/GROUP BY/ORDER/LIMIT/aggregates) run at
+the mediator by reusing the local evaluator's pipeline, and
+:meth:`FederatedQueryProcessor.explain` renders the same operator-tree
+EXPLAIN the rest of the system uses.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..endpoint.endpoint import EndpointError, SparqlEndpoint
-from ..rdf.terms import Term, Variable, is_concrete
+from ..rdf.terms import IRI, Term, Variable
 from ..rdf.triples import Binding, TriplePattern
-from ..sparql.ast_nodes import GraphPattern, Query
+from ..sparql.algebra import (
+    AlgebraNode,
+    BGP,
+    Empty,
+    Join as LogicalJoin,
+    LeftJoin as LogicalLeftJoin,
+    Minus as LogicalMinus,
+    Union as LogicalUnion,
+    ValuesTable,
+    conjuncts,
+    normalize,
+    translate_group,
+)
+from ..sparql.ast_nodes import GraphPattern, Query, ValuesClause
 from ..sparql.errors import SparqlError
-from ..sparql.evaluator import QueryEvaluator, _assign_filters, _filter_passes
+from ..sparql.evaluator import QueryEvaluator, _merge_compatible
 from ..sparql.parser import parse_query
+from ..sparql.plan import (
+    CompatJoinNode,
+    HashJoinNode,
+    LeftJoinNode,
+    MinusNode,
+    PlanNode,
+    REMOTE_BATCH_SIZE,
+    RemoteBindJoinNode,
+    RemoteScanNode,
+    UnionNode,
+    ValuesScanNode,
+    explain_plan,
+)
 from ..sparql.results import AskResult, SelectResult
-from ..sparql.serializer import ask_query, select_query
+from ..sparql.serializer import ask_query
 from ..store.triplestore import TripleStore
 
 __all__ = ["FederatedQueryProcessor"]
+
+#: Cardinality assumed for a pattern at an endpoint that exposes no
+#: statistics (network members): pessimistic enough that a pattern
+#: backed by local stats usually wins the driver position.
+DEFAULT_REMOTE_CARDINALITY = 1000
 
 
 def _pattern_signature(pattern: TriplePattern) -> Tuple:
@@ -47,6 +93,20 @@ def _pattern_signature(pattern: TriplePattern) -> Tuple:
     return (part(pattern.subject), part(pattern.predicate), part(pattern.object))
 
 
+def _generalize(pattern: TriplePattern) -> TriplePattern:
+    """Replace every variable with a fresh one for probing purposes."""
+    counter = iter(range(3))
+
+    def wildcard(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return Variable(f"probe{next(counter)}")
+        return term
+
+    return TriplePattern(
+        wildcard(pattern.subject), wildcard(pattern.predicate), wildcard(pattern.object)
+    )
+
+
 class FederatedQueryProcessor:
     """Evaluates SPARQL queries across a federation of endpoints.
 
@@ -55,27 +115,43 @@ class FederatedQueryProcessor:
     :class:`SparqlEndpoint` instances and network-backed
     :class:`~repro.net.client.HttpSparqlEndpoint` instances mix freely.
 
+    ``bind_join_batch_size`` controls how many accumulated bindings a
+    federated join ships per request (1 degenerates to the classic
+    per-binding nested loop; the default batches
+    :data:`~repro.sparql.plan.REMOTE_BATCH_SIZE` bindings into a single
+    VALUES clause).
+
     Thread-safe source selection: the HTTP server evaluates federated
     queries from many handler threads at once, so the pattern-source
     cache is guarded by a lock (probes run outside it — a duplicated
-    probe is cheaper than serializing all endpoints' probes).
+    probe is cheaper than serializing all endpoints' probes).  Each
+    query execution interns remote terms into its own mediator store,
+    so concurrent queries never share mutable ID state.
     """
 
-    def __init__(self, endpoints: Sequence[SparqlEndpoint]) -> None:
+    def __init__(
+        self,
+        endpoints: Sequence[SparqlEndpoint],
+        bind_join_batch_size: int = REMOTE_BATCH_SIZE,
+    ) -> None:
         if not endpoints:
             raise ValueError("a federation needs at least one endpoint")
+        if bind_join_batch_size < 1:
+            raise ValueError("bind_join_batch_size must be >= 1")
         self.endpoints = list(endpoints)
+        self.bind_join_batch_size = bind_join_batch_size
         self._source_cache: Dict[Tuple, List[SparqlEndpoint]] = {}
         self._cache_lock = threading.Lock()
+        self._stats_cache: Dict[int, Optional[Dict]] = {}
         # The mediator pipeline (aggregation, ordering, projection) comes
         # from the local evaluator; it never touches this empty store.
-        self._mediator = QueryEvaluator(TripleStore())
+        self._pipeline = QueryEvaluator(TripleStore())
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def select(self, query_text: str):
+    def select(self, query_text: str) -> SelectResult:
         """Run a SELECT query across the federation."""
         query = parse_query(query_text)
         if query.form != "SELECT":
@@ -86,7 +162,7 @@ class FederatedQueryProcessor:
         query = parse_query(query_text)
         if query.form != "ASK":
             raise SparqlError("use select() for SELECT queries")
-        for _ in self._solve(query.where, {}):
+        for _ in self._solve(query.where):
             return AskResult(True)
         return AskResult(False)
 
@@ -94,14 +170,40 @@ class FederatedQueryProcessor:
         """Run a parsed or textual query of either form."""
         parsed = parse_query(query) if isinstance(query, str) else query
         if parsed.form == "ASK":
-            for _ in self._solve(parsed.where, {}):
+            for _ in self._solve(parsed.where):
                 return AskResult(True)
             return AskResult(False)
         return self._evaluate(parsed)
 
+    def explain(self, query) -> str:
+        """Render the federated physical plan for ``query`` — the same
+        operator-tree EXPLAIN as local execution, preceded by the
+        source-selection verdicts (probing runs, execution does not).
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        store = TripleStore()
+        plan = self._compile_group(parsed.where, store)
+        lines = [f"Federated {self._pipeline._explain_header(parsed)}"]
+        lines.append("sources:")
+        for pattern in self._collect_patterns(parsed.where):
+            sources = self.relevant_sources(pattern)
+            names = ", ".join(endpoint.name for endpoint in sources) or "(none)"
+            estimate = self._pattern_estimate(pattern, sources)
+            lines.append(
+                "  " + " ".join(term.n3() for term in pattern.as_tuple())
+                + f"  ->  {names}  [est={estimate}]"
+            )
+        lines.append("plan:")
+        lines.append(explain_plan(plan, indent=1))
+        for optional in parsed.where.optionals:
+            lines.append("optional (per base solution):")
+            lines.append(explain_plan(self._compile_group(optional, store), indent=1))
+        return "\n".join(lines)
+
     def invalidate_source_cache(self) -> None:
         with self._cache_lock:
             self._source_cache.clear()
+            self._stats_cache.clear()
 
     # ------------------------------------------------------------------
     # Source selection
@@ -129,28 +231,74 @@ class FederatedQueryProcessor:
             # write wins so every caller sees one stable source list.
             return self._source_cache.setdefault(signature, relevant)
 
+    def _endpoint_stats(self, endpoint) -> Optional[Dict]:
+        """Cached ``predicate_stats()`` for members with a local store
+        (None for network members, whose statistics are invisible)."""
+        key = id(endpoint)
+        with self._cache_lock:
+            if key in self._stats_cache:
+                return self._stats_cache[key]
+        store = getattr(endpoint, "store", None)
+        stats = store.predicate_stats() if store is not None else None
+        with self._cache_lock:
+            return self._stats_cache.setdefault(key, stats)
+
+    def _pattern_estimate(
+        self, pattern: TriplePattern, sources: Sequence[SparqlEndpoint]
+    ) -> int:
+        """Federated cardinality estimate: sum of per-source estimates."""
+        total = 0
+        for endpoint in sources:
+            stats = self._endpoint_stats(endpoint)
+            if stats is None:
+                total += DEFAULT_REMOTE_CARDINALITY
+                continue
+            predicate = pattern.predicate
+            if not isinstance(predicate, IRI):
+                total += sum(stat.count for stat in stats.values())
+                continue
+            stat = stats.get(predicate)
+            if stat is None:
+                continue  # the probe said maybe, the stats say no rows
+            estimate = stat.count
+            if not isinstance(pattern.subject, Variable):
+                estimate = max(1, estimate // max(stat.distinct_subjects, 1))
+            if not isinstance(pattern.object, Variable):
+                estimate = max(1, estimate // max(stat.distinct_objects, 1))
+            total += estimate
+        return max(total, 1)
+
+    def _distinct_estimate(
+        self, pattern: TriplePattern, name: str, sources: Sequence[SparqlEndpoint]
+    ) -> int:
+        """Distinct values of ``name`` within ``pattern`` across sources."""
+        total = 0
+        for endpoint in sources:
+            stats = self._endpoint_stats(endpoint)
+            if stats is None or not isinstance(pattern.predicate, IRI):
+                return 0  # unknown
+            stat = stats.get(pattern.predicate)
+            if stat is None:
+                continue
+            if isinstance(pattern.subject, Variable) and pattern.subject.name == name:
+                total += stat.distinct_subjects
+            elif isinstance(pattern.object, Variable) and pattern.object.name == name:
+                total += stat.distinct_objects
+            else:
+                return 0
+        return total
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
 
     def _evaluate(self, query: Query) -> SelectResult:
-        solutions = list(self._solve(query.where, {}))
-        # Reuse the local pipeline for aggregation/projection/modifiers.
-        pipeline = Query(
-            form="SELECT",
-            select_items=query.select_items,
-            select_star=query.select_star,
-            distinct=query.distinct,
-            where=query.where,
-            group_by=query.group_by,
-            order_by=query.order_by,
-            limit=query.limit,
-            offset=query.offset,
-        )
-        return self._finalize(pipeline, solutions)
+        solutions = list(self._solve(query.where))
+        return self._finalize(query, solutions)
 
     def _finalize(self, query: Query, solutions: List[Binding]) -> SelectResult:
-        evaluator = self._mediator
+        """Solution modifiers at the mediator, via the local pipeline."""
+        evaluator = self._pipeline
         if query.has_aggregates() or query.group_by:
             rows = evaluator._aggregate(query, solutions)
         else:
@@ -172,36 +320,22 @@ class FederatedQueryProcessor:
             rows = rows[: query.limit]
         return SelectResult(variables=names, rows=rows)
 
-    def _solve(self, group: GraphPattern, initial: Binding) -> Iterator[Binding]:
-        """Bound-join evaluation of a graph pattern across the federation."""
-        patterns = list(group.patterns)
-        filters = list(group.filters)
-        if not patterns:
-            base: List[Binding] = [dict(initial)] if all(
-                _filter_passes(f, initial) for f in filters
-            ) else []
-            yield from self._with_optionals(group, base)
-            return
-
-        order = self._order_patterns(patterns, set(initial.keys()))
-        filter_positions = _assign_filters(order, filters, set(initial.keys()))
-
-        def backtrack(index: int, binding: Binding) -> Iterator[Binding]:
-            for expr in filter_positions.get(index, ()):
-                if not _filter_passes(expr, binding):
-                    return
-            if index == len(order):
-                yield binding
-                return
-            pattern = order[index].bind(binding)
-            for extension in self._fetch(pattern):
-                merged = dict(binding)
-                merged.update(extension)
-                yield from backtrack(index + 1, merged)
-
-        yield from self._with_optionals(group, backtrack(0, dict(initial)))
-
-    def _with_optionals(self, group: GraphPattern, base) -> Iterator[Binding]:
+    def _solve(self, group: GraphPattern) -> Iterator[Binding]:
+        """Execute one group across the federation: compile, stream the
+        plan over a fresh mediator store, apply OPTIONALs per solution.
+        """
+        store = TripleStore()
+        plan = self._compile_group(group, store)
+        decode = store.decode_id
+        names = plan.variables
+        base = (
+            {
+                name: decode(term_id)
+                for name, term_id in zip(names, row)
+                if term_id is not None
+            }
+            for row in plan.rows(store, None)
+        )
         if not group.optionals:
             yield from base
             return
@@ -210,70 +344,267 @@ class FederatedQueryProcessor:
             for optional in group.optionals:
                 extended: List[Binding] = []
                 for row in current:
-                    matches = list(self._solve(optional, row))
+                    matches = self._solve_optional(optional, row)
                     extended.extend(matches if matches else [row])
                 current = extended
             yield from current
 
-    def _fetch(self, pattern: TriplePattern) -> Iterator[Binding]:
-        """Retrieve solutions for one (possibly bound) pattern."""
-        sources = self.relevant_sources(pattern)
-        sub_query = select_query([pattern], distinct=False)
-        seen = set()
-        for endpoint in sources:
-            try:
-                result = endpoint.select(sub_query)
-            except EndpointError:
+    def _solve_optional(
+        self, optional: GraphPattern, solution: Binding
+    ) -> List[Binding]:
+        """One OPTIONAL extension for one base solution.
+
+        The base solution's bindings flow into the optional group as
+        injected single-row VALUES tables covering the referenced
+        variables — recursively, so filters and patterns nested in the
+        optional's own UNION branches and OPTIONALs see the outer
+        bindings too (matching the local evaluator's correlated
+        semantics).  The same planner then handles the correlation; no
+        separate join code.
+        """
+        bound = self._bind_group(optional, solution)
+        merged: List[Binding] = []
+        for row in self._solve(bound):
+            combined = _merge_compatible(solution, row)
+            if combined is not None:
+                merged.append(combined)
+        return merged
+
+    def _bind_group(self, group: GraphPattern, solution: Binding) -> GraphPattern:
+        """Copy ``group`` with the solution's bindings pinned at every
+        level that references them (a single-row VALUES table per
+        level).  MINUS groups stay untouched: SPARQL MINUS is
+        uncorrelated, and the local evaluator agrees."""
+        bound = GraphPattern(
+            patterns=list(group.patterns),
+            filters=list(group.filters),
+            optionals=[self._bind_group(o, solution) for o in group.optionals],
+            unions=[
+                [self._bind_group(branch, solution) for branch in branches]
+                for branches in group.unions
+            ],
+            minuses=list(group.minuses),
+            values=list(group.values),
+        )
+        referenced = set()
+        for pattern in group.patterns:
+            referenced.update(pattern.variables())
+        for expr in group.filters:
+            referenced.update(expr.variables())
+        shared = tuple(name for name in referenced if name in solution)
+        if shared:
+            bound.values.append(
+                ValuesClause(shared, (tuple(solution[name] for name in shared),))
+            )
+        return bound
+
+    # ------------------------------------------------------------------
+    # Planning (stage three, federated flavour)
+    # ------------------------------------------------------------------
+
+    def _compile_group(self, group: GraphPattern, store: TripleStore) -> PlanNode:
+        """Compile one group (OPTIONALs excluded) to a remote plan."""
+        root = normalize(translate_group(group, include_optionals=False))
+        return self._compile(root, store)
+
+    def _compile(self, node: AlgebraNode, store: TripleStore) -> PlanNode:
+        from ..sparql.plan import _strip_filters
+
+        filters, core = _strip_filters(node)
+        plan = self._compile_core(core, store)
+        plan.filters.extend(filters)
+        return plan
+
+    def _compile_core(self, core: AlgebraNode, store: TripleStore) -> PlanNode:
+        if isinstance(core, Empty):
+            return ValuesScanNode(store, (), ())
+        if isinstance(core, BGP):
+            if not core.patterns:
+                return ValuesScanNode(store, (), ((),))  # the unit table
+            return self._compile_conjunction([core], store)
+        if isinstance(core, ValuesTable):
+            # The mediator store is fresh and private to this query
+            # execution, so interning inline terms there is safe.
+            return ValuesScanNode(store, core.names, core.rows, intern=True)
+        if isinstance(core, LogicalUnion):
+            return UnionNode([self._compile(branch, store) for branch in core.branches])
+        if isinstance(core, LogicalMinus):
+            return MinusNode(
+                self._compile(core.left, store), self._compile(core.right, store)
+            )
+        if isinstance(core, LogicalLeftJoin):
+            # An OPTIONAL nested inside a UNION/MINUS branch: no base
+            # solution exists to correlate on, so it runs as the
+            # uncorrelated SPARQL LeftJoin algebra.
+            left = self._compile(core.left, store)
+            return LeftJoinNode(left, self._compile(core.right, store), left.est_rows)
+        if isinstance(core, LogicalJoin):
+            return self._compile_conjunction(conjuncts(core), store)
+        raise SparqlError(f"federation cannot compile {core.label()}")
+
+    def _compile_conjunction(
+        self, parts: List[AlgebraNode], store: TripleStore
+    ) -> PlanNode:
+        """Greedy left-deep federated join.
+
+        The same ordering discipline as local planning — start from the
+        most selective input, repeatedly add the connected input with
+        the smallest estimated join output — with remote operators:
+        exclusive groups and driver patterns become RemoteScanNodes,
+        every subsequent pattern a batched RemoteBindJoinNode, and
+        non-pattern inputs (VALUES/UNION sub-plans) hash- or
+        compat-join at the mediator.
+        """
+        from ..sparql.plan import _strip_filters
+
+        patterns: List[TriplePattern] = []
+        pending = []
+        leaves: List[PlanNode] = []
+        for part in parts:
+            part_filters, part_core = _strip_filters(part)
+            if isinstance(part_core, BGP):
+                patterns.extend(part_core.patterns)
+                pending.extend(part_filters)
+            else:
+                leaf = self._compile_core(part_core, store)
+                leaf.filters.extend(part_filters)
+                leaves.append(leaf)
+        patterns = list(dict.fromkeys(patterns))
+
+        sources_of: Dict[TriplePattern, List[SparqlEndpoint]] = {
+            pattern: self.relevant_sources(pattern) for pattern in patterns
+        }
+
+        # Exclusive groups: patterns whose single relevant source is the
+        # same endpoint ship together as one sub-query.
+        remaining: List[TriplePattern] = []
+        exclusive: Dict[int, List[TriplePattern]] = {}
+        for pattern in patterns:
+            sources = sources_of[pattern]
+            if len(sources) == 1:
+                exclusive.setdefault(id(sources[0]), []).append(pattern)
+            else:
+                remaining.append(pattern)
+        candidates: List[PlanNode] = list(leaves)
+        for grouped in exclusive.values():
+            if len(grouped) == 1:
+                remaining.append(grouped[0])
                 continue
-            names = pattern.variables()
-            for row in result.rows:
-                extension = {name: row[name] for name in names if name in row}
-                key = tuple(extension.get(name) for name in names)
-                if key in seen:
-                    continue
-                seen.add(key)
-                yield extension
-        if not pattern.variables():
-            # Fully bound pattern: existence check.
-            for endpoint in sources:
-                try:
-                    if endpoint.ask(ask_query([pattern])):
-                        yield {}
-                        return
-                except EndpointError:
-                    continue
+            sources = sources_of[grouped[0]]
+            estimate = min(
+                self._pattern_estimate(pattern, sources) for pattern in grouped
+            )
+            candidates.append(RemoteScanNode(grouped, sources, estimate))
 
-    def _order_patterns(
-        self, patterns: List[TriplePattern], bound: set
-    ) -> List[TriplePattern]:
-        """Heuristic join order: most-constant patterns first, then chain
-        through shared variables so bound joins stay selective."""
-        remaining = list(patterns)
-        ordered: List[TriplePattern] = []
-        bound_now = set(bound)
+        pattern_nodes: Dict[int, TriplePattern] = {}
+        for pattern in remaining:
+            scan = RemoteScanNode(
+                [pattern],
+                sources_of[pattern],
+                self._pattern_estimate(pattern, sources_of[pattern]),
+            )
+            pattern_nodes[id(scan)] = pattern
+            candidates.append(scan)
 
-        def score(pattern: TriplePattern) -> Tuple[int, int]:
-            constants = sum(1 for t in pattern.as_tuple() if is_concrete(t))
-            shared = len(set(pattern.variables()) & bound_now)
-            return (-(constants + shared), len(pattern.variables()))
+        if not candidates:
+            return ValuesScanNode(store, (), ((),))
 
-        while remaining:
-            best = min(range(len(remaining)), key=lambda i: score(remaining[i]))
-            chosen = remaining.pop(best)
-            ordered.append(chosen)
-            bound_now.update(chosen.variables())
-        return ordered
+        node = min(candidates, key=lambda c: c.est_rows)
+        candidates.remove(node)
+        self._attach_filters(node, pending)
 
+        while candidates:
+            connected = [
+                candidate for candidate in candidates
+                if any(name in node.slot_of for name in candidate.variables)
+            ]
+            if not connected:
+                # Disconnected inputs cross-join at the mediator: one
+                # fetch per input (a keyless bind join would re-issue
+                # the same unconstrained sub-query once per batch).
+                best = min(candidates, key=lambda c: c.est_rows)
+                candidates.remove(best)
+                self._attach_filters(best, pending)
+                node = HashJoinNode(
+                    node, best, (), max(1, node.est_rows) * max(1, best.est_rows)
+                )
+                self._attach_filters(node, pending)
+                continue
+            best = min(
+                connected, key=lambda c: self._join_estimate(node, c, pattern_nodes)
+            )
+            candidates.remove(best)
+            estimate = self._join_estimate(node, best, pattern_nodes)
+            pattern = pattern_nodes.get(id(best))
+            if pattern is not None:
+                node = RemoteBindJoinNode(
+                    node,
+                    pattern,
+                    sources_of[pattern],
+                    estimate,
+                    batch_size=self.bind_join_batch_size,
+                )
+            else:
+                keys = tuple(
+                    name for name in best.variables if name in node.slot_of
+                )
+                unsafe = any(
+                    name in node.maybe_unbound or name in best.maybe_unbound
+                    for name in keys
+                )
+                self._attach_filters(best, pending)
+                if unsafe:
+                    node = CompatJoinNode(node, best, estimate)
+                else:
+                    node = HashJoinNode(node, best, keys, estimate)
+            self._attach_filters(node, pending)
+        node.filters.extend(pending)
+        return node
 
-def _generalize(pattern: TriplePattern) -> TriplePattern:
-    """Replace every variable with a fresh one for probing purposes."""
-    counter = iter(range(3))
+    def _join_estimate(
+        self,
+        left: PlanNode,
+        candidate: PlanNode,
+        pattern_nodes: Dict[int, TriplePattern],
+    ) -> int:
+        shared = [name for name in candidate.variables if name in left.slot_of]
+        if not shared:
+            return max(1, left.est_rows) * max(1, candidate.est_rows)
+        pattern = pattern_nodes.get(id(candidate))
+        if pattern is None:
+            return max(left.est_rows, candidate.est_rows)
+        distinct = 0
+        for name in shared:
+            distinct = max(
+                distinct,
+                self._distinct_estimate(pattern, name, self.relevant_sources(pattern)),
+            )
+        if distinct <= 0:
+            distinct = max(candidate.est_rows, 1)
+        return max(1, left.est_rows * candidate.est_rows // distinct)
 
-    def wildcard(term: Term) -> Term:
-        if isinstance(term, Variable):
-            return Variable(f"probe{next(counter)}")
-        return term
+    @staticmethod
+    def _attach_filters(node: PlanNode, pending: List) -> None:
+        """Shared with the local planner: attaches only filters whose
+        variables are certainly bound (a maybe-unbound variable could
+        still be filled by a later compatibility join)."""
+        from ..sparql.plan import attach_ready_filters
 
-    return TriplePattern(
-        wildcard(pattern.subject), wildcard(pattern.predicate), wildcard(pattern.object)
-    )
+        attach_ready_filters(node, pending)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def _collect_patterns(self, group: GraphPattern) -> List[TriplePattern]:
+        """Every triple pattern a group mentions, deduplicated (the
+        EXPLAIN source-selection table)."""
+        found: List[TriplePattern] = list(group.patterns)
+        for branches in group.unions:
+            for branch in branches:
+                found.extend(self._collect_patterns(branch))
+        for minus in group.minuses:
+            found.extend(self._collect_patterns(minus))
+        for optional in group.optionals:
+            found.extend(self._collect_patterns(optional))
+        return list(dict.fromkeys(found))

@@ -105,6 +105,39 @@ class HttpSparqlEndpoint:
             raise SparqlError("expected an ASK query")
         return result
 
+    def explain(self, query: Union[str, Query]) -> str:
+        """Remote EXPLAIN: the server's plan dump for ``query``.
+
+        Mirrors :meth:`SparqlEndpoint.explain` over the wire via the
+        protocol's ``explain=true`` form field.  Free and unlogged on
+        both sides (planning is estimation-only), so an EXPLAIN never
+        skews the query log a benchmark is counting.
+        """
+        text = query if isinstance(query, str) else serialize_query(query)
+        body = urllib.parse.urlencode({"query": text, "explain": "true"}).encode("utf-8")
+        request = urllib.request.Request(
+            self.url,
+            data=body,
+            headers={
+                "Content-Type": MIME_FORM,
+                "Accept": "text/plain",
+                "User-Agent": "sapphire-repro-client/1.0",
+            },
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            mapped = self._map_http_error(exc)
+            if isinstance(mapped, _Retryable):
+                mapped = mapped.error  # explain is cheap; don't retry it
+            raise mapped from None
+        except urllib.error.URLError as exc:
+            raise EndpointError(f"{self.name}: connection failed: {exc}") from None
+        except ConnectionError as exc:
+            raise EndpointError(f"{self.name}: connection failed: {exc}") from None
+
     @property
     def query_count(self) -> int:
         return len(self.log)

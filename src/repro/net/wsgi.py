@@ -219,11 +219,14 @@ class SparqlWsgiApp:
         self, environ, method: str
     ) -> Tuple[int, Dict[str, str], bytes, int]:
         try:
-            text = self._extract_query(environ, method)
+            text, explain = self._extract_query(environ, method)
         except _HttpFail as fail:
             return _failure(fail.status, str(fail))
         if text is None:
             return _failure(400, "missing required 'query' parameter")
+
+        if explain:
+            return self._handle_explain(text)
 
         try:
             mime, writer = negotiate(environ.get("HTTP_ACCEPT"))
@@ -278,11 +281,38 @@ class SparqlWsgiApp:
                 headers["X-Result-Truncated"] = "true"
         return 200, headers, payload, rows
 
-    def _extract_query(self, environ, method: str) -> Optional[str]:
+    def _handle_explain(self, text: str) -> Tuple[int, Dict[str, str], bytes, int]:
+        """EXPLAIN over the protocol: ``explain=true`` alongside the query.
+
+        Estimation-only by the store's meter-free contract, so it
+        bypasses admission control — an EXPLAIN can never occupy a
+        worker slot or trip the deadline.  The plan travels as plain
+        text, the same dump the in-process ``explain()`` surfaces
+        return.
+        """
+        explain = getattr(self.backend, "explain", None)
+        if explain is None:
+            return _failure(400, "this endpoint does not support explain")
+        try:
+            plan = explain(text)
+        except SparqlError as exc:
+            return _failure(400, f"parse error: {exc}")
+        except Exception as exc:  # noqa: BLE001 — a handler must not crash the server
+            return _failure(500, f"{type(exc).__name__}: {exc}")
+        payload = plan.encode("utf-8")
+        return 200, {"Content-Type": "text/plain; charset=utf-8"}, payload, 0
+
+    @staticmethod
+    def _explain_flag(params: Dict[str, List[str]]) -> bool:
+        values = params.get("explain")
+        return bool(values) and values[0].strip().lower() in ("1", "true", "yes")
+
+    def _extract_query(self, environ, method: str) -> Tuple[Optional[str], bool]:
+        """The query text and whether an EXPLAIN (not execution) is asked."""
         if method == "GET":
             params = parse_qs(environ.get("QUERY_STRING", ""))
             values = params.get("query")
-            return values[0] if values else None
+            return values[0] if values else None, self._explain_flag(params)
 
         content_type = (environ.get("CONTENT_TYPE") or "").split(";")[0].strip().lower()
         try:
@@ -297,11 +327,11 @@ class SparqlWsgiApp:
         except UnicodeDecodeError as exc:
             raise _HttpFail(400, f"request body is not valid UTF-8: {exc}") from exc
         if content_type == MIME_SPARQL_QUERY:
-            return decoded or None
+            return decoded or None, False
         if content_type in (MIME_FORM, ""):
             params = parse_qs(decoded)
             values = params.get("query")
-            return values[0] if values else None
+            return values[0] if values else None, self._explain_flag(params)
         raise _HttpFail(
             415, f"unsupported Content-Type {content_type!r}: "
                  f"use {MIME_FORM} or {MIME_SPARQL_QUERY}")

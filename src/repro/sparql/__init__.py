@@ -1,5 +1,20 @@
-"""SPARQL engine substrate: parser, expression library, evaluator."""
+"""SPARQL engine substrate: parser, algebra, optimizer, evaluator.
 
+The package implements the shared four-stage pipeline — parse
+(:mod:`.parser`) → logical algebra (:mod:`.algebra`) → optimize
+(:mod:`.algebra` rewrites + :mod:`.plan` operator selection) →
+physical execution (:mod:`.plan` operators driven by
+:mod:`.evaluator`) — used by local, in-process-federated, and
+HTTP-federated execution alike.
+"""
+
+from .algebra import (
+    AlgebraNode,
+    algebra_text,
+    normalize,
+    translate_group,
+    translate_query,
+)
 from .ast_nodes import (
     Aggregate,
     BinaryExpr,
@@ -11,15 +26,23 @@ from .ast_nodes import (
     SelectItem,
     TermExpr,
     UnaryExpr,
+    ValuesClause,
 )
 from .errors import EvaluationError, ExpressionError, ParseError, SparqlError
 from .evaluator import QueryEvaluator, evaluate
 from .plan import (
     BindJoinNode,
+    CompatJoinNode,
     HashJoinNode,
+    LeftJoinNode,
+    MinusNode,
     PlanNode,
     QueryPlanner,
+    RemoteBindJoinNode,
+    RemoteScanNode,
     ScanNode,
+    UnionNode,
+    ValuesScanNode,
     explain_plan,
 )
 from .functions import effective_boolean_value, evaluate_expression
@@ -35,12 +58,18 @@ __all__ = [
     "GraphPattern",
     "SelectItem",
     "OrderCondition",
+    "ValuesClause",
     "Expression",
     "TermExpr",
     "UnaryExpr",
     "BinaryExpr",
     "FunctionCall",
     "Aggregate",
+    "AlgebraNode",
+    "translate_group",
+    "translate_query",
+    "normalize",
+    "algebra_text",
     "QueryEvaluator",
     "evaluate",
     "QueryPlanner",
@@ -48,6 +77,13 @@ __all__ = [
     "ScanNode",
     "HashJoinNode",
     "BindJoinNode",
+    "UnionNode",
+    "MinusNode",
+    "ValuesScanNode",
+    "CompatJoinNode",
+    "LeftJoinNode",
+    "RemoteScanNode",
+    "RemoteBindJoinNode",
     "explain_plan",
     "evaluate_expression",
     "effective_boolean_value",

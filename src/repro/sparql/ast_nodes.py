@@ -1,10 +1,16 @@
 """Abstract syntax tree for the supported SPARQL subset.
 
-The AST is deliberately small: SELECT/ASK queries over a basic graph
-pattern with FILTERs, plus the solution modifiers the paper's queries
-need (DISTINCT, GROUP BY, ORDER BY, LIMIT, OFFSET) and COUNT aggregation.
-Expression nodes form their own small hierarchy evaluated by
-``functions.evaluate_expression``.
+The AST is deliberately small: SELECT/ASK queries over graph patterns
+with FILTERs, one level of OPTIONAL, ``UNION`` alternatives, ``MINUS``
+exclusions and inline ``VALUES`` data, plus the solution modifiers the
+paper's queries need (DISTINCT, GROUP BY, ORDER BY, LIMIT, OFFSET) and
+COUNT aggregation.  Expression nodes form their own small hierarchy
+evaluated by ``functions.evaluate_expression``.
+
+The AST stays close to the concrete syntax; the logical algebra the
+engine actually optimizes and executes lives in
+:mod:`~repro.sparql.algebra` (``translate_group`` maps one to the
+other).
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ __all__ = [
     "Aggregate",
     "SelectItem",
     "OrderCondition",
+    "ValuesClause",
     "GraphPattern",
     "Query",
 ]
@@ -137,30 +144,74 @@ class OrderCondition:
     ascending: bool = True
 
 
+@dataclass(frozen=True, slots=True)
+class ValuesClause:
+    """An inline data block: ``VALUES (?x ?y) { (a b) (UNDEF c) }``.
+
+    ``rows`` holds one tuple per data row, aligned with ``variables``;
+    ``None`` marks an ``UNDEF`` cell (the variable stays unbound in that
+    solution).
+    """
+
+    variables: Tuple[str, ...]
+    rows: Tuple[Tuple[Optional[Term], ...], ...]
+
+    def bindings(self) -> List[dict]:
+        """The block as solution mappings (UNDEF cells omitted)."""
+        return [
+            {
+                name: value
+                for name, value in zip(self.variables, row)
+                if value is not None
+            }
+            for row in self.rows
+        ]
+
+
 @dataclass
 class GraphPattern:
-    """A basic graph pattern: triple patterns plus FILTER constraints.
+    """A group graph pattern.
 
-    ``optionals`` holds OPTIONAL sub-patterns (each itself a
-    :class:`GraphPattern`); the engine supports one level of OPTIONAL,
-    which is all the reproduced workloads require.
+    ``patterns`` and ``filters`` form the basic graph pattern;
+    ``optionals`` holds OPTIONAL sub-patterns (one level, which is all
+    the reproduced workloads require); ``unions`` holds UNION chains —
+    each entry is the list of alternative branches of one
+    ``{ A } UNION { B } [UNION { C } ...]`` block; ``minuses`` holds
+    ``MINUS { ... }`` exclusion groups and ``values`` the inline
+    ``VALUES`` data blocks.
     """
 
     patterns: List[TriplePattern] = field(default_factory=list)
     filters: List[Expression] = field(default_factory=list)
     optionals: List["GraphPattern"] = field(default_factory=list)
+    unions: List[List["GraphPattern"]] = field(default_factory=list)
+    minuses: List["GraphPattern"] = field(default_factory=list)
+    values: List[ValuesClause] = field(default_factory=list)
 
     def variables(self) -> Tuple[str, ...]:
+        """Variables this group can bind (MINUS groups never bind)."""
         names: List[str] = []
+
+        def extend(more) -> None:
+            for name in more:
+                if name not in names:
+                    names.append(name)
+
         for pattern in self.patterns:
-            for name in pattern.variables():
-                if name not in names:
-                    names.append(name)
+            extend(pattern.variables())
+        for clause in self.values:
+            extend(clause.variables)
+        for branches in self.unions:
+            for branch in branches:
+                extend(branch.variables())
         for opt in self.optionals:
-            for name in opt.variables():
-                if name not in names:
-                    names.append(name)
+            extend(opt.variables())
         return tuple(names)
+
+    def is_basic(self) -> bool:
+        """True when the group is patterns+filters only (no compound
+        sub-structure) — the shape the seed engine supported."""
+        return not (self.optionals or self.unions or self.minuses or self.values)
 
 
 @dataclass

@@ -1,6 +1,12 @@
 """SPARQL query evaluation over a :class:`~repro.store.TripleStore`.
 
-The evaluator implements:
+The front door of the four-stage pipeline (parse → logical algebra →
+optimize → physical execution).  :class:`QueryEvaluator` parses, hands
+the WHERE group to the shared optimizer
+(:class:`~repro.sparql.plan.QueryPlanner`, which translates and
+normalizes through :mod:`~repro.sparql.algebra`), and streams the
+resulting physical plan.  Shapes the ID-space operators cannot express
+run through the term-space fallback below, which implements:
 
 * BGP matching as a backtracking index-nested-loop join.  Patterns are
   reordered greedily by estimated cardinality given the variables already
@@ -9,10 +15,17 @@ The evaluator implements:
   ``?s ?p ?o`` one.
 * FILTERs pushed to the earliest join position at which all their
   variables are bound (errors drop the row, per the SPARQL spec).
+* UNION, inline VALUES data (with UNDEF) and MINUS, with full SPARQL
+  compatibility semantics for partially bound solutions.
 * One level of OPTIONAL (left outer join).
 * DISTINCT, GROUP BY + COUNT/SUM/MIN/MAX/AVG, ORDER BY, LIMIT/OFFSET.
 * Cost metering: every index probe charges the meter, so a budgeted
   endpoint aborts long evaluations exactly like a remote timeout.
+
+Group operator order (both paths agree; see
+:func:`~repro.sparql.algebra.translate_group`): basic patterns join
+with VALUES and UNION blocks, filters apply, MINUS groups subtract,
+OPTIONALs extend last.
 """
 
 from __future__ import annotations
@@ -22,7 +35,16 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..rdf.terms import IRI, Literal, Term, Variable, XSD_INTEGER
 from ..rdf.triples import Binding, TriplePattern
 from ..store.triplestore import CostMeter, TripleStore
-from .ast_nodes import Aggregate, Expression, GraphPattern, OrderCondition, Query, TermExpr
+from .algebra import algebra_text, normalize, translate_group
+from .ast_nodes import (
+    Aggregate,
+    Expression,
+    GraphPattern,
+    OrderCondition,
+    Query,
+    TermExpr,
+    ValuesClause,
+)
 from .errors import EvaluationError, ExpressionError
 from .functions import effective_boolean_value, evaluate_expression
 from .parser import parse_query
@@ -146,6 +168,15 @@ class QueryEvaluator:
         )
         if plan is not None:
             text = explain_plan(plan, indent)
+        elif not group.is_basic():
+            # Compound group the ID-space operators could not cover:
+            # show the normalized logical tree the term-space fallback
+            # will execute.
+            logical = normalize(translate_group(group, include_optionals=False))
+            text = (
+                f"{pad}TermSpaceFallback:\n"
+                f"{algebra_text(logical, indent + 1)}"
+            )
         elif group.patterns:
             order = _order_patterns(self.store, group.patterns, set())
             steps = " -> ".join(
@@ -273,7 +304,11 @@ class QueryEvaluator:
         )
         decode = self.store.decode_id
         rows: List[Binding] = [
-            {out: decode(row[slot]) for out, slot in pairs if slot is not None}
+            {
+                out: decode(row[slot])
+                for out, slot in pairs
+                if slot is not None and row[slot] is not None
+            }
             for row in picked
         ]
         return SelectResult(variables=list(names), rows=rows, cost=meter.cost)
@@ -301,25 +336,25 @@ class QueryEvaluator:
         meter: CostMeter,
         prepared_plan=_PLAN_UNSET,
     ) -> Iterator[Binding]:
-        """Solve one graph pattern: planned joins or the backtracker.
+        """Solve one group graph pattern: planned operators or the
+        term-space fallback, with OPTIONAL application shared by both.
 
-        The planner covers top-level groups (no initial bindings); it
-        returns ``None`` for the shapes it cannot express (empty groups,
-        existence checks, disconnected join graphs) and those — plus
-        OPTIONAL sub-groups, which arrive with bindings — run through
-        the seed backtracking join.  OPTIONAL application is shared by
-        both paths.  ``prepared_plan`` carries a plan (or the ``None``
-        verdict) a caller already computed, so a query is never planned
-        twice.
+        The planner covers top-level groups (no initial bindings),
+        including UNION/VALUES/MINUS; it returns ``None`` for the
+        shapes it cannot express and those — plus OPTIONAL sub-groups,
+        which arrive with bindings — run through the compound
+        term-space path below.  ``prepared_plan`` carries a plan (or
+        the ``None`` verdict) a caller already computed, so a query is
+        never planned twice.
         """
-        base = self._solve_base(group, initial, meter, prepared_plan)
+        base = self._solve_compound(group, initial, meter, prepared_plan)
         if not group.optionals:
             yield from base
             return
         for solution in base:
             yield from self._apply_optionals(group.optionals, solution, meter)
 
-    def _solve_base(
+    def _solve_compound(
         self,
         group: GraphPattern,
         initial: Binding,
@@ -336,13 +371,94 @@ class QueryEvaluator:
                 decode = self.store.decode_id
                 names = plan.variables
                 for row in plan.rows(self.store, meter):
-                    yield {name: decode(term_id) for name, term_id in zip(names, row)}
+                    yield {
+                        name: decode(term_id)
+                        for name, term_id in zip(names, row)
+                        if term_id is not None
+                    }
                 return
-        yield from self._solve_backtrack(group, initial, meter)
+        yield from self._solve_term_space(group, initial, meter)
+
+    def _solve_term_space(
+        self,
+        group: GraphPattern,
+        initial: Binding,
+        meter: CostMeter,
+    ) -> Iterator[Binding]:
+        """Fallback composition in term space: backtrack over the basic
+        patterns, then join VALUES tables and UNION chains, apply the
+        filters that had to wait for their variables, subtract MINUS
+        groups.  Implements full compatibility semantics (an unbound
+        variable is compatible with anything), which is exactly what
+        the ID-space operators cannot express.
+        """
+        pattern_vars = set(initial)
+        for pattern in group.patterns:
+            pattern_vars.update(pattern.variables())
+        early: List[Expression] = []
+        late: List[Expression] = []
+        for expr in group.filters:
+            target = early if set(expr.variables()) <= pattern_vars else late
+            target.append(expr)
+
+        solutions = self._solve_backtrack(group.patterns, early, initial, meter)
+        for clause in group.values:
+            solutions = self._join_values(solutions, clause, meter)
+        for branches in group.unions:
+            solutions = self._join_union(solutions, branches, meter)
+        for expr in late:
+            solutions = (
+                solution for solution in solutions if _filter_passes(expr, solution)
+            )
+        for minus in group.minuses:
+            solutions = self._apply_minus(solutions, minus, meter)
+        yield from solutions
+
+    def _join_values(
+        self,
+        solutions: Iterator[Binding],
+        clause: ValuesClause,
+        meter: CostMeter,
+    ) -> Iterator[Binding]:
+        rows = clause.bindings()
+        for solution in solutions:
+            for row in rows:
+                meter.charge(1)
+                merged = _merge_compatible(solution, row)
+                if merged is not None:
+                    yield merged
+
+    def _join_union(
+        self,
+        solutions: Iterator[Binding],
+        branches: Sequence[GraphPattern],
+        meter: CostMeter,
+    ) -> Iterator[Binding]:
+        for solution in solutions:
+            for branch in branches:
+                # Solving with the current solution as initial bindings
+                # pins the shared variables, which is join compatibility.
+                yield from self._solve_group(branch, solution, meter)
+
+    def _apply_minus(
+        self,
+        solutions: Iterator[Binding],
+        minus: GraphPattern,
+        meter: CostMeter,
+    ) -> Iterator[Binding]:
+        excluders: Optional[List[Binding]] = None
+        for solution in solutions:
+            if excluders is None:
+                # MINUS groups are uncorrelated: evaluated once, with
+                # no bindings flowing in from the left side.
+                excluders = list(self._solve_group(minus, {}, meter))
+            if not any(_minus_excludes(solution, other) for other in excluders):
+                yield solution
 
     def _solve_backtrack(
         self,
-        group: GraphPattern,
+        patterns: Sequence[TriplePattern],
+        filters: Sequence[Expression],
         initial: Binding,
         meter: CostMeter,
     ) -> Iterator[Binding]:
@@ -358,8 +474,8 @@ class QueryEvaluator:
         original term through the decoded view.
         """
         store = self.store
-        filters = list(group.filters)
-        order = _order_patterns(store, group.patterns, set(initial.keys()))
+        filters = list(filters)
+        order = _order_patterns(store, patterns, set(initial.keys()))
         filter_positions = _assign_filters(order, filters, set(initial.keys()))
 
         encoded = [store.encode_pattern(pattern) for pattern in order]
@@ -541,6 +657,28 @@ def _filter_passes(expr: Expression, binding: Binding) -> bool:
         return effective_boolean_value(evaluate_expression(expr, binding))
     except ExpressionError:
         return False
+
+
+def _merge_compatible(left: Binding, right: Binding) -> Optional[Binding]:
+    """Join two solutions; None when a shared variable disagrees."""
+    for name, value in right.items():
+        if name in left and left[name] != value:
+            return None
+    merged = dict(left)
+    merged.update(right)
+    return merged
+
+
+def _minus_excludes(solution: Binding, excluder: Binding) -> bool:
+    """SPARQL MINUS: the excluder removes ``solution`` when they agree
+    on at least one shared variable and disagree on none."""
+    common = False
+    for name, value in excluder.items():
+        if name in solution:
+            if solution[name] != value:
+                return False
+            common = True
+    return common
 
 
 def _order_patterns(

@@ -9,8 +9,15 @@ Grammar (informal)::
     AskQuery     := "ASK" WhereClause
     SelectItem   := Var | "(" Expression "AS" Var ")"
                   | ("COUNT" "(" ("*" | "DISTINCT"? Expression) ")") ("AS" Var)?
-    WhereClause  := "WHERE"? "{" (TriplesBlock | Filter | Optional)* "}"
-    Optional     := "OPTIONAL" "{" (TriplesBlock | Filter)* "}"
+    WhereClause  := "WHERE"? "{" GroupElement* "}"
+    GroupElement := TriplesBlock | Filter | Optional | Minus | Values
+                  | Group ("UNION" Group)*
+    Group        := "{" GroupElement* "}"
+    Optional     := "OPTIONAL" "{" GroupElement* "}"
+    Minus        := "MINUS" "{" GroupElement* "}"
+    Values       := "VALUES" (Var | "(" Var* ")") "{" DataRow* "}"
+    DataRow      := DataValue | "(" DataValue* ")"
+    DataValue    := IRI | Literal | "UNDEF"
     Modifiers    := ("GROUP" "BY" Var+)? ("ORDER" "BY" OrderCond+)?
                     ("LIMIT" INT)? ("OFFSET" INT)?  (in any order for
                     LIMIT/OFFSET, GROUP before ORDER as in SPARQL)
@@ -27,6 +34,7 @@ from typing import List, Optional
 from ..rdf.namespaces import RDF_TYPE, PrefixRegistry, default_registry
 from ..rdf.terms import (
     IRI,
+    XSD_BOOLEAN,
     XSD_DECIMAL,
     XSD_INTEGER,
     Literal,
@@ -45,9 +53,10 @@ from .ast_nodes import (
     SelectItem,
     TermExpr,
     UnaryExpr,
+    ValuesClause,
 )
 from .errors import ParseError
-from .tokens import Token, tokenize
+from .tokens import STRUCTURAL_KEYWORDS, Token, tokenize
 
 __all__ = ["parse_query", "SparqlParser"]
 
@@ -239,7 +248,123 @@ class SparqlParser:
                 self.expect("}")
                 self._skip_dot()
                 continue
+            if self.at_keyword("MINUS"):
+                self.advance()
+                if self.peek().kind != "{":
+                    raise self.error(
+                        "MINUS requires a braced group pattern: MINUS { ... }"
+                    )
+                self.advance()
+                group.minuses.append(self._parse_group_body())
+                self.expect("}")
+                self._skip_dot()
+                continue
+            if self.at_keyword("VALUES"):
+                self.advance()
+                group.values.append(self._parse_values())
+                self._skip_dot()
+                continue
+            if self.at_keyword("UNION"):
+                raise self.error("UNION must follow a braced group pattern")
+            if token.kind == "{":
+                self._parse_group_or_union(group)
+                continue
             self._parse_triples_same_subject(group)
+
+    def _parse_group_or_union(self, group: GraphPattern) -> None:
+        """A braced sub-group, possibly chained with UNION branches.
+
+        A lone ``{ ... }`` is absorbed into the enclosing group; two or
+        more UNION-joined branches are recorded as one alternation
+        chain.  Absorption widens FILTER scope to the enclosing group —
+        a deliberate subset deviation from strict SPARQL group scoping
+        (where a filter referencing only outer variables would evaluate
+        against the inner group's bindings alone).  It matches the
+        correlated evaluation this engine uses for every other nested
+        group and keeps all execution surfaces consistent; patterns,
+        VALUES, UNION and MINUS members are scope-neutral either way.
+        """
+        self.expect("{")
+        branches = [self._parse_group_body()]
+        self.expect("}")
+        while self.at_keyword("UNION"):
+            self.advance()
+            if self.peek().kind != "{":
+                raise self.error(
+                    "UNION requires a braced group pattern: ... UNION { ... }"
+                )
+            self.advance()
+            branches.append(self._parse_group_body())
+            self.expect("}")
+        if len(branches) == 1:
+            _absorb(group, branches[0])
+        else:
+            group.unions.append(branches)
+        self._skip_dot()
+
+    def _parse_values(self) -> ValuesClause:
+        """Parse an inline data block (the ``VALUES`` keyword is consumed)."""
+        token = self.peek()
+        if token.kind == "VAR":
+            names = [self.advance().value]
+            single = True
+        elif token.kind == "(":
+            self.advance()
+            names = []
+            while self.peek().kind == "VAR":
+                names.append(self.advance().value)
+            self.expect(")")
+            single = False
+        else:
+            raise self.error("VALUES requires a variable or a parenthesised variable list")
+        if not names:
+            raise self.error("VALUES requires at least one variable")
+        if len(set(names)) != len(names):
+            raise self.error("duplicate variable in VALUES variable list")
+        self.expect("{")
+        rows: List[tuple] = []
+        while True:
+            token = self.peek()
+            if token.kind == "}":
+                self.advance()
+                return ValuesClause(tuple(names), tuple(rows))
+            if token.kind == "EOF":
+                raise self.error("unterminated VALUES block")
+            if single:
+                rows.append((self._parse_data_value(),))
+                continue
+            self.expect("(")
+            row: List[Optional[Term]] = []
+            while self.peek().kind not in (")", "EOF"):
+                row.append(self._parse_data_value())
+            if self.peek().kind == "EOF":
+                raise self.error("unterminated VALUES block")
+            self.expect(")")
+            if len(row) != len(names):
+                raise self.error(
+                    f"VALUES row has {len(row)} values for {len(names)} variables"
+                )
+            rows.append(tuple(row))
+
+    def _parse_data_value(self) -> Optional[Term]:
+        """One cell of a VALUES row: a ground term or ``UNDEF`` (None)."""
+        token = self.peek()
+        if token.kind == "KEYWORD":
+            word = token.value.upper()
+            if word == "UNDEF":
+                self.advance()
+                return None
+            if word in ("TRUE", "FALSE"):
+                self.advance()
+                return Literal(word.lower(), datatype=XSD_BOOLEAN)
+            raise self.error(f"expected a data value in VALUES block, found {token.value!r}")
+        if token.kind == "STRING":
+            return self._finish_literal(self.advance().value)
+        if token.kind in ("IRI", "PNAME", "NUMBER"):
+            return self._parse_term(allow_literal=True)
+        raise self.error(
+            f"expected a data value in VALUES block, found {token.kind} {token.value!r}"
+        )
 
     def _skip_dot(self) -> None:
         if self.peek().kind == ".":
@@ -275,6 +400,10 @@ class SparqlParser:
 
     def _parse_term(self, allow_literal: bool) -> Term:
         token = self.peek()
+        if token.kind == "KEYWORD" and token.value.upper() in STRUCTURAL_KEYWORDS:
+            raise self.error(
+                f"keyword {token.value!r} cannot appear in term position"
+            )
         if token.kind == "VAR":
             self.advance()
             return Variable(token.value)
@@ -473,6 +602,16 @@ class SparqlParser:
                         )
         if query.has_aggregates() and query.select_star:
             raise ParseError("SELECT * cannot be combined with aggregates")
+
+
+def _absorb(group: GraphPattern, sub: GraphPattern) -> None:
+    """Merge a lone braced sub-group into its enclosing group."""
+    group.patterns.extend(sub.patterns)
+    group.filters.extend(sub.filters)
+    group.optionals.extend(sub.optionals)
+    group.unions.extend(sub.unions)
+    group.minuses.extend(sub.minuses)
+    group.values.extend(sub.values)
 
 
 def _number_literal(text: str) -> Literal:

@@ -1,14 +1,11 @@
-"""Cost-based query planning for basic graph patterns.
+"""Physical query plans: operator selection and ID-space execution.
 
-The seed evaluator executes every BGP as a greedy-ordered backtracking
-index-nested-loop join.  That is the right shape for highly selective
-queries (probe a handful of keys), but quadratic-ish where the paper
-needs low latency: star and chain joins over broad predicates enumerate
-the same index fan-outs once per partial binding.  This module adds the
-standard lever — a logical plan chosen by a cost model over collected
-statistics — while keeping the ID-space discipline of the storage
-engine: every intermediate row is a plain tuple of dictionary IDs and
-terms are decoded only for FILTER evaluation and final materialization.
+This is stage four of the shared pipeline (parse → logical algebra →
+optimize → physical execution; see :mod:`~repro.sparql.algebra` for
+stages two and three).  :class:`QueryPlanner` compiles a normalized
+logical tree into a tree of streaming physical operators; every
+intermediate row is a plain tuple of dictionary IDs and terms are
+decoded only for FILTER evaluation and final materialization.
 
 Plan nodes
 ----------
@@ -16,12 +13,26 @@ Plan nodes
   with same-pattern repeated-variable checks and pushed-down FILTERs.
 * :class:`HashJoinNode` — builds a hash table over the (smaller) right
   input keyed by the shared variables, then streams the left input
-  through it.  Each pattern is scanned exactly once.
+  through it.  Each pattern is scanned exactly once.  With no keys it
+  degrades to the cross product (used for disjoint VALUES tables).
 * :class:`BindJoinNode` — the index-nested-loop strategy: probe the
   store once per left row with the shared variables bound.  Chosen when
   the left input is estimated to be much smaller than a full scan of
   the right pattern, which keeps selective queries (and their cost-meter
   profile) identical to the seed path.
+* :class:`UnionNode` — concatenates branch streams, padding variables a
+  branch does not bind with ``None`` (the unbound slot marker).
+* :class:`MinusNode` — anti-join on IDs implementing SPARQL MINUS
+  compatibility (drop a left row when a right row agrees on at least
+  one shared bound variable and disagrees on none).
+* :class:`ValuesScanNode` — an inline VALUES table, interned into the
+  store dictionary at plan time so downstream joins stay in ID space.
+* :class:`RemoteScanNode` / :class:`RemoteBindJoinNode` — the federated
+  operators: fetch a pattern (or exclusive group) from remote
+  endpoints, or probe them once per *batch* of left rows by shipping
+  the accumulated bindings as a single ``VALUES`` clause instead of one
+  HTTP round-trip per binding.  Remote terms are interned into the
+  mediator's dictionary, so every other operator composes unchanged.
 
 Cost model
 ----------
@@ -29,16 +40,17 @@ Scan cardinalities come from the backend's free estimates
 (:meth:`~repro.store.TripleStore.cardinality_estimate`); join output
 cardinalities divide by the distinct-subject/object counts collected in
 :meth:`~repro.store.TripleStore.predicate_stats_ids`.  Planning is
-greedy left-deep: start from the most selective pattern, repeatedly
-join the connected pattern with the smallest estimated output.  Groups
-a hash join cannot cover — no patterns, fully concrete patterns
-(existence checks), or a disconnected join graph (cartesian corners,
-e.g. unbound-predicate probes) — return ``None`` and the evaluator
-falls back to the seed backtracking path.
+greedy left-deep: start from the most selective input, repeatedly
+join the connected input with the smallest estimated output.  Shapes
+the ID-space operators cannot express — fully concrete patterns
+(existence checks), a disconnected pattern join graph, or a join keyed
+on a variable some UNION branch or UNDEF cell may leave unbound —
+return ``None`` and the evaluator falls back to the term-space
+backtracking path, which implements full compatibility semantics.
 
 ``explain_plan`` renders the tree for the EXPLAIN surface wired through
 :class:`~repro.sparql.evaluator.QueryEvaluator`, the endpoint, the
-server, and the CLI (see ``docs/query-planning.md``).
+server, the federation, and the CLI (see ``docs/query-planning.md``).
 """
 
 from __future__ import annotations
@@ -47,8 +59,22 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.terms import Variable
 from ..rdf.triples import TriplePattern
+from ..store.dictionary import NO_ID
 from ..store.triplestore import CostMeter, TripleStore
-from .ast_nodes import Expression, GraphPattern
+from .algebra import (
+    AlgebraNode,
+    BGP,
+    Empty,
+    Filter as LogicalFilter,
+    Join as LogicalJoin,
+    Minus as LogicalMinus,
+    Union as LogicalUnion,
+    ValuesTable,
+    conjuncts,
+    normalize,
+    translate_group,
+)
+from .ast_nodes import Expression, GraphPattern, ValuesClause
 from .errors import ExpressionError
 from .functions import effective_boolean_value, evaluate_expression
 
@@ -57,6 +83,13 @@ __all__ = [
     "ScanNode",
     "HashJoinNode",
     "BindJoinNode",
+    "UnionNode",
+    "MinusNode",
+    "ValuesScanNode",
+    "CompatJoinNode",
+    "LeftJoinNode",
+    "RemoteScanNode",
+    "RemoteBindJoinNode",
     "QueryPlanner",
     "explain_plan",
 ]
@@ -68,7 +101,13 @@ __all__ = [
 BIND_JOIN_FACTOR = 8
 
 #: One intermediate row: dictionary IDs aligned with ``node.variables``.
-IdRow = Tuple[int, ...]
+#: A ``None`` entry marks an unbound slot (UNION branch that skips the
+#: variable, UNDEF cell in a VALUES table).
+IdRow = Tuple[Optional[int], ...]
+
+#: Default number of left rows a RemoteBindJoinNode accumulates before
+#: shipping them to the endpoints as one VALUES-constrained request.
+REMOTE_BATCH_SIZE = 30
 
 #: Compiled filter: the expression plus the (name, slot) pairs to decode.
 _CompiledFilter = Tuple[Expression, Tuple[Tuple[str, int], ...]]
@@ -86,11 +125,16 @@ class PlanNode:
     variables: Tuple[str, ...]
     est_rows: int
     filters: List[Expression]
+    #: Variables that may be ``None`` in produced rows (propagated from
+    #: UNION / UNDEF inputs).  Joins keyed on these need compatibility
+    #: semantics and are left to the backtracking fallback.
+    maybe_unbound: frozenset
 
     def __init__(self, variables: Tuple[str, ...], est_rows: int) -> None:
         self.variables = variables
         self.est_rows = est_rows
         self.filters = []
+        self.maybe_unbound = frozenset()
         self.slot_of: Dict[str, int] = {name: i for i, name in enumerate(variables)}
 
     # -- execution -----------------------------------------------------
@@ -119,7 +163,11 @@ class PlanNode:
         ]
         for row in rows:
             for expr, slots in compiled:
-                binding = {name: decode(row[slot]) for name, slot in slots}
+                binding = {
+                    name: decode(row[slot])
+                    for name, slot in slots
+                    if row[slot] is not None
+                }
                 try:
                     if not effective_boolean_value(evaluate_expression(expr, binding)):
                         break
@@ -210,6 +258,7 @@ class HashJoinNode(PlanNode):
         residual = [name for name in right.variables if name not in keys]
         self.right_residual_slots = tuple(right.slot_of[name] for name in residual)
         super().__init__(left.variables + tuple(residual), est_rows)
+        self.maybe_unbound = left.maybe_unbound | right.maybe_unbound
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
         # Single shared variable is the overwhelmingly common join shape
@@ -307,6 +356,7 @@ class BindJoinNode(PlanNode):
         super().__init__(
             left.variables + tuple(name for _, name in out), est_rows
         )
+        self.maybe_unbound = left.maybe_unbound
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
         (s_kind, s_val), (p_kind, p_val), (o_kind, o_val) = self.spec
@@ -329,16 +379,518 @@ class BindJoinNode(PlanNode):
         return (self.left,)
 
 
+class ValuesScanNode(PlanNode):
+    """An inline VALUES table as a leaf operator.
+
+    Terms are translated to dictionary IDs at construction so rows live
+    in the same ID space as every other operator.  By default the
+    translation is a read-only ``lookup`` — the shared local store must
+    never be mutated (or, on SQLite, written) from the query path, and
+    ``TermDictionary.encode`` is not safe under the HTTP server's
+    concurrent planning.  A term the store has never seen sets
+    ``has_unknown_terms`` and the local planner falls back to the
+    term-space evaluator, which handles such rows exactly.
+
+    The federation passes ``intern=True``: its mediator store is fresh
+    and private to one query execution, so interning remote/inline
+    terms there is safe and gives every unknown term a real ID.
+    ``None`` cells (UNDEF) stay ``None``.
+    """
+
+    def __init__(self, store: TripleStore, names: Tuple[str, ...],
+                 term_rows: Sequence[Tuple[object, ...]],
+                 intern: bool = False) -> None:
+        translate = store.dictionary.encode if intern else store.term_id
+        self.has_unknown_terms = False
+        id_rows: List[IdRow] = []
+        for row in term_rows:
+            cells: List[Optional[int]] = []
+            for term in row:
+                if term is None:
+                    cells.append(None)
+                    continue
+                term_id = translate(term)
+                if term_id == NO_ID:
+                    self.has_unknown_terms = True
+                cells.append(term_id)
+            id_rows.append(tuple(cells))
+        self.id_rows = id_rows
+        super().__init__(tuple(names), len(self.id_rows))
+        self.maybe_unbound = frozenset(
+            name for position, name in enumerate(names)
+            if any(row[position] is None for row in self.id_rows)
+        )
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        charge = meter.charge if meter is not None else None
+        for row in self.id_rows:
+            if charge is not None:
+                charge(1)
+            yield row
+
+    def label(self) -> str:
+        if not self.variables:
+            return "Unit()" if self.id_rows else "EmptyTable()"
+        heads = " ".join(f"?{name}" for name in self.variables)
+        return f"ValuesScan({heads} x{len(self.id_rows)})"
+
+
+class UnionNode(PlanNode):
+    """Concatenate branch streams over the union of their variables.
+
+    Slots a branch does not bind are padded with ``None`` and recorded
+    in ``maybe_unbound`` so the planner never hash-joins on them.
+    """
+
+    def __init__(self, branches: Sequence[PlanNode]) -> None:
+        names: List[str] = []
+        for branch in branches:
+            for name in branch.variables:
+                if name not in names:
+                    names.append(name)
+        super().__init__(tuple(names), sum(branch.est_rows for branch in branches))
+        self.branches = list(branches)
+        self._maps = [
+            tuple(branch.slot_of.get(name) for name in names)
+            for branch in branches
+        ]
+        unbound = set()
+        for branch in branches:
+            unbound |= set(branch.maybe_unbound)
+            unbound |= {name for name in names if name not in branch.slot_of}
+        self.maybe_unbound = frozenset(unbound)
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        for branch, mapping in zip(self.branches, self._maps):
+            for row in branch.rows(store, meter):
+                yield tuple(None if slot is None else row[slot] for slot in mapping)
+
+    def label(self) -> str:
+        return f"Union[{len(self.branches)}]"
+
+    def children(self) -> Sequence[PlanNode]:
+        return tuple(self.branches)
+
+
+class MinusNode(PlanNode):
+    """Anti-join on IDs implementing SPARQL MINUS compatibility.
+
+    A left row is dropped when some right row agrees with it on at
+    least one shared variable bound on both sides and disagrees on
+    none.  With every shared slot certainly bound on both sides this
+    is one set-membership test per row; rows with ``None`` cells fall
+    back to a compatibility scan.
+    """
+
+    def __init__(self, left: PlanNode, right: PlanNode) -> None:
+        shared = tuple(name for name in right.variables if name in left.slot_of)
+        self.left = left
+        self.right = right
+        self.shared = shared
+        self.left_slots = tuple(left.slot_of[name] for name in shared)
+        self.right_slots = tuple(right.slot_of[name] for name in shared)
+        super().__init__(left.variables, left.est_rows)
+        self.maybe_unbound = left.maybe_unbound
+
+    @staticmethod
+    def _compatible(left_key: IdRow, right_key: IdRow) -> bool:
+        """True when the keys share >=1 bound position and clash on none."""
+        common = False
+        for a, b in zip(left_key, right_key):
+            if a is None or b is None:
+                continue
+            if a != b:
+                return False
+            common = True
+        return common
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        if not self.shared:
+            # Disjoint domains: the subtraction removes nothing (the
+            # normalizer usually rewrites this away already).
+            yield from self.left.rows(store, meter)
+            return
+        exact: set = set()
+        loose: List[IdRow] = []
+        for row in self.right.rows(store, meter):
+            key = tuple(row[slot] for slot in self.right_slots)
+            if None in key:
+                loose.append(key)
+            else:
+                exact.add(key)
+        left_slots = self.left_slots
+        for lrow in self.left.rows(store, meter):
+            lkey = tuple(lrow[slot] for slot in left_slots)
+            if None not in lkey:
+                if lkey in exact:
+                    continue
+                if loose and any(self._compatible(lkey, rkey) for rkey in loose):
+                    continue
+            else:
+                if any(self._compatible(lkey, rkey) for rkey in exact) or any(
+                    self._compatible(lkey, rkey) for rkey in loose
+                ):
+                    continue
+            yield lrow
+
+    def label(self) -> str:
+        keys = ", ".join(f"?{name}" for name in self.shared) or "-"
+        return f"Minus(on {keys})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
+class CompatJoinNode(PlanNode):
+    """Nested-loop join with full SPARQL compatibility semantics.
+
+    Used where a shared variable may be unbound on either side — a hash
+    join's equality keying would treat "unbound" as a value, but SPARQL
+    says an unbound variable is compatible with anything and the merged
+    solution takes the bound side's value.  The local planner avoids
+    this shape by falling back to the term-space evaluator; the
+    federation, which has no backtracking fallback, uses this operator.
+    Materializes the right input.
+    """
+
+    def __init__(self, left: PlanNode, right: PlanNode, est_rows: int) -> None:
+        self.left = left
+        self.right = right
+        self.shared = tuple(name for name in right.variables if name in left.slot_of)
+        self.left_shared_slots = tuple(left.slot_of[name] for name in self.shared)
+        self.right_shared_slots = tuple(right.slot_of[name] for name in self.shared)
+        residual = [name for name in right.variables if name not in self.shared]
+        self.right_residual_slots = tuple(right.slot_of[name] for name in residual)
+        super().__init__(left.variables + tuple(residual), est_rows)
+        self.maybe_unbound = left.maybe_unbound | right.maybe_unbound
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        right_rows = list(self.right.rows(store, meter))
+        charge = meter.charge if meter is not None else None
+        for lrow in self.left.rows(store, meter):
+            for rrow in right_rows:
+                merged = _merge_shared(
+                    lrow, rrow, self.left_shared_slots, self.right_shared_slots
+                )
+                if merged is None:
+                    continue
+                if charge is not None:
+                    charge(1)
+                yield merged + tuple(rrow[slot] for slot in self.right_residual_slots)
+
+    def label(self) -> str:
+        keys = ", ".join(f"?{name}" for name in self.shared) or "-"
+        return f"CompatJoin(on {keys})"
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
+class LeftJoinNode(CompatJoinNode):
+    """Left outer variant of :class:`CompatJoinNode` (OPTIONAL).
+
+    A left row with no compatible right row passes through with the
+    right-only slots unbound.  Used by the federation for OPTIONALs
+    nested inside UNION/MINUS branches, where no per-solution
+    correlation point exists — the right side is evaluated once,
+    independently, per the SPARQL LeftJoin algebra.
+    """
+
+    def __init__(self, left: PlanNode, right: PlanNode, est_rows: int) -> None:
+        super().__init__(left, right, est_rows)
+        residual = self.variables[len(left.variables):]
+        self.maybe_unbound = self.maybe_unbound | set(residual)
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        right_rows = list(self.right.rows(store, meter))
+        charge = meter.charge if meter is not None else None
+        pad = (None,) * len(self.right_residual_slots)
+        for lrow in self.left.rows(store, meter):
+            matched = False
+            for rrow in right_rows:
+                merged = _merge_shared(
+                    lrow, rrow, self.left_shared_slots, self.right_shared_slots
+                )
+                if merged is None:
+                    continue
+                matched = True
+                if charge is not None:
+                    charge(1)
+                yield merged + tuple(rrow[slot] for slot in self.right_residual_slots)
+            if not matched:
+                yield lrow + pad
+
+    def label(self) -> str:
+        keys = ", ".join(f"?{name}" for name in self.shared) or "-"
+        return f"LeftJoin(on {keys})"
+
+
+class RemoteScanNode(PlanNode):
+    """Fetch one pattern (or an exclusive group of patterns that share
+    a single relevant source) from remote endpoints.
+
+    ``sources`` need only the endpoint query surface (``select``/``ask``
+    raising ``EndpointError`` subclasses) — in-process and HTTP-backed
+    endpoints mix freely.  Result terms are interned into the executing
+    store's dictionary, so the mediator joins them in ID space like any
+    local rows.  Rows are deduplicated across sources (two endpoints
+    may hold overlapping data).
+    """
+
+    def __init__(self, patterns: Sequence[TriplePattern], sources: Sequence,
+                 est_rows: int) -> None:
+        self.patterns = list(patterns)
+        self.sources = list(sources)
+        names: List[str] = []
+        for pattern in self.patterns:
+            for name in pattern.variables():
+                if name not in names:
+                    names.append(name)
+        super().__init__(tuple(names), est_rows)
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        from ..endpoint.endpoint import EndpointError
+        from .serializer import ask_query, select_query
+
+        charge = meter.charge if meter is not None else None
+        if not self.variables:
+            # Fully ground patterns: a federated existence check.
+            probe = ask_query(self.patterns)
+            for source in self.sources:
+                try:
+                    if source.ask(probe):
+                        if charge is not None:
+                            charge(1)
+                        yield ()
+                        return
+                except EndpointError:
+                    continue
+            return
+        query = select_query(self.patterns, distinct=False)
+        encode = store.dictionary.encode
+        seen: set = set()
+        for source in self.sources:
+            try:
+                result = source.select(query)
+            except EndpointError:
+                # A failing source cannot veto the others' answers.
+                continue
+            for row in result.rows:
+                ids = tuple(
+                    encode(row[name]) if name in row else None
+                    for name in self.variables
+                )
+                if ids in seen:
+                    continue
+                seen.add(ids)
+                if charge is not None:
+                    charge(1)
+                yield ids
+
+    def label(self) -> str:
+        where = " . ".join(_pattern_text(p) for p in self.patterns)
+        at = ",".join(getattr(s, "name", "?") for s in self.sources)
+        return f"RemoteScan({where} @ {at})"
+
+
+class RemoteBindJoinNode(PlanNode):
+    """Batched bind join against remote endpoints.
+
+    Accumulates up to ``batch_size`` left rows, decodes the variables
+    shared with ``pattern``, and ships them to every source as one
+    sub-query of the form ``SELECT * WHERE { pattern VALUES (vars)
+    { rows } }`` — a single HTTP round-trip per source per batch
+    instead of one per binding, which is where federated joins spend
+    their time (the FedX "bound join" idea, upgraded from FILTER
+    disjunctions to VALUES).  Left rows with an unbound shared slot
+    ship ``UNDEF``, preserving compatibility semantics.
+    """
+
+    def __init__(self, left: PlanNode, pattern: TriplePattern, sources: Sequence,
+                 est_rows: int, batch_size: int = REMOTE_BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.left = left
+        self.pattern = pattern
+        self.sources = list(sources)
+        self.batch_size = batch_size
+        self.shared = tuple(
+            name for name in pattern.variables() if name in left.slot_of
+        )
+        self.left_key_slots = tuple(left.slot_of[name] for name in self.shared)
+        fresh: List[str] = []
+        for name in pattern.variables():
+            if name not in left.slot_of and name not in fresh:
+                fresh.append(name)
+        self.fresh = tuple(fresh)
+        super().__init__(left.variables + tuple(fresh), est_rows)
+        # Shared slots are always bound after the join (the pattern
+        # binds them); the rest of the left row keeps its status.
+        self.maybe_unbound = left.maybe_unbound - set(self.shared)
+
+    def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        batch: List[IdRow] = []
+        for lrow in self.left.rows(store, meter):
+            batch.append(lrow)
+            if len(batch) >= self.batch_size:
+                yield from self._flush(batch, store, meter)
+                batch = []
+        if batch:
+            yield from self._flush(batch, store, meter)
+
+    def _flush(self, batch: List[IdRow], store: TripleStore,
+               meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        from ..endpoint.endpoint import EndpointError
+        from .ast_nodes import GraphPattern as AstGroup, Query as AstQuery
+
+        decode = store.decode_id
+        encode = store.dictionary.encode
+        charge = meter.charge if meter is not None else None
+
+        # Distinct decoded key tuples for the VALUES clause (UNDEF for
+        # slots a union branch left unbound).
+        term_keys: Dict[Tuple, None] = {}
+        for lrow in batch:
+            key = tuple(
+                None if lrow[slot] is None else decode(lrow[slot])
+                for slot in self.left_key_slots
+            )
+            term_keys.setdefault(key)
+        sub_query = AstQuery(
+            form="SELECT",
+            select_star=True,
+            where=AstGroup(
+                patterns=[self.pattern],
+                values=(
+                    [ValuesClause(self.shared, tuple(term_keys))]
+                    if self.shared else []
+                ),
+            ),
+        )
+
+        # Fetch once per source, group extensions by their key values.
+        exact: Dict[Tuple, List[Tuple]] = {}
+        scan_rows: List[Tuple[Tuple, Tuple]] = []  # (key, extension)
+        seen: set = set()
+        for source in self.sources:
+            try:
+                result = source.select(sub_query)
+            except EndpointError:
+                continue
+            for row in result.rows:
+                key = tuple(row.get(name) for name in self.shared)
+                extension = tuple(row.get(name) for name in self.fresh)
+                if (key, extension) in seen:
+                    continue
+                seen.add((key, extension))
+                if None in key:
+                    scan_rows.append((key, extension))
+                else:
+                    exact.setdefault(key, []).append(extension)
+
+        for lrow in batch:
+            lkey = tuple(
+                None if lrow[slot] is None else decode(lrow[slot])
+                for slot in self.left_key_slots
+            )
+            if None not in lkey:
+                matches = [(lkey, ext) for ext in exact.get(lkey, ())]
+                matches.extend(
+                    pair for pair in scan_rows if _terms_compatible(lkey, pair[0])
+                )
+            else:
+                matches = [
+                    (key, ext) for key, exts in exact.items()
+                    if _terms_compatible(lkey, key) for ext in exts
+                ]
+                matches.extend(
+                    pair for pair in scan_rows if _terms_compatible(lkey, pair[0])
+                )
+            for key, extension in matches:
+                if charge is not None:
+                    charge(1)
+                merged = lrow
+                if None in lkey:
+                    # The pattern bound a variable this left row left
+                    # unbound: the joined solution takes the new value.
+                    cells = list(lrow)
+                    for position, slot in enumerate(self.left_key_slots):
+                        if cells[slot] is None and key[position] is not None:
+                            cells[slot] = encode(key[position])
+                    merged = tuple(cells)
+                yield merged + tuple(
+                    None if term is None else encode(term) for term in extension
+                )
+
+    def label(self) -> str:
+        at = ",".join(getattr(s, "name", "?") for s in self.sources)
+        return (
+            f"RemoteBindJoin({_pattern_text(self.pattern)} @ {at}, "
+            f"batch={self.batch_size})"
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left,)
+
+
+def _merge_shared(
+    lrow: IdRow,
+    rrow: IdRow,
+    left_slots: Tuple[int, ...],
+    right_slots: Tuple[int, ...],
+) -> Optional[IdRow]:
+    """Compatibility-merge one row pair over their shared slots.
+
+    Returns the left row with unbound shared cells filled from the
+    right, or ``None`` when two bound cells clash.  The single merge
+    implementation behind :class:`CompatJoinNode` and
+    :class:`LeftJoinNode`, so inner- and outer-join compatibility can
+    never diverge.
+    """
+    cells: Optional[List[Optional[int]]] = None
+    for lslot, rslot in zip(left_slots, right_slots):
+        lval, rval = lrow[lslot], rrow[rslot]
+        if lval is None:
+            if rval is not None:
+                if cells is None:
+                    cells = list(lrow)
+                cells[lslot] = rval
+        elif rval is not None and lval != rval:
+            return None
+    return tuple(cells) if cells is not None else lrow
+
+
+def _terms_compatible(left_key: Tuple, right_key: Tuple) -> bool:
+    """Join compatibility over decoded terms (None = unbound)."""
+    for a, b in zip(left_key, right_key):
+        if a is None or b is None:
+            continue
+        if a != b:
+            return False
+    return True
+
+
 class QueryPlanner:
-    """Builds a left-deep hash/bind-join plan for one graph pattern."""
+    """Compiles normalized logical algebra into physical plans.
+
+    The shared optimizer of the four-stage pipeline: every consumer
+    (local evaluation, federation mediation, HTTP serving) plans
+    through this class.  BGP conjunctions become left-deep
+    hash/bind-join trees; UNION, MINUS and VALUES compile to their
+    dedicated operators.
+    """
 
     def __init__(self, store: TripleStore) -> None:
         self.store = store
 
     def plan(self, group: GraphPattern, budget: Optional[int] = None) -> Optional[PlanNode]:
-        """Return an executable plan, or ``None`` when the group needs
-        the backtracking fallback (empty, existence checks, or a
-        disconnected join graph).
+        """Plan one group graph pattern (OPTIONALs excluded — the
+        evaluator applies those per base solution).
+
+        Returns ``None`` when the group needs the backtracking
+        fallback: an empty basic group, fully concrete patterns
+        (existence checks), a disconnected pattern join graph, or a
+        join keyed on a variable UNION/UNDEF may leave unbound.
 
         ``budget`` is the caller's cost-meter budget, if any.  Hash
         joins pay a full scan of the build pattern up front; on a
@@ -349,55 +901,147 @@ class QueryPlanner:
         planner stays on bind joins, whose cost profile matches the
         seed backtracker's.
         """
-        patterns = list(group.patterns)
-        if not patterns:
+        root = normalize(translate_group(group, include_optionals=False))
+        if isinstance(root, BGP) and not root.patterns:
+            # The unit group: the backtracker's "yield the initial
+            # binding" path is already exact (and EXPLAIN says Empty()).
             return None
+        return self.compile(root, budget)
+
+    def compile(self, node: AlgebraNode, budget: Optional[int] = None) -> Optional[PlanNode]:
+        """Compile one normalized logical node; ``None`` = fallback."""
+        filters, core = _strip_filters(node)
+        compiled = self._compile_core(core, filters, budget)
+        return compiled
+
+    def _compile_core(
+        self,
+        core: AlgebraNode,
+        pending: List[Expression],
+        budget: Optional[int],
+    ) -> Optional[PlanNode]:
+        store = self.store
+        if isinstance(core, Empty):
+            return self._finish(ValuesScanNode(store, (), ()), pending)
+        if isinstance(core, ValuesTable):
+            node = ValuesScanNode(store, core.names, core.rows)
+            if node.has_unknown_terms:
+                # A VALUES term the store never interned has no ID; the
+                # term-space fallback carries the original terms.
+                return None
+            return self._finish(node, pending)
+        if isinstance(core, LogicalUnion):
+            branches = []
+            for branch in core.branches:
+                compiled = self.compile(branch, budget)
+                if compiled is None:
+                    return None
+                branches.append(compiled)
+            return self._finish(UnionNode(branches), pending)
+        if isinstance(core, LogicalMinus):
+            left = self.compile(core.left, budget)
+            if left is None:
+                return None
+            right = self.compile(core.right, budget)
+            if right is None:
+                return None
+            return self._finish(MinusNode(left, right), pending)
+        if isinstance(core, (BGP, LogicalJoin)):
+            return self._compile_conjunction(conjuncts(core), pending, budget)
+        return None  # LeftJoin and modifiers are handled by the evaluator
+
+    def _finish(self, node: PlanNode, pending: List[Expression]) -> PlanNode:
+        """Attach any stripped filters to a finished operator."""
+        node.filters.extend(pending)
+        return node
+
+    def _compile_conjunction(
+        self,
+        parts: List[AlgebraNode],
+        pending: List[Expression],
+        budget: Optional[int],
+    ) -> Optional[PlanNode]:
+        """Greedy left-deep join over patterns and compiled sub-plans."""
+        store = self.store
+        patterns: List[TriplePattern] = []
+        leaves: List[PlanNode] = []
+        pending = list(pending)
+        for part in parts:
+            part_filters, part_core = _strip_filters(part)
+            if isinstance(part_core, BGP):
+                patterns.extend(part_core.patterns)
+                pending.extend(part_filters)
+            else:
+                leaf = self._compile_core(part_core, part_filters, budget)
+                if leaf is None:
+                    return None
+                leaves.append(leaf)
+        patterns = list(dict.fromkeys(patterns))
         if any(not pattern.variables() for pattern in patterns):
             return None  # fully concrete patterns are existence checks
-        store = self.store
+        if not patterns and not leaves:
+            return None
         stats = store.predicate_stats_ids()
-        scans = [
+        candidates: List[PlanNode] = [
             ScanNode(store, pattern, store.cardinality_estimate(pattern))
             for pattern in patterns
-        ]
+        ] + leaves
 
-        pending = list(group.filters)
-        node: PlanNode = min(scans, key=lambda scan: scan.est_rows)
-        scans.remove(node)  # type: ignore[arg-type]
+        node: PlanNode = min(candidates, key=lambda c: c.est_rows)
+        candidates.remove(node)
         self._attach_filters(node, pending)
         est_cost = node.est_rows  # scan candidates charged so far
 
-        while scans:
+        while candidates:
             connected = [
-                scan for scan in scans
-                if any(name in node.slot_of for name in scan.variables)
+                candidate for candidate in candidates
+                if any(name in node.slot_of for name in candidate.variables)
             ]
             if not connected:
-                return None  # cartesian corner: leave it to the backtracker
+                if any(isinstance(c, ScanNode) for c in candidates):
+                    return None  # pattern cartesian corner: backtracker's
+                # Disjoint VALUES/UNION tables: an explicit cross
+                # product (keyless hash join) is small and well-defined.
+                best = min(candidates, key=lambda c: c.est_rows)
+                candidates.remove(best)
+                node = HashJoinNode(
+                    node, best, (), max(1, node.est_rows) * max(1, best.est_rows)
+                )
+                self._attach_filters(node, pending)
+                continue
             best = min(
                 connected,
-                key=lambda scan: self._join_estimate(node, scan, stats),
+                key=lambda candidate: self._join_estimate(node, candidate, stats),
             )
-            scans.remove(best)
+            candidates.remove(best)
+            keys = tuple(name for name in best.variables if name in node.slot_of)
+            if any(
+                name in node.maybe_unbound or name in best.maybe_unbound
+                for name in keys
+            ):
+                # Joining on a maybe-unbound variable needs SPARQL
+                # compatibility semantics; the term-space fallback has
+                # them, the ID-space hash join does not.
+                return None
             est = self._join_estimate(node, best, stats)
             hash_cost = est_cost + best.est_rows + est
-            prefer_bind = node.est_rows * BIND_JOIN_FACTOR < best.est_rows
+            prefer_bind = (
+                isinstance(best, ScanNode)
+                and node.est_rows * BIND_JOIN_FACTOR < best.est_rows
+            )
             over_budget = budget is not None and hash_cost * 2 > budget
-            if prefer_bind or over_budget:
+            if isinstance(best, ScanNode) and (prefer_bind or over_budget):
                 node = BindJoinNode(store, node, best.pattern, est)
                 est_cost += est  # probes charge per produced candidate
             else:
-                # Push single-pattern filters below the build side so the
+                # Push single-input filters below the build side so the
                 # hash table only holds rows that can survive.
                 self._attach_filters(best, pending)
-                keys = tuple(
-                    name for name in best.variables if name in node.slot_of
-                )
                 node = HashJoinNode(node, best, keys, est)
                 est_cost = hash_cost
             self._attach_filters(node, pending)
 
-        # Filters whose variables never appear in any pattern evaluate
+        # Filters whose variables never appear in any input evaluate
         # against an unbound binding at the root: error -> row dropped,
         # exactly like the seed's last-depth assignment.
         node.filters.extend(pending)
@@ -408,14 +1052,20 @@ class QueryPlanner:
     def _join_estimate(
         self,
         left: PlanNode,
-        scan: ScanNode,
+        candidate: PlanNode,
         stats: Dict[int, Tuple[int, int, int]],
     ) -> int:
-        shared = [name for name in scan.variables if name in left.slot_of]
+        shared = [name for name in candidate.variables if name in left.slot_of]
+        if not isinstance(candidate, ScanNode):
+            # VALUES/UNION inputs: assume near-unique keys, so the join
+            # output tracks the larger input.
+            if shared:
+                return max(left.est_rows, candidate.est_rows)
+            return max(1, left.est_rows) * max(1, candidate.est_rows)
         distinct = 1
         for name in shared:
-            distinct = max(distinct, self._distinct_values(scan, name, stats))
-        return max(0, left.est_rows * scan.est_rows // max(distinct, 1))
+            distinct = max(distinct, self._distinct_values(candidate, name, stats))
+        return max(0, left.est_rows * candidate.est_rows // max(distinct, 1))
 
     def _distinct_values(
         self,
@@ -443,14 +1093,41 @@ class QueryPlanner:
 
     @staticmethod
     def _attach_filters(node: PlanNode, pending: List[Expression]) -> None:
-        """Attach every pending filter whose variables are now bound."""
-        ready = [
-            expr for expr in pending
-            if all(name in node.slot_of for name in expr.variables())
-        ]
-        for expr in ready:
-            node.filters.append(expr)
-            pending.remove(expr)
+        """See :func:`attach_ready_filters` — one implementation serves
+        the local and the federated planner."""
+        attach_ready_filters(node, pending)
+
+
+def _strip_filters(node: AlgebraNode) -> Tuple[List[Expression], AlgebraNode]:
+    """Peel Filter wrappers off a logical node, outermost first."""
+    filters: List[Expression] = []
+    while isinstance(node, LogicalFilter):
+        filters.append(node.expression)
+        node = node.child
+    return filters, node
+
+
+def attach_ready_filters(node: PlanNode, pending: List[Expression]) -> None:
+    """Attach every pending filter whose variables are *certainly*
+    bound by ``node`` (shared by the local and federated planners).
+
+    A variable that is merely maybe-unbound must wait: evaluating the
+    filter against an UNDEF row here would drop it, while a later
+    compatibility join could still bind the variable and let the row
+    pass.  Filters that never become attachable go onto the plan root
+    (group-level scope), where erroring on an unbound variable is the
+    correct SPARQL outcome.
+    """
+    ready = [
+        expr for expr in pending
+        if all(
+            name in node.slot_of and name not in node.maybe_unbound
+            for name in expr.variables()
+        )
+    ]
+    for expr in ready:
+        node.filters.append(expr)
+        pending.remove(expr)
 
 
 def explain_plan(node: PlanNode, indent: int = 0) -> str:

@@ -21,6 +21,7 @@ from .ast_nodes import (
     SelectItem,
     TermExpr,
     UnaryExpr,
+    ValuesClause,
 )
 
 __all__ = ["serialize_query", "serialize_expression", "select_query", "ask_query"]
@@ -47,12 +48,33 @@ def serialize_expression(expr: Expression) -> str:
     raise TypeError(f"cannot serialize expression {expr!r}")
 
 
+def _values_text(clause: ValuesClause, indent: str) -> str:
+    """Render one inline data block (UNDEF for absent cells)."""
+    heads = " ".join(f"?{name}" for name in clause.variables)
+    rows = " ".join(
+        "(" + " ".join("UNDEF" if value is None else value.n3() for value in row) + ")"
+        for row in clause.rows
+    )
+    return f"{indent}VALUES ({heads}) {{ {rows} }}"
+
+
 def _serialize_group(group: GraphPattern, indent: str = "  ") -> str:
     lines: List[str] = []
     for pattern in group.patterns:
         lines.append(f"{indent}{pattern.n3()}")
+    for clause in group.values:
+        lines.append(_values_text(clause, indent))
+    for branches in group.unions:
+        rendered = []
+        for branch in branches:
+            rendered.append(f"{{\n{_serialize_group(branch, indent + '  ')}\n{indent}}}")
+        lines.append(indent + " UNION ".join(rendered))
     for expr in group.filters:
         lines.append(f"{indent}FILTER ({serialize_expression(expr)})")
+    for minus in group.minuses:
+        lines.append(f"{indent}MINUS {{")
+        lines.append(_serialize_group(minus, indent + "  "))
+        lines.append(f"{indent}}}")
     for optional in group.optionals:
         lines.append(f"{indent}OPTIONAL {{")
         lines.append(_serialize_group(optional, indent + "  "))

@@ -10,8 +10,16 @@ Token kinds:
                    ``LANGTAG`` or ``^^`` + IRI which the parser assembles
 * ``LANGTAG``    — ``@en``
 * ``NUMBER``     — integer or decimal
-* ``KEYWORD``    — bare word (SELECT, WHERE, FILTER, function names, ``a``)
+* ``KEYWORD``    — bare word (SELECT, WHERE, FILTER, UNION, VALUES,
+                   MINUS, UNDEF, function names, ``a``)
 * punctuation    — one of ``{ } ( ) . , ; * = != <= >= < > && || ! + - / ^^``
+
+Keywords are not reserved at the token level — the tokenizer emits every
+bare word as ``KEYWORD`` and the parser decides meaning by position.
+:data:`STRUCTURAL_KEYWORDS` lists the words that open group-level
+constructs; the parser uses it to reject them where a term is expected
+(``?s MINUS ?o`` is a malformed triple, not a MINUS group) with an error
+that names the misplaced keyword.
 """
 
 from __future__ import annotations
@@ -21,7 +29,17 @@ from typing import List
 
 from .errors import ParseError
 
-__all__ = ["Token", "tokenize"]
+__all__ = ["Token", "tokenize", "STRUCTURAL_KEYWORDS"]
+
+#: Words that introduce group-level structure inside a WHERE clause.
+#: They can never be a subject/predicate/object, so the parser treats an
+#: occurrence in term position as a structural error rather than trying
+#: to read them as a prefixed name or function.
+STRUCTURAL_KEYWORDS = frozenset({
+    "SELECT", "ASK", "WHERE", "FILTER", "OPTIONAL",
+    "UNION", "MINUS", "VALUES", "UNDEF",
+    "GROUP", "ORDER", "LIMIT", "OFFSET", "PREFIX",
+})
 
 
 @dataclass(frozen=True, slots=True)

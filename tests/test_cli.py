@@ -67,6 +67,56 @@ class TestCommands:
         assert "Figure 8" in out
         assert "QSM usage" in out
 
+    def test_query_format_json(self, capsys):
+        code = main([
+            "query", "--format", "json",
+            'SELECT ?w WHERE { ?t foaf:name "Tom Hanks"@en . ?t dbo:spouse ?w }',
+        ])
+        assert code == 0
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["head"]["vars"] == ["w"]
+        values = [b["w"]["value"] for b in document["results"]["bindings"]]
+        assert any("Rita_Wilson" in value for value in values)
+
+    def test_query_format_csv_and_tsv(self, capsys):
+        query = 'SELECT ?w WHERE { ?t foaf:name "Tom Hanks"@en . ?t dbo:spouse ?w }'
+        assert main(["query", "--format", "csv", query]) == 0
+        csv_out = capsys.readouterr().out
+        assert csv_out.splitlines()[0] == "w"
+        assert "Rita_Wilson" in csv_out
+        assert main(["query", "--format", "tsv", query]) == 0
+        assert "Rita_Wilson" in capsys.readouterr().out
+
+    def test_query_format_xml(self, capsys):
+        assert main([
+            "query", "--format", "xml",
+            'SELECT ?w WHERE { ?t foaf:name "Tom Hanks"@en . ?t dbo:spouse ?w }',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<?xml") and "Rita_Wilson" in out
+
+    def test_machine_format_suppresses_suggestions(self, capsys):
+        code = main([
+            "query", "--format", "json",
+            'SELECT ?p WHERE { ?p foaf:surname "Kennedys"@en }',
+        ])
+        assert code == 1  # no answers
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["results"]["bindings"] == []
+
+    def test_query_union_values_minus(self, capsys):
+        code = main([
+            "query", "--no-suggest", "--format", "csv",
+            "SELECT DISTINCT ?p WHERE { { ?t dbo:spouse ?p } UNION "
+            '{ ?p foaf:name "Tom Hanks"@en } MINUS { ?p a dbo:City } }',
+        ])
+        assert code == 0
+        assert "Tom_Hanks" in capsys.readouterr().out
+
     def test_serve_smoke(self, capsys):
         assert main(["serve", "--port", "0", "--smoke"]) == 0
         out = capsys.readouterr().out
