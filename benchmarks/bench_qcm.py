@@ -15,6 +15,8 @@ Reproduces the four QCM measurements:
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import pytest
@@ -23,6 +25,10 @@ from repro.core import QueryCompletionModule
 from repro.eval import format_table
 
 from conftest import emit
+
+#: Metrics accumulated across tests, written as the BENCH_qcm.json CI
+#: artifact by test_write_json (which pytest runs last in file order).
+METRICS: dict = {"benchmark": "qcm"}
 
 #: Lookup terms modelled on what study participants typed.
 LOOKUP_TERMS = [
@@ -52,6 +58,8 @@ def test_tree_lookup_latency(qcm, capsys, benchmark):
         lookups()
         mean_s = time.perf_counter() - t0
     per_lookup_ms = mean_s / len(LOOKUP_TERMS) * 1000
+    METRICS["tree_lookup_ms"] = per_lookup_ms
+    METRICS["tree_strings"] = qcm.cache.n_tree_strings
     with capsys.disabled():
         emit("E6.1 — suffix-tree lookup latency",
              f"mean per lookup: {per_lookup_ms:.4f} ms over "
@@ -72,6 +80,7 @@ def test_bin_scan_parallel_scaling(small_server, capsys, benchmark):
         rows.append({"workers": processes,
                      "total_s": round(elapsed, 4),
                      "per_lookup_ms": round(elapsed / len(LOOKUP_TERMS) * 1000, 3)})
+    METRICS["bin_scan"] = rows
     eight_worker_qcm = QueryCompletionModule(cache, small_server.config.with_processes(8))
     benchmark.pedantic(lambda: [eight_worker_qcm.complete(t) for t in LOOKUP_TERMS],
                        rounds=1, iterations=1)
@@ -123,6 +132,7 @@ def test_length_filter_elimination(qcm, capsys, benchmark):
     )
     fractions = [1.0 - result.bins_searched_fraction for result in results]
     mean_eliminated = sum(fractions) / len(fractions)
+    METRICS["length_filter_eliminated"] = mean_eliminated
     with capsys.disabled():
         emit("E6.4 — residual literals eliminated by the length filter",
              f"mean eliminated: {100 * mean_eliminated:.1f}% "
@@ -133,6 +143,17 @@ def test_length_filter_elimination(qcm, capsys, benchmark):
 def test_bench_complete(benchmark, qcm):
     result = benchmark(lambda: qcm.complete("Kenn"))
     assert result.surfaces()
+
+
+def test_write_json(qcm):
+    """Write the accumulated metrics as the CI artifact (last in file)."""
+    json_path = os.environ.get("BENCH_JSON")
+    assert METRICS.get("tree_lookup_ms") is not None
+    if not json_path:
+        return
+    with open(json_path, "w") as handle:
+        json.dump(METRICS, handle, indent=2)
+    print(f"\nresults written to {json_path}")
 if __name__ == "__main__":
     import sys
 

@@ -4,15 +4,20 @@ Exposes the library's main entry points without writing Python::
 
     python -m repro.cli stats                 # dataset + cache summary
     python -m repro.cli complete Kenn         # QCM suggestions
+    python -m repro.cli complete Kenn --url http://host:8890   # remote QCM
+    python -m repro.cli suggest 'SELECT ?w WHERE { ... }'      # QSM round
     python -m repro.cli query 'SELECT ?w WHERE { ... }'
     python -m repro.cli table1                # the Table 1 comparison
     python -m repro.cli study --participants 8
     python -m repro.cli init --save cache.json
     python -m repro.cli serve --port 8890    # SPARQL 1.1 Protocol endpoint
+    python -m repro.cli serve --sapphire     # + /complete and /suggest
 
-All commands stand up the synthetic dataset behind a simulated endpoint
+Most commands stand up the synthetic dataset behind a simulated endpoint
 (``--scale tiny|small|medium``, ``--seed N``) and run Section 5
-initialization, exactly like :func:`repro.quickstart_server`.
+initialization, exactly like :func:`repro.quickstart_server`; with
+``--url`` the ``complete``/``suggest`` commands instead drive a *remote*
+Sapphire over the HTTP suggestion API (``repro serve --sapphire``).
 """
 
 from __future__ import annotations
@@ -51,6 +56,22 @@ def build_parser() -> argparse.ArgumentParser:
     complete = commands.add_parser("complete", help="QCM auto-completion")
     complete.add_argument("term", help="the partially typed term")
     complete.add_argument("-k", type=int, default=10, help="max suggestions")
+    complete.add_argument("--url", default=None, metavar="URL",
+                          help="drive a remote Sapphire over HTTP "
+                               "(a 'repro serve --sapphire' base URL) "
+                               "instead of building a local one")
+    complete.add_argument("--session", default=None,
+                          help="session token to send with --url calls")
+
+    suggest = commands.add_parser(
+        "suggest", help="run a query and print the QSM suggestion round"
+    )
+    suggest.add_argument("sparql", help="the query text")
+    suggest.add_argument("--url", default=None, metavar="URL",
+                         help="drive a remote Sapphire over HTTP instead "
+                              "of building a local one")
+    suggest.add_argument("--session", default=None,
+                         help="session token to send with --url calls")
 
     query = commands.add_parser("query", help="run a SPARQL query + QSM")
     query.add_argument("sparql", help="the query text")
@@ -69,6 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="show the query plan without executing the query"
     )
     explain.add_argument("sparql", help="the query text")
+    explain.add_argument("--probes", action="store_true",
+                         help="also show the QSM's batched VALUES probe "
+                              "queries and their federated plans")
 
     commands.add_parser("table1", help="run the Table 1 system comparison")
 
@@ -99,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "503s start (default: 16)")
     serve.add_argument("--timeout-s", type=float, default=2.0,
                        help="endpoint query timeout in seconds (default: 2.0)")
+    serve.add_argument("--sapphire", action="store_true",
+                       help="serve a full Sapphire server (runs Section 5 "
+                            "initialization first): queries federate and "
+                            "the /complete + /suggest suggestion API is "
+                            "enabled")
     serve.add_argument("--smoke", action="store_true",
                        help="bind, print the URL, and exit without serving "
                             "(used by CI)")
@@ -132,8 +161,14 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_complete(args) -> int:
-    server, _ = _make_server(args)
-    result = server.complete(args.term, k=args.k)
+    if args.url:
+        from .net import HttpSapphireClient
+
+        client = HttpSapphireClient(args.url, session=args.session)
+        result = client.complete(args.term, k=args.k)
+    else:
+        server, _ = _make_server(args)
+        result = server.complete(args.term, k=args.k)
     if not result.completions:
         print(f"no completions for {args.term!r}")
         return 1
@@ -146,9 +181,32 @@ def _cmd_complete(args) -> int:
     return 0
 
 
+def _cmd_suggest(args) -> int:
+    if args.url:
+        from .net import HttpSapphireClient
+
+        client = HttpSapphireClient(args.url, session=args.session)
+        outcome = client.suggest(args.sparql)
+    else:
+        server, _ = _make_server(args)
+        outcome = server.run_query(args.sparql)
+    print(f"{len(outcome.answers)} answers")
+    suggestions = outcome.all_suggestions
+    if not suggestions:
+        print("no QSM suggestions")
+        return 0 if outcome.answers.rows else 1
+    print("QSM suggestions:")
+    for i, suggestion in enumerate(suggestions):
+        print(f"  [{i}] {suggestion.message()}")
+    return 0
+
+
 def _cmd_explain(args) -> int:
     server, _ = _make_server(args)
     print(server.explain(args.sparql))
+    if args.probes:
+        print("\n== QSM batched probes ==")
+        print(server.explain_suggestions(args.sparql))
     return 0
 
 
@@ -247,8 +305,17 @@ def _cmd_serve(args) -> int:
         EndpointConfig(timeout_s=args.timeout_s),
         name=f"dbpedia-{args.scale}",
     )
+    if args.sapphire:
+        backend = SapphireServer(
+            SapphireConfig(suffix_tree_capacity=args.tree_capacity)
+        )
+        report = backend.register_endpoint(endpoint)
+        print(f"initialized: {report.total_queries} queries, "
+              f"cache {backend.cache_stats()}")
+    else:
+        backend = endpoint
     server = SparqlHttpServer(
-        endpoint,
+        backend,
         host=args.host,
         port=args.port,
         max_workers=args.max_workers,
@@ -258,6 +325,9 @@ def _cmd_serve(args) -> int:
     print(f"endpoint: {server.url}")
     print(f"health:   http://{server.host}:{server.port}/health")
     print(f"stats:    http://{server.host}:{server.port}/stats")
+    if args.sapphire:
+        print(f"complete: http://{server.host}:{server.port}/complete")
+        print(f"suggest:  http://{server.host}:{server.port}/suggest")
     if args.smoke:
         server.stop()
         return 0
@@ -274,6 +344,7 @@ def _cmd_serve(args) -> int:
 _COMMANDS = {
     "stats": _cmd_stats,
     "complete": _cmd_complete,
+    "suggest": _cmd_suggest,
     "query": _cmd_query,
     "explain": _cmd_explain,
     "table1": _cmd_table1,

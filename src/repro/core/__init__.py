@@ -5,6 +5,8 @@ from .cache import CachedTerm, SapphireCache
 from .config import SapphireConfig
 from .initialization import EndpointInitializer, InitializationReport, initialize_endpoint
 from .persistence import (
+    cache_from_store,
+    cache_to_store,
     dumps_cache,
     load_cache,
     load_store,
@@ -13,6 +15,7 @@ from .persistence import (
     save_cache,
     save_store,
 )
+from .probes import PROBE_VAR, ProbeBatcher, build_probe_query
 from .qcm import Completion, CompletionResult, QueryCompletionModule
 from .qsm_relax import Edge, GraphExpander, RelaxationSuggestion, StructureRelaxer
 from .qsm_terms import AlternativeTermsFinder, TermSuggestion
@@ -28,6 +31,11 @@ __all__ = [
     "open_store",
     "save_store",
     "load_store",
+    "cache_to_store",
+    "cache_from_store",
+    "PROBE_VAR",
+    "ProbeBatcher",
+    "build_probe_query",
     "SapphireConfig",
     "SapphireCache",
     "CachedTerm",

@@ -16,6 +16,25 @@ Per Section 5.2, the cache is indexed two ways:
   top-``capacity`` most significant literal surfaces,
 * **residual bins** (length-keyed) over the remaining literal surfaces.
 
+ID-native layout
+----------------
+The cache is dictionary-encoded like the triple store: it owns a
+:class:`~repro.store.dictionary.TermDictionary` and every
+:class:`CachedTerm` carries the *ID* of its RDF term (and of its source
+predicate), decoding only on access.  Surfaces are interned **once**
+into a dense surface-ID table; the suffix tree and the residual bins
+are both keyed by surface ID, so a tree hit or a bin-scan hit maps back
+to its cached terms with a list index instead of a string hash.  This
+is the same intern-early/decode-late discipline the storage engine and
+the join planner use (``docs/storage.md``, ``docs/query-planning.md``),
+applied to the hottest interactive path in the system — QCM completion
+runs on every keystroke.
+
+Concurrency: mutation (``add_*``, ``merge``, ``build_indexes``) and
+index-consistent reads are guarded by ``self.lock`` — the HTTP server
+drives ``/complete`` from many handler threads while an endpoint
+registration may still be populating the cache.
+
 One deviation worth noting: the QSM's alternative-literal search scans
 both the residual bins *and* the (small) tree-resident literal set, since
 a significant literal like "Kennedy" must be findable as an alternative
@@ -24,26 +43,50 @@ for "Kennedys"; the paper's presentation only mentions the bins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..rdf.terms import IRI, Literal, Term
+from ..store.dictionary import TermDictionary
 from ..text.bins import LiteralBins
 from ..text.suffix_tree import GeneralizedSuffixTree
 from .config import SapphireConfig
 
 __all__ = ["CachedTerm", "SapphireCache"]
 
+#: Stable display order of entry kinds within one surface bucket.
+_KIND_RANK = {"predicate": 0, "class": 1, "literal": 2}
+
 
 @dataclass(frozen=True)
 class CachedTerm:
-    """One cached surface form and the RDF term(s) behind it."""
+    """One cached surface form and the RDF term behind it, by ID.
+
+    The term itself (and the source predicate) live in the owning
+    cache's :class:`TermDictionary`; this entry carries their integer
+    IDs and decodes on property access.  Equality and hashing use the
+    IDs, never the dictionary reference.
+    """
 
     surface: str
-    term: Term
+    term_id: int
     kind: str  # "predicate" | "class" | "literal"
+    dictionary: TermDictionary = field(compare=False, repr=False)
     significance: int = 0
-    source_predicate: Optional[IRI] = None
+    source_predicate_id: Optional[int] = None
+
+    @property
+    def term(self) -> Term:
+        return self.dictionary.decode(self.term_id)
+
+    @property
+    def source_predicate(self) -> Optional[IRI]:
+        if self.source_predicate_id is None:
+            return None
+        decoded = self.dictionary.decode(self.source_predicate_id)
+        assert isinstance(decoded, IRI)
+        return decoded
 
     @property
     def display(self) -> str:
@@ -53,37 +96,98 @@ class CachedTerm:
 class SapphireCache:
     """Cached predicates, classes and literals with the two-level index."""
 
-    def __init__(self, config: Optional[SapphireConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SapphireConfig] = None,
+        dictionary: Optional[TermDictionary] = None,
+    ) -> None:
         self.config = config or SapphireConfig()
-        self._predicates: Dict[str, List[CachedTerm]] = {}
-        self._classes: Dict[str, List[CachedTerm]] = {}
-        self._literals: Dict[str, List[CachedTerm]] = {}
-        self._significance: Dict[str, int] = {}
+        #: Term-ID space shared by every entry in this cache.
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
+        #: Guards mutation and index-consistent lookups (HTTP-driven
+        #: completion runs concurrently with endpoint registration).
+        self.lock = threading.RLock()
+        # Surface table: dense surface IDs over lower-cased surfaces.
+        self._surfaces: List[str] = []
+        self._surface_ids: Dict[str, int] = {}
+        # Entries per surface ID, ordered predicate < class < literal.
+        self._entries: Dict[int, List[CachedTerm]] = {}
+        # Surface IDs per kind, in first-seen order (ordered-set dicts).
+        self._kind_sids: Dict[str, Dict[int, None]] = {
+            "predicate": {}, "class": {}, "literal": {},
+        }
+        self._significance: Dict[int, int] = {}  # surface ID -> score
         self.tree: Optional[GeneralizedSuffixTree] = None
         self.bins = LiteralBins()
-        self._tree_surfaces: List[str] = []
-        self._tree_surface_set: Set[str] = set()
+        self._tree_sids: List[int] = []   # aligned with tree string index
+        self._tree_sid_set: Set[int] = set()
         self._indexed = False
+
+    # ------------------------------------------------------------------
+    # Surface interning
+    # ------------------------------------------------------------------
+
+    def _surface_id(self, surface: str) -> int:
+        key = surface.lower()
+        sid = self._surface_ids.get(key)
+        if sid is None:
+            sid = len(self._surfaces)
+            self._surface_ids[key] = sid
+            self._surfaces.append(key)
+        return sid
+
+    def surface_id(self, surface: str) -> Optional[int]:
+        """The surface ID for ``surface`` (case-insensitive), if interned."""
+        return self._surface_ids.get(surface.lower())
+
+    def surface_of(self, sid: int) -> str:
+        """The lower-cased surface string behind a surface ID."""
+        return self._surfaces[sid]
 
     # ------------------------------------------------------------------
     # Population (called by initialization)
     # ------------------------------------------------------------------
 
+    def _add_entry(self, surface: str, term: Term, kind: str,
+                   significance: int = 0,
+                   source_predicate: Optional[IRI] = None) -> None:
+        with self.lock:
+            term_id = self.dictionary.encode(term)
+            sid = self._surface_id(surface)
+            bucket = self._entries.setdefault(sid, [])
+            if significance:
+                # A re-add may carry a fresh significance observation
+                # (Q8 revisits literals Q6 already cached): keep the max
+                # even when the entry itself is deduplicated below.
+                current = self._significance.get(sid, 0)
+                if significance > current:
+                    self._significance[sid] = significance
+            if any(e.term_id == term_id and e.kind == kind for e in bucket):
+                return
+            entry = CachedTerm(
+                surface, term_id, kind, self.dictionary,
+                significance=significance,
+                source_predicate_id=(
+                    self.dictionary.encode(source_predicate)
+                    if source_predicate is not None else None
+                ),
+            )
+            # Keep the bucket ordered by kind rank, insertion-stable.
+            rank = _KIND_RANK[kind]
+            at = len(bucket)
+            for position, existing in enumerate(bucket):
+                if _KIND_RANK[existing.kind] > rank:
+                    at = position
+                    break
+            bucket.insert(at, entry)
+            self._kind_sids[kind].setdefault(sid)
+            self._indexed = False
+
     def add_predicate(self, predicate: IRI) -> None:
-        surface = predicate.local_name()
-        entry = CachedTerm(surface, predicate, "predicate")
-        bucket = self._predicates.setdefault(surface.lower(), [])
-        if all(e.term != predicate for e in bucket):
-            bucket.append(entry)
-        self._indexed = False
+        self._add_entry(predicate.local_name(), predicate, "predicate")
 
     def add_class(self, cls: IRI) -> None:
-        surface = cls.local_name()
-        entry = CachedTerm(surface, cls, "class")
-        bucket = self._classes.setdefault(surface.lower(), [])
-        if all(e.term != cls for e in bucket):
-            bucket.append(entry)
-        self._indexed = False
+        self._add_entry(cls.local_name(), cls, "class")
 
     def add_literal(
         self,
@@ -91,29 +195,23 @@ class SapphireCache:
         source_predicate: Optional[IRI] = None,
         significance: int = 0,
     ) -> None:
-        surface = literal.lexical
-        key = surface.lower()
-        entry = CachedTerm(surface, literal, "literal",
-                           significance=significance, source_predicate=source_predicate)
-        bucket = self._literals.setdefault(key, [])
-        if all(e.term != literal for e in bucket):
-            bucket.append(entry)
-        if significance:
-            self._significance[key] = max(self._significance.get(key, 0), significance)
-        self._indexed = False
+        self._add_entry(literal.lexical, literal, "literal",
+                        significance=significance,
+                        source_predicate=source_predicate)
 
     def set_significance(self, surface: str, significance: int) -> None:
-        key = surface.lower()
-        current = self._significance.get(key, 0)
-        if significance > current:
-            self._significance[key] = significance
+        with self.lock:
+            sid = self._surface_id(surface)
+            current = self._significance.get(sid, 0)
+            if significance > current:
+                self._significance[sid] = significance
 
     # ------------------------------------------------------------------
     # Index construction (Section 5.2)
     # ------------------------------------------------------------------
 
     def build_indexes(self) -> None:
-        """Build the suffix tree and residual bins.
+        """Build the suffix tree and residual bins, both keyed by surface ID.
 
         All predicates and classes go into the tree.  Literal surfaces are
         ranked by significance; the top ``suffix_tree_capacity`` (minus the
@@ -121,29 +219,37 @@ class SapphireCache:
         residual bins.  Surfaces are indexed lower-cased so completion is
         case-insensitive; display forms are preserved in the entries.
         """
-        tree_surfaces: List[str] = []
-        seen: Set[str] = set()
-        for key in list(self._predicates) + list(self._classes):
-            if key not in seen:
-                seen.add(key)
-                tree_surfaces.append(key)
+        with self.lock:
+            tree_sids: List[int] = []
+            seen: Set[int] = set()
+            for sid in list(self._kind_sids["predicate"]) + list(self._kind_sids["class"]):
+                if sid not in seen:
+                    seen.add(sid)
+                    tree_sids.append(sid)
 
-        literal_budget = max(0, self.config.suffix_tree_capacity - len(tree_surfaces))
-        ranked = sorted(
-            self._literals.keys(),
-            key=lambda key: (-self._significance.get(key, 0), len(key), key),
-        )
-        tree_literals = [key for key in ranked[:literal_budget] if key not in seen]
-        residual_literals = ranked[literal_budget:]
+            literal_budget = max(0, self.config.suffix_tree_capacity - len(tree_sids))
+            ranked = sorted(
+                self._kind_sids["literal"],
+                key=lambda sid: (
+                    -self._significance.get(sid, 0),
+                    len(self._surfaces[sid]),
+                    self._surfaces[sid],
+                ),
+            )
+            tree_literals = [sid for sid in ranked[:literal_budget] if sid not in seen]
+            residual_literals = ranked[literal_budget:]
 
-        tree_surfaces.extend(tree_literals)
-        self._tree_surfaces = tree_surfaces
-        self._tree_surface_set = set(tree_surfaces)
-        self.tree = GeneralizedSuffixTree(tree_surfaces)
+            tree_sids.extend(tree_literals)
+            self._tree_sids = tree_sids
+            self._tree_sid_set = set(tree_sids)
+            self.tree = GeneralizedSuffixTree(
+                [self._surfaces[sid] for sid in tree_sids]
+            )
 
-        self.bins = LiteralBins()
-        self.bins.add_all(residual_literals)
-        self._indexed = True
+            self.bins = LiteralBins()
+            for sid in residual_literals:
+                self.bins.add(self._surfaces[sid], key=sid)
+            self._indexed = True
 
     @property
     def is_indexed(self) -> bool:
@@ -155,32 +261,72 @@ class SapphireCache:
 
     def entries_for_surface(self, surface: str) -> List[CachedTerm]:
         """All cached terms whose surface equals ``surface`` (case-insensitive)."""
-        key = surface.lower()
-        entries: List[CachedTerm] = []
-        entries.extend(self._predicates.get(key, ()))
-        entries.extend(self._classes.get(key, ()))
-        entries.extend(self._literals.get(key, ()))
-        return entries
+        sid = self._surface_ids.get(surface.lower())
+        if sid is None:
+            return []
+        return list(self._entries.get(sid, ()))
+
+    def entries_for_surface_id(self, sid: int) -> List[CachedTerm]:
+        """All cached terms behind one surface ID (the ID-native lookup)."""
+        return list(self._entries.get(sid, ()))
+
+    def tree_surface_ids(self, needle: str, limit: Optional[int] = None) -> List[int]:
+        """Surface IDs of tree-indexed surfaces containing ``needle``."""
+        if self.tree is None:
+            return []
+        return [self._tree_sids[i] for i in self.tree.find_ids(needle, limit)]
+
+    def snapshot_indexes(self):
+        """A mutually consistent ``(tree, tree_sids, bins)`` triple.
+
+        ``build_indexes`` swaps all three wholesale under the lock; a
+        reader that grabs the references together can then run its tree
+        lookup and (parallel) bin scan *outside* the lock — concurrent
+        ``/complete`` calls must not serialize on one RLock for the
+        duration of a scan.  Entry buckets and the surface table are
+        append-only, so resolving the returned surface IDs afterwards
+        is safe whichever snapshot was seen.
+        """
+        with self.lock:
+            return self.tree, self._tree_sids, self.bins
+
+    def _kind_entries(self, kind: str) -> List[CachedTerm]:
+        return [
+            entry
+            for sid in self._kind_sids[kind]
+            for entry in self._entries.get(sid, ())
+            if entry.kind == kind
+        ]
 
     def predicates(self) -> List[CachedTerm]:
-        return [entry for bucket in self._predicates.values() for entry in bucket]
+        return self._kind_entries("predicate")
 
     def classes(self) -> List[CachedTerm]:
-        return [entry for bucket in self._classes.values() for entry in bucket]
+        return self._kind_entries("class")
 
     def literal_surfaces(self) -> List[str]:
-        return list(self._literals.keys())
+        return [self._surfaces[sid] for sid in self._kind_sids["literal"]]
+
+    def tree_literal_surface_ids(self) -> List[int]:
+        """Surface IDs of the literal surfaces indexed in the suffix tree."""
+        pred_class = (
+            set(self._kind_sids["predicate"]) | set(self._kind_sids["class"])
+        )
+        return [sid for sid in self._tree_sids if sid not in pred_class]
 
     def tree_literal_surfaces(self) -> List[str]:
         """Lower-cased literal surfaces indexed in the suffix tree."""
-        pred_class = set(self._predicates) | set(self._classes)
-        return [s for s in self._tree_surfaces if s not in pred_class]
+        return [self._surfaces[sid] for sid in self.tree_literal_surface_ids()]
 
     def in_tree(self, surface: str) -> bool:
-        return surface.lower() in self._tree_surface_set
+        sid = self._surface_ids.get(surface.lower())
+        return sid is not None and sid in self._tree_sid_set
 
     def significance_of(self, surface: str) -> int:
-        return self._significance.get(surface.lower(), 0)
+        sid = self._surface_ids.get(surface.lower())
+        if sid is None:
+            return 0
+        return self._significance.get(sid, 0)
 
     # ------------------------------------------------------------------
     # Statistics (the Section 5 cost discussion)
@@ -188,19 +334,19 @@ class SapphireCache:
 
     @property
     def n_predicates(self) -> int:
-        return sum(len(bucket) for bucket in self._predicates.values())
+        return len(self._kind_entries("predicate"))
 
     @property
     def n_classes(self) -> int:
-        return sum(len(bucket) for bucket in self._classes.values())
+        return len(self._kind_entries("class"))
 
     @property
     def n_literals(self) -> int:
-        return sum(len(bucket) for bucket in self._literals.values())
+        return len(self._kind_entries("literal"))
 
     @property
     def n_tree_strings(self) -> int:
-        return len(self._tree_surfaces)
+        return len(self._tree_sids)
 
     @property
     def n_residual_literals(self) -> int:
@@ -223,30 +369,47 @@ class SapphireCache:
 
     def copy_with_capacity(self, capacity: int) -> "SapphireCache":
         """A new cache with the same contents but a different suffix-tree
-        budget, freshly indexed.  Used by the index-split ablations (the
-        tree's linked nodes make deepcopy unsuitable)."""
+        budget, freshly indexed.  Shares the (append-only) term
+        dictionary; used by the index-split ablations (the tree's linked
+        nodes make deepcopy unsuitable)."""
         import dataclasses
 
-        clone = SapphireCache(dataclasses.replace(self.config, suffix_tree_capacity=capacity))
-        clone._predicates = {key: list(bucket) for key, bucket in self._predicates.items()}
-        clone._classes = {key: list(bucket) for key, bucket in self._classes.items()}
-        clone._literals = {key: list(bucket) for key, bucket in self._literals.items()}
-        clone._significance = dict(self._significance)
-        clone.build_indexes()
-        return clone
+        with self.lock:
+            clone = SapphireCache(
+                dataclasses.replace(self.config, suffix_tree_capacity=capacity),
+                dictionary=self.dictionary,
+            )
+            clone._surfaces = list(self._surfaces)
+            clone._surface_ids = dict(self._surface_ids)
+            clone._entries = {sid: list(bucket) for sid, bucket in self._entries.items()}
+            clone._kind_sids = {
+                kind: dict(sids) for kind, sids in self._kind_sids.items()
+            }
+            clone._significance = dict(self._significance)
+            clone.build_indexes()
+            return clone
 
     def merge(self, other: "SapphireCache") -> None:
         """Fold another endpoint's cache into this one (multi-endpoint
-        federations share one PUM cache)."""
-        for bucket in other._predicates.values():
-            for entry in bucket:
-                self.add_predicate(entry.term)  # type: ignore[arg-type]
-        for bucket in other._classes.values():
-            for entry in bucket:
-                self.add_class(entry.term)  # type: ignore[arg-type]
-        for bucket in other._literals.values():
-            for entry in bucket:
-                self.add_literal(entry.term, entry.source_predicate, entry.significance)  # type: ignore[arg-type]
-        for key, significance in other._significance.items():
-            self.set_significance(key, significance)
-        self._indexed = False
+        federations share one PUM cache).  Terms re-intern into this
+        cache's dictionary, so merged IDs are local."""
+        with self.lock:
+            for sid in other._kind_sids["predicate"]:
+                for entry in other._entries.get(sid, ()):
+                    if entry.kind == "predicate":
+                        self.add_predicate(entry.term)  # type: ignore[arg-type]
+            for sid in other._kind_sids["class"]:
+                for entry in other._entries.get(sid, ()):
+                    if entry.kind == "class":
+                        self.add_class(entry.term)  # type: ignore[arg-type]
+            for sid in other._kind_sids["literal"]:
+                for entry in other._entries.get(sid, ()):
+                    if entry.kind == "literal":
+                        self.add_literal(
+                            entry.term,  # type: ignore[arg-type]
+                            entry.source_predicate,
+                            entry.significance,
+                        )
+            for sid, significance in other._significance.items():
+                self.set_significance(other._surfaces[sid], significance)
+            self._indexed = False

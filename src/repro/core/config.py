@@ -36,6 +36,18 @@ class SapphireConfig:
     page_size: int = 500
     init_query_limit: Optional[int] = None  # max queries per endpoint
     significant_page_size: int = 200
+    #: Retries after a rejected query (HTTP 503 / admission control) —
+    #: overload is transient, so a mid-initialization rejection gets a
+    #: capped, jittered re-attempt instead of aborting the stage.
+    init_retry_rejected: int = 2
+    #: Retries after a timed-out query.  0 keeps the paper's semantics:
+    #: a timeout means "this class is too big", answered by descending
+    #: the hierarchy, not by re-running the same query.  Raise it for
+    #: HTTP endpoints whose 504s are transient (gateway hiccups).
+    init_retry_timeout: int = 0
+    #: Full-jitter backoff base and cap between retry attempts.
+    init_backoff_s: float = 0.05
+    init_backoff_cap_s: float = 0.5
 
     # --- Section 5.2: indexing -----------------------------------------
     suffix_tree_capacity: int = 2_000  # predicates+classes always fit; rest
@@ -57,6 +69,13 @@ class SapphireConfig:
     w_q: float = 1.0
     w_default: float = 2.0
     seed_group_size: int = 3  # the literal itself + top k-1 alternatives
+
+    # --- Batched QSM probing (docs/predictive-model.md) ----------------
+    #: Ship all candidate terms of one probed position as a single
+    #: VALUES-constrained query (one request per endpoint per round via
+    #: the federated bind-join batching) instead of one query per
+    #: candidate.  Off = the classic per-candidate Algorithm 2 loop.
+    qsm_batched_probes: bool = True
 
     # --- Storage engine ------------------------------------------------
     #: Which triple-store backend ``open_store``/``quickstart_server``

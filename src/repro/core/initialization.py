@@ -27,6 +27,8 @@ predicates, exactly as Section 5.1 argues.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -128,7 +130,16 @@ ORDER BY DESC(?frequency)
 
 @dataclass
 class InitializationReport:
-    """What happened during initialization — the Section 5 cost numbers."""
+    """What happened during initialization — the Section 5 cost numbers.
+
+    ``n_retries`` counts re-attempts after rejected/timed-out queries
+    (each attempt also increments its stage counter, so the totals stay
+    reconcilable with the endpoint's own query log).
+    ``stages_completed`` records partial progress: an initialization
+    that aborts mid-way — budget exhausted, endpoint gone — still says
+    which stages finished, so an operator can judge what the cache
+    holds instead of guessing.
+    """
 
     endpoint_name: str = ""
     architecture: str = "federated"
@@ -138,8 +149,10 @@ class InitializationReport:
     n_significance_queries: int = 0
     n_timeouts: int = 0
     n_rejected: int = 0
+    n_retries: int = 0
     query_limit_hit: bool = False
     simulated_seconds: float = 0.0
+    stages_completed: List[str] = field(default_factory=list)
     cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -155,28 +168,43 @@ class EndpointInitializer:
         endpoint: SparqlEndpoint,
         config: Optional[SapphireConfig] = None,
         warehouse: bool = False,
+        rng: Optional[random.Random] = None,
+        sleep=time.sleep,
     ) -> None:
         self.endpoint = endpoint
         self.config = config or SapphireConfig()
         self.warehouse = warehouse
         self.report = InitializationReport(endpoint_name=endpoint.name)
         self._queries_issued = 0
+        self._queries_ok = 0
+        # Jitter source and sleeper are injectable so tests stay
+        # deterministic and sleep-free.
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
     def run(self) -> SapphireCache:
-        """Execute initialization; returns the populated, indexed cache."""
+        """Execute initialization; returns the populated, indexed cache.
+
+        Works against anything with the endpoint query surface —
+        in-process simulators and :class:`~repro.net.client.
+        HttpSparqlEndpoint` network endpoints alike (the latter report
+        no simulated time, so the cost column stays zero).
+        """
         cache = SapphireCache(self.config)
-        start_time = self.endpoint.simulated_seconds
+        start_time = getattr(self.endpoint, "simulated_seconds", 0.0)
         if self.warehouse:
             self.report.architecture = "warehouse"
             self._run_warehouse(cache)
         else:
             self._run_federated(cache)
         cache.build_indexes()
-        self.report.simulated_seconds = self.endpoint.simulated_seconds - start_time
+        self.report.simulated_seconds = (
+            getattr(self.endpoint, "simulated_seconds", 0.0) - start_time
+        )
         self.report.cache_stats = cache.stats()
         return cache
 
@@ -196,61 +224,114 @@ class EndpointInitializer:
     def _issue(self, query: str, counter: str):
         """Send one query, maintaining the report counters.
 
-        Returns the result, or None on timeout/rejection (also counted)
-        or when the user-set query budget is exhausted.
+        A rejected query (admission control / HTTP 503 — transient
+        overload) is re-attempted up to ``init_retry_rejected`` times
+        with capped full-jitter backoff; timeouts likewise honour
+        ``init_retry_timeout`` (0 by default: the paper answers a
+        timeout by descending the class hierarchy, not by re-running
+        the same query).  Every attempt counts against the query budget
+        and its stage counter, so the report reconciles with the
+        endpoint's own log.  Returns the result, or None when all
+        attempts failed or the budget is exhausted.
         """
-        if not self._budget_left():
-            return None
-        self._queries_issued += 1
-        setattr(self.report, counter, getattr(self.report, counter) + 1)
-        try:
-            return self.endpoint.select(query)
-        except EndpointTimeout:
-            self.report.n_timeouts += 1
-            return None
-        except QueryRejected:
-            self.report.n_rejected += 1
-            return None
-        except EndpointError:
-            return None
+        rejected_left = max(0, self.config.init_retry_rejected)
+        timeout_left = max(0, self.config.init_retry_timeout)
+        attempt = 0
+        while True:
+            if not self._budget_left():
+                return None
+            self._queries_issued += 1
+            setattr(self.report, counter, getattr(self.report, counter) + 1)
+            try:
+                result = self.endpoint.select(query)
+                self._queries_ok += 1
+                return result
+            except EndpointTimeout:
+                self.report.n_timeouts += 1
+                if timeout_left <= 0:
+                    return None
+                timeout_left -= 1
+            except QueryRejected:
+                self.report.n_rejected += 1
+                if rejected_left <= 0:
+                    return None
+                rejected_left -= 1
+            except EndpointError:
+                return None
+            self.report.n_retries += 1
+            self._backoff(attempt)
+            attempt += 1
+
+    def _backoff(self, attempt: int) -> None:
+        """Full-jitter exponential backoff, capped (same policy as the
+        HTTP client's 503 handling)."""
+        ceiling = min(
+            self.config.init_backoff_cap_s,
+            self.config.init_backoff_s * (2 ** attempt),
+        )
+        if ceiling > 0:
+            self._sleep(self._rng.uniform(0, ceiling))
 
     # ------------------------------------------------------------------
     # Federated architecture (Q1–Q8)
     # ------------------------------------------------------------------
 
+    def _mark_stage(self, name: str, ok_before: int) -> None:
+        """Record ``name`` as completed — only if at least one of its
+        queries actually succeeded.  A stage whose every query failed
+        (endpoint gone, persistent 503s past the retry cap) must not
+        read as progress: an operator uses ``stages_completed`` to
+        judge what the cache holds."""
+        if self._queries_ok > ok_before:
+            self.report.stages_completed.append(name)
+
     def _run_federated(self, cache: SapphireCache) -> None:
+        ok = self._queries_ok
         predicates = self._fetch_predicates(cache)
+        self._mark_stage("predicates", ok)
+        ok = self._queries_ok
         hierarchy = self._fetch_hierarchy(cache)
         if hierarchy:
             classes_in_order = self._hierarchy_levels(hierarchy)
         else:
             self.report.used_class_hierarchy = False
             classes_in_order = None
+        self._mark_stage("hierarchy", ok)
+        ok = self._queries_ok
         literal_predicates = self._fetch_literal_predicates(predicates)
         filtered = self._probe_predicates(literal_predicates)
+        self._mark_stage("probes", ok)
 
         if classes_in_order is not None:
             roots = [cls for cls, parent in hierarchy.items() if parent not in hierarchy]
+            ok = self._queries_ok
             for predicate in filtered:
                 if not self._budget_left():
                     return
                 self._descend_literals(cache, predicate, roots, hierarchy)
+            self._mark_stage("literals", ok)
+            ok = self._queries_ok
             for predicate in filtered:
                 if not self._budget_left():
                     return
                 self._descend_significant(cache, predicate, roots, hierarchy)
+            self._mark_stage("significance", ok)
         else:
             types = self._fetch_types()
+            ok = self._queries_ok
             for predicate in filtered:
                 for cls in types:
                     if not self._budget_left():
                         return
                     self._paged_literals(cache, predicate, cls)
+            self._mark_stage("literals", ok)
+            ok = self._queries_ok
             for predicate in filtered:
                 for cls in types:
                     if not self._budget_left():
                         return
                     self._paged_significant(cache, predicate, cls)
+            self._mark_stage("significance", ok)
 
     def _fetch_predicates(self, cache: SapphireCache) -> List[IRI]:
         result = self._issue(Q1_PREDICATES, "n_setup_queries")
@@ -389,8 +470,13 @@ class EndpointInitializer:
     # ------------------------------------------------------------------
 
     def _run_warehouse(self, cache: SapphireCache) -> None:
+        ok = self._queries_ok
         self._fetch_predicates(cache)
+        self._mark_stage("predicates", ok)
+        ok = self._queries_ok
         self._fetch_hierarchy(cache)
+        self._mark_stage("hierarchy", ok)
+        ok = self._queries_ok
         result = self._issue(
             q9_warehouse_literals(self.config.literal_language, self.config.literal_max_length),
             "n_literal_queries",
@@ -404,6 +490,8 @@ class EndpointInitializer:
                         term,
                         source_predicate=pred if isinstance(pred, IRI) else None,
                     )
+        self._mark_stage("literals", ok)
+        ok = self._queries_ok
         result = self._issue(
             q10_warehouse_significant(self.config.literal_language, self.config.literal_max_length),
             "n_significance_queries",
@@ -416,6 +504,7 @@ class EndpointInitializer:
                         cache.set_significance(term.lexical, int(freq.lexical))
                     except ValueError:
                         continue
+        self._mark_stage("significance", ok)
 
 
 def initialize_endpoint(

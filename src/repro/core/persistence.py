@@ -1,13 +1,20 @@
-"""Cache and dataset persistence.
+"""Cache and dataset persistence — everything rides the storage engine.
 
 Initialization "happens only once for each endpoint" (Section 5.1) and
 took 17 hours for DBpedia — so the cached predicates, classes, literals
-and significance scores must survive server restarts.  This module
-serializes a :class:`~repro.core.cache.SapphireCache` to a JSON document
-and restores it; indexes (suffix tree, bins) are rebuilt on load, since
-they derive from the cached data and the configured tree capacity.
+and significance scores must survive server restarts.  The cache no
+longer has a bespoke on-disk format: :func:`save_cache` *reifies* the
+cache as triples over a reserved ``urn:sapphire:cache:`` vocabulary and
+snapshots them through the same :class:`StorageBackend` path every
+dataset uses (``save_store`` → WAL-mode SQLite, atomic replace, term
+dictionary mirrored to disk).  :func:`load_cache` reopens the file with
+:func:`load_store` and decodes; indexes (suffix tree, bins) are rebuilt
+on load, since they derive from the cached data and the configured tree
+capacity.  Legacy JSON caches (format version 1) are still readable —
+``load_cache`` sniffs the file — and :func:`dumps_cache` /
+:func:`loads_cache` keep the JSON form available as a portable export.
 
-Dataset persistence rides the storage engine: :func:`open_store` builds a
+Dataset persistence is unchanged: :func:`open_store` builds a
 :class:`~repro.store.TripleStore` on the backend selected by
 :class:`SapphireConfig` (``storage_backend`` / ``storage_path``),
 :func:`save_store` snapshots any store into a SQLite file, and
@@ -23,6 +30,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..rdf.terms import IRI, Literal
+from ..rdf.triples import Triple
 from ..store.backends import MemoryBackend
 from ..store.sqlite_backend import SQLiteBackend
 from ..store.triplestore import TripleStore
@@ -34,12 +42,24 @@ __all__ = [
     "load_cache",
     "dumps_cache",
     "loads_cache",
+    "cache_to_store",
+    "cache_from_store",
     "open_store",
     "save_store",
     "load_store",
 ]
 
 _FORMAT_VERSION = 1
+
+#: Reserved vocabulary for the reified cache (never collides with data:
+#: no endpoint serves ``urn:sapphire:cache:`` subjects).
+_NS = "urn:sapphire:cache:"
+_P_TERM = IRI(_NS + "term")
+_P_KIND = IRI(_NS + "kind")
+_P_SOURCE = IRI(_NS + "source")
+_P_SIGNIFICANCE = IRI(_NS + "significance")
+_META_KEY = "sapphire_cache_version"
+_STORE_VERSION = "2"
 
 
 def dumps_cache(cache: SapphireCache) -> str:
@@ -97,22 +117,110 @@ def loads_cache(text: str, config: Optional[SapphireConfig] = None) -> SapphireC
     return cache
 
 
-def save_cache(cache: SapphireCache, path: Union[str, Path]) -> None:
-    """Write ``cache`` to ``path`` as JSON (atomically: a crash mid-write
-    must not truncate a previous good cache — rebuilding it means
-    re-running initialization)."""
-    import os
+def cache_to_store(cache: SapphireCache) -> TripleStore:
+    """Reify ``cache`` as triples on a fresh (memory-backed) store.
 
-    scratch = Path(str(path) + ".tmp")
-    scratch.write_text(dumps_cache(cache), encoding="utf-8")
-    os.replace(scratch, path)
+    Every cached entry becomes one ``urn:sapphire:cache:entry/N``
+    subject carrying its term, kind, source predicate and significance.
+    The store travels through the normal :func:`save_store` path, so
+    cache persistence and dataset persistence share one engine, one
+    atomic-replace discipline, and one on-disk dictionary format.
+    """
+    store = TripleStore()
+    entries = []
+    for entry in cache.predicates() + cache.classes():
+        entries.append((entry, 0))
+    for surface in cache.literal_surfaces():
+        for entry in cache.entries_for_surface(surface):
+            if entry.kind == "literal":
+                entries.append((entry, cache.significance_of(entry.surface)))
+    for n, (entry, significance) in enumerate(entries):
+        subject = IRI(f"{_NS}entry/{n}")
+        store.add(Triple(subject, _P_TERM, entry.term))
+        store.add(Triple(subject, _P_KIND, Literal(entry.kind)))
+        source = entry.source_predicate
+        if source is not None:
+            store.add(Triple(subject, _P_SOURCE, source))
+        if significance:
+            store.add(Triple(subject, _P_SIGNIFICANCE, Literal(str(significance))))
+    store.backend.set_meta(_META_KEY, _STORE_VERSION)
+    return store
+
+
+def cache_from_store(
+    store: TripleStore, config: Optional[SapphireConfig] = None
+) -> SapphireCache:
+    """Rebuild a cache from its :func:`cache_to_store` reification."""
+    version = store.backend.get_meta(_META_KEY)
+    if version != _STORE_VERSION:
+        raise ValueError(f"unsupported cache store version: {version!r}")
+    by_subject: dict = {}
+    for triple in store.triples():
+        by_subject.setdefault(triple.subject, {})[triple.predicate] = triple.object
+    cache = SapphireCache(config)
+
+    def entry_index(subject: IRI) -> int:
+        return int(subject.value.rsplit("/", 1)[1])
+
+    for subject in sorted(by_subject, key=entry_index):
+        fields = by_subject[subject]
+        term = fields.get(_P_TERM)
+        kind_term = fields.get(_P_KIND)
+        if term is None or not isinstance(kind_term, Literal):
+            continue
+        kind = kind_term.lexical
+        if kind == "predicate":
+            cache.add_predicate(term)
+        elif kind == "class":
+            cache.add_class(term)
+        elif kind == "literal":
+            source = fields.get(_P_SOURCE)
+            significance_term = fields.get(_P_SIGNIFICANCE)
+            try:
+                significance = (
+                    int(significance_term.lexical)
+                    if isinstance(significance_term, Literal) else 0
+                )
+            except ValueError:
+                significance = 0
+            cache.add_literal(
+                term,
+                source_predicate=source if isinstance(source, IRI) else None,
+                significance=significance,
+            )
+    cache.build_indexes()
+    return cache
+
+
+def save_cache(cache: SapphireCache, path: Union[str, Path]) -> None:
+    """Persist ``cache`` at ``path`` through the storage engine.
+
+    The reified cache snapshots via :func:`save_store` — WAL-mode
+    SQLite with scratch-file + atomic replace, so a crash mid-write
+    must not truncate a previous good cache (rebuilding it means
+    re-running initialization)."""
+    save_store(cache_to_store(cache), path)
 
 
 def load_cache(
     path: Union[str, Path], config: Optional[SapphireConfig] = None
 ) -> SapphireCache:
-    """Read a cache previously written by :func:`save_cache`."""
-    return loads_cache(Path(path).read_text(encoding="utf-8"), config)
+    """Read a cache previously written by :func:`save_cache`.
+
+    Sniffs the format: storage-engine caches open through
+    :func:`load_store`; pre-PR-5 JSON caches (and hand-exported
+    :func:`dumps_cache` documents) decode through :func:`loads_cache`.
+    """
+    target = Path(path)
+    with open(target, "rb") as handle:
+        magic = handle.read(16)
+    if magic.startswith(b"SQLite format 3"):
+        store = load_store(target)
+        try:
+            return cache_from_store(store, config)
+        finally:
+            store.close()
+    return loads_cache(target.read_text(encoding="utf-8"), config)
 
 
 # ----------------------------------------------------------------------

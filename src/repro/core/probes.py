@@ -1,0 +1,170 @@
+"""Batched QSM probing through the unified query algebra.
+
+The QSM's alternative-terms search (Section 6.2.1, Algorithm 2) has to
+find out, for every candidate replacement term, whether the one-change
+query returns answers — and prefetch those answers so accepting a
+suggestion displays instantly (Section 4).  Executed naively that is one
+full query per candidate, and against network endpoints one (or more)
+HTTP round-trips per candidate.
+
+This module batches the round: all candidates for one query position are
+shipped as a **single probe query** in which the probed position becomes
+a fresh variable constrained by a ``VALUES`` block::
+
+    original:   ?p dbo:wife ?w
+    candidates: dbo:spouse, dbo:partner
+    probe:      SELECT * WHERE { ?p ?sapphire_probe ?w
+                                 VALUES (?sapphire_probe)
+                                 { (dbo:spouse) (dbo:partner) } }
+
+The probe compiles through the same parse → algebra → plan pipeline as
+every other query; at the federation the VALUES table drives the
+:class:`~repro.sparql.plan.RemoteBindJoinNode` machinery, so one
+suggestion round costs **one VALUES-constrained request per endpoint
+per batch** instead of one request per candidate.  The returned rows
+are split by the probe variable's binding and each group is finished
+through :func:`~repro.sparql.evaluator.finalize_solutions` — the same
+modifier tail local and federated execution use — yielding one
+:class:`~repro.sparql.results.SelectResult` per candidate, exactly as
+if the candidate query had run alone.
+
+Queries with aggregates or GROUP BY cannot be split post-hoc (the
+aggregate would mix candidate groups), so :meth:`ProbeBatcher.run`
+returns ``None`` for them and the caller falls back to per-candidate
+execution.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.ast_nodes import Query, ValuesClause
+from ..sparql.evaluator import QueryEvaluator, finalize_solutions
+from ..sparql.results import SelectResult
+from ..store.triplestore import TripleStore
+
+__all__ = ["PROBE_VAR", "ProbeBatcher", "build_probe_query"]
+
+#: The fresh variable a probe query binds to the candidate term.  The
+#: name is namespaced so it can never collide with user variables (the
+#: Section 4 UI only produces short names).
+PROBE_VAR = "sapphire_probe"
+
+#: Executes a query AST somewhere (local store, endpoint, federation).
+QueryRunner = Callable[[Query], SelectResult]
+
+
+def build_probe_query(
+    query: Query,
+    triple_index: int,
+    position: str,
+    candidates: Sequence[Term],
+) -> Query:
+    """One VALUES-batched probe for all ``candidates`` at one position.
+
+    The probed position becomes ``?sapphire_probe``; the candidates form
+    an inline VALUES table.  Solution modifiers are stripped — the raw
+    solution stream ships once and each candidate group is finished at
+    the caller (DISTINCT/ORDER/LIMIT act per candidate, not across the
+    batch).
+    """
+    probe = copy.deepcopy(query)
+    pattern = probe.where.patterns[triple_index]
+    parts = {
+        "subject": pattern.subject,
+        "predicate": pattern.predicate,
+        "object": pattern.object,
+    }
+    parts[position] = Variable(PROBE_VAR)
+    probe.where.patterns[triple_index] = TriplePattern(
+        parts["subject"], parts["predicate"], parts["object"]
+    )
+    probe.where.values.append(
+        ValuesClause((PROBE_VAR,), tuple((term,) for term in candidates))
+    )
+    probe.select_items = []
+    probe.select_star = True
+    probe.distinct = False
+    probe.order_by = []
+    probe.limit = None
+    probe.offset = None
+    probe.group_by = []
+    return probe
+
+
+class ProbeBatcher:
+    """Runs one batched probe per (query, position) and splits the rows.
+
+    ``runner`` is the same callable the QSM modules use (typically
+    ``SapphireServer._run_ast``, i.e. the federation) — the batcher adds
+    no execution path of its own, only the VALUES packing and the
+    per-candidate finish.
+    """
+
+    def __init__(self, runner: QueryRunner) -> None:
+        self.runner = runner
+        # Modifier tail only; never touches this empty store.
+        self._pipeline = QueryEvaluator(TripleStore())
+
+    def run(
+        self,
+        query: Query,
+        triple_index: int,
+        position: str,
+        candidates: Sequence[Term],
+    ) -> Optional[Dict[Term, SelectResult]]:
+        """Per-candidate results for one batched probe.
+
+        Returns ``None`` when the query shape cannot be batched
+        (aggregates/GROUP BY) or the probe execution failed — callers
+        fall back to per-candidate execution.  Candidates absent from
+        the mapping returned no rows.
+        """
+        if not candidates:
+            return {}
+        if query.has_aggregates() or query.group_by:
+            return None
+        probe = build_probe_query(query, triple_index, position, candidates)
+        try:
+            result = self.runner(probe)
+        except Exception:  # noqa: BLE001 — a failing probe loses the batch only
+            return None
+        grouped: Dict[Term, List[dict]] = {}
+        for row in result.rows:
+            candidate = row.get(PROBE_VAR)
+            if candidate is None:
+                continue
+            solution = {
+                name: value for name, value in row.items() if name != PROBE_VAR
+            }
+            grouped.setdefault(candidate, []).append(solution)
+        finished: Dict[Term, SelectResult] = {}
+        for candidate in candidates:
+            solutions = grouped.get(candidate)
+            if not solutions:
+                continue
+            finished[candidate] = finalize_solutions(
+                self._pipeline, query, solutions
+            )
+        return finished
+
+    def probe_queries(
+        self,
+        query: Query,
+        positions: Sequence[Tuple[int, str, Sequence[Term]]],
+    ) -> List[Tuple[str, Query]]:
+        """The probe queries one suggestion round would ship, labelled —
+        the EXPLAIN surface for batched probing."""
+        labelled: List[Tuple[str, Query]] = []
+        for triple_index, position, candidates in positions:
+            if not candidates:
+                continue
+            labelled.append((
+                f"triple {triple_index + 1} {position} "
+                f"({len(candidates)} candidates)",
+                build_probe_query(query, triple_index, position, candidates),
+            ))
+        return labelled

@@ -72,7 +72,15 @@ class QueryCompletionModule:
         self.config = config or cache.config
 
     def complete(self, term: str, k: Optional[int] = None) -> CompletionResult:
-        """Suggest up to ``k`` cached strings containing ``term``."""
+        """Suggest up to ``k`` cached strings containing ``term``.
+
+        Runs entirely in surface-ID space: the tree lookup and the bin
+        scan both return surface IDs, and entries are fetched by ID.
+        The indexes are snapshotted under the cache lock (so a
+        concurrent endpoint registration can never swap them mid-
+        completion) but the scans run *outside* it — concurrent
+        ``/complete`` handler threads do not serialize on the lock.
+        """
         k = k if k is not None else self.config.k_suggestions
         result = CompletionResult(term=term)
         text = term.strip()
@@ -80,17 +88,22 @@ class QueryCompletionModule:
             return result
         needle = text.lower()
 
-        # Step 1: the suffix tree (predicates, classes, significant literals).
+        tree, tree_sids_table, bins = self.cache.snapshot_indexes()
+
+        # Step 1: the suffix tree (predicates, classes, significant
+        # literals), hits identified by surface ID.
         t0 = time.perf_counter()
-        tree_surfaces: List[str] = []
-        if self.cache.tree is not None:
-            tree_surfaces = self.cache.tree.find_containing(needle, limit=k)
+        tree_sids: List[int] = []
+        if tree is not None:
+            tree_sids = [tree_sids_table[i] for i in tree.find_ids(needle, limit=k)]
         result.tree_seconds = time.perf_counter() - t0
-        result.tree_hit = bool(tree_surfaces)
-        for surface in tree_surfaces:
-            entries = tuple(self.cache.entries_for_surface(surface))
+        result.tree_hit = bool(tree_sids)
+        for sid in tree_sids:
+            entries = tuple(self.cache.entries_for_surface_id(sid))
             if entries:
-                result.completions.append(Completion(entries[0].surface, entries, "tree"))
+                result.completions.append(
+                    Completion(entries[0].surface, entries, "tree")
+                )
 
         remaining = k - len(result.completions)
         if remaining <= 0:
@@ -99,22 +112,25 @@ class QueryCompletionModule:
         # Step 2: residual bins of length |t| .. |t|+gamma.
         min_len, max_len = len(needle), len(needle) + self.config.gamma
         t0 = time.perf_counter()
-        matches = self.cache.bins.scan(
-            min_len, max_len, lambda lit: needle in lit, processes=self.config.processes
+        matches = bins.scan_keyed(
+            min_len, max_len, lambda lit: needle in lit,
+            processes=self.config.processes,
         )
         result.bins_seconds = time.perf_counter() - t0
-        result.bins_searched_fraction = 1.0 - self.cache.bins.selectivity(min_len, max_len)
+        result.bins_searched_fraction = 1.0 - bins.selectivity(min_len, max_len)
 
-        seen = {completion.surface.lower() for completion in result.completions}
+        seen = set(tree_sids)
         # The shortest results are returned (closest to the typed prefix).
-        for surface in sorted(matches, key=lambda s: (len(s), s)):
-            if surface in seen:
+        for sid, surface in sorted(matches, key=lambda hit: (len(hit[1]), hit[1])):
+            if sid in seen:
                 continue
-            seen.add(surface)
-            entries = tuple(self.cache.entries_for_surface(surface))
+            seen.add(sid)
+            entries = tuple(self.cache.entries_for_surface_id(sid))
             if not entries:
                 continue
-            result.completions.append(Completion(entries[0].surface, entries, "bins"))
+            result.completions.append(
+                Completion(entries[0].surface, entries, "bins")
+            )
             if len(result.completions) >= k:
                 break
         return result

@@ -34,7 +34,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tup
 
 from ..rdf.terms import IRI, Literal, Term, Variable
 from ..rdf.triples import TriplePattern
-from ..sparql.ast_nodes import Query
+from ..sparql.ast_nodes import GraphPattern, Query, ValuesClause
 from ..sparql.results import SelectResult
 from ..sparql.serializer import select_query, serialize_query
 from .cache import SapphireCache
@@ -104,6 +104,85 @@ class GraphExpander:
         self._memo[vertex] = edges
         self.all_edges.update(edges)
         return edges
+
+    def expand_many(self, vertices: Sequence[Term]) -> None:
+        """Prefetch expansions for several vertices at once.
+
+        Ships **two** ``VALUES``-batched queries (one incoming, one
+        outgoing over the URI vertices) instead of one or two queries
+        per vertex — through the same algebra pipeline as everything
+        else, so against a federation of HTTP endpoints the whole batch
+        is one request per endpoint per direction.  Results land in the
+        memo; a later :meth:`expand` of a prefetched vertex is free.
+
+        Already-memoized vertices are skipped.  If the batch does not
+        fit the remaining budget, or a batch query fails, the affected
+        vertices are left unmemoized and fall back to per-vertex
+        expansion (same degradation as the unbatched path).
+        """
+        pending = [v for v in dict.fromkeys(vertices) if v not in self._memo]
+        if len(pending) < 2:
+            return  # a single vertex gains nothing from batching
+        uris = [v for v in pending if not isinstance(v, Literal)]
+        cost = 1 + (1 if uris else 0)
+        if self.queries_used + cost > self.budget:
+            return
+        edges_of: Dict[Term, List[Edge]] = {v: [] for v in pending}
+
+        if not self._batch_direction(pending, edges_of, incoming=True):
+            # The incoming batch failed: nothing can be memoized (every
+            # vertex needs it), so spending the outgoing query would
+            # burn budget for results that must be discarded.  Leave
+            # the vertices to per-vertex expansion.
+            return
+        outgoing_ok = True
+        if uris:
+            outgoing_ok = self._batch_direction(uris, edges_of, incoming=False)
+
+        for vertex, edges in edges_of.items():
+            needs_outgoing = not isinstance(vertex, Literal)
+            if outgoing_ok or not needs_outgoing:
+                self._memo[vertex] = edges
+                self.all_edges.update(edges)
+
+    def _batch_direction(
+        self,
+        vertices: Sequence[Term],
+        edges_of: Dict[Term, List[Edge]],
+        incoming: bool,
+    ) -> bool:
+        """One VALUES-batched expansion query; False on failure."""
+        self.queries_used += 1
+        hub = Variable("v")
+        if incoming:
+            pattern = TriplePattern(Variable("s"), Variable("p"), hub)
+        else:
+            pattern = TriplePattern(hub, Variable("p"), Variable("o"))
+        query = Query(
+            form="SELECT",
+            select_star=True,
+            distinct=True,
+            where=GraphPattern(
+                patterns=[pattern],
+                values=[ValuesClause(("v",), tuple((v,) for v in vertices))],
+            ),
+        )
+        try:
+            result = self.runner(query)
+        except Exception:
+            return False
+        for row in result.rows:
+            vertex, predicate = row.get("v"), row.get("p")
+            other = row.get("s") if incoming else row.get("o")
+            if (
+                isinstance(predicate, IRI)
+                and predicate not in self.exclude_predicates
+                and other is not None
+                and vertex in edges_of
+            ):
+                edge = (other, predicate, vertex) if incoming else (vertex, predicate, other)
+                edges_of[vertex].append(edge)
+        return True
 
     def _query_incoming(self, vertex: Term) -> List[Edge]:
         self.queries_used += 1
@@ -230,6 +309,12 @@ class StructureRelaxer:
             return []
         preferred = self._preferred_predicates(query)
         expander = GraphExpander(self.runner, self.config.relaxation_query_budget)
+        if self.config.qsm_batched_probes:
+            # All seeds get expanded first anyway (they sit at distance
+            # 0 on every frontier); prefetching them as one VALUES batch
+            # per direction spends 2 queries where the per-vertex loop
+            # spends up to 2 per seed, leaving budget for the search.
+            expander.expand_many([seed for group in groups for seed in group])
 
         steiner_edges = self._connect_groups(groups, preferred, expander)
         if steiner_edges is None:

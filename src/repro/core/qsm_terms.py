@@ -9,20 +9,25 @@ query, the QSM hunts for semantically close replacements:
 * **Literals** — matched against cached literal surfaces of length within
   ``[|l| − α, |l| + β]`` (α = 2, β = 3) by the same JW threshold, scanned
   in parallel over the residual bins (plus the small tree-resident
-  literal set, see the cache module's docstring).
+  literal set, see the cache module's docstring).  The scan runs in
+  surface-ID space: bin hits and tree hits are surface IDs resolved to
+  cached terms by list index.
 
 One alternative query is constructed per replacement (one change at a
-time — the UI's "did you mean X instead of Y?" phrasing), the candidates
-are executed in similarity order, and the top k/2 predicate-change and
-k/2 literal-change queries *that return answers* are suggested, with
-their answers prefetched.
+time — the UI's "did you mean X instead of Y?" phrasing).  Candidate
+*execution* is batched: all candidates for one position ship as a single
+``VALUES``-constrained probe through the unified algebra pipeline
+(:mod:`repro.core.probes`), which at the federation costs one request
+per endpoint per round instead of one per candidate.  The top k/2
+predicate-change and k/2 literal-change queries *that return answers*
+are suggested, in similarity order, with their answers prefetched.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..rdf.terms import IRI, Literal, Term, Variable
 from ..sparql.ast_nodes import Query
@@ -32,6 +37,7 @@ from ..text.lexicon import Lexicon, default_lexicon, split_camel_case
 from ..text.similarity import jaro_winkler
 from .cache import CachedTerm, SapphireCache
 from .config import SapphireConfig
+from .probes import ProbeBatcher
 
 __all__ = ["TermSuggestion", "AlternativeTermsFinder"]
 
@@ -87,6 +93,7 @@ class AlternativeTermsFinder:
         self.runner = runner
         self.config = config or cache.config
         self.lexicon = lexicon if lexicon is not None else default_lexicon()
+        self._batcher = ProbeBatcher(runner)
 
     # ------------------------------------------------------------------
     # Candidate discovery
@@ -95,10 +102,12 @@ class AlternativeTermsFinder:
     def predicate_alternatives(self, predicate: IRI) -> List[Tuple[CachedTerm, float]]:
         """Cached predicates/classes similar to ``predicate`` or its lexica."""
         forms = self.lexicon.get_lexica(predicate)
-        candidates = self.cache.predicates() + self.cache.classes()
+        with self.cache.lock:
+            candidates = self.cache.predicates() + self.cache.classes()
+        predicate_id = self.cache.dictionary.lookup(predicate)
         scored: List[Tuple[CachedTerm, float]] = []
         for entry in candidates:
-            if entry.term == predicate:
+            if entry.term_id == predicate_id:
                 continue
             entry_surface = split_camel_case(entry.surface)
             best = max(jaro_winkler(form, entry_surface) for form in forms)
@@ -108,40 +117,73 @@ class AlternativeTermsFinder:
         return scored[: self.config.max_alternatives_per_term]
 
     def literal_alternatives(self, literal: Literal) -> List[Tuple[CachedTerm, float]]:
-        """Cached literals JW-similar to ``literal`` within the α/β window."""
+        """Cached literals JW-similar to ``literal`` within the α/β window.
+
+        ID-native: both the parallel bin scan and the tree-resident set
+        yield surface IDs; entries resolve by ID, no string re-hashing.
+        """
         surface = literal.lexical
         needle = surface.lower()
         min_len = max(1, len(surface) - self.config.alpha)
         max_len = len(surface) + self.config.beta
 
-        matches = self.cache.bins.scan_scored(
+        # Snapshot under the lock, scan outside it: a JW sweep over the
+        # bins must not stall concurrent per-keystroke completions.
+        with self.cache.lock:
+            _, _, bins = self.cache.snapshot_indexes()
+            tree_literal_sids = self.cache.tree_literal_surface_ids()
+        matches = bins.scan_scored_keyed(
             min_len, max_len,
             lambda lit: jaro_winkler(needle, lit),
             self.config.theta,
             processes=self.config.processes,
         )
         # Also consider the tree-resident (significant) literal surfaces.
-        for tree_surface in self.cache.tree_literal_surfaces():
+        for sid in tree_literal_sids:
+            tree_surface = self.cache.surface_of(sid)
             if min_len <= len(tree_surface) <= max_len:
                 score = jaro_winkler(needle, tree_surface)
                 if score >= self.config.theta:
-                    matches.append((tree_surface, score))
+                    matches.append((sid, tree_surface, score))
 
         scored: List[Tuple[CachedTerm, float]] = []
         seen = set()
-        for match_surface, score in sorted(matches, key=lambda p: -p[1]):
-            if match_surface == needle or match_surface in seen:
+        for sid, match_surface, score in sorted(matches, key=lambda hit: -hit[2]):
+            if match_surface == needle or sid in seen:
                 continue
-            seen.add(match_surface)
-            for entry in self.cache.entries_for_surface(match_surface):
+            seen.add(sid)
+            for entry in self.cache.entries_for_surface_id(sid):
                 if entry.kind == "literal" and entry.term != literal:
                     scored.append((entry, score))
         scored.sort(key=lambda pair: (-pair[1], pair[0].surface))
         return scored[: self.config.max_alternatives_per_term]
 
     # ------------------------------------------------------------------
-    # Algorithm 2: build, execute, rank alternative queries
+    # Algorithm 2: build, execute (batched), rank alternative queries
     # ------------------------------------------------------------------
+
+    def candidate_positions(
+        self, query: Query
+    ) -> List[Tuple[int, str, Term, List[Tuple[CachedTerm, float]]]]:
+        """Every probed position with its scored candidate list."""
+        positions: List[Tuple[int, str, Term, List[Tuple[CachedTerm, float]]]] = []
+        for index, pattern in enumerate(query.where.patterns):
+            for position, element in (
+                ("subject", pattern.subject),
+                ("predicate", pattern.predicate),
+                ("object", pattern.object),
+            ):
+                if isinstance(element, Variable):
+                    continue
+                if isinstance(element, IRI):
+                    found = self.predicate_alternatives(element)
+                elif isinstance(element, Literal):
+                    found = self.literal_alternatives(element)
+                else:  # pragma: no cover - no other term kinds exist
+                    continue
+                if found:
+                    positions.append((index, position, element, found))
+        return positions
 
     def suggest(self, query: Query, k: Optional[int] = None) -> List[TermSuggestion]:
         """Top-k one-term-change queries that return answers."""
@@ -149,25 +191,27 @@ class AlternativeTermsFinder:
         predicate_candidates: List[TermSuggestion] = []
         literal_candidates: List[TermSuggestion] = []
 
-        for index, pattern in enumerate(query.where.patterns):
-            positions = (
-                ("subject", pattern.subject),
-                ("predicate", pattern.predicate),
-                ("object", pattern.object),
-            )
-            for position, element in positions:
-                if isinstance(element, Variable):
-                    continue
-                if isinstance(element, IRI):
-                    for entry, score in self.predicate_alternatives(element):
-                        predicate_candidates.append(self._make_candidate(
-                            query, "predicate", index, position, element, entry, score
-                        ))
-                elif isinstance(element, Literal):
-                    for entry, score in self.literal_alternatives(element):
-                        literal_candidates.append(self._make_candidate(
-                            query, "literal", index, position, element, entry, score
-                        ))
+        batched = self.config.qsm_batched_probes
+        for index, position, element, found in self.candidate_positions(query):
+            kind = "predicate" if isinstance(element, IRI) else "literal"
+            bucket = predicate_candidates if kind == "predicate" else literal_candidates
+            results: Optional[Dict[Term, SelectResult]] = None
+            if batched:
+                results = self._batcher.run(
+                    query, index, position, [entry.term for entry, _ in found]
+                )
+            for entry, score in found:
+                candidate = self._make_candidate(
+                    query, kind, index, position, element, entry, score
+                )
+                if results is not None:
+                    prefetched = results.get(entry.term)
+                    if prefetched is not None and prefetched.rows:
+                        candidate.n_answers = len(prefetched.rows)
+                        candidate.prefetched = prefetched
+                    else:
+                        candidate.n_answers = 0
+                bucket.append(candidate)
 
         predicate_candidates.sort(key=lambda s: -s.similarity)
         literal_candidates.sort(key=lambda s: -s.similarity)
@@ -176,6 +220,17 @@ class AlternativeTermsFinder:
         suggestions.extend(self._top_with_answers(predicate_candidates, k // 2))
         suggestions.extend(self._top_with_answers(literal_candidates, k // 2))
         return suggestions
+
+    def probe_queries(self, query: Query) -> List[Tuple[str, Query]]:
+        """The batched probe queries one suggestion round ships, labelled
+        (the EXPLAIN surface — see ``SapphireServer.explain_suggestions``)."""
+        return self._batcher.probe_queries(
+            query,
+            [
+                (index, position, [entry.term for entry, _ in found])
+                for index, position, _, found in self.candidate_positions(query)
+            ],
+        )
 
     def _make_candidate(
         self,
@@ -203,19 +258,30 @@ class AlternativeTermsFinder:
     def _top_with_answers(
         self, candidates: List[TermSuggestion], quota: int
     ) -> List[TermSuggestion]:
-        """Execute candidates in similarity order; keep those with answers."""
+        """Walk candidates in similarity order; keep those with answers.
+
+        Batch-probed candidates already know their answers; unresolved
+        ones (``n_answers == -1``: batching off, aggregate query, or a
+        failed batch) execute individually here, preserving the
+        classic Algorithm 2 behaviour as the fallback.
+        """
         kept: List[TermSuggestion] = []
         for candidate in candidates:
             if len(kept) >= quota:
                 break
-            try:
-                result = self.runner(candidate.query)
-            except Exception:
-                continue
-            if result.rows:
+            if candidate.n_answers == -1:
+                try:
+                    result = self.runner(candidate.query)
+                except Exception:
+                    continue
+                if not result.rows:
+                    candidate.n_answers = 0
+                    continue
                 candidate.n_answers = len(result.rows)
                 candidate.prefetched = result  # prefetching (Section 4)
-                kept.append(candidate)
+            elif candidate.n_answers == 0:
+                continue
+            kept.append(candidate)
         return kept
 
 

@@ -222,7 +222,9 @@ class SapphireServer:
 
     def save_state(self, directory) -> Dict[str, int]:
         """Persist the cache and every endpoint's dataset under
-        ``directory`` (``cache.json`` + one ``<endpoint>.sqlite`` each).
+        ``directory`` (``cache.sqlite`` + one ``<endpoint>.sqlite``
+        each — the cache rides the same storage engine as the data,
+        see ``core/persistence.py``).
 
         Returns a map of endpoint name to persisted triple count.  Load
         again with :meth:`load_state`.
@@ -243,10 +245,16 @@ class SapphireServer:
                     "state files would overwrite each other — give each "
                     "endpoint a distinct name before saving"
                 )
+            if endpoint.name in ("cache", "state"):
+                raise ValueError(
+                    f"endpoint name {endpoint.name!r} collides with the "
+                    "state directory's own files (cache.sqlite/state.json) "
+                    "— rename the endpoint before saving"
+                )
             seen.add(endpoint.name)
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
-        save_cache(self.cache, target / "cache.json")
+        save_cache(self.cache, target / "cache.sqlite")
         # Drop state files *this class* wrote for endpoints that no
         # longer exist (per the previous manifest) — never unrelated
         # .sqlite files that happen to live in the directory.
@@ -267,7 +275,11 @@ class SapphireServer:
             )
         # Atomic replace so a crash mid-write cannot truncate the manifest.
         scratch = manifest_path.with_suffix(".json.tmp")
-        scratch.write_text(json.dumps({"version": 1, "endpoints": sorted(current)}))
+        scratch.write_text(json.dumps({
+            "version": 2,
+            "cache": "cache.sqlite",
+            "endpoints": sorted(current),
+        }))
         os.replace(scratch, manifest_path)
         # Stale cleanup runs last: if any store write above had failed,
         # the previous manifest would still describe files that exist.
@@ -301,7 +313,15 @@ class SapphireServer:
         source = Path(directory)
         manifest = json.loads((source / "state.json").read_text())
         server = cls(config, lexicon)
-        server.cache = load_cache(source / "cache.json", server.config)
+        # Version-1 manifests carry no cache key: those states persisted
+        # the cache as JSON, which load_cache still sniffs and reads.
+        cache_name = manifest.get("cache", "cache.json")
+        if not _is_safe_state_name(cache_name):
+            raise ValueError(
+                f"state manifest names an unsafe cache file {cache_name!r} "
+                "(path separator or empty) — refusing to open it"
+            )
+        server.cache = load_cache(source / cache_name, server.config)
         for name in manifest.get("endpoints", []):
             if not _is_safe_state_name(name):
                 raise ValueError(
@@ -406,6 +426,31 @@ class SapphireServer:
         ]
         if len(self.endpoints) > 1:
             sections.append(f"-- federation\n{self.federation.explain(query)}")
+        return "\n\n".join(sections)
+
+    def explain_suggestions(self, query: Union[str, Query, QueryBuilder]) -> str:
+        """EXPLAIN for the batched QSM probe round, no execution.
+
+        Shows every VALUES-batched probe query one suggestion round
+        would ship (one per probed position) and the federated plan it
+        compiles to — the ``RemoteBindJoinNode``/``ValuesScan`` shape
+        that turns per-candidate endpoint calls into one request per
+        endpoint per round (``docs/predictive-model.md``).
+        """
+        if isinstance(query, QueryBuilder):
+            query = query.build()
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not self.endpoints:
+            raise RuntimeError("register at least one endpoint first")
+        sections = []
+        for label, probe in self.terms_finder.probe_queries(query):
+            sections.append(
+                f"-- probe: {label}\n{serialize_query(probe)}\n"
+                f"{self.federation.explain(probe)}"
+            )
+        if not sections:
+            return "no batched probes: no candidate terms found in the cache"
         return "\n\n".join(sections)
 
     def _literal_alternatives_map(self, query: Query) -> Dict[Literal, List[Literal]]:

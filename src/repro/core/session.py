@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -38,10 +39,18 @@ class HistoryEntry:
 
 
 class SapphireSession:
-    """One user's interactive session against a Sapphire server."""
+    """One user's interactive session against a Sapphire server.
+
+    Composer state, the latest outcome, and the history are guarded by
+    an RLock: the HTTP suggestion API can drive one session from many
+    handler threads (per-keystroke ``/complete`` races a ``/suggest``),
+    and an interleaved ``run``/``accept`` must never record a history
+    entry against somebody else's outcome.
+    """
 
     def __init__(self, server: SapphireServer) -> None:
         self.server = server
+        self._lock = threading.RLock()
         self._builder = QueryBuilder()
         self._outcome: Optional[QueryOutcome] = None
         self.history: List[HistoryEntry] = []
@@ -57,7 +66,8 @@ class SapphireSession:
 
     def triple(self, subject: Term, predicate: Term, obj: Term) -> "SapphireSession":
         """Add one triple-pattern row to the composer."""
-        self._builder.triple(subject, predicate, obj)
+        with self._lock:
+            self._builder.triple(subject, predicate, obj)
         return self
 
     def count(self, variable: str, alias: str = "count") -> "SapphireSession":
@@ -78,8 +88,9 @@ class SapphireSession:
 
     def clear(self) -> "SapphireSession":
         """Empty the composer (history is kept)."""
-        self._builder = QueryBuilder()
-        self._outcome = None
+        with self._lock:
+            self._builder = QueryBuilder()
+            self._outcome = None
         return self
 
     # ------------------------------------------------------------------
@@ -88,20 +99,24 @@ class SapphireSession:
 
     def run(self, suggest: bool = True) -> QueryOutcome:
         """Click Run: execute the composed query, gather QSM suggestions."""
-        outcome = self.server.run_query(self._builder, suggest=suggest)
-        self._outcome = outcome
-        self.history.append(HistoryEntry(
-            query_text=outcome.query_text,
-            n_answers=len(outcome.answers),
-            n_suggestions=len(outcome.all_suggestions),
-        ))
+        with self._lock:
+            builder = self._builder
+        outcome = self.server.run_query(builder, suggest=suggest)
+        with self._lock:
+            self._outcome = outcome
+            self.history.append(HistoryEntry(
+                query_text=outcome.query_text,
+                n_answers=len(outcome.answers),
+                n_suggestions=len(outcome.all_suggestions),
+            ))
         return outcome
 
     @property
     def outcome(self) -> QueryOutcome:
-        if self._outcome is None:
-            raise RuntimeError("run() the composed query first")
-        return self._outcome
+        with self._lock:
+            if self._outcome is None:
+                raise RuntimeError("run() the composed query first")
+            return self._outcome
 
     def suggestions(self) -> List[Union[TermSuggestion, RelaxationSuggestion]]:
         """The QSM's suggestions for the last executed query."""
@@ -115,10 +130,11 @@ class SapphireSession:
         """Accept suggestion ``index``: the suggested query replaces the
         current one and its *prefetched* answers display immediately —
         no re-execution (Section 4)."""
-        suggestions = self.suggestions()
-        if not 0 <= index < len(suggestions):
-            raise IndexError(f"suggestion {index} out of range")
-        chosen = suggestions[index]
+        with self._lock:
+            suggestions = self.suggestions()
+            if not 0 <= index < len(suggestions):
+                raise IndexError(f"suggestion {index} out of range")
+            chosen = suggestions[index]
         prefetched = chosen.prefetched
         if prefetched is None:  # defensive: execute if not prefetched
             prefetched = self.server.run_query(chosen.query, suggest=False).answers
@@ -127,13 +143,14 @@ class SapphireSession:
             query_text=chosen.query_text,
             answers=prefetched,
         )
-        self._outcome = new_outcome
-        self.history.append(HistoryEntry(
-            query_text=chosen.query_text,
-            n_answers=len(prefetched),
-            n_suggestions=0,
-            accepted_suggestion=chosen.message(),
-        ))
+        with self._lock:
+            self._outcome = new_outcome
+            self.history.append(HistoryEntry(
+                query_text=chosen.query_text,
+                n_answers=len(prefetched),
+                n_suggestions=0,
+                accepted_suggestion=chosen.message(),
+            ))
         return new_outcome
 
     # ------------------------------------------------------------------

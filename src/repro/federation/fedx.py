@@ -297,28 +297,11 @@ class FederatedQueryProcessor:
         return self._finalize(query, solutions)
 
     def _finalize(self, query: Query, solutions: List[Binding]) -> SelectResult:
-        """Solution modifiers at the mediator, via the local pipeline."""
-        evaluator = self._pipeline
-        if query.has_aggregates() or query.group_by:
-            rows = evaluator._aggregate(query, solutions)
-        else:
-            rows = solutions
-        # As in the local evaluator: ORDER BY sees pre-projection solutions.
-        if query.order_by:
-            rows = evaluator._order(rows, query.order_by)
-        names = query.projected_names()
-        if not query.has_aggregates():
-            rows = [evaluator._project(row, query, names) for row in rows]
-        if query.distinct:
-            from ..sparql.evaluator import _distinct
+        """Solution modifiers at the mediator, via the shared pipeline
+        tail (ORDER BY sees pre-projection solutions, as locally)."""
+        from ..sparql.evaluator import finalize_solutions
 
-            rows = _distinct(rows, names)
-        offset = query.offset or 0
-        if offset:
-            rows = rows[offset:]
-        if query.limit is not None:
-            rows = rows[: query.limit]
-        return SelectResult(variables=names, rows=rows)
+        return finalize_solutions(self._pipeline, query, solutions)
 
     def _solve(self, group: GraphPattern) -> Iterator[Binding]:
         """Execute one group across the federation: compile, stream the

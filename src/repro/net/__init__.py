@@ -13,10 +13,15 @@ the reproduction do the same, stdlib-only:
   the app to a socket (``repro serve`` uses it);
 * :mod:`repro.net.client` — :class:`HttpSparqlEndpoint`, a drop-in
   endpoint whose queries go over the wire, so the federation engine
-  federates live HTTP endpoints unchanged.
+  federates live HTTP endpoints unchanged; and
+  :class:`HttpSapphireClient`, which drives a remote Sapphire's
+  Predictive User Model through the ``/complete``/``/suggest`` routes;
+* :mod:`repro.net.suggest` — the suggestion API's canonical JSON wire
+  format (shared by server and client, so loopback responses are
+  byte-identical to in-process results).
 """
 
-from .client import HttpSparqlEndpoint
+from .client import HttpSapphireClient, HttpSparqlEndpoint
 from .formats import (
     MIME_CSV,
     MIME_JSON,
@@ -32,10 +37,31 @@ from .formats import (
     write_xml,
 )
 from .server import SparqlHttpServer
+from .suggest import (
+    RemoteCompletion,
+    RemoteCompletionResult,
+    RemoteOutcome,
+    RemoteSuggestion,
+    completion_document,
+    dump_document,
+    outcome_document,
+    parse_completion,
+    parse_outcome,
+)
 from .wsgi import ServerStats, SparqlWsgiApp
 
 __all__ = [
     "HttpSparqlEndpoint",
+    "HttpSapphireClient",
+    "RemoteCompletion",
+    "RemoteCompletionResult",
+    "RemoteOutcome",
+    "RemoteSuggestion",
+    "completion_document",
+    "outcome_document",
+    "dump_document",
+    "parse_completion",
+    "parse_outcome",
     "SparqlHttpServer",
     "SparqlWsgiApp",
     "ServerStats",

@@ -50,9 +50,16 @@ from ..sparql.errors import SparqlError
 from ..sparql.results import AskResult, SelectResult
 from ..sparql.serializer import serialize_query
 from .formats import MIME_JSON, FormatError, parse_json
+from .suggest import (
+    MIME_JSON_BODY,
+    RemoteCompletionResult,
+    RemoteOutcome,
+    parse_completion,
+    parse_outcome,
+)
 from .wsgi import MIME_FORM
 
-__all__ = ["HttpSparqlEndpoint"]
+__all__ = ["HttpSparqlEndpoint", "HttpSapphireClient"]
 
 
 class HttpSparqlEndpoint:
@@ -226,22 +233,10 @@ class HttpSparqlEndpoint:
         return result
 
     def _map_http_error(self, exc: urllib.error.HTTPError) -> Exception:
-        detail = _error_detail(exc)
-        if exc.code == 503:
-            return _Retryable(
-                QueryRejected(f"{self.name}: rejected (503): {detail}"),
-                outcome="rejected",
-            )
-        if exc.code == 504:
-            return EndpointTimeout(f"{self.name}: remote timeout (504): {detail}")
-        if exc.code == 400:
-            return SparqlError(f"{self.name}: bad query (400): {detail}")
-        return EndpointError(f"{self.name}: HTTP {exc.code}: {detail}")
+        return _map_http_error(self.name, exc)
 
     def _sleep(self, attempt: int) -> None:
-        """Full-jitter exponential backoff, capped."""
-        ceiling = min(self.backoff_cap_s, self.backoff_s * (2 ** attempt))
-        time.sleep(self._rng.uniform(0, ceiling))
+        _jitter_sleep(self._rng, attempt, self.backoff_s, self.backoff_cap_s)
 
     def _record(
         self,
@@ -263,6 +258,151 @@ class HttpSparqlEndpoint:
                     truncated=truncated,
                 )
             )
+
+
+class HttpSapphireClient:
+    """Drive a *remote* Sapphire's Predictive User Model over HTTP.
+
+    Talks to the ``/complete`` and ``/suggest`` routes a
+    :class:`~repro.net.wsgi.SparqlWsgiApp` exposes when its backend is a
+    :class:`~repro.core.sapphire.SapphireServer`.  The call surface
+    mirrors the in-process server — ``complete(text, k)`` and
+    ``suggest(query)`` — so a UI (or another SapphireServer) can swap a
+    local PUM for a network one without code changes.
+
+    ``base_url`` may be the server root or its ``/sparql`` endpoint URL;
+    the suggestion routes are derived from it.  Failure mapping follows
+    :class:`HttpSparqlEndpoint`: 503 → :class:`QueryRejected` after
+    capped jittered retries, 504 → :class:`EndpointTimeout`, 400 →
+    :class:`~repro.sparql.errors.SparqlError`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        session: Optional[str] = None,
+        timeout_s: float = 30.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        split = urllib.parse.urlsplit(base_url)
+        path = split.path
+        if path.endswith("/sparql"):
+            path = path[: -len("/sparql")]
+        self.root = urllib.parse.urlunsplit(
+            (split.scheme, split.netloc, path.rstrip("/"), "", "")
+        )
+        self.name = split.netloc or base_url
+        self.session = session
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = rng or random.Random()
+
+    # ------------------------------------------------------------------
+    # PUM surface (mirrors SapphireServer)
+    # ------------------------------------------------------------------
+
+    def complete(self, text: str, k: Optional[int] = None) -> RemoteCompletionResult:
+        """QCM auto-completion from the remote cache."""
+        return parse_completion(self.complete_raw(text, k))
+
+    def complete_raw(self, text: str, k: Optional[int] = None) -> bytes:
+        """The exact ``/complete`` response bytes (the parity surface:
+        byte-identical to the in-process canonical encoding)."""
+        body: dict = {"text": text}
+        if k is not None:
+            body["k"] = k
+        return self._post("/complete", body)
+
+    def suggest(self, query: str, suggest: bool = True) -> RemoteOutcome:
+        """Run ``query`` remotely and collect the QSM's suggestions
+        (answers and prefetched suggestion answers included)."""
+        return parse_outcome(self._post("/suggest", {"query": query, "suggest": suggest}))
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    def _post(self, route: str, body: dict) -> bytes:
+        if self.session is not None:
+            body = dict(body, session=self.session)
+        payload = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.root + route,
+            data=payload,
+            headers={
+                "Content-Type": MIME_JSON_BODY,
+                "Accept": MIME_JSON_BODY,
+                "User-Agent": "sapphire-repro-client/1.0",
+            },
+            method="POST",
+        )
+        attempt = 0
+        while True:
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                    return response.read()
+            except urllib.error.HTTPError as exc:
+                mapped = _map_http_error(self.name, exc)
+                if isinstance(mapped, _Retryable) and attempt < self.max_retries:
+                    self._sleep(attempt)
+                    attempt += 1
+                    continue
+                if isinstance(mapped, _Retryable):
+                    mapped = mapped.error
+                raise mapped from None
+            except TimeoutError as exc:
+                raise EndpointTimeout(
+                    f"{self.name}: no response within {self.timeout_s}s: {exc}"
+                ) from None
+            except urllib.error.URLError as exc:
+                if isinstance(exc.reason, TimeoutError):
+                    raise EndpointTimeout(
+                        f"{self.name}: no response within {self.timeout_s}s: "
+                        f"{exc.reason}"
+                    ) from None
+                if attempt < self.max_retries:
+                    self._sleep(attempt)
+                    attempt += 1
+                    continue
+                raise EndpointError(f"{self.name}: connection failed: {exc}") from None
+            except ConnectionError as exc:
+                if attempt < self.max_retries:
+                    self._sleep(attempt)
+                    attempt += 1
+                    continue
+                raise EndpointError(f"{self.name}: connection failed: {exc}") from None
+
+    def _sleep(self, attempt: int) -> None:
+        _jitter_sleep(self._rng, attempt, self.backoff_s, self.backoff_cap_s)
+
+
+def _jitter_sleep(rng: random.Random, attempt: int,
+                  base_s: float, cap_s: float) -> None:
+    """Full-jitter exponential backoff, capped — the one retry pacing
+    policy both wire clients share."""
+    ceiling = min(cap_s, base_s * (2 ** attempt))
+    time.sleep(rng.uniform(0, ceiling))
+
+
+def _map_http_error(name: str, exc: urllib.error.HTTPError) -> Exception:
+    """Shared status → endpoint-error mapping for the wire clients."""
+    detail = _error_detail(exc)
+    if exc.code == 503:
+        return _Retryable(
+            QueryRejected(f"{name}: rejected (503): {detail}"),
+            outcome="rejected",
+        )
+    if exc.code == 504:
+        return EndpointTimeout(f"{name}: remote timeout (504): {detail}")
+    if exc.code == 400:
+        return SparqlError(f"{name}: bad query (400): {detail}")
+    return EndpointError(f"{name}: HTTP {exc.code}: {detail}")
 
 
 class _Retryable(Exception):

@@ -11,10 +11,25 @@ Routes
 ``GET  /sparql?query=...``          — query via query string
 ``POST /sparql`` (url-encoded)      — query via ``query=`` form field
 ``POST /sparql`` (sparql-query)     — raw query text as the request body
+``POST /complete`` (JSON)           — QCM auto-completion (Sapphire backends)
+``POST /suggest`` (JSON)            — run + QSM suggestions (Sapphire backends)
 ``GET  /health``                    — liveness probe (JSON)
 ``GET  /stats``                     — serving counters (JSON)
 
 ``/`` is an alias for ``/sparql`` so a bare endpoint URL works.
+
+The suggestion routes exist when the backend is a
+:class:`~repro.core.sapphire.SapphireServer` (anything with
+``complete``/``run_query``); plain endpoints answer 404 for them.
+Bodies are JSON — ``{"text": ..., "k": ..., "session": ...}`` for
+``/complete``, ``{"query": ..., "suggest": ..., "session": ...}`` for
+``/suggest`` — and responses use the canonical encoding of
+:mod:`repro.net.suggest`, so a loopback ``/complete`` is byte-identical
+to the in-process completion.  An optional ``session`` token groups a
+user's calls; per-session activity counters surface in ``/stats``.
+Both routes pass through the same admission control and deadline rules
+as queries — a suggestion round occupies a worker slot exactly like a
+query does.
 
 Admission control
 -----------------
@@ -44,6 +59,12 @@ from ..sparql.errors import SparqlError
 from ..sparql.parser import parse_query
 from ..sparql.results import SelectResult
 from .formats import NotAcceptable, negotiate
+from .suggest import (
+    MIME_JSON_BODY,
+    completion_document,
+    dump_document,
+    outcome_document,
+)
 
 __all__ = ["ServerStats", "SparqlWsgiApp"]
 
@@ -152,7 +173,14 @@ class SparqlWsgiApp:
         deadline_s: Optional[float] = None,
         max_query_bytes: int = 256 * 1024,
     ) -> None:
-        # A SapphireServer fronts its endpoints with a federation; serve that.
+        # A SapphireServer fronts its endpoints with a federation; serve
+        # that for /sparql, and keep the server itself as the Predictive
+        # User Model behind /complete and /suggest.
+        self.suggester = (
+            backend
+            if hasattr(backend, "complete") and hasattr(backend, "run_query")
+            else None
+        )
         federation = getattr(backend, "federation", None)
         self.backend = federation if federation is not None else backend
         if max_workers < 1:
@@ -172,6 +200,12 @@ class SparqlWsgiApp:
         self._queue_lock = threading.Lock()
         self._queued = 0
         self._in_flight = 0
+        # Suggestion-API sessions: token -> activity counters, bounded
+        # (oldest-evicted) so an unauthenticated client cannot grow
+        # server memory by minting tokens.
+        self._sessions: Dict[str, Dict[str, int]] = {}
+        self._sessions_lock = threading.Lock()
+        self.max_sessions = 1024
 
     # ------------------------------------------------------------------
     # WSGI entry point
@@ -195,7 +229,24 @@ class SparqlWsgiApp:
             body["queued"] = self._queued
             body["max_workers"] = self.max_workers
             body["queue_limit"] = self.queue_limit
+            with self._sessions_lock:
+                body["sessions"] = len(self._sessions)
+                body["session_activity"] = sum(
+                    sum(counters.values()) for counters in self._sessions.values()
+                )
             return self._json_response(start_response, 200, body)
+        if path in ("/complete", "/suggest"):
+            if method != "POST":
+                return self._error(start_response, 405,
+                                   "use POST with a JSON body",
+                                   extra_headers=[("Allow", "POST")])
+            started = time.perf_counter()
+            status, headers, payload, rows = self._handle_suggestion(path, environ)
+            elapsed = time.perf_counter() - started
+            self.stats.record(status, elapsed, rows=rows)
+            headers.setdefault("Content-Length", str(len(payload)))
+            start_response(_STATUS_LINES[status], list(headers.items()))
+            return [payload]
         if path not in ("/", "/sparql"):
             return self._error(start_response, 404, f"no such resource: {path}")
         if method not in ("GET", "POST"):
@@ -280,6 +331,120 @@ class SparqlWsgiApp:
                 # HttpSparqlEndpoint restores the flag from this header.
                 headers["X-Result-Truncated"] = "true"
         return 200, headers, payload, rows
+
+    # ------------------------------------------------------------------
+    # Suggestion API (the Predictive User Model over HTTP)
+    # ------------------------------------------------------------------
+
+    def _handle_suggestion(
+        self, path: str, environ
+    ) -> Tuple[int, Dict[str, str], bytes, int]:
+        if self.suggester is None:
+            return _failure(
+                404, "this endpoint has no predictive model: serve a "
+                     "SapphireServer to enable /complete and /suggest")
+        try:
+            document = self._read_json_body(environ)
+        except _HttpFail as fail:
+            return _failure(fail.status, str(fail))
+
+        session = document.get("session")
+        if session is not None and not isinstance(session, str):
+            return _failure(400, "'session' must be a string token")
+
+        admitted, queued_s = self._admit()
+        if not admitted:
+            return _failure(
+                503, "server overloaded: worker pool and queue are full")
+        try:
+            if self.deadline_s is not None and queued_s >= self.deadline_s:
+                return _failure(
+                    503, f"queued {queued_s:.2f}s, past the "
+                         f"{self.deadline_s:.2f}s deadline")
+            with self._queue_lock:
+                self._in_flight += 1
+            try:
+                if path == "/complete":
+                    response = self._run_complete(document)
+                else:
+                    response = self._run_suggest(document)
+            finally:
+                with self._queue_lock:
+                    self._in_flight -= 1
+        except _HttpFail as fail:
+            return _failure(fail.status, str(fail))
+        except QueryRejected as exc:
+            return _failure(503, str(exc))
+        except EndpointTimeout as exc:
+            return _failure(504, str(exc))
+        except SparqlError as exc:
+            return _failure(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — a handler must not crash the server
+            return _failure(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            self._workers.release()
+
+        if session is not None:
+            self._touch_session(session, path.lstrip("/"))
+        payload = dump_document(response)
+        headers = {"Content-Type": f"{MIME_JSON_BODY}; charset=utf-8"}
+        return 200, headers, payload, 0
+
+    def _run_complete(self, document: Dict) -> Dict:
+        text = document.get("text")
+        if not isinstance(text, str):
+            raise _HttpFail(400, "missing required 'text' string")
+        k = document.get("k")
+        if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 1):
+            raise _HttpFail(400, "'k' must be a positive integer")
+        return completion_document(self.suggester.complete(text, k))
+
+    def _run_suggest(self, document: Dict) -> Dict:
+        query = document.get("query")
+        if not isinstance(query, str):
+            raise _HttpFail(400, "missing required 'query' string")
+        suggest = document.get("suggest", True)
+        if not isinstance(suggest, bool):
+            raise _HttpFail(400, "'suggest' must be a boolean")
+        outcome = self.suggester.run_query(query, suggest=suggest)
+        return outcome_document(outcome)
+
+    def _read_json_body(self, environ) -> Dict:
+        """The request body as a JSON object (suggestion routes)."""
+        content_type = (environ.get("CONTENT_TYPE") or "").split(";")[0].strip().lower()
+        if content_type not in (MIME_JSON_BODY, ""):
+            raise _HttpFail(
+                415, f"unsupported Content-Type {content_type!r}: "
+                     f"use {MIME_JSON_BODY}")
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > self.max_query_bytes:
+            raise _HttpFail(413, f"request body exceeds {self.max_query_bytes} bytes")
+        body = environ["wsgi.input"].read(length) if length else b""
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpFail(400, f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise _HttpFail(400, "request body must be a JSON object")
+        return document
+
+    def _touch_session(self, token: str, route: str) -> None:
+        """Record one call against a session token (bounded table)."""
+        with self._sessions_lock:
+            counters = self._sessions.get(token)
+            if counters is None:
+                while len(self._sessions) >= self.max_sessions:
+                    self._sessions.pop(next(iter(self._sessions)))
+                counters = self._sessions[token] = {}
+            counters[route] = counters.get(route, 0) + 1
+
+    def session_counters(self, token: str) -> Dict[str, int]:
+        """Activity counters for one session token (empty if unknown)."""
+        with self._sessions_lock:
+            return dict(self._sessions.get(token, ()))
 
     def _handle_explain(self, text: str) -> Tuple[int, Dict[str, str], bytes, int]:
         """EXPLAIN over the protocol: ``explain=true`` alongside the query.

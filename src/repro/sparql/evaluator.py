@@ -51,7 +51,7 @@ from .parser import parse_query
 from .plan import QueryPlanner, explain_plan
 from .results import AskResult, SelectResult
 
-__all__ = ["QueryEvaluator", "evaluate"]
+__all__ = ["QueryEvaluator", "evaluate", "finalize_solutions"]
 
 #: Sentinel distinguishing "no plan computed yet" from "planner said None".
 _PLAN_UNSET = object()
@@ -786,6 +786,36 @@ def _int_or_double(value: float) -> Literal:
     from ..rdf.terms import XSD_DOUBLE
 
     return Literal(repr(value), datatype=XSD_DOUBLE)
+
+
+def finalize_solutions(
+    evaluator: "QueryEvaluator", query: Query, solutions: List[Binding]
+) -> SelectResult:
+    """Apply a query's solution modifiers to pre-computed solutions.
+
+    The mediator-side tail of the SELECT pipeline — aggregate, ORDER BY
+    (pre-projection, so unprojected variables can order), projection,
+    DISTINCT, OFFSET/LIMIT — shared by the federated processor and the
+    QSM's batched probe executor, so remote rows and probe-group rows
+    finish through exactly the code path local evaluation uses.
+    """
+    if query.has_aggregates() or query.group_by:
+        rows = evaluator._aggregate(query, solutions)
+    else:
+        rows = solutions
+    if query.order_by:
+        rows = evaluator._order(rows, query.order_by)
+    names = query.projected_names()
+    if not query.has_aggregates():
+        rows = [evaluator._project(row, query, names) for row in rows]
+    if query.distinct:
+        rows = _distinct(rows, names)
+    offset = query.offset or 0
+    if offset:
+        rows = rows[offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return SelectResult(variables=names, rows=rows)
 
 
 def evaluate(store: TripleStore, query_text: str, meter: Optional[CostMeter] = None):

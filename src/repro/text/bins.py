@@ -81,20 +81,28 @@ def assign_tasks(bin_sizes: Sequence[int], processes: int) -> List[BinTask]:
 class LiteralBins:
     """Length-keyed bins of literal strings with parallel scanning.
 
-    The bins store plain strings (the lexical forms); callers keep any
-    mapping back to RDF terms.  ``scan`` applies an arbitrary predicate or
-    scorer over the literals in a length range, parallelized over
-    ``processes`` workers per Algorithm 1.
+    The bins store plain strings (the lexical forms) plus one integer
+    *key* per literal — the Sapphire cache passes its surface IDs, so a
+    scan hit maps back to cached terms without a string lookup; callers
+    that never pass keys get a dense insertion index instead.  ``scan``
+    applies an arbitrary predicate or scorer over the literals in a
+    length range, parallelized over ``processes`` workers per
+    Algorithm 1; the ``*_keyed`` variants return ``(key, literal)``
+    pairs for ID-space consumers.
     """
 
     def __init__(self, literals: Optional[Iterable[str]] = None) -> None:
         self._bins: Dict[int, List[str]] = {}
+        self._keys: Dict[int, List[int]] = {}
         self._count = 0
         if literals is not None:
             self.add_all(literals)
 
-    def add(self, literal: str) -> None:
+    def add(self, literal: str, key: Optional[int] = None) -> None:
         self._bins.setdefault(len(literal), []).append(literal)
+        self._keys.setdefault(len(literal), []).append(
+            self._count if key is None else key
+        )
         self._count += 1
 
     def add_all(self, literals: Iterable[str]) -> None:
@@ -158,6 +166,38 @@ class LiteralBins:
         buckets = [bucket for _, bucket in selected]
         return scan_bins(buckets, match, processes)
 
+    def scan_keyed(
+        self,
+        min_len: int,
+        max_len: int,
+        match: Callable[[str], bool],
+        processes: int = 1,
+    ) -> List[Tuple[int, str]]:
+        """Like :meth:`scan` but returns ``(key, literal)`` pairs."""
+        selected = self.select_bins(min_len, max_len)
+        if not selected:
+            return []
+        buckets = [bucket for _, bucket in selected]
+        key_lists = [self._keys[length] for length, _ in selected]
+        hits: List[Tuple[int, str]] = []
+
+        def work(assignments: List[BinTask]) -> List[Tuple[int, str]]:
+            found: List[Tuple[int, str]] = []
+            for task in assignments:
+                bucket = buckets[task.bin_index]
+                keys = key_lists[task.bin_index]
+                for offset in range(task.start, task.end):
+                    literal = bucket[offset]
+                    if match(literal):
+                        found.append((keys[offset], literal))
+            return found
+
+        for chunk in _run_assignments(
+            [len(b) for b in buckets], processes, work
+        ):
+            hits.extend(chunk)
+        return hits
+
     def scan_scored(
         self,
         min_len: int,
@@ -171,35 +211,63 @@ class LiteralBins:
         Used by the QSM's alternative-literal search (Jaro–Winkler with
         θ = 0.7); results are (literal, score), descending by score.
         """
+        return [
+            (literal, score)
+            for _, literal, score in self.scan_scored_keyed(
+                min_len, max_len, scorer, threshold, processes
+            )
+        ]
+
+    def scan_scored_keyed(
+        self,
+        min_len: int,
+        max_len: int,
+        scorer: Callable[[str], float],
+        threshold: float,
+        processes: int = 1,
+    ) -> List[Tuple[int, str, float]]:
+        """Like :meth:`scan_scored` but yields ``(key, literal, score)``."""
         selected = self.select_bins(min_len, max_len)
         if not selected:
             return []
         buckets = [bucket for _, bucket in selected]
-        results: List[Tuple[str, float]] = []
-        tasks = assign_tasks([len(b) for b in buckets], processes)
-        by_process: Dict[int, List[BinTask]] = {}
-        for task in tasks:
-            by_process.setdefault(task.process_id, []).append(task)
+        key_lists = [self._keys[length] for length, _ in selected]
+        results: List[Tuple[int, str, float]] = []
 
-        def work(assignments: List[BinTask]) -> List[Tuple[str, float]]:
-            hits: List[Tuple[str, float]] = []
+        def work(assignments: List[BinTask]) -> List[Tuple[int, str, float]]:
+            hits: List[Tuple[int, str, float]] = []
             for task in assignments:
                 bucket = buckets[task.bin_index]
-                for literal in bucket[task.start:task.end]:
+                keys = key_lists[task.bin_index]
+                for offset in range(task.start, task.end):
+                    literal = bucket[offset]
                     score = scorer(literal)
                     if score >= threshold:
-                        hits.append((literal, score))
+                        hits.append((keys[offset], literal, score))
             return hits
 
-        if processes <= 1 or len(by_process) <= 1:
-            for assignments in by_process.values():
-                results.extend(work(assignments))
-        else:
-            with ThreadPoolExecutor(max_workers=len(by_process)) as pool:
-                for chunk in pool.map(work, by_process.values()):
-                    results.extend(chunk)
-        results.sort(key=lambda pair: (-pair[1], len(pair[0]), pair[0]))
+        for chunk in _run_assignments(
+            [len(b) for b in buckets], processes, work
+        ):
+            results.extend(chunk)
+        results.sort(key=lambda hit: (-hit[2], len(hit[1]), hit[1]))
         return results
+
+
+def _run_assignments(bin_sizes: Sequence[int], processes: int, work):
+    """Partition per Algorithm 1 and run ``work`` over each process's
+    assignment list, in a thread pool when more than one worker has a
+    non-empty assignment.  Yields each worker's result chunk."""
+    tasks = assign_tasks(bin_sizes, processes)
+    by_process: Dict[int, List[BinTask]] = {}
+    for task in tasks:
+        by_process.setdefault(task.process_id, []).append(task)
+    if processes <= 1 or len(by_process) <= 1:
+        for assignments in by_process.values():
+            yield work(assignments)
+        return
+    with ThreadPoolExecutor(max_workers=len(by_process)) as pool:
+        yield from pool.map(work, by_process.values())
 
 
 def scan_bins(
@@ -208,10 +276,6 @@ def scan_bins(
     processes: int = 1,
 ) -> List[str]:
     """Scan ``buckets`` for literals satisfying ``match`` with P workers."""
-    tasks = assign_tasks([len(b) for b in buckets], processes)
-    by_process: Dict[int, List[BinTask]] = {}
-    for task in tasks:
-        by_process.setdefault(task.process_id, []).append(task)
 
     def work(assignments: List[BinTask]) -> List[str]:
         hits: List[str] = []
@@ -222,13 +286,7 @@ def scan_bins(
                     hits.append(literal)
         return hits
 
-    if processes <= 1 or len(by_process) <= 1:
-        results: List[str] = []
-        for assignments in by_process.values():
-            results.extend(work(assignments))
-        return results
-    with ThreadPoolExecutor(max_workers=len(by_process)) as pool:
-        results = []
-        for chunk in pool.map(work, by_process.values()):
-            results.extend(chunk)
-        return results
+    results: List[str] = []
+    for chunk in _run_assignments([len(b) for b in buckets], processes, work):
+        results.extend(chunk)
+    return results

@@ -453,6 +453,65 @@ class TestAdmissionAndErrors:
             client.ask("SELECT ?s WHERE { ?s ?p ?o } LIMIT 1")
 
 
+class _StubSapphire:
+    """Sapphire-shaped stub: has the PUM surface, behaviour injectable."""
+
+    def __init__(self, behaviour):
+        self.behaviour = behaviour
+
+    def complete(self, text, k=None):
+        return self.behaviour(text)
+
+    def run_query(self, query, suggest=True):
+        return self.behaviour(query)
+
+
+class TestSuggestionRouteAdmission:
+    def test_complete_respects_admission_control(self):
+        """/complete occupies a worker slot like a query: with the pool
+        full and no queue, a concurrent call gets the same 503."""
+        from repro.core.qcm import CompletionResult
+        from repro.net import HttpSapphireClient
+
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow(text):
+            entered.set()
+            release.wait(timeout=10.0)
+            return CompletionResult(term=text)
+
+        with SparqlHttpServer(_StubSapphire(slow), max_workers=1,
+                              queue_limit=0, deadline_s=5.0) as server:
+            blocker = HttpSapphireClient(server.url, timeout_s=10.0)
+            background = threading.Thread(target=lambda: blocker.complete("Kenn"))
+            background.start()
+            try:
+                assert entered.wait(timeout=5.0)
+                client = HttpSapphireClient(server.url, max_retries=0,
+                                            timeout_s=10.0)
+                with pytest.raises(QueryRejected):
+                    client.complete("spou")
+                assert server.stats.snapshot()["rejected"] == 1
+            finally:
+                release.set()
+                background.join(timeout=10.0)
+            assert server.stats.snapshot()["ok"] == 1
+
+    def test_suggest_maps_backend_timeout_to_504(self):
+        from repro.net import HttpSapphireClient
+
+        def timing_out(query):
+            raise EndpointTimeout("stub: QSM round exceeded the budget")
+
+        with SparqlHttpServer(_StubSapphire(timing_out),
+                              deadline_s=5.0) as server:
+            client = HttpSapphireClient(server.url, timeout_s=10.0)
+            with pytest.raises(EndpointTimeout):
+                client.suggest("SELECT * WHERE { ?s ?p ?o }")
+            assert server.stats.snapshot()["timeouts"] == 1
+
+
 class TestStats:
     def test_keep_alive_reuses_one_connection(self, servers):
         import http.client

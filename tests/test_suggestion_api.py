@@ -1,0 +1,423 @@
+"""The Predictive User Model as a servable subsystem (PR 5).
+
+Four gates:
+
+* **Backend parity** — QCM completions and QSM suggestions are identical
+  whether the dataset sits on the memory backend or the SQLite backend.
+* **Wire parity** — ``POST /complete`` over loopback HTTP returns
+  *byte-identical* documents to the in-process canonical encoding, and
+  ``/suggest`` round-trips the whole outcome (answers, suggestions,
+  prefetched answers).
+* **Batched probes** — one suggestion round issues at least 2x fewer
+  endpoint requests batched than per-candidate, with identical
+  suggestions (the CI benchmark gates the same bound over real HTTP).
+* **Concurrency** — HTTP-driven ``/complete`` calls racing an index
+  rebuild never corrupt the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import EndpointConfig, SapphireConfig, SapphireServer, SparqlEndpoint
+from repro.core import ProbeBatcher, initialize_endpoint
+from repro.core.qcm import QueryCompletionModule
+from repro.endpoint.endpoint import QueryRejected
+from repro.net import (
+    HttpSapphireClient,
+    SparqlHttpServer,
+    completion_document,
+    dump_document,
+)
+from repro.sparql.parser import parse_query
+from repro.store import TripleStore
+from repro.store.sqlite_backend import SQLiteBackend
+
+COMPLETE_TERMS = ["Kenn", "spou", "alma", "New", "Vik", "press", "j"]
+
+SUGGEST_QUERIES = [
+    'SELECT ?p WHERE { ?p foaf:surname "Kennedys"@en }',
+    'SELECT ?b WHERE { ?b dbo:wifes ?w . ?b foaf:name "Tom Hanks"@en }',
+]
+
+
+def build_sapphire(store, batched=True, processes=1):
+    endpoint = SparqlEndpoint(store, EndpointConfig(timeout_s=5.0), name="mini")
+    config = SapphireConfig(
+        suffix_tree_capacity=500, processes=processes, qsm_batched_probes=batched
+    )
+    server = SapphireServer(config)
+    server.register_endpoint(endpoint)
+    return server, endpoint
+
+
+def suggestion_signature(outcome):
+    return [
+        (s.message(), s.n_answers, len(s.prefetched.rows) if s.prefetched else 0)
+        for s in outcome.all_suggestions
+    ]
+
+
+# ----------------------------------------------------------------------
+# Backend parity: memory vs SQLite
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sqlite_store(tiny_dataset):
+    store = TripleStore(backend=SQLiteBackend(":memory:"))
+    store.add_all(tiny_dataset.store.triples())
+    yield store
+    store.close()
+
+
+class TestBackendParity:
+    def test_qcm_same_suggestions_both_backends(self, tiny_dataset, sqlite_store):
+        memory, _ = build_sapphire(tiny_dataset.store)
+        sqlite, _ = build_sapphire(sqlite_store)
+        for term in COMPLETE_TERMS:
+            assert memory.complete(term).surfaces() == sqlite.complete(term).surfaces()
+
+    def test_qsm_same_suggestions_both_backends(self, tiny_dataset, sqlite_store):
+        memory, _ = build_sapphire(tiny_dataset.store)
+        sqlite, _ = build_sapphire(sqlite_store)
+        for query in SUGGEST_QUERIES:
+            assert suggestion_signature(memory.run_query(query)) == \
+                suggestion_signature(sqlite.run_query(query))
+
+
+# ----------------------------------------------------------------------
+# Batched VALUES probes
+# ----------------------------------------------------------------------
+
+
+class TestBatchedProbes:
+    def test_batched_round_uses_at_least_2x_fewer_requests(self, tiny_dataset):
+        batched_server, batched_ep = build_sapphire(tiny_dataset.store, batched=True)
+        classic_server, classic_ep = build_sapphire(tiny_dataset.store, batched=False)
+        for query in SUGGEST_QUERIES:
+            parsed = parse_query(query)
+            batched_ep.reset_log()
+            batched_suggestions = batched_server.terms_finder.suggest(parsed)
+            batched_requests = batched_ep.query_count
+            classic_ep.reset_log()
+            classic_suggestions = classic_server.terms_finder.suggest(parsed)
+            classic_requests = classic_ep.query_count
+            # Identical suggestions, at least 2x fewer endpoint requests.
+            assert [s.message() for s in batched_suggestions] == \
+                [s.message() for s in classic_suggestions]
+            assert batched_requests * 2 <= classic_requests, (
+                f"{query}: batched={batched_requests} classic={classic_requests}"
+            )
+
+    def test_batched_and_classic_full_outcomes_agree(self, tiny_dataset):
+        batched_server, batched_ep = build_sapphire(tiny_dataset.store, batched=True)
+        classic_server, classic_ep = build_sapphire(tiny_dataset.store, batched=False)
+        for query in SUGGEST_QUERIES:
+            batched_ep.reset_log()
+            batched_outcome = batched_server.run_query(query)
+            batched_requests = batched_ep.query_count
+            classic_ep.reset_log()
+            classic_outcome = classic_server.run_query(query)
+            classic_requests = classic_ep.query_count
+            assert suggestion_signature(batched_outcome) == \
+                suggestion_signature(classic_outcome)
+            # The whole round (terms + relaxation) still gets cheaper.
+            assert batched_requests < classic_requests
+
+    def test_probe_batcher_matches_per_candidate_execution(self, tiny_dataset):
+        server, _ = build_sapphire(tiny_dataset.store)
+        query = parse_query(SUGGEST_QUERIES[0])
+        finder = server.terms_finder
+        positions = finder.candidate_positions(query)
+        assert positions, "expected candidates for the Kennedys query"
+        batcher = ProbeBatcher(server._run_ast)
+        for index, position, _, found in positions:
+            candidates = [entry.term for entry, _ in found]
+            grouped = batcher.run(query, index, position, candidates)
+            assert grouped is not None
+            for entry, _ in found:
+                from repro.core.qsm_terms import _replace_term
+
+                single = server._run_ast(
+                    _replace_term(query, index, position, entry.term)
+                )
+                batch_result = grouped.get(entry.term)
+                if single.rows:
+                    assert batch_result is not None
+                    assert sorted(map(repr, batch_result.rows)) == \
+                        sorted(map(repr, single.rows))
+                else:
+                    assert batch_result is None
+
+    def test_aggregate_queries_fall_back_to_per_candidate(self, tiny_dataset):
+        server, _ = build_sapphire(tiny_dataset.store)
+        batcher = ProbeBatcher(server._run_ast)
+        query = parse_query(
+            'SELECT (COUNT(?p) AS ?n) WHERE { ?p foaf:surname "Kennedys"@en }'
+        )
+        from repro.rdf import Literal
+
+        assert batcher.run(query, 0, "object", [Literal("Kennedy", lang="en")]) is None
+
+    def test_explain_suggestions_shows_batched_plan(self, server):
+        text = server.explain_suggestions(SUGGEST_QUERIES[0])
+        assert "sapphire_probe" in text
+        assert "ValuesScan" in text
+        assert "RemoteBindJoin" in text or "RemoteScan" in text
+
+
+# ----------------------------------------------------------------------
+# Wire parity: the HTTP suggestion API
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def http_stack(server):
+    with SparqlHttpServer(server) as http:
+        yield server, http
+
+
+class TestSuggestionApi:
+    def test_complete_is_byte_identical_over_http(self, http_stack):
+        sapphire, http = http_stack
+        client = HttpSapphireClient(http.url, timeout_s=10.0)
+        for term in COMPLETE_TERMS:
+            for k in (3, 10):
+                wire = client.complete_raw(term, k)
+                local = dump_document(
+                    completion_document(sapphire.complete(term, k))
+                )
+                assert wire == local
+
+    def test_suggest_round_trips_the_outcome(self, http_stack):
+        sapphire, http = http_stack
+        client = HttpSapphireClient(http.url, timeout_s=30.0)
+        for query in SUGGEST_QUERIES:
+            remote = client.suggest(query)
+            local = sapphire.run_query(query)
+            assert len(remote.answers) == len(local.answers)
+            assert [s.message() for s in remote.all_suggestions] == \
+                [s.message() for s in local.all_suggestions]
+            for remote_s, local_s in zip(remote.all_suggestions,
+                                         local.all_suggestions):
+                assert remote_s.n_answers == local_s.n_answers
+                if local_s.prefetched is not None:
+                    assert remote_s.prefetched is not None
+                    assert len(remote_s.prefetched.rows) == \
+                        len(local_s.prefetched.rows)
+
+    def test_session_tokens_are_tracked(self, http_stack):
+        _, http = http_stack
+        client = HttpSapphireClient(http.url, session="alice", timeout_s=30.0)
+        client.complete("Kenn")
+        client.complete("spou")
+        client.suggest(SUGGEST_QUERIES[0])
+        assert http.app.session_counters("alice") == {"complete": 2, "suggest": 1}
+        stats = http.app.stats.snapshot()
+        assert stats  # /stats sees the session table through the app
+        with urllib.request.urlopen(
+            f"http://{http.host}:{http.port}/stats", timeout=10.0
+        ) as response:
+            document = json.load(response)
+        assert document["sessions"] >= 1
+        assert document["session_activity"] >= 3
+
+    def test_suggestion_requests_count_in_stats(self, http_stack):
+        _, http = http_stack
+        before = http.app.stats.snapshot()["ok"]
+        HttpSapphireClient(http.url, timeout_s=10.0).complete("Kenn")
+        assert http.app.stats.snapshot()["ok"] == before + 1
+
+    # -- error paths ---------------------------------------------------
+
+    def post_raw(self, http, route, body: bytes, content_type="application/json"):
+        request = urllib.request.Request(
+            f"http://{http.host}:{http.port}{route}",
+            data=body, headers={"Content-Type": content_type}, method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                return response.status
+        except urllib.error.HTTPError as error:
+            return error.code
+
+    def test_missing_text_is_400(self, http_stack):
+        _, http = http_stack
+        assert self.post_raw(http, "/complete", b"{}") == 400
+
+    def test_bad_k_is_400(self, http_stack):
+        _, http = http_stack
+        body = json.dumps({"text": "Kenn", "k": 0}).encode()
+        assert self.post_raw(http, "/complete", body) == 400
+        body = json.dumps({"text": "Kenn", "k": True}).encode()
+        assert self.post_raw(http, "/complete", body) == 400
+
+    def test_non_json_body_is_400(self, http_stack):
+        _, http = http_stack
+        assert self.post_raw(http, "/complete", b"not json") == 400
+
+    def test_wrong_content_type_is_415(self, http_stack):
+        _, http = http_stack
+        assert self.post_raw(http, "/complete", b"{}",
+                             content_type="text/plain") == 415
+
+    def test_get_is_405(self, http_stack):
+        _, http = http_stack
+        try:
+            urllib.request.urlopen(
+                f"http://{http.host}:{http.port}/complete", timeout=10.0)
+            status = 200
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 405
+
+    def test_parse_error_in_suggest_is_400(self, http_stack):
+        _, http = http_stack
+        body = json.dumps({"query": "SELEKT nope {{{"}).encode()
+        assert self.post_raw(http, "/suggest", body) == 400
+
+    def test_plain_endpoint_has_no_suggestion_routes(self, tiny_dataset):
+        endpoint = SparqlEndpoint(
+            tiny_dataset.store, EndpointConfig.warehouse(), name="bare"
+        )
+        with SparqlHttpServer(endpoint) as http:
+            body = json.dumps({"text": "Kenn"}).encode()
+            assert self.post_raw(http, "/complete", body) == 404
+
+
+# ----------------------------------------------------------------------
+# Initialization retry path
+# ----------------------------------------------------------------------
+
+
+class FlakyRejectingEndpoint(SparqlEndpoint):
+    """Rejects the first ``flake_per_query`` attempts of every distinct
+    query — the 503-storm shape a public endpoint shows under load."""
+
+    def __init__(self, store, flake_per_query=1, **kwargs):
+        super().__init__(store, EndpointConfig(timeout_s=5.0), **kwargs)
+        self._flakes = {}
+        self._flake_per_query = flake_per_query
+
+    def _run(self, query):
+        key = query if isinstance(query, str) else id(query)
+        seen = self._flakes.get(key, 0)
+        if seen < self._flake_per_query:
+            self._flakes[key] = seen + 1
+            self._record("<flaky>", "rejected", 0, 0.0)
+            raise QueryRejected(f"{self.name}: injected 503")
+        return super()._run(query)
+
+
+class TestInitializationRetries:
+    def test_rejections_are_retried_and_recovered(self, tiny_dataset):
+        from repro.core.initialization import EndpointInitializer
+
+        endpoint = FlakyRejectingEndpoint(tiny_dataset.store, name="flaky503")
+        config = SapphireConfig(suffix_tree_capacity=300, init_retry_rejected=2)
+        initializer = EndpointInitializer(endpoint, config, sleep=lambda s: None)
+        cache = initializer.run()
+        report = initializer.report
+        assert cache.n_predicates > 0
+        assert cache.n_literals > 0
+        assert report.n_retries > 0
+        assert report.n_rejected > 0
+        # Every attempt is visible in both ledgers.
+        assert report.total_queries == endpoint.query_count
+
+    def test_without_retries_a_503_aborts_the_stage(self, tiny_dataset):
+        endpoint = FlakyRejectingEndpoint(tiny_dataset.store, name="flaky503")
+        config = SapphireConfig(suffix_tree_capacity=300, init_retry_rejected=0)
+        cache, report = initialize_endpoint(endpoint, config)
+        # Q1 is rejected once and never retried: no predicates survive.
+        assert cache.n_predicates == 0
+        assert report.n_retries == 0
+
+    def test_stages_recorded_for_full_run(self, tiny_dataset):
+        endpoint = SparqlEndpoint(
+            tiny_dataset.store, EndpointConfig(timeout_s=5.0), name="ok"
+        )
+        _, report = initialize_endpoint(
+            endpoint, SapphireConfig(suffix_tree_capacity=300)
+        )
+        assert report.stages_completed == [
+            "predicates", "hierarchy", "probes", "literals", "significance",
+        ]
+
+    def test_partial_progress_recorded_when_budget_dies(self, tiny_dataset):
+        endpoint = SparqlEndpoint(
+            tiny_dataset.store, EndpointConfig(timeout_s=5.0), name="ok"
+        )
+        _, report = initialize_endpoint(
+            endpoint,
+            SapphireConfig(suffix_tree_capacity=300, init_query_limit=20),
+        )
+        assert report.query_limit_hit
+        assert "predicates" in report.stages_completed
+        assert "significance" not in report.stages_completed
+
+
+# ----------------------------------------------------------------------
+# Thread safety: concurrent completion vs index rebuild
+# ----------------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_concurrent_complete_and_rebuild(self, tiny_dataset):
+        server, _ = build_sapphire(tiny_dataset.store, processes=2)
+        qcm = QueryCompletionModule(server.cache, server.config)
+        expected = {term: qcm.complete(term).surfaces() for term in COMPLETE_TERMS}
+        errors = []
+        stop = threading.Event()
+
+        def complete_worker():
+            try:
+                while not stop.is_set():
+                    for term in COMPLETE_TERMS:
+                        result = qcm.complete(term).surfaces()
+                        assert result == expected[term]
+            except Exception as exc:  # noqa: BLE001 - surfaced via the list
+                errors.append(exc)
+
+        def rebuild_worker():
+            try:
+                for _ in range(10):
+                    server.cache.build_indexes()
+            except Exception as exc:  # noqa: BLE001 - surfaced via the list
+                errors.append(exc)
+
+        workers = [threading.Thread(target=complete_worker) for _ in range(4)]
+        rebuilder = threading.Thread(target=rebuild_worker)
+        for worker in workers:
+            worker.start()
+        rebuilder.start()
+        rebuilder.join(timeout=30.0)
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=30.0)
+        assert not errors
+
+    def test_concurrent_http_complete(self, http_stack):
+        _, http = http_stack
+        client = HttpSapphireClient(http.url, timeout_s=30.0)
+        expected = client.complete("Kenn").surfaces()
+        results, errors = [], []
+
+        def worker():
+            try:
+                results.append(client.complete("Kenn").surfaces())
+            except Exception as exc:  # noqa: BLE001 - surfaced via the list
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert all(result == expected for result in results)
