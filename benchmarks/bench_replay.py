@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Session-replay load harness: many users, multi-process, reconciled.
+
+Stands up one ``serve --sapphire``-equivalent HTTP server over the tiny
+synthetic dataset and replays ``N_SESSIONS`` deterministic user-session
+scripts (keystroke-cadence ``/complete`` streams, broken-literal
+``/suggest`` rounds, gold re-issues, plain ``/sparql`` queries) from
+``N_PROCESSES`` client worker processes over real sockets — the first
+benchmark that exercises every subsystem (store, planner, federated
+endpoint, suggestion cache, HTTP layer) concurrently in one topology.
+
+Gate (runs in ``--quick`` CI mode too):
+
+* ≥ 200 sessions from ≥ 4 client processes against one server;
+* **zero** client/server count mismatches after ``/stats``
+  reconciliation (per-route requests/ok/rejected/timeouts, rows served,
+  and session-token activity all match the client ledger exactly);
+* sustained throughput of at least ``MIN_RPS`` requests/second;
+* the driver's ``/stats/series`` polling produced a non-trivial
+  per-route latency-histogram time series (rendered via
+  :func:`repro.eval.reporting.format_route_series` and written to the
+  ``--json`` artifact).
+
+Run:  PYTHONPATH=src python benchmarks/bench_replay.py [--quick] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from conftest import emit
+
+from repro import EndpointConfig, SapphireConfig, SapphireServer, SparqlEndpoint
+from repro.eval.replay import ReplayConfig, generate_scripts, run_replay, scripts_to_json
+from repro.eval.reporting import format_route_series
+from repro.net import SparqlHttpServer
+
+#: Acceptance gate: at least this many simulated user sessions...
+N_SESSIONS = 200
+#: ...replayed from at least this many client processes.
+N_PROCESSES = 4
+#: Sustained-throughput floor, requests/second over the whole replay
+#: (spawn startup included) — conservative: loopback runs sustain far
+#: more; the floor exists to catch pathological serialization.
+MIN_RPS = 40.0
+
+REPLAY_CONFIG = ReplayConfig(seed=2016, n_sessions=N_SESSIONS)
+
+
+@pytest.fixture(scope="module")
+def replay_stack(tiny_dataset):
+    endpoint = SparqlEndpoint(
+        tiny_dataset.store, EndpointConfig.warehouse(), name="replay-origin"
+    )
+    backend = SapphireServer(SapphireConfig(suffix_tree_capacity=500))
+    backend.register_endpoint(endpoint)
+    server = SparqlHttpServer(backend, max_workers=8, queue_limit=32).start()
+    yield server
+    server.stop()
+
+
+def test_session_replay_reconciles(replay_stack, benchmark):
+    server = replay_stack
+    scripts = generate_scripts(REPLAY_CONFIG)
+    assert len(scripts) >= 200
+
+    # Byte-determinism is part of the harness contract: the same config
+    # must describe the same workload on every machine, every run.
+    assert scripts_to_json(scripts) == scripts_to_json(
+        generate_scripts(REPLAY_CONFIG))
+
+    # -- the replay itself (always runs, untimed: wall time is load) ---
+    report = run_replay(scripts, server.url, processes=N_PROCESSES,
+                        tick_s=0.25)
+
+    assert report.mismatches == [], "\n".join(report.mismatches)
+    assert report.ledger.sessions == N_SESSIONS
+    assert report.processes >= 4
+    total_attempts = report.ledger.attempts
+    assert total_attempts >= N_SESSIONS * 5  # scripts are non-trivial
+    assert report.throughput_rps >= MIN_RPS, (
+        f"sustained {report.throughput_rps:.0f} req/s < {MIN_RPS} floor")
+
+    # The driver's ticking produced a usable per-route time series: the
+    # latency block in each point is the histogram, not a reservoir.
+    assert len(report.series) >= 3
+    last = report.series[-1]
+    for route in ("sparql", "complete", "suggest"):
+        latency = last["routes"][route]["latency"]
+        assert latency["count"] > 0
+        assert latency["buckets"], f"{route}: empty histogram"
+    rendered = format_route_series(report.series)
+    assert "complete" in rendered and "tick" in rendered
+
+    # -- timed rounds: script generation (the deterministic half) ------
+    benchmark(generate_scripts, REPLAY_CONFIG)
+
+    by_route = {
+        route: report.ledger.routes[route]["attempts"]
+        for route in sorted(report.ledger.routes)
+    }
+    emit(
+        f"Session replay — {N_SESSIONS} sessions from {N_PROCESSES} "
+        f"client processes",
+        f"requests:       {total_attempts} {by_route}\n"
+        f"wall:           {report.wall_s:.2f}s "
+        f"({report.throughput_rps:,.0f} req/s sustained)\n"
+        f"queue peaks:    queued {report.after['queued_peak']}, "
+        f"in-flight {report.after['in_flight_peak']}\n"
+        f"cache lookups:  {report.after.get('cache')}\n"
+        f"series points:  {len(report.series)}\n"
+        f"gate:           zero reconciliation mismatches, "
+        f">= {MIN_RPS:.0f} req/s\n\n"
+        + format_route_series(report.series[-6:],
+                              title="Per-route series (last 6 ticks)"),
+    )
+
+    json_path = os.environ.get("BENCH_JSON")
+    if json_path:
+        payload = {
+            "benchmark": "session_replay",
+            "sessions": N_SESSIONS,
+            "processes": N_PROCESSES,
+            "requests": total_attempts,
+            "requests_by_route": by_route,
+            "wall_s": report.wall_s,
+            "throughput_rps": report.throughput_rps,
+            "series": report.series,
+            "ledger": report.ledger.to_dict(),
+            "deltas": report.deltas,
+            "gate": {
+                "min_sessions": 200,
+                "min_processes": 4,
+                "min_rps": MIN_RPS,
+                "mismatches": 0,
+                "reconciled": True,
+                "pass": True,
+            },
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nresults written to {json_path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    from conftest import bench_main
+
+    sys.exit(bench_main(__file__, sys.argv[1:]))

@@ -12,6 +12,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro.cli init --save cache.json
     python -m repro.cli serve --port 8890    # SPARQL 1.1 Protocol endpoint
     python -m repro.cli serve --sapphire     # + /complete and /suggest
+    python -m repro.cli replay --sessions 50 --processes 4   # load harness
 
 Most commands stand up the synthetic dataset behind a simulated endpoint
 (``--scale tiny|small|medium``, ``--seed N``) and run Section 5
@@ -131,6 +132,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--smoke", action="store_true",
                        help="bind, print the URL, and exit without serving "
                             "(used by CI)")
+
+    replay = commands.add_parser(
+        "replay",
+        help="session-replay load harness against a live server",
+        description="Generate a deterministic multi-user interaction "
+                    "workload (keystroke /complete streams, /suggest "
+                    "rounds, /sparql queries) and replay it over real "
+                    "sockets, reconciling the client ledger against the "
+                    "server's per-route /stats counters.  Without --url "
+                    "a Sapphire server is stood up in-process on an "
+                    "ephemeral port first.",
+    )
+    replay.add_argument("--sessions", type=int, default=50,
+                        help="simulated user sessions (default: 50)")
+    replay.add_argument("--processes", type=int, default=2,
+                        help="client worker processes; 0 replays inline "
+                             "in this process (default: 2)")
+    replay.add_argument("--replay-seed", type=int, default=2016,
+                        help="workload seed — same seed, byte-identical "
+                             "scripts (default: 2016)")
+    replay.add_argument("--pace", type=float, default=0.0,
+                        help="scale scripted think-time into real sleeps "
+                             "(1.0 = human cadence, 0 = as fast as "
+                             "possible; default: 0)")
+    replay.add_argument("--tick-s", type=float, default=0.25,
+                        help="driver /stats/series sampling tick "
+                             "(default: 0.25)")
+    replay.add_argument("--url", default=None, metavar="URL",
+                        help="replay against this running server "
+                             "('repro serve --sapphire') instead of an "
+                             "in-process one")
+    replay.add_argument("--emit-scripts", metavar="PATH", default=None,
+                        help="write the generated scripts as canonical "
+                             "JSON and exit without replaying")
+    replay.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full replay report (ledger, "
+                             "deltas, time series) as JSON")
     return parser
 
 
@@ -341,6 +379,73 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    import contextlib
+    import json as json_module
+
+    from .eval.replay import ReplayConfig, generate_scripts, run_replay
+    from .eval.reporting import format_route_series
+
+    config = ReplayConfig(seed=args.replay_seed, n_sessions=args.sessions)
+    scripts = generate_scripts(config)
+    if args.emit_scripts:
+        from .eval.replay import scripts_to_json
+
+        with open(args.emit_scripts, "w", encoding="utf-8") as handle:
+            handle.write(scripts_to_json(scripts, config))
+        print(f"{len(scripts)} session scripts written to {args.emit_scripts}")
+        return 0
+
+    with contextlib.ExitStack() as stack:
+        if args.url:
+            url = args.url
+        else:
+            from .net import SparqlHttpServer
+
+            dataset = build_dataset(_SCALES[args.scale](seed=args.seed))
+            endpoint = SparqlEndpoint(
+                dataset.store, EndpointConfig(timeout_s=2.0),
+                name=f"dbpedia-{args.scale}",
+            )
+            backend = SapphireServer(
+                SapphireConfig(suffix_tree_capacity=args.tree_capacity)
+            )
+            backend.register_endpoint(endpoint)
+            server = stack.enter_context(SparqlHttpServer(backend, port=0))
+            url = server.url
+            print(f"server: {url} (in-process, {args.scale} dataset)")
+
+        report = run_replay(
+            scripts, url, processes=args.processes, pace=args.pace,
+            tick_s=args.tick_s,
+        )
+
+    ledger = report.ledger
+    print(f"replayed {ledger.sessions} sessions / {ledger.attempts} requests "
+          f"from {max(1, report.processes)} process(es) "
+          f"in {report.wall_s:.2f}s ({report.throughput_rps:.0f} req/s)")
+    for route in sorted(ledger.routes):
+        counters = ledger.routes[route]
+        p50 = ledger.latency[route].percentile(0.50) * 1e3
+        print(f"  {route}: {counters['attempts']} attempts, "
+              f"{counters['ok']} ok, {counters['rejected']} rejected, "
+              f"{counters['timeouts']} timeouts, client p50 {p50:.1f}ms")
+    if report.mismatches:
+        print("RECONCILIATION MISMATCHES:")
+        for mismatch in report.mismatches:
+            print(f"  {mismatch}")
+    else:
+        print("client/server reconciliation: clean "
+              "(/stats deltas match the ledger exactly)")
+    print()
+    print(format_route_series(report.series))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"\nreport written to {args.json}")
+    return 1 if report.mismatches else 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "complete": _cmd_complete,
@@ -351,6 +456,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "init": _cmd_init,
     "serve": _cmd_serve,
+    "replay": _cmd_replay,
 }
 
 

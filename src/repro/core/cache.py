@@ -122,6 +122,12 @@ class SapphireCache:
         self._tree_sids: List[int] = []   # aligned with tree string index
         self._tree_sid_set: Set[int] = set()
         self._indexed = False
+        # Lookup accounting (fed by the QCM, surfaced in /stats): which
+        # index answered each completion — suffix tree, literal bins, or
+        # neither.
+        self.tree_hits = 0
+        self.bin_hits = 0
+        self.misses = 0
 
     # ------------------------------------------------------------------
     # Surface interning
@@ -366,6 +372,27 @@ class SapphireCache:
             "residual_literals": self.n_residual_literals,
             "residual_bins": self.n_residual_bins,
         }
+
+    def note_lookup(self, tree_hit: bool, bin_hit: bool) -> None:
+        """Account one completion lookup against the hit/miss counters."""
+        with self.lock:
+            if tree_hit:
+                self.tree_hits += 1
+            elif bin_hit:
+                self.bin_hits += 1
+            else:
+                self.misses += 1
+
+    def lookup_stats(self) -> Dict[str, int]:
+        """Hit/miss counters for the serving layer's ``/stats`` body."""
+        with self.lock:
+            lookups = self.tree_hits + self.bin_hits + self.misses
+            return {
+                "lookups": lookups,
+                "tree_hits": self.tree_hits,
+                "bin_hits": self.bin_hits,
+                "misses": self.misses,
+            }
 
     def copy_with_capacity(self, capacity: int) -> "SapphireCache":
         """A new cache with the same contents but a different suffix-tree

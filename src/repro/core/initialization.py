@@ -178,8 +178,12 @@ class EndpointInitializer:
         self._queries_issued = 0
         self._queries_ok = 0
         # Jitter source and sleeper are injectable so tests stay
-        # deterministic and sleep-free.
-        self._rng = rng if rng is not None else random.Random()
+        # deterministic and sleep-free.  The default rng is *seeded*
+        # (from the endpoint name, stable across runs and independent of
+        # PYTHONHASHSEED) so no stochastic path ever draws from OS
+        # entropy — byte-reproducibility is the replay harness contract.
+        self._rng = rng if rng is not None else random.Random(
+            f"init:{endpoint.name}")
         self._sleep = sleep
 
     # ------------------------------------------------------------------

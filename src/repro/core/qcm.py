@@ -107,6 +107,7 @@ class QueryCompletionModule:
 
         remaining = k - len(result.completions)
         if remaining <= 0:
+            self.cache.note_lookup(result.tree_hit, False)
             return result
 
         # Step 2: residual bins of length |t| .. |t|+gamma.
@@ -133,6 +134,7 @@ class QueryCompletionModule:
             )
             if len(result.completions) >= k:
                 break
+        self.cache.note_lookup(result.tree_hit, bool(result.completions))
         return result
 
     def complete_surfaces(self, term: str, k: Optional[int] = None) -> List[str]:

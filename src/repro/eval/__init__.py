@@ -8,7 +8,24 @@ from .metrics import (
     mean_confidence_interval,
 )
 from .qald import PUBLISHED_ROWS, QaldComparison, run_comparison
-from .reporting import format_bars, format_grouped_bars, format_table
+from .replay import (
+    ReplayConfig,
+    ReplayLedger,
+    ReplayReport,
+    SessionScript,
+    generate_scripts,
+    reconcile,
+    replay_scripts,
+    run_replay,
+    scripts_from_json,
+    scripts_to_json,
+)
+from .reporting import (
+    format_bars,
+    format_grouped_bars,
+    format_route_series,
+    format_table,
+)
 from .userstudy import (
     InteractionRecord,
     Participant,
@@ -33,6 +50,17 @@ __all__ = [
     "format_table",
     "format_bars",
     "format_grouped_bars",
+    "format_route_series",
+    "ReplayConfig",
+    "ReplayLedger",
+    "ReplayReport",
+    "SessionScript",
+    "generate_scripts",
+    "scripts_to_json",
+    "scripts_from_json",
+    "replay_scripts",
+    "run_replay",
+    "reconcile",
     "Participant",
     "InteractionRecord",
     "SapphirePolicy",

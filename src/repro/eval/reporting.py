@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import List, Mapping, Sequence, Tuple
 
-__all__ = ["format_table", "format_bars", "format_grouped_bars"]
+__all__ = [
+    "format_table",
+    "format_bars",
+    "format_grouped_bars",
+    "format_route_series",
+]
 
 
 def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
@@ -56,6 +61,41 @@ def format_bars(
         bar = "#" * max(0, round(width * value / peak))
         lines.append(f"{label.ljust(label_width)} | {bar} {value:.2f}{unit}")
     return "\n".join(lines)
+
+
+def format_route_series(
+    points: Sequence[Mapping[str, object]],
+    title: str = "Per-route stats series",
+    routes: Sequence[str] = ("sparql", "complete", "suggest"),
+) -> str:
+    """Render a ``/stats/series`` point list as per-tick route rows.
+
+    Each row shows, per tick, the cumulative request count and the
+    served-latency p50/p99 of each route, plus the queue gauges — the
+    time series the replay driver snapshots while workers run.
+    """
+    if not points:
+        return f"{title}\n(no points)"
+    rows: List[Mapping[str, object]] = []
+    for point in points:
+        route_stats = point.get("routes", {}) or {}
+        row: dict = {
+            "tick": point.get("tick", ""),
+            "t+s": round(float(point.get("elapsed_s", 0.0)), 2),
+        }
+        for route in routes:
+            stats = route_stats.get(route)  # type: ignore[union-attr]
+            if not stats:
+                row[f"{route} req"] = 0
+                row[f"{route} p50ms"] = "-"
+                continue
+            latency = stats.get("latency", {})
+            row[f"{route} req"] = stats.get("requests", 0)
+            row[f"{route} p50ms"] = latency.get("p50_ms", 0.0)
+        row["queued^"] = point.get("queued_peak", 0)
+        row["inflight^"] = point.get("in_flight_peak", 0)
+        rows.append(row)
+    return format_table(rows, title=title)
 
 
 def format_grouped_bars(

@@ -8,7 +8,10 @@ the reproduction do the same, stdlib-only:
   a JSON parser, plus Accept-header content negotiation;
 * :mod:`repro.net.wsgi` — the protocol logic as a WSGI app with
   admission control (bounded workers, bounded queue → 503; deadlines →
-  504) and ``/health`` + ``/stats`` observability;
+  504) and ``/health`` + ``/stats`` + ``/stats/series`` observability;
+* :mod:`repro.net.metrics` — per-route serving counters with fixed
+  log-scale latency histograms, queue gauges, and the bounded stats
+  time series behind ``/stats/series``;
 * :mod:`repro.net.server` — a ``ThreadingHTTPServer`` harness binding
   the app to a socket (``repro serve`` uses it);
 * :mod:`repro.net.client` — :class:`HttpSparqlEndpoint`, a drop-in
@@ -21,7 +24,14 @@ the reproduction do the same, stdlib-only:
   byte-identical to in-process results).
 """
 
-from .client import HttpSapphireClient, HttpSparqlEndpoint
+from .client import (
+    ConnectionFailed,
+    HttpSapphireClient,
+    HttpSparqlEndpoint,
+    fetch_stats,
+    fetch_stats_series,
+    server_root,
+)
 from .formats import (
     MIME_CSV,
     MIME_JSON,
@@ -36,6 +46,7 @@ from .formats import (
     write_tsv,
     write_xml,
 )
+from .metrics import LatencyHistogram, StatsTimeSeries, route_deltas
 from .server import SparqlHttpServer
 from .suggest import (
     RemoteCompletion,
@@ -53,6 +64,13 @@ from .wsgi import ServerStats, SparqlWsgiApp
 __all__ = [
     "HttpSparqlEndpoint",
     "HttpSapphireClient",
+    "ConnectionFailed",
+    "LatencyHistogram",
+    "StatsTimeSeries",
+    "route_deltas",
+    "fetch_stats",
+    "fetch_stats_series",
+    "server_root",
     "RemoteCompletion",
     "RemoteCompletionResult",
     "RemoteOutcome",

@@ -21,7 +21,12 @@ Failure mapping keeps the endpoint error hierarchy intact:
 * HTTP **400** → :class:`~repro.sparql.errors.SparqlError`;
 * client-side read timeout → :class:`EndpointTimeout`, not retried (the
   query would just burn the same budget again);
-* connection failures → retried, then :class:`EndpointError`.
+* connection failures → retried, then :class:`ConnectionFailed` (an
+  :class:`EndpointError` subclass).  The distinction matters for load
+  harnesses: a ``ConnectionFailed`` request never reached the server,
+  so it must be excluded when reconciling client ledgers against the
+  server's ``/stats`` counters; every other failure *was* counted
+  server-side.
 
 Results travel as SPARQL Results JSON and are parsed back into the
 library's result containers, so rows coming off the wire are
@@ -59,7 +64,23 @@ from .suggest import (
 )
 from .wsgi import MIME_FORM
 
-__all__ = ["HttpSparqlEndpoint", "HttpSapphireClient"]
+__all__ = [
+    "ConnectionFailed",
+    "HttpSparqlEndpoint",
+    "HttpSapphireClient",
+    "fetch_stats",
+    "fetch_stats_series",
+    "server_root",
+]
+
+
+class ConnectionFailed(EndpointError):
+    """The request never reached the server (refused/reset/unroutable).
+
+    Distinct from other :class:`EndpointError`\\ s so reconciliation can
+    subtract these attempts from the client ledger: the server has no
+    corresponding ``/stats`` increment.
+    """
 
 
 class HttpSparqlEndpoint:
@@ -90,7 +111,12 @@ class HttpSparqlEndpoint:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.backoff_cap_s = backoff_cap_s
-        self._rng = rng or random.Random()
+        # Seeded by default (stable per endpoint name): backoff jitter
+        # is the only stochastic client path, and a replay must be
+        # reproducible end to end.  Pass your own rng to decorrelate
+        # concurrent clients sharing a name.
+        self._rng = rng if rng is not None else random.Random(
+            f"endpoint:{self.name}")
         self.log: List[QueryLogEntry] = []
         self._lock = threading.Lock()
 
@@ -141,9 +167,9 @@ class HttpSparqlEndpoint:
                 mapped = mapped.error  # explain is cheap; don't retry it
             raise mapped from None
         except urllib.error.URLError as exc:
-            raise EndpointError(f"{self.name}: connection failed: {exc}") from None
+            raise ConnectionFailed(f"{self.name}: connection failed: {exc}") from None
         except ConnectionError as exc:
-            raise EndpointError(f"{self.name}: connection failed: {exc}") from None
+            raise ConnectionFailed(f"{self.name}: connection failed: {exc}") from None
 
     @property
     def query_count(self) -> int:
@@ -216,12 +242,12 @@ class HttpSparqlEndpoint:
                     f"{self.name}: no response within {self.timeout_s}s: {exc.reason}"
                 ) from None
             raise _Retryable(
-                EndpointError(f"{self.name}: connection failed: {exc}"),
+                ConnectionFailed(f"{self.name}: connection failed: {exc}"),
                 outcome="error",
             ) from None
         except ConnectionError as exc:
             raise _Retryable(
-                EndpointError(f"{self.name}: connection failed: {exc}"),
+                ConnectionFailed(f"{self.name}: connection failed: {exc}"),
                 outcome="error",
             ) from None
         try:
@@ -301,7 +327,10 @@ class HttpSapphireClient:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.backoff_cap_s = backoff_cap_s
-        self._rng = rng or random.Random()
+        # Same contract as HttpSparqlEndpoint: jitter is seeded, never
+        # drawn from OS entropy, so replays reproduce byte-for-byte.
+        self._rng = rng if rng is not None else random.Random(
+            f"sapphire:{self.name}:{session or ''}")
 
     # ------------------------------------------------------------------
     # PUM surface (mirrors SapphireServer)
@@ -370,16 +399,56 @@ class HttpSapphireClient:
                     self._sleep(attempt)
                     attempt += 1
                     continue
-                raise EndpointError(f"{self.name}: connection failed: {exc}") from None
+                raise ConnectionFailed(f"{self.name}: connection failed: {exc}") from None
             except ConnectionError as exc:
                 if attempt < self.max_retries:
                     self._sleep(attempt)
                     attempt += 1
                     continue
-                raise EndpointError(f"{self.name}: connection failed: {exc}") from None
+                raise ConnectionFailed(f"{self.name}: connection failed: {exc}") from None
 
     def _sleep(self, attempt: int) -> None:
         _jitter_sleep(self._rng, attempt, self.backoff_s, self.backoff_cap_s)
+
+
+def _fetch_json(url: str, timeout_s: float) -> dict:
+    request = urllib.request.Request(
+        url,
+        headers={
+            "Accept": "application/json",
+            "User-Agent": "sapphire-repro-client/1.0",
+        },
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        raise EndpointError(f"{url}: HTTP {exc.code}: {_error_detail(exc)}") from None
+    except (urllib.error.URLError, ConnectionError) as exc:
+        raise ConnectionFailed(f"{url}: connection failed: {exc}") from None
+
+
+def server_root(url: str) -> str:
+    """The server root for a base or ``/sparql`` endpoint URL."""
+    split = urllib.parse.urlsplit(url)
+    path = split.path
+    if path.endswith("/sparql"):
+        path = path[: -len("/sparql")]
+    return urllib.parse.urlunsplit(
+        (split.scheme, split.netloc, path.rstrip("/"), "", "")
+    )
+
+
+def fetch_stats(url: str, timeout_s: float = 10.0) -> dict:
+    """GET ``/stats`` from a server root (or ``/sparql``) URL."""
+    return _fetch_json(server_root(url) + "/stats", timeout_s)
+
+
+def fetch_stats_series(url: str, timeout_s: float = 10.0) -> dict:
+    """GET ``/stats/series`` — appends one sample point server-side and
+    returns ``{"points": [...], "max_points": N}``; the caller's polling
+    cadence is the series' sampling clock."""
+    return _fetch_json(server_root(url) + "/stats/series", timeout_s)
 
 
 def _jitter_sleep(rng: random.Random, attempt: int,

@@ -1,0 +1,392 @@
+"""Serving observability: per-route latency histograms and time series.
+
+This module is the telemetry substrate the load harness
+(:mod:`repro.eval.replay`) gates against and the one later learned
+components (ranker / cost model) will consume:
+
+* :class:`LatencyHistogram` — a **fixed log-scale bucket** histogram.
+  Unlike the reservoir the server used before, a histogram never drops
+  samples, merges across routes and processes by integer addition, and
+  serializes to a compact JSON shape whose buckets are stable across
+  runs (the bucket boundaries are a module constant, not data).
+* :class:`ServerStats` — thread-safe serving counters, now **per
+  route** (``sparql`` / ``complete`` / ``suggest``), each route with
+  its own outcome counters and served-latency histogram, plus
+  queue-depth/admission high-water gauges.
+* :class:`StatsTimeSeries` — a bounded series of stats snapshots; the
+  WSGI app appends one point per ``GET /stats/series`` call, so a load
+  driver's tick *is* the sampling clock and two drivers never fight
+  over a server-side timer.
+
+Latency percentiles cover **served (200) requests only** — mixing in
+microsecond 503 rejects would collapse p50 toward zero exactly when the
+server is overloaded and the numbers matter (regression-tested in
+``tests/test_replay.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BUCKET_BOUNDS_S",
+    "LatencyHistogram",
+    "ServerStats",
+    "StatsTimeSeries",
+    "ROUTES",
+]
+
+#: Request routes the server accounts separately.
+ROUTES = ("sparql", "complete", "suggest")
+
+
+def _log_bounds(start_s: float = 1e-4, stop_s: float = 120.0,
+                per_decade: int = 20) -> Tuple[float, ...]:
+    """Bucket upper bounds from ``start_s`` growing 10^(1/per_decade)."""
+    growth = 10.0 ** (1.0 / per_decade)
+    bounds: List[float] = []
+    value = start_s
+    while value < stop_s:
+        bounds.append(value)
+        value *= growth
+    bounds.append(value)
+    return tuple(bounds)
+
+
+#: Fixed log-scale bucket upper bounds, in seconds: 0.1 ms → 120 s at
+#: 20 buckets per decade (~12% resolution).  Identical in every process,
+#: so histograms from driver workers and the server merge bucket-wise.
+BUCKET_BOUNDS_S: Tuple[float, ...] = _log_bounds()
+
+_GROWTH = 10.0 ** (1.0 / 20.0)
+
+
+class LatencyHistogram:
+    """Streaming latency distribution over the fixed log-scale buckets.
+
+    Not internally locked: callers that share an instance across
+    threads must serialize access (``ServerStats`` guards its route
+    histograms with its own lock; the replay driver's per-worker
+    ledgers do the same).
+    """
+
+    __slots__ = ("counts", "overflow", "total", "sum_s", "max_s")
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(BUCKET_BOUNDS_S)
+        self.overflow = 0
+        self.total = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        index = bisect_left(BUCKET_BOUNDS_S, seconds)
+        if index >= len(BUCKET_BOUNDS_S):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.total += 1
+        self.sum_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s buckets into this histogram (same bounds)."""
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.overflow += other.overflow
+        self.total += other.total
+        self.sum_s += other.sum_s
+        self.max_s = max(self.max_s, other.max_s)
+
+    @staticmethod
+    def merged(histograms: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        out = LatencyHistogram()
+        for histogram in histograms:
+            out.merge(histogram)
+        return out
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile estimate in seconds.
+
+        Returns the geometric midpoint of the bucket holding the rank
+        (≤ ~6% off for the 20-per-decade bounds); 0.0 when empty.
+        """
+        if self.total == 0:
+            return 0.0
+        # Nearest rank: the smallest bucket whose cumulative count
+        # reaches ceil(fraction * total).
+        rank = max(1, -(-int(fraction * self.total * 1_000_000) // 1_000_000))
+        rank = min(rank, self.total)
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                upper = BUCKET_BOUNDS_S[index]
+                return upper / (_GROWTH ** 0.5)
+        return self.max_s  # rank lives in the overflow bucket
+
+    @property
+    def mean_s(self) -> float:
+        return self.sum_s / self.total if self.total else 0.0
+
+    # ------------------------------------------------------------------
+    # Wire shape
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Compact JSON shape: only non-empty buckets travel.
+
+        ``buckets`` pairs are ``[upper_bound_ms, count]``; bounds come
+        from the shared table so two processes' histograms line up.
+        """
+        buckets = [
+            [round(BUCKET_BOUNDS_S[index] * 1e3, 4), count]
+            for index, count in enumerate(self.counts)
+            if count
+        ]
+        return {
+            "count": self.total,
+            "overflow": self.overflow,
+            "mean_ms": round(self.mean_s * 1e3, 3),
+            "max_ms": round(self.max_s * 1e3, 3),
+            "p50_ms": round(self.percentile(0.50) * 1e3, 3),
+            "p90_ms": round(self.percentile(0.90) * 1e3, 3),
+            "p99_ms": round(self.percentile(0.99) * 1e3, 3),
+            "buckets": buckets,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output (bucket
+        bounds are matched back to the shared table by value)."""
+        histogram = cls()
+        for upper_ms, count in document.get("buckets", ()):  # type: ignore[union-attr]
+            # Wire bounds are rounded to 4 decimals (ms), so snap to the
+            # *nearest* table bound — adjacent bounds are ~12% apart,
+            # far beyond any rounding error.
+            upper_s = float(upper_ms) / 1e3
+            index = min(bisect_left(BUCKET_BOUNDS_S, upper_s),
+                        len(BUCKET_BOUNDS_S) - 1)
+            if index > 0 and (upper_s - BUCKET_BOUNDS_S[index - 1]
+                              < BUCKET_BOUNDS_S[index] - upper_s):
+                index -= 1
+            histogram.counts[index] += int(count)
+            histogram.total += int(count)
+        histogram.overflow = int(document.get("overflow", 0))  # type: ignore[arg-type]
+        histogram.total += histogram.overflow
+        histogram.sum_s = (
+            float(document.get("mean_ms", 0.0)) / 1e3 * histogram.total  # type: ignore[arg-type]
+        )
+        histogram.max_s = float(document.get("max_ms", 0.0)) / 1e3  # type: ignore[arg-type]
+        return histogram
+
+
+class _RouteStats:
+    """Counters + served-latency histogram for one route.
+
+    Plain data guarded by the owning :class:`ServerStats` lock.
+    """
+
+    __slots__ = ("requests", "ok", "rejected", "timeouts", "client_errors",
+                 "server_errors", "rows_served", "latency")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.ok = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.client_errors = 0
+        self.server_errors = 0
+        self.rows_served = 0
+        self.latency = LatencyHistogram()
+
+    def record(self, status: int, seconds: float, rows: int) -> None:
+        self.requests += 1
+        if status == 200:
+            self.ok += 1
+            self.rows_served += rows
+            self.latency.record(seconds)
+        elif status == 503:
+            self.rejected += 1
+        elif status == 504:
+            self.timeouts += 1
+        elif 400 <= status < 500:
+            self.client_errors += 1
+        else:
+            self.server_errors += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+            "rows_served": self.rows_served,
+            "latency": self.latency.to_dict(),
+        }
+
+
+class ServerStats:
+    """Thread-safe per-route serving counters and latency histograms.
+
+    The aggregate surface (``snapshot()['requests']``, ``ok``,
+    ``latency_p50_ms``, …) is unchanged from the reservoir era so
+    existing dashboards and tests keep working; per-route detail lives
+    under ``snapshot()['routes']`` and queue/admission high-water marks
+    under ``queued_peak`` / ``in_flight_peak``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._routes: Dict[str, _RouteStats] = {}
+        self.queued_peak = 0
+        self.in_flight_peak = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, status: int, seconds: float, rows: int = 0,
+               route: str = "sparql") -> None:
+        with self._lock:
+            stats = self._routes.get(route)
+            if stats is None:
+                stats = self._routes[route] = _RouteStats()
+            stats.record(status, seconds, rows)
+
+    def observe_queue(self, queued: int, in_flight: int) -> None:
+        """Track admission-control high-water marks (gauge peaks)."""
+        with self._lock:
+            if queued > self.queued_peak:
+                self.queued_peak = queued
+            if in_flight > self.in_flight_peak:
+                self.in_flight_peak = in_flight
+
+    # ------------------------------------------------------------------
+    # Aggregate counters (sum over routes)
+    # ------------------------------------------------------------------
+
+    def _sum(self, field: str) -> int:
+        return sum(getattr(stats, field) for stats in self._routes.values())
+
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._sum("requests")
+
+    @property
+    def ok(self) -> int:
+        with self._lock:
+            return self._sum("ok")
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self._sum("rejected")
+
+    @property
+    def timeouts(self) -> int:
+        with self._lock:
+            return self._sum("timeouts")
+
+    @property
+    def rows_served(self) -> int:
+        with self._lock:
+            return self._sum("rows_served")
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            merged = LatencyHistogram.merged(
+                stats.latency for stats in self._routes.values()
+            )
+            return {
+                "requests": self._sum("requests"),
+                "ok": self._sum("ok"),
+                "rejected": self._sum("rejected"),
+                "timeouts": self._sum("timeouts"),
+                "client_errors": self._sum("client_errors"),
+                "server_errors": self._sum("server_errors"),
+                "rows_served": self._sum("rows_served"),
+                "latency_p50_ms": round(merged.percentile(0.50) * 1e3, 3),
+                "latency_p99_ms": round(merged.percentile(0.99) * 1e3, 3),
+                "queued_peak": self.queued_peak,
+                "in_flight_peak": self.in_flight_peak,
+                "routes": {
+                    route: stats.to_dict()
+                    for route, stats in sorted(self._routes.items())
+                },
+            }
+
+
+class StatsTimeSeries:
+    """A bounded, append-only series of stats snapshots.
+
+    Sampling is caller-driven: the WSGI app appends one point per
+    ``GET /stats/series``, so the load driver's tick is the clock.
+    Bounded (drop-oldest) so an unattended server cannot grow without
+    limit under a polling monitor.
+    """
+
+    def __init__(self, max_points: int = 4096,
+                 clock=time.time) -> None:
+        self._lock = threading.Lock()
+        self._points: List[Dict[str, object]] = []
+        self.max_points = max_points
+        self._clock = clock
+        self._started = clock()
+
+    def sample(self, body: Dict[str, object]) -> List[Dict[str, object]]:
+        """Append one point built from a ``/stats`` body; returns the
+        whole series (a copy)."""
+        now = self._clock()
+        point = dict(body)
+        point["t"] = round(now, 6)
+        point["elapsed_s"] = round(now - self._started, 6)
+        with self._lock:
+            self._points.append(point)
+            if len(self._points) > self.max_points:
+                del self._points[: len(self._points) - self.max_points]
+            point["tick"] = len(self._points) - 1
+            return list(self._points)
+
+    def points(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._points)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)
+
+
+def route_deltas(before: Dict[str, object], after: Dict[str, object],
+                 fields: Sequence[str] = ("requests", "ok", "rejected",
+                                          "timeouts", "client_errors",
+                                          "server_errors", "rows_served"),
+                 routes: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, int]]:
+    """Per-route counter deltas between two ``/stats`` bodies.
+
+    The reconciliation primitive: a load driver snapshots ``/stats``
+    before and after a run and compares these deltas against its own
+    ledger.  Routes absent from a snapshot contribute zero.
+    """
+    before_routes = before.get("routes", {}) or {}
+    after_routes = after.get("routes", {}) or {}
+    names = routes if routes is not None else sorted(
+        set(before_routes) | set(after_routes)  # type: ignore[arg-type]
+    )
+    deltas: Dict[str, Dict[str, int]] = {}
+    for name in names:
+        b = before_routes.get(name, {})  # type: ignore[union-attr]
+        a = after_routes.get(name, {})  # type: ignore[union-attr]
+        deltas[name] = {
+            field: int(a.get(field, 0)) - int(b.get(field, 0))
+            for field in fields
+        }
+    return deltas

@@ -180,6 +180,11 @@ class SparqlHttpServer:
         """Live serving counters (same data ``/stats`` returns)."""
         return self.app.stats
 
+    @property
+    def series(self):
+        """The bounded stats time series behind ``/stats/series``."""
+        return self.app.series
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ Routes
 ``POST /suggest`` (JSON)            — run + QSM suggestions (Sapphire backends)
 ``GET  /health``                    — liveness probe (JSON)
 ``GET  /stats``                     — serving counters (JSON)
+``GET  /stats/series``              — append + return a stats time series
 
 ``/`` is an alias for ``/sparql`` so a bare endpoint URL works.
 
@@ -42,6 +43,17 @@ behaviour :class:`~repro.net.client.HttpSparqlEndpoint` retries with
 jitter.  A query the backend kills for exceeding its timeout budget
 surfaces as **504** with a JSON error body.  Both outcomes are counted
 in ``/stats`` so a load test can reconcile client and server totals.
+
+Observability
+-------------
+
+Counters are kept **per route** by :class:`~repro.net.metrics.ServerStats`
+(fixed log-scale latency histograms, not reservoir samples), with
+queue-depth/admission high-water gauges and — when the backend is a
+``SapphireServer`` — suggestion-cache hit/miss counters.  Each ``GET
+/stats/series`` appends the current counters as one point in a bounded
+server-side time series and returns the whole series, so a load
+driver's polling tick is the sampling clock.
 """
 
 from __future__ import annotations
@@ -59,6 +71,7 @@ from ..sparql.errors import SparqlError
 from ..sparql.parser import parse_query
 from ..sparql.results import SelectResult
 from .formats import NotAcceptable, negotiate
+from .metrics import ServerStats, StatsTimeSeries
 from .suggest import (
     MIME_JSON_BODY,
     completion_document,
@@ -89,68 +102,18 @@ _STATUS_LINES = {
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile over an ascending-sorted sample."""
+    """Nearest-rank percentile over an ascending-sorted sample.
+
+    Kept here (not only in :mod:`repro.net.metrics`) because benchmark
+    code computes exact percentiles over raw client-side samples and
+    imports this helper from the wsgi module.
+    """
     if not sorted_values:
         return 0.0
     # Nearest-rank: ceil(f*n)-1, clamped — int(f*n) would float one rank
     # high (p50 of [1,2,3,4] must be 2, and p99 of 100 is not the max).
     rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
     return sorted_values[min(len(sorted_values) - 1, rank)]
-
-
-class ServerStats:
-    """Thread-safe serving counters plus a bounded latency reservoir.
-
-    The latency percentiles cover **served (200) queries only** —
-    mixing in microsecond 503 rejects would collapse p50 toward zero
-    exactly when the server is overloaded and the numbers matter.
-    """
-
-    def __init__(self, reservoir_size: int = 8192) -> None:
-        self._lock = threading.Lock()
-        self._reservoir_size = reservoir_size
-        self.requests = 0          # protocol requests (queries), any outcome
-        self.ok = 0                # 200 responses
-        self.rejected = 0          # 503 responses (overload / admission)
-        self.timeouts = 0          # 504 responses
-        self.client_errors = 0     # 4xx other than 503/504
-        self.server_errors = 0     # 5xx other than 503/504
-        self.rows_served = 0       # result rows across all 200 SELECTs
-        self._latencies: List[float] = []
-
-    def record(self, status: int, seconds: float, rows: int = 0) -> None:
-        with self._lock:
-            self.requests += 1
-            if status == 200:
-                self.ok += 1
-                self.rows_served += rows
-                self._latencies.append(seconds)
-                if len(self._latencies) > self._reservoir_size:
-                    # Drop the oldest half so recent traffic dominates.
-                    del self._latencies[: self._reservoir_size // 2]
-            elif status == 503:
-                self.rejected += 1
-            elif status == 504:
-                self.timeouts += 1
-            elif 400 <= status < 500:
-                self.client_errors += 1
-            else:
-                self.server_errors += 1
-
-    def snapshot(self) -> Dict[str, object]:
-        with self._lock:
-            sample = sorted(self._latencies)
-            return {
-                "requests": self.requests,
-                "ok": self.ok,
-                "rejected": self.rejected,
-                "timeouts": self.timeouts,
-                "client_errors": self.client_errors,
-                "server_errors": self.server_errors,
-                "rows_served": self.rows_served,
-                "latency_p50_ms": round(_percentile(sample, 0.50) * 1e3, 3),
-                "latency_p99_ms": round(_percentile(sample, 0.99) * 1e3, 3),
-            }
 
 
 class SparqlWsgiApp:
@@ -196,6 +159,7 @@ class SparqlWsgiApp:
         self.deadline_s = deadline_s
         self.max_query_bytes = max_query_bytes
         self.stats = ServerStats()
+        self.series = StatsTimeSeries()
         self._workers = threading.BoundedSemaphore(max_workers)
         self._queue_lock = threading.Lock()
         self._queued = 0
@@ -224,17 +188,15 @@ class SparqlWsgiApp:
                 "queue_limit": self.queue_limit,
             })
         if path == "/stats":
-            body = self.stats.snapshot()
-            body["in_flight"] = self._in_flight
-            body["queued"] = self._queued
-            body["max_workers"] = self.max_workers
-            body["queue_limit"] = self.queue_limit
-            with self._sessions_lock:
-                body["sessions"] = len(self._sessions)
-                body["session_activity"] = sum(
-                    sum(counters.values()) for counters in self._sessions.values()
-                )
-            return self._json_response(start_response, 200, body)
+            return self._json_response(start_response, 200, self._stats_body())
+        if path == "/stats/series":
+            # Appending on GET makes the caller's polling tick the
+            # sampling clock: no server-side timer thread to manage.
+            points = self.series.sample(self._stats_body())
+            return self._json_response(start_response, 200, {
+                "points": points,
+                "max_points": self.series.max_points,
+            })
         if path in ("/complete", "/suggest"):
             if method != "POST":
                 return self._error(start_response, 405,
@@ -243,7 +205,7 @@ class SparqlWsgiApp:
             started = time.perf_counter()
             status, headers, payload, rows = self._handle_suggestion(path, environ)
             elapsed = time.perf_counter() - started
-            self.stats.record(status, elapsed, rows=rows)
+            self.stats.record(status, elapsed, rows=rows, route=path.lstrip("/"))
             headers.setdefault("Content-Length", str(len(payload)))
             start_response(_STATUS_LINES[status], list(headers.items()))
             return [payload]
@@ -257,10 +219,28 @@ class SparqlWsgiApp:
         started = time.perf_counter()
         status, headers, payload, rows = self._handle_query(environ, method)
         elapsed = time.perf_counter() - started
-        self.stats.record(status, elapsed, rows=rows)
+        self.stats.record(status, elapsed, rows=rows, route="sparql")
         headers.setdefault("Content-Length", str(len(payload)))
         start_response(_STATUS_LINES[status], list(headers.items()))
         return [payload]
+
+    def _stats_body(self) -> Dict[str, object]:
+        """The ``/stats`` document: counters + gauges + cache + sessions."""
+        body = self.stats.snapshot()
+        body["in_flight"] = self._in_flight
+        body["queued"] = self._queued
+        body["max_workers"] = self.max_workers
+        body["queue_limit"] = self.queue_limit
+        with self._sessions_lock:
+            body["sessions"] = len(self._sessions)
+            body["session_activity"] = sum(
+                sum(counters.values()) for counters in self._sessions.values()
+            )
+        cache = getattr(self.suggester, "cache", None)
+        lookup_stats = getattr(cache, "lookup_stats", None)
+        if lookup_stats is not None:
+            body["cache"] = lookup_stats()
+        return body
 
     # ------------------------------------------------------------------
     # Query handling
@@ -300,6 +280,7 @@ class SparqlWsgiApp:
                          f"{self.deadline_s:.2f}s deadline")
             with self._queue_lock:
                 self._in_flight += 1
+                self.stats.observe_queue(self._queued, self._in_flight)
             try:
                 result = self._execute(parsed)
             finally:
@@ -363,6 +344,7 @@ class SparqlWsgiApp:
                          f"{self.deadline_s:.2f}s deadline")
             with self._queue_lock:
                 self._in_flight += 1
+                self.stats.observe_queue(self._queued, self._in_flight)
             try:
                 if path == "/complete":
                     response = self._run_complete(document)
@@ -509,6 +491,7 @@ class SparqlWsgiApp:
             if self._queued >= self.queue_limit:
                 return False, 0.0
             self._queued += 1
+            self.stats.observe_queue(self._queued, self._in_flight)
         started = time.perf_counter()
         try:
             # Cap the queue wait at the request deadline: waiting longer

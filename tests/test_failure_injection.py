@@ -115,6 +115,145 @@ class TestQsmUnderFailure:
         assert outcome.relaxations == []
 
 
+class TestReplayChaos:
+    """save_state/restart mid-replay: clients degrade cleanly and the
+    request ledger still reconciles against both server incarnations."""
+
+    def _stack(self, dataset, tmp_path=None):
+        from repro.core import SapphireServer
+        from repro.net import SparqlHttpServer
+
+        sapphire = SapphireServer(
+            SapphireConfig(suffix_tree_capacity=300, processes=1)
+        )
+        endpoint = SparqlEndpoint(
+            dataset.store, EndpointConfig.warehouse(), name="chaos"
+        )
+        sapphire.register_endpoint(endpoint)
+        return sapphire, SparqlHttpServer(sapphire).start()
+
+    def test_restart_mid_replay_reconciles(self, flaky_dataset, tmp_path):
+        from repro.core import SapphireConfig as SC, SapphireServer
+        from repro.eval.replay import (
+            ReplayConfig,
+            ReplayLedger,
+            generate_scripts,
+            replay_session,
+        )
+        from repro.net import SparqlHttpServer, fetch_stats, route_deltas
+
+        scripts = generate_scripts(ReplayConfig(seed=5, n_sessions=6))
+        ledger = ReplayLedger()
+
+        # Phase 1: two sessions against the first server incarnation.
+        sapphire_a, http_a = self._stack(flaky_dataset)
+        for script in scripts[:2]:
+            replay_session(script, http_a.url, ledger)
+        stats_a = fetch_stats(http_a.url)
+        sapphire_a.save_state(tmp_path)
+        dead_url = http_a.url
+        http_a.stop()
+
+        # Phase 2: the server is down.  Every request fails *cleanly* —
+        # ConnectionFailed, no hang, no crash — and the ledger books the
+        # whole session as unreachable (the server never saw it).
+        before_unreachable = ledger.total("unreachable")
+        replay_session(scripts[2], dead_url, ledger)
+        unreachable = ledger.total("unreachable") - before_unreachable
+        assert unreachable == len(scripts[2].events)
+        assert ledger.total("ok") + ledger.total("unreachable") == ledger.attempts
+
+        # Phase 3: restore from the saved state and finish the replay.
+        sapphire_b = SapphireServer.load_state(
+            tmp_path, SC(suffix_tree_capacity=300, processes=1)
+        )
+        http_b = SparqlHttpServer(sapphire_b).start()
+        try:
+            for script in scripts[3:]:
+                replay_session(script, http_b.url, ledger)
+            stats_b = fetch_stats(http_b.url)
+        finally:
+            http_b.stop()
+
+        # The restored cache still serves the PUM: post-restart sessions
+        # completed fully (every event of sessions 3-5 got a 200).
+        later_events = sum(len(s.events) for s in scripts[3:])
+        assert stats_b["ok"] == later_events
+
+        # Reconciliation across the restart: summing both incarnations'
+        # per-route counters must match the ledger minus the unreachable
+        # attempts — no request lost, none double-counted.
+        empty = {"routes": {}}
+        combined = {
+            route: counts
+            for route, counts in route_deltas(empty, stats_a).items()
+        }
+        for route, counts in route_deltas(empty, stats_b).items():
+            if route in combined:
+                combined[route] = {
+                    key: combined[route][key] + value
+                    for key, value in counts.items()
+                }
+            else:
+                combined[route] = counts
+        for route in ledger.routes:
+            assert combined[route]["requests"] == ledger.server_visible(route)
+            assert combined[route]["ok"] == ledger.routes[route]["ok"]
+            assert combined[route]["rejected"] == ledger.routes[route]["rejected"]
+        session_activity = (stats_a["session_activity"]
+                           + stats_b["session_activity"])
+        assert session_activity == ledger.session_ok_calls
+
+    def test_down_server_raises_connection_failed(self, flaky_dataset):
+        from repro.net import ConnectionFailed, HttpSapphireClient
+
+        _, http = self._stack(flaky_dataset)
+        url = http.url
+        http.stop()
+        client = HttpSapphireClient(url, max_retries=0, timeout_s=5.0)
+        with pytest.raises(ConnectionFailed):
+            client.complete("kenn", 5)
+
+    def test_admission_pressure_books_as_rejected(self, flaky_dataset):
+        """A tight server sheds replay load as 503s; the ledger books
+        them as `rejected` and the server's counter agrees exactly."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.core import SapphireServer
+        from repro.eval.replay import ReplayConfig, ReplayLedger, generate_scripts, replay_session
+        from repro.net import SparqlHttpServer, fetch_stats
+
+        sapphire = SapphireServer(
+            SapphireConfig(suffix_tree_capacity=300, processes=1)
+        )
+        endpoint = SparqlEndpoint(
+            flaky_dataset.store, EndpointConfig.warehouse(), name="tight"
+        )
+        sapphire.register_endpoint(endpoint)
+        http = SparqlHttpServer(sapphire, max_workers=1, queue_limit=0).start()
+        try:
+            scripts = generate_scripts(ReplayConfig(seed=9, n_sessions=8))
+            ledgers = [ReplayLedger() for _ in scripts]
+            with ThreadPoolExecutor(max_workers=len(scripts)) as pool:
+                list(pool.map(
+                    lambda pair: replay_session(pair[0], http.url, pair[1]),
+                    zip(scripts, ledgers),
+                ))
+            merged = ReplayLedger()
+            for ledger in ledgers:
+                merged.merge(ledger)
+            stats = fetch_stats(http.url)
+            # Every attempt is accounted for: served or cleanly 503'd.
+            assert merged.total("unreachable") == 0
+            assert (merged.total("ok") + merged.total("rejected")
+                    == merged.attempts)
+            assert stats["ok"] == merged.total("ok")
+            assert stats["rejected"] == merged.total("rejected")
+            assert stats["requests"] == merged.attempts
+        finally:
+            http.stop()
+
+
 class TestBadInput:
     def test_server_rejects_malformed_sparql(self, server):
         from repro.sparql import ParseError

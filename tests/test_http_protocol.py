@@ -297,6 +297,53 @@ class TestProtocol:
 
 
 # ----------------------------------------------------------------------
+# The query route across storage backends
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=["memory", "sqlite"])
+def backend_server(request, tiny_dataset):
+    from repro.store.sqlite_backend import SQLiteBackend
+
+    if request.param == "sqlite":
+        store = TripleStore(backend=SQLiteBackend(":memory:"))
+        store.add_all(tiny_dataset.store.triples())
+    else:
+        store = tiny_dataset.store
+    endpoint = SparqlEndpoint(
+        store, EndpointConfig.warehouse(), name=request.param)
+    with SparqlHttpServer(endpoint) as server:
+        yield request.param, server
+    if request.param == "sqlite":
+        store.close()
+
+
+class TestSparqlRouteAcrossBackends:
+    """The wire behaviour of ``/sparql`` is backend-invariant, and the
+    per-route ``/stats`` counters book each request identically."""
+
+    QUERY = "SELECT ?s WHERE { ?s a dbo:Person } ORDER BY ?s LIMIT 5"
+
+    def test_route_serves_and_books_identically(self, backend_server, tiny_dataset):
+        backend, server = backend_server
+        before = server.stats.snapshot()["routes"].get("sparql", {})
+        status, _, body = http_get(
+            f"{server.url}?query={urllib.parse.quote(self.QUERY)}")
+        assert status == 200, backend
+        bindings = json.loads(body)["results"]["bindings"]
+        # Deterministic ORDER BY: both backends must serve these rows.
+        expected = SparqlEndpoint(
+            tiny_dataset.store, EndpointConfig.warehouse()
+        ).select(self.QUERY).rows
+        assert [b["s"]["value"] for b in bindings] == \
+            [row["s"].value for row in expected]
+        after = server.stats.snapshot()["routes"]["sparql"]
+        assert after["requests"] == before.get("requests", 0) + 1
+        assert after["ok"] == before.get("ok", 0) + 1
+        assert after["rows_served"] == before.get("rows_served", 0) + 5
+
+
+# ----------------------------------------------------------------------
 # Admission control and failure mapping
 # ----------------------------------------------------------------------
 
@@ -529,6 +576,12 @@ class TestStats:
             connection.close()
 
     def test_rejects_do_not_pollute_latency_percentiles(self):
+        """Microsecond 503 rejects must not collapse p50 toward zero.
+
+        The histogram buckets grow ~12% per step, so the percentile is a
+        bucket-geomean estimate — assert within the ±~6% bucket error,
+        not exact equality.
+        """
         from repro.net.wsgi import ServerStats
 
         stats = ServerStats()
@@ -537,7 +590,32 @@ class TestStats:
             stats.record(503, 0.0001)
         snapshot = stats.snapshot()
         assert snapshot["rejected"] == 50
-        assert snapshot["latency_p50_ms"] == pytest.approx(100.0)
+        assert snapshot["latency_p50_ms"] == pytest.approx(100.0, rel=0.07)
+        assert snapshot["latency_p99_ms"] == pytest.approx(100.0, rel=0.07)
+
+    def test_percentiles_survive_mixed_traffic_per_route(self):
+        """Heavy reject traffic on one route must not drag another
+        route's latency percentiles — and the aggregate percentile only
+        covers served (200) requests."""
+        from repro.net.wsgi import ServerStats
+
+        stats = ServerStats()
+        # 100 healthy ~100ms queries...
+        for _ in range(100):
+            stats.record(200, 0.100, rows=1, route="sparql")
+        # ...drowned by 1000 microsecond rejects on /complete.
+        for _ in range(1000):
+            stats.record(503, 0.000002, route="complete")
+        snapshot = stats.snapshot()
+        assert snapshot["requests"] == 1100
+        assert snapshot["rejected"] == 1000
+        assert snapshot["latency_p50_ms"] == pytest.approx(100.0, rel=0.07)
+        routes = snapshot["routes"]
+        assert routes["sparql"]["latency"]["p50_ms"] == pytest.approx(100.0, rel=0.07)
+        # The reject route served nothing: empty histogram, zero p50.
+        assert routes["complete"]["latency"]["count"] == 0
+        assert routes["complete"]["latency"]["p50_ms"] == 0.0
+        assert routes["complete"]["rejected"] == 1000
 
     def test_percentile_is_nearest_rank(self):
         from repro.net.wsgi import _percentile

@@ -32,6 +32,8 @@ from repro.net import (
     SparqlHttpServer,
     completion_document,
     dump_document,
+    fetch_stats,
+    route_deltas,
 )
 from repro.sparql.parser import parse_query
 from repro.store import TripleStore
@@ -288,6 +290,71 @@ class TestSuggestionApi:
         with SparqlHttpServer(endpoint) as http:
             body = json.dumps({"text": "Kenn"}).encode()
             assert self.post_raw(http, "/complete", body) == 404
+
+
+# ----------------------------------------------------------------------
+# Route parity across storage backends (served over HTTP)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=["memory", "sqlite"])
+def backend_http_stack(request, tiny_dataset):
+    """The full served stack (Sapphire + HTTP) over each storage backend."""
+    if request.param == "sqlite":
+        store = TripleStore(backend=SQLiteBackend(":memory:"))
+        store.add_all(tiny_dataset.store.triples())
+    else:
+        store = tiny_dataset.store
+    sapphire, _ = build_sapphire(store)
+    with SparqlHttpServer(sapphire) as http:
+        yield request.param, sapphire, http
+    if request.param == "sqlite":
+        store.close()
+
+
+class TestRoutesAcrossBackends:
+    """``/complete`` and ``/suggest`` must serve identical answers no
+    matter which backend holds the triples, and the session-token
+    counters in ``/stats`` must reconcile exactly with what the driver
+    actually sent — the same invariant the replay harness gates on."""
+
+    def test_complete_route_parity(self, backend_http_stack):
+        backend, sapphire, http = backend_http_stack
+        client = HttpSapphireClient(http.url, timeout_s=30.0)
+        for term in COMPLETE_TERMS:
+            assert client.complete(term).surfaces() == \
+                sapphire.complete(term).surfaces(), f"{backend}: {term}"
+
+    def test_suggest_route_parity(self, backend_http_stack):
+        backend, sapphire, http = backend_http_stack
+        client = HttpSapphireClient(http.url, timeout_s=30.0)
+        for query in SUGGEST_QUERIES:
+            remote = client.suggest(query)
+            local = sapphire.run_query(query)
+            assert [s.message() for s in remote.all_suggestions] == \
+                [s.message() for s in local.all_suggestions], backend
+
+    def test_stats_session_counters_match_driver(self, backend_http_stack):
+        backend, _, http = backend_http_stack
+        session = f"driver-{backend}"
+        before = fetch_stats(http.url)
+        client = HttpSapphireClient(http.url, session=session, timeout_s=30.0)
+        driver = {"complete": 0, "suggest": 0}
+        for term in COMPLETE_TERMS[:4]:
+            client.complete(term)
+            driver["complete"] += 1
+        client.suggest(SUGGEST_QUERIES[0])
+        driver["suggest"] += 1
+        after = fetch_stats(http.url)
+        # Per-session token counters: exactly what the driver issued.
+        assert http.app.session_counters(session) == driver
+        # The aggregate activity gauge moved by the same amount...
+        assert after["session_activity"] - before["session_activity"] == \
+            sum(driver.values())
+        # ...and each call was booked on its own route.
+        deltas = route_deltas(before, after)
+        assert deltas["complete"]["ok"] == driver["complete"]
+        assert deltas["suggest"]["ok"] == driver["suggest"]
 
 
 # ----------------------------------------------------------------------
