@@ -1,24 +1,27 @@
 #!/usr/bin/env python3
-"""Join-planner benchmark: cost-based hash joins vs seed backtracking.
+"""Join-planner and batch-executor benchmark with regression gates.
 
-Runs the same star, chain, and cyclic basic graph patterns through two
-evaluator configurations over both storage backends:
+Two gated comparisons, both parity-checked before anything is timed
+(identical row multisets on both storage backends; a speedup can never
+come from silently matching less):
 
-* ``backtrack`` — ``QueryEvaluator(store, use_planner=False)``: the
-  seed's greedy-ordered backtracking index-nested-loop join, kept as
-  the baseline,
-* ``planner`` — the default evaluator: cost-based left-deep hash/bind
-  joins with filter pushdown and late materialization
-  (``src/repro/sparql/plan.py``).
+1. **Planner vs backtracking** — star, chain, cyclic, and large-scan
+   BGPs through ``QueryEvaluator(store)`` (cost-based left-deep
+   hash/bind joins, filter pushdown, late materialization) against
+   ``QueryEvaluator(store, execution="backtrack")`` (the seed's
+   greedy-ordered backtracking join).  Gate: planner >= MIN_SPEEDUP on
+   star and chain over the in-memory backend (cyclic and large-scan are
+   parity-checked and reported but not gated: single scans and tiny
+   cyclic results are dominated by fixed costs).
 
-Protocol (same as ``bench_store_encoding.py``): **parity first** — for
-every query the two paths must produce identical row multisets on both
-backends before anything is timed; a speedup can never come from
-silently matching less.  Then each shape's query set is timed best-of-N
-and the gate requires the planner to be >= MIN_SPEEDUP faster on the
-star and chain shapes over the in-memory backend (cyclic BGPs are
-parity-checked and reported but not gated: their tiny result sets are
-dominated by fixed costs).
+2. **Batch vs tuple pipeline** — the same physical plans drained
+   through the columnar ``batches()`` pipeline (default) against the
+   row-at-a-time ``rows_tuple()`` baseline
+   (``QueryEvaluator(store, batch_size=0)``).  Runs on the medium
+   dataset regardless of ``--scale`` — at small scale fixed per-query
+   costs (parse, plan, result assembly) drown the pipeline differential
+   the gate is supposed to watch.  Gate: batch >= MIN_BATCH_SPEEDUP on
+   star, chain, and bound-object large-scan shapes on BOTH backends.
 
 ``--json PATH`` writes the machine-readable results consumed by CI
 (uploaded as a ``BENCH_*.json`` artifact so a perf trajectory
@@ -44,6 +47,10 @@ from repro.store import MemoryBackend, SQLiteBackend, TripleStore
 #: in-memory backend, per gated shape.
 MIN_SPEEDUP = 2.0
 
+#: Gate: minimum columnar-pipeline speedup over the tuple-at-a-time
+#: baseline, per gated shape, on both backends.
+MIN_BATCH_SPEEDUP = 2.0
+
 #: Shape -> queries.  Stars fan out from one subject variable, chains
 #: hop subject->object->subject, cyclic closes a variable loop.
 SHAPES: Dict[str, List[str]] = {
@@ -62,10 +69,19 @@ SHAPES: Dict[str, List[str]] = {
         "SELECT ?a ?b ?u WHERE { ?a dbo:spouse ?b . ?a dbo:almaMater ?u . ?b dbo:almaMater ?u }",
         "SELECT ?a ?b WHERE { ?a dbo:spouse ?b . ?b dbo:spouse ?a }",
     ],
+    "large_scan": [
+        "SELECT ?s WHERE { ?s a dbo:Person }",
+        "SELECT ?s ?p WHERE { ?s ?p dbo:Person }",
+        "SELECT ?s ?n WHERE { ?s foaf:name ?n }",
+    ],
 }
 
-#: Shapes whose speedup is enforced (cyclic is parity-only).
+#: Shapes whose planner-vs-backtrack speedup is enforced (cyclic and
+#: large-scan are parity-only there: fixed costs dominate).
 GATED_SHAPES = ("star", "chain")
+
+#: Shapes whose batch-vs-tuple speedup is enforced, on both backends.
+BATCH_GATED_SHAPES = ("star", "chain", "large_scan")
 
 
 def _row_key(rows) -> List[Tuple]:
@@ -103,7 +119,7 @@ def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
     row_counts: Dict[str, int] = {}
     for backend_name, store in backends.items():
         planner = QueryEvaluator(store)
-        backtrack = QueryEvaluator(store, use_planner=False)
+        backtrack = QueryEvaluator(store, execution="backtrack")
         for shape, queries in parsed.items():
             for text, query in zip(SHAPES[shape], queries):
                 a = _row_key(planner.evaluate(query).rows)
@@ -130,7 +146,7 @@ def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
     print("-" * len(header))
     for backend_name, store in backends.items():
         planner = QueryEvaluator(store)
-        backtrack = QueryEvaluator(store, use_planner=False)
+        backtrack = QueryEvaluator(store, execution="backtrack")
         results[backend_name] = {}
         for shape, queries in parsed.items():
 
@@ -160,6 +176,8 @@ def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
         gate_ok = gate_ok and speedup >= MIN_SPEEDUP
         print(f"  {shape:<8} {speedup:5.2f}x  {status}")
 
+    batch_results, batch_ok, batch_triples = run_batch_section(repeat)
+
     if json_path:
         payload = {
             "benchmark": "join_planner",
@@ -172,6 +190,14 @@ def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
                 "shapes": list(GATED_SHAPES),
                 "pass": gate_ok,
             },
+            "batch_dataset": {"scale": "medium", "triples": batch_triples},
+            "batch_results": batch_results,
+            "batch_gate": {
+                "min_speedup": MIN_BATCH_SPEEDUP,
+                "shapes": list(BATCH_GATED_SHAPES),
+                "backends": ["memory", "sqlite"],
+                "pass": batch_ok,
+            },
         }
         with open(json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -180,7 +206,88 @@ def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
     if not gate_ok:
         print("REGRESSION: planner slower than the gate allows")
         return 1
+    if not batch_ok:
+        print("REGRESSION: batch pipeline slower than the gate allows")
+        return 1
     return 0
+
+
+def run_batch_section(repeat: int) -> Tuple[Dict, bool, int]:
+    """Batch-vs-tuple pipeline comparison over the same physical plans.
+
+    Always builds the medium dataset: the pipeline differential (C-pass
+    scans, joins and gathers vs per-row generator hops) only becomes
+    measurable once result sets reach a few thousand rows.  Parity first,
+    then best-of-N timing per shape, gated on both backends.
+    """
+    config = DatasetConfig.medium()
+    dataset = build_dataset(config)
+    triples = list(dataset.store.triples())
+    backends = {
+        "memory": TripleStore(triples, backend=MemoryBackend()),
+        "sqlite": TripleStore(triples, backend=SQLiteBackend(":memory:")),
+    }
+    parsed = {
+        shape: [parse_query(q) for q in SHAPES[shape]]
+        for shape in BATCH_GATED_SHAPES
+    }
+
+    failures = []
+    for backend_name, store in backends.items():
+        batch = QueryEvaluator(store)
+        tuple_ev = QueryEvaluator(store, batch_size=0)
+        for shape, queries in parsed.items():
+            for text, query in zip(SHAPES[shape], queries):
+                a = _row_key(batch.evaluate(query).rows)
+                b = _row_key(tuple_ev.evaluate(query).rows)
+                if a != b:
+                    failures.append((backend_name, text, len(a), len(b)))
+    if failures:
+        print("\nPARITY FAILURE: batch and tuple pipelines disagree")
+        for backend_name, text, n_batch, n_tuple in failures:
+            print(f"  [{backend_name}] batch={n_batch} tuple={n_tuple}  {text}")
+        for store in backends.values():
+            store.close()
+        return {}, False, len(triples)
+
+    print(f"\nbatch pipeline vs tuple baseline "
+          f"(medium dataset, {len(triples):,} triples, best of {repeat})")
+    header = (f"{'backend':<8} {'shape':<11} {'tuple_s':>10} "
+              f"{'batch_s':>10} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    batch_results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    batch_ok = True
+    for backend_name, store in backends.items():
+        batch = QueryEvaluator(store)
+        tuple_ev = QueryEvaluator(store, batch_size=0)
+        batch_results[backend_name] = {}
+        for shape, queries in parsed.items():
+
+            def run_all(evaluator, queries=queries):
+                for query in queries:
+                    evaluator.evaluate(query)
+
+            tuple_s = _time_best(lambda: run_all(tuple_ev), repeat)
+            batch_s = _time_best(lambda: run_all(batch), repeat)
+            speedup = tuple_s / batch_s if batch_s else float("inf")
+            batch_results[backend_name][shape] = {
+                "tuple_s": tuple_s,
+                "batch_s": batch_s,
+                "speedup": speedup,
+            }
+            gated = shape in BATCH_GATED_SHAPES
+            ok = speedup >= MIN_BATCH_SPEEDUP
+            batch_ok = batch_ok and (ok or not gated)
+            status = "ok" if ok else "FAIL"
+            print(f"{backend_name:<8} {shape:<11} {tuple_s:>10.4f} "
+                  f"{batch_s:>10.4f} {speedup:>7.2f}x  {status}")
+
+    backends["sqlite"].close()
+    print(f"batch gate: >= {MIN_BATCH_SPEEDUP:.1f}x on "
+          f"{', '.join(BATCH_GATED_SHAPES)}, both backends: "
+          f"{'ok' if batch_ok else 'FAIL'}")
+    return batch_results, batch_ok, len(triples)
 
 
 def main(argv=None) -> int:

@@ -50,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dataset seed (default: 42)")
     parser.add_argument("--tree-capacity", type=int, default=500,
                         help="suffix-tree capacity (default: 500)")
+    parser.add_argument("--execution", choices=("auto", "planner", "backtrack"),
+                        default="auto",
+                        help="query evaluation strategy for local endpoints: "
+                             "cost-based planner with fallback (auto, the "
+                             "default), planner-first, or the seed "
+                             "backtracking join (default: auto)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("stats", help="print dataset and cache statistics")
@@ -175,8 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _make_server(args) -> tuple:
     dataset = build_dataset(_SCALES[args.scale](seed=args.seed))
     endpoint = SparqlEndpoint(dataset.store, EndpointConfig(timeout_s=1.0),
-                              name="dbpedia-mini")
-    server = SapphireServer(SapphireConfig(suffix_tree_capacity=args.tree_capacity))
+                              name="dbpedia-mini", execution=args.execution)
+    server = SapphireServer(SapphireConfig(
+        suffix_tree_capacity=args.tree_capacity, execution=args.execution))
     server.register_endpoint(endpoint)
     return server, dataset
 
@@ -342,10 +349,12 @@ def _cmd_serve(args) -> int:
         dataset.store,
         EndpointConfig(timeout_s=args.timeout_s),
         name=f"dbpedia-{args.scale}",
+        execution=args.execution,
     )
     if args.sapphire:
         backend = SapphireServer(
-            SapphireConfig(suffix_tree_capacity=args.tree_capacity)
+            SapphireConfig(suffix_tree_capacity=args.tree_capacity,
+                           execution=args.execution)
         )
         report = backend.register_endpoint(endpoint)
         print(f"initialized: {report.total_queries} queries, "
@@ -406,9 +415,11 @@ def _cmd_replay(args) -> int:
             endpoint = SparqlEndpoint(
                 dataset.store, EndpointConfig(timeout_s=2.0),
                 name=f"dbpedia-{args.scale}",
+                execution=args.execution,
             )
             backend = SapphireServer(
-                SapphireConfig(suffix_tree_capacity=args.tree_capacity)
+                SapphireConfig(suffix_tree_capacity=args.tree_capacity,
+                           execution=args.execution)
             )
             backend.register_endpoint(endpoint)
             server = stack.enter_context(SparqlHttpServer(backend, port=0))

@@ -86,6 +86,24 @@ class SapphireConfig:
     #: (same engine, no file — useful in tests).
     storage_path: Optional[str] = None
 
+    # --- Query execution (docs/query-planning.md) ----------------------
+    #: Evaluation strategy for every endpoint the server builds:
+    #: ``"auto"`` (planner with term-space fallback), ``"planner"``, or
+    #: ``"backtrack"`` (pin the seed backtracking join).
+    execution: str = "auto"
+    #: Rows per batch on the columnar execution path; ``0`` pins the
+    #: legacy tuple-at-a-time pipeline, ``None`` uses the engine default
+    #: (:data:`repro.sparql.plan.DEFAULT_BATCH_SIZE`).
+    exec_batch_size: Optional[int] = None
+
+    def with_execution(
+        self, execution: str, batch_size: Optional[int] = None
+    ) -> "SapphireConfig":
+        """Copy with a different evaluation strategy selection."""
+        if execution not in ("planner", "backtrack", "auto"):
+            raise ValueError(f"unknown execution mode {execution!r}")
+        return replace(self, execution=execution, exec_batch_size=batch_size)
+
     def with_processes(self, processes: int) -> "SapphireConfig":
         """Copy with a different parallelism degree (benchmark sweeps)."""
         return replace(self, processes=processes)

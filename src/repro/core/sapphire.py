@@ -329,7 +329,11 @@ class SapphireServer:
                     "(path separator or empty) — refusing to open it"
                 )
             endpoint = SparqlEndpoint(
-                load_store(source / f"{name}.sqlite"), endpoint_config, name=name
+                load_store(source / f"{name}.sqlite"),
+                endpoint_config,
+                name=name,
+                execution=server.config.execution,
+                batch_size=server.config.exec_batch_size,
             )
             server.attach_endpoint(endpoint)
         return server

@@ -30,6 +30,7 @@ OPTIONALs extend last.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.terms import IRI, Literal, Term, Variable, XSD_INTEGER
@@ -48,13 +49,19 @@ from .ast_nodes import (
 from .errors import EvaluationError, ExpressionError
 from .functions import effective_boolean_value, evaluate_expression
 from .parser import parse_query
-from .plan import QueryPlanner, explain_plan
+from .plan import DEFAULT_BATCH_SIZE, QueryPlanner, explain_plan
 from .results import AskResult, SelectResult
 
-__all__ = ["QueryEvaluator", "evaluate", "finalize_solutions"]
+__all__ = ["QueryEvaluator", "EXECUTION_MODES", "evaluate", "finalize_solutions"]
 
 #: Sentinel distinguishing "no plan computed yet" from "planner said None".
 _PLAN_UNSET = object()
+
+#: Sentinel distinguishing "use_planner not passed" from an explicit bool.
+_USE_PLANNER_UNSET = object()
+
+#: Valid values for :class:`QueryEvaluator`'s ``execution`` keyword.
+EXECUTION_MODES = ("planner", "backtrack", "auto")
 
 
 def _paginate(rows, key_fn, distinct: bool, offset: int, limit: Optional[int]) -> List:
@@ -87,18 +94,94 @@ def _paginate(rows, key_fn, distinct: bool, offset: int, limit: Optional[int]) -
 class QueryEvaluator:
     """Evaluates parsed queries against one triple store.
 
-    ``use_planner=True`` (the default) routes top-level basic graph
-    patterns through the cost-based hash/bind-join planner in
-    :mod:`~repro.sparql.plan`; groups the planner cannot cover — and
-    OPTIONAL sub-groups, which carry initial bindings — fall back to the
-    seed backtracking join below.  ``use_planner=False`` pins the seed
-    path, which the planner benchmarks use as their parity baseline.
+    ``execution`` selects the strategy:
+
+    * ``"auto"`` (the default) routes top-level groups through the
+      cost-based hash/bind-join planner in :mod:`~repro.sparql.plan`;
+      groups the planner cannot cover — and OPTIONAL sub-groups, which
+      carry initial bindings — fall back to the term-space backtracking
+      join below.
+    * ``"planner"`` states planner-first intent explicitly.  Today it
+      behaves like ``"auto"`` (the fallback still catches the shapes the
+      ID-space operators cannot express — there is no complete
+      planner-only evaluator); the distinct name reserves room for
+      ``"auto"`` to become adaptive without breaking callers that pinned
+      the planner.
+    * ``"backtrack"`` pins the seed backtracking path, which the planner
+      benchmarks use as their parity baseline.
+
+    ``batch_size`` is the row count per :class:`~repro.sparql.plan.Batch`
+    on the columnar execution path; ``0`` disables batching and runs the
+    legacy tuple-at-a-time pipeline (the batch benchmarks' baseline).
+
+    The old ``use_planner`` boolean is deprecated: ``True`` maps to
+    ``execution="auto"``, ``False`` to ``execution="backtrack"``.
     """
 
-    def __init__(self, store: TripleStore, use_planner: bool = True) -> None:
+    def __init__(
+        self,
+        store: TripleStore,
+        use_planner=_USE_PLANNER_UNSET,
+        *,
+        execution: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
         self.store = store
-        self.use_planner = use_planner
+        if use_planner is not _USE_PLANNER_UNSET:
+            if execution is not None:
+                raise TypeError(
+                    "pass execution=...; use_planner is deprecated and "
+                    "cannot be combined with it"
+                )
+            warnings.warn(
+                "QueryEvaluator(use_planner=...) is deprecated; pass "
+                "execution='auto' (was use_planner=True) or "
+                "execution='backtrack' (was use_planner=False)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            execution = "auto" if use_planner else "backtrack"
+        elif execution is None:
+            execution = "auto"
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {execution!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        self.execution = execution
+        self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
         self._planner = QueryPlanner(store)
+        # Physical plans keyed by (group identity, budget).  The value
+        # pins a strong reference to the group so its ``id`` can never
+        # be recycled, and records the store generation the plan was
+        # built against: re-planning after a write keeps cardinality
+        # estimates (and NO_ID encodings of previously-unseen constants)
+        # honest.  Repeated evaluation of the same parsed query —
+        # endpoints serving a hot query, benchmarks, the suggestion
+        # cache — skips the planner entirely.
+        self._plan_cache: Dict[Tuple[int, Optional[int]], Tuple[object, object, object]] = {}
+
+    def _plan_group(self, group: GraphPattern, budget: Optional[int]):
+        """Plan ``group`` under ``budget``, memoized per (group, budget,
+        store generation).  ``None`` verdicts (shapes the planner cannot
+        express) are cached too — they are just as expensive to recompute."""
+        key = (id(group), budget)
+        generation = getattr(self.store, "generation", None)
+        entry = self._plan_cache.get(key)
+        if entry is not None and entry[0] is group and entry[1] == generation:
+            return entry[2]
+        plan = self._planner.plan(group, budget=budget)
+        if len(self._plan_cache) >= 64:
+            self._plan_cache.clear()
+        self._plan_cache[key] = (group, generation, plan)
+        return plan
+
+    @property
+    def use_planner(self) -> bool:
+        """Deprecated read-only view of the mode (True unless pinned to
+        the backtracker).  Kept so existing introspection keeps working;
+        set the mode via ``execution=`` at construction."""
+        return self.execution != "backtrack"
 
     # ------------------------------------------------------------------
     # Public API
@@ -162,7 +245,7 @@ class QueryEvaluator:
     ) -> str:
         pad = "  " * indent
         plan = (
-            self._planner.plan(group, budget=budget)
+            self._plan_group(group, budget)
             if (planned and self.use_planner)
             else None
         )
@@ -244,7 +327,7 @@ class QueryEvaluator:
         names = query.projected_names()
         plan = _PLAN_UNSET
         if self.use_planner and not query.where.optionals:
-            plan = self._planner.plan(query.where, budget=meter.budget)
+            plan = self._plan_group(query.where, meter.budget)
             if plan is not None:
                 items = self._plain_variable_items(query)
                 if items is not None:
@@ -292,17 +375,40 @@ class QueryEvaluator:
         distinct terms — so DISTINCT over ID tuples equals DISTINCT over
         the decoded rows.
         """
+        store = self.store
         slot_of = plan.slot_of
         pairs = [(out, slot_of.get(var)) for out, var in items]
         live = tuple(slot for _, slot in pairs if slot is not None)
+        distinct = query.distinct
+        offset = query.offset or 0
+        limit = query.limit
+        batch_size = self.batch_size
+        if batch_size <= 0:
+            source: Iterator = plan.rows_tuple(store, meter)
+        else:
+            if limit is not None:
+                # Clamp the batch size to the page so the scan never
+                # charges the meter for (or materializes) more candidate
+                # rows per batch than early termination will consume —
+                # page-sized LIMIT queries keep the tuple pipeline's
+                # exact cost profile.
+                batch_size = max(1, min(batch_size, limit + offset))
+            elif not distinct and not offset:
+                # Fast path: every row survives — decode whole columns.
+                return self._select_all_batches(plan, pairs, names, meter, batch_size)
+            source = (
+                row
+                for batch in plan.batches(store, meter, batch_size)
+                for row in batch.iter_rows()
+            )
         picked = _paginate(
-            plan.rows(self.store, meter),
+            source,
             key_fn=lambda row: tuple(row[slot] for slot in live),
-            distinct=query.distinct,
-            offset=query.offset or 0,
-            limit=query.limit,
+            distinct=distinct,
+            offset=offset,
+            limit=limit,
         )
-        decode = self.store.decode_id
+        decode = store.decode_id
         rows: List[Binding] = [
             {
                 out: decode(row[slot])
@@ -311,6 +417,68 @@ class QueryEvaluator:
             }
             for row in picked
         ]
+        return SelectResult(variables=list(names), rows=rows, cost=meter.cost)
+
+    def _select_all_batches(
+        self,
+        plan,
+        pairs: List[Tuple[str, Optional[int]]],
+        names: Sequence[str],
+        meter: CostMeter,
+        batch_size: int,
+    ) -> SelectResult:
+        """Unmodified SELECT tail: decode surviving columns wholesale.
+
+        With no DISTINCT/OFFSET/LIMIT every produced row is returned, so
+        projection happens column-at-a-time against the dictionary's
+        ``terms`` list instead of per-cell ``decode_id`` calls.
+        """
+        store = self.store
+        terms = store.dictionary.terms
+        live_pairs = [(out, slot) for out, slot in pairs if slot is not None]
+        outs = [out for out, _ in live_pairs]
+        rows: List[Binding] = []
+        for batch in plan.batches(store, meter, batch_size):
+            if not live_pairs:
+                rows.extend({} for _ in range(batch.length))
+                continue
+            columns = batch.columns
+            if batch.has_unbound:
+                decoded = [
+                    [None if cell < 0 else terms[cell] for cell in columns[slot]]
+                    for _, slot in live_pairs
+                ]
+                rows.extend(
+                    {
+                        out: cell
+                        for out, cell in zip(outs, cells)
+                        if cell is not None
+                    }
+                    for cells in zip(*decoded)
+                )
+            else:
+                decoded = [
+                    map(terms.__getitem__, columns[slot])
+                    for _, slot in live_pairs
+                ]
+                # Width-specialized dict displays: BUILD_MAP over a C
+                # zip is several times faster than dict(zip(...)) per
+                # row, and this loop dominates large-result queries.
+                if len(outs) == 1:
+                    (o0,) = outs
+                    rows += [{o0: a} for a in decoded[0]]
+                elif len(outs) == 2:
+                    o0, o1 = outs
+                    rows += [{o0: a, o1: b} for a, b in zip(*decoded)]
+                elif len(outs) == 3:
+                    o0, o1, o2 = outs
+                    rows += [
+                        {o0: a, o1: b, o2: c} for a, b, c in zip(*decoded)
+                    ]
+                else:
+                    rows += [
+                        dict(zip(outs, cells)) for cells in zip(*decoded)
+                    ]
         return SelectResult(variables=list(names), rows=rows, cost=meter.cost)
 
     def _project(self, row: Binding, query: Query, names: Sequence[str]) -> Binding:
@@ -363,19 +531,38 @@ class QueryEvaluator:
     ) -> Iterator[Binding]:
         if self.use_planner and not initial:
             plan = (
-                self._planner.plan(group, budget=meter.budget)
+                self._plan_group(group, meter.budget)
                 if prepared_plan is _PLAN_UNSET
                 else prepared_plan
             )
             if plan is not None:
-                decode = self.store.decode_id
+                store = self.store
                 names = plan.variables
-                for row in plan.rows(self.store, meter):
-                    yield {
-                        name: decode(term_id)
-                        for name, term_id in zip(names, row)
-                        if term_id is not None
-                    }
+                batch_size = self.batch_size
+                if batch_size <= 0:
+                    decode = store.decode_id
+                    for row in plan.rows_tuple(store, meter):
+                        yield {
+                            name: decode(term_id)
+                            for name, term_id in zip(names, row)
+                            if term_id is not None
+                        }
+                    return
+                terms = store.dictionary.terms
+                for batch in plan.batches(store, meter, batch_size):
+                    if batch.has_unbound:
+                        for row in batch.iter_raw():
+                            yield {
+                                name: terms[term_id]
+                                for name, term_id in zip(names, row)
+                                if term_id >= 0
+                            }
+                    else:
+                        for row in batch.iter_raw():
+                            yield {
+                                name: terms[term_id]
+                                for name, term_id in zip(names, row)
+                            }
                 return
         yield from self._solve_term_space(group, initial, meter)
 

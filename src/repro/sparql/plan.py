@@ -3,9 +3,15 @@
 This is stage four of the shared pipeline (parse → logical algebra →
 optimize → physical execution; see :mod:`~repro.sparql.algebra` for
 stages two and three).  :class:`QueryPlanner` compiles a normalized
-logical tree into a tree of streaming physical operators; every
-intermediate row is a plain tuple of dictionary IDs and terms are
-decoded only for FILTER evaluation and final materialization.
+logical tree into a tree of streaming physical operators.  Execution is
+**batched and columnar**: operators exchange :class:`Batch` objects —
+tuples of ``array('q')`` ID columns plus a length — via the
+:meth:`PlanNode.batches` contract, and terms are decoded only for
+FILTER evaluation and final materialization.  :meth:`PlanNode.rows`
+remains as a thin row-at-a-time adapter over :meth:`~PlanNode.batches`
+for consumers that want tuples (pagination, federation glue), and
+:meth:`PlanNode.rows_tuple` preserves the original tuple-at-a-time
+pipeline as the benchmark baseline (``batch_size=0``).
 
 Plan nodes
 ----------
@@ -55,6 +61,8 @@ server, the federation, and the CLI (see ``docs/query-planning.md``).
 
 from __future__ import annotations
 
+from array import array
+from itertools import chain
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.terms import Variable
@@ -79,6 +87,7 @@ from .errors import ExpressionError
 from .functions import effective_boolean_value, evaluate_expression
 
 __all__ = [
+    "Batch",
     "PlanNode",
     "ScanNode",
     "HashJoinNode",
@@ -104,6 +113,66 @@ BIND_JOIN_FACTOR = 8
 #: A ``None`` entry marks an unbound slot (UNION branch that skips the
 #: variable, UNDEF cell in a VALUES table).
 IdRow = Tuple[Optional[int], ...]
+
+#: The unbound-slot sentinel inside batch columns.  ``array('q')`` can
+#: only hold integers, and no valid dictionary ID is negative, so ``-1``
+#: plays the role ``None`` plays in :data:`IdRow` tuples.
+UNBOUND = -1
+
+#: Rows per :class:`Batch` on the columnar path.  Matches the storage
+#: seam's ``COLUMN_BATCH_SIZE`` so one ``match_columns`` batch becomes
+#: one operator batch without re-chunking.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class Batch:
+    """A batch of intermediate rows in columnar layout.
+
+    ``columns`` holds one ``array('q')`` of dictionary IDs per variable,
+    in ``node.variables`` slot order; ``length`` is the row count (kept
+    explicitly so zero-variable batches — existence rows — still have a
+    cardinality).  ``has_unbound`` is True when some cell may hold the
+    :data:`UNBOUND` sentinel; it lets :meth:`iter_rows` skip the
+    ``-1 → None`` translation on the (overwhelmingly common) all-bound
+    batches.  A False flag is a guarantee; True is merely conservative.
+    """
+
+    __slots__ = ("columns", "length", "has_unbound")
+
+    def __init__(
+        self,
+        columns: Tuple[array, ...],
+        length: int,
+        has_unbound: bool = False,
+    ) -> None:
+        self.columns = columns
+        self.length = length
+        self.has_unbound = has_unbound
+
+    def __len__(self) -> int:
+        return self.length
+
+    def iter_rows(self) -> Iterator[IdRow]:
+        """Rows as :data:`IdRow` tuples (``None`` for unbound slots)."""
+        if not self.columns:
+            empty: IdRow = ()
+            for _ in range(self.length):
+                yield empty
+            return
+        if not self.has_unbound:
+            yield from zip(*self.columns)
+            return
+        for raw in zip(*self.columns):
+            yield tuple(None if cell == UNBOUND else cell for cell in raw)
+
+    def iter_raw(self) -> Iterator[Tuple[int, ...]]:
+        """Rows as raw int tuples (:data:`UNBOUND` kept as ``-1``)."""
+        if not self.columns:
+            empty: Tuple[int, ...] = ()
+            for _ in range(self.length):
+                yield empty
+            return
+        yield from zip(*self.columns)
 
 #: Default number of left rows a RemoteBindJoinNode accumulates before
 #: shipping them to the endpoints as one VALUES-constrained request.
@@ -139,7 +208,35 @@ class PlanNode:
 
     # -- execution -----------------------------------------------------
 
+    def batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[Batch]:
+        """The primary execution contract: a stream of :class:`Batch`.
+
+        Operators with a native ``_produce_batches`` stay columnar end
+        to end; the base class adapts row-wise ``_produce`` operators by
+        chunking, so every node speaks batches regardless of vintage.
+        """
+        produced = self._produce_batches(store, meter, batch_size)
+        if not self.filters:
+            return produced
+        return self._filtered_batches(produced, store)
+
     def rows(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        """Compatibility adapter: flatten :meth:`batches` into tuples."""
+        for batch in self.batches(store, meter):
+            yield from batch.iter_rows()
+
+    def rows_tuple(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        """The legacy tuple-at-a-time pipeline, preserved verbatim.
+
+        Children are pulled through ``rows_tuple`` as well, so the whole
+        subtree stays row-wise — this is the baseline the batch-vs-tuple
+        benchmark gate measures against (``QueryEvaluator(batch_size=0)``).
+        """
         produced = self._produce(store, meter)
         if not self.filters:
             return produced
@@ -147,6 +244,112 @@ class PlanNode:
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
         raise NotImplementedError
+
+    def _produce_batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int,
+    ) -> Iterator[Batch]:
+        """Default adapter: chunk the row-wise ``_produce`` into batches.
+
+        Row-wise operators (federated fetches, compatibility joins) ride
+        the columnar pipeline through this without any native code.
+        """
+        width = len(self.variables)
+        if width == 0:
+            count = 0
+            for _ in self._produce(store, meter):
+                count += 1
+                if count >= batch_size:
+                    yield Batch((), count)
+                    count = 0
+            if count:
+                yield Batch((), count)
+            return
+        buffers: List[List[int]] = [[] for _ in range(width)]
+        has_unbound = False
+        length = 0
+        for row in self._produce(store, meter):
+            for slot, cell in enumerate(row):
+                if cell is None:
+                    cell = UNBOUND
+                    has_unbound = True
+                buffers[slot].append(cell)
+            length += 1
+            if length >= batch_size:
+                yield Batch(
+                    tuple(array("q", buf) for buf in buffers), length, has_unbound
+                )
+                buffers = [[] for _ in range(width)]
+                has_unbound = False
+                length = 0
+        if length:
+            yield Batch(
+                tuple(array("q", buf) for buf in buffers), length, has_unbound
+            )
+
+    def _filtered_batches(
+        self, batches: Iterator[Batch], store: TripleStore
+    ) -> Iterator[Batch]:
+        """Apply FILTERs batch-wise with per-filter verdict caching.
+
+        Filter expressions are deterministic functions of their decoded
+        variables, so the effective boolean value is cached keyed by the
+        tuple of relevant slot IDs — repeated values (a join fan-out, a
+        low-cardinality column) skip decode and evaluation entirely.
+        """
+        decode = store.decode_id
+        compiled: List[_CompiledFilter] = [
+            (
+                expr,
+                tuple(
+                    (name, self.slot_of[name])
+                    for name in expr.variables()
+                    if name in self.slot_of
+                ),
+            )
+            for expr in self.filters
+        ]
+        caches: List[Dict[Tuple, bool]] = [{} for _ in compiled]
+        for batch in batches:
+            keep: List[int] = []
+            for index, row in enumerate(batch.iter_rows()):
+                passed = True
+                for (expr, slots), cache in zip(compiled, caches):
+                    key = tuple(row[slot] for _, slot in slots)
+                    verdict = cache.get(key)
+                    if verdict is None:
+                        binding = {
+                            name: decode(row[slot])
+                            for name, slot in slots
+                            if row[slot] is not None
+                        }
+                        try:
+                            verdict = effective_boolean_value(
+                                evaluate_expression(expr, binding)
+                            )
+                        except ExpressionError:
+                            verdict = False  # erroring filters drop the row
+                        cache[key] = verdict
+                    if not verdict:
+                        passed = False
+                        break
+                if passed:
+                    keep.append(index)
+            if not keep:
+                continue
+            if len(keep) == batch.length:
+                yield batch
+            else:
+                yield Batch(
+                    tuple(
+                        array("q", (column[i] for i in keep))
+                        for column in batch.columns
+                    ),
+                    len(keep),
+                    batch.has_unbound,
+                )
 
     def _filtered(self, rows: Iterator[IdRow], store: TripleStore) -> Iterator[IdRow]:
         decode = store.decode_id
@@ -216,26 +419,87 @@ class ScanNode(PlanNode):
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
         s, p, o = self.probe
         positions = self.out_positions
+        checks = self.checks
         rows = store.match_ids(s, p, o, meter)
-        if self.checks:
-            checks = self.checks
-            rows = (
-                row for row in rows
-                if all(row[a] == row[b] for a, b in checks)
-            )
         # Specialized projections: this is the innermost loop of every
-        # plan, and a generator-expression tuple per row doubles its cost.
+        # plan, and a generator-expression tuple per row doubles its
+        # cost.  The repeated-variable checks are folded into the same
+        # loops — an interposed filtering generator would re-route the
+        # 1/2-column shapes through an extra frame per row.
         if len(positions) == 1:
             a = positions[0]
-            for row in rows:
-                yield (row[a],)
+            if checks:
+                for row in rows:
+                    if all(row[x] == row[y] for x, y in checks):
+                        yield (row[a],)
+            else:
+                for row in rows:
+                    yield (row[a],)
         elif len(positions) == 2:
             a, b = positions
+            if checks:
+                for row in rows:
+                    if all(row[x] == row[y] for x, y in checks):
+                        yield (row[a], row[b])
+            else:
+                for row in rows:
+                    yield (row[a], row[b])
+        elif checks:
             for row in rows:
-                yield (row[a], row[b])
+                if all(row[x] == row[y] for x, y in checks):
+                    yield row
         else:
-            for row in rows:
-                yield row
+            yield from rows
+
+    def _produce_batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int,
+    ) -> Iterator[Batch]:
+        s, p, o = self.probe
+        positions = self.out_positions
+        if not positions:
+            # Fully concrete pattern (existence check): the planner never
+            # builds this shape, but stay correct if constructed directly.
+            yield from PlanNode._produce_batches(self, store, meter, batch_size)
+            return
+        if not self.checks:
+            for columns in store.match_columns(
+                s, p, o, positions, meter, batch_size
+            ):
+                yield Batch(columns, len(columns[0]))
+            return
+        # Repeated variables: also fetch the duplicate positions, filter
+        # column-wise, then project them away.
+        fetch = positions + tuple(dup for _, dup in self.checks)
+        pairs = tuple(
+            (fetch.index(first), fetch.index(dup)) for first, dup in self.checks
+        )
+        width = len(positions)
+        for columns in store.match_columns(s, p, o, fetch, meter, batch_size):
+            if len(pairs) == 1:
+                left, right = pairs[0]
+                col_a, col_b = columns[left], columns[right]
+                keep = [i for i in range(len(col_a)) if col_a[i] == col_b[i]]
+            else:
+                keep = [
+                    i
+                    for i in range(len(columns[0]))
+                    if all(columns[a][i] == columns[b][i] for a, b in pairs)
+                ]
+            if not keep:
+                continue
+            if len(keep) == len(columns[0]):
+                yield Batch(columns[:width], len(keep))
+            else:
+                yield Batch(
+                    tuple(
+                        array("q", (column[i] for i in keep))
+                        for column in columns[:width]
+                    ),
+                    len(keep),
+                )
 
     def label(self) -> str:
         return f"Scan({_pattern_text(self.pattern)})"
@@ -274,11 +538,11 @@ class HashJoinNode(PlanNode):
             # Semi-join: the build side adds no variables, so a bucket is
             # just a multiplicity and no output tuple is re-allocated.
             counts: Dict[object, int] = {}
-            for row in self.right.rows(store, meter):
+            for row in self.right.rows_tuple(store, meter):
                 key = row[rkeys[0]] if single else tuple(row[i] for i in rkeys)
                 counts[key] = counts.get(key, 0) + 1
             cget = counts.get
-            for lrow in self.left.rows(store, meter):
+            for lrow in self.left.rows_tuple(store, meter):
                 n = cget(lrow[lkey] if single else tuple(lrow[i] for i in lkeys))
                 if n is None:
                     continue
@@ -292,7 +556,7 @@ class HashJoinNode(PlanNode):
             return
         table: Dict[object, List[IdRow]] = {}
         rres0 = rres[0] if len(rres) == 1 else None
-        for row in self.right.rows(store, meter):
+        for row in self.right.rows_tuple(store, meter):
             key = row[rkeys[0]] if single else tuple(row[i] for i in rkeys)
             bucket = table.get(key)
             if bucket is None:
@@ -301,7 +565,7 @@ class HashJoinNode(PlanNode):
                 (row[rres0],) if rres0 is not None else tuple(row[i] for i in rres)
             )
         get = table.get
-        for lrow in self.left.rows(store, meter):
+        for lrow in self.left.rows_tuple(store, meter):
             key = lrow[lkey] if single else tuple(lrow[i] for i in lkeys)
             bucket = get(key)
             if bucket is None:
@@ -310,6 +574,470 @@ class HashJoinNode(PlanNode):
                 charge(len(bucket))
             for residual in bucket:
                 yield lrow + residual
+
+    def _produce_batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int,
+    ) -> Iterator[Batch]:
+        single = len(self.left_key_slots) == 1
+        rkeys = self.right_key_slots
+        rres = self.right_residual_slots
+        lkeys = self.left_key_slots
+        lkey = lkeys[0] if single else None
+        charge = meter.charge if meter is not None else None
+        if not rres:
+            # Semi-join: build a key -> multiplicity table column-wise,
+            # then emit probe batches through a selection vector.  With
+            # unique single keys the table degenerates to a set and the
+            # all-match probe runs entirely in C.
+            if single:
+                rcols = []
+                total = 0
+                for rbatch in self.right.batches(store, meter, batch_size):
+                    rcols.append(rbatch.columns[rkeys[0]])
+                    total += rbatch.length
+                unique = set(chain.from_iterable(rcols))
+                if len(unique) == total:
+                    contains = unique.__contains__
+                    for lbatch in self.left.batches(store, meter, batch_size):
+                        flags = list(map(contains, lbatch.columns[lkey]))
+                        if all(flags):
+                            if charge is not None:
+                                charge(lbatch.length)
+                            yield lbatch
+                            continue
+                        selection = [i for i, hit in enumerate(flags) if hit]
+                        if not selection:
+                            continue
+                        if charge is not None:
+                            charge(len(selection))
+                        yield Batch(
+                            tuple(
+                                array("q", map(column.__getitem__, selection))
+                                for column in lbatch.columns
+                            ),
+                            len(selection),
+                            lbatch.has_unbound,
+                        )
+                    return
+                counts: Dict[object, int] = {}
+                for col in rcols:
+                    for key in col:
+                        counts[key] = counts.get(key, 0) + 1
+            else:
+                counts = {}
+                for rbatch in self.right.batches(store, meter, batch_size):
+                    for row in rbatch.iter_raw():
+                        key = tuple(row[i] for i in rkeys)
+                        counts[key] = counts.get(key, 0) + 1
+            cget = counts.get
+            for lbatch in self.left.batches(store, meter, batch_size):
+                if single:
+                    # dict.get mapped over the key column: the whole
+                    # lookup pass runs in C.
+                    matches = map(cget, lbatch.columns[lkey])
+                else:
+                    matches = (
+                        cget(tuple(row[i] for i in lkeys))
+                        for row in lbatch.iter_raw()
+                    )
+                selection: List[int] = []
+                append = selection.append
+                extend = selection.extend
+                identity = True
+                for index, count in enumerate(matches):
+                    if count is None:
+                        identity = False
+                    elif count == 1:
+                        append(index)
+                    else:
+                        identity = False
+                        extend([index] * count)
+                if not selection:
+                    continue
+                if charge is not None:
+                    charge(len(selection))
+                if identity:
+                    yield lbatch
+                else:
+                    yield Batch(
+                        tuple(
+                            array("q", map(column.__getitem__, selection))
+                            for column in lbatch.columns
+                        ),
+                        len(selection),
+                        lbatch.has_unbound,
+                    )
+            return
+        rres0 = rres[0] if len(rres) == 1 else None
+        right_unbound = False
+        if (
+            single
+            and rres0 is not None
+            and self.left.est_rows * 4 <= self.right.est_rows
+        ):
+            # The accumulated left side is much smaller than the probe
+            # side (4x keeps star hops — near-equal sides with reference
+            # pass-through on the left — out of this tier): build from
+            # it and stream the probe side.  Chain hops compile this way
+            # (small unique dimension joined against a large fact scan),
+            # and when the left key is functional a full-match probe
+            # batch passes through by reference — the key and residual
+            # probe columns are reused as-is and the left residual is a
+            # single C-built lookup column, so no gathers happen at all.
+            width = len(self.left.variables)
+            left_cols = [array("q") for _ in range(width)]
+            left_unbound = False
+            for lbatch in self.left.batches(store, meter, batch_size):
+                left_unbound = left_unbound or lbatch.has_unbound
+                for slot, column in enumerate(lbatch.columns):
+                    left_cols[slot].extend(column)
+            left_key_col = left_cols[lkey]
+            nleft = len(left_key_col)
+            index_of: Dict[int, int] = dict(zip(left_key_col, range(nleft)))
+            if len(index_of) == nleft:
+                lres_slots = [slot for slot in range(width) if slot != lkey]
+                # With one left residual the index degenerates to a
+                # key -> value dict and the probe pass fills the output
+                # column directly; wider left sides gather by row index.
+                scalar_res = (
+                    dict(zip(left_key_col, left_cols[lres_slots[0]]))
+                    if len(lres_slots) == 1
+                    else None
+                )
+                iget = index_of.get
+                rkey_slot = rkeys[0]
+                for rbatch in self.right.batches(store, meter, batch_size):
+                    out_unbound = left_unbound or rbatch.has_unbound
+                    rkey_col = rbatch.columns[rkey_slot]
+                    if scalar_res is not None:
+                        vals = list(map(scalar_res.get, rkey_col))
+                        if None not in vals:
+                            out_len = rbatch.length
+                            rcols = rbatch.columns
+                            res_out = [array("q", vals)]
+                        else:
+                            keep = [
+                                index
+                                for index, value in enumerate(vals)
+                                if value is not None
+                            ]
+                            if not keep:
+                                continue
+                            out_len = len(keep)
+                            rcols = tuple(
+                                array("q", map(column.__getitem__, keep))
+                                for column in rbatch.columns
+                            )
+                            res_out = [
+                                array(
+                                    "q",
+                                    [v for v in vals if v is not None],
+                                )
+                            ]
+                    else:
+                        sel = list(map(iget, rkey_col))
+                        if None in sel:
+                            keep = [
+                                index
+                                for index, row_idx in enumerate(sel)
+                                if row_idx is not None
+                            ]
+                            if not keep:
+                                continue
+                            sel = [
+                                row_idx
+                                for row_idx in sel
+                                if row_idx is not None
+                            ]
+                            rcols = tuple(
+                                array("q", map(column.__getitem__, keep))
+                                for column in rbatch.columns
+                            )
+                        else:
+                            rcols = rbatch.columns
+                        out_len = len(sel)
+                        res_out = [
+                            array(
+                                "q",
+                                map(left_cols[slot].__getitem__, sel),
+                            )
+                            for slot in lres_slots
+                        ]
+                    # Output slot order: left variables (key comes from
+                    # the probe column — equal by the join condition),
+                    # then the right residual.
+                    res_iter = iter(res_out)
+                    out = [
+                        rcols[rkey_slot] if slot == lkey else next(res_iter)
+                        for slot in range(width)
+                    ]
+                    out.append(rcols[rres0])
+                    if charge is not None:
+                        charge(out_len)
+                    yield Batch(tuple(out), out_len, out_unbound)
+                return
+            # Left keys repeat: collect the probe side; a functional
+            # probe side joins through a scalar dict in one pass over
+            # the materialized left, anything else expands through
+            # int-list buckets.
+            rkey_cols = []
+            rres_cols = []
+            total = 0
+            for rbatch in self.right.batches(store, meter, batch_size):
+                right_unbound = right_unbound or rbatch.has_unbound
+                rkey_cols.append(rbatch.columns[rkeys[0]])
+                rres_cols.append(rbatch.columns[rres0])
+                total += rbatch.length
+            scalar = dict(
+                zip(chain.from_iterable(rkey_cols), chain.from_iterable(rres_cols))
+            )
+            if len(scalar) == total:
+                matches = list(map(scalar.get, left_key_col))
+                selection = [
+                    index
+                    for index, value in enumerate(matches)
+                    if value is not None
+                ]
+                if not selection:
+                    return
+                res_vals = [value for value in matches if value is not None]
+                if charge is not None:
+                    charge(len(selection))
+                yield Batch(
+                    tuple(
+                        array("q", map(column.__getitem__, selection))
+                        for column in left_cols
+                    )
+                    + (array("q", res_vals),),
+                    len(selection),
+                    left_unbound or right_unbound,
+                )
+                return
+            flat: Dict[int, List[int]] = {}
+            setdefault = flat.setdefault
+            for key_col, res_col in zip(rkey_cols, rres_cols):
+                for key, value in zip(key_col, res_col):
+                    setdefault(key, []).append(value)
+            fget = flat.get
+            selection = []
+            append = selection.append
+            extend = selection.extend
+            res_buf: List[int] = []
+            res_append = res_buf.append
+            res_extend = res_buf.extend
+            for index, bucket in enumerate(map(fget, left_key_col)):
+                if bucket is None:
+                    continue
+                if len(bucket) == 1:
+                    append(index)
+                    res_append(bucket[0])
+                else:
+                    extend([index] * len(bucket))
+                    res_extend(bucket)
+            if not selection:
+                return
+            if charge is not None:
+                charge(len(selection))
+            yield Batch(
+                tuple(
+                    array("q", map(column.__getitem__, selection))
+                    for column in left_cols
+                )
+                + (array("q", res_buf),),
+                len(selection),
+                left_unbound or right_unbound,
+            )
+            return
+        if single and rres0 is not None:
+            # One key column, one residual column: the dominant
+            # star/chain shape.  Collect the build side's columns, then
+            # try the unique-key plan: ``dict(zip(keys, values))`` is a
+            # single C pass, and when it loses no pairs the key is
+            # functional, so every probe maps to at most one residual.
+            rkey_cols: List[array] = []
+            rres_cols: List[array] = []
+            total = 0
+            for rbatch in self.right.batches(store, meter, batch_size):
+                right_unbound = right_unbound or rbatch.has_unbound
+                rkey_cols.append(rbatch.columns[rkeys[0]])
+                rres_cols.append(rbatch.columns[rres0])
+                total += rbatch.length
+            scalar: Optional[Dict[int, int]] = dict(
+                zip(chain.from_iterable(rkey_cols), chain.from_iterable(rres_cols))
+            )
+            if len(scalar) == total:
+                fget = scalar.get
+                for lbatch in self.left.batches(store, meter, batch_size):
+                    matches = list(map(fget, lbatch.columns[lkey]))
+                    if None not in matches:
+                        # Every left row joins exactly once: the output
+                        # is the left batch plus one C-built residual
+                        # column — no per-row Python at all.
+                        if charge is not None:
+                            charge(lbatch.length)
+                        yield Batch(
+                            lbatch.columns + (array("q", matches),),
+                            lbatch.length,
+                            lbatch.has_unbound or right_unbound,
+                        )
+                        continue
+                    selection = [
+                        index
+                        for index, value in enumerate(matches)
+                        if value is not None
+                    ]
+                    if not selection:
+                        continue
+                    res_buf = [value for value in matches if value is not None]
+                    if charge is not None:
+                        charge(len(selection))
+                    yield Batch(
+                        tuple(
+                            array("q", map(column.__getitem__, selection))
+                            for column in lbatch.columns
+                        )
+                        + (array("q", res_buf),),
+                        len(selection),
+                        lbatch.has_unbound or right_unbound,
+                    )
+                return
+            # Duplicate right keys.  Materialize the left side and try
+            # the inverted join: index the left rows by key (unique in
+            # every 1:N chain hop) and drive the probe from the right
+            # columns, so lookups and gathers stay C-level passes.
+            width = len(self.left.variables)
+            left_cols = [array("q") for _ in range(width)]
+            left_unbound = False
+            for lbatch in self.left.batches(store, meter, batch_size):
+                left_unbound = left_unbound or lbatch.has_unbound
+                for slot, column in enumerate(lbatch.columns):
+                    left_cols[slot].extend(column)
+            left_key_col = left_cols[lkey]
+            index_of: Dict[int, int] = dict(
+                zip(left_key_col, range(len(left_key_col)))
+            )
+            if len(index_of) == len(left_key_col):
+                iget = index_of.get
+                out_unbound = left_unbound or right_unbound
+                for rkey_col, rres_col in zip(rkey_cols, rres_cols):
+                    sel = list(map(iget, rkey_col))
+                    if None in sel:
+                        keep_res = array(
+                            "q",
+                            [
+                                value
+                                for row_idx, value in zip(sel, rres_col)
+                                if row_idx is not None
+                            ],
+                        )
+                        sel = [row_idx for row_idx in sel if row_idx is not None]
+                        if not sel:
+                            continue
+                        res_col = keep_res
+                    else:
+                        res_col = rres_col
+                    if charge is not None:
+                        charge(len(sel))
+                    yield Batch(
+                        tuple(
+                            array("q", map(column.__getitem__, sel))
+                            for column in left_cols
+                        )
+                        + (res_col,),
+                        len(sel),
+                        out_unbound,
+                    )
+                return
+            # Duplicate keys on both sides: int-list buckets, probed
+            # over the already-materialized left columns in one pass.
+            flat: Dict[int, List[int]] = {}
+            setdefault = flat.setdefault
+            for key_col, res_col in zip(rkey_cols, rres_cols):
+                for key, value in zip(key_col, res_col):
+                    setdefault(key, []).append(value)
+            fget = flat.get
+            selection = []
+            append = selection.append
+            extend = selection.extend
+            res_buf = []
+            res_append = res_buf.append
+            res_extend = res_buf.extend
+            for index, bucket in enumerate(map(fget, left_key_col)):
+                if bucket is None:
+                    continue
+                if len(bucket) == 1:
+                    append(index)
+                    res_append(bucket[0])
+                else:
+                    extend([index] * len(bucket))
+                    res_extend(bucket)
+            if not selection:
+                return
+            if charge is not None:
+                charge(len(selection))
+            yield Batch(
+                tuple(
+                    array("q", map(column.__getitem__, selection))
+                    for column in left_cols
+                )
+                + (array("q", res_buf),),
+                len(selection),
+                left_unbound or right_unbound,
+            )
+            return
+        # General shape: buckets of residual tuples.
+        table: Dict[object, List[Tuple[int, ...]]] = {}
+        for rbatch in self.right.batches(store, meter, batch_size):
+            right_unbound = right_unbound or rbatch.has_unbound
+            for row in rbatch.iter_raw():
+                key = row[rkeys[0]] if single else tuple(row[i] for i in rkeys)
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = bucket = []
+                bucket.append(
+                    (row[rres0],)
+                    if rres0 is not None
+                    else tuple(row[i] for i in rres)
+                )
+        get = table.get
+        for lbatch in self.left.batches(store, meter, batch_size):
+            if single:
+                buckets = map(get, lbatch.columns[lkey])
+            else:
+                buckets = (
+                    get(tuple(row[i] for i in lkeys))
+                    for row in lbatch.iter_raw()
+                )
+            selection = []
+            residual_columns: List[List[int]] = [[] for _ in rres]
+            for index, bucket in enumerate(buckets):
+                if bucket is None:
+                    continue
+                if len(bucket) == 1:
+                    selection.append(index)
+                    for slot, cell in enumerate(bucket[0]):
+                        residual_columns[slot].append(cell)
+                else:
+                    selection.extend([index] * len(bucket))
+                    for residual in bucket:
+                        for slot, cell in enumerate(residual):
+                            residual_columns[slot].append(cell)
+            if not selection:
+                continue
+            if charge is not None:
+                charge(len(selection))
+            yield Batch(
+                tuple(
+                    array("q", map(column.__getitem__, selection))
+                    for column in lbatch.columns
+                )
+                + tuple(array("q", buf) for buf in residual_columns),
+                len(selection),
+                lbatch.has_unbound or right_unbound,
+            )
 
     def label(self) -> str:
         keys = ", ".join(f"?{name}" for name in self.keys)
@@ -363,7 +1091,7 @@ class BindJoinNode(PlanNode):
         positions = self.out_positions
         checks = self.checks
         match_ids = store.match_ids
-        for lrow in self.left.rows(store, meter):
+        for lrow in self.left.rows_tuple(store, meter):
             s = s_val if s_kind == "const" else lrow[s_val] if s_kind == "left" else None
             p = p_val if p_kind == "const" else lrow[p_val] if p_kind == "left" else None
             o = o_val if o_kind == "const" else lrow[o_val] if o_kind == "left" else None
@@ -371,6 +1099,50 @@ class BindJoinNode(PlanNode):
                 if checks and not all(row[a] == row[b] for a, b in checks):
                     continue
                 yield lrow + tuple(row[i] for i in positions)
+
+    def _produce_batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int,
+    ) -> Iterator[Batch]:
+        # Probing stays per left row (that is the operator's nature) but
+        # output rows accumulate column-wise and flush as full batches.
+        (s_kind, s_val), (p_kind, p_val), (o_kind, o_val) = self.spec
+        positions = self.out_positions
+        checks = self.checks
+        match_ids = store.match_ids
+        n_left = len(self.left.variables)
+        width = n_left + len(positions)
+        buffers: List[List[int]] = [[] for _ in range(width)]
+        length = 0
+        any_unbound = False
+        for lbatch in self.left.batches(store, meter, batch_size):
+            any_unbound = any_unbound or lbatch.has_unbound
+            for lrow in lbatch.iter_raw():
+                s = s_val if s_kind == "const" else lrow[s_val] if s_kind == "left" else None
+                p = p_val if p_kind == "const" else lrow[p_val] if p_kind == "left" else None
+                o = o_val if o_kind == "const" else lrow[o_val] if o_kind == "left" else None
+                for row in match_ids(s, p, o, meter):
+                    if checks and not all(row[a] == row[b] for a, b in checks):
+                        continue
+                    for slot in range(n_left):
+                        buffers[slot].append(lrow[slot])
+                    for offset, position in enumerate(positions):
+                        buffers[n_left + offset].append(row[position])
+                    length += 1
+                if length >= batch_size:
+                    yield Batch(
+                        tuple(array("q", buf) for buf in buffers),
+                        length,
+                        any_unbound,
+                    )
+                    buffers = [[] for _ in range(width)]
+                    length = 0
+        if length:
+            yield Batch(
+                tuple(array("q", buf) for buf in buffers), length, any_unbound
+            )
 
     def label(self) -> str:
         return f"BindJoin({_pattern_text(self.pattern)})"
@@ -428,6 +1200,35 @@ class ValuesScanNode(PlanNode):
                 charge(1)
             yield row
 
+    def _produce_batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int,
+    ) -> Iterator[Batch]:
+        charge = meter.charge if meter is not None else None
+        width = len(self.variables)
+        id_rows = self.id_rows
+        for start in range(0, len(id_rows), batch_size):
+            chunk = id_rows[start : start + batch_size]
+            if charge is not None:
+                charge(len(chunk))
+            if width == 0:
+                yield Batch((), len(chunk))
+                continue
+            has_unbound = False
+            buffers: List[array] = []
+            for slot in range(width):
+                column = array("q")
+                for row in chunk:
+                    cell = row[slot]
+                    if cell is None:
+                        cell = UNBOUND
+                        has_unbound = True
+                    column.append(cell)
+                buffers.append(column)
+            yield Batch(tuple(buffers), len(chunk), has_unbound)
+
     def label(self) -> str:
         if not self.variables:
             return "Unit()" if self.id_rows else "EmptyTable()"
@@ -462,8 +1263,32 @@ class UnionNode(PlanNode):
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
         for branch, mapping in zip(self.branches, self._maps):
-            for row in branch.rows(store, meter):
+            for row in branch.rows_tuple(store, meter):
                 yield tuple(None if slot is None else row[slot] for slot in mapping)
+
+    def _produce_batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int,
+    ) -> Iterator[Batch]:
+        # Remapping a batch is pure column shuffling: existing columns
+        # are passed through by reference, missing slots get a shared
+        # UNBOUND pad column of the right length.
+        for branch, mapping in zip(self.branches, self._maps):
+            pad: Optional[array] = None
+            for batch in branch.batches(store, meter, batch_size):
+                columns: List[array] = []
+                has_unbound = batch.has_unbound
+                for slot in mapping:
+                    if slot is None:
+                        if pad is None or len(pad) != batch.length:
+                            pad = array("q", [UNBOUND]) * batch.length
+                        columns.append(pad)
+                        has_unbound = True
+                    else:
+                        columns.append(batch.columns[slot])
+                yield Batch(tuple(columns), batch.length, has_unbound)
 
     def label(self) -> str:
         return f"Union[{len(self.branches)}]"
@@ -508,18 +1333,18 @@ class MinusNode(PlanNode):
         if not self.shared:
             # Disjoint domains: the subtraction removes nothing (the
             # normalizer usually rewrites this away already).
-            yield from self.left.rows(store, meter)
+            yield from self.left.rows_tuple(store, meter)
             return
         exact: set = set()
         loose: List[IdRow] = []
-        for row in self.right.rows(store, meter):
+        for row in self.right.rows_tuple(store, meter):
             key = tuple(row[slot] for slot in self.right_slots)
             if None in key:
                 loose.append(key)
             else:
                 exact.add(key)
         left_slots = self.left_slots
-        for lrow in self.left.rows(store, meter):
+        for lrow in self.left.rows_tuple(store, meter):
             lkey = tuple(lrow[slot] for slot in left_slots)
             if None not in lkey:
                 if lkey in exact:
@@ -532,6 +1357,60 @@ class MinusNode(PlanNode):
                 ):
                     continue
             yield lrow
+
+    def _produce_batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int,
+    ) -> Iterator[Batch]:
+        if not self.shared:
+            yield from self.left.batches(store, meter, batch_size)
+            return
+        exact: set = set()
+        loose: List[IdRow] = []
+        right_slots = self.right_slots
+        for rbatch in self.right.batches(store, meter, batch_size):
+            if rbatch.has_unbound:
+                for row in rbatch.iter_rows():
+                    key = tuple(row[slot] for slot in right_slots)
+                    if None in key:
+                        loose.append(key)
+                    else:
+                        exact.add(key)
+            else:
+                for row in rbatch.iter_raw():
+                    exact.add(tuple(row[slot] for slot in right_slots))
+        left_slots = self.left_slots
+        compatible = self._compatible
+        for lbatch in self.left.batches(store, meter, batch_size):
+            keep: List[int] = []
+            for index, lrow in enumerate(lbatch.iter_rows()):
+                lkey = tuple(lrow[slot] for slot in left_slots)
+                if None not in lkey:
+                    if lkey in exact:
+                        continue
+                    if loose and any(compatible(lkey, rkey) for rkey in loose):
+                        continue
+                else:
+                    if any(compatible(lkey, rkey) for rkey in exact) or any(
+                        compatible(lkey, rkey) for rkey in loose
+                    ):
+                        continue
+                keep.append(index)
+            if not keep:
+                continue
+            if len(keep) == lbatch.length:
+                yield lbatch
+            else:
+                yield Batch(
+                    tuple(
+                        array("q", (column[i] for i in keep))
+                        for column in lbatch.columns
+                    ),
+                    len(keep),
+                    lbatch.has_unbound,
+                )
 
     def label(self) -> str:
         keys = ", ".join(f"?{name}" for name in self.shared) or "-"
@@ -565,9 +1444,9 @@ class CompatJoinNode(PlanNode):
         self.maybe_unbound = left.maybe_unbound | right.maybe_unbound
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
-        right_rows = list(self.right.rows(store, meter))
+        right_rows = list(self.right.rows_tuple(store, meter))
         charge = meter.charge if meter is not None else None
-        for lrow in self.left.rows(store, meter):
+        for lrow in self.left.rows_tuple(store, meter):
             for rrow in right_rows:
                 merged = _merge_shared(
                     lrow, rrow, self.left_shared_slots, self.right_shared_slots
@@ -602,10 +1481,10 @@ class LeftJoinNode(CompatJoinNode):
         self.maybe_unbound = self.maybe_unbound | set(residual)
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
-        right_rows = list(self.right.rows(store, meter))
+        right_rows = list(self.right.rows_tuple(store, meter))
         charge = meter.charge if meter is not None else None
         pad = (None,) * len(self.right_residual_slots)
-        for lrow in self.left.rows(store, meter):
+        for lrow in self.left.rows_tuple(store, meter):
             matched = False
             for rrow in right_rows:
                 merged = _merge_shared(
@@ -730,7 +1609,7 @@ class RemoteBindJoinNode(PlanNode):
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
         batch: List[IdRow] = []
-        for lrow in self.left.rows(store, meter):
+        for lrow in self.left.rows_tuple(store, meter):
             batch.append(lrow)
             if len(batch) >= self.batch_size:
                 yield from self._flush(batch, store, meter)
@@ -1131,9 +2010,16 @@ def attach_ready_filters(node: PlanNode, pending: List[Expression]) -> None:
 
 
 def explain_plan(node: PlanNode, indent: int = 0) -> str:
-    """Render the plan tree, one operator per line."""
+    """Render the plan tree, one operator per line.
+
+    Each operator is annotated ``batch`` (native columnar producer) or
+    ``rows`` (row-wise, adapted into batches by the base class), so the
+    EXPLAIN surface shows exactly where the vectorized path runs.
+    """
     pad = "  " * indent
-    line = f"{pad}{node.label()}  [est={node.est_rows}]"
+    native = type(node)._produce_batches is not PlanNode._produce_batches
+    mode = "batch" if native else "rows"
+    line = f"{pad}{node.label()}  [est={node.est_rows}, {mode}]"
     if node.filters:
         from .serializer import serialize_expression
 

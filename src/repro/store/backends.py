@@ -16,18 +16,39 @@ integer keys, which both implementations do with covering indexes:
 ``match_ids`` positions use ``None`` as the wildcard.  Backends never see
 :data:`~repro.store.dictionary.NO_ID` in the "present" sense: it is a
 valid probe value that simply never matches anything.
+
+Columnar seam
+-------------
+``match_columns`` is the batched counterpart of ``match_ids``: instead of
+one ``(s, p, o)`` tuple per ``next()`` call, it yields **batches of ID
+columns** — tuples of ``array('q')`` arrays, one per requested wildcard
+position, up to ``batch_size`` rows long.  The physical operators in
+:mod:`~repro.sparql.plan` consume these directly, so a scan crosses the
+backend boundary once per batch instead of once per row.  Both backends
+implement it natively: the memory backend materializes index slices
+straight into arrays, SQLite fetches only the needed columns with
+``fetchmany`` over the same covering indexes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Protocol, Set, Tuple
+from array import array
+from itertools import chain, repeat
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Set, Tuple
 
 from .dictionary import TermDictionary
 
-__all__ = ["StorageBackend", "MemoryBackend"]
+__all__ = ["StorageBackend", "MemoryBackend", "ColumnBatch"]
 
 #: An encoded triple.
 IdTriple = Tuple[int, int, int]
+
+#: One batch of scan output: equal-length ``array('q')`` columns aligned
+#: with the ``positions`` the caller requested.
+ColumnBatch = Tuple[array, ...]
+
+#: Default rows per ``match_columns`` batch.
+COLUMN_BATCH_SIZE = 1024
 
 
 class StorageBackend(Protocol):
@@ -52,6 +73,14 @@ class StorageBackend(Protocol):
     def match_ids(
         self, s: Optional[int], p: Optional[int], o: Optional[int]
     ) -> Iterator[IdTriple]: ...
+    def match_columns(
+        self,
+        s: Optional[int],
+        p: Optional[int],
+        o: Optional[int],
+        positions: Sequence[int],
+        batch_size: int = COLUMN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]: ...
     def count_ids(
         self, s: Optional[int], p: Optional[int], o: Optional[int]
     ) -> int: ...
@@ -95,6 +124,18 @@ class MemoryBackend:
         # Per-predicate (count, distinct subjects, distinct objects),
         # rebuilt lazily after mutations; feeds the join planner.
         self._pstats: Optional[Dict[int, Tuple[int, int, int]]] = None
+        # Columnar projection per predicate: aligned (subject, object)
+        # ID arrays, built lazily from ``_pos`` on first columnar scan
+        # and invalidated per predicate on mutation.  This is the
+        # storage half of the batched executor: predicate-bound scans
+        # (the dominant pattern shape) hand out array slices instead of
+        # re-grouping the nested-dict index on every query.
+        self._pcols: Dict[int, Tuple[array, array]] = {}
+        # Generic columnar-scan cache keyed by the full match shape
+        # ``(s, p, o, positions)``; covers the grouped shapes ``_pcols``
+        # does not (subject-/object-bound scans, full wildcard).  Cleared
+        # wholesale on mutation — same policy as the SQLite backend.
+        self._col_cache: Dict[Tuple, Tuple[array, ...]] = {}
 
     # -- mutation ------------------------------------------------------
 
@@ -107,6 +148,9 @@ class MemoryBackend:
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
         self._pstats = None
+        self._pcols.pop(p, None)
+        if self._col_cache:
+            self._col_cache.clear()
         return True
 
     def add_many(self, triples: Iterator[IdTriple]) -> int:
@@ -122,6 +166,9 @@ class MemoryBackend:
         _discard_and_prune(self._osp, o, s, p)
         self._size -= 1
         self._pstats = None
+        self._pcols.pop(p, None)
+        if self._col_cache:
+            self._col_cache.clear()
         return True
 
     # -- lookup --------------------------------------------------------
@@ -177,6 +224,112 @@ class MemoryBackend:
                     yield (subj, pred, o)
             return
         yield from self.iter_ids()
+
+    def match_columns(
+        self,
+        s: Optional[int],
+        p: Optional[int],
+        o: Optional[int],
+        positions: Sequence[int],
+        batch_size: int = COLUMN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar scan: batches of ID arrays for the wildcard ``positions``.
+
+        ``positions`` selects which of the free (``None``) pattern
+        positions to return, in any order; every requested position must
+        be a wildcard.  Whole columns are materialized through
+        ``itertools``-driven bulk copies (``chain.from_iterable`` over
+        index groups, ``repeat`` for the grouped key) so the per-triple
+        work runs in C, then handed out as ``array`` slices — this is
+        where the batched executor's scan speedup comes from.
+        """
+        if not positions:
+            raise ValueError("match_columns needs at least one position")
+        if any((s, p, o)[pos] is not None for pos in positions):
+            raise ValueError("match_columns positions must be wildcards")
+        key = (s, p, o, tuple(positions))
+        hit = self._col_cache.get(key)
+        if hit is not None:
+            length = len(hit[0])
+            for start in range(0, length, batch_size):
+                stop = start + batch_size
+                yield tuple(col[start:stop] for col in hit)
+            return
+        want = set(positions)
+        cols: Dict[int, array] = {}
+
+        def grouped(index, key_pos: int, value_pos: int) -> None:
+            """Build columns from one grouped index level: the key column
+            repeats each group key ``len(group)`` times, the value column
+            concatenates the groups.  Dict iteration order is stable
+            across the passes, so the columns stay row-aligned."""
+            if key_pos in want:
+                sizes = map(len, index.values())
+                cols[key_pos] = array(
+                    "q", chain.from_iterable(map(repeat, index.keys(), sizes))
+                )
+            if value_pos in want:
+                cols[value_pos] = array(
+                    "q", chain.from_iterable(index.values())
+                )
+
+        if s is not None and p is not None:
+            cols[2] = array("q", self._spo.get(s, {}).get(p, ()))
+        elif p is not None and o is not None:
+            cols[0] = array("q", self._pos.get(p, {}).get(o, ()))
+        elif s is not None and o is not None:
+            cols[1] = array("q", self._osp.get(o, {}).get(s, ()))
+        elif s is not None:
+            grouped(self._spo.get(s, {}), key_pos=1, value_pos=2)
+        elif p is not None:
+            cols[0], cols[2] = self._predicate_columns(p)
+        elif o is not None:
+            grouped(self._osp.get(o, {}), key_pos=0, value_pos=1)
+        else:
+            # Subject-major like ``match_ids`` so both pipelines cut
+            # LIMIT/DISTINCT pages over the same enumeration order.
+            subj_col = array("q") if 0 in want else None
+            pred_col = array("q") if 1 in want else None
+            obj_col = array("q") if 2 in want else None
+            for subj, by_p in self._spo.items():
+                sizes = [len(objects) for objects in by_p.values()]
+                if subj_col is not None:
+                    subj_col.extend(repeat(subj, sum(sizes)))
+                if pred_col is not None:
+                    pred_col.extend(
+                        chain.from_iterable(map(repeat, by_p.keys(), sizes))
+                    )
+                if obj_col is not None:
+                    obj_col.extend(chain.from_iterable(by_p.values()))
+            for pos, col in ((0, subj_col), (1, pred_col), (2, obj_col)):
+                if col is not None:
+                    cols[pos] = col
+
+        if len(self._col_cache) >= 128:
+            self._col_cache.clear()
+        out = self._col_cache[key] = tuple(cols[pos] for pos in positions)
+        length = len(out[0])
+        for start in range(0, length, batch_size):
+            stop = start + batch_size
+            yield tuple(col[start:stop] for col in out)
+
+    def _predicate_columns(self, p: int) -> Tuple[array, array]:
+        """Aligned (subject, object) columns for one predicate, cached.
+
+        Callers must not mutate or hand out the returned arrays —
+        ``match_columns`` only ever yields slices of them (array slicing
+        copies), so the cache stays private.
+        """
+        cached = self._pcols.get(p)
+        if cached is None:
+            index = self._pos.get(p, {})
+            sizes = map(len, index.values())
+            o_col = array(
+                "q", chain.from_iterable(map(repeat, index.keys(), sizes))
+            )
+            s_col = array("q", chain.from_iterable(index.values()))
+            self._pcols[p] = cached = (s_col, o_col)
+        return cached
 
     def count_ids(
         self, s: Optional[int], p: Optional[int], o: Optional[int]

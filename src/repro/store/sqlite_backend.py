@@ -47,8 +47,9 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+from array import array
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..rdf.terms import Term, flatten_term, unflatten_term
 from .dictionary import TermDictionary
@@ -117,6 +118,13 @@ class SQLiteBackend:
         # Per-predicate (count, distinct s, distinct o) for the planner,
         # same lazy-rebuild policy.
         self._pstats: Optional[Dict[int, Tuple[int, int, int]]] = None
+        # Columnar scan cache: (s, p, o, positions) -> tuple of ID
+        # arrays.  Full-pattern scans repeat constantly (QSM probes,
+        # planner-driven joins), and re-fetching them through sqlite3
+        # re-boxes every row into a Python tuple; serving array slices
+        # out of this cache is the SQLite half of the batched executor.
+        # Cleared on any mutation.
+        self._col_cache: Dict[Tuple, Tuple[array, ...]] = {}
 
     # -- dictionary persistence ---------------------------------------
 
@@ -146,6 +154,7 @@ class SQLiteBackend:
                 self._size += 1
                 self._pred_counts = None
                 self._pstats = None
+                self._col_cache.clear()
             self._conn.commit()
         return added
 
@@ -174,6 +183,7 @@ class SQLiteBackend:
                     self._size += added
                     self._pred_counts = None
                     self._pstats = None
+                    self._col_cache.clear()
                 self._conn.commit()
             total_added += added
         return total_added
@@ -188,6 +198,7 @@ class SQLiteBackend:
                 self._size -= 1
                 self._pred_counts = None
                 self._pstats = None
+                self._col_cache.clear()
             self._conn.commit()
         return removed
 
@@ -210,6 +221,71 @@ class SQLiteBackend:
     ) -> Iterator[IdTriple]:
         where, params = _where_clause(s, p, o)
         yield from self._stream(f"SELECT s, p, o FROM triples{where}", params)
+
+    def match_columns(
+        self,
+        s: Optional[int],
+        p: Optional[int],
+        o: Optional[int],
+        positions: Sequence[int],
+        batch_size: int = 1024,
+    ) -> Iterator[Tuple[array, ...]]:
+        """Columnar scan: fetched rows transposed into cached ID arrays.
+
+        Only the requested wildcard ``positions`` appear in the SELECT
+        list, so each shape stays a covering-index prefix range.  Full
+        scans (``batch_size`` at least the default) are fetched in one
+        ``fetchall``, transposed once, and memoized in ``_col_cache`` —
+        repeat scans of the same pattern (QSM probes, benchmark reruns,
+        join rebuilds) hand out array slices without re-boxing rows.
+        Small batch sizes signal an early-terminating consumer (LIMIT
+        pages), which streams via ``fetchmany`` and skips the cache.
+        """
+        if not positions:
+            raise ValueError("match_columns needs at least one position")
+        if any((s, p, o)[pos] is not None for pos in positions):
+            raise ValueError("match_columns positions must be wildcards")
+        single = len(positions) == 1
+        key = (s, p, o, tuple(positions))
+        cols = self._col_cache.get(key)
+        if cols is not None:
+            for start in range(0, len(cols[0]), batch_size):
+                stop = start + batch_size
+                yield tuple(col[start:stop] for col in cols)
+            return
+        where, params = _where_clause(s, p, o)
+        select = ", ".join("spo"[pos] for pos in positions)
+        if batch_size >= 1024:
+            with self._lock:
+                rows = self._conn.execute(
+                    f"SELECT {select} FROM triples{where}", params
+                ).fetchall()
+            if single:
+                cols = (array("q", (row[0] for row in rows)),)
+            elif rows:
+                cols = tuple(array("q", col) for col in zip(*rows))
+            else:
+                cols = tuple(array("q") for _ in positions)
+            if len(self._col_cache) >= 128:
+                self._col_cache.clear()
+            self._col_cache[key] = cols
+            for start in range(0, len(cols[0]), batch_size):
+                stop = start + batch_size
+                yield tuple(col[start:stop] for col in cols)
+            return
+        with self._lock:
+            cursor = self._conn.execute(
+                f"SELECT {select} FROM triples{where}", params
+            )
+        while True:
+            with self._lock:
+                rows = cursor.fetchmany(batch_size)
+            if not rows:
+                return
+            if single:
+                yield (array("q", (row[0] for row in rows)),)
+            else:
+                yield tuple(array("q", col) for col in zip(*rows))
 
     def count_ids(
         self, s: Optional[int], p: Optional[int], o: Optional[int]

@@ -36,7 +36,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from ..rdf.terms import IRI, Literal, Term, Variable
 from ..rdf.triples import Triple, TriplePattern
-from .backends import MemoryBackend, StorageBackend
+from .backends import COLUMN_BATCH_SIZE, ColumnBatch, MemoryBackend, StorageBackend
 from .dictionary import NO_ID, TermDictionary
 
 __all__ = ["TripleStore", "CostMeter", "QueryAborted"]
@@ -87,6 +87,10 @@ class TripleStore:
     ) -> None:
         self._backend: StorageBackend = backend if backend is not None else MemoryBackend()
         self._dict = self._backend.dictionary
+        # Monotonic mutation counter; plan/column caches key on it so a
+        # write through this facade invalidates anything derived from
+        # the previous contents.
+        self._generation = 0
         if triples is not None:
             self.add_all(triples)
 
@@ -97,6 +101,12 @@ class TripleStore:
     @property
     def backend(self) -> StorageBackend:
         return self._backend
+
+    @property
+    def generation(self) -> int:
+        """Bumps on every mutating call; consumers (the evaluator's plan
+        cache) compare it to detect that cached derivations are stale."""
+        return self._generation
 
     @property
     def dictionary(self) -> TermDictionary:
@@ -143,6 +153,7 @@ class TripleStore:
     def add(self, triple: Triple) -> bool:
         """Insert ``triple``; returns False if it was already present."""
         encode = self._dict.encode
+        self._generation += 1
         return self._backend.add(
             encode(triple.subject), encode(triple.predicate), encode(triple.object)
         )
@@ -154,6 +165,7 @@ class TripleStore:
         ID rows in one batch (a single transaction on SQLite).
         """
         encode = self._dict.encode
+        self._generation += 1
         return self._backend.add_many(
             (encode(t.subject), encode(t.predicate), encode(t.object)) for t in triples
         )
@@ -167,6 +179,7 @@ class TripleStore:
         s, p, o = lookup(triple.subject), lookup(triple.predicate), lookup(triple.object)
         if NO_ID in (s, p, o):
             return False
+        self._generation += 1
         return self._backend.remove(s, p, o)
 
     def triples(self) -> Iterator[Triple]:
@@ -242,6 +255,33 @@ class TripleStore:
         for row in self._backend.match_ids(s, p, o):
             meter.charge()
             yield row
+
+    def match_columns(
+        self,
+        s: Optional[int],
+        p: Optional[int],
+        o: Optional[int],
+        positions: Sequence[int],
+        meter: Optional[CostMeter] = None,
+        batch_size: int = COLUMN_BATCH_SIZE,
+    ) -> Iterator[ColumnBatch]:
+        """Columnar ID-level matching for the batched executor.
+
+        Yields batches of ``array('q')`` columns, one per requested
+        wildcard position.  Cost semantics match :meth:`match_ids` in the
+        aggregate — one unit per candidate — but charged per batch, which
+        is where the metered scan speedup comes from.  Callers must pass
+        at least one wildcard position, so the fully concrete shape never
+        reaches here (ScanNode probes it via :meth:`match_ids`).
+        """
+        if NO_ID in (s, p, o):
+            return
+        if meter is None:
+            yield from self._backend.match_columns(s, p, o, positions, batch_size)
+            return
+        for batch in self._backend.match_columns(s, p, o, positions, batch_size):
+            meter.charge(len(batch[0]))
+            yield batch
 
     def count(
         self, pattern: TriplePattern, meter: Optional[CostMeter] = None

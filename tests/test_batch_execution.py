@@ -1,0 +1,292 @@
+"""Columnar batch execution: parity, paging cuts, metering, API.
+
+The batch pipeline must be invisible semantically: ``batches()`` and the
+legacy tuple pipeline (``rows_tuple()`` / ``batch_size=0``) must produce
+identical row multisets for every operator shape on both storage
+backends, DISTINCT/LIMIT/OFFSET must cut mid-batch exactly, and the cost
+meter must charge the same totals either way.  The ``execution`` keyword
+redesign (with its ``use_planner`` deprecation shim) is covered at the
+bottom.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.rdf import IRI, Triple
+from repro.sparql import QueryPlanner, explain_plan, parse_query
+from repro.sparql.evaluator import QueryEvaluator
+from repro.sparql.plan import Batch, DEFAULT_BATCH_SIZE, UNBOUND
+from repro.store import CostMeter, MemoryBackend, SQLiteBackend, TripleStore
+
+BATCH_SIZES = [1, 2, 3, 7, DEFAULT_BATCH_SIZE]
+
+#: Shapes the tentpole names (star, chain, bound-object large scan) plus
+#: every operator with a native columnar producer.
+PARITY_QUERIES = [
+    # star
+    "SELECT ?s ?n ?g WHERE { ?s foaf:surname ?n . ?s foaf:givenName ?g . ?s dbo:birthDate ?d }",
+    # chain
+    "SELECT ?b ?k WHERE { ?b dbo:author ?a . ?a dbo:birthPlace ?c . ?c dbo:country ?k }",
+    # bound-object large scan
+    "SELECT ?s WHERE { ?s a dbo:Person }",
+    # full wildcard scan
+    "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+    # selective bind join
+    'SELECT ?w WHERE { ?t foaf:name "Tom Hanks"@en . ?t dbo:spouse ?w }',
+    # union with branch-local variables (UNBOUND padding)
+    "SELECT ?x ?n ?c WHERE { { ?x foaf:name ?n } UNION { ?x dbo:country ?c } }",
+    # minus
+    "SELECT ?s WHERE { ?s a dbo:Person . MINUS { ?s dbo:spouse ?o } }",
+    # values joined into a scan
+    "SELECT ?s ?n WHERE { VALUES ?g { \"Tom\"@en } ?s foaf:givenName ?g . ?s foaf:surname ?n }",
+    # filter evaluated batch-wise
+    'SELECT ?s ?n WHERE { ?s foaf:surname ?n . FILTER (STRSTARTS(STR(?n), "K")) }',
+]
+
+
+@pytest.fixture(scope="module", params=["memory", "sqlite"])
+def parity_store(request, tiny_dataset):
+    if request.param == "memory":
+        yield tiny_dataset.store
+        return
+    store = TripleStore(tiny_dataset.store.triples(), backend=SQLiteBackend(":memory:"))
+    yield store
+    store.close()
+
+
+def _plan(store, query_text):
+    plan = QueryPlanner(store).plan(parse_query(query_text).where)
+    assert plan is not None, query_text
+    return plan
+
+
+class TestBatchRowParity:
+    @pytest.mark.parametrize("query", PARITY_QUERIES)
+    def test_batches_match_tuple_pipeline(self, parity_store, query):
+        plan = _plan(parity_store, query)
+        baseline = Counter(plan.rows_tuple(parity_store, None))
+        for batch_size in BATCH_SIZES:
+            batched = Counter(
+                row
+                for batch in plan.batches(parity_store, None, batch_size)
+                for row in batch.iter_rows()
+            )
+            assert batched == baseline, (query, batch_size)
+
+    @pytest.mark.parametrize("query", PARITY_QUERIES)
+    def test_rows_adapter_matches_tuple_pipeline(self, parity_store, query):
+        plan = _plan(parity_store, query)
+        assert Counter(plan.rows(parity_store, None)) == Counter(
+            plan.rows_tuple(parity_store, None)
+        )
+
+    def test_duplicate_variable_scan_keeps_parity(self):
+        store = TripleStore()
+        loop = IRI("http://ex/loop")
+        other = IRI("http://ex/other")
+        link = IRI("http://ex/link")
+        store.add(Triple(loop, link, loop))
+        store.add(Triple(loop, link, other))
+        store.add(Triple(other, link, other))
+        plan = _plan(store, "SELECT ?s WHERE { ?s <http://ex/link> ?s }")
+        baseline = Counter(plan.rows_tuple(store, None))
+        assert baseline  # self-loops exist, the checks path is exercised
+        for batch_size in BATCH_SIZES:
+            batched = Counter(
+                row
+                for batch in plan.batches(store, None, batch_size)
+                for row in batch.iter_rows()
+            )
+            assert batched == baseline
+
+    @pytest.mark.parametrize("query", PARITY_QUERIES)
+    def test_meter_charges_identical_totals(self, parity_store, query):
+        plan = _plan(parity_store, query)
+        tuple_meter, batch_meter = CostMeter(), CostMeter()
+        list(plan.rows_tuple(parity_store, tuple_meter))
+        list(plan.batches(parity_store, batch_meter, DEFAULT_BATCH_SIZE))
+        assert tuple_meter.cost == batch_meter.cost
+
+
+class TestStorageColumnSeam:
+    SHAPES = [
+        (True, False, False), (False, True, False), (False, False, True),
+        (True, True, False), (True, False, True), (False, True, True),
+        (False, False, False),
+    ]
+
+    @pytest.mark.parametrize("bound", SHAPES)
+    def test_match_columns_matches_match_ids(self, parity_store, bound):
+        row0 = next(iter(parity_store.match_ids(None, None, None)))
+        probe = tuple(row0[i] if flag else None for i, flag in enumerate(bound))
+        positions = tuple(i for i, flag in enumerate(bound) if not flag)
+        expected = sorted(
+            tuple(row[i] for i in positions)
+            for row in parity_store.match_ids(*probe)
+        )
+        for batch_size in (1, 7, 1024):
+            got = []
+            for batch in parity_store.match_columns(
+                *probe, positions, batch_size=batch_size
+            ):
+                assert all(len(col) == len(batch[0]) for col in batch)
+                assert len(batch[0]) <= batch_size
+                got.extend(zip(*batch))
+            assert sorted(got) == expected
+
+    def test_match_columns_honours_position_order(self, parity_store):
+        forward = [
+            tuple(zip(*batch))
+            for batch in parity_store.match_columns(None, None, None, (0, 2))
+        ]
+        reverse = [
+            tuple(zip(*batch))
+            for batch in parity_store.match_columns(None, None, None, (2, 0))
+        ]
+        flat_f = sorted(row for chunk in forward for row in chunk)
+        flat_r = sorted((b, a) for chunk in reverse for (a, b) in chunk)
+        assert flat_f == flat_r
+
+    def test_match_columns_rejects_bound_positions(self, parity_store):
+        row0 = next(iter(parity_store.match_ids(None, None, None)))
+        with pytest.raises(ValueError):
+            list(parity_store.backend.match_columns(row0[0], None, None, (0,)))
+        with pytest.raises(ValueError):
+            list(parity_store.backend.match_columns(None, None, None, ()))
+
+
+class TestPagingCuts:
+    """DISTINCT / OFFSET / LIMIT must cut mid-batch exactly."""
+
+    CUT_QUERIES = [
+        "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 13",
+        "SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 13 OFFSET 5",
+        "SELECT DISTINCT ?p WHERE { ?s ?p ?o } LIMIT 5",
+        "SELECT DISTINCT ?p WHERE { ?s ?p ?o } LIMIT 4 OFFSET 3",
+        "SELECT ?s WHERE { ?s a dbo:Person } OFFSET 7",
+    ]
+
+    @pytest.mark.parametrize("query", CUT_QUERIES)
+    @pytest.mark.parametrize("batch_size", [1, 3, 1024])
+    def test_cuts_match_tuple_pipeline(self, parity_store, query, batch_size):
+        parsed = parse_query(query)
+        batched = QueryEvaluator(parity_store, batch_size=batch_size).evaluate(parsed)
+        legacy = QueryEvaluator(parity_store, batch_size=0).evaluate(parsed)
+        assert len(batched.rows) == len(legacy.rows)
+        assert sorted(
+            tuple(sorted((k, v.n3()) for k, v in row.items())) for row in batched.rows
+        ) == sorted(
+            tuple(sorted((k, v.n3()) for k, v in row.items())) for row in legacy.rows
+        )
+
+    def test_limit_cost_stays_page_sized(self, parity_store):
+        parsed = parse_query("SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 10")
+        batched = QueryEvaluator(parity_store).evaluate(parsed)
+        legacy = QueryEvaluator(parity_store, batch_size=0).evaluate(parsed)
+        # The root batch size is clamped to LIMIT+OFFSET, so the batched
+        # scan charges exactly the tuple pipeline's early-terminated cost.
+        assert batched.cost == legacy.cost
+
+    def test_backtracker_agrees_with_batched(self, parity_store):
+        parsed = parse_query("SELECT DISTINCT ?p WHERE { ?s ?p ?o } LIMIT 5")
+        batched = QueryEvaluator(parity_store, batch_size=2).evaluate(parsed)
+        seed = QueryEvaluator(parity_store, execution="backtrack").evaluate(parsed)
+        assert len(batched.rows) == len(seed.rows) == 5
+
+
+class TestBatchType:
+    def test_iter_rows_translates_unbound(self):
+        from array import array
+
+        batch = Batch((array("q", [1, UNBOUND]), array("q", [2, 3])), 2, True)
+        assert list(batch.iter_rows()) == [(1, 2), (None, 3)]
+        assert list(batch.iter_raw()) == [(1, 2), (UNBOUND, 3)]
+
+    def test_zero_column_batch_keeps_length(self):
+        batch = Batch((), 3)
+        assert len(batch) == 3
+        assert list(batch.iter_rows()) == [(), (), ()]
+
+    def test_explain_annotates_batch_operators(self, store):
+        evaluator = QueryEvaluator(store)
+        text = evaluator.explain(
+            "SELECT * WHERE { ?s foaf:surname ?n . ?s foaf:givenName ?g }"
+        )
+        assert "batch]" in text
+        assert "est=" in text
+
+    def test_explain_marks_rowwise_operators(self, store):
+        plan = _plan(store, "SELECT ?s WHERE { ?s a dbo:Person }")
+        text = explain_plan(plan)
+        assert "[est=" in text and ", batch]" in text
+
+
+class TestExecutionKeyword:
+    def test_use_planner_true_maps_to_auto(self, store):
+        with pytest.deprecated_call():
+            evaluator = QueryEvaluator(store, use_planner=True)
+        assert evaluator.execution == "auto"
+        assert evaluator.use_planner is True
+
+    def test_use_planner_false_maps_to_backtrack(self, store):
+        with pytest.deprecated_call():
+            evaluator = QueryEvaluator(store, use_planner=False)
+        assert evaluator.execution == "backtrack"
+        assert evaluator.use_planner is False
+
+    def test_use_planner_conflicts_with_execution(self, store):
+        with pytest.raises(TypeError):
+            QueryEvaluator(store, use_planner=True, execution="auto")
+
+    def test_unknown_execution_mode_rejected(self, store):
+        with pytest.raises(ValueError):
+            QueryEvaluator(store, execution="warp")
+
+    def test_use_planner_is_read_only(self, store):
+        evaluator = QueryEvaluator(store, execution="planner")
+        with pytest.raises(AttributeError):
+            evaluator.use_planner = False
+
+    @pytest.mark.parametrize("mode", ["auto", "planner", "backtrack"])
+    def test_modes_agree_on_results(self, parity_store, mode):
+        parsed = parse_query(
+            "SELECT ?s ?n WHERE { ?s a dbo:Person . ?s foaf:surname ?n }"
+        )
+        result = QueryEvaluator(parity_store, execution=mode).evaluate(parsed)
+        baseline = QueryEvaluator(parity_store, execution="backtrack").evaluate(parsed)
+        assert sorted(
+            tuple(sorted((k, v.n3()) for k, v in row.items())) for row in result.rows
+        ) == sorted(
+            tuple(sorted((k, v.n3()) for k, v in row.items())) for row in baseline.rows
+        )
+
+    def test_config_carries_execution(self):
+        from repro import SapphireConfig
+
+        config = SapphireConfig().with_execution("backtrack", batch_size=64)
+        assert config.execution == "backtrack"
+        assert config.exec_batch_size == 64
+        with pytest.raises(ValueError):
+            SapphireConfig().with_execution("warp")
+
+    def test_endpoint_threads_execution(self, tiny_dataset):
+        from repro import EndpointConfig, SparqlEndpoint
+
+        endpoint = SparqlEndpoint(
+            tiny_dataset.store,
+            EndpointConfig(timeout_s=1.0),
+            name="threaded",
+            execution="backtrack",
+            batch_size=16,
+        )
+        assert endpoint._evaluator.execution == "backtrack"
+        assert endpoint._evaluator.batch_size == 16
+        result = endpoint.select("SELECT ?s WHERE { ?s a dbo:Person } LIMIT 3")
+        assert len(result.rows) == 3
+
+    def test_cli_exposes_execution_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["--execution", "backtrack", "stats"])
+        assert args.execution == "backtrack"
