@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.data import DatasetConfig, build_dataset
 from repro.sparql.evaluator import QueryEvaluator
 from repro.sparql.parser import parse_query
+from repro.sparql.trace import Tracer
 from repro.store import MemoryBackend, SQLiteBackend, TripleStore
 
 #: Gate: minimum planner speedup over the backtracking baseline on the
@@ -50,6 +51,11 @@ MIN_SPEEDUP = 2.0
 #: Gate: minimum columnar-pipeline speedup over the tuple-at-a-time
 #: baseline, per gated shape, on both backends.
 MIN_BATCH_SPEEDUP = 2.0
+
+#: Gate: maximum traced/untraced wall-time ratio on the batch path.
+#: Tracing off costs one ``is None`` test per operator; tracing on adds
+#: span bookkeeping per batch pull — both must stay inside 5%.
+MAX_TRACE_OVERHEAD = 1.05
 
 #: Shape -> queries.  Stars fan out from one subject variable, chains
 #: hop subject->object->subject, cyclic closes a variable loop.
@@ -176,7 +182,8 @@ def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
         gate_ok = gate_ok and speedup >= MIN_SPEEDUP
         print(f"  {shape:<8} {speedup:5.2f}x  {status}")
 
-    batch_results, batch_ok, batch_triples = run_batch_section(repeat)
+    (batch_results, batch_ok, batch_triples,
+     tracing, tracing_ok) = run_batch_section(repeat)
 
     if json_path:
         payload = {
@@ -198,6 +205,11 @@ def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
                 "backends": ["memory", "sqlite"],
                 "pass": batch_ok,
             },
+            "tracing": tracing,
+            "tracing_gate": {
+                "max_overhead": MAX_TRACE_OVERHEAD,
+                "pass": tracing_ok,
+            },
         }
         with open(json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -209,10 +221,13 @@ def run(scale: str, repeat: int, json_path: Optional[str] = None) -> int:
     if not batch_ok:
         print("REGRESSION: batch pipeline slower than the gate allows")
         return 1
+    if not tracing_ok:
+        print("REGRESSION: tracing overhead above the gate")
+        return 1
     return 0
 
 
-def run_batch_section(repeat: int) -> Tuple[Dict, bool, int]:
+def run_batch_section(repeat: int) -> Tuple[Dict, bool, int, Dict, bool]:
     """Batch-vs-tuple pipeline comparison over the same physical plans.
 
     Always builds the medium dataset: the pipeline differential (C-pass
@@ -248,7 +263,7 @@ def run_batch_section(repeat: int) -> Tuple[Dict, bool, int]:
             print(f"  [{backend_name}] batch={n_batch} tuple={n_tuple}  {text}")
         for store in backends.values():
             store.close()
-        return {}, False, len(triples)
+        return {}, False, len(triples), {}, False
 
     print(f"\nbatch pipeline vs tuple baseline "
           f"(medium dataset, {len(triples):,} triples, best of {repeat})")
@@ -283,11 +298,54 @@ def run_batch_section(repeat: int) -> Tuple[Dict, bool, int]:
             print(f"{backend_name:<8} {shape:<11} {tuple_s:>10.4f} "
                   f"{batch_s:>10.4f} {speedup:>7.2f}x  {status}")
 
-    backends["sqlite"].close()
     print(f"batch gate: >= {MIN_BATCH_SPEEDUP:.1f}x on "
           f"{', '.join(BATCH_GATED_SHAPES)}, both backends: "
           f"{'ok' if batch_ok else 'FAIL'}")
-    return batch_results, batch_ok, len(triples)
+
+    tracing, tracing_ok = run_tracing_section(
+        backends["memory"], parsed, repeat)
+
+    backends["sqlite"].close()
+    return batch_results, batch_ok, len(triples), tracing, tracing_ok
+
+
+def run_tracing_section(store, parsed, repeat: int) -> Tuple[Dict, bool]:
+    """EXPLAIN ANALYZE overhead on the hot batch path (memory backend).
+
+    Times the same star/chain/large-scan plans with no tracer (the
+    default — one ``is None`` test per operator) against a fresh
+    :class:`~repro.sparql.trace.Tracer` per query, best of ``repeat``.
+    Gate: traced/untraced <= MAX_TRACE_OVERHEAD.
+    """
+    evaluator = QueryEvaluator(store)
+    queries = [query for group in parsed.values() for query in group]
+
+    def run_untraced():
+        for query in queries:
+            evaluator.evaluate(query)
+
+    def run_traced():
+        for query in queries:
+            evaluator.evaluate(query, tracer=Tracer())
+
+    # The whole timed section is ~10ms per pass, so a single scheduler
+    # hiccup flips a 5% gate: warm both paths (plan cache, allocator),
+    # then take the best of a larger repeat count than the other
+    # sections use.
+    run_untraced()
+    run_traced()
+    repeat = max(repeat, 10)
+    off_s = _time_best(run_untraced, repeat)
+    on_s = _time_best(run_traced, repeat)
+    ratio = on_s / off_s if off_s else float("inf")
+    ok = ratio <= MAX_TRACE_OVERHEAD
+    print(f"\ntracing overhead (memory backend, {len(queries)} queries, "
+          f"best of {repeat})")
+    print(f"  untraced {off_s:.4f}s   traced {on_s:.4f}s   "
+          f"ratio {ratio:.3f}x  {'ok' if ok else 'FAIL'}")
+    print(f"tracing gate: traced/untraced <= {MAX_TRACE_OVERHEAD:.2f}x: "
+          f"{'ok' if ok else 'FAIL'}")
+    return {"untraced_s": off_s, "traced_s": on_s, "ratio": ratio}, ok
 
 
 def main(argv=None) -> int:

@@ -56,7 +56,10 @@ def replay_stack(tiny_dataset):
     )
     backend = SapphireServer(SapphireConfig(suffix_tree_capacity=500))
     backend.register_endpoint(endpoint)
-    server = SparqlHttpServer(backend, max_workers=8, queue_limit=32).start()
+    # Sample a slice of replayed requests into the slow-query log so the
+    # artifact carries real operator traces from a loaded server.
+    server = SparqlHttpServer(backend, max_workers=8, queue_limit=32,
+                              trace_sample_rate=0.05).start()
     yield server
     server.stop()
 
@@ -94,6 +97,14 @@ def test_session_replay_reconciles(replay_stack, benchmark):
     rendered = format_route_series(report.series)
     assert "complete" in rendered and "tick" in rendered
 
+    # Sampled tracing (5% of requests) fed the slow-query log; the
+    # worst trace goes into the artifact as a load-time exemplar.
+    slow_log = server.slow_log.snapshot()
+    assert slow_log["offered"] > 0, "sampled tracing produced no traces"
+    assert slow_log["entries"], "slow-query log kept no entries"
+    worst = slow_log["entries"][0]
+    assert worst["trace"]["spans"], "worst trace has no spans"
+
     # -- timed rounds: script generation (the deterministic half) ------
     benchmark(generate_scripts, REPLAY_CONFIG)
 
@@ -111,6 +122,8 @@ def test_session_replay_reconciles(replay_stack, benchmark):
         f"in-flight {report.after['in_flight_peak']}\n"
         f"cache lookups:  {report.after.get('cache')}\n"
         f"series points:  {len(report.series)}\n"
+        f"traced:         {slow_log['offered']} sampled, worst "
+        f"{worst['wall_s'] * 1e3:.1f}ms on /{worst['route']}\n"
         f"gate:           zero reconciliation mismatches, "
         f">= {MIN_RPS:.0f} req/s\n\n"
         + format_route_series(report.series[-6:],
@@ -130,6 +143,12 @@ def test_session_replay_reconciles(replay_stack, benchmark):
             "series": report.series,
             "ledger": report.ledger.to_dict(),
             "deltas": report.deltas,
+            "slow_queries": {
+                "offered": slow_log["offered"],
+                "slow_count": slow_log["slow_count"],
+                "entries": len(slow_log["entries"]),
+            },
+            "worst_trace": worst["trace"],
             "gate": {
                 "min_sessions": 200,
                 "min_processes": 4,

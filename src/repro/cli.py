@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--max-rows", type=int, default=20)
     query.add_argument("--explain", action="store_true",
                        help="print the query plan before the answers")
+    query.add_argument("--analyze", action="store_true",
+                       help="EXPLAIN ANALYZE: execute under an operator "
+                            "tracer and print the span tree (per-operator "
+                            "wall time, rows, est→actual) after the answers")
     query.add_argument("--format", choices=("table", "json", "csv", "tsv", "xml"),
                        default="table",
                        help="result format: the human table (default) or a "
@@ -97,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="show the query plan without executing the query"
     )
     explain.add_argument("sparql", help="the query text")
+    explain.add_argument("--analyze", action="store_true",
+                         help="also execute the query and append the "
+                              "measured operator trace to the plan dump")
     explain.add_argument("--probes", action="store_true",
                          help="also show the QSM's batched VALUES probe "
                               "queries and their federated plans")
@@ -130,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "503s start (default: 16)")
     serve.add_argument("--timeout-s", type=float, default=2.0,
                        help="endpoint query timeout in seconds (default: 2.0)")
+    serve.add_argument("--trace-sample-rate", type=float, default=None,
+                       metavar="RATE",
+                       help="fraction of requests traced into the "
+                            "slow-query log without analyze=true "
+                            "(default: the SapphireConfig default)")
+    serve.add_argument("--slow-threshold-s", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock threshold marking a traced query "
+                            "slow (default: the SapphireConfig default)")
     serve.add_argument("--sapphire", action="store_true",
                        help="serve a full Sapphire server (runs Section 5 "
                             "initialization first): queries federate and "
@@ -248,7 +264,7 @@ def _cmd_suggest(args) -> int:
 
 def _cmd_explain(args) -> int:
     server, _ = _make_server(args)
-    print(server.explain(args.sparql))
+    print(server.explain(args.sparql, analyze=args.analyze))
     if args.probes:
         print("\n== QSM batched probes ==")
         print(server.explain_suggestions(args.sparql))
@@ -275,15 +291,26 @@ def _cmd_query(args) -> int:
         stream = sys.stderr if machine_format else sys.stdout
         print(server.explain(args.sparql), file=stream)
         print(file=stream)
-    outcome = server.run_query(
-        args.sparql, suggest=not (args.no_suggest or machine_format)
-    )
+    trace = None
+    if args.analyze:
+        outcome, trace = server.analyze(
+            args.sparql, suggest=not (args.no_suggest or machine_format)
+        )
+    else:
+        outcome = server.run_query(
+            args.sparql, suggest=not (args.no_suggest or machine_format)
+        )
     if machine_format:
         from .net import formats
 
         writer = getattr(formats, _RESULT_WRITERS[args.format])
         rendered = writer(outcome.answers)
         print(rendered, end="" if rendered.endswith("\n") else "\n")
+        if trace is not None:
+            # Machine format on stdout: the trace tree goes to stderr.
+            from .eval.reporting import format_trace
+
+            print(format_trace(trace), file=sys.stderr)
         return 0 if outcome.answers.rows else 1
     print(f"{len(outcome.answers)} answers")
     from .core.answer_table import AnswerTable
@@ -294,6 +321,10 @@ def _cmd_query(args) -> int:
         print("\nQSM suggestions:")
         for i, suggestion in enumerate(outcome.all_suggestions):
             print(f"  [{i}] {suggestion.message()}")
+    if trace is not None:
+        from .eval.reporting import format_trace
+
+        print(f"\n{format_trace(trace)}")
     return 0 if outcome.answers.rows else 1
 
 
@@ -351,11 +382,10 @@ def _cmd_serve(args) -> int:
         name=f"dbpedia-{args.scale}",
         execution=args.execution,
     )
+    config = SapphireConfig(suffix_tree_capacity=args.tree_capacity,
+                            execution=args.execution)
     if args.sapphire:
-        backend = SapphireServer(
-            SapphireConfig(suffix_tree_capacity=args.tree_capacity,
-                           execution=args.execution)
-        )
+        backend = SapphireServer(config)
         report = backend.register_endpoint(endpoint)
         print(f"initialized: {report.total_queries} queries, "
               f"cache {backend.cache_stats()}")
@@ -367,6 +397,13 @@ def _cmd_serve(args) -> int:
         port=args.port,
         max_workers=args.max_workers,
         queue_limit=args.queue_limit,
+        trace_sample_rate=(args.trace_sample_rate
+                           if args.trace_sample_rate is not None
+                           else config.trace_sample_rate),
+        slow_query_threshold_s=(args.slow_threshold_s
+                                if args.slow_threshold_s is not None
+                                else config.slow_query_threshold_s),
+        slow_log_size=config.slow_log_size,
     )
     print(f"dataset: {len(dataset.store):,} triples ({args.scale}, seed {args.seed})")
     print(f"endpoint: {server.url}")
@@ -422,7 +459,10 @@ def _cmd_replay(args) -> int:
                            execution=args.execution)
             )
             backend.register_endpoint(endpoint)
-            server = stack.enter_context(SparqlHttpServer(backend, port=0))
+            # Sample a slice of replayed requests into the slow-query
+            # log so the run produces traces to report on.
+            server = stack.enter_context(SparqlHttpServer(
+                backend, port=0, trace_sample_rate=0.05))
             url = server.url
             print(f"server: {url} (in-process, {args.scale} dataset)")
 
@@ -430,6 +470,12 @@ def _cmd_replay(args) -> int:
             scripts, url, processes=args.processes, pace=args.pace,
             tick_s=args.tick_s,
         )
+        try:
+            from .net import fetch_slow_log
+
+            slow_log = fetch_slow_log(url)
+        except Exception:  # noqa: BLE001 — pre-tracing remote servers
+            slow_log = None
 
     ledger = report.ledger
     print(f"replayed {ledger.sessions} sessions / {ledger.attempts} requests "
@@ -450,9 +496,18 @@ def _cmd_replay(args) -> int:
               "(/stats deltas match the ledger exactly)")
     print()
     print(format_route_series(report.series))
+    worst = (slow_log or {}).get("entries") or []
+    if worst:
+        entry = worst[0]
+        print(f"\nslow-query log: {len(worst)} traced request(s), worst "
+              f"{entry['wall_s'] * 1e3:.1f}ms on /{entry['route']}")
     if args.json:
+        payload = report.to_dict()
+        if slow_log is not None:
+            payload["slow_queries"] = slow_log
+            payload["worst_trace"] = worst[0]["trace"] if worst else None
         with open(args.json, "w", encoding="utf-8") as handle:
-            json_module.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
         print(f"\nreport written to {args.json}")
     return 1 if report.mismatches else 0
 

@@ -96,6 +96,18 @@ class SapphireConfig:
     #: (:data:`repro.sparql.plan.DEFAULT_BATCH_SIZE`).
     exec_batch_size: Optional[int] = None
 
+    # --- Tracing / observability (docs/tracing.md) ---------------------
+    #: Fraction of server requests that get a sampled execution trace
+    #: even without ``analyze=true``.  ``0.0`` disables sampling;
+    #: explicit ANALYZE requests and requests arriving with an
+    #: ``X-Repro-Trace-Id`` header are always traced.
+    trace_sample_rate: float = 0.01
+    #: Wall-clock seconds above which a traced request is flagged
+    #: ``slow`` in the slow-query log.
+    slow_query_threshold_s: float = 0.5
+    #: Capacity of the slow-query log (top-N ring by wall time).
+    slow_log_size: int = 32
+
     def with_execution(
         self, execution: str, batch_size: Optional[int] = None
     ) -> "SapphireConfig":

@@ -108,6 +108,11 @@ class ProbeBatcher:
         self.runner = runner
         # Modifier tail only; never touches this empty store.
         self._pipeline = QueryEvaluator(TripleStore())
+        #: Optional :class:`~repro.sparql.trace.Tracer`: when set (the
+        #: serving layer installs it around one traced suggestion
+        #: request), each batched probe records a ``qsm-probe-batch``
+        #: span with position/candidate-count/row-count attributes.
+        self.tracer = None
 
     def run(
         self,
@@ -128,10 +133,27 @@ class ProbeBatcher:
         if query.has_aggregates() or query.group_by:
             return None
         probe = build_probe_query(query, triple_index, position, candidates)
-        try:
-            result = self.runner(probe)
-        except Exception:  # noqa: BLE001 — a failing probe loses the batch only
-            return None
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span(
+                "qsm-probe-batch",
+                position=position,
+                triple=triple_index,
+                candidates=len(candidates),
+            ) as span:
+                try:
+                    result = self.runner(probe)
+                except Exception:  # noqa: BLE001 — a failing probe loses the batch only
+                    if span is not None:
+                        span.attrs["failed"] = True
+                    return None
+                if span is not None:
+                    span.attrs["rows"] = len(result.rows)
+        else:
+            try:
+                result = self.runner(probe)
+            except Exception:  # noqa: BLE001 — a failing probe loses the batch only
+                return None
         grouped: Dict[Term, List[dict]] = {}
         for row in result.rows:
             candidate = row.get(PROBE_VAR)

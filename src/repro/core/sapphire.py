@@ -41,6 +41,7 @@ from ..sparql.ast_nodes import (
 from ..sparql.parser import parse_query
 from ..sparql.results import SelectResult
 from ..sparql.serializer import serialize_query
+from ..sparql.trace import QueryTrace, Tracer
 from ..text.lexicon import Lexicon
 from .cache import SapphireCache
 from .config import SapphireConfig
@@ -344,8 +345,8 @@ class SapphireServer:
             raise RuntimeError("register at least one endpoint first")
         return self._federation
 
-    def _run_ast(self, query: Query) -> SelectResult:
-        return self.federation.run(query)  # type: ignore[return-value]
+    def _run_ast(self, query: Query, tracer: Optional[Tracer] = None) -> SelectResult:
+        return self.federation.run(query, tracer=tracer)  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # PUM: completion (QCM)
@@ -357,9 +358,29 @@ class SapphireServer:
             self._qcm = QueryCompletionModule(self.cache, self.config)
         return self._qcm
 
-    def complete(self, text: str, k: Optional[int] = None) -> CompletionResult:
-        """Auto-complete suggestions for the partially typed ``text``."""
-        return self.qcm.complete(text, k)
+    def complete(
+        self,
+        text: str,
+        k: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> CompletionResult:
+        """Auto-complete suggestions for the partially typed ``text``.
+
+        Under a tracer the QCM lookup records one span with the
+        cache-lookup delta (suffix-tree vs. bin hits) of this call.
+        """
+        if tracer is None:
+            return self.qcm.complete(text, k)
+        before = self.cache.lookup_stats()
+        with tracer.span("qcm-complete", chars=len(text)) as span:
+            result = self.qcm.complete(text, k)
+            if span is not None:
+                after = self.cache.lookup_stats()
+                span.attrs["completions"] = len(result.completions)
+                span.attrs["tree_hit"] = result.tree_hit
+                for key in ("tree_hits", "bin_hits", "misses"):
+                    span.attrs[key] = after.get(key, 0) - before.get(key, 0)
+        return result
 
     # ------------------------------------------------------------------
     # PUM: suggestion (QSM)
@@ -383,31 +404,75 @@ class SapphireServer:
         self,
         query: Union[str, Query, QueryBuilder],
         suggest: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> QueryOutcome:
         """Execute a query and (simultaneously, in the UI) gather QSM
         suggestions.  Suggestions are produced for every query, answers
-        or not (Section 3)."""
+        or not (Section 3).
+
+        Under a tracer the federated execution records its operator
+        spans and the two QSM phases (alternative terms, structure
+        relaxation) record phase spans, with one ``qsm-probe-batch``
+        span per batched VALUES probe the round ships.
+        """
         import time as _time
 
         if isinstance(query, QueryBuilder):
             query = query.build()
         if isinstance(query, str):
             query = parse_query(query)
-        answers = self._run_ast(query)
+        answers = self._run_ast(query, tracer)
         outcome = QueryOutcome(
             query=query, query_text=serialize_query(query), answers=answers
         )
         if not suggest:
             return outcome
         t0 = _time.perf_counter()
-        outcome.term_suggestions = self.terms_finder.suggest(query)
-        outcome.relaxations = list(self.relaxer.ground_literals(query))
-        literal_alternatives = self._literal_alternatives_map(query)
-        outcome.relaxations.extend(self.relaxer.relax(query, literal_alternatives))
+        if tracer is None:
+            outcome.term_suggestions = self.terms_finder.suggest(query)
+            outcome.relaxations = list(self.relaxer.ground_literals(query))
+            literal_alternatives = self._literal_alternatives_map(query)
+            outcome.relaxations.extend(
+                self.relaxer.relax(query, literal_alternatives)
+            )
+        else:
+            batcher = self.terms_finder._batcher
+            batcher.tracer = tracer
+            try:
+                with tracer.span("qsm-terms") as span:
+                    outcome.term_suggestions = self.terms_finder.suggest(query)
+                    if span is not None:
+                        span.attrs["suggestions"] = len(outcome.term_suggestions)
+                with tracer.span("qsm-relax") as span:
+                    outcome.relaxations = list(self.relaxer.ground_literals(query))
+                    literal_alternatives = self._literal_alternatives_map(query)
+                    outcome.relaxations.extend(
+                        self.relaxer.relax(query, literal_alternatives)
+                    )
+                    if span is not None:
+                        span.attrs["suggestions"] = len(outcome.relaxations)
+            finally:
+                batcher.tracer = None
         outcome.qsm_seconds = _time.perf_counter() - t0
         return outcome
 
-    def explain(self, query: Union[str, Query, QueryBuilder]) -> str:
+    def analyze(
+        self,
+        query: Union[str, Query, QueryBuilder],
+        suggest: bool = False,
+        tracer: Optional[Tracer] = None,
+    ) -> Tuple[QueryOutcome, QueryTrace]:
+        """EXPLAIN ANALYZE through the full serving path: execute the
+        query (and the QSM round when ``suggest``) under one tracer and
+        return ``(outcome, trace)``."""
+        if tracer is None:
+            tracer = Tracer(query=query if isinstance(query, str) else "")
+        outcome = self.run_query(query, suggest=suggest, tracer=tracer)
+        return outcome, tracer.finish()
+
+    def explain(
+        self, query: Union[str, Query, QueryBuilder], analyze: bool = False
+    ) -> str:
         """EXPLAIN: per-endpoint plan dumps for ``query``, no execution.
 
         Debugging surface for the planner (``docs/query-planning.md``):
@@ -417,6 +482,10 @@ class SapphireServer:
         federated plan follows: source-selection verdicts plus the
         remote operator tree the mediator will actually execute
         (``server.run_query`` always goes through the federation).
+
+        With ``analyze=True`` the query is then executed through the
+        federation under a tracer and the execution trace (per-operator
+        wall time, rows, est→actual) is appended as a final section.
         """
         if isinstance(query, QueryBuilder):
             query = query.build()
@@ -430,6 +499,11 @@ class SapphireServer:
         ]
         if len(self.endpoints) > 1:
             sections.append(f"-- federation\n{self.federation.explain(query)}")
+        if analyze:
+            from ..eval.reporting import format_trace
+
+            _, trace = self.analyze(query)
+            sections.append(f"-- analyze\n{format_trace(trace)}")
         return "\n\n".join(sections)
 
     def explain_suggestions(self, query: Union[str, Query, QueryBuilder]) -> str:

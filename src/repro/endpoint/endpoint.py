@@ -38,6 +38,7 @@ from ..sparql.errors import SparqlError
 from ..sparql.evaluator import QueryEvaluator
 from ..sparql.parser import parse_query
 from ..sparql.results import AskResult, SelectResult
+from ..sparql.trace import QueryTrace, Tracer
 from ..store.triplestore import CostMeter, QueryAborted, TripleStore
 
 __all__ = [
@@ -141,31 +142,63 @@ class SparqlEndpoint:
     # Public API
     # ------------------------------------------------------------------
 
-    def select(self, query: Union[str, Query]) -> SelectResult:
+    def select(
+        self, query: Union[str, Query], tracer: Optional[Tracer] = None
+    ) -> SelectResult:
         """Run a SELECT query; raises on timeout/rejection."""
-        result = self._run(query)
+        # Untraced calls keep the pre-tracing _run arity: subclasses
+        # (test doubles, failure injectors) override _run(query).
+        result = (self._run(query, tracer=tracer) if tracer is not None
+                  else self._run(query))
         if not isinstance(result, SelectResult):
             raise SparqlError("expected a SELECT query")
         return result
 
-    def ask(self, query: Union[str, Query]) -> AskResult:
+    def ask(
+        self, query: Union[str, Query], tracer: Optional[Tracer] = None
+    ) -> AskResult:
         """Run an ASK query; raises on timeout/rejection."""
-        result = self._run(query)
+        result = (self._run(query, tracer=tracer) if tracer is not None
+                  else self._run(query))
         if not isinstance(result, AskResult):
             raise SparqlError("expected an ASK query")
         return result
 
-    def explain(self, query: Union[str, Query]) -> str:
+    def analyze(
+        self, query: Union[str, Query], tracer: Optional[Tracer] = None
+    ) -> "tuple[Union[SelectResult, AskResult], QueryTrace]":
+        """EXPLAIN ANALYZE: execute ``query`` under this endpoint's
+        budget/timeout policy (logged exactly like ``select``/``ask``)
+        and return ``(result, trace)``."""
+        if tracer is None:
+            tracer = Tracer(query=query if isinstance(query, str) else "")
+        result = self._run(query, tracer=tracer)
+        return result, tracer.trace
+
+    def explain(self, query: Union[str, Query], analyze: bool = False) -> str:
         """Plan dump for ``query`` against this endpoint's store.
 
-        Free and unlogged: planning is estimation-only by the store's
-        meter-free contract, so an EXPLAIN can never trip the timeout.
-        Plans under the same cost budget ``select``/``ask`` would run
-        with (including the single-pattern scan speedup), so the dump
-        shows the strategy execution will actually use.
+        With ``analyze=False`` (the default) this is free and unlogged:
+        planning is estimation-only by the store's meter-free contract,
+        so an EXPLAIN can never trip the timeout.  Plans under the same
+        cost budget ``select``/``ask`` would run with (including the
+        single-pattern scan speedup), so the dump shows the strategy
+        execution will actually use.
+
+        With ``analyze=True`` the query is *executed* (budgeted and
+        logged like any other run) and the execution trace — per-operator
+        wall time, rows, est→actual — is appended below the plan.
         """
         parsed = parse_query(query) if isinstance(query, str) else query
-        return self._evaluator.explain(parsed, budget=self._budget_for(parsed))
+        text = self._evaluator.explain(parsed, budget=self._budget_for(parsed))
+        if not analyze:
+            return text
+        # Imported here: eval.reporting sits above endpoint in the
+        # package graph (eval/__init__ pulls in core.sapphire → here).
+        from ..eval.reporting import format_trace
+
+        _, trace = self.analyze(query)
+        return f"{text}\n\n{format_trace(trace)}"
 
     @property
     def query_count(self) -> int:
@@ -189,7 +222,9 @@ class SparqlEndpoint:
     # Internals
     # ------------------------------------------------------------------
 
-    def _run(self, query: Union[str, Query]) -> Union[SelectResult, AskResult]:
+    def _run(
+        self, query: Union[str, Query], tracer: Optional[Tracer] = None
+    ) -> Union[SelectResult, AskResult]:
         parsed = parse_query(query) if isinstance(query, str) else query
         text = query if isinstance(query, str) else "<preparsed>"
 
@@ -203,7 +238,13 @@ class SparqlEndpoint:
 
         meter = CostMeter(self._budget_for(parsed))
         try:
-            result = self._evaluator.evaluate(parsed, meter)
+            if tracer is not None:
+                # The analyze path re-resolves plan estimates against
+                # current store stats and finishes the trace (cost
+                # stamped in its attrs).
+                result, _ = self._evaluator.analyze(parsed, meter, tracer=tracer)
+            else:
+                result = self._evaluator.evaluate(parsed, meter)
         except QueryAborted:
             seconds = self.config.latency_s + self.config.timeout_s
             self._record(text, "timeout", meter.cost, seconds)

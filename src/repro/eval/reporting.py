@@ -14,6 +14,7 @@ __all__ = [
     "format_bars",
     "format_grouped_bars",
     "format_route_series",
+    "format_trace",
 ]
 
 
@@ -96,6 +97,56 @@ def format_route_series(
         row["inflight^"] = point.get("in_flight_peak", 0)
         rows.append(row)
     return format_table(rows, title=title)
+
+
+def format_trace(trace) -> str:
+    """Render a query trace as an indented ASCII operator tree.
+
+    Accepts a :class:`~repro.sparql.trace.QueryTrace` or its
+    ``to_dict()`` form (so traces pulled off the wire render without
+    reconstruction).  Mirrors EXPLAIN's two-space indentation; each span
+    line shows wall-clock ms plus whichever of rows/batches/est the
+    operator recorded, with the est→actual misestimate ratio when both
+    are present.
+    """
+    if hasattr(trace, "to_dict"):
+        trace = trace.to_dict()
+    lines: List[str] = []
+    trace_id = trace.get("trace_id", "")
+    wall_ms = trace.get("wall_ms", 0.0)
+    lines.append(f"trace {trace_id}  [{wall_ms:.3f} ms]")
+    attrs = trace.get("attrs", {})
+    if attrs:
+        extras = " ".join(f"{key}={value}" for key, value in attrs.items())
+        lines.append(f"  {extras}")
+
+    def _span_line(span: Mapping[str, object], indent: int) -> None:
+        pad = "  " * indent
+        attrs = span.get("attrs", {}) or {}
+        parts = [f"{float(span.get('wall_ms', 0.0)):.3f} ms"]
+        rows = attrs.get("rows")
+        est = attrs.get("est")
+        if rows is not None:
+            parts.append(f"rows={rows}")
+        if est is not None:
+            if rows is not None:
+                ratio = (rows or 0) / est if est else float(rows or 0)
+                parts.append(f"est={est} ({ratio:.2f}x)")
+            else:
+                parts.append(f"est={est}")
+        if "batches" in attrs:
+            parts.append(f"batches={attrs['batches']}")
+        for key, value in attrs.items():
+            if key in ("rows", "est", "batches"):
+                continue
+            parts.append(f"{key}={value}")
+        lines.append(f"{pad}{span.get('name', '?')}  [{', '.join(parts)}]")
+        for child in span.get("children", ()) or ():
+            _span_line(child, indent + 1)
+
+    for span in trace.get("spans", ()) or ():
+        _span_line(span, 1)
+    return "\n".join(lines)
 
 
 def format_grouped_bars(

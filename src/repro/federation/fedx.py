@@ -74,6 +74,7 @@ from ..sparql.plan import (
 )
 from ..sparql.results import AskResult, SelectResult
 from ..sparql.serializer import ask_query
+from ..sparql.trace import QueryTrace, Tracer
 from ..store.triplestore import TripleStore
 
 __all__ = ["FederatedQueryProcessor"]
@@ -166,20 +167,44 @@ class FederatedQueryProcessor:
             return AskResult(True)
         return AskResult(False)
 
-    def run(self, query):
-        """Run a parsed or textual query of either form."""
+    def run(self, query, tracer: Optional[Tracer] = None):
+        """Run a parsed or textual query of either form.
+
+        ``tracer`` (optional) records per-operator spans, with one
+        remote span per endpoint round — the federated half of the
+        distributed trace a downstream endpoint continues via the
+        ``X-Repro-Trace-Id`` header.
+        """
         parsed = parse_query(query) if isinstance(query, str) else query
         if parsed.form == "ASK":
-            for _ in self._solve(parsed.where):
+            for _ in self._solve(parsed.where, tracer):
                 return AskResult(True)
             return AskResult(False)
-        return self._evaluate(parsed)
+        return self._evaluate(parsed, tracer)
 
-    def explain(self, query) -> str:
+    def analyze(
+        self, query, tracer: Optional[Tracer] = None
+    ) -> "tuple[SelectResult | AskResult, QueryTrace]":
+        """EXPLAIN ANALYZE across the federation: execute ``query``
+        under a tracer and return ``(result, trace)``."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if tracer is None:
+            tracer = Tracer(query=query if isinstance(query, str) else "")
+        result = self.run(parsed, tracer=tracer)
+        return result, tracer.finish()
+
+    def explain(self, query, analyze: bool = False) -> str:
         """Render the federated physical plan for ``query`` — the same
         operator-tree EXPLAIN as local execution, preceded by the
-        source-selection verdicts (probing runs, execution does not).
+        source-selection verdicts (probing runs, execution does not
+        unless ``analyze=True``, which appends the execution trace).
         """
+        if analyze:
+            from ..eval.reporting import format_trace
+
+            plan_text = self.explain(query)
+            _, trace = self.analyze(query)
+            return f"{plan_text}\n\n{format_trace(trace)}"
         parsed = parse_query(query) if isinstance(query, str) else query
         store = TripleStore()
         plan = self._compile_group(parsed.where, store)
@@ -292,8 +317,10 @@ class FederatedQueryProcessor:
     # Evaluation
     # ------------------------------------------------------------------
 
-    def _evaluate(self, query: Query) -> SelectResult:
-        solutions = list(self._solve(query.where))
+    def _evaluate(
+        self, query: Query, tracer: Optional[Tracer] = None
+    ) -> SelectResult:
+        solutions = list(self._solve(query.where, tracer))
         return self._finalize(query, solutions)
 
     def _finalize(self, query: Query, solutions: List[Binding]) -> SelectResult:
@@ -303,7 +330,9 @@ class FederatedQueryProcessor:
 
         return finalize_solutions(self._pipeline, query, solutions)
 
-    def _solve(self, group: GraphPattern) -> Iterator[Binding]:
+    def _solve(
+        self, group: GraphPattern, tracer: Optional[Tracer] = None
+    ) -> Iterator[Binding]:
         """Execute one group across the federation: compile, stream the
         plan over a fresh mediator store, apply OPTIONALs per solution.
         """
@@ -317,7 +346,7 @@ class FederatedQueryProcessor:
                 for name, term_id in zip(names, row)
                 if term_id is not None
             }
-            for row in plan.rows(store, None)
+            for row in plan.rows(store, None, tracer=tracer)
         )
         if not group.optionals:
             yield from base

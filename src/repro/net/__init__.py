@@ -28,6 +28,7 @@ from .client import (
     ConnectionFailed,
     HttpSapphireClient,
     HttpSparqlEndpoint,
+    fetch_slow_log,
     fetch_stats,
     fetch_stats_series,
     server_root,
@@ -46,7 +47,7 @@ from .formats import (
     write_tsv,
     write_xml,
 )
-from .metrics import LatencyHistogram, StatsTimeSeries, route_deltas
+from .metrics import LatencyHistogram, SlowQueryLog, StatsTimeSeries, route_deltas
 from .server import SparqlHttpServer
 from .suggest import (
     RemoteCompletion,
@@ -66,8 +67,10 @@ __all__ = [
     "HttpSapphireClient",
     "ConnectionFailed",
     "LatencyHistogram",
+    "SlowQueryLog",
     "StatsTimeSeries",
     "route_deltas",
+    "fetch_slow_log",
     "fetch_stats",
     "fetch_stats_series",
     "server_root",

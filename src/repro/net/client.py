@@ -54,6 +54,7 @@ from ..sparql.ast_nodes import Query
 from ..sparql.errors import SparqlError
 from ..sparql.results import AskResult, SelectResult
 from ..sparql.serializer import serialize_query
+from ..sparql.trace import PARENT_SPAN_HEADER, TRACE_ID_HEADER
 from .formats import MIME_JSON, FormatError, parse_json
 from .suggest import (
     MIME_JSON_BODY,
@@ -68,6 +69,7 @@ __all__ = [
     "ConnectionFailed",
     "HttpSparqlEndpoint",
     "HttpSapphireClient",
+    "fetch_slow_log",
     "fetch_stats",
     "fetch_stats_series",
     "server_root",
@@ -119,6 +121,12 @@ class HttpSparqlEndpoint:
             f"endpoint:{self.name}")
         self.log: List[QueryLogEntry] = []
         self._lock = threading.Lock()
+        # Distributed-trace context (docs/tracing.md): when set by
+        # Tracer.remote_call, outgoing queries carry the trace id and
+        # the calling span's id as headers so the remote server records
+        # its spans under the same trace.  Thread-local because one
+        # endpoint object may serve concurrent federated queries.
+        self._trace_context = threading.local()
 
     # ------------------------------------------------------------------
     # Endpoint query surface (mirrors SparqlEndpoint)
@@ -137,6 +145,70 @@ class HttpSparqlEndpoint:
         if not isinstance(result, AskResult):
             raise SparqlError("expected an ASK query")
         return result
+
+    def set_trace_context(self, trace_id: Optional[str],
+                          parent_span_id: Optional[str]) -> None:
+        """Install (or clear, with ``None``s) the distributed-trace
+        context stamped onto outgoing requests.
+
+        Called by :meth:`~repro.sparql.trace.Tracer.remote_call` around
+        each remote round so the server side continues the same trace —
+        its spans come back stitchable under the calling span.
+        """
+        if trace_id is None:
+            self._trace_context.value = None
+        else:
+            self._trace_context.value = (trace_id, parent_span_id)
+
+    def _trace_headers(self) -> dict:
+        context = getattr(self._trace_context, "value", None)
+        if context is None:
+            return {}
+        trace_id, parent_span_id = context
+        headers = {TRACE_ID_HEADER: trace_id}
+        if parent_span_id:
+            headers[PARENT_SPAN_HEADER] = parent_span_id
+        return headers
+
+    def analyze(self, query: Union[str, Query]) -> str:
+        """Remote EXPLAIN ANALYZE: execute and return the rendered
+        operator trace tree (``analyze=true`` over the protocol).
+
+        Unlike :meth:`explain` this *runs* the query on the server, so
+        it passes through remote admission control and deadlines; like
+        ``explain`` it is not recorded in the client query log.
+        """
+        text = query if isinstance(query, str) else serialize_query(query)
+        body = urllib.parse.urlencode(
+            {"query": text, "analyze": "true"}).encode("utf-8")
+        headers = {
+            "Content-Type": MIME_FORM,
+            "Accept": "text/plain",
+            "User-Agent": "sapphire-repro-client/1.0",
+        }
+        headers.update(self._trace_headers())
+        request = urllib.request.Request(
+            self.url, data=body, headers=headers, method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            mapped = self._map_http_error(exc)
+            if isinstance(mapped, _Retryable):
+                mapped = mapped.error
+            raise mapped from None
+        except TimeoutError as exc:
+            raise EndpointTimeout(
+                f"{self.name}: no response within {self.timeout_s}s: {exc}"
+            ) from None
+        except urllib.error.URLError as exc:
+            if isinstance(exc.reason, TimeoutError):
+                raise EndpointTimeout(
+                    f"{self.name}: no response within {self.timeout_s}s: "
+                    f"{exc.reason}") from None
+            raise ConnectionFailed(f"{self.name}: connection failed: {exc}") from None
+        except ConnectionError as exc:
+            raise ConnectionFailed(f"{self.name}: connection failed: {exc}") from None
 
     def explain(self, query: Union[str, Query]) -> str:
         """Remote EXPLAIN: the server's plan dump for ``query``.
@@ -214,14 +286,16 @@ class HttpSparqlEndpoint:
 
     def _post(self, text: str) -> Union[SelectResult, AskResult]:
         body = urllib.parse.urlencode({"query": text}).encode("utf-8")
+        headers = {
+            "Content-Type": MIME_FORM,
+            "Accept": MIME_JSON,
+            "User-Agent": "sapphire-repro-client/1.0",
+        }
+        headers.update(self._trace_headers())
         request = urllib.request.Request(
             self.url,
             data=body,
-            headers={
-                "Content-Type": MIME_FORM,
-                "Accept": MIME_JSON,
-                "User-Agent": "sapphire-repro-client/1.0",
-            },
+            headers=headers,
             method="POST",
         )
         try:
@@ -442,6 +516,12 @@ def server_root(url: str) -> str:
 def fetch_stats(url: str, timeout_s: float = 10.0) -> dict:
     """GET ``/stats`` from a server root (or ``/sparql``) URL."""
     return _fetch_json(server_root(url) + "/stats", timeout_s)
+
+
+def fetch_slow_log(url: str, timeout_s: float = 10.0) -> dict:
+    """GET ``/stats/slow`` — the server's slow-query log with full
+    traces, slowest first (docs/tracing.md)."""
+    return _fetch_json(server_root(url) + "/stats/slow", timeout_s)
 
 
 def fetch_stats_series(url: str, timeout_s: float = 10.0) -> dict:

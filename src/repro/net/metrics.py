@@ -35,6 +35,7 @@ __all__ = [
     "BUCKET_BOUNDS_S",
     "LatencyHistogram",
     "ServerStats",
+    "SlowQueryLog",
     "StatsTimeSeries",
     "ROUTES",
 ]
@@ -323,6 +324,80 @@ class ServerStats:
                     for route, stats in sorted(self._routes.items())
                 },
             }
+
+
+class SlowQueryLog:
+    """Bounded top-N log of the slowest traced requests.
+
+    Thread-safe.  Every *traced* request is offered (sampling already
+    thinned the stream); the log keeps the ``capacity`` entries with the
+    largest wall time, so a burst of fast queries can never evict the
+    slow outlier the log exists to explain.  Entries at or above
+    ``threshold_s`` are flagged ``slow`` — the log still keeps the
+    slowest entries below the threshold, because "nothing is slow yet"
+    traces are how the threshold gets tuned.
+
+    Entries are plain dicts (query snippet, route, wall seconds, flag,
+    and the full trace in :meth:`~repro.sparql.trace.QueryTrace.to_dict`
+    form) so ``GET /stats/slow`` serves them verbatim.
+    """
+
+    def __init__(self, capacity: int = 32, threshold_s: float = 0.5) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.threshold_s = threshold_s
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, object]] = []
+        self._offered = 0
+
+    def offer(
+        self,
+        query: str,
+        wall_s: float,
+        trace: Dict[str, object],
+        route: str = "sparql",
+    ) -> bool:
+        """Consider one traced request; returns True if it was kept."""
+        entry: Dict[str, object] = {
+            "query": query[:500],
+            "route": route,
+            "wall_s": round(wall_s, 6),
+            "slow": wall_s >= self.threshold_s,
+            "trace": trace,
+        }
+        with self._lock:
+            self._offered += 1
+            if len(self._entries) < self.capacity:
+                self._entries.append(entry)
+                self._entries.sort(key=lambda e: e["wall_s"], reverse=True)  # type: ignore[arg-type,return-value]
+                return True
+            if wall_s <= self._entries[-1]["wall_s"]:  # type: ignore[operator]
+                return False
+            self._entries[-1] = entry
+            self._entries.sort(key=lambda e: e["wall_s"], reverse=True)  # type: ignore[arg-type,return-value]
+            return True
+
+    def snapshot(self) -> Dict[str, object]:
+        """Wire form: entries sorted slowest-first plus summary counters."""
+        with self._lock:
+            entries = [dict(entry) for entry in self._entries]
+            return {
+                "capacity": self.capacity,
+                "threshold_s": self.threshold_s,
+                "offered": self._offered,
+                "slow_count": sum(1 for entry in entries if entry["slow"]),
+                "entries": entries,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._offered = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class StatsTimeSeries:

@@ -82,6 +82,15 @@ class _WsgiRequestHandler(BaseHTTPRequestHandler):
             "HTTP_ACCEPT": self.headers.get("Accept", ""),
             "wsgi.input": io.BytesIO(body),
         }
+        # Distributed-trace propagation (docs/tracing.md): forward the
+        # trace headers so an upstream federated query's trace id
+        # reaches the app and the server's spans stitch into it.
+        trace_id = self.headers.get("X-Repro-Trace-Id")
+        if trace_id:
+            environ["HTTP_X_REPRO_TRACE_ID"] = trace_id
+        parent_span = self.headers.get("X-Repro-Parent-Span")
+        if parent_span:
+            environ["HTTP_X_REPRO_PARENT_SPAN"] = parent_span
 
         responded = False
 
@@ -144,12 +153,18 @@ class SparqlHttpServer:
         queue_limit: int = 16,
         deadline_s: Optional[float] = None,
         verbose: bool = False,
+        trace_sample_rate: float = 0.0,
+        slow_query_threshold_s: float = 0.5,
+        slow_log_size: int = 32,
     ) -> None:
         self.app = SparqlWsgiApp(
             backend,
             max_workers=max_workers,
             queue_limit=queue_limit,
             deadline_s=deadline_s,
+            trace_sample_rate=trace_sample_rate,
+            slow_query_threshold_s=slow_query_threshold_s,
+            slow_log_size=slow_log_size,
         )
         self._httpd = _Server((host, port), _WsgiRequestHandler)
         self._httpd.wsgi_app = self.app  # type: ignore[attr-defined]
@@ -184,6 +199,11 @@ class SparqlHttpServer:
     def series(self):
         """The bounded stats time series behind ``/stats/series``."""
         return self.app.series
+
+    @property
+    def slow_log(self):
+        """The bounded slow-query log behind ``/stats/slow``."""
+        return self.app.slow_log
 
     # ------------------------------------------------------------------
     # Lifecycle

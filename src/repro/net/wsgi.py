@@ -16,6 +16,7 @@ Routes
 ``GET  /health``                    — liveness probe (JSON)
 ``GET  /stats``                     — serving counters (JSON)
 ``GET  /stats/series``              — append + return a stats time series
+``GET  /stats/slow``                — slow-query log with full traces (JSON)
 
 ``/`` is an alias for ``/sparql`` so a bare endpoint URL works.
 
@@ -54,12 +55,23 @@ queue-depth/admission high-water gauges and — when the backend is a
 /stats/series`` appends the current counters as one point in a bounded
 server-side time series and returns the whole series, so a load
 driver's polling tick is the sampling clock.
+
+Tracing (docs/tracing.md): a request is executed under an
+operator-level :class:`~repro.sparql.trace.Tracer` when it asks for
+``analyze=true``, when it arrives with an ``X-Repro-Trace-Id`` header
+(an upstream federated query is already tracing — the server continues
+that trace id), or when it loses the ``trace_sample_rate`` coin flip.
+Finished traces feed the bounded :class:`~repro.net.metrics.SlowQueryLog`
+served under ``GET /stats/slow``; ``analyze=true`` responses are the
+rendered trace tree as ``text/plain``.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
 import math
+import random
 import threading
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
@@ -70,8 +82,9 @@ from ..sparql.ast_nodes import Query
 from ..sparql.errors import SparqlError
 from ..sparql.parser import parse_query
 from ..sparql.results import SelectResult
+from ..sparql.trace import Tracer
 from .formats import NotAcceptable, negotiate
-from .metrics import ServerStats, StatsTimeSeries
+from .metrics import ServerStats, SlowQueryLog, StatsTimeSeries
 from .suggest import (
     MIME_JSON_BODY,
     completion_document,
@@ -135,6 +148,9 @@ class SparqlWsgiApp:
         queue_limit: int = 16,
         deadline_s: Optional[float] = None,
         max_query_bytes: int = 256 * 1024,
+        trace_sample_rate: float = 0.0,
+        slow_query_threshold_s: float = 0.5,
+        slow_log_size: int = 32,
     ) -> None:
         # A SapphireServer fronts its endpoints with a federation; serve
         # that for /sparql, and keep the server itself as the Predictive
@@ -158,6 +174,21 @@ class SparqlWsgiApp:
             deadline_s = None
         self.deadline_s = deadline_s
         self.max_query_bytes = max_query_bytes
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
+        self.trace_sample_rate = trace_sample_rate
+        self.slow_log = SlowQueryLog(slow_log_size, slow_query_threshold_s)
+        self._trace_rng = random.Random()
+        # Tracing is duck-typed: only backends whose query surface grew
+        # a ``tracer`` parameter get traced requests.  Foreign backends
+        # keep working exactly as before (never handed a tracer).
+        self._traceable = _accepts_tracer(
+            getattr(self.backend, "run", None)
+            or getattr(self.backend, "select", None)
+        )
+        self._suggest_traceable = self.suggester is not None and _accepts_tracer(
+            getattr(self.suggester, "run_query", None)
+        ) and _accepts_tracer(getattr(self.suggester, "complete", None))
         self.stats = ServerStats()
         self.series = StatsTimeSeries()
         self._workers = threading.BoundedSemaphore(max_workers)
@@ -189,6 +220,9 @@ class SparqlWsgiApp:
             })
         if path == "/stats":
             return self._json_response(start_response, 200, self._stats_body())
+        if path == "/stats/slow":
+            return self._json_response(start_response, 200,
+                                       self.slow_log.snapshot())
         if path == "/stats/series":
             # Appending on GET makes the caller's polling tick the
             # sampling clock: no server-side timer thread to manage.
@@ -240,6 +274,15 @@ class SparqlWsgiApp:
         lookup_stats = getattr(cache, "lookup_stats", None)
         if lookup_stats is not None:
             body["cache"] = lookup_stats()
+        # Summary only — full traces live under GET /stats/slow.
+        slow = self.slow_log.snapshot()
+        body["slow_queries"] = {
+            "entries": len(slow["entries"]),  # type: ignore[arg-type]
+            "slow_count": slow["slow_count"],
+            "offered": slow["offered"],
+            "threshold_s": slow["threshold_s"],
+            "sample_rate": self.trace_sample_rate,
+        }
         return body
 
     # ------------------------------------------------------------------
@@ -250,24 +293,33 @@ class SparqlWsgiApp:
         self, environ, method: str
     ) -> Tuple[int, Dict[str, str], bytes, int]:
         try:
-            text, explain = self._extract_query(environ, method)
+            text, explain, analyze = self._extract_query(environ, method)
         except _HttpFail as fail:
             return _failure(fail.status, str(fail))
         if text is None:
             return _failure(400, "missing required 'query' parameter")
 
-        if explain:
+        if explain and not analyze:
             return self._handle_explain(text)
+        if analyze and not self._traceable:
+            return _failure(400, "this backend does not support analyze")
 
-        try:
-            mime, writer = negotiate(environ.get("HTTP_ACCEPT"))
-        except NotAcceptable as exc:
-            return _failure(406, str(exc))
+        mime = writer = None
+        if not analyze:
+            try:
+                mime, writer = negotiate(environ.get("HTTP_ACCEPT"))
+            except NotAcceptable as exc:
+                return _failure(406, str(exc))
 
         try:
             parsed = parse_query(text)
         except SparqlError as exc:
             return _failure(400, f"parse error: {exc}")
+
+        # ANALYZE *executes*, so unlike EXPLAIN it goes through the same
+        # admission control and deadline as any query.
+        tracer = self._maybe_tracer(environ, text, analyze) \
+            if self._traceable else None
 
         admitted, queued_s = self._admit()
         if not admitted:
@@ -282,7 +334,7 @@ class SparqlWsgiApp:
                 self._in_flight += 1
                 self.stats.observe_queue(self._queued, self._in_flight)
             try:
-                result = self._execute(parsed)
+                result = self._execute(parsed, tracer)
             finally:
                 with self._queue_lock:
                     self._in_flight -= 1
@@ -297,21 +349,52 @@ class SparqlWsgiApp:
         finally:
             self._workers.release()
 
+        rows = len(result.rows) if isinstance(result, SelectResult) else 0
+        trace_doc = None
+        if tracer is not None:
+            trace = tracer.finish()
+            trace_doc = trace.to_dict()
+            self.slow_log.offer(text, trace.wall_ms / 1000.0, trace_doc,
+                                route="sparql")
+
+        if analyze:
+            from ..eval.reporting import format_trace
+
+            payload = (format_trace(trace_doc) + "\n").encode("utf-8")
+            return 200, {"Content-Type": "text/plain; charset=utf-8"}, payload, rows
+
         try:
             payload = writer(result).encode("utf-8")
         except Exception as exc:  # noqa: BLE001 — malformed backend result
             return _failure(500, f"result serialization failed: "
                                  f"{type(exc).__name__}: {exc}")
         headers = {"Content-Type": f"{mime}; charset=utf-8"}
-        rows = 0
-        if isinstance(result, SelectResult):
-            rows = len(result.rows)
-            if result.truncated:
-                # The W3C result formats carry no truncation marker, but
-                # the endpoint's row cap must stay visible to clients —
-                # HttpSparqlEndpoint restores the flag from this header.
-                headers["X-Result-Truncated"] = "true"
+        if isinstance(result, SelectResult) and result.truncated:
+            # The W3C result formats carry no truncation marker, but
+            # the endpoint's row cap must stay visible to clients —
+            # HttpSparqlEndpoint restores the flag from this header.
+            headers["X-Result-Truncated"] = "true"
         return 200, headers, payload, rows
+
+    def _maybe_tracer(
+        self, environ, text: str, analyze: bool
+    ) -> Optional[Tracer]:
+        """The tracing decision for one request.
+
+        Traced when: ANALYZE was requested, an upstream trace id arrived
+        (a federated caller is tracing — continue its trace id so the
+        spans stitch), or the sample-rate coin flip wins.  Callers gate
+        on the capability flags (``_traceable``/``_suggest_traceable``)
+        so backends predating the ``tracer`` parameter never see one.
+        """
+        inbound = (environ.get("HTTP_X_REPRO_TRACE_ID") or "").strip()
+        if not (analyze or inbound or (
+            self.trace_sample_rate > 0.0
+            and self._trace_rng.random() < self.trace_sample_rate
+        )):
+            return None
+        parent = (environ.get("HTTP_X_REPRO_PARENT_SPAN") or "").strip()
+        return Tracer(inbound or None, parent_span_id=parent or None, query=text)
 
     # ------------------------------------------------------------------
     # Suggestion API (the Predictive User Model over HTTP)
@@ -333,6 +416,13 @@ class SparqlWsgiApp:
         if session is not None and not isinstance(session, str):
             return _failure(400, "'session' must be a string token")
 
+        snippet = document.get("query") or document.get("text") or ""
+        tracer = None
+        if self._suggest_traceable:
+            tracer = self._maybe_tracer(
+                environ, snippet if isinstance(snippet, str) else "", False
+            )
+
         admitted, queued_s = self._admit()
         if not admitted:
             return _failure(
@@ -347,9 +437,9 @@ class SparqlWsgiApp:
                 self.stats.observe_queue(self._queued, self._in_flight)
             try:
                 if path == "/complete":
-                    response = self._run_complete(document)
+                    response = self._run_complete(document, tracer)
                 else:
-                    response = self._run_suggest(document)
+                    response = self._run_suggest(document, tracer)
             finally:
                 with self._queue_lock:
                     self._in_flight -= 1
@@ -368,27 +458,44 @@ class SparqlWsgiApp:
 
         if session is not None:
             self._touch_session(session, path.lstrip("/"))
+        if tracer is not None:
+            trace = tracer.finish()
+            self.slow_log.offer(
+                snippet if isinstance(snippet, str) else "",
+                trace.wall_ms / 1000.0,
+                trace.to_dict(),
+                route=path.lstrip("/"),
+            )
         payload = dump_document(response)
         headers = {"Content-Type": f"{MIME_JSON_BODY}; charset=utf-8"}
         return 200, headers, payload, 0
 
-    def _run_complete(self, document: Dict) -> Dict:
+    def _run_complete(
+        self, document: Dict, tracer: Optional[Tracer] = None
+    ) -> Dict:
         text = document.get("text")
         if not isinstance(text, str):
             raise _HttpFail(400, "missing required 'text' string")
         k = document.get("k")
         if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 1):
             raise _HttpFail(400, "'k' must be a positive integer")
+        if tracer is not None:
+            return completion_document(self.suggester.complete(text, k, tracer))
         return completion_document(self.suggester.complete(text, k))
 
-    def _run_suggest(self, document: Dict) -> Dict:
+    def _run_suggest(
+        self, document: Dict, tracer: Optional[Tracer] = None
+    ) -> Dict:
         query = document.get("query")
         if not isinstance(query, str):
             raise _HttpFail(400, "missing required 'query' string")
         suggest = document.get("suggest", True)
         if not isinstance(suggest, bool):
             raise _HttpFail(400, "'suggest' must be a boolean")
-        outcome = self.suggester.run_query(query, suggest=suggest)
+        if tracer is not None:
+            outcome = self.suggester.run_query(query, suggest=suggest, tracer=tracer)
+        else:
+            outcome = self.suggester.run_query(query, suggest=suggest)
         return outcome_document(outcome)
 
     def _read_json_body(self, environ) -> Dict:
@@ -450,16 +557,26 @@ class SparqlWsgiApp:
         return 200, {"Content-Type": "text/plain; charset=utf-8"}, payload, 0
 
     @staticmethod
-    def _explain_flag(params: Dict[str, List[str]]) -> bool:
-        values = params.get("explain")
+    def _flag(params: Dict[str, List[str]], name: str) -> bool:
+        values = params.get(name)
         return bool(values) and values[0].strip().lower() in ("1", "true", "yes")
 
-    def _extract_query(self, environ, method: str) -> Tuple[Optional[str], bool]:
-        """The query text and whether an EXPLAIN (not execution) is asked."""
+    @classmethod
+    def _explain_flag(cls, params: Dict[str, List[str]]) -> bool:
+        return cls._flag(params, "explain")
+
+    def _extract_query(
+        self, environ, method: str
+    ) -> Tuple[Optional[str], bool, bool]:
+        """The query text plus the EXPLAIN and ANALYZE request flags."""
         if method == "GET":
             params = parse_qs(environ.get("QUERY_STRING", ""))
             values = params.get("query")
-            return values[0] if values else None, self._explain_flag(params)
+            return (
+                values[0] if values else None,
+                self._flag(params, "explain"),
+                self._flag(params, "analyze"),
+            )
 
         content_type = (environ.get("CONTENT_TYPE") or "").split(";")[0].strip().lower()
         try:
@@ -474,11 +591,15 @@ class SparqlWsgiApp:
         except UnicodeDecodeError as exc:
             raise _HttpFail(400, f"request body is not valid UTF-8: {exc}") from exc
         if content_type == MIME_SPARQL_QUERY:
-            return decoded or None, False
+            return decoded or None, False, False
         if content_type in (MIME_FORM, ""):
             params = parse_qs(decoded)
             values = params.get("query")
-            return values[0] if values else None, self._explain_flag(params)
+            return (
+                values[0] if values else None,
+                self._flag(params, "explain"),
+                self._flag(params, "analyze"),
+            )
         raise _HttpFail(
             415, f"unsupported Content-Type {content_type!r}: "
                  f"use {MIME_FORM} or {MIME_SPARQL_QUERY}")
@@ -502,16 +623,18 @@ class SparqlWsgiApp:
                 self._queued -= 1
         return admitted, time.perf_counter() - started
 
-    def _execute(self, parsed: Query):
+    def _execute(self, parsed: Query, tracer: Optional[Tracer] = None):
         backend = self.backend
         # FederatedQueryProcessor.select()/ask() only take query text,
         # but its run() accepts a parsed AST; endpoints take both.
+        # ``tracer`` is only ever non-None when the capability check at
+        # construction saw a ``tracer`` parameter on this surface.
         run = getattr(backend, "run", None)
         if run is not None:
-            return run(parsed)
+            return run(parsed, tracer=tracer) if tracer is not None else run(parsed)
         if parsed.form == "ASK":
-            return backend.ask(parsed)
-        return backend.select(parsed)
+            return backend.ask(parsed, tracer) if tracer is not None else backend.ask(parsed)
+        return backend.select(parsed, tracer) if tracer is not None else backend.select(parsed)
 
     # ------------------------------------------------------------------
     # Response helpers
@@ -529,6 +652,16 @@ class SparqlWsgiApp:
         headers = list(_json_headers(len(payload)).items()) + (extra_headers or [])
         start_response(_STATUS_LINES[status], headers)
         return [payload]
+
+
+def _accepts_tracer(method) -> bool:
+    """True when ``method`` has an inspectable ``tracer`` parameter."""
+    if method is None:
+        return False
+    try:
+        return "tracer" in inspect.signature(method).parameters
+    except (TypeError, ValueError):
+        return False
 
 
 def _default_deadline(backend) -> Optional[float]:

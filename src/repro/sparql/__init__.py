@@ -49,6 +49,7 @@ from .functions import effective_boolean_value, evaluate_expression
 from .parser import parse_query
 from .results import AskResult, SelectResult
 from .tokens import Token, tokenize
+from .trace import QueryTrace, Span, Tracer
 
 __all__ = [
     "parse_query",
@@ -87,6 +88,9 @@ __all__ = [
     "explain_plan",
     "evaluate_expression",
     "effective_boolean_value",
+    "Span",
+    "QueryTrace",
+    "Tracer",
     "SelectResult",
     "AskResult",
     "SparqlError",

@@ -49,8 +49,9 @@ from .ast_nodes import (
 from .errors import EvaluationError, ExpressionError
 from .functions import effective_boolean_value, evaluate_expression
 from .parser import parse_query
-from .plan import DEFAULT_BATCH_SIZE, QueryPlanner, explain_plan
+from .plan import DEFAULT_BATCH_SIZE, QueryPlanner, explain_plan, refresh_plan_estimates
 from .results import AskResult, SelectResult
+from .trace import Tracer
 
 __all__ = ["QueryEvaluator", "EXECUTION_MODES", "evaluate", "finalize_solutions"]
 
@@ -161,7 +162,7 @@ class QueryEvaluator:
         # cache — skips the planner entirely.
         self._plan_cache: Dict[Tuple[int, Optional[int]], Tuple[object, object, object]] = {}
 
-    def _plan_group(self, group: GraphPattern, budget: Optional[int]):
+    def _plan_group(self, group: GraphPattern, budget: Optional[int], tracer=None):
         """Plan ``group`` under ``budget``, memoized per (group, budget,
         store generation).  ``None`` verdicts (shapes the planner cannot
         express) are cached too — they are just as expensive to recompute."""
@@ -169,7 +170,11 @@ class QueryEvaluator:
         generation = getattr(self.store, "generation", None)
         entry = self._plan_cache.get(key)
         if entry is not None and entry[0] is group and entry[1] == generation:
+            if tracer is not None:
+                tracer.event("plan-cache", hit=True)
             return entry[2]
+        if tracer is not None:
+            tracer.event("plan-cache", hit=False)
         plan = self._planner.plan(group, budget=budget)
         if len(self._plan_cache) >= 64:
             self._plan_cache.clear()
@@ -187,14 +192,53 @@ class QueryEvaluator:
     # Public API
     # ------------------------------------------------------------------
 
-    def evaluate(self, query: Query, meter: Optional[CostMeter] = None):
-        """Evaluate ``query``; returns :class:`SelectResult` or :class:`AskResult`."""
+    def evaluate(
+        self,
+        query: Query,
+        meter: Optional[CostMeter] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        """Evaluate ``query``; returns :class:`SelectResult` or :class:`AskResult`.
+
+        ``tracer`` (optional) records an operator-level execution trace
+        on the planned batch path; ``None`` keeps the hot path untouched
+        (a single ``is None`` test per operator per query).
+        """
         meter = meter or CostMeter()
         if query.form == "ASK":
-            for _ in self._solve_group(query.where, {}, meter):
+            for _ in self._solve_group(query.where, {}, meter, tracer=tracer):
                 return AskResult(True, cost=meter.cost)
             return AskResult(False, cost=meter.cost)
-        return self._evaluate_select(query, meter)
+        return self._evaluate_select(query, meter, tracer)
+
+    def analyze(
+        self,
+        query: "Query | str",
+        meter: Optional[CostMeter] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        """EXPLAIN ANALYZE: execute ``query`` under a tracer and return
+        ``(result, trace)`` where ``trace`` is the finished
+        :class:`~repro.sparql.trace.QueryTrace`.
+
+        Cardinality estimates on a reused physical plan are re-resolved
+        against current store statistics before execution
+        (:func:`~repro.sparql.plan.refresh_plan_estimates`), so the
+        ``est`` attributes in the trace reflect generation-current stats
+        even when the plan object predates a store mutation.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        meter = meter or CostMeter()
+        if tracer is None:
+            tracer = Tracer(query=query if isinstance(query, str) else "")
+        if self.use_planner and not parsed.where.optionals:
+            plan = self._plan_group(parsed.where, meter.budget, tracer)
+            if plan is not None:
+                refresh_plan_estimates(plan, self.store)
+        result = self.evaluate(parsed, meter, tracer=tracer)
+        trace = tracer.finish()
+        trace.attrs["cost"] = meter.cost
+        return result, trace
 
     def explain(self, query: "Query | str", budget: Optional[int] = None) -> str:
         """Human-readable plan dump for ``query`` (no execution).
@@ -283,10 +327,12 @@ class QueryEvaluator:
     # SELECT pipeline
     # ------------------------------------------------------------------
 
-    def _evaluate_select(self, query: Query, meter: CostMeter) -> SelectResult:
+    def _evaluate_select(
+        self, query: Query, meter: CostMeter, tracer: Optional[Tracer] = None
+    ) -> SelectResult:
         if not (query.has_aggregates() or query.group_by or query.order_by):
-            return self._evaluate_select_streaming(query, meter)
-        solutions = list(self._solve_group(query.where, {}, meter))
+            return self._evaluate_select_streaming(query, meter, tracer)
+        solutions = list(self._solve_group(query.where, {}, meter, tracer=tracer))
 
         if query.has_aggregates() or query.group_by:
             rows = self._aggregate(query, solutions)
@@ -315,7 +361,9 @@ class QueryEvaluator:
 
         return SelectResult(variables=names, rows=rows, cost=meter.cost)
 
-    def _evaluate_select_streaming(self, query: Query, meter: CostMeter) -> SelectResult:
+    def _evaluate_select_streaming(
+        self, query: Query, meter: CostMeter, tracer: Optional[Tracer] = None
+    ) -> SelectResult:
         """Pipeline for queries without aggregation or ordering.
 
         Solutions stream straight out of the join (planner or
@@ -327,14 +375,18 @@ class QueryEvaluator:
         names = query.projected_names()
         plan = _PLAN_UNSET
         if self.use_planner and not query.where.optionals:
-            plan = self._plan_group(query.where, meter.budget)
+            plan = self._plan_group(query.where, meter.budget, tracer)
             if plan is not None:
                 items = self._plain_variable_items(query)
                 if items is not None:
-                    return self._select_from_plan(query, plan, names, items, meter)
+                    return self._select_from_plan(
+                        query, plan, names, items, meter, tracer
+                    )
         projected = (
             self._project(solution, query, names)
-            for solution in self._solve_group(query.where, {}, meter, prepared_plan=plan)
+            for solution in self._solve_group(
+                query.where, {}, meter, prepared_plan=plan, tracer=tracer
+            )
         )
         rows = _paginate(
             projected,
@@ -367,6 +419,7 @@ class QueryEvaluator:
         names: Sequence[str],
         items: List[Tuple[str, str]],
         meter: CostMeter,
+        tracer: Optional[Tracer] = None,
     ) -> SelectResult:
         """Late materialization: project, deduplicate and page entirely
         on dictionary-ID tuples; decode only the rows that survive.
@@ -395,10 +448,12 @@ class QueryEvaluator:
                 batch_size = max(1, min(batch_size, limit + offset))
             elif not distinct and not offset:
                 # Fast path: every row survives — decode whole columns.
-                return self._select_all_batches(plan, pairs, names, meter, batch_size)
+                return self._select_all_batches(
+                    plan, pairs, names, meter, batch_size, tracer
+                )
             source = (
                 row
-                for batch in plan.batches(store, meter, batch_size)
+                for batch in plan.batches(store, meter, batch_size, tracer)
                 for row in batch.iter_rows()
             )
         picked = _paginate(
@@ -426,6 +481,7 @@ class QueryEvaluator:
         names: Sequence[str],
         meter: CostMeter,
         batch_size: int,
+        tracer: Optional[Tracer] = None,
     ) -> SelectResult:
         """Unmodified SELECT tail: decode surviving columns wholesale.
 
@@ -438,7 +494,7 @@ class QueryEvaluator:
         live_pairs = [(out, slot) for out, slot in pairs if slot is not None]
         outs = [out for out, _ in live_pairs]
         rows: List[Binding] = []
-        for batch in plan.batches(store, meter, batch_size):
+        for batch in plan.batches(store, meter, batch_size, tracer):
             if not live_pairs:
                 rows.extend({} for _ in range(batch.length))
                 continue
@@ -503,6 +559,7 @@ class QueryEvaluator:
         initial: Binding,
         meter: CostMeter,
         prepared_plan=_PLAN_UNSET,
+        tracer: Optional[Tracer] = None,
     ) -> Iterator[Binding]:
         """Solve one group graph pattern: planned operators or the
         term-space fallback, with OPTIONAL application shared by both.
@@ -515,7 +572,7 @@ class QueryEvaluator:
         the ``None`` verdict) a caller already computed, so a query is
         never planned twice.
         """
-        base = self._solve_compound(group, initial, meter, prepared_plan)
+        base = self._solve_compound(group, initial, meter, prepared_plan, tracer)
         if not group.optionals:
             yield from base
             return
@@ -528,10 +585,11 @@ class QueryEvaluator:
         initial: Binding,
         meter: CostMeter,
         prepared_plan=_PLAN_UNSET,
+        tracer: Optional[Tracer] = None,
     ) -> Iterator[Binding]:
         if self.use_planner and not initial:
             plan = (
-                self._plan_group(group, meter.budget)
+                self._plan_group(group, meter.budget, tracer)
                 if prepared_plan is _PLAN_UNSET
                 else prepared_plan
             )
@@ -549,7 +607,7 @@ class QueryEvaluator:
                         }
                     return
                 terms = store.dictionary.terms
-                for batch in plan.batches(store, meter, batch_size):
+                for batch in plan.batches(store, meter, batch_size, tracer):
                     if batch.has_unbound:
                         for row in batch.iter_raw():
                             yield {

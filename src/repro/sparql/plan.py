@@ -101,6 +101,7 @@ __all__ = [
     "RemoteBindJoinNode",
     "QueryPlanner",
     "explain_plan",
+    "refresh_plan_estimates",
 ]
 
 #: A bind join is preferred while the accumulated left side is this many
@@ -213,21 +214,36 @@ class PlanNode:
         store: TripleStore,
         meter: Optional[CostMeter],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        tracer=None,
     ) -> Iterator[Batch]:
         """The primary execution contract: a stream of :class:`Batch`.
 
         Operators with a native ``_produce_batches`` stay columnar end
         to end; the base class adapts row-wise ``_produce`` operators by
         chunking, so every node speaks batches regardless of vintage.
-        """
-        produced = self._produce_batches(store, meter, batch_size)
-        if not self.filters:
-            return produced
-        return self._filtered_batches(produced, store)
 
-    def rows(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        ``tracer`` (a :class:`~repro.sparql.trace.Tracer`) threads the
+        EXPLAIN ANALYZE instrumentation through the tree.  It follows
+        the cost-meter gating idiom: with the default ``None`` this
+        method does nothing but pass the argument along, so the traced
+        machinery costs the hot path exactly one ``is None`` test per
+        operator per query.
+        """
+        produced = self._produce_batches(store, meter, batch_size, tracer)
+        if self.filters:
+            produced = self._filtered_batches(produced, store)
+        if tracer is not None:
+            return tracer.wrap_batches(self, produced)
+        return produced
+
+    def rows(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        tracer=None,
+    ) -> Iterator[IdRow]:
         """Compatibility adapter: flatten :meth:`batches` into tuples."""
-        for batch in self.batches(store, meter):
+        for batch in self.batches(store, meter, tracer=tracer):
             yield from batch.iter_rows()
 
     def rows_tuple(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
@@ -250,6 +266,7 @@ class PlanNode:
         store: TripleStore,
         meter: Optional[CostMeter],
         batch_size: int,
+        tracer=None,
     ) -> Iterator[Batch]:
         """Default adapter: chunk the row-wise ``_produce`` into batches.
 
@@ -259,7 +276,7 @@ class PlanNode:
         width = len(self.variables)
         if width == 0:
             count = 0
-            for _ in self._produce(store, meter):
+            for _ in self._batch_rows(store, meter, tracer):
                 count += 1
                 if count >= batch_size:
                     yield Batch((), count)
@@ -270,7 +287,7 @@ class PlanNode:
         buffers: List[List[int]] = [[] for _ in range(width)]
         has_unbound = False
         length = 0
-        for row in self._produce(store, meter):
+        for row in self._batch_rows(store, meter, tracer):
             for slot, cell in enumerate(row):
                 if cell is None:
                     cell = UNBOUND
@@ -288,6 +305,21 @@ class PlanNode:
             yield Batch(
                 tuple(array("q", buf) for buf in buffers), length, has_unbound
             )
+
+    def _batch_rows(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        tracer,
+    ) -> Iterator[IdRow]:
+        """Row source for the chunking adapter.
+
+        The remote operators override this to thread the tracer into
+        their per-source fetch spans; every other row-wise operator
+        ignores it (the node-level span from :meth:`batches` is enough).
+        """
+        del tracer
+        return self._produce(store, meter)
 
     def _filtered_batches(
         self, batches: Iterator[Batch], store: TripleStore
@@ -456,13 +488,16 @@ class ScanNode(PlanNode):
         store: TripleStore,
         meter: Optional[CostMeter],
         batch_size: int,
+        tracer=None,
     ) -> Iterator[Batch]:
         s, p, o = self.probe
         positions = self.out_positions
         if not positions:
             # Fully concrete pattern (existence check): the planner never
             # builds this shape, but stay correct if constructed directly.
-            yield from PlanNode._produce_batches(self, store, meter, batch_size)
+            yield from PlanNode._produce_batches(
+                self, store, meter, batch_size, tracer
+            )
             return
         if not self.checks:
             for columns in store.match_columns(
@@ -580,6 +615,7 @@ class HashJoinNode(PlanNode):
         store: TripleStore,
         meter: Optional[CostMeter],
         batch_size: int,
+        tracer=None,
     ) -> Iterator[Batch]:
         single = len(self.left_key_slots) == 1
         rkeys = self.right_key_slots
@@ -595,13 +631,13 @@ class HashJoinNode(PlanNode):
             if single:
                 rcols = []
                 total = 0
-                for rbatch in self.right.batches(store, meter, batch_size):
+                for rbatch in self.right.batches(store, meter, batch_size, tracer):
                     rcols.append(rbatch.columns[rkeys[0]])
                     total += rbatch.length
                 unique = set(chain.from_iterable(rcols))
                 if len(unique) == total:
                     contains = unique.__contains__
-                    for lbatch in self.left.batches(store, meter, batch_size):
+                    for lbatch in self.left.batches(store, meter, batch_size, tracer):
                         flags = list(map(contains, lbatch.columns[lkey]))
                         if all(flags):
                             if charge is not None:
@@ -628,12 +664,12 @@ class HashJoinNode(PlanNode):
                         counts[key] = counts.get(key, 0) + 1
             else:
                 counts = {}
-                for rbatch in self.right.batches(store, meter, batch_size):
+                for rbatch in self.right.batches(store, meter, batch_size, tracer):
                     for row in rbatch.iter_raw():
                         key = tuple(row[i] for i in rkeys)
                         counts[key] = counts.get(key, 0) + 1
             cget = counts.get
-            for lbatch in self.left.batches(store, meter, batch_size):
+            for lbatch in self.left.batches(store, meter, batch_size, tracer):
                 if single:
                     # dict.get mapped over the key column: the whole
                     # lookup pass runs in C.
@@ -690,7 +726,7 @@ class HashJoinNode(PlanNode):
             width = len(self.left.variables)
             left_cols = [array("q") for _ in range(width)]
             left_unbound = False
-            for lbatch in self.left.batches(store, meter, batch_size):
+            for lbatch in self.left.batches(store, meter, batch_size, tracer):
                 left_unbound = left_unbound or lbatch.has_unbound
                 for slot, column in enumerate(lbatch.columns):
                     left_cols[slot].extend(column)
@@ -709,7 +745,7 @@ class HashJoinNode(PlanNode):
                 )
                 iget = index_of.get
                 rkey_slot = rkeys[0]
-                for rbatch in self.right.batches(store, meter, batch_size):
+                for rbatch in self.right.batches(store, meter, batch_size, tracer):
                     out_unbound = left_unbound or rbatch.has_unbound
                     rkey_col = rbatch.columns[rkey_slot]
                     if scalar_res is not None:
@@ -786,7 +822,7 @@ class HashJoinNode(PlanNode):
             rkey_cols = []
             rres_cols = []
             total = 0
-            for rbatch in self.right.batches(store, meter, batch_size):
+            for rbatch in self.right.batches(store, meter, batch_size, tracer):
                 right_unbound = right_unbound or rbatch.has_unbound
                 rkey_cols.append(rbatch.columns[rkeys[0]])
                 rres_cols.append(rbatch.columns[rres0])
@@ -860,7 +896,7 @@ class HashJoinNode(PlanNode):
             rkey_cols: List[array] = []
             rres_cols: List[array] = []
             total = 0
-            for rbatch in self.right.batches(store, meter, batch_size):
+            for rbatch in self.right.batches(store, meter, batch_size, tracer):
                 right_unbound = right_unbound or rbatch.has_unbound
                 rkey_cols.append(rbatch.columns[rkeys[0]])
                 rres_cols.append(rbatch.columns[rres0])
@@ -870,7 +906,7 @@ class HashJoinNode(PlanNode):
             )
             if len(scalar) == total:
                 fget = scalar.get
-                for lbatch in self.left.batches(store, meter, batch_size):
+                for lbatch in self.left.batches(store, meter, batch_size, tracer):
                     matches = list(map(fget, lbatch.columns[lkey]))
                     if None not in matches:
                         # Every left row joins exactly once: the output
@@ -911,7 +947,7 @@ class HashJoinNode(PlanNode):
             width = len(self.left.variables)
             left_cols = [array("q") for _ in range(width)]
             left_unbound = False
-            for lbatch in self.left.batches(store, meter, batch_size):
+            for lbatch in self.left.batches(store, meter, batch_size, tracer):
                 left_unbound = left_unbound or lbatch.has_unbound
                 for slot, column in enumerate(lbatch.columns):
                     left_cols[slot].extend(column)
@@ -990,7 +1026,7 @@ class HashJoinNode(PlanNode):
             return
         # General shape: buckets of residual tuples.
         table: Dict[object, List[Tuple[int, ...]]] = {}
-        for rbatch in self.right.batches(store, meter, batch_size):
+        for rbatch in self.right.batches(store, meter, batch_size, tracer):
             right_unbound = right_unbound or rbatch.has_unbound
             for row in rbatch.iter_raw():
                 key = row[rkeys[0]] if single else tuple(row[i] for i in rkeys)
@@ -1003,7 +1039,7 @@ class HashJoinNode(PlanNode):
                     else tuple(row[i] for i in rres)
                 )
         get = table.get
-        for lbatch in self.left.batches(store, meter, batch_size):
+        for lbatch in self.left.batches(store, meter, batch_size, tracer):
             if single:
                 buckets = map(get, lbatch.columns[lkey])
             else:
@@ -1105,6 +1141,7 @@ class BindJoinNode(PlanNode):
         store: TripleStore,
         meter: Optional[CostMeter],
         batch_size: int,
+        tracer=None,
     ) -> Iterator[Batch]:
         # Probing stays per left row (that is the operator's nature) but
         # output rows accumulate column-wise and flush as full batches.
@@ -1117,7 +1154,7 @@ class BindJoinNode(PlanNode):
         buffers: List[List[int]] = [[] for _ in range(width)]
         length = 0
         any_unbound = False
-        for lbatch in self.left.batches(store, meter, batch_size):
+        for lbatch in self.left.batches(store, meter, batch_size, tracer):
             any_unbound = any_unbound or lbatch.has_unbound
             for lrow in lbatch.iter_raw():
                 s = s_val if s_kind == "const" else lrow[s_val] if s_kind == "left" else None
@@ -1205,6 +1242,7 @@ class ValuesScanNode(PlanNode):
         store: TripleStore,
         meter: Optional[CostMeter],
         batch_size: int,
+        tracer=None,
     ) -> Iterator[Batch]:
         charge = meter.charge if meter is not None else None
         width = len(self.variables)
@@ -1271,13 +1309,14 @@ class UnionNode(PlanNode):
         store: TripleStore,
         meter: Optional[CostMeter],
         batch_size: int,
+        tracer=None,
     ) -> Iterator[Batch]:
         # Remapping a batch is pure column shuffling: existing columns
         # are passed through by reference, missing slots get a shared
         # UNBOUND pad column of the right length.
         for branch, mapping in zip(self.branches, self._maps):
             pad: Optional[array] = None
-            for batch in branch.batches(store, meter, batch_size):
+            for batch in branch.batches(store, meter, batch_size, tracer):
                 columns: List[array] = []
                 has_unbound = batch.has_unbound
                 for slot in mapping:
@@ -1363,14 +1402,15 @@ class MinusNode(PlanNode):
         store: TripleStore,
         meter: Optional[CostMeter],
         batch_size: int,
+        tracer=None,
     ) -> Iterator[Batch]:
         if not self.shared:
-            yield from self.left.batches(store, meter, batch_size)
+            yield from self.left.batches(store, meter, batch_size, tracer)
             return
         exact: set = set()
         loose: List[IdRow] = []
         right_slots = self.right_slots
-        for rbatch in self.right.batches(store, meter, batch_size):
+        for rbatch in self.right.batches(store, meter, batch_size, tracer):
             if rbatch.has_unbound:
                 for row in rbatch.iter_rows():
                     key = tuple(row[slot] for slot in right_slots)
@@ -1383,7 +1423,7 @@ class MinusNode(PlanNode):
                     exact.add(tuple(row[slot] for slot in right_slots))
         left_slots = self.left_slots
         compatible = self._compatible
-        for lbatch in self.left.batches(store, meter, batch_size):
+        for lbatch in self.left.batches(store, meter, batch_size, tracer):
             keep: List[int] = []
             for index, lrow in enumerate(lbatch.iter_rows()):
                 lkey = tuple(lrow[slot] for slot in left_slots)
@@ -1528,6 +1568,22 @@ class RemoteScanNode(PlanNode):
         super().__init__(tuple(names), est_rows)
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        return self._fetch(store, meter, None)
+
+    def _batch_rows(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        tracer,
+    ) -> Iterator[IdRow]:
+        return self._fetch(store, meter, tracer)
+
+    def _fetch(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        tracer,
+    ) -> Iterator[IdRow]:
         from ..endpoint.endpoint import EndpointError
         from .serializer import ask_query, select_query
 
@@ -1537,7 +1593,14 @@ class RemoteScanNode(PlanNode):
             probe = ask_query(self.patterns)
             for source in self.sources:
                 try:
-                    if source.ask(probe):
+                    if tracer is None:
+                        held = source.ask(probe)
+                    else:
+                        with tracer.remote_call(source, kind="ask") as span:
+                            held = source.ask(probe)
+                            if span is not None:
+                                span.attrs["held"] = bool(held)
+                    if held:
                         if charge is not None:
                             charge(1)
                         yield ()
@@ -1550,7 +1613,13 @@ class RemoteScanNode(PlanNode):
         seen: set = set()
         for source in self.sources:
             try:
-                result = source.select(query)
+                if tracer is None:
+                    result = source.select(query)
+                else:
+                    with tracer.remote_call(source, kind="select") as span:
+                        result = source.select(query)
+                        if span is not None:
+                            span.attrs["rows"] = len(result.rows)
             except EndpointError:
                 # A failing source cannot veto the others' answers.
                 continue
@@ -1608,17 +1677,37 @@ class RemoteBindJoinNode(PlanNode):
         self.maybe_unbound = left.maybe_unbound - set(self.shared)
 
     def _produce(self, store: TripleStore, meter: Optional[CostMeter]) -> Iterator[IdRow]:
+        return self._stream(store, meter, None)
+
+    def _batch_rows(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        tracer,
+    ) -> Iterator[IdRow]:
+        return self._stream(store, meter, tracer)
+
+    def _stream(self, store: TripleStore, meter: Optional[CostMeter],
+                tracer) -> Iterator[IdRow]:
+        # Traced executions pull the left side through the batch adapter
+        # so the whole subtree appears in the trace; the untraced path
+        # keeps the row-wise pull, byte-identical to the seed behaviour.
+        left_rows = (
+            self.left.rows_tuple(store, meter)
+            if tracer is None
+            else self.left.rows(store, meter, tracer=tracer)
+        )
         batch: List[IdRow] = []
-        for lrow in self.left.rows_tuple(store, meter):
+        for lrow in left_rows:
             batch.append(lrow)
             if len(batch) >= self.batch_size:
-                yield from self._flush(batch, store, meter)
+                yield from self._flush(batch, store, meter, tracer)
                 batch = []
         if batch:
-            yield from self._flush(batch, store, meter)
+            yield from self._flush(batch, store, meter, tracer)
 
     def _flush(self, batch: List[IdRow], store: TripleStore,
-               meter: Optional[CostMeter]) -> Iterator[IdRow]:
+               meter: Optional[CostMeter], tracer=None) -> Iterator[IdRow]:
         from ..endpoint.endpoint import EndpointError
         from .ast_nodes import GraphPattern as AstGroup, Query as AstQuery
 
@@ -1653,7 +1742,15 @@ class RemoteBindJoinNode(PlanNode):
         seen: set = set()
         for source in self.sources:
             try:
-                result = source.select(sub_query)
+                if tracer is None:
+                    result = source.select(sub_query)
+                else:
+                    with tracer.remote_call(
+                        source, kind="bind-join", bindings=len(term_keys)
+                    ) as span:
+                        result = source.select(sub_query)
+                        if span is not None:
+                            span.attrs["rows"] = len(result.rows)
             except EndpointError:
                 continue
             for row in result.rows:
@@ -2007,6 +2104,30 @@ def attach_ready_filters(node: PlanNode, pending: List[Expression]) -> None:
     for expr in ready:
         node.filters.append(expr)
         pending.remove(expr)
+
+
+def refresh_plan_estimates(node: PlanNode, store: TripleStore) -> PlanNode:
+    """Re-resolve leaf cardinality estimates from current store stats.
+
+    ``est=N`` on a plan is computed at *plan* time; a store mutated
+    since then (bumping :attr:`~repro.store.TripleStore.generation`)
+    leaves those numbers describing data that no longer exists.  The
+    generation-keyed plan cache already replans after mutations, but a
+    caller holding a plan object across writes would still print stale
+    estimates — EXPLAIN ANALYZE calls this first so the ``est → actual``
+    comparison is always against generation-current statistics.  Only
+    leaves re-resolve (scans against the backend's free estimates,
+    VALUES tables against their literal row count); join estimates
+    derive from the same statistics snapshot at planning, so a cached
+    same-generation plan is already consistent.
+    """
+    if isinstance(node, ScanNode):
+        node.est_rows = store.cardinality_estimate(node.pattern)
+    elif isinstance(node, ValuesScanNode):
+        node.est_rows = len(node.id_rows)
+    for child in node.children():
+        refresh_plan_estimates(child, store)
+    return node
 
 
 def explain_plan(node: PlanNode, indent: int = 0) -> str:
