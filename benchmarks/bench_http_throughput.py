@@ -39,6 +39,12 @@ from repro.net.wsgi import _percentile
 #: Concurrency gate: the server must sustain at least this many clients.
 N_CLIENTS = 8
 
+#: Pre-fork pool sizes for the worker-count scaling section.
+WORKER_COUNTS = [1, 2, 4]
+
+#: Timed rounds per worker count in the scaling section.
+SCALING_ROUNDS = 2
+
 #: Per-client query mix: scans, joins, aggregation, ASK-shaped traffic.
 QUERIES = [
     "SELECT ?s WHERE { ?s a dbo:Person } LIMIT 50",
@@ -113,6 +119,31 @@ def percentile(sample: List[float], fraction: float) -> float:
     return _percentile(sorted(sample), fraction)
 
 
+def update_bench_json(data: Dict, section: str = None) -> None:
+    """Merge results into the ``--json`` artifact.
+
+    Both tests in this file contribute to one ``BENCH_*.json``; merging
+    (instead of overwriting) keeps the artifact whole regardless of
+    which subset ran (``-k``).
+    """
+    json_path = os.environ.get("BENCH_JSON")
+    if not json_path:
+        return
+    try:
+        with open(json_path) as handle:
+            payload = json.load(handle)
+    except (FileNotFoundError, ValueError):
+        payload = {}
+    payload["benchmark"] = "http_throughput"
+    if section is None:
+        payload.update(data)
+    else:
+        payload[section] = data
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nresults written to {json_path}")
+
+
 def test_http_throughput(stack, benchmark):
     server, clients, expected = stack
     expected_rows_per_round = sum(len(rows) for rows in expected.values()) * len(clients)
@@ -158,26 +189,129 @@ def test_http_throughput(stack, benchmark):
         f"gate:           zero mismatches, stats reconciled",
     )
 
-    json_path = os.environ.get("BENCH_JSON")
-    if json_path:
-        payload = {
-            "benchmark": "http_throughput",
-            "clients": len(clients),
-            "queries_per_client": len(QUERIES),
-            "qps": qps,
-            "latency_ms": {"p50": p50_ms, "p99": p99_ms},
-            "rows_per_round": expected_rows_per_round,
-            "server_stats": after,
-            "gate": {
-                "min_clients": N_CLIENTS,
-                "mismatches": 0,
-                "reconciled": True,
-                "pass": True,
-            },
-        }
-        with open(json_path, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"\nresults written to {json_path}")
+    update_bench_json({
+        "clients": len(clients),
+        "queries_per_client": len(QUERIES),
+        "qps": qps,
+        "latency_ms": {"p50": p50_ms, "p99": p99_ms},
+        "rows_per_round": expected_rows_per_round,
+        "server_stats": after,
+        "gate": {
+            "min_clients": N_CLIENTS,
+            "mismatches": 0,
+            "reconciled": True,
+            "pass": True,
+        },
+    })
+
+
+def observed_workers(pool, n_requests: int = 24) -> set:
+    """Worker ids stamped on ``/health`` over fresh connections.
+
+    Each request opens its own connection, so the kernel's accept
+    balancing decides the worker; over 24 probes every worker of a
+    small pool is seen with overwhelming probability."""
+    from repro.net.wsgi import WORKER_HEADER
+
+    root = pool.url.rsplit("/", 1)[0]
+    seen = set()
+    for _ in range(n_requests):
+        with urllib.request.urlopen(root + "/health", timeout=10.0) as response:
+            response.read()
+            worker = response.headers.get(WORKER_HEADER)
+            if worker is not None:
+                seen.add(worker)
+    return seen
+
+
+def test_worker_scaling(tmp_path):
+    """Queries/s across pre-fork pool sizes over sharded SQLite snapshots.
+
+    Gate: zero row mismatches at every pool size, merged coordinator
+    ``/stats`` reconciling exactly with the client ledger, and >= 1.6x
+    QPS at 2 workers vs 1 on machines with >= 4 cores (relaxed to
+    parity-within-noise on smaller hosts, where the client and the
+    workers contend for the same cores)."""
+    from repro.net import PreforkServer, build_backend_from_spec, prepare_snapshots
+
+    spec = {"scale": "tiny", "seed": 42, "timeout_s": 30.0,
+            "execution": "auto", "sapphire": False, "n_shards": 2}
+    snapshot_spec = prepare_snapshots(spec, str(tmp_path / "data.sqlite"))
+
+    # Expected rows come from an in-process endpoint over the same
+    # read-only snapshot files the workers serve (LIMIT cuts depend on
+    # scan order, which differs between memory and SQLite shards).
+    origin = build_backend_from_spec(snapshot_spec)
+    expected = {query: row_key(origin.select(query)) for query in QUERIES}
+    rows_per_round = sum(len(rows) for rows in expected.values()) * N_CLIENTS
+    requests_per_round = N_CLIENTS * len(QUERIES)
+
+    qps_by_workers: Dict[int, float] = {}
+    for n_workers in WORKER_COUNTS:
+        pool = PreforkServer(
+            build_backend_from_spec, snapshot_spec, n_workers=n_workers,
+            app_kwargs={"max_workers": N_CLIENTS,
+                        "queue_limit": 4 * N_CLIENTS},
+        )
+        pool.start()
+        try:
+            clients = [
+                HttpSparqlEndpoint(pool.url, name=f"w{n_workers}-c{i}",
+                                   timeout_s=30.0)
+                for i in range(N_CLIENTS)
+            ]
+            run_round(clients, expected)  # warmup (snapshot page cache)
+            if n_workers > 1:
+                assert len(observed_workers(pool)) >= 2, \
+                    "accept balancing never spread load across workers"
+
+            before = pool.stats()
+            started = time.perf_counter()
+            for _ in range(SCALING_ROUNDS):
+                _, mismatches, rows_seen = run_round(clients, expected)
+                assert mismatches == [], "\n".join(mismatches)
+                assert rows_seen == rows_per_round
+            elapsed = time.perf_counter() - started
+            after = pool.stats()
+
+            driven = SCALING_ROUNDS * requests_per_round
+            assert after["requests"] - before["requests"] == driven
+            assert after["ok"] - before["ok"] == driven
+            assert (after["rows_served"] - before["rows_served"]
+                    == SCALING_ROUNDS * rows_per_round)
+            assert after["n_workers"] == n_workers
+            qps_by_workers[n_workers] = driven / elapsed
+        finally:
+            pool.stop()
+
+    speedup = qps_by_workers[2] / qps_by_workers[1]
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        threshold, basis = 1.6, f"{cpus} cores: near-linear gate"
+    else:
+        threshold, basis = 0.8, f"{cpus} core(s): relaxed to parity"
+    assert speedup >= threshold, (
+        f"2-worker speedup {speedup:.2f}x below {threshold}x ({basis})")
+
+    lines = [
+        f"  {n} worker(s): {qps_by_workers[n]:,.0f} queries/s"
+        for n in WORKER_COUNTS
+    ]
+    emit(
+        "Worker-count scaling — pre-fork pool, 2-shard SQLite snapshots",
+        "\n".join(lines) + "\n"
+        f"2-worker speedup: {speedup:.2f}x (gate {threshold}x, {basis})\n"
+        f"gate:             zero mismatches, merged /stats reconciled",
+    )
+
+    update_bench_json({
+        "shards": 2,
+        "clients": N_CLIENTS,
+        "rounds": SCALING_ROUNDS,
+        "qps_by_workers": {str(n): qps_by_workers[n] for n in WORKER_COUNTS},
+        "speedup_2_workers": speedup,
+        "gate": {"threshold": threshold, "cpus": cpus, "pass": True},
+    }, section="worker_scaling")
 
 
 def test_overload_sheds_load_cleanly(stack):

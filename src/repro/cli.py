@@ -151,9 +151,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "initialization first): queries federate and "
                             "the /complete + /suggest suggestion API is "
                             "enabled")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pre-fork worker processes sharing the port; "
+                            ">1 serves through a PreforkServer pool over "
+                            "read-only SQLite snapshots, with a merged "
+                            "/stats coordinator (default: 1)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="hash-partition the store across N shards by "
+                            "subject ID; scatter-gather scans show up in "
+                            "EXPLAIN as ShardScan nodes (default: 1)")
     serve.add_argument("--smoke", action="store_true",
-                       help="bind, print the URL, and exit without serving "
-                            "(used by CI)")
+                       help="boot, serve one health probe, drain, and exit "
+                            "(used by CI; single-worker mode just binds "
+                            "and exits)")
 
     replay = commands.add_parser(
         "replay",
@@ -185,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay against this running server "
                              "('repro serve --sapphire') instead of an "
                              "in-process one")
+    replay.add_argument("--workers", type=int, default=1,
+                        help="serve the in-process server from this many "
+                             "pre-fork workers (sharded SQLite snapshots; "
+                             "reconciliation runs against the merged "
+                             "coordinator /stats; default: 1)")
+    replay.add_argument("--shards", type=int, default=1,
+                        help="shard count for the in-process server's "
+                             "store (default: 1)")
     replay.add_argument("--emit-scripts", metavar="PATH", default=None,
                         help="write the generated scripts as canonical "
                              "JSON and exit without replaying")
@@ -372,12 +390,90 @@ def _cmd_init(args) -> int:
     return 0
 
 
+def _serve_prefork(args) -> int:
+    """``serve --workers N``: a pre-fork pool over SQLite snapshots."""
+    import os
+    import tempfile
+    import time
+    import urllib.request
+
+    from .net import PreforkServer, build_backend_from_spec, prepare_snapshots
+
+    spec = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "timeout_s": args.timeout_s,
+        "execution": args.execution,
+        "tree_capacity": args.tree_capacity,
+        "sapphire": bool(args.sapphire),
+        "n_shards": args.shards,
+    }
+    app_kwargs = {
+        "max_workers": args.max_workers,
+        "queue_limit": args.queue_limit,
+    }
+    if args.trace_sample_rate is not None:
+        app_kwargs["trace_sample_rate"] = args.trace_sample_rate
+    if args.slow_threshold_s is not None:
+        app_kwargs["slow_query_threshold_s"] = args.slow_threshold_s
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        print(f"preparing {args.shards} SQLite snapshot shard(s) "
+              f"({args.scale}, seed {args.seed}) ...")
+        spec = prepare_snapshots(spec, os.path.join(tmp, "data.sqlite"))
+        pool = PreforkServer(
+            build_backend_from_spec, spec,
+            n_workers=args.workers, host=args.host, port=args.port,
+            app_kwargs=app_kwargs,
+        )
+        pool.start()
+        try:
+            pids = ", ".join(str(view["pid"]) for view in pool.workers_view())
+            print(f"workers:  {args.workers} (pids {pids}), "
+                  f"{args.shards} shard(s)")
+            print(f"endpoint: {pool.url}")
+            print(f"stats:    {pool.stats_url}/stats  (merged across workers)")
+            if args.sapphire:
+                root = pool.url.rsplit("/", 1)[0]
+                print(f"complete: {root}/complete")
+                print(f"suggest:  {root}/suggest")
+            if args.smoke:
+                probe = pool.url.rsplit("/", 1)[0] + "/health"
+                with urllib.request.urlopen(probe, timeout=10) as response:
+                    response.read()
+                merged = pool.stats()
+                print(f"smoke: health ok, merged /stats reached "
+                      f"{merged['n_workers']} worker(s); draining")
+                return 0
+            print("serving — Ctrl+C to stop")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+        finally:
+            pool.stop()
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .net import SparqlHttpServer
 
+    if args.workers < 1 or args.shards < 1:
+        print("--workers and --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _serve_prefork(args)
     dataset = build_dataset(_SCALES[args.scale](seed=args.seed))
+    store = dataset.store
+    if args.shards > 1:
+        from .store import TripleStore, create_sharded_backend
+
+        sharded = TripleStore(backend=create_sharded_backend(
+            args.shards, "memory"))
+        sharded.add_all(store.triples())
+        store = sharded
     endpoint = SparqlEndpoint(
-        dataset.store,
+        store,
         EndpointConfig(timeout_s=args.timeout_s),
         name=f"dbpedia-{args.scale}",
         execution=args.execution,
@@ -406,6 +502,8 @@ def _cmd_serve(args) -> int:
         slow_log_size=config.slow_log_size,
     )
     print(f"dataset: {len(dataset.store):,} triples ({args.scale}, seed {args.seed})")
+    if args.shards > 1:
+        print(f"shards:  {store.backend.shard_sizes()} (subject-hash)")
     print(f"endpoint: {server.url}")
     print(f"health:   http://{server.host}:{server.port}/health")
     print(f"stats:    http://{server.host}:{server.port}/stats")
@@ -443,14 +541,50 @@ def _cmd_replay(args) -> int:
         return 0
 
     with contextlib.ExitStack() as stack:
+        stats_url = None
         if args.url:
             url = args.url
+        elif args.workers > 1:
+            import os
+            import tempfile
+
+            from .net import (PreforkServer, build_backend_from_spec,
+                              prepare_snapshots)
+
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-replay-"))
+            spec = prepare_snapshots({
+                "scale": args.scale, "seed": args.seed, "timeout_s": 2.0,
+                "execution": args.execution,
+                "tree_capacity": args.tree_capacity,
+                "sapphire": True, "n_shards": args.shards,
+            }, os.path.join(tmp, "data.sqlite"))
+            pool = PreforkServer(
+                build_backend_from_spec, spec, n_workers=args.workers,
+                app_kwargs={"trace_sample_rate": 0.05},
+            )
+            pool.start()
+            stack.callback(pool.stop)
+            url = pool.url
+            # Reconciliation must read the coordinator's merged /stats:
+            # any single worker only accounts for its share of requests.
+            stats_url = pool.stats_url
+            print(f"server: {url} (pre-fork, {args.workers} workers, "
+                  f"{args.shards} shard(s), {args.scale} dataset)")
         else:
             from .net import SparqlHttpServer
 
             dataset = build_dataset(_SCALES[args.scale](seed=args.seed))
+            store = dataset.store
+            if args.shards > 1:
+                from .store import TripleStore, create_sharded_backend
+
+                sharded = TripleStore(backend=create_sharded_backend(
+                    args.shards, "memory"))
+                sharded.add_all(store.triples())
+                store = sharded
             endpoint = SparqlEndpoint(
-                dataset.store, EndpointConfig(timeout_s=2.0),
+                store, EndpointConfig(timeout_s=2.0),
                 name=f"dbpedia-{args.scale}",
                 execution=args.execution,
             )
@@ -468,7 +602,7 @@ def _cmd_replay(args) -> int:
 
         report = run_replay(
             scripts, url, processes=args.processes, pace=args.pace,
-            tick_s=args.tick_s,
+            tick_s=args.tick_s, stats_url=stats_url,
         )
         try:
             from .net import fetch_slow_log
@@ -487,6 +621,10 @@ def _cmd_replay(args) -> int:
         print(f"  {route}: {counters['attempts']} attempts, "
               f"{counters['ok']} ok, {counters['rejected']} rejected, "
               f"{counters['timeouts']} timeouts, client p50 {p50:.1f}ms")
+    if ledger.workers:
+        spread = ", ".join(f"#{wid}: {count}"
+                           for wid, count in sorted(ledger.workers.items()))
+        print(f"  per-worker responses: {spread}")
     if report.mismatches:
         print("RECONCILIATION MISMATCHES:")
         for mismatch in report.mismatches:

@@ -86,6 +86,17 @@ class SapphireConfig:
     #: (same engine, no file — useful in tests).
     storage_path: Optional[str] = None
 
+    # --- Scale-out serving (docs/server.md) -----------------------------
+    #: Hash-partition the store across this many shards (by subject ID).
+    #: 1 = unsharded.  Sharded stores plan scatter-gather scans
+    #: (:class:`~repro.sparql.plan.ShardScanNode`) for subject-wildcard
+    #: patterns and answer subject-bound probes from a single shard.
+    n_shards: int = 1
+    #: Pre-fork worker processes behind one serving port.  1 = the
+    #: classic single-process :class:`~repro.net.server.SparqlHttpServer`;
+    #: >1 = a :class:`~repro.net.prefork.PreforkServer` pool.
+    n_workers: int = 1
+
     # --- Query execution (docs/query-planning.md) ----------------------
     #: Evaluation strategy for every endpoint the server builds:
     #: ``"auto"`` (planner with term-space fallback), ``"planner"``, or
@@ -131,3 +142,15 @@ class SapphireConfig:
         if backend not in ("memory", "sqlite"):
             raise ValueError(f"unknown storage backend {backend!r}")
         return replace(self, storage_backend=backend, storage_path=path)
+
+    def with_scaleout(
+        self, n_workers: Optional[int] = None, n_shards: Optional[int] = None
+    ) -> "SapphireConfig":
+        """Copy with a different serving topology (worker/shard counts)."""
+        workers = self.n_workers if n_workers is None else n_workers
+        shards = self.n_shards if n_shards is None else n_shards
+        if workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        return replace(self, n_workers=workers, n_shards=shards)

@@ -240,6 +240,21 @@ def open_store(
     file yields a store already holding its persisted triples.
     """
     config = config or SapphireConfig()
+    if config.n_shards > 1:
+        from ..store import create_sharded_backend
+
+        if path is not None or config.storage_backend == "sqlite":
+            target = path or config.storage_path
+            if target is None:
+                raise ValueError(
+                    "a sharded SQLite store needs a file path "
+                    "(shards live at <path>.shardN)")
+            return TripleStore(backend=create_sharded_backend(
+                config.n_shards, "sqlite", str(target)))
+        if config.storage_backend == "memory":
+            return TripleStore(backend=create_sharded_backend(
+                config.n_shards, "memory"))
+        raise ValueError(f"unknown storage backend {config.storage_backend!r}")
     if path is not None or config.storage_backend == "sqlite":
         target = path or config.storage_path or ":memory:"
         return TripleStore(backend=SQLiteBackend(target))

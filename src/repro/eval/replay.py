@@ -334,6 +334,11 @@ class ReplayLedger:
         self.rows = 0
         self.sessions = 0
         self.session_ok_calls = 0   # 200s on /complete+/suggest (token'd)
+        #: Server-visible responses per pre-fork worker id (the
+        #: ``X-Repro-Worker`` echo) — empty against single-process
+        #: servers.  Reconciliation uses this to validate that a worker
+        #: pool actually spread the load.
+        self.workers: Dict[str, int] = {}
 
     def _route(self, route: str) -> Dict[str, int]:
         counters = self.routes.get(route)
@@ -345,10 +350,12 @@ class ReplayLedger:
         return counters
 
     def note(self, route: str, outcome: str, seconds: float,
-             rows: int = 0) -> None:
+             rows: int = 0, worker: Optional[str] = None) -> None:
         counters = self._route(route)
         counters["attempts"] += 1
         counters[outcome] += 1
+        if worker is not None and outcome != "unreachable":
+            self.workers[worker] = self.workers.get(worker, 0) + 1
         if outcome == "ok":
             self.rows += rows
             self.latency[route].record(seconds)
@@ -364,6 +371,8 @@ class ReplayLedger:
         self.rows += other.rows
         self.sessions += other.sessions
         self.session_ok_calls += other.session_ok_calls
+        for worker, count in other.workers.items():
+            self.workers[worker] = self.workers.get(worker, 0) + count
 
     def total(self, field_name: str) -> int:
         return sum(counters.get(field_name, 0)
@@ -390,6 +399,7 @@ class ReplayLedger:
             "rows": self.rows,
             "sessions": self.sessions,
             "session_ok_calls": self.session_ok_calls,
+            "workers": dict(sorted(self.workers.items())),
         }
 
     @classmethod
@@ -406,6 +416,10 @@ class ReplayLedger:
         ledger.sessions = int(document.get("sessions", 0))  # type: ignore[arg-type]
         ledger.session_ok_calls = int(
             document.get("session_ok_calls", 0))  # type: ignore[arg-type]
+        ledger.workers = {
+            str(worker): int(count)  # type: ignore[arg-type]
+            for worker, count in document.get("workers", {}).items()  # type: ignore[union-attr]
+        }
         return ledger
 
 
@@ -451,6 +465,7 @@ def replay_session(script: SessionScript, url: str, ledger: ReplayLedger,
             time.sleep((at - previous_at) * pace)
         previous_at = at
         route = str(event["route"])
+        caller = endpoint if route == "sparql" else client
         started = time.perf_counter()
         rows = 0
         try:
@@ -465,10 +480,11 @@ def replay_session(script: SessionScript, url: str, ledger: ReplayLedger,
                 rows = len(result.rows)
         except Exception as error:  # noqa: BLE001 — classified, never dropped
             ledger.note(route, _classify(error),
-                        time.perf_counter() - started)
+                        time.perf_counter() - started,
+                        worker=caller.last_worker)
         else:
             ledger.note(route, "ok", time.perf_counter() - started,
-                        rows=rows)
+                        rows=rows, worker=caller.last_worker)
     ledger.sessions += 1
 
 
@@ -556,13 +572,27 @@ def reconcile(before: Dict[str, object], after: Dict[str, object],
             mismatches.append(
                 f"session_activity: server {activity} != client "
                 f"{ledger.session_ok_calls}")
+    # Load spreading: against a pre-fork pool (the coordinator's /stats
+    # carries n_workers) a replay with a meaningful number of attributed
+    # responses must have reached more than one worker — every request
+    # opens a fresh connection, so all-on-one-worker means the pool is
+    # not actually balancing.
+    n_workers = int(after.get("n_workers", 1))  # type: ignore[arg-type]
+    attributed = sum(ledger.workers.values())
+    if n_workers > 1 and attributed >= 8 * n_workers:
+        spread = sum(1 for count in ledger.workers.values() if count > 0)
+        if spread < 2:
+            mismatches.append(
+                f"worker spread: all {attributed} attributed responses "
+                f"landed on one of {n_workers} workers")
     return mismatches
 
 
 def run_replay(scripts: Sequence[SessionScript], url: str, *,
                processes: int = 0, pace: float = 0.0,
                tick_s: float = 0.25, timeout_s: float = 30.0,
-               check_sessions: bool = True) -> ReplayReport:
+               check_sessions: bool = True,
+               stats_url: Optional[str] = None) -> ReplayReport:
     """Replay ``scripts`` against a live server and reconcile.
 
     ``processes=0`` replays inline in this process (fast, deterministic
@@ -571,8 +601,14 @@ def run_replay(scripts: Sequence[SessionScript], url: str, *,
     one server concurrently; the parent polls ``/stats/series`` every
     ``tick_s`` while they run, so the report's time series has one
     point per tick.
+
+    ``stats_url`` points reconciliation at a different observability
+    address than the query ``url`` — against a pre-fork pool it must be
+    the coordinator's merged ``/stats`` (one worker's counters only
+    cover that worker's share of the load).
     """
-    before = fetch_stats(url, timeout_s=timeout_s)
+    stats_url = stats_url or url
+    before = fetch_stats(stats_url, timeout_s=timeout_s)
     started = time.perf_counter()
 
     if processes <= 0:
@@ -582,7 +618,7 @@ def run_replay(scripts: Sequence[SessionScript], url: str, *,
             replay_session(script, url, ledger, pace=pace,
                            timeout_s=timeout_s)
             if (index + 1) % sample_every == 0:
-                fetch_stats_series(url, timeout_s=timeout_s)
+                fetch_stats_series(stats_url, timeout_s=timeout_s)
     else:
         import multiprocessing
 
@@ -626,15 +662,15 @@ def run_replay(scripts: Sequence[SessionScript], url: str, *,
                         break
                 break
             try:
-                fetch_stats_series(url, timeout_s=timeout_s)
+                fetch_stats_series(stats_url, timeout_s=timeout_s)
             except EndpointError:
                 pass  # the server may be mid-restart (chaos tests)
         for worker in workers:
             worker.join(timeout=30.0)
 
     wall_s = time.perf_counter() - started
-    after = fetch_stats(url, timeout_s=timeout_s)
-    series_document = fetch_stats_series(url, timeout_s=timeout_s)
+    after = fetch_stats(stats_url, timeout_s=timeout_s)
+    series_document = fetch_stats_series(stats_url, timeout_s=timeout_s)
     deltas = route_deltas(before, after, routes=sorted(ledger.routes))
     mismatches = reconcile(before, after, ledger,
                            check_sessions=check_sessions)

@@ -47,7 +47,14 @@ from .formats import (
     write_tsv,
     write_xml,
 )
-from .metrics import LatencyHistogram, SlowQueryLog, StatsTimeSeries, route_deltas
+from .metrics import (
+    LatencyHistogram,
+    SlowQueryLog,
+    StatsTimeSeries,
+    merge_stats_bodies,
+    route_deltas,
+)
+from .prefork import PreforkServer, build_backend_from_spec, prepare_snapshots
 from .server import SparqlHttpServer
 from .suggest import (
     RemoteCompletion,
@@ -86,6 +93,10 @@ __all__ = [
     "SparqlHttpServer",
     "SparqlWsgiApp",
     "ServerStats",
+    "PreforkServer",
+    "build_backend_from_spec",
+    "prepare_snapshots",
+    "merge_stats_bodies",
     "FormatError",
     "NotAcceptable",
     "negotiate",

@@ -63,7 +63,7 @@ from .suggest import (
     parse_completion,
     parse_outcome,
 )
-from .wsgi import MIME_FORM
+from .wsgi import MIME_FORM, WORKER_HEADER
 
 __all__ = [
     "ConnectionFailed",
@@ -120,6 +120,11 @@ class HttpSparqlEndpoint:
         self._rng = rng if rng is not None else random.Random(
             f"endpoint:{self.name}")
         self.log: List[QueryLogEntry] = []
+        #: Pre-fork worker id (``X-Repro-Worker``) of the most recent
+        #: response, or None against single-process servers.  Best-effort
+        #: last-write-wins under concurrency — the replay harness reads
+        #: it per-request from its single-threaded session clients.
+        self.last_worker: Optional[str] = None
         self._lock = threading.Lock()
         # Distributed-trace context (docs/tracing.md): when set by
         # Tracer.remote_call, outgoing queries carry the trace id and
@@ -302,7 +307,9 @@ class HttpSparqlEndpoint:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
                 payload = response.read()
                 truncated = response.headers.get("X-Result-Truncated") == "true"
+                self.last_worker = response.headers.get(WORKER_HEADER)
         except urllib.error.HTTPError as exc:
+            self.last_worker = exc.headers.get(WORKER_HEADER)
             raise self._map_http_error(exc) from None
         except TimeoutError as exc:
             # The query outlived our read timeout; retrying would re-run
@@ -405,6 +412,8 @@ class HttpSapphireClient:
         # drawn from OS entropy, so replays reproduce byte-for-byte.
         self._rng = rng if rng is not None else random.Random(
             f"sapphire:{self.name}:{session or ''}")
+        #: Worker id of the most recent response (see HttpSparqlEndpoint).
+        self.last_worker: Optional[str] = None
 
     # ------------------------------------------------------------------
     # PUM surface (mirrors SapphireServer)
@@ -449,8 +458,10 @@ class HttpSapphireClient:
         while True:
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                    self.last_worker = response.headers.get(WORKER_HEADER)
                     return response.read()
             except urllib.error.HTTPError as exc:
+                self.last_worker = exc.headers.get(WORKER_HEADER)
                 mapped = _map_http_error(self.name, exc)
                 if isinstance(mapped, _Retryable) and attempt < self.max_retries:
                     self._sleep(attempt)

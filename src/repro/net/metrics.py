@@ -38,6 +38,7 @@ __all__ = [
     "SlowQueryLog",
     "StatsTimeSeries",
     "ROUTES",
+    "merge_stats_bodies",
 ]
 
 #: Request routes the server accounts separately.
@@ -277,30 +278,46 @@ class ServerStats:
     def _sum(self, field: str) -> int:
         return sum(getattr(stats, field) for stats in self._routes.values())
 
+    def totals(self) -> Dict[str, int]:
+        """All aggregate counters under ONE lock acquisition.
+
+        The race-free read path: reading the per-field properties one
+        after another can observe *torn* totals (a request recorded
+        between two reads makes ``ok + rejected + ... != requests``),
+        which the replay harness's reconciliation would misreport as a
+        lost request.  ``totals()`` and :meth:`snapshot` are internally
+        consistent; the properties remain for single-field probes.
+        """
+        with self._lock:
+            return {
+                "requests": self._sum("requests"),
+                "ok": self._sum("ok"),
+                "rejected": self._sum("rejected"),
+                "timeouts": self._sum("timeouts"),
+                "client_errors": self._sum("client_errors"),
+                "server_errors": self._sum("server_errors"),
+                "rows_served": self._sum("rows_served"),
+            }
+
     @property
     def requests(self) -> int:
-        with self._lock:
-            return self._sum("requests")
+        return self.totals()["requests"]
 
     @property
     def ok(self) -> int:
-        with self._lock:
-            return self._sum("ok")
+        return self.totals()["ok"]
 
     @property
     def rejected(self) -> int:
-        with self._lock:
-            return self._sum("rejected")
+        return self.totals()["rejected"]
 
     @property
     def timeouts(self) -> int:
-        with self._lock:
-            return self._sum("timeouts")
+        return self.totals()["timeouts"]
 
     @property
     def rows_served(self) -> int:
-        with self._lock:
-            return self._sum("rows_served")
+        return self.totals()["rows_served"]
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -465,3 +482,53 @@ def route_deltas(before: Dict[str, object], after: Dict[str, object],
             for field in fields
         }
     return deltas
+
+
+#: Counter fields summed across workers when merging ``/stats`` bodies.
+_MERGE_SUM_FIELDS = ("requests", "ok", "rejected", "timeouts",
+                     "client_errors", "server_errors", "rows_served",
+                     "in_flight", "queued", "sessions", "session_activity")
+_MERGE_MAX_FIELDS = ("queued_peak", "in_flight_peak")
+
+
+def merge_stats_bodies(bodies: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """One coordinator-view ``/stats`` body from per-worker bodies.
+
+    Counters and gauges sum, high-water marks take the max, and
+    per-route latency histograms merge **bucket-wise** through
+    :meth:`LatencyHistogram.from_dict` / :meth:`~LatencyHistogram.merge`
+    — so the merged view's percentiles are computed over the union of
+    all workers' samples, not averaged per worker.  The output has the
+    same shape :func:`route_deltas` and the replay reconciliation
+    consume, which is what makes client-vs-coordinator reconciliation
+    possible in multi-worker mode.
+    """
+    merged: Dict[str, object] = {field: 0 for field in _MERGE_SUM_FIELDS}
+    for field in _MERGE_MAX_FIELDS:
+        merged[field] = 0
+    route_counts: Dict[str, Dict[str, int]] = {}
+    route_latency: Dict[str, LatencyHistogram] = {}
+    for body in bodies:
+        for field in _MERGE_SUM_FIELDS:
+            merged[field] += int(body.get(field, 0))  # type: ignore[arg-type,operator]
+        for field in _MERGE_MAX_FIELDS:
+            merged[field] = max(merged[field],  # type: ignore[type-var]
+                                int(body.get(field, 0)))  # type: ignore[arg-type]
+        for route, stats in (body.get("routes", {}) or {}).items():  # type: ignore[union-attr]
+            counts = route_counts.setdefault(
+                route, {field: 0 for field in _MERGE_SUM_FIELDS[:7]})
+            for field in _MERGE_SUM_FIELDS[:7]:
+                counts[field] += int(stats.get(field, 0))
+            histogram = route_latency.setdefault(route, LatencyHistogram())
+            latency = stats.get("latency")
+            if latency:
+                histogram.merge(LatencyHistogram.from_dict(latency))
+    overall = LatencyHistogram.merged(route_latency.values())
+    merged["latency_p50_ms"] = round(overall.percentile(0.50) * 1e3, 3)
+    merged["latency_p99_ms"] = round(overall.percentile(0.99) * 1e3, 3)
+    merged["routes"] = {
+        route: {**route_counts[route],
+                "latency": route_latency[route].to_dict()}
+        for route in sorted(route_counts)
+    }
+    return merged

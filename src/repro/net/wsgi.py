@@ -92,13 +92,18 @@ from .suggest import (
     outcome_document,
 )
 
-__all__ = ["ServerStats", "SparqlWsgiApp"]
+__all__ = ["ServerStats", "SparqlWsgiApp", "WORKER_HEADER"]
 
 StartResponse = Callable[..., None]
 
 #: Media type for SPARQL queries shipped as a raw POST body.
 MIME_SPARQL_QUERY = "application/sparql-query"
 MIME_FORM = "application/x-www-form-urlencoded"
+
+#: Response header naming the pre-fork worker that served the request.
+#: Echoed on every response when the app was built with a ``worker_id``,
+#: so load drivers can attribute responses to workers (docs/server.md).
+WORKER_HEADER = "X-Repro-Worker"
 
 _STATUS_LINES = {
     200: "200 OK",
@@ -151,6 +156,7 @@ class SparqlWsgiApp:
         trace_sample_rate: float = 0.0,
         slow_query_threshold_s: float = 0.5,
         slow_log_size: int = 32,
+        worker_id: Optional[str] = None,
     ) -> None:
         # A SapphireServer fronts its endpoints with a federation; serve
         # that for /sparql, and keep the server itself as the Predictive
@@ -177,6 +183,7 @@ class SparqlWsgiApp:
         if not 0.0 <= trace_sample_rate <= 1.0:
             raise ValueError("trace_sample_rate must be within [0, 1]")
         self.trace_sample_rate = trace_sample_rate
+        self.worker_id = worker_id
         self.slow_log = SlowQueryLog(slow_log_size, slow_query_threshold_s)
         self._trace_rng = random.Random()
         # Tracing is duck-typed: only backends whose query surface grew
@@ -210,14 +217,27 @@ class SparqlWsgiApp:
         path = environ.get("PATH_INFO", "/") or "/"
         method = environ.get("REQUEST_METHOD", "GET").upper()
 
+        if self.worker_id is not None:
+            # Stamp every response — including errors — with this
+            # worker's id so clients can attribute load spreading.
+            original = start_response
+
+            def start_response(status, headers, _orig=original):  # type: ignore[misc]
+                return _orig(status, list(headers)
+                             + [(WORKER_HEADER, self.worker_id)])
+
         if path == "/health":
-            return self._json_response(start_response, 200, {
+            in_flight, queued = self._gauges()
+            body = {
                 "status": "ok",
-                "in_flight": self._in_flight,
-                "queued": self._queued,
+                "in_flight": in_flight,
+                "queued": queued,
                 "max_workers": self.max_workers,
                 "queue_limit": self.queue_limit,
-            })
+            }
+            if self.worker_id is not None:
+                body["worker"] = self.worker_id
+            return self._json_response(start_response, 200, body)
         if path == "/stats":
             return self._json_response(start_response, 200, self._stats_body())
         if path == "/stats/slow":
@@ -258,18 +278,46 @@ class SparqlWsgiApp:
         start_response(_STATUS_LINES[status], list(headers.items()))
         return [payload]
 
+    def _gauges(self) -> Tuple[int, int]:
+        """``(in_flight, queued)`` read under one lock acquisition.
+
+        Bare attribute reads could interleave with an admission in
+        progress and report a request in neither gauge; the replay
+        harness reconciles against these numbers, so they must be a
+        consistent pair.
+        """
+        with self._queue_lock:
+            return self._in_flight, self._queued
+
+    def stats_body(self) -> Dict[str, object]:
+        """Public form of the ``/stats`` document (pre-fork workers ship
+        this over their control pipe for the coordinator's merged view)."""
+        return self._stats_body()
+
     def _stats_body(self) -> Dict[str, object]:
-        """The ``/stats`` document: counters + gauges + cache + sessions."""
+        """The ``/stats`` document: counters + gauges + cache + sessions.
+
+        Counters come from one :meth:`ServerStats.snapshot` (a single
+        lock acquisition — never torn per-field reads) and the admission
+        gauges from one :meth:`_gauges` read, so a ``/stats`` poll taken
+        mid-load is internally consistent.
+        """
         body = self.stats.snapshot()
-        body["in_flight"] = self._in_flight
-        body["queued"] = self._queued
+        in_flight, queued = self._gauges()
+        body["in_flight"] = in_flight
+        body["queued"] = queued
         body["max_workers"] = self.max_workers
         body["queue_limit"] = self.queue_limit
+        if self.worker_id is not None:
+            body["worker"] = self.worker_id
         with self._sessions_lock:
             body["sessions"] = len(self._sessions)
             body["session_activity"] = sum(
                 sum(counters.values()) for counters in self._sessions.values()
             )
+        shards = self._shard_depths()
+        if shards is not None:
+            body["shards"] = {"n_shards": len(shards), "depths": shards}
         cache = getattr(self.suggester, "cache", None)
         lookup_stats = getattr(cache, "lookup_stats", None)
         if lookup_stats is not None:
@@ -284,6 +332,23 @@ class SparqlWsgiApp:
             "sample_rate": self.trace_sample_rate,
         }
         return body
+
+    def _shard_depths(self) -> Optional[List[int]]:
+        """Per-shard triple counts when the backend's store is sharded.
+
+        Duck-typed like the planner's shard detection: any backend whose
+        store exposes ``shard_sizes()`` (one endpoint, or the first
+        member of a federation) contributes its depths to ``/stats``.
+        """
+        candidates = [self.backend]
+        candidates.extend(getattr(self.backend, "endpoints", None) or ())
+        for candidate in candidates:
+            store = getattr(candidate, "store", None)
+            sizes = getattr(getattr(store, "backend", None),
+                            "shard_sizes", None)
+            if sizes is not None:
+                return sizes()
+        return None
 
     # ------------------------------------------------------------------
     # Query handling

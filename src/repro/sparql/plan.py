@@ -90,6 +90,7 @@ __all__ = [
     "Batch",
     "PlanNode",
     "ScanNode",
+    "ShardScanNode",
     "HashJoinNode",
     "BindJoinNode",
     "UnionNode",
@@ -491,28 +492,45 @@ class ScanNode(PlanNode):
         tracer=None,
     ) -> Iterator[Batch]:
         s, p, o = self.probe
-        positions = self.out_positions
-        if not positions:
+        if not self.out_positions:
             # Fully concrete pattern (existence check): the planner never
             # builds this shape, but stay correct if constructed directly.
             yield from PlanNode._produce_batches(
                 self, store, meter, batch_size, tracer
             )
             return
+        fetch, pairs = self._fetch_positions()
+        yield from self._project_batches(
+            store.match_columns(s, p, o, fetch, meter, batch_size), pairs
+        )
+
+    def _fetch_positions(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]:
+        """The column positions to fetch and the equality pairs to check.
+
+        Without repeated variables this is just ``out_positions``; with
+        them, the duplicate positions are fetched too (to filter
+        column-wise) and projected away by :meth:`_project_batches`.
+        """
+        positions = self.out_positions
         if not self.checks:
-            for columns in store.match_columns(
-                s, p, o, positions, meter, batch_size
-            ):
-                yield Batch(columns, len(columns[0]))
-            return
-        # Repeated variables: also fetch the duplicate positions, filter
-        # column-wise, then project them away.
+            return positions, ()
         fetch = positions + tuple(dup for _, dup in self.checks)
         pairs = tuple(
             (fetch.index(first), fetch.index(dup)) for first, dup in self.checks
         )
-        width = len(positions)
-        for columns in store.match_columns(s, p, o, fetch, meter, batch_size):
+        return fetch, pairs
+
+    def _project_batches(
+        self, columns_iter, pairs: Tuple[Tuple[int, int], ...]
+    ) -> Iterator[Batch]:
+        """Raw column batches → :class:`Batch`, applying repeated-variable
+        equality ``pairs`` and projecting the duplicate columns away."""
+        if not pairs:
+            for columns in columns_iter:
+                yield Batch(columns, len(columns[0]))
+            return
+        width = len(self.out_positions)
+        for columns in columns_iter:
             if len(pairs) == 1:
                 left, right = pairs[0]
                 col_a, col_b = columns[left], columns[right]
@@ -538,6 +556,90 @@ class ScanNode(PlanNode):
 
     def label(self) -> str:
         return f"Scan({_pattern_text(self.pattern)})"
+
+
+class ShardScanNode(ScanNode):
+    """Scatter-gather scan over a :class:`ShardedBackend`'s shards.
+
+    Functionally identical to :class:`ScanNode` on a sharded store — the
+    backend's own ``match_columns`` already concatenates shard streams —
+    but plan-visible: the label renders the fan-out (``xK/N`` shards
+    touched) and the batch path streams shard by shard, recording one
+    ``shard-scan`` child span per shard with its actual row count, so
+    EXPLAIN ANALYZE shows how scatter-gather spread the work.
+
+    A concrete subject routes to exactly one shard (``fan_out == 1``);
+    any wildcard-subject shape touches all of them.  The row-wise
+    pipeline (``rows_tuple``) goes through the inherited ``_produce``,
+    whose ``store.match_ids`` call hits the same shards in the same
+    order — batch/tuple parity is preserved.
+    """
+
+    def __init__(
+        self, store: TripleStore, pattern: TriplePattern, est_rows: int
+    ) -> None:
+        super().__init__(store, pattern, est_rows)
+        backend = store.backend
+        self.n_shards = getattr(backend, "n_shards", 1)
+        self.fan_out = 1 if self.probe[0] is not None else self.n_shards
+
+    def _produce_batches(
+        self,
+        store: TripleStore,
+        meter: Optional[CostMeter],
+        batch_size: int,
+        tracer=None,
+    ) -> Iterator[Batch]:
+        if not self.out_positions:
+            yield from PlanNode._produce_batches(
+                self, store, meter, batch_size, tracer
+            )
+            return
+        s, p, o = self.probe
+        if NO_ID in (s, p, o):
+            return
+        backend = store.backend
+        shards = getattr(backend, "shards", None)
+        if shards is None:
+            # Planned against a sharded store, executed against a plain
+            # one (plan objects can outlive a store swap): degrade to the
+            # ordinary scan rather than failing.
+            yield from ScanNode._produce_batches(
+                self, store, meter, batch_size, tracer
+            )
+            return
+        if s is not None:
+            index = backend.shard_of(s)
+            targets = [(index, shards[index])]
+        else:
+            targets = list(enumerate(shards))
+        fetch, pairs = self._fetch_positions()
+        charge = meter.charge if meter is not None else None
+        for index, shard in targets:
+            columns_iter = shard.match_columns(s, p, o, fetch, batch_size)
+            if charge is not None:
+                columns_iter = _charged_columns(columns_iter, charge)
+            rows = 0
+            for batch in self._project_batches(columns_iter, pairs):
+                rows += batch.length
+                yield batch
+            if tracer is not None:
+                tracer.event("shard-scan", shard=index, rows=rows)
+
+    def label(self) -> str:
+        return (
+            f"ShardScan({_pattern_text(self.pattern)} "
+            f"x{self.fan_out}/{self.n_shards})"
+        )
+
+
+def _charged_columns(columns_iter, charge) -> Iterator:
+    """Charge the meter per fetched candidate, exactly like
+    ``TripleStore.match_columns`` does — cost parity with the unsharded
+    scan is what keeps budget-abort behaviour backend-independent."""
+    for columns in columns_iter:
+        charge(len(columns[0]))
+        yield columns
 
 
 class HashJoinNode(PlanNode):
@@ -1958,8 +2060,15 @@ class QueryPlanner:
         if not patterns and not leaves:
             return None
         stats = store.predicate_stats_ids()
+        # Sharded stores get the plan-visible scatter-gather scan; it is
+        # execution-identical but renders fan-out and records per-shard
+        # row counts under the tracer.
+        scan_cls = (
+            ShardScanNode if getattr(store.backend, "shards", None) is not None
+            else ScanNode
+        )
         candidates: List[PlanNode] = [
-            ScanNode(store, pattern, store.cardinality_estimate(pattern))
+            scan_cls(store, pattern, store.cardinality_estimate(pattern))
             for pattern in patterns
         ] + leaves
 

@@ -10,6 +10,7 @@ talks to.  See ``docs/storage.md``.
 
 from .backends import MemoryBackend, StorageBackend
 from .dictionary import NO_ID, TermDictionary
+from .sharded import ShardedBackend, create_sharded_backend, shard_path
 from .sqlite_backend import SQLiteBackend
 from .stats import DatasetStats, PredicateStat, compute_stats
 from .triplestore import CostMeter, QueryAborted, TripleStore
@@ -26,4 +27,7 @@ __all__ = [
     "StorageBackend",
     "MemoryBackend",
     "SQLiteBackend",
+    "ShardedBackend",
+    "create_sharded_backend",
+    "shard_path",
 ]

@@ -50,6 +50,7 @@ import threading
 from array import array
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from urllib.parse import quote
 
 from ..rdf.terms import Term, flatten_term, unflatten_term
 from .dictionary import TermDictionary
@@ -101,15 +102,34 @@ class SQLiteBackend:
 
     name = "sqlite"
 
-    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+    def __init__(
+        self, path: Union[str, Path] = ":memory:", *, read_only: bool = False
+    ) -> None:
         self.path = str(path)
+        self.read_only = read_only
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(self.path, check_same_thread=False)
-        for pragma in _PRAGMAS:
-            self._conn.execute(pragma)
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
-        self.dictionary = TermDictionary(on_intern=self._persist_term)
+        if read_only:
+            # Snapshot-reader mode (the pre-fork workers' replica
+            # discipline, docs/server.md): open an existing WAL file
+            # with mode=ro — WAL lets any number of such readers run
+            # concurrently with one writer in another process.  No
+            # schema DDL, no WAL pragma (both would write); terms
+            # interned at runtime stay memory-only instead of being
+            # persisted, so the on-disk dictionary is never touched.
+            if self.path == ":memory:":
+                raise ValueError("read_only requires an existing database file")
+            uri = "file:" + quote(str(Path(self.path).absolute())) + "?mode=ro"
+            self._conn = sqlite3.connect(uri, uri=True, check_same_thread=False)
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute("PRAGMA temp_store=MEMORY")
+            self.dictionary = TermDictionary()
+        else:
+            self._conn = sqlite3.connect(self.path, check_same_thread=False)
+            for pragma in _PRAGMAS:
+                self._conn.execute(pragma)
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+            self.dictionary = TermDictionary(on_intern=self._persist_term)
         self._load_terms()
         self._size = self._conn.execute("SELECT COUNT(*) FROM triples").fetchone()[0]
         # Per-predicate triple counts, rebuilt lazily after mutations so

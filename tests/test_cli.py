@@ -128,3 +128,24 @@ class TestCommands:
         assert args.port == 8890
         assert args.max_workers == 8
         assert args.queue_limit == 16
+        assert args.workers == 1
+        assert args.shards == 1
+
+    def test_serve_rejects_bad_topology(self, capsys):
+        assert main(["serve", "--workers", "0", "--smoke"]) == 2
+        assert main(["serve", "--shards", "0", "--smoke"]) == 2
+
+    def test_serve_sharded_smoke(self, capsys):
+        assert main(["serve", "--port", "0", "--shards", "3", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "shards:" in out
+        assert "/sparql" in out
+
+    def test_serve_prefork_smoke(self, capsys):
+        """--workers 2 --smoke boots a real pool, probes it, drains."""
+        assert main(["serve", "--port", "0", "--workers", "2",
+                     "--shards", "2", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "workers:  2" in out
+        assert "merged across workers" in out
+        assert "smoke: health ok" in out

@@ -1,0 +1,221 @@
+"""Pre-fork worker pool tests: boot, serve, merge, respawn, drain.
+
+A :class:`PreforkServer` spawns workers over read-only sharded SQLite
+snapshots behind one port.  These tests drive a real pool over
+loopback: correctness of served rows, worker attribution via the
+``X-Repro-Worker`` header, coordinator-merged ``/stats``, dead-worker
+respawn, and the FD-passing fallback used where ``SO_REUSEPORT`` is
+unavailable.
+"""
+
+import json
+import os
+import signal
+import time
+import urllib.request
+
+import pytest
+
+from repro.net import (
+    HttpSparqlEndpoint,
+    PreforkServer,
+    build_backend_from_spec,
+    merge_stats_bodies,
+    prepare_snapshots,
+)
+from repro.net.metrics import LatencyHistogram
+from repro.net.wsgi import WORKER_HEADER
+
+QUERIES = [
+    "SELECT ?s ?n WHERE { ?s foaf:name ?n }",
+    "SELECT DISTINCT ?t WHERE { ?s a ?t }",
+    "SELECT ?p ?c WHERE { ?p dbo:birthPlace ?c }",
+]
+
+
+def _row_key(result):
+    return sorted(
+        tuple(sorted((name, term.n3()) for name, term in row.items()))
+        for row in result.rows
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot_spec(tmp_path_factory):
+    base = tmp_path_factory.mktemp("prefork") / "data.sqlite"
+    return prepare_snapshots(
+        {"scale": "tiny", "seed": 42, "timeout_s": 10.0,
+         "execution": "auto", "sapphire": False, "n_shards": 2},
+        str(base),
+    )
+
+
+@pytest.fixture(scope="module")
+def expected(snapshot_spec):
+    origin = build_backend_from_spec(snapshot_spec)
+    return {query: _row_key(origin.select(query)) for query in QUERIES}
+
+
+@pytest.fixture(scope="module")
+def pool(snapshot_spec):
+    server = PreforkServer(
+        build_backend_from_spec, snapshot_spec, n_workers=2,
+        health_interval_s=0.2,
+    )
+    server.start()
+    yield server
+    server.stop()
+
+
+def _fetch(url, timeout_s=10.0):
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.load(response), dict(response.headers)
+
+
+def _root(pool):
+    return pool.url.rsplit("/", 1)[0]
+
+
+class TestServing:
+    def test_workers_boot_and_serve_correct_rows(self, pool, expected):
+        client = HttpSparqlEndpoint(pool.url, name="t", timeout_s=10.0)
+        for query, rows in expected.items():
+            assert _row_key(client.select(query)) == rows
+
+    def test_every_response_is_worker_stamped(self, pool):
+        client = HttpSparqlEndpoint(pool.url, name="t", timeout_s=10.0)
+        client.select(QUERIES[0])
+        assert client.last_worker in {"0", "1"}
+        _, headers = _fetch(_root(pool) + "/health")
+        assert headers.get(WORKER_HEADER) in {"0", "1"}
+
+    def test_connections_spread_across_workers(self, pool):
+        seen = set()
+        for _ in range(24):
+            _, headers = _fetch(_root(pool) + "/health")
+            seen.add(headers.get(WORKER_HEADER))
+        assert seen == {"0", "1"}
+
+    def test_ping_round_trips_every_worker(self, pool):
+        assert pool.ping() == [True, True]
+
+    def test_merged_stats_account_for_all_workers(self, pool, expected):
+        client = HttpSparqlEndpoint(pool.url, name="t", timeout_s=10.0)
+        before = pool.stats()
+        n = 10
+        rows = 0
+        for i in range(n):
+            rows += len(client.select(QUERIES[i % len(QUERIES)]).rows)
+        after = pool.stats()
+        assert after["requests"] - before["requests"] == n
+        assert after["ok"] - before["ok"] == n
+        assert after["rows_served"] - before["rows_served"] == rows
+        assert after["n_workers"] == 2
+        assert len(after["workers"]) == 2
+        # Shard depths come from one worker's snapshot view (every
+        # worker opens the same files), never summed across workers.
+        assert after["shards"]["n_shards"] == 2
+        assert sum(after["shards"]["depths"]) == sum(before["shards"]["depths"])
+
+    def test_coordinator_serves_merged_stats_over_http(self, pool):
+        body, _ = _fetch(pool.stats_url + "/stats")
+        assert body["n_workers"] == 2
+        assert "routes" in body
+        health, _ = _fetch(pool.stats_url + "/health")
+        assert health["status"] == "ok"
+
+    def test_dead_worker_is_respawned(self, pool, expected):
+        victim = pool.workers_view()[0]
+        os.kill(victim["pid"], signal.SIGKILL)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            view = pool.workers_view()[0]
+            if view["alive"] and view["restarts"] == 1 and view["pid"] != victim["pid"]:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("worker was not respawned within 30s")
+        # The pool keeps serving correct rows through and after respawn.
+        client = HttpSparqlEndpoint(pool.url, name="t", timeout_s=10.0)
+        query = QUERIES[0]
+        for _ in range(6):
+            assert _row_key(client.select(query)) == expected[query]
+
+
+class TestFdPassingFallback:
+    def test_pool_serves_without_reuseport(self, snapshot_spec, expected):
+        server = PreforkServer(
+            build_backend_from_spec, snapshot_spec, n_workers=2,
+            force_fd_passing=True,
+        )
+        server.start()
+        try:
+            client = HttpSparqlEndpoint(server.url, name="t", timeout_s=10.0)
+            query = QUERIES[0]
+            seen = set()
+            for _ in range(12):
+                assert _row_key(client.select(query)) == expected[query]
+                seen.add(client.last_worker)
+            assert seen <= {"0", "1"} and seen
+        finally:
+            server.stop()
+
+
+class TestGracefulDrain:
+    def test_stop_reaps_every_worker(self, snapshot_spec):
+        server = PreforkServer(
+            build_backend_from_spec, snapshot_spec, n_workers=2)
+        server.start()
+        pids = [view["pid"] for view in server.workers_view()]
+        server.stop()
+        for pid in pids:
+            # A reaped child is gone; signal 0 must fail.
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+
+
+class TestMergeStatsBodies:
+    @staticmethod
+    def _body(requests, ok, rows, peak, latencies_s):
+        histogram = LatencyHistogram()
+        for seconds in latencies_s:
+            histogram.record(seconds)
+        return {
+            "requests": requests, "ok": ok, "rejected": 0, "timeouts": 0,
+            "client_errors": 0, "server_errors": 0, "rows_served": rows,
+            "in_flight": 0, "queued": 0, "queued_peak": peak,
+            "in_flight_peak": peak,
+            "routes": {"sparql": {
+                "requests": requests, "ok": ok, "rejected": 0,
+                "timeouts": 0, "client_errors": 0, "server_errors": 0,
+                "rows_served": rows, "latency": histogram.to_dict(),
+            }},
+        }
+
+    def test_counters_sum_and_peaks_max(self):
+        merged = merge_stats_bodies([
+            self._body(10, 9, 100, 3, [0.001] * 10),
+            self._body(5, 5, 50, 7, [0.002] * 5),
+        ])
+        assert merged["requests"] == 15
+        assert merged["ok"] == 14
+        assert merged["rows_served"] == 150
+        assert merged["queued_peak"] == 7
+        route = merged["routes"]["sparql"]
+        assert route["requests"] == 15
+        assert route["latency"]["count"] == 15
+
+    def test_percentiles_merge_samples_not_averages(self):
+        # One fast worker, one slow worker: the merged p99 must sit in
+        # the slow worker's range, which per-worker averaging would lose.
+        merged = merge_stats_bodies([
+            self._body(50, 50, 0, 0, [0.001] * 50),
+            self._body(50, 50, 0, 0, [0.5] * 50),
+        ])
+        assert merged["latency_p99_ms"] >= 400.0
+        assert merged["latency_p50_ms"] <= 10.0
+
+    def test_empty_input(self):
+        merged = merge_stats_bodies([])
+        assert merged["requests"] == 0
+        assert merged["routes"] == {}

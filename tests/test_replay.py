@@ -262,6 +262,58 @@ class TestLedger:
         with pytest.raises(ValueError):
             _classify(ValueError("not a transport failure"))
 
+    def test_worker_attribution(self):
+        ledger = ReplayLedger()
+        ledger.note("sparql", "ok", 0.01, rows=1, worker="0")
+        ledger.note("sparql", "ok", 0.01, rows=1, worker="1")
+        ledger.note("sparql", "rejected", 0.0, worker="1")
+        # Unreachable = the connection never hit a worker; a stale
+        # last-seen header must not be attributed.
+        ledger.note("sparql", "unreachable", 0.0, worker="0")
+        ledger.note("sparql", "ok", 0.01, rows=1)  # single-process server
+        assert ledger.workers == {"0": 1, "1": 2}
+
+    def test_worker_counts_merge_and_round_trip(self):
+        a, b = ReplayLedger(), ReplayLedger()
+        a.note("sparql", "ok", 0.01, worker="0")
+        b.note("sparql", "ok", 0.01, worker="0")
+        b.note("complete", "ok", 0.01, worker="3")
+        a.merge(b)
+        assert a.workers == {"0": 2, "3": 1}
+        restored = ReplayLedger.from_dict(a.to_dict())
+        assert restored.workers == a.workers
+        assert restored.to_dict() == a.to_dict()
+
+    def test_reconcile_flags_unspread_multiworker_load(self):
+        n = 20
+        route = {"requests": n, "ok": n, "rejected": 0, "timeouts": 0,
+                 "client_errors": 0, "server_errors": 0, "rows_served": n}
+        before = {"routes": {}, "rows_served": 0, "session_activity": 0,
+                  "n_workers": 2}
+        after = {"routes": {"sparql": dict(route)}, "rows_served": n,
+                 "session_activity": 0, "n_workers": 2}
+        skewed = ReplayLedger()
+        for _ in range(n):
+            skewed.note("sparql", "ok", 0.01, rows=1, worker="0")
+        mismatches = reconcile(before, after, skewed, check_sessions=False)
+        assert any("worker spread" in line for line in mismatches)
+
+        spread = ReplayLedger()
+        for i in range(n):
+            spread.note("sparql", "ok", 0.01, rows=1, worker=str(i % 2))
+        assert reconcile(before, after, spread, check_sessions=False) == []
+
+    def test_reconcile_ignores_spread_on_single_worker(self):
+        route = {"requests": 2, "ok": 2, "rejected": 0, "timeouts": 0,
+                 "client_errors": 0, "server_errors": 0, "rows_served": 2}
+        before = {"routes": {}, "rows_served": 0, "session_activity": 0}
+        after = {"routes": {"sparql": dict(route)}, "rows_served": 2,
+                 "session_activity": 0}
+        ledger = ReplayLedger()
+        ledger.note("sparql", "ok", 0.01, rows=1, worker="0")
+        ledger.note("sparql", "ok", 0.01, rows=1, worker="0")
+        assert reconcile(before, after, ledger, check_sessions=False) == []
+
     def test_reconcile_flags_tampered_ledger(self):
         before = {"routes": {}, "rows_served": 0, "session_activity": 0}
         after = {"routes": {"sparql": {"requests": 2, "ok": 2, "rejected": 0,
