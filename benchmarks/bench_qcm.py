@@ -10,7 +10,17 @@ Reproduces the four QCM measurements:
 3. suffix-tree hit ratio as a function of how many literals are indexed
    (paper: 50% hit ratio with only 40K of millions of literals),
 4. the fraction of residual literals eliminated by the length filter
-   (paper: 46% on average).
+   (paper: 46% on average),
+
+and gates the PR-10 tiered suggestion index at a synthetically scaled
+lexicon (``--scale N`` grows the literal set to N× the base dataset):
+
+5. **cold start** — booting a tiered replica from the saved v3 file vs
+   the eager in-memory rebuild (≥5× faster at 100×),
+6. **memory** — the tiered cache's boot footprint is bounded by the
+   suffix-tree capacity, not the lexicon,
+7. **latency** — tiered completion latency stays within 1.1× of the
+   in-memory path at 1× (and must not regress at higher scales).
 """
 
 from __future__ import annotations
@@ -18,11 +28,13 @@ from __future__ import annotations
 import json
 import os
 import time
+import tracemalloc
 
 import pytest
 
-from repro.core import QueryCompletionModule
+from repro.core import QueryCompletionModule, load_cache, save_cache
 from repro.eval import format_table
+from repro.rdf import RDFS_LABEL, Literal
 
 from conftest import emit
 
@@ -143,6 +155,159 @@ def test_length_filter_elimination(qcm, capsys, benchmark):
 def test_bench_complete(benchmark, qcm):
     result = benchmark(lambda: qcm.complete("Kenn"))
     assert result.surfaces()
+
+
+def _scale() -> int:
+    return max(1, int(os.environ.get("BENCH_SCALE", "1")))
+
+
+#: Word pool for the synthetic lexicon tail (varied lengths/trigrams).
+_WORDS = [
+    "harbor", "festival", "museum", "boulevard", "province", "railway",
+    "observatory", "cathedral", "archipelago", "university", "stadium",
+    "monument",
+]
+
+
+@pytest.fixture(scope="module")
+def scaled_index(small_server, tmp_path_factory):
+    """``(cache, path)``: the base cache grown to ``--scale``× literals,
+    saved as a v3 file with the term index built in."""
+    scale = _scale()
+    base = small_server.cache
+    cache = base.copy_with_capacity(base.config.suffix_tree_capacity)
+    n_base = cache.n_literals
+    for i in range(n_base * (scale - 1)):
+        text = f"{_WORDS[i % len(_WORDS)]} no {i:07d}"
+        cache.add_literal(Literal(text, lang="en"), RDFS_LABEL, 0)
+    cache.build_indexes()
+    path = tmp_path_factory.mktemp("qcm-index") / "cache.sqlite"
+    t0 = time.perf_counter()
+    info = save_cache(cache, path)
+    METRICS["index"] = {
+        "scale": scale,
+        "lexicon_literals": cache.n_literals,
+        "save_s": round(time.perf_counter() - t0, 4),
+        "index_build_s": round(float(info["built_s"]), 4),
+        "fts": bool(info["fts"]),
+        "file_bytes": os.path.getsize(path),
+    }
+    return cache, path
+
+
+def _timed_load(path, config, tiered):
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    cache = load_cache(path, config, tiered=tiered)
+    elapsed = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return cache, elapsed, peak
+
+
+def test_cold_start_tiered_vs_rebuild(scaled_index, capsys, benchmark):
+    """E6.5 — replica boot: open the persisted index vs rebuild."""
+    cache, path = scaled_index
+    scale = _scale()
+    eager, rebuild_s, rebuild_peak = _timed_load(path, cache.config, tiered=False)
+    tiered, tiered_s, tiered_peak = _timed_load(path, cache.config, tiered=True)
+    benchmark.pedantic(
+        lambda: load_cache(path, cache.config).close(), rounds=1, iterations=1
+    )
+    speedup = rebuild_s / tiered_s if tiered_s > 0 else float("inf")
+    METRICS["cold_start"] = {
+        "scale": scale,
+        "lexicon_literals": cache.n_literals,
+        "rebuild_s": round(rebuild_s, 4),
+        "tiered_boot_s": round(tiered_s, 4),
+        "speedup": round(speedup, 2),
+    }
+    METRICS["memory"] = {
+        "scale": scale,
+        "capacity": cache.config.suffix_tree_capacity,
+        "rebuild_peak_mb": round(rebuild_peak / 1e6, 2),
+        "tiered_boot_peak_mb": round(tiered_peak / 1e6, 2),
+    }
+    try:
+        with capsys.disabled():
+            emit("E6.5 — cold start: tiered boot vs eager rebuild",
+                 f"scale {scale}x ({cache.n_literals} literals): rebuild "
+                 f"{rebuild_s:.3f} s / {rebuild_peak / 1e6:.1f} MB peak, "
+                 f"tiered boot {tiered_s:.3f} s / {tiered_peak / 1e6:.1f} MB "
+                 f"peak -> {speedup:.1f}x faster")
+        # Parity first: a fast boot that serves different completions
+        # would be worthless.
+        eager_qcm = QueryCompletionModule(eager, cache.config.with_processes(1))
+        tiered_qcm = QueryCompletionModule(tiered, cache.config.with_processes(1))
+        for term in LOOKUP_TERMS:
+            assert eager_qcm.complete(term).surfaces() == \
+                tiered_qcm.complete(term).surfaces(), term
+        # The boot-time gate tightens with scale: the tiered boot reads
+        # ~capacity rows however big the tail grows.
+        if scale >= 100:
+            assert speedup >= 5.0, METRICS["cold_start"]
+        elif scale >= 10:
+            assert speedup >= 2.0, METRICS["cold_start"]
+        # Boot memory is bounded by the tree, not the lexicon: at scale
+        # the eager rebuild materializes every literal, the tiered boot
+        # must not.
+        if scale >= 10:
+            assert tiered_peak < rebuild_peak / 2, METRICS["memory"]
+        assert tiered.n_tree_strings <= cache.config.suffix_tree_capacity
+    finally:
+        tiered.close()
+
+
+def test_tiered_completion_latency(scaled_index, capsys, benchmark):
+    """E6.6 — per-keystroke latency through the on-disk tail index."""
+    cache, path = scaled_index
+    scale = _scale()
+    tiered = load_cache(path, cache.config)
+    try:
+        config = cache.config.with_processes(1)
+        memory_qcm = QueryCompletionModule(cache, config)
+        tiered_qcm = QueryCompletionModule(tiered, config)
+
+        def sweep(qcm):
+            for term in LOOKUP_TERMS:
+                qcm.complete(term)
+
+        sweep(memory_qcm)  # warm both paths before timing
+        sweep(tiered_qcm)
+        best = {}
+        for name, qcm in (("memory", memory_qcm), ("tiered", tiered_qcm)):
+            samples = []
+            for _ in range(5):
+                t0 = time.perf_counter()
+                sweep(qcm)
+                samples.append(time.perf_counter() - t0)
+            best[name] = min(samples)
+        benchmark.pedantic(lambda: sweep(tiered_qcm), rounds=1, iterations=1)
+        ratio = best["tiered"] / best["memory"] if best["memory"] > 0 else 1.0
+        per_ms = {
+            name: seconds / len(LOOKUP_TERMS) * 1000
+            for name, seconds in best.items()
+        }
+        METRICS["tiered_latency"] = {
+            "scale": scale,
+            "memory_ms": round(per_ms["memory"], 3),
+            "tiered_ms": round(per_ms["tiered"], 3),
+            "ratio": round(ratio, 3),
+        }
+        with capsys.disabled():
+            emit("E6.6 — completion latency: in-memory vs tiered",
+                 f"scale {scale}x: memory {per_ms['memory']:.3f} ms/lookup, "
+                 f"tiered {per_ms['tiered']:.3f} ms/lookup "
+                 f"(ratio {ratio:.2f}, gate at 1x: <= 1.1)")
+        if scale == 1:
+            assert ratio <= 1.1, METRICS["tiered_latency"]
+        else:
+            # At scale the in-memory bins scan grows linearly while the
+            # indexed lookup should not regress past it.
+            assert ratio <= 1.1 or per_ms["tiered"] <= per_ms["memory"] + 2.0, \
+                METRICS["tiered_latency"]
+    finally:
+        tiered.close()
 
 
 def test_write_json(qcm):

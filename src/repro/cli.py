@@ -116,7 +116,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     init = commands.add_parser("init", help="initialize and optionally save the cache")
     init.add_argument("--save", metavar="PATH", default=None,
-                      help="write the cache to PATH as JSON")
+                      help="persist the cache to PATH (SQLite v3 with the "
+                           "on-disk term index; loads boot tiered replicas "
+                           "without rebuilding)")
+    init.add_argument("--term-index", choices=("auto", "fts", "trigram", "off"),
+                      default="auto",
+                      help="substring index built into the saved cache file: "
+                           "FTS5 trigram when available (auto, the default), "
+                           "forced fts/trigram, or off for a v2 file "
+                           "(default: auto)")
+
+    cache_info = commands.add_parser(
+        "cache-info", help="inspect a persisted cache file"
+    )
+    cache_info.add_argument("path", help="a save_cache/--save output file")
 
     serve = commands.add_parser(
         "serve",
@@ -385,8 +398,39 @@ def _cmd_init(args) -> int:
     if args.save:
         from .core.persistence import save_cache
 
-        save_cache(server.cache, args.save)
-        print(f"cache written to {args.save}")
+        server.cache.config = server.cache.config.with_term_index(
+            args.term_index)
+        info = save_cache(server.cache, args.save)
+        print(f"cache written to {args.save} "
+              f"(v{info['version']}, index "
+              f"{'fts5' if info['fts'] else 'trigram' if info['version'] == 3 else 'none'}, "
+              f"built in {info['built_s']:.3f}s)")
+    return 0
+
+
+def _cmd_cache_info(args) -> int:
+    """Inspect a persisted cache: version, index tier, size gauges."""
+    import os
+
+    from .core.persistence import load_cache
+
+    cache = load_cache(args.path)
+    try:
+        report = cache.load_report
+        print(f"file:    {args.path} "
+              f"({os.path.getsize(args.path):,} bytes)")
+        print(f"load:    {report.get('mode')} "
+              f"in {report.get('seconds', 0.0):.3f}s")
+        print(f"stats:   {cache.stats()}")
+        gauges = cache.index_gauges()
+        if gauges.get("index_surfaces"):
+            backend = "fts5" if gauges.get("index_fts") else "trigram"
+            print(f"index:   {gauges['index_surfaces']:,} surfaces, "
+                  f"{gauges['index_bytes']:,} bytes on disk ({backend})")
+        else:
+            print("index:   none (v2/JSON file — loads rebuild in memory)")
+    finally:
+        cache.close()
     return 0
 
 
@@ -659,6 +703,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "study": _cmd_study,
     "init": _cmd_init,
+    "cache-info": _cmd_cache_info,
     "serve": _cmd_serve,
     "replay": _cmd_replay,
 }

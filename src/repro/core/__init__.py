@@ -2,6 +2,7 @@
 
 from .answer_table import AnswerTable
 from .cache import CachedTerm, SapphireCache
+from .cache_tiered import LazyTermDictionary, TieredSapphireCache
 from .config import SapphireConfig
 from .initialization import EndpointInitializer, InitializationReport, initialize_endpoint
 from .persistence import (
@@ -38,6 +39,8 @@ __all__ = [
     "build_probe_query",
     "SapphireConfig",
     "SapphireCache",
+    "TieredSapphireCache",
+    "LazyTermDictionary",
     "CachedTerm",
     "EndpointInitializer",
     "InitializationReport",

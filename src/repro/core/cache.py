@@ -123,11 +123,23 @@ class SapphireCache:
         self._tree_sid_set: Set[int] = set()
         self._indexed = False
         # Lookup accounting (fed by the QCM, surfaced in /stats): which
-        # index answered each completion — suffix tree, literal bins, or
-        # neither.
+        # tier answered each completion — suffix tree, literal bins, the
+        # on-disk index (tiered caches), or none.
         self.tree_hits = 0
         self.bin_hits = 0
+        self.index_hits = 0
         self.misses = 0
+        # Frequency signal (docs/predictive-model.md): how often each
+        # surface was actually *used* — appeared as a query literal or
+        # was accepted as a suggestion (explicit events, never the act
+        # of serving itself, which would self-amplify and make repeated
+        # completions nondeterministic).  Feeds the stable ranking
+        # re-sort in the QCM and the /stats + EXPLAIN surfaces.
+        self._freq: Dict[int, int] = {}
+        self._served = 0  # completions served, the /stats gauge
+        #: How the cache was loaded (``core/persistence.py`` fills it:
+        #: ``{"mode": "rebuilt" | "tiered", "seconds": ...}``).
+        self.load_report: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Surface interning
@@ -296,6 +308,61 @@ class SapphireCache:
         with self.lock:
             return self.tree, self._tree_sids, self.bins
 
+    # ------------------------------------------------------------------
+    # Residual-tier dispatch (QCM/QSM call these instead of touching the
+    # bins directly, so a tiered cache can answer from its on-disk index)
+    # ------------------------------------------------------------------
+
+    def residual_candidates(
+        self,
+        needle: str,
+        min_len: int,
+        max_len: int,
+        processes: int,
+        bins: LiteralBins,
+        limit: Optional[int] = None,
+    ) -> List[tuple]:
+        """``(surface_id, surface)`` pairs of residual literals in the
+        length window containing ``needle``.  The base cache scans the
+        snapshotted ``bins`` (Algorithm 1 parallel scan); a tiered cache
+        queries its on-disk index instead.  ``limit`` is advisory — the
+        in-memory scan returns everything and lets the QCM truncate."""
+        del limit  # the parallel scan has no cheap early-out
+        return bins.scan_keyed(
+            min_len, max_len, lambda lit: needle in lit, processes
+        )
+
+    def residual_searched_fraction(
+        self, min_len: int, max_len: int, bins: LiteralBins
+    ) -> float:
+        """Fraction of residual literals the window scan had to touch."""
+        return 1.0 - bins.selectivity(min_len, max_len)
+
+    def residual_scored(
+        self,
+        needle: str,
+        min_len: int,
+        max_len: int,
+        scorer,
+        threshold: float,
+        processes: int,
+        bins: LiteralBins,
+    ) -> List[tuple]:
+        """``(surface_id, surface, score)`` triples with ``scorer(surface)
+        >= threshold`` in the window, sorted ``(-score, length, surface)``
+        — the ``scan_scored_keyed`` contract.  ``needle`` is unused here
+        but lets the tiered override drive its window query."""
+        del needle
+        return bins.scan_scored_keyed(
+            min_len, max_len, scorer, threshold, processes
+        )
+
+    def pc_shortlist(self, forms: List[str]):
+        """Surface-ID shortlist for the QSM's predicate/class search, or
+        ``None`` when every candidate must be scored (no on-disk index)."""
+        del forms
+        return None
+
     def _kind_entries(self, kind: str) -> List[CachedTerm]:
         return [
             entry
@@ -373,26 +440,111 @@ class SapphireCache:
             "residual_bins": self.n_residual_bins,
         }
 
-    def note_lookup(self, tree_hit: bool, bin_hit: bool) -> None:
-        """Account one completion lookup against the hit/miss counters."""
+    def note_lookup(self, tree_hit: bool, residual_hit: bool) -> None:
+        """Account one completion lookup against the hit/miss counters.
+        Residual hits count against the bins here; the tiered cache
+        overrides this to charge its on-disk index tier instead."""
         with self.lock:
             if tree_hit:
                 self.tree_hits += 1
-            elif bin_hit:
+            elif residual_hit:
                 self.bin_hits += 1
             else:
                 self.misses += 1
 
-    def lookup_stats(self) -> Dict[str, int]:
-        """Hit/miss counters for the serving layer's ``/stats`` body."""
+    def index_gauges(self) -> Dict[str, int]:
+        """On-disk index size gauges; zero without an index tier."""
+        return {"index_surfaces": 0, "index_bytes": 0, "index_fts": 0}
+
+    def lookup_stats(self) -> Dict[str, object]:
+        """Per-tier hit/miss counters, rates and index gauges for the
+        serving layer's ``/stats`` cache block."""
         with self.lock:
-            lookups = self.tree_hits + self.bin_hits + self.misses
-            return {
+            lookups = (
+                self.tree_hits + self.bin_hits + self.index_hits + self.misses
+            )
+            stats: Dict[str, object] = {
                 "lookups": lookups,
                 "tree_hits": self.tree_hits,
                 "bin_hits": self.bin_hits,
+                "index_hits": self.index_hits,
                 "misses": self.misses,
+                "served": self._served,
             }
+        for tier in ("tree", "bin", "index"):
+            hits = stats[f"{tier}_hits"]
+            stats[f"{tier}_hit_rate"] = (
+                hits / lookups if lookups else 0.0  # type: ignore[operator]
+            )
+        stats.update(self.index_gauges())
+        return stats
+
+    # ------------------------------------------------------------------
+    # Frequency/session ranking signal (docs/predictive-model.md)
+    # ------------------------------------------------------------------
+
+    def note_served(self, sids: List[int]) -> None:
+        """Count completions served (a /stats gauge — serving does NOT
+        feed the frequency signal; see :meth:`note_used`)."""
+        with self.lock:
+            self._served += len(sids)
+
+    def note_used(self, surface: str) -> None:
+        """Record one explicit *use* of a surface — it appeared as a
+        literal in an executed query, or the user accepted a suggestion
+        carrying it.  These events (not serving) drive the frequency
+        ranking, so repeated completions stay deterministic."""
+        sid = self.surface_id(surface)
+        if sid is None:
+            return
+        with self.lock:
+            self._freq[sid] = self._freq.get(sid, 0) + 1
+
+    def frequency_of(self, sid: int) -> int:
+        with self.lock:
+            return self._freq.get(sid, 0)
+
+    def rank_scores(
+        self, sids: List[int], boost_surfaces: Optional[List[str]] = None
+    ) -> List[float]:
+        """Ranking score per served surface: how often the user actually
+        used it (query literals, accepted suggestions), plus a session
+        boost when the caller marked it recent.  All-zero scores leave
+        the QCM's shortest-first order untouched (the re-sort is
+        stable), so a cold cache ranks exactly like the paper's
+        algorithm."""
+        if not self.config.freq_ranking:
+            return [0.0] * len(sids)
+        boosted = set()
+        if boost_surfaces:
+            for surface in boost_surfaces:
+                sid = self.surface_id(surface)
+                if sid is not None:
+                    boosted.add(sid)
+        with self.lock:
+            return [
+                self._freq.get(sid, 0) + (1.0 if sid in boosted else 0.0)
+                for sid in sids
+            ]
+
+    def ranking_report(self, limit: int = 8) -> str:
+        """One-line summary of the frequency signal (EXPLAIN surface)."""
+        with self.lock:
+            top = sorted(
+                self._freq.items(), key=lambda item: (-item[1], item[0])
+            )[:limit]
+            parts = [
+                f"{self._surface_display(sid)}:{count}" for sid, count in top
+            ]
+        state = "on" if self.config.freq_ranking else "off"
+        listing = ", ".join(parts) if parts else "(none served yet)"
+        return f"freq_ranking={state} top=[{listing}]"
+
+    def _surface_display(self, sid: int) -> str:
+        return self.surface_of(sid)
+
+    def close(self) -> None:
+        """Release backing resources (no-op for the in-memory cache)."""
 
     def copy_with_capacity(self, capacity: int) -> "SapphireCache":
         """A new cache with the same contents but a different suffix-tree

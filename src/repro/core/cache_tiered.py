@@ -1,0 +1,381 @@
+"""Tiered Sapphire cache: hot suffix tree in memory, tail on disk.
+
+:class:`TieredSapphireCache` opens a v3 cache file (see
+``core/persistence.py`` and ``store/term_tables.py``) and serves the
+same lookup surface as :class:`~repro.core.cache.SapphireCache` with a
+two-tier layout:
+
+* the **hot tier** is the paper's suffix tree over all predicate/class
+  surfaces plus the top-``suffix_tree_capacity`` literals — built at
+  open from at most ``capacity`` rows, never from the full lexicon;
+* the **tail tier** is the on-disk term index
+  (:class:`~repro.text.term_index.SqliteTermIndex`): the residual
+  literals stay on disk and substring/fuzzy candidate lookups run as
+  SQL, spliced into the QCM/QSM paths through the ``residual_*``
+  dispatch points of the base class.
+
+Memory is therefore bounded by the tree capacity (plus a bounded memo
+of recently decoded surface buckets), not the lexicon size, and boot
+cost is proportional to the tree — a read-only replica serves its
+first completion seconds after opening the file, no rebuild.
+
+The cache is **read-only**: the file is the source of truth, so
+``add_*``/``merge``/``set_significance`` raise.  Export paths
+(``dumps_cache``, ``cache_to_store``) still work — they enumerate
+through SQL — and ``save_cache`` snapshots the backing file directly.
+
+Tree membership is derived per open: literals rank by
+``(significance DESC, length, surface)``, exactly the tuple order
+``build_indexes`` sorts by (UTF-8 byte order preserves code-point
+order, so SQLite's BINARY collation agrees with Python ``str``
+comparison), which keeps the suffix-tree capacity a load-time choice.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
+from urllib.parse import quote
+
+from ..rdf.terms import Term, flatten_term, unflatten_term
+from ..store.dictionary import NO_ID, TermDictionary
+from ..store.term_tables import (
+    KIND_MASK,
+    META_INDEX_FTS,
+    has_index_tables,
+)
+from ..text.lexicon import split_camel_case
+from ..text.suffix_tree import GeneralizedSuffixTree
+from ..text.term_index import SqliteTermIndex
+from .cache import CachedTerm, SapphireCache
+from .config import SapphireConfig
+
+__all__ = ["LazyTermDictionary", "TieredSapphireCache"]
+
+_META_VERSION_KEY = "sapphire_cache_version"
+
+
+class LazyTermDictionary(TermDictionary):
+    """A term dictionary that decodes against the cache file's ``terms``
+    table on demand, memoizing what it sees.
+
+    IDs are the *file's* term IDs, so a :class:`CachedTerm` built from a
+    persisted entry row decodes through the same rows the reified
+    triples use.  Interning is not supported — the tiered cache is
+    read-only."""
+
+    __slots__ = ("_index", "_by_id")
+
+    def __init__(self, index: SqliteTermIndex) -> None:
+        super().__init__()
+        self._index = index
+        self._by_id: Dict[int, Term] = {}
+
+    def decode(self, term_id: int) -> Term:
+        term = self._by_id.get(term_id)
+        if term is None:
+            row = self._index.term_row(term_id)
+            if row is None:
+                raise KeyError(f"no term {term_id} in the cache file")
+            term = unflatten_term(*row)
+            self._by_id[term_id] = term
+            self._ids[term] = term_id
+        return term
+
+    def lookup(self, term: Term) -> int:
+        term_id = self._ids.get(term)
+        if term_id is not None:
+            return term_id
+        found = self._index.term_id_of(flatten_term(term))
+        if found is None:
+            return NO_ID
+        self._ids[term] = found
+        self._by_id[found] = term
+        return found
+
+    def __contains__(self, term: Term) -> bool:
+        return self.lookup(term) != NO_ID
+
+    def encode(self, term: Term) -> int:
+        raise RuntimeError(
+            "tiered cache dictionaries are read-only; reinitialize or "
+            "merge into an in-memory cache to add terms"
+        )
+
+    restore = encode
+
+
+class TieredSapphireCache(SapphireCache):
+    """A :class:`SapphireCache` served from a v3 cache file."""
+
+    def __init__(
+        self,
+        path,
+        config: Optional[SapphireConfig] = None,
+        read_only: bool = False,
+    ) -> None:
+        self._path = str(path)
+        self._read_only = bool(read_only)
+        self._sql_lock = threading.RLock()
+        if read_only:
+            uri = "file:" + quote(str(Path(path).resolve())) + "?mode=ro"
+            conn = sqlite3.connect(uri, uri=True, check_same_thread=False)
+        else:
+            conn = sqlite3.connect(str(path), check_same_thread=False)
+        conn.execute("PRAGMA busy_timeout = 30000")
+        try:
+            version = self._read_meta(conn, _META_VERSION_KEY)
+            if version != "3" or not has_index_tables(conn):
+                raise ValueError(
+                    f"no tiered index in cache file {path!r} "
+                    f"(version {version!r}) — load it with "
+                    "load_cache(..., tiered=False) to rebuild in memory"
+                )
+            fts = self._read_meta(conn, META_INDEX_FTS) == "1"
+            index = SqliteTermIndex(conn, self._sql_lock, fts=fts)
+            super().__init__(config, dictionary=LazyTermDictionary(index))
+            self.term_index = index
+            self._conn = conn
+            # Surface table and entry buckets become bounded memos keyed
+            # by sid (plain dicts: every base-class read site indexes by
+            # sid, which works for dicts as well as the dense list).
+            self._surfaces = {}  # type: ignore[assignment]
+            self._memo_limit = max(
+                4096, 4 * self.config.suffix_tree_capacity
+            )
+            self._boot()
+        except Exception:
+            conn.close()
+            raise
+
+    @staticmethod
+    def _read_meta(conn: sqlite3.Connection, key: str) -> Optional[str]:
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.OperationalError:
+            return None
+        return row[0] if row else None
+
+    # ------------------------------------------------------------------
+    # Boot: build the hot tier from at most ``capacity`` rows
+    # ------------------------------------------------------------------
+
+    def _boot(self) -> None:
+        pc_rows, literal_rows = self.term_index.tree_plan(
+            self.config.suffix_tree_capacity
+        )
+        tree_sids: List[int] = []
+        pc_norms = []
+        for sid, surface, significance, kinds in pc_rows:
+            tree_sids.append(sid)
+            self._surfaces[sid] = surface
+            self._surface_ids[surface] = sid
+            if significance:
+                self._significance[sid] = significance
+            for kind, bit in KIND_MASK.items():
+                if kind != "literal" and kinds & bit:
+                    self._kind_sids[kind].setdefault(sid)
+            bucket = self._load_bucket(sid)
+            for entry in bucket:
+                if entry.kind in ("predicate", "class"):
+                    pc_norms.append((sid, split_camel_case(entry.surface)))
+        seen = set(tree_sids)
+        for sid, surface, significance in literal_rows:
+            self._surfaces.setdefault(sid, surface)
+            self._surface_ids.setdefault(surface, sid)
+            if significance:
+                self._significance[sid] = significance
+            if sid not in seen:
+                tree_sids.append(sid)
+        self._tree_sids = tree_sids
+        self._tree_sid_set = set(tree_sids)
+        self.tree = GeneralizedSuffixTree(
+            [self._surfaces[sid] for sid in tree_sids]
+        )
+        self.term_index.set_pc_norms(pc_norms)
+        self._indexed = True
+
+    def _load_bucket(self, sid: int) -> List[CachedTerm]:
+        bucket = [
+            CachedTerm(
+                display, term_id, kind, self.dictionary,
+                significance=significance, source_predicate_id=source_id,
+            )
+            for kind, term_id, source_id, significance, display
+            in self.term_index.entry_rows(sid)
+        ]
+        self._entries[sid] = bucket
+        return bucket
+
+    def _shed_memos(self) -> None:
+        """Bound the lazy memos: drop every bucket and surface outside
+        the hot tier once the memo outgrows its budget."""
+        if len(self._entries) <= self._memo_limit:
+            return
+        protected = self._tree_sid_set
+        for sid in [s for s in self._entries if s not in protected]:
+            del self._entries[sid]
+        for sid in [s for s in self._surfaces if s not in protected]:
+            surface = self._surfaces.pop(sid)
+            self._surface_ids.pop(surface, None)
+
+    # ------------------------------------------------------------------
+    # Read-only guards
+    # ------------------------------------------------------------------
+
+    def _add_entry(self, surface, term, kind, significance=0,
+                   source_predicate=None) -> None:
+        raise RuntimeError(
+            "tiered caches are read-only — mutate an in-memory cache and "
+            "save_cache() it, then reopen"
+        )
+
+    def set_significance(self, surface: str, significance: int) -> None:
+        raise RuntimeError("tiered caches are read-only")
+
+    def merge(self, other) -> None:
+        raise RuntimeError(
+            "cannot merge into a tiered cache — merge in memory and "
+            "save_cache() the result"
+        )
+
+    def build_indexes(self) -> None:
+        """The hot tier was built at open; nothing to rebuild."""
+        with self.lock:
+            self._indexed = True
+
+    # ------------------------------------------------------------------
+    # Lazy lookups
+    # ------------------------------------------------------------------
+
+    def surface_of(self, sid: int) -> str:
+        with self.lock:
+            surface = self._surfaces.get(sid)
+            if surface is None:
+                surface = self.term_index.surface_of(sid)
+                if surface is None:
+                    raise KeyError(f"no surface {sid} in the cache file")
+                self._surfaces[sid] = surface
+            return surface
+
+    def surface_id(self, surface: str) -> Optional[int]:
+        key = surface.lower()
+        with self.lock:
+            sid = self._surface_ids.get(key)
+            if sid is not None:
+                return sid
+        row = self.term_index.surface_row(key)
+        return row[0] if row else None
+
+    def entries_for_surface(self, surface: str) -> List[CachedTerm]:
+        sid = self.surface_id(surface)
+        if sid is None:
+            return []
+        return self.entries_for_surface_id(sid)
+
+    def entries_for_surface_id(self, sid: int) -> List[CachedTerm]:
+        with self.lock:
+            bucket = self._entries.get(sid)
+            if bucket is None:
+                self._shed_memos()
+                bucket = self._load_bucket(sid)
+            return list(bucket)
+
+    def literal_surfaces(self) -> List[str]:
+        """Every literal surface, via SQL — export paths only; this
+        deliberately walks the whole tail."""
+        return [
+            surface
+            for _, surface in self.term_index.literal_surface_rows()
+        ]
+
+    def significance_of(self, surface: str) -> int:
+        key = surface.lower()
+        with self.lock:
+            sid = self._surface_ids.get(key)
+            if sid is not None:
+                return self._significance.get(sid, 0)
+        row = self.term_index.surface_row(key)
+        return int(row[1]) if row else 0
+
+    # ------------------------------------------------------------------
+    # Residual tier: answer from the on-disk index
+    # ------------------------------------------------------------------
+
+    def residual_candidates(self, needle, min_len, max_len, processes,
+                            bins, limit=None):
+        del bins, processes  # the tail lives on disk, not in bins
+        return self.term_index.substring_sids(
+            needle, min_len, max_len, limit
+        )
+
+    def residual_searched_fraction(self, min_len, max_len, bins):
+        del bins
+        return 1.0 - self.term_index.selectivity(min_len, max_len)
+
+    def residual_scored(self, needle, min_len, max_len, scorer, threshold,
+                        processes, bins):
+        del processes, bins
+        hits = [
+            (sid, surface, score)
+            for sid, surface in self.term_index.window_rows(min_len, max_len)
+            for score in (scorer(surface),)
+            if score >= threshold
+        ]
+        hits.sort(key=lambda hit: (-hit[2], len(hit[1]), hit[1]))
+        return hits
+
+    def pc_shortlist(self, forms):
+        return self.term_index.pc_shortlist(forms, self.config.theta)
+
+    def note_lookup(self, tree_hit: bool, residual_hit: bool) -> None:
+        with self.lock:
+            if tree_hit:
+                self.tree_hits += 1
+            elif residual_hit:
+                self.index_hits += 1
+            else:
+                self.misses += 1
+
+    def index_gauges(self) -> Dict[str, int]:
+        return self.term_index.gauges()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def n_predicates(self) -> int:
+        return self.term_index.count_kind("predicate")
+
+    @property
+    def n_classes(self) -> int:
+        return self.term_index.count_kind("class")
+
+    @property
+    def n_literals(self) -> int:
+        return self.term_index.count_kind("literal")
+
+    @property
+    def n_residual_literals(self) -> int:
+        return self.term_index.residual_count
+
+    @property
+    def n_residual_bins(self) -> int:
+        return self.term_index.residual_bin_count
+
+    def copy_with_capacity(self, capacity: int) -> "TieredSapphireCache":
+        """Reopen the same file at a different tree budget (ablations)."""
+        return TieredSapphireCache(
+            self._path,
+            replace(self.config, suffix_tree_capacity=capacity),
+            read_only=self._read_only,
+        )
+
+    def close(self) -> None:
+        self._conn.close()

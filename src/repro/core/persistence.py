@@ -26,15 +26,19 @@ is the full restart story: ``SapphireServer.save_state`` /
 from __future__ import annotations
 
 import json
+import sqlite3
+import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
-from ..rdf.terms import IRI, Literal
+from ..rdf.terms import IRI, Literal, flatten_term
 from ..rdf.triples import Triple
+from ..store import term_tables
 from ..store.backends import MemoryBackend
 from ..store.sqlite_backend import SQLiteBackend
 from ..store.triplestore import TripleStore
 from .cache import SapphireCache
+from .cache_tiered import TieredSapphireCache
 from .config import SapphireConfig
 
 __all__ = [
@@ -60,6 +64,11 @@ _P_SOURCE = IRI(_NS + "source")
 _P_SIGNIFICANCE = IRI(_NS + "significance")
 _META_KEY = "sapphire_cache_version"
 _STORE_VERSION = "2"
+#: A v3 file is a v2 reification *plus* the term-index tables
+#: (``store/term_tables.py``); the version flips to "3" only after the
+#: index build commits, so a crash mid-build leaves a readable v2 file.
+_INDEXED_VERSION = "3"
+_LOADABLE_VERSIONS = (_STORE_VERSION, _INDEXED_VERSION)
 
 
 def dumps_cache(cache: SapphireCache) -> str:
@@ -150,9 +159,18 @@ def cache_to_store(cache: SapphireCache) -> TripleStore:
 def cache_from_store(
     store: TripleStore, config: Optional[SapphireConfig] = None
 ) -> SapphireCache:
-    """Rebuild a cache from its :func:`cache_to_store` reification."""
+    """Rebuild a cache from its :func:`cache_to_store` reification.
+
+    This is the eager path — every reified entry is replayed and the
+    suffix tree + bins rebuilt in memory.  v3 files decode here too
+    (their reified payload is exactly a v2 file's); the *tiered* fast
+    path that skips the rebuild lives in :func:`load_cache`, which
+    records whether the rebuild ran (and for how long) in the returned
+    cache's ``load_report``.
+    """
+    t0 = time.perf_counter()
     version = store.backend.get_meta(_META_KEY)
-    if version != _STORE_VERSION:
+    if version not in _LOADABLE_VERSIONS:
         raise ValueError(f"unsupported cache store version: {version!r}")
     by_subject: dict = {}
     for triple in store.triples():
@@ -189,32 +207,172 @@ def cache_from_store(
                 significance=significance,
             )
     cache.build_indexes()
+    cache.load_report = {
+        "mode": "rebuilt",
+        "seconds": round(time.perf_counter() - t0, 6),
+    }
     return cache
 
 
-def save_cache(cache: SapphireCache, path: Union[str, Path]) -> None:
+def _build_cache_index(
+    cache: SapphireCache, path: Union[str, Path], mode: str
+) -> Dict[str, object]:
+    """Build the v3 term-index tables inside an already-saved cache file.
+
+    The surface table, entry buckets and substring index (FTS5 trigram
+    or trigram postings) are derived from the live cache and keyed into
+    the file's own ``terms`` rows.  The format version flips to "3"
+    *last*, in the same commit — a crash mid-build leaves a valid v2
+    file that :func:`load_cache` simply rebuilds from.
+    """
+    t0 = time.perf_counter()
+    conn = sqlite3.connect(str(path))
+    try:
+        if mode == "auto":
+            use_fts = term_tables.fts5_trigram_available(conn)
+        elif mode == "fts":
+            if not term_tables.fts5_trigram_available(conn):
+                raise ValueError(
+                    "term_index='fts' but this SQLite lacks the FTS5 "
+                    "trigram tokenizer — use 'auto' or 'trigram'"
+                )
+            use_fts = True
+        else:
+            use_fts = False
+        term_ids = {
+            (kind, lexical, lang, datatype): term_id
+            for term_id, kind, lexical, lang, datatype in conn.execute(
+                "SELECT id, kind, lexical, lang, datatype FROM terms"
+            )
+        }
+        with cache.lock:
+            pc_ord: Dict[int, int] = {}
+            for sid in (
+                list(cache._kind_sids["predicate"])
+                + list(cache._kind_sids["class"])
+            ):
+                if sid not in pc_ord:
+                    pc_ord[sid] = len(pc_ord)
+            surface_rows = []
+            for sid, surface in enumerate(cache._surfaces):
+                kinds = 0
+                for kind, bit in term_tables.KIND_MASK.items():
+                    if sid in cache._kind_sids[kind]:
+                        kinds |= bit
+                if not kinds:
+                    continue  # significance-only intern, nothing to serve
+                surface_rows.append((
+                    sid, surface, cache._significance.get(sid, 0), kinds,
+                    pc_ord.get(sid),
+                ))
+            entry_rows = []
+            for sid, bucket in cache._entries.items():
+                for seq, entry in enumerate(bucket):
+                    source = entry.source_predicate
+                    entry_rows.append((
+                        sid, seq, entry.kind,
+                        term_ids[flatten_term(entry.term)],
+                        (term_ids[flatten_term(source)]
+                         if source is not None else None),
+                        entry.significance, entry.surface,
+                    ))
+        term_tables.create_index_tables(conn, use_fts)
+        term_tables.populate_index_tables(
+            conn, surface_rows, entry_rows, use_fts
+        )
+        built_s = round(time.perf_counter() - t0, 6)
+        meta_sql = "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)"
+        conn.execute(meta_sql, (
+            term_tables.META_INDEX_FTS, "1" if use_fts else "0"))
+        conn.execute(meta_sql, (term_tables.META_INDEX_BUILT, str(built_s)))
+        conn.execute(meta_sql, (_META_KEY, _INDEXED_VERSION))
+        conn.commit()
+    finally:
+        conn.close()
+    return {"version": 3, "built_s": built_s, "fts": use_fts}
+
+
+def _snapshot_tiered(
+    cache: TieredSapphireCache, path: Union[str, Path]
+) -> Dict[str, object]:
+    """Persist a tiered cache by snapshotting its backing file — the
+    file already *is* the v3 format; re-reifying through Python would
+    walk the whole tail for nothing."""
+    import os
+
+    scratch = Path(str(path) + ".tmp")
+    scratch.unlink(missing_ok=True)
+    dest = sqlite3.connect(str(scratch))
+    try:
+        with cache._sql_lock:
+            cache._conn.backup(dest)
+    finally:
+        dest.close()
+    os.replace(scratch, path)
+    return {"version": 3, "built_s": 0.0, "fts": cache.term_index.fts}
+
+
+def save_cache(
+    cache: SapphireCache, path: Union[str, Path]
+) -> Dict[str, object]:
     """Persist ``cache`` at ``path`` through the storage engine.
 
     The reified cache snapshots via :func:`save_store` — WAL-mode
     SQLite with scratch-file + atomic replace, so a crash mid-write
     must not truncate a previous good cache (rebuilding it means
-    re-running initialization)."""
+    re-running initialization).  Unless ``config.term_index`` is
+    ``"off"``, the term-index tables are then built into the same file
+    (manifest v3) so the next load — or a read-only replica — can serve
+    without rebuilding.  Returns an index-info dict for the state
+    manifest (``{"version", "built_s", "fts"}``).
+    """
+    if isinstance(cache, TieredSapphireCache):
+        return _snapshot_tiered(cache, path)
     save_store(cache_to_store(cache), path)
+    mode = cache.config.term_index
+    if mode == "off":
+        return {"version": 2, "built_s": 0.0, "fts": False}
+    return _build_cache_index(cache, path, mode)
 
 
 def load_cache(
-    path: Union[str, Path], config: Optional[SapphireConfig] = None
+    path: Union[str, Path],
+    config: Optional[SapphireConfig] = None,
+    read_only: bool = False,
+    tiered: Optional[bool] = None,
 ) -> SapphireCache:
     """Read a cache previously written by :func:`save_cache`.
 
-    Sniffs the format: storage-engine caches open through
-    :func:`load_store`; pre-PR-5 JSON caches (and hand-exported
-    :func:`dumps_cache` documents) decode through :func:`loads_cache`.
+    Sniffs the format: v3 storage-engine caches with a persisted term
+    index open as a :class:`TieredSapphireCache` — no eager rebuild,
+    boot cost proportional to the suffix-tree capacity — unless
+    ``tiered=False`` (or ``config.cache_tiered`` is off) forces the
+    legacy in-memory rebuild.  ``read_only=True`` opens the file with
+    ``mode=ro`` (replica boot over a shared snapshot).  v2 files and
+    pre-PR-5 JSON caches decode through the eager paths as before.
+    The returned cache's ``load_report`` says which path ran and how
+    long it took.
     """
     target = Path(path)
     with open(target, "rb") as handle:
         magic = handle.read(16)
     if magic.startswith(b"SQLite format 3"):
+        config = config or SapphireConfig()
+        want_tiered = config.cache_tiered if tiered is None else tiered
+        if want_tiered:
+            t0 = time.perf_counter()
+            try:
+                cache: SapphireCache = TieredSapphireCache(
+                    target, config, read_only=read_only
+                )
+            except ValueError:
+                pass  # no index tables (v2 file): fall back to rebuild
+            else:
+                cache.load_report = {
+                    "mode": "tiered",
+                    "seconds": round(time.perf_counter() - t0, 6),
+                }
+                return cache
         store = load_store(target)
         try:
             return cache_from_store(store, config)

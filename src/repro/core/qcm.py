@@ -13,6 +13,17 @@ cached data that contain ``t``:
 3. The shortest bin results fill the remaining slots.
 
 Variables (strings starting with ``?``) get no suggestions.
+
+Two refinements over the paper's presentation (docs/predictive-model.md):
+
+* the residual search dispatches through the cache
+  (``residual_candidates``), so a tiered cache answers step 2 from its
+  on-disk term index instead of in-memory bins — the wire format is
+  unchanged (residual completions keep the ``"bins"`` source label);
+* after assembly the k completions are **stably** re-sorted by the
+  frequency/session ranking signal (how often each surface was served
+  before, plus explicit session boosts).  A cold cache scores all-zero,
+  which leaves the paper's tree-then-shortest order untouched.
 """
 
 from __future__ import annotations
@@ -50,6 +61,9 @@ class CompletionResult:
     tree_seconds: float = 0.0
     bins_seconds: float = 0.0
     bins_searched_fraction: float = 0.0
+    #: How many completions carried a positive frequency/session score
+    #: (the ranking re-sort surface; not part of the wire format).
+    boosted: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -71,15 +85,22 @@ class QueryCompletionModule:
         self.cache = cache
         self.config = config or cache.config
 
-    def complete(self, term: str, k: Optional[int] = None) -> CompletionResult:
+    def complete(
+        self,
+        term: str,
+        k: Optional[int] = None,
+        boost_surfaces: Optional[List[str]] = None,
+    ) -> CompletionResult:
         """Suggest up to ``k`` cached strings containing ``term``.
 
-        Runs entirely in surface-ID space: the tree lookup and the bin
-        scan both return surface IDs, and entries are fetched by ID.
-        The indexes are snapshotted under the cache lock (so a
-        concurrent endpoint registration can never swap them mid-
-        completion) but the scans run *outside* it — concurrent
+        Runs entirely in surface-ID space: the tree lookup and the
+        residual search both return surface IDs, and entries are
+        fetched by ID.  The indexes are snapshotted under the cache
+        lock (so a concurrent endpoint registration can never swap them
+        mid-completion) but the scans run *outside* it — concurrent
         ``/complete`` handler threads do not serialize on the lock.
+        ``boost_surfaces`` are session-recent surfaces the ranking
+        re-sort favours.
         """
         k = k if k is not None else self.config.k_suggestions
         result = CompletionResult(term=term)
@@ -98,27 +119,28 @@ class QueryCompletionModule:
             tree_sids = [tree_sids_table[i] for i in tree.find_ids(needle, limit=k)]
         result.tree_seconds = time.perf_counter() - t0
         result.tree_hit = bool(tree_sids)
+        pairs: List[tuple] = []
         for sid in tree_sids:
             entries = tuple(self.cache.entries_for_surface_id(sid))
             if entries:
-                result.completions.append(
-                    Completion(entries[0].surface, entries, "tree")
-                )
+                pairs.append((sid, Completion(entries[0].surface, entries, "tree")))
 
-        remaining = k - len(result.completions)
+        remaining = k - len(pairs)
         if remaining <= 0:
-            self.cache.note_lookup(result.tree_hit, False)
-            return result
+            return self._finish(result, pairs, boost_surfaces, False)
 
-        # Step 2: residual bins of length |t| .. |t|+gamma.
+        # Step 2: the residual tier — bins of length |t| .. |t|+gamma,
+        # or the on-disk index when the cache is tiered.
         min_len, max_len = len(needle), len(needle) + self.config.gamma
         t0 = time.perf_counter()
-        matches = bins.scan_keyed(
-            min_len, max_len, lambda lit: needle in lit,
-            processes=self.config.processes,
+        matches = self.cache.residual_candidates(
+            needle, min_len, max_len, self.config.processes, bins,
+            limit=remaining + len(tree_sids),
         )
         result.bins_seconds = time.perf_counter() - t0
-        result.bins_searched_fraction = 1.0 - bins.selectivity(min_len, max_len)
+        result.bins_searched_fraction = self.cache.residual_searched_fraction(
+            min_len, max_len, bins
+        )
 
         seen = set(tree_sids)
         # The shortest results are returned (closest to the typed prefix).
@@ -129,12 +151,28 @@ class QueryCompletionModule:
             entries = tuple(self.cache.entries_for_surface_id(sid))
             if not entries:
                 continue
-            result.completions.append(
-                Completion(entries[0].surface, entries, "bins")
-            )
-            if len(result.completions) >= k:
+            pairs.append((sid, Completion(entries[0].surface, entries, "bins")))
+            if len(pairs) >= k:
                 break
-        self.cache.note_lookup(result.tree_hit, bool(result.completions))
+        return self._finish(result, pairs, boost_surfaces, bool(pairs))
+
+    def _finish(
+        self,
+        result: CompletionResult,
+        pairs: List[tuple],
+        boost_surfaces: Optional[List[str]],
+        residual_hit: bool,
+    ) -> CompletionResult:
+        """Apply the ranking re-sort, record serving counters, finish."""
+        sids = [sid for sid, _ in pairs]
+        scores = self.cache.rank_scores(sids, boost_surfaces)
+        if any(scores):
+            order = sorted(range(len(pairs)), key=lambda i: -scores[i])
+            pairs = [pairs[i] for i in order]
+            result.boosted = sum(1 for score in scores if score > 0)
+        result.completions = [completion for _, completion in pairs]
+        self.cache.note_served(sids)
+        self.cache.note_lookup(result.tree_hit, residual_hit)
         return result
 
     def complete_surfaces(self, term: str, k: Optional[int] = None) -> List[str]:

@@ -100,14 +100,28 @@ class AlternativeTermsFinder:
     # ------------------------------------------------------------------
 
     def predicate_alternatives(self, predicate: IRI) -> List[Tuple[CachedTerm, float]]:
-        """Cached predicates/classes similar to ``predicate`` or its lexica."""
+        """Cached predicates/classes similar to ``predicate`` or its lexica.
+
+        The cache may offer a *shortlist*: a superset of the surface IDs
+        that can clear the JW threshold, derived from character-count
+        postings (sound for θ > 0.6 — see ``text.term_index``).  Entries
+        outside the shortlist skip the JW computation entirely; the
+        surviving candidates are scored exactly as before, so the result
+        set is identical with or without the shortlist.
+        """
         forms = self.lexicon.get_lexica(predicate)
         with self.cache.lock:
             candidates = self.cache.predicates() + self.cache.classes()
         predicate_id = self.cache.dictionary.lookup(predicate)
+        shortlist = self.cache.pc_shortlist(list(forms))
         scored: List[Tuple[CachedTerm, float]] = []
         for entry in candidates:
             if entry.term_id == predicate_id:
+                continue
+            if (
+                shortlist is not None
+                and self.cache.surface_id(entry.surface) not in shortlist
+            ):
                 continue
             entry_surface = split_camel_case(entry.surface)
             best = max(jaro_winkler(form, entry_surface) for form in forms)
@@ -132,11 +146,12 @@ class AlternativeTermsFinder:
         with self.cache.lock:
             _, _, bins = self.cache.snapshot_indexes()
             tree_literal_sids = self.cache.tree_literal_surface_ids()
-        matches = bins.scan_scored_keyed(
-            min_len, max_len,
+        matches = self.cache.residual_scored(
+            needle, min_len, max_len,
             lambda lit: jaro_winkler(needle, lit),
             self.config.theta,
-            processes=self.config.processes,
+            self.config.processes,
+            bins,
         )
         # Also consider the tree-resident (significant) literal surfaces.
         for sid in tree_literal_sids:

@@ -255,7 +255,7 @@ class SapphireServer:
             seen.add(endpoint.name)
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
-        save_cache(self.cache, target / "cache.sqlite")
+        index_info = save_cache(self.cache, target / "cache.sqlite")
         # Drop state files *this class* wrote for endpoints that no
         # longer exist (per the previous manifest) — never unrelated
         # .sqlite files that happen to live in the directory.
@@ -277,8 +277,9 @@ class SapphireServer:
         # Atomic replace so a crash mid-write cannot truncate the manifest.
         scratch = manifest_path.with_suffix(".json.tmp")
         scratch.write_text(json.dumps({
-            "version": 2,
+            "version": 3,
             "cache": "cache.sqlite",
+            "cache_index": index_info,
             "endpoints": sorted(current),
         }))
         os.replace(scratch, manifest_path)
@@ -363,22 +364,26 @@ class SapphireServer:
         text: str,
         k: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        boost_surfaces: Optional[List[str]] = None,
     ) -> CompletionResult:
         """Auto-complete suggestions for the partially typed ``text``.
 
-        Under a tracer the QCM lookup records one span with the
-        cache-lookup delta (suffix-tree vs. bin hits) of this call.
+        ``boost_surfaces`` (session-recent surfaces) feed the ranking
+        re-sort.  Under a tracer the QCM lookup records one span with
+        the cache-lookup delta (suffix-tree vs. bin vs. on-disk index
+        hits) of this call.
         """
         if tracer is None:
-            return self.qcm.complete(text, k)
+            return self.qcm.complete(text, k, boost_surfaces=boost_surfaces)
         before = self.cache.lookup_stats()
         with tracer.span("qcm-complete", chars=len(text)) as span:
-            result = self.qcm.complete(text, k)
+            result = self.qcm.complete(text, k, boost_surfaces=boost_surfaces)
             if span is not None:
                 after = self.cache.lookup_stats()
                 span.attrs["completions"] = len(result.completions)
                 span.attrs["tree_hit"] = result.tree_hit
-                for key in ("tree_hits", "bin_hits", "misses"):
+                span.attrs["boosted"] = result.boosted
+                for key in ("tree_hits", "bin_hits", "index_hits", "misses"):
                     span.attrs[key] = after.get(key, 0) - before.get(key, 0)
         return result
 
@@ -528,7 +533,10 @@ class SapphireServer:
                 f"{self.federation.explain(probe)}"
             )
         if not sections:
-            return "no batched probes: no candidate terms found in the cache"
+            sections.append(
+                "no batched probes: no candidate terms found in the cache"
+            )
+        sections.append(f"-- ranking\n{self.cache.ranking_report()}")
         return "\n\n".join(sections)
 
     def _literal_alternatives_map(self, query: Query) -> Dict[Literal, List[Literal]]:

@@ -16,10 +16,11 @@
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
-from ..rdf.terms import Term
+from ..rdf.terms import Literal, Term
 from .answer_table import AnswerTable
 from .qsm_relax import RelaxationSuggestion
 from .qsm_terms import TermSuggestion
@@ -54,6 +55,9 @@ class SapphireSession:
         self._builder = QueryBuilder()
         self._outcome: Optional[QueryOutcome] = None
         self.history: List[HistoryEntry] = []
+        #: Recently used surfaces (query literals, accepted replacements)
+        #: — fed to the QCM as session boosts for the ranking re-sort.
+        self._recent: deque = deque(maxlen=32)
 
     # ------------------------------------------------------------------
     # Composition (the text boxes)
@@ -61,8 +65,20 @@ class SapphireSession:
 
     def complete(self, text: str):
         """QCM suggestions for a partially typed box (invoked per
-        keystroke by the UI; here, on demand)."""
-        return self.server.complete(text)
+        keystroke by the UI; here, on demand).  Surfaces this session
+        recently queried or accepted rank first among equals."""
+        with self._lock:
+            recent = list(self._recent)
+        return self.server.complete(text, boost_surfaces=recent)
+
+    def _note_recent(self, surfaces) -> None:
+        for surface in surfaces:
+            if not surface:
+                continue
+            with self._lock:
+                self._recent.append(surface)
+            # Usage events feed the server-wide frequency ranking too.
+            self.server.cache.note_used(surface)
 
     def triple(self, subject: Term, predicate: Term, obj: Term) -> "SapphireSession":
         """Add one triple-pattern row to the composer."""
@@ -102,6 +118,12 @@ class SapphireSession:
         with self._lock:
             builder = self._builder
         outcome = self.server.run_query(builder, suggest=suggest)
+        self._note_recent(
+            term.lexical
+            for pattern in outcome.query.where.patterns
+            for term in pattern.as_tuple()
+            if isinstance(term, Literal)
+        )
         with self._lock:
             self._outcome = outcome
             self.history.append(HistoryEntry(
@@ -138,6 +160,9 @@ class SapphireSession:
         prefetched = chosen.prefetched
         if prefetched is None:  # defensive: execute if not prefetched
             prefetched = self.server.run_query(chosen.query, suggest=False).answers
+        replacement = getattr(chosen, "replacement", None)
+        if isinstance(replacement, Literal):
+            self._note_recent([replacement.lexical])
         new_outcome = QueryOutcome(
             query=chosen.query,
             query_text=chosen.query_text,

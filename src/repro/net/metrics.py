@@ -490,6 +490,31 @@ _MERGE_SUM_FIELDS = ("requests", "ok", "rejected", "timeouts",
                      "in_flight", "queued", "sessions", "session_activity")
 _MERGE_MAX_FIELDS = ("queued_peak", "in_flight_peak")
 
+#: Suggestion-cache counters summed across workers; the per-tier hit
+#: rates are *recomputed* from the summed counters (averaging per-worker
+#: rates would weight an idle worker like a busy one), and the index
+#: size gauges take the max (workers serve the same on-disk index).
+_CACHE_SUM_FIELDS = ("lookups", "tree_hits", "bin_hits", "index_hits",
+                     "misses", "served")
+_CACHE_MAX_FIELDS = ("index_surfaces", "index_bytes", "index_fts")
+
+
+def _merge_cache_blocks(blocks: List[Dict[str, object]]) -> Dict[str, object]:
+    merged: Dict[str, object] = {field: 0 for field in _CACHE_SUM_FIELDS}
+    for field in _CACHE_MAX_FIELDS:
+        merged[field] = 0
+    for block in blocks:
+        for field in _CACHE_SUM_FIELDS:
+            merged[field] += int(block.get(field, 0))  # type: ignore[arg-type,operator]
+        for field in _CACHE_MAX_FIELDS:
+            merged[field] = max(merged[field],  # type: ignore[type-var]
+                                int(block.get(field, 0)))  # type: ignore[arg-type]
+    lookups = int(merged["lookups"])  # type: ignore[arg-type]
+    for tier in ("tree", "bin", "index"):
+        hits = int(merged[f"{tier}_hits"])  # type: ignore[arg-type]
+        merged[f"{tier}_hit_rate"] = hits / lookups if lookups else 0.0
+    return merged
+
 
 def merge_stats_bodies(bodies: Sequence[Dict[str, object]]) -> Dict[str, object]:
     """One coordinator-view ``/stats`` body from per-worker bodies.
@@ -508,7 +533,11 @@ def merge_stats_bodies(bodies: Sequence[Dict[str, object]]) -> Dict[str, object]
         merged[field] = 0
     route_counts: Dict[str, Dict[str, int]] = {}
     route_latency: Dict[str, LatencyHistogram] = {}
+    cache_blocks: List[Dict[str, object]] = []
     for body in bodies:
+        cache = body.get("cache")
+        if isinstance(cache, dict):
+            cache_blocks.append(cache)
         for field in _MERGE_SUM_FIELDS:
             merged[field] += int(body.get(field, 0))  # type: ignore[arg-type,operator]
         for field in _MERGE_MAX_FIELDS:
@@ -531,4 +560,6 @@ def merge_stats_bodies(bodies: Sequence[Dict[str, object]]) -> Dict[str, object]
                 "latency": route_latency[route].to_dict()}
         for route in sorted(route_counts)
     }
+    if cache_blocks:
+        merged["cache"] = _merge_cache_blocks(cache_blocks)
     return merged

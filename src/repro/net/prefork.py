@@ -111,11 +111,23 @@ def build_backend_from_spec(spec: Dict[str, object]):
         execution=str(spec.get("execution", "auto")),
     )
     if spec.get("sapphire"):
-        server = SapphireServer(SapphireConfig(
+        config = SapphireConfig(
             suffix_tree_capacity=int(spec.get("tree_capacity", 500)),  # type: ignore[arg-type]
             execution=str(spec.get("execution", "auto")),
-        ))
-        server.register_endpoint(endpoint)
+        )
+        server = SapphireServer(config)
+        cache_snapshot = spec.get("cache_snapshot")
+        if cache_snapshot is not None:
+            # Instant replica boot: open the parent's persisted cache
+            # (v3 file with the on-disk term index) read-only instead of
+            # re-running Section 5 initialization in every worker.
+            from ..core.persistence import load_cache
+
+            server.cache = load_cache(
+                str(cache_snapshot), config, read_only=True)
+            server.attach_endpoint(endpoint)
+        else:
+            server.register_endpoint(endpoint)
         return server
     return endpoint
 
@@ -139,7 +151,31 @@ def prepare_snapshots(spec: Dict[str, object], base_path: str) -> Dict[str, obje
     store = TripleStore(backend=backend)
     store.add_all(dataset.store.triples())
     backend.close()
-    return {**spec, "snapshot_base": base_path}
+    out = {**spec, "snapshot_base": base_path}
+    if spec.get("sapphire"):
+        # Run Section 5 initialization ONCE here and persist the cache
+        # (v3: reified triples + on-disk term index); each worker then
+        # boots a read-only tiered replica in seconds, no rebuild.
+        from ..core.config import SapphireConfig
+        from ..core.persistence import save_cache
+        from ..core.sapphire import SapphireServer
+        from ..endpoint.endpoint import EndpointConfig, SparqlEndpoint
+
+        config = SapphireConfig(
+            suffix_tree_capacity=int(spec.get("tree_capacity", 500)),  # type: ignore[arg-type]
+            execution=str(spec.get("execution", "auto")),
+        )
+        parent = SapphireServer(config)
+        parent.register_endpoint(SparqlEndpoint(
+            dataset.store,
+            EndpointConfig(timeout_s=float(spec.get("timeout_s", 2.0))),  # type: ignore[arg-type]
+            name="snapshot-init",
+            execution=config.execution,
+        ))
+        cache_path = base_path + ".cache.sqlite"
+        save_cache(parent.cache, cache_path)
+        out["cache_snapshot"] = cache_path
+    return out
 
 
 # ----------------------------------------------------------------------

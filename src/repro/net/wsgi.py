@@ -544,9 +544,19 @@ class SparqlWsgiApp:
         k = document.get("k")
         if k is not None and (not isinstance(k, int) or isinstance(k, bool) or k < 1):
             raise _HttpFail(400, "'k' must be a positive integer")
+        recent = document.get("recent")
+        if recent is not None:
+            if not isinstance(recent, list) or not all(
+                isinstance(surface, str) for surface in recent
+            ):
+                raise _HttpFail(400, "'recent' must be a list of strings")
+            recent = recent[-32:]  # bounded, like SapphireSession history
+        kwargs = {} if recent is None else {"boost_surfaces": recent}
         if tracer is not None:
-            return completion_document(self.suggester.complete(text, k, tracer))
-        return completion_document(self.suggester.complete(text, k))
+            return completion_document(
+                self.suggester.complete(text, k, tracer, **kwargs)
+            )
+        return completion_document(self.suggester.complete(text, k, **kwargs))
 
     def _run_suggest(
         self, document: Dict, tracer: Optional[Tracer] = None

@@ -1,0 +1,188 @@
+"""On-disk term-index tables for the suggestion cache (manifest v3).
+
+A v3 cache file is a v2 reified cache (``core/persistence.py``) plus a
+set of *index tables* living in the same SQLite database, so one file
+ships both the durable cache contents and a search structure a replica
+can serve from without rebuilding anything:
+
+* ``cache_surfaces`` — the dense surface-ID table: one row per interned
+  (lower-cased) surface with its length, significance score, a kind
+  bitmask and, for predicate/class surfaces, their first-seen order.
+  Tree membership is **not** stored: the suffix-tree capacity is a
+  load-time choice (``tests/test_persistence.py``), so the loader ranks
+  literals by ``(significance DESC, length, surface)`` — byte-for-byte
+  the order ``SapphireCache.build_indexes`` sorts by — and takes the
+  top ``capacity`` rows itself.
+* ``cache_entries`` — the per-surface entry buckets (kind, term,
+  source predicate, display form), keyed into the file's own ``terms``
+  table so entries decode through the same dictionary rows the reified
+  triples use.
+* ``cache_fts`` — an FTS5 table with the ``trigram`` tokenizer over the
+  literal surfaces, when the linked SQLite has FTS5.  A trigram MATCH
+  for a needle of length >= 3 is a sound *superset* of the substring
+  matches (consecutive-trigram phrase), verified with ``instr``.
+* ``cache_trigrams`` — the stdlib-only fallback: a hand-rolled trigram
+  inverted index (``gram -> sid``).  Every trigram of a substring is a
+  trigram of the containing string, so intersecting the needle's grams
+  is likewise a sound superset for needles >= 3 characters; shorter
+  needles scan the length window directly (the window index makes that
+  a streamed range scan).
+
+``instr`` is used for verification rather than ``LIKE``: ``LIKE`` needs
+``%``/``_`` escaping and is ASCII-only case-insensitive, while both
+sides here are already lower-cased in Python.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "KIND_MASK",
+    "META_INDEX_FTS",
+    "META_INDEX_BUILT",
+    "fts5_trigram_available",
+    "has_index_tables",
+    "create_index_tables",
+    "drop_index_tables",
+    "populate_index_tables",
+    "trigrams",
+]
+
+#: Kind bitmask values for ``cache_surfaces.kinds``.
+KIND_MASK = {"predicate": 1, "class": 2, "literal": 4}
+
+#: Meta keys recorded next to ``sapphire_cache_version`` in the file.
+META_INDEX_FTS = "sapphire_index_fts"
+META_INDEX_BUILT = "sapphire_index_built_s"
+
+_TABLES = ("cache_surfaces", "cache_entries", "cache_trigrams", "cache_fts")
+
+_DDL = """
+CREATE TABLE cache_surfaces (
+    sid          INTEGER PRIMARY KEY,
+    surface      TEXT NOT NULL UNIQUE,
+    length       INTEGER NOT NULL,
+    significance INTEGER NOT NULL DEFAULT 0,
+    kinds        INTEGER NOT NULL,
+    pc_ord       INTEGER
+);
+CREATE INDEX idx_cache_surfaces_window ON cache_surfaces (length, surface);
+CREATE INDEX idx_cache_surfaces_rank
+    ON cache_surfaces (significance DESC, length, surface);
+CREATE TABLE cache_entries (
+    sid          INTEGER NOT NULL,
+    seq          INTEGER NOT NULL,
+    kind         TEXT NOT NULL,
+    term_id      INTEGER NOT NULL,
+    source_id    INTEGER,
+    significance INTEGER NOT NULL DEFAULT 0,
+    display      TEXT NOT NULL,
+    PRIMARY KEY (sid, seq)
+) WITHOUT ROWID;
+"""
+
+_DDL_TRIGRAMS = """
+CREATE TABLE cache_trigrams (
+    gram TEXT NOT NULL,
+    sid  INTEGER NOT NULL,
+    PRIMARY KEY (gram, sid)
+) WITHOUT ROWID;
+"""
+
+_DDL_FTS = (
+    "CREATE VIRTUAL TABLE cache_fts "
+    "USING fts5(surface, content='', tokenize='trigram')"
+)
+
+
+def fts5_trigram_available(conn: sqlite3.Connection) -> bool:
+    """True when this SQLite build has FTS5 with the trigram tokenizer."""
+    try:
+        conn.execute(
+            "CREATE VIRTUAL TABLE temp.__fts_probe "
+            "USING fts5(x, tokenize='trigram')"
+        )
+        conn.execute("DROP TABLE temp.__fts_probe")
+        return True
+    except sqlite3.OperationalError:
+        return False
+
+
+def has_index_tables(conn: sqlite3.Connection) -> bool:
+    """True when the v3 index tables exist in this database."""
+    row = conn.execute(
+        "SELECT COUNT(*) FROM sqlite_master "
+        "WHERE type IN ('table', 'view') "
+        "AND name IN ('cache_surfaces', 'cache_entries')"
+    ).fetchone()
+    return bool(row and row[0] == 2)
+
+
+def drop_index_tables(conn: sqlite3.Connection) -> None:
+    for name in _TABLES:
+        conn.execute(f"DROP TABLE IF EXISTS {name}")
+
+
+def create_index_tables(conn: sqlite3.Connection, use_fts: bool) -> None:
+    """(Re)create the index tables, choosing FTS5 or the trigram fallback."""
+    drop_index_tables(conn)
+    conn.executescript(_DDL)
+    if use_fts:
+        conn.execute(_DDL_FTS)
+    else:
+        conn.executescript(_DDL_TRIGRAMS)
+
+
+def trigrams(surface: str) -> Sequence[str]:
+    """The distinct character trigrams of ``surface`` (order-free)."""
+    if len(surface) < 3:
+        return ()
+    return tuple({surface[i:i + 3] for i in range(len(surface) - 2)})
+
+
+def populate_index_tables(
+    conn: sqlite3.Connection,
+    surface_rows: Iterable[Tuple[int, str, int, int, Optional[int]]],
+    entry_rows: Iterable[Tuple[int, int, str, int, Optional[int], int, str]],
+    use_fts: bool,
+) -> None:
+    """Fill freshly created index tables.
+
+    ``surface_rows`` are ``(sid, surface, significance, kinds, pc_ord)``;
+    ``entry_rows`` are ``(sid, seq, kind, term_id, source_id,
+    significance, display)``.  Literal surfaces (``kinds & 4``) feed the
+    substring index — FTS5 rows keyed by sid, or the trigram postings.
+    """
+    literal_bit = KIND_MASK["literal"]
+    literal_sids = []
+    for sid, surface, significance, kinds, pc_ord in surface_rows:
+        conn.execute(
+            "INSERT INTO cache_surfaces "
+            "(sid, surface, length, significance, kinds, pc_ord) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (sid, surface, len(surface), significance, kinds, pc_ord),
+        )
+        if kinds & literal_bit:
+            literal_sids.append((sid, surface))
+    conn.executemany(
+        "INSERT INTO cache_entries "
+        "(sid, seq, kind, term_id, source_id, significance, display) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?)",
+        entry_rows,
+    )
+    if use_fts:
+        conn.executemany(
+            "INSERT INTO cache_fts (rowid, surface) VALUES (?, ?)",
+            literal_sids,
+        )
+    else:
+        conn.executemany(
+            "INSERT INTO cache_trigrams (gram, sid) VALUES (?, ?)",
+            (
+                (gram, sid)
+                for sid, surface in literal_sids
+                for gram in trigrams(surface)
+            ),
+        )

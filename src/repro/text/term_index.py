@@ -1,0 +1,372 @@
+"""Tiered term index: on-disk candidate lookups for the cache tail.
+
+:class:`SqliteTermIndex` is the query-side companion of
+:mod:`repro.store.term_tables`: it wraps one SQLite connection to a v3
+cache file and serves the lookups the tiered cache routes past its hot
+suffix tree —
+
+* **substring** candidates over the *residual* literal surfaces
+  (``substring_sids``), FTS5-trigram or trigram-posting prefiltered and
+  always ``instr``-verified, streamed shortest-first so the results
+  splice into the QCM's shortest-first fill exactly where a
+  ``bins.scan_keyed`` result would;
+* **fuzzy** candidates (``window_rows``): the α/β length window of the
+  QSM's alternative-literal search as a streamed range scan — the
+  Jaro–Winkler scoring stays in Python so tiered and in-memory paths
+  share one scorer;
+* a **predicate/class shortlist** (``pc_shortlist``) for the QSM's
+  alternative-predicate search, built from character-count postings
+  over the camel-split surface forms.
+
+Residual membership is *derived*, not stored: the loader hands the
+index the ranking boundary — the ``(significance, length, surface)``
+tuple of the last literal that made the suffix tree at the configured
+capacity — and residual rows are exactly the literal rows ranking
+strictly after it.  This keeps tree capacity a load-time choice while
+letting SQL filter the tail.
+
+Soundness of the shortlists
+---------------------------
+Trigram prefilters are sound for *substring* search (every trigram of a
+substring appears in the containing string) but **not** for
+Jaro–Winkler: "abcdef" vs "badcfe" shares zero trigrams yet scores
+~0.83.  The predicate shortlist therefore uses character counts: with
+``jw = j + l*0.1*(1-j)`` and prefix ``l <= 4``, ``jw >= θ`` forces
+``j >= (θ - 0.4) / 0.6``, and ``j <= (m/l1 + m/l2 + 1) / 3`` bounds the
+match count ``m >= (3*jmin - 1) * l1*l2 / (l1 + l2)``; the multiset
+character intersection is an upper bound on ``m``, so any candidate
+whose shared-character count stays below the bound can never reach θ.
+At θ <= 0.6 the bound degenerates and the shortlist declines to prune.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..store.term_tables import KIND_MASK, trigrams
+
+__all__ = ["SqliteTermIndex"]
+
+_LITERAL = KIND_MASK["literal"]
+
+#: Residual-set descriptors: every literal row, no row, or the rows
+#: ranking strictly after a ``(significance, length, surface)`` boundary.
+_ALL = ("all",)
+_NONE = ("none",)
+
+
+class SqliteTermIndex:
+    """Candidate lookups over one v3 cache file's index tables."""
+
+    def __init__(
+        self,
+        conn: sqlite3.Connection,
+        lock: Optional[threading.RLock] = None,
+        fts: bool = False,
+    ) -> None:
+        self._conn = conn
+        #: Serializes statements on the shared connection — completion
+        #: handler threads and QSM scans share it.
+        self._lock = lock if lock is not None else threading.RLock()
+        self.fts = fts
+        self._residual: tuple = _ALL
+        self._histogram: Dict[int, int] = {}
+        self._residual_count = 0
+        self._pc_postings: List[Tuple[int, Counter, int]] = []
+
+    # ------------------------------------------------------------------
+    # Load-time configuration
+    # ------------------------------------------------------------------
+
+    def tree_plan(self, capacity: int):
+        """The tree membership for ``capacity``, ranked exactly like
+        ``SapphireCache.build_indexes``.
+
+        Returns ``(pc_rows, literal_rows)``: ``(sid, surface,
+        significance, kinds)`` tuples for the predicate/class surfaces
+        in first-seen order, then ``(sid, surface, significance)`` for
+        the top-ranked literals filling the remaining budget — and
+        records the residual boundary.
+        """
+        with self._lock:
+            pc_rows = self._conn.execute(
+                "SELECT sid, surface, significance, kinds "
+                "FROM cache_surfaces "
+                "WHERE pc_ord IS NOT NULL ORDER BY pc_ord"
+            ).fetchall()
+            budget = max(0, capacity - len(pc_rows))
+            if budget == 0:
+                self._residual = _ALL
+                literal_rows: list = []
+            else:
+                literal_rows = self._conn.execute(
+                    "SELECT sid, surface, significance FROM cache_surfaces "
+                    "WHERE (kinds & ?) != 0 "
+                    "ORDER BY significance DESC, length, surface LIMIT ?",
+                    (_LITERAL, budget),
+                ).fetchall()
+                if len(literal_rows) < budget:
+                    self._residual = _NONE
+                else:
+                    sid, surface, significance = literal_rows[-1]
+                    self._residual = (
+                        "after", significance, len(surface), surface
+                    )
+            self._load_histogram()
+        return pc_rows, literal_rows
+
+    def _residual_sql(self) -> Tuple[str, tuple]:
+        """The residual-membership predicate as ``(clause, params)``."""
+        if self._residual == _NONE:
+            return "0", ()
+        clause = "(kinds & ?) != 0"
+        params: tuple = (_LITERAL,)
+        if self._residual[0] == "after":
+            _, significance, length, surface = self._residual
+            clause += (
+                " AND (significance < ? OR (significance = ?"
+                " AND (length > ? OR (length = ? AND surface > ?))))"
+            )
+            params += (significance, significance, length, length, surface)
+        return clause, params
+
+    def _load_histogram(self) -> None:
+        clause, params = self._residual_sql()
+        rows = self._conn.execute(
+            f"SELECT length, COUNT(*) FROM cache_surfaces WHERE {clause} "
+            "GROUP BY length",
+            params,
+        ).fetchall()
+        self._histogram = {length: count for length, count in rows}
+        self._residual_count = sum(self._histogram.values())
+
+    def set_pc_norms(self, items: Iterable[Tuple[int, str]]) -> None:
+        """Record the camel-split predicate/class forms, one per entry,
+        as character-count postings for :meth:`pc_shortlist`."""
+        self._pc_postings = [
+            (sid, Counter(norm), len(norm)) for sid, norm in items
+        ]
+
+    # ------------------------------------------------------------------
+    # Residual statistics (QCM's bins_searched_fraction parity)
+    # ------------------------------------------------------------------
+
+    @property
+    def residual_count(self) -> int:
+        return self._residual_count
+
+    @property
+    def residual_bin_count(self) -> int:
+        return len(self._histogram)
+
+    def selectivity(self, min_len: int, max_len: int) -> float:
+        """Fraction of residual literals *eliminated* by the length
+        filter — same convention as ``LiteralBins.selectivity``."""
+        if self._residual_count == 0:
+            return 0.0
+        searched = sum(
+            count for length, count in self._histogram.items()
+            if min_len <= length <= max_len
+        )
+        return 1.0 - searched / self._residual_count
+
+    # ------------------------------------------------------------------
+    # Substring candidates (QCM tail lookup)
+    # ------------------------------------------------------------------
+
+    def substring_sids(
+        self,
+        needle: str,
+        min_len: int,
+        max_len: int,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[int, str]]:
+        """Residual surfaces containing ``needle`` within the length
+        window, ordered ``(length, surface)`` — the QCM's shortest-first
+        fill order — so a ``LIMIT`` keeps exactly the rows the in-memory
+        sort would keep."""
+        clause, params = self._residual_sql()
+        if clause == "0":
+            return []
+        sql = (
+            "SELECT sid, surface FROM cache_surfaces "
+            f"WHERE length BETWEEN ? AND ? AND {clause} "
+            "AND instr(surface, ?) > 0"
+        )
+        query_params: tuple = (min_len, max_len) + params + (needle,)
+        if len(needle) >= 3:
+            if self.fts:
+                sql += (
+                    " AND sid IN (SELECT rowid FROM cache_fts "
+                    "WHERE cache_fts MATCH ?)"
+                )
+                query_params += ('"' + needle.replace('"', '""') + '"',)
+            else:
+                grams = trigrams(needle)
+                marks = ", ".join("?" for _ in grams)
+                sql += (
+                    f" AND sid IN (SELECT sid FROM cache_trigrams "
+                    f"WHERE gram IN ({marks}) "
+                    "GROUP BY sid HAVING COUNT(*) = ?)"
+                )
+                query_params += tuple(grams) + (len(grams),)
+        sql += " ORDER BY length, surface"
+        if limit is not None:
+            sql += " LIMIT ?"
+            query_params += (limit,)
+        with self._lock:
+            return self._conn.execute(sql, query_params).fetchall()
+
+    # ------------------------------------------------------------------
+    # Fuzzy candidates (QSM literal window)
+    # ------------------------------------------------------------------
+
+    def window_rows(self, min_len: int, max_len: int) -> List[Tuple[int, str]]:
+        """All residual ``(sid, surface)`` rows in a length window.
+
+        The caller scores them (Jaro–Winkler) in Python: the scorer must
+        be *identical* to the in-memory path's, and the window keeps the
+        row count proportional to the window, not the lexicon.
+        """
+        clause, params = self._residual_sql()
+        if clause == "0":
+            return []
+        with self._lock:
+            return self._conn.execute(
+                "SELECT sid, surface FROM cache_surfaces "
+                f"WHERE length BETWEEN ? AND ? AND {clause}",
+                (min_len, max_len) + params,
+            ).fetchall()
+
+    # ------------------------------------------------------------------
+    # Predicate/class shortlist (QSM alternative predicates)
+    # ------------------------------------------------------------------
+
+    def pc_shortlist(self, forms: Iterable[str], theta: float):
+        """Surface IDs whose camel-split form *could* reach ``theta``
+        against any of ``forms`` — a sound superset, or ``None`` when
+        the bound cannot prune (θ <= 0.6)."""
+        jmin = (theta - 0.4) / 0.6
+        coefficient = 3.0 * jmin - 1.0
+        if coefficient <= 0.0:
+            return None
+        prepared = [(form, Counter(form), len(form)) for form in forms]
+        passing = set()
+        for sid, counts, norm_len in self._pc_postings:
+            if sid in passing:
+                continue
+            for form, form_counts, form_len in prepared:
+                if form_len == 0 or norm_len == 0:
+                    passing.add(sid)  # degenerate: let the scorer decide
+                    break
+                needed = (
+                    coefficient * form_len * norm_len / (form_len + norm_len)
+                )
+                shared = sum(
+                    min(count, counts[ch])
+                    for ch, count in form_counts.items()
+                )
+                if shared >= needed:
+                    passing.add(sid)
+                    break
+        return passing
+
+    # ------------------------------------------------------------------
+    # Dictionary / entry fetches (lazy cache tier)
+    # ------------------------------------------------------------------
+
+    def entry_rows(self, sid: int):
+        """``(kind, term_id, source_id, significance, display)`` rows of
+        one surface bucket, in persisted (kind-rank) order."""
+        with self._lock:
+            return self._conn.execute(
+                "SELECT kind, term_id, source_id, significance, display "
+                "FROM cache_entries WHERE sid = ? ORDER BY seq",
+                (sid,),
+            ).fetchall()
+
+    def surface_of(self, sid: int) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT surface FROM cache_surfaces WHERE sid = ?", (sid,)
+            ).fetchone()
+        return row[0] if row else None
+
+    def surface_row(self, surface: str):
+        """``(sid, significance)`` for a lower-cased surface, if interned."""
+        with self._lock:
+            return self._conn.execute(
+                "SELECT sid, significance FROM cache_surfaces "
+                "WHERE surface = ?",
+                (surface,),
+            ).fetchone()
+
+    def term_row(self, term_id: int):
+        with self._lock:
+            return self._conn.execute(
+                "SELECT kind, lexical, lang, datatype FROM terms "
+                "WHERE id = ?",
+                (term_id,),
+            ).fetchone()
+
+    def term_id_of(self, flat: tuple) -> Optional[int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT id FROM terms WHERE kind = ? AND lexical = ? "
+                "AND lang = ? AND datatype = ?",
+                flat,
+            ).fetchone()
+        return row[0] if row else None
+
+    def literal_surface_rows(self) -> List[Tuple[int, str]]:
+        """Every literal ``(sid, surface)`` row, first-interned order —
+        the (slow, export-only) full enumeration."""
+        with self._lock:
+            return self._conn.execute(
+                "SELECT sid, surface FROM cache_surfaces "
+                "WHERE (kinds & ?) != 0 ORDER BY sid",
+                (_LITERAL,),
+            ).fetchall()
+
+    def significance_rows(self) -> List[Tuple[int, int]]:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT sid, significance FROM cache_surfaces "
+                "WHERE significance > 0"
+            ).fetchall()
+
+    # ------------------------------------------------------------------
+    # Counts and gauges (/stats)
+    # ------------------------------------------------------------------
+
+    def count_kind(self, kind: str) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM cache_entries WHERE kind = ?",
+                (kind,),
+            ).fetchone()
+        return int(row[0])
+
+    def n_surfaces(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM cache_surfaces"
+            ).fetchone()
+        return int(row[0])
+
+    def gauges(self) -> Dict[str, int]:
+        """Index size gauges for the ``/stats`` cache block."""
+        with self._lock:
+            pages = self._conn.execute("PRAGMA page_count").fetchone()[0]
+            page_size = self._conn.execute("PRAGMA page_size").fetchone()[0]
+            surfaces = self._conn.execute(
+                "SELECT COUNT(*) FROM cache_surfaces"
+            ).fetchone()[0]
+        return {
+            "index_surfaces": int(surfaces),
+            "index_bytes": int(pages) * int(page_size),
+            "index_fts": 1 if self.fts else 0,
+        }

@@ -61,6 +61,31 @@ class TestCommands:
 
         assert load_cache(path).n_predicates > 0
 
+    def test_init_term_index_off_then_cache_info(self, tmp_path, capsys):
+        path = tmp_path / "cache.sqlite"
+        assert main(["init", "--save", str(path), "--term-index", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "v2" in out
+        assert main(["cache-info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "rebuilt" in out
+        assert "index:   none" in out
+
+    def test_cache_info_on_indexed_cache(self, tmp_path, capsys):
+        path = tmp_path / "cache.sqlite"
+        assert main(["init", "--save", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["cache-info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tiered" in out
+        assert "predicates" in out
+
+    def test_init_term_index_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["init", "--save", "x", "--term-index", "bogus"]
+            )
+
     def test_study_small(self, capsys):
         assert main(["study", "--participants", "2"]) == 0
         out = capsys.readouterr().out

@@ -83,3 +83,110 @@ class TestFiles:
         save_cache(cache, path)
         restored = load_cache(path)
         assert restored.entries_for_surface("Škoda Auto café")
+
+    def test_legacy_json_file_is_sniffed(self, cache, tmp_path):
+        """A pre-PR-5 cache file is raw JSON, not SQLite: load_cache
+        must keep decoding it by content, whatever the config says."""
+        path = tmp_path / "legacy.json"
+        path.write_text(dumps_cache(cache), encoding="utf-8")
+        restored = load_cache(path, cache.config)
+        assert type(restored).__name__ == "SapphireCache"
+        assert restored.n_literals == cache.n_literals
+
+
+class TestIndexedFormat:
+    """The v3 format: v2 reified triples + persisted term index."""
+
+    def test_save_reports_v3_and_loads_tiered(self, cache, tmp_path):
+        from repro.core import TieredSapphireCache
+
+        path = tmp_path / "cache.sqlite"
+        info = save_cache(cache, path)
+        assert info["version"] == 3
+        assert info["built_s"] >= 0.0
+        restored = load_cache(path, cache.config)
+        try:
+            assert isinstance(restored, TieredSapphireCache)
+            assert restored.load_report["mode"] == "tiered"
+            assert restored.load_report["seconds"] >= 0.0
+        finally:
+            restored.close()
+
+    def test_term_index_off_writes_v2_and_rebuilds(self, cache, tmp_path):
+        from repro.core import TieredSapphireCache
+
+        path = tmp_path / "cache-v2.sqlite"
+        original = cache.config
+        cache.config = original.with_term_index("off")
+        try:
+            info = save_cache(cache, path)
+        finally:
+            cache.config = original
+        assert info["version"] == 2
+        restored = load_cache(path, cache.config)
+        assert not isinstance(restored, TieredSapphireCache)
+        assert restored.load_report["mode"] == "rebuilt"
+        assert restored.n_literals == cache.n_literals
+
+    def test_tiered_false_forces_legacy_rebuild_from_v3(self, cache, tmp_path):
+        from repro.core import TieredSapphireCache
+
+        path = tmp_path / "cache.sqlite"
+        save_cache(cache, path)
+        restored = load_cache(path, cache.config, tiered=False)
+        assert not isinstance(restored, TieredSapphireCache)
+        assert restored.load_report["mode"] == "rebuilt"
+        assert restored.stats() == cache.stats()
+
+    def test_v3_file_still_loads_eagerly_identical(self, cache, tmp_path):
+        """The index tables ride along in the same file: the eager
+        loader reads the v2 triples and must see the exact same cache."""
+        path = tmp_path / "cache.sqlite"
+        save_cache(cache, path)
+        eager = load_cache(path, cache.config, tiered=False)
+        tiered = load_cache(path, cache.config)
+        try:
+            assert tiered.stats() == eager.stats()
+            original_qcm = QueryCompletionModule(cache, cache.config.with_processes(1))
+            eager_qcm = QueryCompletionModule(eager, cache.config.with_processes(1))
+            tiered_qcm = QueryCompletionModule(tiered, cache.config.with_processes(1))
+            for term in ("Kenn", "spou", "Vik", "alma"):
+                expected = original_qcm.complete(term).surfaces()
+                assert eager_qcm.complete(term).surfaces() == expected
+                assert tiered_qcm.complete(term).surfaces() == expected
+        finally:
+            tiered.close()
+
+    def test_tiered_snapshot_roundtrips(self, cache, tmp_path):
+        """save_cache on a tiered cache snapshots the backing file —
+        the copy must serve identically to the original."""
+        from repro.core import TieredSapphireCache
+
+        first = tmp_path / "first.sqlite"
+        second = tmp_path / "second.sqlite"
+        save_cache(cache, first)
+        tiered = load_cache(first, cache.config)
+        try:
+            info = save_cache(tiered, second)
+            assert info["version"] == 3
+            copy = load_cache(second, cache.config)
+            try:
+                assert isinstance(copy, TieredSapphireCache)
+                assert copy.stats() == tiered.stats()
+            finally:
+                copy.close()
+        finally:
+            tiered.close()
+
+    def test_skip_rebuild_records_load_timing(self, cache, tmp_path):
+        """Satellite: the load path skips the eager rebuild when the
+        persisted index is present, and records what it did."""
+        path = tmp_path / "cache.sqlite"
+        save_cache(cache, path)
+        tiered = load_cache(path, cache.config)
+        try:
+            report = tiered.load_report
+            assert report["mode"] == "tiered"
+            assert "seconds" in report
+        finally:
+            tiered.close()

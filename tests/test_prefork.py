@@ -161,6 +161,53 @@ class TestFdPassingFallback:
             server.stop()
 
 
+class TestSapphirePool:
+    """Suggestion-serving pools: every worker boots a read-only tiered
+    replica from the shared cache snapshot — no per-worker rebuild."""
+
+    @pytest.fixture(scope="class")
+    def sapphire_spec(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("prefork-pum") / "data.sqlite"
+        return prepare_snapshots(
+            {"scale": "tiny", "seed": 42, "timeout_s": 10.0,
+             "execution": "auto", "sapphire": True, "n_shards": 2},
+            str(base),
+        )
+
+    def test_spec_carries_cache_snapshot(self, sapphire_spec):
+        snapshot = sapphire_spec["cache_snapshot"]
+        assert snapshot and os.path.exists(snapshot)
+
+    def test_replicas_serve_byte_identical_completions(self, sapphire_spec):
+        from repro.net import completion_document, dump_document
+
+        origin = build_backend_from_spec(sapphire_spec)
+        server = PreforkServer(
+            build_backend_from_spec, sapphire_spec, n_workers=2)
+        server.start()
+        try:
+            root = server.url.rsplit("/", 1)[0]
+            workers = set()
+            for term in ("Kenn", "spou", "New", "alma", "e"):
+                body = json.dumps({"text": term}).encode()
+                request = urllib.request.Request(
+                    root + "/complete", data=body,
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=10.0) as response:
+                    wire = response.read()
+                    workers.add(response.headers.get(WORKER_HEADER))
+                local = dump_document(
+                    completion_document(origin.complete(term))
+                )
+                assert wire == local, term
+            assert workers  # served by the pool, not the origin
+        finally:
+            server.stop()
+            origin.cache.close()
+
+
 class TestGracefulDrain:
     def test_stop_reaps_every_worker(self, snapshot_spec):
         server = PreforkServer(
@@ -219,3 +266,49 @@ class TestMergeStatsBodies:
         merged = merge_stats_bodies([])
         assert merged["requests"] == 0
         assert merged["routes"] == {}
+
+    @staticmethod
+    def _cache_block(lookups, tree, bins, index, misses, served,
+                     surfaces, size):
+        return {
+            "lookups": lookups, "tree_hits": tree, "bin_hits": bins,
+            "index_hits": index, "misses": misses, "served": served,
+            "tree_hit_rate": tree / lookups if lookups else 0.0,
+            "bin_hit_rate": bins / lookups if lookups else 0.0,
+            "index_hit_rate": index / lookups if lookups else 0.0,
+            "index_surfaces": surfaces, "index_bytes": size,
+            "index_fts": 1,
+        }
+
+    def test_cache_blocks_sum_counters_and_max_gauges(self):
+        body_a = self._body(10, 10, 0, 0, [0.001] * 10)
+        body_b = self._body(10, 10, 0, 0, [0.001] * 10)
+        # Replica A is cold (pure tree), replica B serves its tail from
+        # the index: rates must be recomputed from the summed counters,
+        # never averaged per worker.
+        body_a["cache"] = self._cache_block(8, 8, 0, 0, 0, 80, 500, 4096)
+        body_b["cache"] = self._cache_block(2, 0, 0, 1, 1, 10, 500, 8192)
+        merged = merge_stats_bodies([body_a, body_b])
+        cache = merged["cache"]
+        assert cache["lookups"] == 10
+        assert cache["tree_hits"] == 8
+        assert cache["index_hits"] == 1
+        assert cache["misses"] == 1
+        assert cache["served"] == 90
+        assert cache["tree_hit_rate"] == pytest.approx(0.8)
+        assert cache["index_hit_rate"] == pytest.approx(0.1)
+        assert cache["bin_hit_rate"] == pytest.approx(0.0)
+        # Gauges describe the shared file, not per-worker work: max.
+        assert cache["index_surfaces"] == 500
+        assert cache["index_bytes"] == 8192
+        assert cache["index_fts"] == 1
+
+    def test_workers_without_cache_block_merge_cleanly(self):
+        body_a = self._body(5, 5, 0, 0, [0.001] * 5)
+        body_b = self._body(5, 5, 0, 0, [0.001] * 5)
+        body_b["cache"] = self._cache_block(4, 3, 1, 0, 0, 40, 100, 1024)
+        merged = merge_stats_bodies([body_a, body_b])
+        assert merged["cache"]["lookups"] == 4
+        assert merged["cache"]["tree_hit_rate"] == pytest.approx(0.75)
+        plain = merge_stats_bodies([self._body(5, 5, 0, 0, [0.001] * 5)])
+        assert "cache" not in plain

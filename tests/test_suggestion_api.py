@@ -235,6 +235,44 @@ class TestSuggestionApi:
         HttpSapphireClient(http.url, timeout_s=10.0).complete("Kenn")
         assert http.app.stats.snapshot()["ok"] == before + 1
 
+    def test_recent_surfaces_boost_over_http(self, http_stack):
+        sapphire, http = http_stack
+        baseline = sapphire.complete("enn")
+        if len(baseline) < 2:
+            pytest.skip("needle serves fewer than 2 completions")
+        target = baseline.surfaces()[-1]
+        body = json.dumps({"text": "enn", "recent": [target]}).encode()
+        request = urllib.request.Request(
+            f"http://{http.host}:{http.port}/complete", data=body,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            wire = response.read()
+        local = dump_document(completion_document(
+            sapphire.complete("enn", boost_surfaces=[target])
+        ))
+        assert wire == local
+        assert json.loads(wire)["completions"][0]["surface"] == target
+
+    def test_stats_exposes_per_tier_cache_block(self, http_stack):
+        _, http = http_stack
+        HttpSapphireClient(http.url, timeout_s=10.0).complete("Kenn")
+        with urllib.request.urlopen(
+            f"http://{http.host}:{http.port}/stats", timeout=10.0
+        ) as response:
+            document = json.load(response)
+        cache_block = document["cache"]
+        for key in ("lookups", "tree_hits", "bin_hits", "index_hits",
+                    "misses", "served", "tree_hit_rate", "bin_hit_rate",
+                    "index_hit_rate", "index_surfaces", "index_bytes",
+                    "index_fts"):
+            assert key in cache_block, key
+        assert cache_block["lookups"] >= 1
+        assert cache_block["lookups"] == (
+            cache_block["tree_hits"] + cache_block["bin_hits"]
+            + cache_block["index_hits"] + cache_block["misses"]
+        )
+
     # -- error paths ---------------------------------------------------
 
     def post_raw(self, http, route, body: bytes, content_type="application/json"):
@@ -257,6 +295,13 @@ class TestSuggestionApi:
         body = json.dumps({"text": "Kenn", "k": 0}).encode()
         assert self.post_raw(http, "/complete", body) == 400
         body = json.dumps({"text": "Kenn", "k": True}).encode()
+        assert self.post_raw(http, "/complete", body) == 400
+
+    def test_bad_recent_is_400(self, http_stack):
+        _, http = http_stack
+        body = json.dumps({"text": "Kenn", "recent": "Kennedy"}).encode()
+        assert self.post_raw(http, "/complete", body) == 400
+        body = json.dumps({"text": "Kenn", "recent": [1, 2]}).encode()
         assert self.post_raw(http, "/complete", body) == 400
 
     def test_non_json_body_is_400(self, http_stack):

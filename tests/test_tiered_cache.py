@@ -1,0 +1,327 @@
+"""The tiered suggestion index (PR 10).
+
+Gates, per substring backend (FTS5 trigram and hand-rolled postings):
+
+* **Wire parity** — ``/complete`` documents are *byte-identical* whether
+  the cache is the in-memory seed, a tiered cache over the saved v3
+  file, or a read-only replica of that file.
+* **QSM parity** — ``predicate_alternatives`` (through the shortlist
+  prune) and ``literal_alternatives`` (through the on-disk window scan)
+  return identical suggestion sets.
+* **Capacity independence** — reopening the same file at a different
+  suffix-tree budget matches ``copy_with_capacity`` on the in-memory
+  cache, completions included.
+* **Read-only discipline** — tiered caches refuse mutation; replicas
+  never write the shared file.
+* **Ranking** — usage events and session boosts re-rank stably; a cold
+  cache preserves the paper's order exactly (all-zero scores).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core import (
+    AlternativeTermsFinder,
+    QueryCompletionModule,
+    TieredSapphireCache,
+    load_cache,
+    save_cache,
+)
+from repro.net.suggest import completion_document, dump_document
+from repro.rdf import DBO, Literal
+from repro.store.term_tables import fts5_trigram_available
+
+#: Mix of tree hits, residual-only hits, misses, variables, and inputs
+#: shorter than a trigram (no prefilter possible).
+NEEDLES = [
+    "Kenn", "Kennedy", "enn", "spou", "Mater", "New", "Vik", "press",
+    "j", "e", "on", "?uri", "", "zzzzqqqq",
+]
+
+
+def _fts_available() -> bool:
+    conn = sqlite3.connect(":memory:")
+    try:
+        return fts5_trigram_available(conn)
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module", params=["fts", "trigram"])
+def mode(request):
+    if request.param == "fts" and not _fts_available():
+        pytest.skip("linked SQLite has no FTS5 trigram tokenizer")
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def mem(cache):
+    """A fresh in-memory copy of the session cache: same contents, but
+    zero frequency/hit counters regardless of what other tests did."""
+    return cache.copy_with_capacity(cache.config.suffix_tree_capacity)
+
+
+@pytest.fixture(scope="module")
+def saved_path(mem, mode, tmp_path_factory):
+    path = tmp_path_factory.mktemp("tiered") / f"cache-{mode}.sqlite"
+    original = mem.config
+    mem.config = original.with_term_index(mode)
+    try:
+        info = save_cache(mem, path)
+    finally:
+        mem.config = original
+    assert info["version"] == 3
+    assert info["fts"] is (mode == "fts")
+    assert info["built_s"] >= 0.0
+    return path
+
+
+@pytest.fixture(scope="module")
+def tiered(saved_path, mem):
+    cache = load_cache(saved_path, mem.config)
+    assert isinstance(cache, TieredSapphireCache)
+    assert cache.load_report["mode"] == "tiered"
+    yield cache
+    cache.close()
+
+
+@pytest.fixture(scope="module")
+def replica(saved_path, mem):
+    cache = load_cache(saved_path, mem.config, read_only=True)
+    assert isinstance(cache, TieredSapphireCache)
+    yield cache
+    cache.close()
+
+
+def wire_bytes(qcm, term, k=None):
+    return dump_document(completion_document(qcm.complete(term, k)))
+
+
+class TestWireParity:
+    def test_complete_byte_identical_across_tiers(self, mem, tiered, replica):
+        memory_qcm = QueryCompletionModule(mem)
+        tiered_qcm = QueryCompletionModule(tiered)
+        replica_qcm = QueryCompletionModule(replica)
+        for term in NEEDLES:
+            for k in (3, 10):
+                expected = wire_bytes(memory_qcm, term, k)
+                assert wire_bytes(tiered_qcm, term, k) == expected
+                assert wire_bytes(replica_qcm, term, k) == expected
+
+    def test_sources_still_read_tree_and_bins(self, tiered):
+        """Wire 'source' labels are part of the byte format: the index
+        tier keeps reporting 'bins' so clients can't tell the backends
+        apart."""
+        result = QueryCompletionModule(tiered).complete("e")
+        assert {c.source for c in result.completions} <= {"tree", "bins"}
+
+    def test_repeated_completions_deterministic(self, tiered):
+        qcm = QueryCompletionModule(tiered)
+        first = [qcm.complete(t).surfaces() for t in NEEDLES]
+        for _ in range(3):
+            assert [qcm.complete(t).surfaces() for t in NEEDLES] == first
+
+
+class TestQsmParity:
+    @pytest.fixture(scope="class")
+    def finders(self, server, mem, tiered):
+        runner = server._run_ast
+        return (
+            AlternativeTermsFinder(mem, runner, server.config),
+            AlternativeTermsFinder(tiered, runner, server.config),
+        )
+
+    def test_predicate_alternatives_identical(self, finders):
+        memory_finder, tiered_finder = finders
+        for name in ("wife", "spouses", "birthPlaces", "almaMatter", "zz"):
+            predicate = DBO.term(name)
+            expected = [
+                (entry.surface, entry.term, score)
+                for entry, score in memory_finder.predicate_alternatives(predicate)
+            ]
+            actual = [
+                (entry.surface, entry.term, score)
+                for entry, score in tiered_finder.predicate_alternatives(predicate)
+            ]
+            assert actual == expected, name
+
+    def test_literal_alternatives_identical(self, finders):
+        memory_finder, tiered_finder = finders
+        for text in ("Kennedys", "Sydney", "New Yrok", "Viking"):
+            literal = Literal(text, lang="en")
+            expected = [
+                (entry.surface, entry.term, score)
+                for entry, score in memory_finder.literal_alternatives(literal)
+            ]
+            actual = [
+                (entry.surface, entry.term, score)
+                for entry, score in tiered_finder.literal_alternatives(literal)
+            ]
+            assert actual == expected, text
+
+    def test_shortlist_is_sound_superset(self, mem, tiered):
+        """Every predicate/class surface the brute-force scorer can pass
+        must survive the shortlist (the prune may only discard sure
+        losers)."""
+        from repro.text.lexicon import split_camel_case
+        from repro.text.similarity import jaro_winkler
+
+        forms = [split_camel_case("birthPlaces"), "wife"]
+        shortlist = tiered.pc_shortlist(forms)
+        assert shortlist is not None
+        theta = tiered.config.theta
+        for kind in ("predicate", "class"):
+            for sid in mem._kind_sids[kind]:
+                surface = mem.surface_of(sid)
+                norm = split_camel_case(surface)
+                if any(jaro_winkler(f, norm) >= theta for f in forms):
+                    assert tiered.surface_id(surface) in shortlist, surface
+
+
+class TestStatsParity:
+    def test_stats_identical(self, mem, tiered, replica):
+        assert tiered.stats() == mem.stats()
+        assert replica.stats() == mem.stats()
+
+    def test_index_gauges_populated(self, tiered, mode):
+        gauges = tiered.index_gauges()
+        assert gauges["index_surfaces"] == tiered.term_index.n_surfaces()
+        assert gauges["index_surfaces"] > 0
+        assert gauges["index_bytes"] > 0
+        assert gauges["index_fts"] == (1 if mode == "fts" else 0)
+
+    def test_residual_lookup_counts_index_tier(self, tiered):
+        before = dict(tiered.lookup_stats())
+        tiered.note_lookup(tree_hit=False, residual_hit=True)
+        tiered.note_lookup(tree_hit=True, residual_hit=False)
+        tiered.note_lookup(tree_hit=False, residual_hit=False)
+        after = tiered.lookup_stats()
+        assert after["index_hits"] == before["index_hits"] + 1
+        assert after["tree_hits"] == before["tree_hits"] + 1
+        assert after["misses"] == before["misses"] + 1
+        assert after["bin_hits"] == before["bin_hits"]
+        assert after["lookups"] == before["lookups"] + 3
+
+    def test_memory_bounded_by_capacity(self, tiered):
+        """The hot tier holds at most capacity strings; the memoized
+        surface map stays within the shed budget, not the lexicon."""
+        capacity = tiered.config.suffix_tree_capacity
+        assert tiered.n_tree_strings <= capacity
+        assert len(tiered._entries) <= tiered._memo_limit + 1
+
+
+class TestCapacityIndependence:
+    def test_reopen_at_smaller_capacity_matches_copy(self, saved_path, mem):
+        small_mem = mem.copy_with_capacity(50)
+        small_tiered = load_cache(
+            saved_path, mem.config.with_tree_capacity(50)
+        )
+        try:
+            assert isinstance(small_tiered, TieredSapphireCache)
+            assert small_tiered.n_tree_strings == small_mem.n_tree_strings
+            assert small_tiered.stats() == small_mem.stats()
+            memory_qcm = QueryCompletionModule(small_mem)
+            tiered_qcm = QueryCompletionModule(small_tiered)
+            for term in NEEDLES:
+                assert wire_bytes(tiered_qcm, term) == \
+                    wire_bytes(memory_qcm, term)
+        finally:
+            small_tiered.close()
+
+    def test_copy_with_capacity_reopens_the_file(self, tiered, mem):
+        reopened = tiered.copy_with_capacity(50)
+        try:
+            assert isinstance(reopened, TieredSapphireCache)
+            assert reopened.n_tree_strings == \
+                mem.copy_with_capacity(50).n_tree_strings
+        finally:
+            reopened.close()
+
+
+class TestReadOnlyDiscipline:
+    def test_mutations_raise(self, tiered):
+        with pytest.raises(RuntimeError):
+            tiered.add_predicate(DBO.term("nope"))
+        with pytest.raises(RuntimeError):
+            tiered.set_significance("Kennedy", 99)
+        with pytest.raises(RuntimeError):
+            tiered.merge(tiered)
+
+    def test_dictionary_refuses_interning(self, tiered):
+        with pytest.raises(RuntimeError):
+            tiered.dictionary.encode(Literal("new literal", lang="en"))
+
+    def test_replica_connection_cannot_write(self, replica):
+        with pytest.raises(sqlite3.OperationalError):
+            replica._conn.execute("DELETE FROM cache_surfaces")
+
+    def test_build_indexes_is_a_noop(self, tiered, mem):
+        before = QueryCompletionModule(tiered).complete("Kenn").surfaces()
+        tiered.build_indexes()
+        assert QueryCompletionModule(tiered).complete("Kenn").surfaces() == before
+
+
+class TestRanking:
+    @pytest.fixture()
+    def ranked(self, saved_path, mem):
+        cache = load_cache(saved_path, mem.config)
+        yield cache
+        cache.close()
+
+    def _served_surfaces(self, qcm, term):
+        return qcm.complete(term).surfaces()
+
+    def test_usage_events_promote_within_served_set(self, ranked):
+        qcm = QueryCompletionModule(ranked)
+        baseline = self._served_surfaces(qcm, "enn")
+        if len(baseline) < 2:
+            pytest.skip("needle serves fewer than 2 completions")
+        target = baseline[-1]
+        for _ in range(3):
+            ranked.note_used(target)
+        assert self._served_surfaces(qcm, "enn")[0] == target
+        # The re-sort is a permutation of the same served set.
+        assert sorted(self._served_surfaces(qcm, "enn")) == sorted(baseline)
+
+    def test_session_boost_promotes_recent_surface(self, ranked):
+        qcm = QueryCompletionModule(ranked)
+        baseline = qcm.complete("enn").surfaces()
+        if len(baseline) < 2:
+            pytest.skip("needle serves fewer than 2 completions")
+        target = baseline[-1]
+        boosted = qcm.complete("enn", boost_surfaces=[target])
+        assert boosted.surfaces()[0] == target
+        assert boosted.boosted == 1
+        # Without the boost the cold order is untouched.
+        assert qcm.complete("enn").surfaces() == baseline
+
+    def test_serving_never_feeds_frequency(self, ranked):
+        qcm = QueryCompletionModule(ranked)
+        before = ranked.lookup_stats()["served"]
+        result = qcm.complete("Kenn")
+        assert ranked.lookup_stats()["served"] == before + len(result)
+        for completion in result.completions:
+            sid = ranked.surface_id(completion.surface)
+            assert ranked.frequency_of(sid) == 0
+
+    def test_ranking_report_lists_top_surfaces(self, ranked):
+        ranked.note_used("Kennedy")
+        report = ranked.ranking_report()
+        assert "freq_ranking=on" in report
+        assert "kennedy:1" in report.lower()
+
+    def test_freq_ranking_off_scores_zero(self, saved_path, mem):
+        cache = load_cache(saved_path, mem.config)
+        try:
+            import dataclasses
+
+            cache.config = dataclasses.replace(mem.config, freq_ranking=False)
+            cache.note_used("Kennedy")
+            sid = cache.surface_id("Kennedy")
+            assert cache.rank_scores([sid], ["Kennedy"]) == [0.0]
+            assert "freq_ranking=off" in cache.ranking_report()
+        finally:
+            cache.close()
